@@ -1,0 +1,25 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one of the paper's figures or propositions
+(see DESIGN.md's per-experiment index), asserts the reproduction matches
+the paper, and times the computation with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the reproduced figure text alongside the timing table.
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def show(label: str, lines) -> None:
+    print(f"--- {label}")
+    for line in lines:
+        print(f"    {line}")

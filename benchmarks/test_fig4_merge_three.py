@@ -1,0 +1,86 @@
+"""Figure 4: Merge(COURSE, OFFER, TEACH) on the Figure 3 schema.
+
+Regenerates the figure's replacement lists: relation-schemes 4, 6 and 7
+replaced by COURSE'; inclusion dependencies 3-7 replaced by (9)-(11)
+including the non-key-based ASSIST[A.C.NR] <= COURSE'[O.C.NR]; and null
+constraints (9)-(14): the NNA key constraint, two null-synchronization
+sets, the inter-member existence constraint, and two total equalities.
+"""
+
+from conftest import banner, show
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    TotalEqualityConstraint,
+    null_synchronization_set,
+    nulls_not_allowed,
+)
+from repro.core.merge import merge
+from repro.workloads.university import university_relational
+
+
+def _run():
+    return merge(
+        university_relational(), ["COURSE", "OFFER", "TEACH"],
+        merged_name="COURSE'",
+    )
+
+
+def test_figure4(benchmark):
+    result = benchmark(_run)
+    banner("Figure 4: Merge(COURSE, OFFER, TEACH)")
+    show(
+        "COURSE'",
+        [str(result.merged_scheme)]
+        + ["inds:"]
+        + [f"  {d}" for d in result.schema.inds]
+        + ["null constraints:"]
+        + [
+            f"  {c}"
+            for c in result.schema.null_constraints
+            if c.scheme_name == "COURSE'"
+        ],
+    )
+
+    # Scheme (paper: COURSE'(C.NR, O.C.NR, O.D.NAME, T.C.NR, T.F.SSN)).
+    assert str(result.merged_scheme) == (
+        "COURSE'(C.NR*, O.C.NR, O.D.NAME, T.C.NR, T.F.SSN)"
+    )
+
+    # Inclusion dependencies (9)-(11).
+    expected_new_inds = {
+        InclusionDependency("COURSE'", ("O.D.NAME",), "DEPARTMENT", ("D.NAME",)),
+        InclusionDependency("COURSE'", ("T.F.SSN",), "FACULTY", ("F.SSN",)),
+        InclusionDependency("ASSIST", ("A.C.NR",), "COURSE'", ("O.C.NR",)),
+    }
+    new_inds = {
+        d
+        for d in result.schema.inds
+        if "COURSE'" in (d.lhs_scheme, d.rhs_scheme)
+    }
+    assert new_inds == expected_new_inds
+
+    # Null constraints (9)-(14).
+    expected_constraints = {
+        nulls_not_allowed("COURSE'", ["C.NR"]),  # (9)
+        *null_synchronization_set("COURSE'", ["O.C.NR", "O.D.NAME"]),  # (10)
+        *null_synchronization_set("COURSE'", ["T.C.NR", "T.F.SSN"]),  # (11)
+        NullExistenceConstraint(  # (12)
+            "COURSE'",
+            frozenset({"T.C.NR", "T.F.SSN"}),
+            frozenset({"O.C.NR", "O.D.NAME"}),
+        ),
+        TotalEqualityConstraint("COURSE'", ("C.NR",), ("O.C.NR",)),  # (13)
+        TotalEqualityConstraint("COURSE'", ("C.NR",), ("T.C.NR",)),  # (14)
+    }
+    actual = {
+        c
+        for c in result.schema.null_constraints
+        if c.scheme_name == "COURSE'"
+    }
+    assert actual == expected_constraints
+    print(
+        "paper: null constraints (9)-(14), IND (11) non-key-based  |  "
+        "measured: exact match"
+    )

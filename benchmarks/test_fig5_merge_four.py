@@ -1,0 +1,95 @@
+"""Figure 5: Merge(COURSE, OFFER, TEACH, ASSIST) on the Figure 3 schema.
+
+Regenerates the figure: COURSE'' over seven attributes, inclusion
+dependencies (9)-(11) (all key-based again), and null constraints
+(9)-(17): one NNA, three null-synchronization sets, two inter-member
+existence constraints, three total equalities.
+"""
+
+from conftest import banner, show
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    TotalEqualityConstraint,
+    null_synchronization_set,
+    nulls_not_allowed,
+)
+from repro.core.merge import merge
+from repro.workloads.university import university_relational
+
+
+def _run():
+    return merge(
+        university_relational(),
+        ["COURSE", "OFFER", "TEACH", "ASSIST"],
+        merged_name="COURSE''",
+    )
+
+
+def test_figure5(benchmark):
+    result = benchmark(_run)
+    banner("Figure 5: Merge(COURSE, OFFER, TEACH, ASSIST)")
+    show(
+        "COURSE''",
+        [str(result.merged_scheme)]
+        + ["inds:"]
+        + [f"  {d}" for d in result.schema.inds]
+        + ["null constraints:"]
+        + [
+            f"  {c}"
+            for c in result.schema.null_constraints
+            if c.scheme_name == "COURSE''"
+        ],
+    )
+
+    assert str(result.merged_scheme) == (
+        "COURSE''(C.NR*, O.C.NR, O.D.NAME, T.C.NR, T.F.SSN, "
+        "A.C.NR, A.S.SSN)"
+    )
+
+    # Inclusion dependencies (9)-(11) -- all key-based.
+    new_inds = {
+        d
+        for d in result.schema.inds
+        if "COURSE''" in (d.lhs_scheme, d.rhs_scheme)
+    }
+    assert new_inds == {
+        InclusionDependency(
+            "COURSE''", ("O.D.NAME",), "DEPARTMENT", ("D.NAME",)
+        ),
+        InclusionDependency("COURSE''", ("T.F.SSN",), "FACULTY", ("F.SSN",)),
+        InclusionDependency("COURSE''", ("A.S.SSN",), "STUDENT", ("S.SSN",)),
+    }
+    assert all(d.is_key_based(result.schema) for d in result.schema.inds)
+
+    # Null constraints (9)-(17).
+    expected = {
+        nulls_not_allowed("COURSE''", ["C.NR"]),  # (9)
+        *null_synchronization_set("COURSE''", ["O.C.NR", "O.D.NAME"]),  # (10)
+        *null_synchronization_set("COURSE''", ["T.C.NR", "T.F.SSN"]),  # (11)
+        *null_synchronization_set("COURSE''", ["A.C.NR", "A.S.SSN"]),  # (12)
+        NullExistenceConstraint(  # (13)
+            "COURSE''",
+            frozenset({"T.C.NR", "T.F.SSN"}),
+            frozenset({"O.C.NR", "O.D.NAME"}),
+        ),
+        NullExistenceConstraint(  # (14)
+            "COURSE''",
+            frozenset({"A.C.NR", "A.S.SSN"}),
+            frozenset({"O.C.NR", "O.D.NAME"}),
+        ),
+        TotalEqualityConstraint("COURSE''", ("C.NR",), ("O.C.NR",)),  # (15)
+        TotalEqualityConstraint("COURSE''", ("C.NR",), ("T.C.NR",)),  # (16)
+        TotalEqualityConstraint("COURSE''", ("C.NR",), ("A.C.NR",)),  # (17)
+    }
+    actual = {
+        c
+        for c in result.schema.null_constraints
+        if c.scheme_name == "COURSE''"
+    }
+    assert actual == expected
+    print(
+        "paper: null constraints (9)-(17), all INDs key-based  |  "
+        "measured: exact match"
+    )

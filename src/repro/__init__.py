@@ -1,0 +1,161 @@
+"""repro -- a reproduction of V.M. Markowitz, "A Relation Merging
+Technique for Relational Databases" (ICDE 1992, LBL-27842).
+
+The library implements BCNF- and information-capacity-preserving relation
+merging for relational schemas consisting of relation-schemes, key
+dependencies, referential integrity constraints and null constraints --
+plus everything the paper's development rests on: the relational data
+model with nulls and outer equi-joins, the five null-constraint classes,
+the EER model with its BCNF translation, synthesis normalization, the SDT
+schema-definition tool, and a constraint-enforcing storage engine used to
+measure the join-reduction claim.
+
+Quick start::
+
+    from repro import merge, remove_all, university_relational
+
+    schema = university_relational()               # Figure 3
+    merged = merge(schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    simplified = remove_all(merged)                # Figure 6
+    print(simplified.schema.describe())
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.relational import (
+    NULL,
+    Attribute,
+    DatabaseState,
+    Domain,
+    Relation,
+    RelationScheme,
+    RelationalSchema,
+    Tuple,
+)
+from repro.constraints import (
+    ConsistencyChecker,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyDependency,
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+    null_synchronization_set,
+    nulls_not_allowed,
+)
+from repro.core import (
+    Merge,
+    MergeError,
+    MergePlanner,
+    MergeResult,
+    MergeStrategy,
+    Remove,
+    find_key_relation,
+    prop51_key_based_inds_only,
+    prop51_keys_not_null,
+    prop52_nulls_not_allowed_only,
+    remove_all,
+    removable_sets,
+    verify_information_capacity,
+)
+from repro.core.merge import merge
+from repro.eer import (
+    Cardinality,
+    EERAttribute,
+    EERBuilder,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+    find_amenable_structures,
+    translate_eer,
+    translate_teorey,
+)
+from repro.ddl import (
+    DB2,
+    INGRES_63,
+    SYBASE_40,
+    SchemaDefinitionTool,
+    SDTOptions,
+    generate_ddl,
+)
+from repro.engine import Database, QueryEngine
+from repro.constraints.minimize import minimize_schema
+from repro.io import (
+    eer_schema_from_dict,
+    eer_schema_to_dict,
+    relational_schema_from_dict,
+    relational_schema_to_dict,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.workloads.university import university_eer, university_relational
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NULL",
+    "Attribute",
+    "DatabaseState",
+    "Domain",
+    "Relation",
+    "RelationScheme",
+    "RelationalSchema",
+    "Tuple",
+    "ConsistencyChecker",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "KeyDependency",
+    "NullExistenceConstraint",
+    "PartNullConstraint",
+    "TotalEqualityConstraint",
+    "null_synchronization_set",
+    "nulls_not_allowed",
+    "Merge",
+    "merge",
+    "MergeError",
+    "MergePlanner",
+    "MergeResult",
+    "MergeStrategy",
+    "Remove",
+    "find_key_relation",
+    "prop51_key_based_inds_only",
+    "prop51_keys_not_null",
+    "prop52_nulls_not_allowed_only",
+    "remove_all",
+    "removable_sets",
+    "verify_information_capacity",
+    "Cardinality",
+    "EERAttribute",
+    "EERBuilder",
+    "EERSchema",
+    "EntitySet",
+    "Generalization",
+    "Participation",
+    "RelationshipSet",
+    "WeakEntitySet",
+    "find_amenable_structures",
+    "translate_eer",
+    "translate_teorey",
+    "DB2",
+    "INGRES_63",
+    "SYBASE_40",
+    "SchemaDefinitionTool",
+    "SDTOptions",
+    "generate_ddl",
+    "Database",
+    "QueryEngine",
+    "minimize_schema",
+    "eer_schema_from_dict",
+    "eer_schema_to_dict",
+    "relational_schema_from_dict",
+    "relational_schema_to_dict",
+    "state_from_dict",
+    "state_to_dict",
+    "university_eer",
+    "university_relational",
+    "__version__",
+]

@@ -1,0 +1,429 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Schema files are the JSON forms of :mod:`repro.io`; EER files are
+recognised by their ``object_sets`` field.  Commands:
+
+``describe``   print a schema in the paper's figure style
+``check``      check a database state against a schema
+``families``   list mergeable families with Proposition 5.1/5.2 verdicts
+``merge``      apply Merge (and, by default, Remove) to named schemes
+``plan``       merge every family admitted by a strategy
+``migrate``    map a database state through a merge
+``translate``  translate an EER design to a relational schema
+``structures`` classify an EER design's single-relation structures
+``ddl``        generate DDL for DB2 / SYBASE 4.0 / INGRES 6.3
+``minimize``   drop implied constraints from a schema
+
+Every command reads JSON from file arguments and writes human output to
+stdout; ``-o`` writes machine-readable JSON results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.constraints.minimize import minimize_schema
+from repro.core.merge import merge as apply_merge
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.core.remove import remove_all
+from repro.ddl.dialects import DB2, INGRES_63, SYBASE_40, DialectProfile
+from repro.ddl.generate import generate_ddl
+from repro.eer.patterns import find_amenable_structures
+from repro.eer.teorey import translate_teorey
+from repro.eer.translate import translate_eer
+from repro.io import (
+    eer_schema_from_dict,
+    relational_schema_from_dict,
+    relational_schema_to_dict,
+    state_from_dict,
+    state_to_dict,
+)
+
+DIALECTS: dict[str, DialectProfile] = {
+    "db2": DB2,
+    "sybase": SYBASE_40,
+    "ingres": INGRES_63,
+}
+
+
+class CliError(SystemExit):
+    """A user-facing CLI failure (exit code 2)."""
+
+    def __init__(self, message: str):
+        print(f"error: {message}", file=sys.stderr)
+        super().__init__(2)
+
+
+def _load_json(path: str) -> Any:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as exc:
+        raise CliError(f"cannot read {path}: {exc}")
+    except json.JSONDecodeError as exc:
+        raise CliError(f"{path} is not valid JSON: {exc}")
+
+
+def _load_relational(path: str):
+    data = _load_json(path)
+    if "object_sets" in data:
+        raise CliError(
+            f"{path} is an EER schema; run 'translate' first or pass it to "
+            "an EER command"
+        )
+    try:
+        return relational_schema_from_dict(data)
+    except ValueError as exc:
+        raise CliError(f"{path}: {exc}")
+
+
+def _load_eer(path: str):
+    data = _load_json(path)
+    if "object_sets" not in data:
+        raise CliError(f"{path} does not look like an EER schema")
+    try:
+        return eer_schema_from_dict(data)
+    except ValueError as exc:
+        raise CliError(f"{path}: {exc}")
+
+
+def _write_output(path: str | None, data: Any) -> None:
+    if path is None:
+        return
+    with open(path, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {path}")
+
+
+# -- commands -----------------------------------------------------------------
+
+
+def cmd_describe(args: argparse.Namespace) -> int:
+    """``describe``: print a schema in the figure style."""
+    schema = _load_relational(args.schema)
+    print(schema.describe())
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``check``: consistency-check a state; exit 1 on violations."""
+    schema = _load_relational(args.schema)
+    state = state_from_dict(_load_json(args.state), schema)
+    violations = ConsistencyChecker(schema).violations(state)
+    if not violations:
+        print(f"consistent: {state.total_size()} tuples satisfy the schema")
+        return 0
+    for v in violations:
+        print(v)
+    print(f"{len(violations)} violation(s)")
+    return 1
+
+
+def cmd_families(args: argparse.Namespace) -> int:
+    """``families``: list mergeable families with Prop 5.x verdicts."""
+    schema = _load_relational(args.schema)
+    families = MergePlanner(schema).candidate_families()
+    if not families:
+        print("no mergeable families (Proposition 3.1 finds no key-relations)")
+        return 0
+    for family in families:
+        print(family)
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    """``merge``: apply Merge (and by default Remove) to named schemes."""
+    schema = _load_relational(args.schema)
+    result = apply_merge(schema, args.members, merged_name=args.name)
+    if args.keep_redundant:
+        out_schema = result.schema
+        print(f"merged into {result.info.merged_name} (no removal pass)")
+    else:
+        simplified = remove_all(result)
+        out_schema = simplified.schema
+        removed = ", ".join(str(r) for r in simplified.removed) or "nothing"
+        print(
+            f"merged into {simplified.info.merged_name}; removed: {removed}"
+        )
+    print(out_schema.describe())
+    _write_output(args.output, relational_schema_to_dict(out_schema))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``plan``: merge every family admitted by the strategy."""
+    from repro.core.script import MigrationScript
+
+    schema = _load_relational(args.schema)
+    strategy = MergeStrategy(args.strategy)
+    plan = MergePlanner(schema, strategy).apply()
+    print(plan.summary())
+    _write_output(args.output, relational_schema_to_dict(plan.schema))
+    if args.script:
+        script = MigrationScript.from_plan(
+            plan, description=f"strategy={strategy.value}"
+        )
+        _write_output(args.script, script.to_dict())
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """``replay``: re-apply a recorded migration script to a schema (and
+    optionally migrate a state through it)."""
+    from repro.core.script import MigrationScript
+
+    schema = _load_relational(args.schema)
+    script = MigrationScript.from_dict(_load_json(args.script))
+    replay = script.apply(schema)
+    print(
+        f"replayed {len(replay.steps)} step(s): "
+        f"{len(schema.schemes)} -> {len(replay.schema.schemes)} scheme(s)"
+    )
+    _write_output(args.output, relational_schema_to_dict(replay.schema))
+    if args.state:
+        state = state_from_dict(_load_json(args.state), schema)
+        migrated = replay.forward.apply(state)
+        assert replay.backward.apply(migrated) == state
+        print(
+            f"migrated {state.total_size()} -> {migrated.total_size()} "
+            "tuples; round trip verified"
+        )
+        _write_output(args.state_output, state_to_dict(migrated))
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    """``migrate``: map a state through a merge, verifying the round trip."""
+    schema = _load_relational(args.schema)
+    state = state_from_dict(_load_json(args.state), schema)
+    violations = ConsistencyChecker(schema).violations(state)
+    if violations:
+        raise CliError(
+            f"input state is inconsistent ({violations[0]}); fix it first"
+        )
+    simplified = remove_all(apply_merge(schema, args.members))
+    migrated = simplified.forward.apply(state)
+    assert simplified.backward.apply(migrated) == state
+    print(
+        f"migrated {state.total_size()} tuples -> "
+        f"{migrated.total_size()} tuples in "
+        f"{len(simplified.schema.schemes)} relation(s); round trip verified"
+    )
+    _write_output(args.output, state_to_dict(migrated))
+    return 0
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    """``translate``: EER design to relational schema (or Teorey baseline)."""
+    eer = _load_eer(args.eer)
+    if args.teorey:
+        translation = translate_teorey(eer)
+        schema = translation.schema
+        print(
+            "Teorey-style translation "
+            f"(folded: {', '.join(translation.folded) or 'nothing'})"
+        )
+    else:
+        schema = translate_eer(eer).schema
+    print(schema.describe())
+    _write_output(args.output, relational_schema_to_dict(schema))
+    return 0
+
+
+def cmd_structures(args: argparse.Namespace) -> int:
+    """``structures``: classify single-relation EER structures (Fig 8)."""
+    eer = _load_eer(args.eer)
+    structures = find_amenable_structures(eer)
+    if not structures:
+        print("no single-relation-representable structures found")
+        return 0
+    for s in structures:
+        print(s)
+        for reason in s.reasons:
+            print(f"  - {reason}")
+    return 0
+
+
+def cmd_ddl(args: argparse.Namespace) -> int:
+    """``ddl``: emit the schema definition for one target DBMS."""
+    schema = _load_relational(args.schema)
+    dialect = DIALECTS[args.dialect]
+    script = generate_ddl(schema, dialect)
+    print(script.sql())
+    print()
+    print(f"-- {script.summary()}")
+    for warning in script.warnings:
+        print(f"-- WARNING: {warning}")
+    return 1 if args.strict and script.warnings else 0
+
+
+def cmd_init(args: argparse.Namespace) -> int:
+    """``init``: write demo JSON files (the paper's university example)
+    into a directory, ready for the other commands."""
+    import os
+
+    from repro.workloads.university import (
+        university_eer,
+        university_relational,
+        university_state,
+    )
+    from repro.io import eer_schema_to_dict
+
+    os.makedirs(args.directory, exist_ok=True)
+    files = {
+        "university.json": relational_schema_to_dict(university_relational()),
+        "university_eer.json": eer_schema_to_dict(university_eer()),
+        "university_state.json": state_to_dict(
+            university_state(n_courses=12, seed=0)
+        ),
+    }
+    for name, data in files.items():
+        _write_output(os.path.join(args.directory, name), data)
+    print("try:")
+    print(f"  python -m repro families {args.directory}/university.json")
+    print(
+        f"  python -m repro merge {args.directory}/university.json "
+        "COURSE OFFER TEACH ASSIST"
+    )
+    print(f"  python -m repro structures {args.directory}/university_eer.json")
+    return 0
+
+
+def cmd_minimize(args: argparse.Namespace) -> int:
+    """``minimize``: drop implied constraints from a schema."""
+    schema = _load_relational(args.schema)
+    minimized = minimize_schema(schema)
+    dropped_inds = len(schema.inds) - len(minimized.inds)
+    dropped_ncs = len(schema.null_constraints) - len(
+        minimized.null_constraints
+    )
+    print(
+        f"dropped {dropped_inds} implied inclusion dependenc(ies) and "
+        f"{dropped_ncs} implied null constraint(s)"
+    )
+    print(minimized.describe())
+    _write_output(args.output, relational_schema_to_dict(minimized))
+    return 0
+
+
+# -- parser ---------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "BCNF-preserving relation merging (Markowitz, ICDE 1992)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("describe", help="print a schema")
+    p.add_argument("schema")
+    p.set_defaults(fn=cmd_describe)
+
+    p = sub.add_parser("check", help="check a state against a schema")
+    p.add_argument("schema")
+    p.add_argument("state")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("families", help="list mergeable families")
+    p.add_argument("schema")
+    p.set_defaults(fn=cmd_families)
+
+    p = sub.add_parser("merge", help="merge named relation-schemes")
+    p.add_argument("schema")
+    p.add_argument("members", nargs="+")
+    p.add_argument("--name", help="name for the merged scheme")
+    p.add_argument(
+        "--keep-redundant",
+        action="store_true",
+        help="skip the Remove pass (Definition 4.3)",
+    )
+    p.add_argument("-o", "--output", help="write the result schema JSON")
+    p.set_defaults(fn=cmd_merge)
+
+    p = sub.add_parser("plan", help="merge every admissible family")
+    p.add_argument("schema")
+    p.add_argument(
+        "--strategy",
+        choices=[s.value for s in MergeStrategy],
+        default=MergeStrategy.AGGRESSIVE.value,
+    )
+    p.add_argument("-o", "--output")
+    p.add_argument(
+        "--script", help="write a replayable migration script JSON"
+    )
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("replay", help="re-apply a recorded migration script")
+    p.add_argument("script")
+    p.add_argument("schema")
+    p.add_argument("--state", help="also migrate this state through the script")
+    p.add_argument("-o", "--output", help="write the result schema JSON")
+    p.add_argument("--state-output", help="write the migrated state JSON")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("migrate", help="map a state through a merge")
+    p.add_argument("schema")
+    p.add_argument("state")
+    p.add_argument("--members", nargs="+", required=True)
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_migrate)
+
+    p = sub.add_parser("translate", help="EER design -> relational schema")
+    p.add_argument("eer")
+    p.add_argument(
+        "--teorey",
+        action="store_true",
+        help="use the folding baseline instead of the BCNF translation",
+    )
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_translate)
+
+    p = sub.add_parser(
+        "structures", help="classify single-relation EER structures"
+    )
+    p.add_argument("eer")
+    p.set_defaults(fn=cmd_structures)
+
+    p = sub.add_parser("ddl", help="generate DDL for a target DBMS")
+    p.add_argument("schema")
+    p.add_argument("--dialect", choices=sorted(DIALECTS), required=True)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when constraints are unmaintainable",
+    )
+    p.set_defaults(fn=cmd_ddl)
+
+    p = sub.add_parser("init", help="write demo JSON files to a directory")
+    p.add_argument("directory")
+    p.set_defaults(fn=cmd_init)
+
+    p = sub.add_parser("minimize", help="drop implied constraints")
+    p.add_argument("schema")
+    p.add_argument("-o", "--output")
+    p.set_defaults(fn=cmd_minimize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution guard
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Dependencies and constraints over relational schemas (Sections 2-3).
+
+Four constraint families appear in the paper's schema class and in the
+output of the merging technique:
+
+* key / functional dependencies (:mod:`repro.constraints.functional`);
+* inclusion dependencies, in particular *key-based* ones, i.e. referential
+  integrity constraints (:mod:`repro.constraints.inclusion`);
+* null constraints: null-existence, nulls-not-allowed,
+  null-synchronization sets, part-null and total-equality constraints
+  (:mod:`repro.constraints.nulls`);
+* the inference machinery tying them together
+  (:mod:`repro.constraints.inference`).
+
+:mod:`repro.constraints.checker` evaluates full database-state consistency,
+the semantics shared by the capacity verifier and the storage engine.
+"""
+
+from repro.constraints.functional import (
+    FunctionalDependency,
+    KeyDependency,
+    attribute_closure,
+    candidate_keys,
+    implies_fd,
+    is_bcnf,
+    is_superkey,
+    minimal_cover,
+)
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import (
+    NullConstraint,
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+    null_synchronization_set,
+    nulls_not_allowed,
+)
+from repro.constraints.checker import ConsistencyChecker, Violation
+
+__all__ = [
+    "FunctionalDependency",
+    "KeyDependency",
+    "attribute_closure",
+    "candidate_keys",
+    "implies_fd",
+    "is_bcnf",
+    "is_superkey",
+    "minimal_cover",
+    "InclusionDependency",
+    "NullConstraint",
+    "NullExistenceConstraint",
+    "PartNullConstraint",
+    "TotalEqualityConstraint",
+    "null_synchronization_set",
+    "nulls_not_allowed",
+    "ConsistencyChecker",
+    "Violation",
+]

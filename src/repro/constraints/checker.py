@@ -1,0 +1,124 @@
+"""Database-state consistency checking.
+
+A state ``r`` of a schema ``RS = (R, F u I u N)`` is *consistent* iff it
+satisfies every dependency and constraint of the schema (Section 2).  The
+checker evaluates all of them and reports structured violations; schema
+transformations (``Merge``/``Remove``), the information-capacity verifier,
+and the storage engine all share this one notion of consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.constraints.functional import KeyDependency
+from repro.relational.schema import RelationalSchema
+from repro.relational.state import DatabaseState
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One constraint violation: which constraint, where, and why."""
+
+    kind: str
+    scheme_name: str
+    constraint: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.constraint}: {self.detail}"
+
+
+class ConsistencyChecker:
+    """Evaluates database states against one relational schema."""
+
+    def __init__(self, schema: RelationalSchema):
+        self.schema = schema
+        # Key dependencies implied by the schemes' candidate keys are always
+        # in force, even when not listed in F explicitly.
+        self._implicit_keys: list[KeyDependency] = []
+        declared = {
+            (fd.scheme_name, fd.lhs, fd.rhs) for fd in schema.fds
+        }
+        for scheme in schema.schemes:
+            for key in sorted(scheme.candidate_keys, key=lambda k: [a.name for a in k]):
+                dep = KeyDependency(
+                    scheme.name,
+                    frozenset(a.name for a in key),
+                    frozenset(scheme.attribute_names),
+                )
+                if (dep.scheme_name, dep.lhs, dep.rhs) not in declared:
+                    self._implicit_keys.append(dep)
+
+    def iter_violations(self, state: DatabaseState) -> Iterator[Violation]:
+        """Yield every violation of the schema's constraints by ``state``."""
+        yield from self._structural_violations(state)
+        for fd in list(self.schema.fds) + self._implicit_keys:
+            if fd.scheme_name not in state:
+                continue
+            if not fd.is_satisfied_by(state[fd.scheme_name]):
+                yield Violation(
+                    "key-dependency",
+                    fd.scheme_name,
+                    str(fd),
+                    "two tuples agree on a total left-hand side but differ "
+                    "on the right-hand side",
+                )
+        for ind in self.schema.inds:
+            if ind.lhs_scheme not in state or ind.rhs_scheme not in state:
+                continue
+            if not ind.is_satisfied_by(state):
+                yield Violation(
+                    "inclusion-dependency",
+                    ind.lhs_scheme,
+                    str(ind),
+                    "total projection of the left side is not contained in "
+                    "the total projection of the right side",
+                )
+        for nc in self.schema.null_constraints:
+            if nc.scheme_name not in state:
+                continue
+            for t in state[nc.scheme_name]:
+                if not nc.holds_for(t):
+                    yield Violation(
+                        "null-constraint",
+                        nc.scheme_name,
+                        str(nc),
+                        f"violated by tuple {t!r}",
+                    )
+                    break
+
+    def _structural_violations(self, state: DatabaseState) -> Iterator[Violation]:
+        for scheme in self.schema.schemes:
+            if scheme.name not in state:
+                yield Violation(
+                    "structure",
+                    scheme.name,
+                    scheme.name,
+                    "state has no relation for this scheme",
+                )
+                continue
+            rel = state[scheme.name]
+            if set(rel.attribute_names) != set(scheme.attribute_names):
+                yield Violation(
+                    "structure",
+                    scheme.name,
+                    scheme.name,
+                    f"relation attributes {sorted(rel.attribute_names)} do "
+                    f"not match scheme attributes "
+                    f"{sorted(scheme.attribute_names)}",
+                )
+
+    def violations(self, state: DatabaseState) -> list[Violation]:
+        """All violations, as a list."""
+        return list(self.iter_violations(state))
+
+    def is_consistent(self, state: DatabaseState) -> bool:
+        """True iff ``state`` satisfies every constraint of the schema."""
+        return next(self.iter_violations(state), None) is None
+
+
+def is_consistent(state: DatabaseState, schema: RelationalSchema) -> bool:
+    """Module-level convenience wrapper over :class:`ConsistencyChecker`."""
+    return ConsistencyChecker(schema).is_consistent(state)

@@ -1,0 +1,153 @@
+"""Inference for null-existence and total-equality constraints (Section 3).
+
+The paper states two facts this module implements:
+
+* "Inference axioms for null-existence constraints have the form of the
+  inference axioms for functional dependencies" -- so implication of
+  ``Y |-> Z`` statements is attribute-closure computation, reusing the FD
+  machinery.
+* "Inference axioms for total-equality constraints are analogous to the
+  inference axioms for the equality constraints of [7]" (Klug) --
+  reflexivity, symmetry and transitivity of component-wise equality, which
+  reduces to a union-find over attribute names.
+
+It also provides the FD-with-equality closure used by the BCNF argument of
+Proposition 4.1: total-equality constraints let functional dependencies be
+rewritten along equated attributes, which is why the merged scheme's old
+key dependencies become redundant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.constraints.functional import (
+    FunctionalDependency,
+    attribute_closure,
+)
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    TotalEqualityConstraint,
+)
+
+
+def _as_fd(constraint: NullExistenceConstraint) -> FunctionalDependency:
+    """View a null-existence constraint as an FD for closure purposes."""
+    return FunctionalDependency(
+        constraint.scheme_name, constraint.lhs, constraint.rhs
+    )
+
+
+def null_existence_closure(
+    attrs: Iterable[str], constraints: Iterable[NullExistenceConstraint]
+) -> frozenset[str]:
+    """All attributes forced total when ``attrs`` are total.
+
+    Nulls-not-allowed constraints (empty left side) participate with a
+    vacuously-total antecedent: their right-hand sides are always in the
+    closure.
+    """
+    return attribute_closure(attrs, [_as_fd(c) for c in constraints])
+
+
+def implies_null_existence(
+    constraints: Iterable[NullExistenceConstraint],
+    candidate: NullExistenceConstraint,
+) -> bool:
+    """True iff ``constraints`` imply ``candidate`` (FD-style axioms)."""
+    relevant = [
+        c for c in constraints if c.scheme_name == candidate.scheme_name
+    ]
+    return candidate.rhs <= null_existence_closure(candidate.lhs, relevant)
+
+
+class EqualityClasses:
+    """Union-find over attribute names induced by total-equality
+    constraints (Klug-style equality closure)."""
+
+    def __init__(self, constraints: Iterable[TotalEqualityConstraint] = ()):
+        self._parent: dict[str, str] = {}
+        for c in constraints:
+            for a, b in zip(c.lhs, c.rhs):
+                self.equate(a, b)
+
+    def _find(self, a: str) -> str:
+        parent = self._parent.setdefault(a, a)
+        if parent != a:
+            root = self._find(parent)
+            self._parent[a] = root
+            return root
+        return a
+
+    def equate(self, a: str, b: str) -> None:
+        """Record ``a = b``."""
+        ra, rb = self._find(a), self._find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+    def equivalent(self, a: str, b: str) -> bool:
+        """True iff ``a`` and ``b`` are (transitively) equated."""
+        if a == b:
+            return True
+        return self._find(a) == self._find(b)
+
+    def class_of(self, a: str) -> frozenset[str]:
+        """The equivalence class of ``a`` among attributes seen so far."""
+        root = self._find(a)
+        return frozenset(
+            x for x in self._parent if self._find(x) == root
+        ) | {a}
+
+    def classes(self) -> tuple[frozenset[str], ...]:
+        """All non-singleton equivalence classes, deterministically ordered."""
+        groups: dict[str, set[str]] = {}
+        for a in self._parent:
+            groups.setdefault(self._find(a), set()).add(a)
+        out = [frozenset(g) for g in groups.values() if len(g) > 1]
+        return tuple(sorted(out, key=lambda g: sorted(g)))
+
+
+def implies_total_equality(
+    constraints: Iterable[TotalEqualityConstraint],
+    candidate: TotalEqualityConstraint,
+) -> bool:
+    """True iff the equality closure of ``constraints`` (same scheme)
+    equates every component pair of ``candidate``."""
+    classes = EqualityClasses(
+        c for c in constraints if c.scheme_name == candidate.scheme_name
+    )
+    return all(
+        classes.equivalent(a, b) for a, b in zip(candidate.lhs, candidate.rhs)
+    )
+
+
+def fds_with_equality(
+    fds: Sequence[FunctionalDependency],
+    equalities: Sequence[TotalEqualityConstraint],
+    scheme_name: str,
+) -> tuple[FunctionalDependency, ...]:
+    """Functional dependencies implied over ``scheme_name`` by ``fds``
+    together with total-equality constraints.
+
+    Each equated pair contributes the two FDs ``a -> b`` and ``b -> a``
+    (on total tuples, equal attributes determine one another), which is
+    exactly the strengthening the Proposition 4.1 BCNF argument relies on:
+    the old family keys become superkeys of the merged scheme.
+    """
+    derived: list[FunctionalDependency] = [
+        fd for fd in fds if fd.scheme_name == scheme_name
+    ]
+    classes = EqualityClasses(
+        c for c in equalities if c.scheme_name == scheme_name
+    )
+    for group in classes.classes():
+        members = sorted(group)
+        for a in members:
+            for b in members:
+                if a != b:
+                    derived.append(
+                        FunctionalDependency(
+                            scheme_name, frozenset({a}), frozenset({b})
+                        )
+                    )
+    return tuple(dict.fromkeys(derived))

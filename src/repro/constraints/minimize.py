@@ -1,0 +1,151 @@
+"""Constraint-set minimization.
+
+Merging can leave schemas with redundant constraints (the paper removes
+the grossly redundant ones in steps 2 and 4(c) of Definition 4.1 and
+argues the rest are implied).  This module removes *implied* constraints
+using the Section 3 inference machinery:
+
+* a null-existence constraint implied by the remaining null-existence
+  constraints (FD-style axioms) is dropped;
+* a total-equality constraint implied by the equality closure of the
+  remaining total-equality constraints is dropped;
+* an inclusion dependency implied by transitivity through other
+  inclusion dependencies (projection-compatible chains) is dropped.
+
+Minimization never changes the set of consistent states -- the property
+tests check exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.inference import (
+    implies_null_existence,
+    implies_total_equality,
+)
+from repro.constraints.nulls import (
+    NullConstraint,
+    NullExistenceConstraint,
+    TotalEqualityConstraint,
+)
+from repro.relational.schema import RelationalSchema
+
+
+def minimize_null_constraints(
+    constraints: Sequence[NullConstraint],
+) -> tuple[NullConstraint, ...]:
+    """Drop implied null-existence and total-equality constraints.
+
+    Part-null constraints are kept verbatim (they do not interact with
+    the other classes -- Section 3).  Greedy single-pass elimination in
+    deterministic order; the result implies the input.
+    """
+    existence = [
+        c for c in constraints if isinstance(c, NullExistenceConstraint)
+    ]
+    equality = [
+        c for c in constraints if isinstance(c, TotalEqualityConstraint)
+    ]
+    other = [
+        c
+        for c in constraints
+        if not isinstance(
+            c, (NullExistenceConstraint, TotalEqualityConstraint)
+        )
+    ]
+
+    kept_existence = list(dict.fromkeys(existence))
+    changed = True
+    while changed:
+        changed = False
+        for candidate in list(kept_existence):
+            rest = [c for c in kept_existence if c is not candidate]
+            if candidate.rhs <= candidate.lhs or implies_null_existence(
+                rest, candidate
+            ):
+                kept_existence = rest
+                changed = True
+                break
+
+    kept_equality = list(dict.fromkeys(equality))
+    changed = True
+    while changed:
+        changed = False
+        for candidate in list(kept_equality):
+            rest = [c for c in kept_equality if c is not candidate]
+            trivial = candidate.lhs == candidate.rhs
+            if trivial or implies_total_equality(rest, candidate):
+                kept_equality = rest
+                changed = True
+                break
+
+    ordered: list[NullConstraint] = []
+    for c in constraints:
+        if c in ordered:
+            continue
+        if c in kept_existence or c in kept_equality or c in other:
+            ordered.append(c)
+    return tuple(ordered)
+
+
+def _ind_implied(
+    candidate: InclusionDependency, rest: Sequence[InclusionDependency]
+) -> bool:
+    """Is ``candidate`` implied by a transitive chain through ``rest``?
+
+    Uses the projection-free fragment sufficient for key-based chains:
+    ``R[X] <= S[Y]`` and ``S[Y] <= T[Z]`` imply ``R[X] <= T[Z]``.
+    """
+    frontier = {(candidate.lhs_scheme, tuple(candidate.lhs_attrs))}
+    seen = set(frontier)
+    while frontier:
+        next_frontier = set()
+        for scheme, attrs in frontier:
+            for ind in rest:
+                if ind.lhs_scheme == scheme and tuple(ind.lhs_attrs) == attrs:
+                    target = (ind.rhs_scheme, tuple(ind.rhs_attrs))
+                    if target == (
+                        candidate.rhs_scheme,
+                        tuple(candidate.rhs_attrs),
+                    ):
+                        return True
+                    if target not in seen:
+                        seen.add(target)
+                        next_frontier.add(target)
+        frontier = next_frontier
+    return False
+
+
+def minimize_inds(
+    inds: Sequence[InclusionDependency],
+) -> tuple[InclusionDependency, ...]:
+    """Drop inclusion dependencies implied by transitive chains (and
+    trivial self-dependencies)."""
+    kept = list(dict.fromkeys(inds))
+    changed = True
+    while changed:
+        changed = False
+        for candidate in list(kept):
+            if (
+                candidate.lhs_scheme == candidate.rhs_scheme
+                and candidate.lhs_attrs == candidate.rhs_attrs
+            ):
+                kept = [c for c in kept if c is not candidate]
+                changed = True
+                break
+            rest = [c for c in kept if c is not candidate]
+            if _ind_implied(candidate, rest):
+                kept = rest
+                changed = True
+                break
+    return tuple(kept)
+
+
+def minimize_schema(schema: RelationalSchema) -> RelationalSchema:
+    """A schema with implied constraints removed (same consistent states)."""
+    return schema.with_constraints(
+        inds=minimize_inds(schema.inds),
+        null_constraints=minimize_null_constraints(schema.null_constraints),
+    )

@@ -1,0 +1,90 @@
+"""The paper's primary contribution: BCNF-preserving relation merging.
+
+* :mod:`repro.core.keyrelation` -- key-relations (Definition 3.1) and the
+  ``Refkey*`` criterion of Proposition 3.1;
+* :mod:`repro.core.merge` -- the ``Merge`` procedure (Definition 4.1) with
+  its state mappings eta / eta';
+* :mod:`repro.core.remove` -- redundant-attribute removal
+  (Definitions 4.2/4.3) with state mappings mu / mu';
+* :mod:`repro.core.capacity` -- the information-capacity equivalence test
+  of Definition 2.1, applied empirically;
+* :mod:`repro.core.conditions` -- the DBMS-compatibility conditions of
+  Propositions 5.1 and 5.2;
+* :mod:`repro.core.planner` -- schema-level planning: find mergeable
+  families, apply ``Merge`` + ``Remove`` end to end.
+"""
+
+from repro.core.keyrelation import (
+    MergeFamily,
+    find_key_relation,
+    refkey,
+    refkey_star,
+    synthesize_key_relation,
+)
+from repro.core.merge import Merge, MergeError, MergeResult, MergedSchemeInfo
+from repro.core.remove import (
+    Remove,
+    RemoveResult,
+    removable_sets,
+    remove_all,
+)
+from repro.core.capacity import (
+    ComposedMapping,
+    EquivalenceReport,
+    IdentityMapping,
+    StateMapping,
+    verify_information_capacity,
+)
+from repro.core.conditions import (
+    prop51_key_based_inds_only,
+    prop51_keys_not_null,
+    prop52_nulls_not_allowed_only,
+)
+from repro.core.planner import MergePlanner, MergeStrategy, PlanResult
+from repro.core.script import (
+    MigrationScript,
+    ReplayResult,
+    ScriptReplayError,
+    record_plan,
+)
+from repro.core.verify import (
+    MergeInvariantError,
+    assert_merge_invariants,
+    check_bcnf_preserved,
+    check_capacity_preserved,
+)
+
+__all__ = [
+    "MergeFamily",
+    "find_key_relation",
+    "refkey",
+    "refkey_star",
+    "synthesize_key_relation",
+    "Merge",
+    "MergeError",
+    "MergeResult",
+    "MergedSchemeInfo",
+    "Remove",
+    "RemoveResult",
+    "removable_sets",
+    "remove_all",
+    "ComposedMapping",
+    "EquivalenceReport",
+    "IdentityMapping",
+    "StateMapping",
+    "verify_information_capacity",
+    "prop51_key_based_inds_only",
+    "prop51_keys_not_null",
+    "prop52_nulls_not_allowed_only",
+    "MergePlanner",
+    "MergeStrategy",
+    "PlanResult",
+    "MigrationScript",
+    "ReplayResult",
+    "ScriptReplayError",
+    "record_plan",
+    "MergeInvariantError",
+    "assert_merge_invariants",
+    "check_bcnf_preserved",
+    "check_capacity_preserved",
+]

@@ -1,0 +1,232 @@
+"""Information-capacity equivalence (Definition 2.1), checked empirically.
+
+Two relational schemas ``RS`` and ``RS'`` have *equivalent information
+capacity* iff there are total mappings ``phi`` / ``phi'`` between their
+consistent database states such that both compositions are the identity
+and both mappings preserve data values.
+
+``Merge`` and ``Remove`` come with constructive mappings (eta/eta' and
+mu/mu'); this module represents such mappings as first-class objects and
+verifies the four conditions of Definition 2.1 over a supplied sample of
+consistent states.  The propositions guarantee the conditions hold for
+*every* state; the verifier is how the reproduction demonstrates them at
+scale (benchmarks ``prop41``/``prop42``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.relational.schema import RelationalSchema
+from repro.relational.state import DatabaseState
+
+
+class StateMapping:
+    """A total function from database states to database states."""
+
+    #: Human-readable description, e.g. ``"eta: outer-equi-join COURSE'"``.
+    description: str = "state mapping"
+
+    def apply(self, state: DatabaseState) -> DatabaseState:  # pragma: no cover
+        """Apply the mapping to one database state."""
+        raise NotImplementedError
+
+    def __call__(self, state: DatabaseState) -> DatabaseState:
+        return self.apply(state)
+
+    def then(self, other: "StateMapping") -> "StateMapping":
+        """Composition ``other . self`` (apply ``self`` first)."""
+        return ComposedMapping((self, other))
+
+
+@dataclass(frozen=True)
+class IdentityMapping(StateMapping):
+    """The identity state mapping."""
+
+    description: str = "identity"
+
+    def apply(self, state: DatabaseState) -> DatabaseState:
+        """Apply the mapping to one database state."""
+        return state
+
+
+@dataclass(frozen=True)
+class ComposedMapping(StateMapping):
+    """Left-to-right composition of state mappings."""
+
+    stages: tuple[StateMapping, ...]
+
+    @property
+    def description(self) -> str:  # type: ignore[override]
+        """Human-readable description of the composed stages."""
+        return " ; ".join(s.description for s in self.stages)
+
+    def apply(self, state: DatabaseState) -> DatabaseState:
+        """Apply the mapping to one database state."""
+        for stage in self.stages:
+            state = stage.apply(state)
+        return state
+
+    def then(self, other: StateMapping) -> StateMapping:
+        """Composition ``other . self`` (apply ``self`` first)."""
+        if isinstance(other, ComposedMapping):
+            return ComposedMapping(self.stages + other.stages)
+        return ComposedMapping(self.stages + (other,))
+
+
+@dataclass(frozen=True)
+class FunctionMapping(StateMapping):
+    """Wrap a plain function as a :class:`StateMapping`."""
+
+    fn: Callable[[DatabaseState], DatabaseState]
+    description: str = "function mapping"
+
+    def apply(self, state: DatabaseState) -> DatabaseState:
+        """Apply the mapping to one database state."""
+        return self.fn(state)
+
+
+@dataclass
+class EquivalenceFailure:
+    """One failed Definition 2.1 condition on one sampled state."""
+
+    direction: str
+    condition: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.direction}/{self.condition}: {self.detail}"
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of an empirical information-capacity check."""
+
+    states_checked_forward: int = 0
+    states_checked_backward: int = 0
+    failures: list[EquivalenceFailure] = field(default_factory=list)
+
+    @property
+    def equivalent(self) -> bool:
+        """True iff every sampled state passed every condition."""
+        return not self.failures
+
+    def summary(self) -> str:
+        """One-line verdict with check counts."""
+        status = "EQUIVALENT" if self.equivalent else "NOT EQUIVALENT"
+        return (
+            f"{status}: {self.states_checked_forward} forward + "
+            f"{self.states_checked_backward} backward states checked, "
+            f"{len(self.failures)} failure(s)"
+        )
+
+
+def _check_direction(
+    report: EquivalenceReport,
+    direction: str,
+    source_schema: RelationalSchema,
+    target_schema: RelationalSchema,
+    forward: StateMapping,
+    backward: StateMapping,
+    states: Iterable[DatabaseState],
+) -> int:
+    source_checker = ConsistencyChecker(source_schema)
+    target_checker = ConsistencyChecker(target_schema)
+    count = 0
+    for state in states:
+        count += 1
+        source_violations = source_checker.violations(state)
+        if source_violations:
+            report.failures.append(
+                EquivalenceFailure(
+                    direction,
+                    "precondition",
+                    "sampled state is not consistent with its own schema: "
+                    + "; ".join(map(str, source_violations[:3])),
+                )
+            )
+            continue
+        try:
+            mapped = forward.apply(state)
+        except Exception as exc:  # a mapping is total on consistent states
+            report.failures.append(
+                EquivalenceFailure(
+                    direction,
+                    "totality",
+                    f"{forward.description} raised on a consistent state: "
+                    f"{exc!r}",
+                )
+            )
+            continue
+        # Condition 1/2: phi maps consistent states to consistent states.
+        target_violations = target_checker.violations(mapped)
+        if target_violations:
+            report.failures.append(
+                EquivalenceFailure(
+                    direction,
+                    "consistency",
+                    f"{forward.description} produced an inconsistent state: "
+                    + "; ".join(map(str, target_violations[:3])),
+                )
+            )
+        # Condition 3: the round trip is the identity.
+        try:
+            round_trip = backward.apply(mapped)
+        except Exception as exc:
+            report.failures.append(
+                EquivalenceFailure(
+                    direction,
+                    "totality",
+                    f"{backward.description} raised on a mapped state: "
+                    f"{exc!r}",
+                )
+            )
+            continue
+        if round_trip != state:
+            report.failures.append(
+                EquivalenceFailure(
+                    direction,
+                    "identity",
+                    f"{backward.description} . {forward.description} is not "
+                    "the identity on a sampled state",
+                )
+            )
+        # Condition 4: phi preserves data values (values of phi(r) are
+        # included in r).
+        if not mapped.data_values() <= state.data_values():
+            extra = mapped.data_values() - state.data_values()
+            report.failures.append(
+                EquivalenceFailure(
+                    direction,
+                    "value-preservation",
+                    f"{forward.description} introduced values not present "
+                    f"in the source state: {sorted(map(repr, extra))[:5]}",
+                )
+            )
+    return count
+
+
+def verify_information_capacity(
+    schema_a: RelationalSchema,
+    schema_b: RelationalSchema,
+    phi: StateMapping,
+    phi_prime: StateMapping,
+    states_a: Sequence[DatabaseState] = (),
+    states_b: Sequence[DatabaseState] = (),
+) -> EquivalenceReport:
+    """Check Definition 2.1 empirically on sampled consistent states.
+
+    ``states_a`` are consistent states of ``schema_a`` (checked through
+    ``phi`` then back through ``phi_prime``); ``states_b`` symmetrically.
+    Returns a report; ``report.equivalent`` is the verdict.
+    """
+    report = EquivalenceReport()
+    report.states_checked_forward = _check_direction(
+        report, "forward", schema_a, schema_b, phi, phi_prime, states_a
+    )
+    report.states_checked_backward = _check_direction(
+        report, "backward", schema_b, schema_a, phi_prime, phi, states_b
+    )
+    return report

@@ -1,0 +1,227 @@
+"""Key-relations (Definition 3.1) and the Refkey* criterion (Prop. 3.1).
+
+Merging a family ``R-bar`` of relation-schemes with pairwise compatible
+primary keys outer-equi-joins their relations with a *key-relation*: a
+relation whose key projection equals the union of all the family key
+projections in every consistent state.
+
+Proposition 3.1 characterises when a family member ``R0`` is itself a
+key-relation: exactly when the inclusion dependencies of the schema chain
+every other family member's primary key (transitively) into ``R0``'s --
+``R-bar = {R0} u Refkey*(R0, R-bar)``.  When no member qualifies, a fresh
+single-purpose key-relation ``Rk(Kk)`` is synthesised and populated with
+the union of the renamed key projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.relational.algebra import project, rename, union
+from repro.relational.attributes import (
+    Attribute,
+    Correspondence,
+    attribute_sets_compatible,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+
+
+@dataclass(frozen=True)
+class MergeFamily:
+    """A set of relation-schemes targeted for merging.
+
+    ``members`` keeps user order (the merge joins in this order);
+    construction validates pairwise compatible primary keys, the
+    precondition of Definition 4.1.
+    """
+
+    schema: RelationalSchema
+    members: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 2:
+            raise ValueError("a merge family needs at least two schemes")
+        if len(set(self.members)) != len(self.members):
+            raise ValueError("duplicate scheme names in merge family")
+        schemes = [self.schema.scheme(name) for name in self.members]
+        first = schemes[0]
+        for other in schemes[1:]:
+            if not attribute_sets_compatible(
+                first.primary_key, other.primary_key
+            ):
+                raise ValueError(
+                    f"primary keys of {first.name} and {other.name} are not "
+                    "compatible; merging requires pairwise compatible "
+                    "primary keys (Section 3)"
+                )
+
+    def schemes(self) -> tuple[RelationScheme, ...]:
+        """The member relation-schemes, in family order."""
+        return tuple(self.schema.scheme(name) for name in self.members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.members
+
+
+def refkey(
+    schema: RelationalSchema, base: str, family: Iterable[str]
+) -> frozenset[str]:
+    """``Refkey(R0, R-bar)``: family members whose *primary key* is
+    declared included in ``R0``'s *primary key* by an IND of the schema."""
+    base_scheme = schema.scheme(base)
+    base_key = base_scheme.key_names
+    members = set(family)
+    found = set()
+    for ind in schema.inds:
+        if ind.lhs_scheme not in members or ind.lhs_scheme == base:
+            continue
+        if ind.rhs_scheme != base or tuple(ind.rhs_attrs) != base_key:
+            continue
+        lhs_scheme = schema.scheme(ind.lhs_scheme)
+        if tuple(ind.lhs_attrs) == lhs_scheme.key_names:
+            found.add(ind.lhs_scheme)
+    return frozenset(found)
+
+
+def refkey_star(
+    schema: RelationalSchema, base: str, family: Iterable[str]
+) -> frozenset[str]:
+    """``Refkey*(R0, R-bar)``: the transitive closure of :func:`refkey`."""
+    members = set(family)
+    closed: set[str] = set()
+    frontier = [base]
+    while frontier:
+        current = frontier.pop()
+        for name in refkey(schema, current, members):
+            if name not in closed:
+                closed.add(name)
+                frontier.append(name)
+    return frozenset(closed - {base})
+
+
+def find_key_relation(family: MergeFamily) -> str | None:
+    """The family member that is a key-relation per Proposition 3.1, if any.
+
+    Returns the first member (in family order) with
+    ``R-bar = {R0} u Refkey*(R0, R-bar)``; ``None`` when no member
+    qualifies and a key-relation must be synthesised.
+    """
+    others = set(family.members)
+    for candidate in family.members:
+        rest = others - {candidate}
+        if refkey_star(family.schema, candidate, family.members) == rest:
+            return candidate
+    return None
+
+
+def _fresh_scheme_name(schema: RelationalSchema, base: str) -> str:
+    name = base
+    while schema.has_scheme(name):
+        name += "_K"
+    return name
+
+
+def _fresh_attribute_names(
+    schema: RelationalSchema, bases: Sequence[str]
+) -> list[str]:
+    taken = {
+        a.name for scheme in schema.schemes for a in scheme.attributes
+    }
+    out = []
+    for base in bases:
+        name = base
+        while name in taken:
+            name += "'"
+        taken.add(name)
+        out.append(name)
+    return out
+
+
+def synthesize_key_relation(
+    family: MergeFamily, name: str | None = None
+) -> RelationScheme:
+    """A fresh key-relation scheme ``Rk(Kk)`` for a family with no member
+    key-relation.
+
+    ``Kk`` gets fresh attribute names (derived from the first member's key
+    names, primed until unique) compatible domain-wise with every family
+    key; the relation it denotes is computed by
+    :func:`key_relation_contents`.
+    """
+    first = family.schemes()[0]
+    scheme_name = _fresh_scheme_name(
+        family.schema, name or ("KEY_" + "_".join(family.members))
+    )
+
+    def base_name(attr: Attribute) -> str:
+        # Strip the owning scheme's dotted prefix so the fresh key reads
+        # like the paper's CN of Figure 2 (from O.CN / T.CN).
+        head, _, tail = attr.name.partition(".")
+        return tail or attr.name
+
+    attr_names = _fresh_attribute_names(
+        family.schema,
+        [f"{scheme_name}.{base_name(a)}" for a in first.primary_key],
+    )
+    attrs = tuple(
+        Attribute(new_name, a.domain)
+        for new_name, a in zip(attr_names, first.primary_key)
+    )
+    return RelationScheme(scheme_name, attrs, attrs)
+
+
+def key_relation_contents(
+    family: MergeFamily,
+    key_scheme: RelationScheme,
+    state: DatabaseState,
+) -> Relation:
+    """``rk = U_i rename(pi_Ki(ri), Ki <- Kk)`` (Definition 3.1 /
+    Definition 4.1 for a synthesised key-relation)."""
+    result = Relation.empty(key_scheme.primary_key)
+    for scheme in family.schemes():
+        projected = project(state[scheme.name], scheme.primary_key)
+        renamed = rename(
+            projected,
+            Correspondence(scheme.primary_key, key_scheme.primary_key),
+        )
+        result = union(result, renamed)
+    return result
+
+
+def key_relation_condition_holds(
+    family: MergeFamily, candidate: str, state: DatabaseState
+) -> bool:
+    """Check Definition 3.1 condition (ii) directly on one state:
+    ``pi_Kk(rk) = U_i rename(pi_Ki(ri), Ki <- Kk)``.
+
+    Proposition 3.1 says the ``Refkey*`` criterion makes this hold on
+    *every* consistent state; this direct check is what the Prop 3.1 bench
+    validates the criterion against.
+    """
+    key_scheme = family.schema.scheme(candidate)
+    expected = key_relation_contents(family, key_scheme, state)
+    actual = project(state[candidate], key_scheme.primary_key)
+    return set(actual.tuples) == set(expected.tuples)
+
+
+def ind_for_synthesized(
+    family: MergeFamily, key_scheme: RelationScheme
+) -> tuple[InclusionDependency, ...]:
+    """Referential-integrity constraints tying each family key into a
+    synthesised key-relation (these document the key-relation's content
+    condition at the dependency level)."""
+    out = []
+    for scheme in family.schemes():
+        out.append(
+            InclusionDependency(
+                scheme.name,
+                scheme.key_names,
+                key_scheme.name,
+                key_scheme.key_names,
+            )
+        )
+    return tuple(out)

@@ -1,0 +1,569 @@
+"""The ``Merge`` procedure (Definition 4.1).
+
+``Merge(R-bar)`` replaces a family of relation-schemes with pairwise
+compatible primary keys by a single relation-scheme ``Rm``, rewrites the
+key dependencies, inclusion dependencies and null constraints (steps 2-4
+of Definition 4.1), and produces the two state mappings:
+
+* ``eta``  -- outer-equi-join the key-relation with every family relation
+  (forward mapping into the merged schema);
+* ``eta'`` -- total-project the merged relation back onto each original
+  attribute set (backward mapping).
+
+Proposition 4.1 states -- and :mod:`repro.core.capacity` verifies -- that
+the pair is an information-capacity equivalence and that the output schema
+stays in BCNF.
+
+Extension beyond the paper's simplifying assumption
+---------------------------------------------------
+Definition 4.1 assumes every attribute of the merged schemes is covered by
+a nulls-not-allowed constraint.  This implementation generalises the
+constraint generation to schemes with *optional* (nullable) non-key
+attributes: null-synchronization is emitted over the scheme's required
+attributes, and every optional attribute ``A`` gets the null-existence
+constraint ``A |-> required(Xi)``.  With all attributes required this
+degenerates to the paper's exact rules; with optional attributes it yields
+precisely the constraints the paper argues for informally (e.g. the
+``DATE |-> NR`` constraint of Figure 1(iii)).  Pass ``strict=True`` to
+enforce the paper's assumption instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.constraints.functional import KeyDependency
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import (
+    NullConstraint,
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+    null_synchronization_set,
+    nulls_not_allowed,
+)
+from repro.core.capacity import StateMapping
+from repro.core.keyrelation import (
+    MergeFamily,
+    find_key_relation,
+    key_relation_contents,
+    synthesize_key_relation,
+)
+from repro.relational.algebra import outer_equi_join
+from repro.relational.attributes import Attribute, Correspondence
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+
+
+class MergeError(ValueError):
+    """Raised when a schema/family violates the preconditions of Merge."""
+
+
+@dataclass(frozen=True)
+class MergedSchemeInfo:
+    """Provenance metadata for a merged relation-scheme.
+
+    ``Remove`` (Definition 4.2/4.3) and the reconstruction mapping need to
+    know which merged attributes came from which original scheme; this
+    object carries that bookkeeping and is updated as attributes are
+    removed.
+
+    Attributes
+    ----------
+    merged_name:
+        Name of the merged relation-scheme ``Rm``.
+    family:
+        Names of the original relation-schemes, in merge order.
+    key_relation:
+        Name of the key-relation used (a family member, or the synthesised
+        scheme's name when ``synthesized``).
+    synthesized:
+        True when no family member was a key-relation and a fresh ``Rk``
+        was created (Definition 4.1's ``Xk = Kk`` case).
+    km:
+        Attribute names of the merged primary key ``Km``, in order.
+    family_attrs:
+        Current attribute names of each family scheme inside ``Rm``
+        (``Remove`` shrinks these).
+    family_keys:
+        Original primary-key attribute names ``Ki`` of each family scheme.
+    required:
+        Per family scheme, the attributes covered by nulls-not-allowed
+        constraints in the source schema (always includes the key).
+    """
+
+    merged_name: str
+    family: tuple[str, ...]
+    key_relation: str
+    synthesized: bool
+    km: tuple[str, ...]
+    family_attrs: dict[str, tuple[str, ...]]
+    family_keys: dict[str, tuple[str, ...]]
+    required: dict[str, tuple[str, ...]]
+
+    def required_remaining(self, member: str) -> tuple[str, ...]:
+        """Required attributes of ``member`` still present in ``Rm``."""
+        present = set(self.family_attrs[member])
+        return tuple(a for a in self.required[member] if a in present)
+
+    def without_attributes(self, member: str, removed: Iterable[str]) -> "MergedSchemeInfo":
+        """Provenance after ``Remove`` dropped some of ``member``'s
+        attributes."""
+        gone = set(removed)
+        attrs = dict(self.family_attrs)
+        attrs[member] = tuple(a for a in attrs[member] if a not in gone)
+        return replace(self, family_attrs=attrs)
+
+
+@dataclass(frozen=True)
+class MergeStateMapping(StateMapping):
+    """``eta``: the forward state mapping of Definition 4.1.
+
+    Identity on relations outside the family; the merged relation is the
+    outer-equi-join of the key-relation with every other family relation
+    on ``Km = Ki``.
+    """
+
+    source_schema: RelationalSchema
+    merged_scheme: RelationScheme
+    info: MergedSchemeInfo
+
+    @property
+    def description(self) -> str:  # type: ignore[override]
+        """Mapping label used in reports."""
+        return f"eta[{self.info.merged_name}]"
+
+    def apply(self, state: DatabaseState) -> DatabaseState:
+        """Apply the mapping to one database state."""
+        family = MergeFamily(self.source_schema, self.info.family)
+        if self.info.synthesized:
+            key_attrs = tuple(
+                self.merged_scheme.attribute(name) for name in self.info.km
+            )
+            key_scheme = RelationScheme(
+                self.info.key_relation, key_attrs, key_attrs
+            )
+            merged = key_relation_contents(family, key_scheme, state)
+            join_members = self.info.family
+        else:
+            key_scheme = self.source_schema.scheme(self.info.key_relation)
+            merged = state[self.info.key_relation]
+            join_members = tuple(
+                m for m in self.info.family if m != self.info.key_relation
+            )
+        km_attrs = [merged.attribute(name) for name in self.info.km]
+        for member in join_members:
+            member_scheme = self.source_schema.scheme(member)
+            on = Correspondence(
+                tuple(km_attrs), tuple(member_scheme.primary_key)
+            )
+            merged = outer_equi_join(merged, state[member], on)
+        merged = Relation(self.merged_scheme.attributes, merged.tuples)
+        relations = {
+            name: rel
+            for name, rel in state.items()
+            if name not in self.info.family
+        }
+        relations[self.info.merged_name] = merged
+        return DatabaseState(relations)
+
+
+@dataclass(frozen=True)
+class DecomposeStateMapping(StateMapping):
+    """``eta'``: reconstruct every original relation by (total) projection.
+
+    A family tuple is *present* in a merged tuple exactly when the
+    scheme's required attributes are total (with the paper's all-required
+    assumption this is the total projection ``pi!_{Xi}(rm)``); present
+    rows are projected on the scheme's attribute set, optional nulls
+    preserved.
+    """
+
+    source_schema: RelationalSchema
+    info: MergedSchemeInfo
+
+    @property
+    def description(self) -> str:  # type: ignore[override]
+        """Mapping label used in reports."""
+        return f"eta'[{self.info.merged_name}]"
+
+    def apply(self, state: DatabaseState) -> DatabaseState:
+        """Apply the mapping to one database state."""
+        merged = state[self.info.merged_name]
+        relations = {
+            name: rel
+            for name, rel in state.items()
+            if name != self.info.merged_name
+        }
+        for member in self.info.family:
+            scheme = self.source_schema.scheme(member)
+            required = self.info.required[member]
+            names = scheme.attribute_names
+            rows = (
+                t.subtuple(names)
+                for t in merged
+                if t.is_total_on(required)
+            )
+            relations[member] = Relation(scheme.attributes, rows)
+        return DatabaseState(relations)
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Everything ``Merge`` produces: the new schema, the merged scheme's
+    provenance, and the two state mappings of the equivalence."""
+
+    source_schema: RelationalSchema
+    schema: RelationalSchema
+    info: MergedSchemeInfo
+    eta: StateMapping
+    eta_prime: StateMapping
+
+    @property
+    def merged_scheme(self) -> RelationScheme:
+        """The merged relation-scheme ``Rm`` in the output schema."""
+        return self.schema.scheme(self.info.merged_name)
+
+
+def _required_attributes(
+    schema: RelationalSchema, scheme: RelationScheme
+) -> tuple[str, ...]:
+    """Attributes of ``scheme`` covered by nulls-not-allowed constraints,
+    always including the primary key (entity identifiers are non-null by
+    the EER translation invariant, Section 5.2)."""
+    covered = set(scheme.key_names)
+    for constraint in schema.null_constraints_of(scheme.name):
+        if (
+            isinstance(constraint, NullExistenceConstraint)
+            and constraint.is_nulls_not_allowed()
+        ):
+            covered |= constraint.rhs
+    return tuple(a for a in scheme.attribute_names if a in covered)
+
+
+def _validate_family_constraints(
+    schema: RelationalSchema, family: MergeFamily, strict: bool
+) -> None:
+    for scheme in family.schemes():
+        for fd in schema.fds_of(scheme.name):
+            candidate_names = {
+                frozenset(a.name for a in key) for key in scheme.candidate_keys
+            }
+            if frozenset(fd.lhs) not in candidate_names:
+                raise MergeError(
+                    f"{scheme.name} carries a non-key functional dependency "
+                    f"({fd}); Merge is defined for schemas whose F consists "
+                    "of key dependencies"
+                )
+        for constraint in schema.null_constraints_of(scheme.name):
+            is_nna = (
+                isinstance(constraint, NullExistenceConstraint)
+                and constraint.is_nulls_not_allowed()
+            )
+            if not is_nna:
+                raise MergeError(
+                    f"{scheme.name} carries a general null constraint "
+                    f"({constraint}); Merge assumes family schemes carry "
+                    "only nulls-not-allowed constraints"
+                )
+        if strict:
+            required = set(_required_attributes(schema, scheme))
+            optional = set(scheme.attribute_names) - required
+            if optional:
+                raise MergeError(
+                    f"strict mode: attributes {sorted(optional)} of "
+                    f"{scheme.name} allow nulls, violating the simplifying "
+                    "assumption of Definition 4.1"
+                )
+
+
+def _unique_scheme_name(
+    schema: RelationalSchema, family: MergeFamily, base: str
+) -> str:
+    taken = set(schema.scheme_names) - set(family.members)
+    name = base
+    while name in taken:
+        name += "'"
+    return name
+
+
+class Merge:
+    """``Merge(R-bar)`` applied to one relational schema (Definition 4.1).
+
+    Parameters
+    ----------
+    schema:
+        The source schema ``RS = (R, F u I u N)``.
+    members:
+        Names of the relation-schemes to merge (the family ``R-bar``).
+    merged_name:
+        Name for ``Rm``; defaults to the key-relation's name primed
+        (``COURSE`` -> ``COURSE'``), matching the paper's figures.
+    key_relation:
+        Force a specific family member as key-relation; by default the
+        Proposition 3.1 criterion selects one, and a fresh key-relation is
+        synthesised when none qualifies.
+    strict:
+        Enforce the paper's all-attributes-non-null assumption instead of
+        the generalised optional-attribute handling.
+    """
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        members: Sequence[str],
+        merged_name: str | None = None,
+        key_relation: str | None = None,
+        strict: bool = False,
+    ):
+        self.schema = schema
+        self.family = MergeFamily(schema, tuple(members))
+        self.merged_name = merged_name
+        self.key_relation = key_relation
+        self.strict = strict
+
+    def apply(self) -> MergeResult:
+        """Run the procedure; returns the new schema and state mappings."""
+        schema, family = self.schema, self.family
+        _validate_family_constraints(schema, family, self.strict)
+
+        detected = find_key_relation(family)
+        if self.key_relation is not None:
+            if self.key_relation not in family.members:
+                raise MergeError(
+                    f"forced key-relation {self.key_relation!r} is not a "
+                    "family member"
+                )
+            if detected != self.key_relation and not _qualifies(
+                family, self.key_relation
+            ):
+                raise MergeError(
+                    f"{self.key_relation!r} does not satisfy the "
+                    "Proposition 3.1 key-relation criterion for this family"
+                )
+            detected = self.key_relation
+
+        synthesized = detected is None
+        if synthesized:
+            key_scheme = synthesize_key_relation(family)
+        else:
+            key_scheme = schema.scheme(detected)
+
+        merged_name = _unique_scheme_name(
+            schema, family, self.merged_name or key_scheme.name + "'"
+        )
+
+        # Step 1: Rm(Xm) with Km := Kk and Xm := Xk u U_i Xi.
+        attrs: list[Attribute] = list(key_scheme.attributes)
+        for member in family.members:
+            if member == key_scheme.name:
+                continue
+            attrs.extend(schema.scheme(member).attributes)
+        candidate_keys = set()
+        for member_scheme in family.schemes():
+            candidate_keys.update(member_scheme.candidate_keys)
+        if synthesized:
+            candidate_keys.add(tuple(key_scheme.primary_key))
+        merged_scheme = RelationScheme(
+            merged_name,
+            tuple(attrs),
+            tuple(key_scheme.primary_key),
+            frozenset(candidate_keys),
+        )
+
+        info = self._build_info(key_scheme, merged_name, synthesized)
+        fds = self._rewrite_fds(merged_scheme)
+        inds = self._rewrite_inds(merged_name, info)
+        null_constraints = self._generate_null_constraints(
+            key_scheme, merged_name, synthesized, info
+        )
+
+        new_schema = schema.replacing_schemes(
+            removed=family.members,
+            added=[merged_scheme],
+            fds=fds,
+            inds=inds,
+            null_constraints=null_constraints,
+        )
+        eta = MergeStateMapping(schema, merged_scheme, info)
+        eta_prime = DecomposeStateMapping(schema, info)
+        return MergeResult(schema, new_schema, info, eta, eta_prime)
+
+    # -- pieces of Definition 4.1 ------------------------------------------
+
+    def _build_info(
+        self,
+        key_scheme: RelationScheme,
+        merged_name: str,
+        synthesized: bool,
+    ) -> MergedSchemeInfo:
+        schema, family = self.schema, self.family
+        family_attrs = {
+            m: schema.scheme(m).attribute_names for m in family.members
+        }
+        family_keys = {m: schema.scheme(m).key_names for m in family.members}
+        required = {
+            m: _required_attributes(schema, schema.scheme(m))
+            for m in family.members
+        }
+        return MergedSchemeInfo(
+            merged_name=merged_name,
+            family=family.members,
+            key_relation=key_scheme.name,
+            synthesized=synthesized,
+            km=key_scheme.key_names,
+            family_attrs=family_attrs,
+            family_keys=family_keys,
+            required=required,
+        )
+
+    def _rewrite_fds(
+        self, merged_scheme: RelationScheme
+    ) -> tuple[KeyDependency, ...]:
+        """Step 2: family key dependencies are replaced by
+        ``Rm: Km -> Xm``."""
+        family = set(self.family.members)
+        kept = [fd for fd in self.schema.fds if fd.scheme_name not in family]
+        kept.append(KeyDependency.of_scheme(merged_scheme))
+        return tuple(kept)
+
+    def _rewrite_inds(
+        self, merged_name: str, info: MergedSchemeInfo
+    ) -> tuple[InclusionDependency, ...]:
+        """Step 4: (a) rename family schemes to ``Rm``; (b) rewrite the
+        right side of internal dependencies from ``Ki`` to ``Km``;
+        (c) drop internal dependencies whose left side is a family primary
+        key (they are implied by the total-equality constraints)."""
+        family = set(info.family)
+        family_pk_tuples = {info.family_keys[m] for m in info.family}
+        km = info.km
+        out: list[InclusionDependency] = []
+        for ind in self.schema.inds:
+            rewritten = ind
+            if rewritten.lhs_scheme in family:
+                rewritten = InclusionDependency(
+                    merged_name,
+                    rewritten.lhs_attrs,
+                    rewritten.rhs_scheme,
+                    rewritten.rhs_attrs,
+                )
+            if rewritten.rhs_scheme in family:
+                rewritten = InclusionDependency(
+                    rewritten.lhs_scheme,
+                    rewritten.lhs_attrs,
+                    merged_name,
+                    rewritten.rhs_attrs,
+                )
+            if rewritten.is_internal() and rewritten.lhs_scheme == merged_name:
+                # Step 4(b): internal right sides were family primary keys
+                # (the schema class has key-based dependencies only).
+                if rewritten.rhs_attrs in family_pk_tuples:
+                    rewritten = rewritten.with_rhs_attrs(km)
+                # Step 4(c): a family primary key included in Km is implied
+                # by the total-equality constraint Km =! Ki.
+                if (
+                    rewritten.lhs_attrs in family_pk_tuples
+                    and rewritten.rhs_attrs == km
+                ):
+                    continue
+            if rewritten not in out:
+                out.append(rewritten)
+        return tuple(out)
+
+    def _generate_null_constraints(
+        self,
+        key_scheme: RelationScheme,
+        merged_name: str,
+        synthesized: bool,
+        info: MergedSchemeInfo,
+    ) -> tuple[NullConstraint, ...]:
+        """Step 3: the null constraints of the merged scheme."""
+        schema, family = self.schema, self.family
+        family_names = set(family.members)
+        out: list[NullConstraint] = [
+            c
+            for c in schema.null_constraints
+            if c.scheme_name not in family_names
+        ]
+
+        # 3(a): nulls-not-allowed on the key-relation's attributes.
+        if synthesized:
+            key_required: tuple[str, ...] = key_scheme.key_names
+        else:
+            key_required = info.required[key_scheme.name]
+        out.append(nulls_not_allowed(merged_name, key_required))
+        # Optional key-relation attributes keep plain nullability: the
+        # key-relation's rows appear in every merged tuple, so no
+        # synchronization is needed for them.
+
+        # 3(b): total-equality Km =! Ki for every member whose key is not Km.
+        for member in family.members:
+            ki = info.family_keys[member]
+            if ki != info.km:
+                out.append(
+                    TotalEqualityConstraint(merged_name, info.km, ki)
+                )
+
+        # 3(c): null-synchronization over each non-key-relation member.
+        for member in family.members:
+            if member == key_scheme.name:
+                continue
+            xi = info.family_attrs[member]
+            if len(xi) <= 1:
+                continue
+            required = info.required[member]
+            if len(required) > 1:
+                out.extend(null_synchronization_set(merged_name, required))
+            required_set = frozenset(required)
+            for attr in xi:
+                if attr not in required_set:
+                    out.append(
+                        NullExistenceConstraint(
+                            merged_name, frozenset({attr}), required_set
+                        )
+                    )
+
+        # 3(d): part-null across the family when the key-relation is fresh.
+        if synthesized:
+            groups = tuple(
+                frozenset(info.required[m]) for m in family.members
+            )
+            out.append(PartNullConstraint(merged_name, groups))
+
+        # 3(e): inter-member existence constraints from internal INDs.
+        for ind in schema.inds:
+            if (
+                ind.lhs_scheme in family_names
+                and ind.rhs_scheme in family_names
+                and ind.lhs_attrs == info.family_keys[ind.lhs_scheme]
+                and ind.rhs_attrs == info.family_keys[ind.rhs_scheme]
+                and info.family_keys[ind.rhs_scheme] != info.km
+            ):
+                out.append(
+                    NullExistenceConstraint(
+                        merged_name,
+                        frozenset(info.required[ind.lhs_scheme]),
+                        frozenset(info.required[ind.rhs_scheme]),
+                    )
+                )
+        return tuple(out)
+
+
+def _qualifies(family: MergeFamily, candidate: str) -> bool:
+    from repro.core.keyrelation import refkey_star
+
+    rest = set(family.members) - {candidate}
+    return refkey_star(family.schema, candidate, family.members) == rest
+
+
+def merge(
+    schema: RelationalSchema,
+    members: Sequence[str],
+    merged_name: str | None = None,
+    key_relation: str | None = None,
+    strict: bool = False,
+) -> MergeResult:
+    """Function-style entry point: ``Merge(R-bar)`` on ``schema``."""
+    return Merge(schema, members, merged_name, key_relation, strict).apply()

@@ -1,0 +1,251 @@
+"""Schema-level merge planning.
+
+The paper's SDT tool (Section 6) offers two modes: a one-to-one
+object-set/relation correspondence, or "using merging for reducing the
+number of relation-schemes".  The planner implements the second mode for
+arbitrary schemas of the paper's class:
+
+1. discover *mergeable families* -- maximal scheme sets with pairwise
+   compatible primary keys containing a key-relation (Proposition 3.1);
+2. filter them by strategy (merge everything, only families that keep all
+   inclusion dependencies key-based per Proposition 5.1, or only families
+   that end up with nulls-not-allowed constraints only per
+   Proposition 5.2);
+3. apply ``Merge`` + exhaustive ``Remove`` per family, composing the state
+   mappings into a single schema-level information-capacity equivalence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.core.capacity import IdentityMapping, StateMapping
+from repro.core.keyrelation import MergeFamily, refkey_star
+from repro.core.merge import Merge
+from repro.core.remove import remove_all
+from repro.core.conditions import (
+    prop51_key_based_inds_only,
+    prop51_keys_not_null,
+    prop52_nulls_not_allowed_only,
+)
+from repro.relational.attributes import attribute_sets_compatible
+from repro.relational.schema import RelationalSchema
+
+
+class MergeStrategy(enum.Enum):
+    """Which families the planner is allowed to merge."""
+
+    #: Merge every discovered family (may produce general null constraints
+    #: and non-key-based inclusion dependencies; needs a trigger/rule
+    #: mechanism, Section 5.1).
+    AGGRESSIVE = "aggressive"
+    #: Merge only families for which Proposition 5.1 guarantees key-based
+    #: inclusion dependencies and non-null keys.
+    KEY_BASED = "key-based"
+    #: Merge only families for which Proposition 5.2 guarantees a
+    #: nulls-not-allowed-only result (safe on any relational DBMS).
+    NNA_ONLY = "nna-only"
+
+
+@dataclass(frozen=True)
+class CandidateFamily:
+    """A discovered mergeable family with its Proposition 5.x verdicts."""
+
+    key_relation: str
+    members: tuple[str, ...]
+    key_based_only: bool
+    keys_not_null: bool
+    nna_only: bool
+
+    def __str__(self) -> str:
+        flags = []
+        if self.nna_only:
+            flags.append("NNA-only")
+        if self.key_based_only:
+            flags.append("key-based RI")
+        if self.keys_not_null:
+            flags.append("non-null keys")
+        tail = f" [{', '.join(flags)}]" if flags else ""
+        return f"{self.key_relation} <- {{{', '.join(self.members)}}}{tail}"
+
+
+@dataclass
+class MergeStep:
+    """Report entry for one applied merge."""
+
+    family: CandidateFamily
+    merged_name: str
+    removed_attributes: tuple[str, ...]
+    #: The removed attribute *sets* in application order (grouping
+    #: preserved for composite keys; migration scripts replay these).
+    removed_sets: tuple[tuple[str, ...], ...]
+    null_constraint_count: int
+    nna_only_result: bool
+
+
+@dataclass
+class PlanResult:
+    """Outcome of :meth:`MergePlanner.apply`."""
+
+    source_schema: RelationalSchema
+    schema: RelationalSchema
+    steps: list[MergeStep] = field(default_factory=list)
+    forward: StateMapping = field(default_factory=IdentityMapping)
+    backward: StateMapping = field(default_factory=IdentityMapping)
+
+    @property
+    def schemes_before(self) -> int:
+        """Relation-scheme count of the source schema."""
+        return len(self.source_schema.schemes)
+
+    @property
+    def schemes_after(self) -> int:
+        """Relation-scheme count after every merge."""
+        return len(self.schema.schemes)
+
+    def summary(self) -> str:
+        """Multi-line report of the applied merges."""
+        lines = [
+            f"{self.schemes_before} schemes -> {self.schemes_after} schemes "
+            f"({len(self.steps)} merge(s))"
+        ]
+        for step in self.steps:
+            lines.append(
+                f"  {step.family} => {step.merged_name} "
+                f"(removed {len(step.removed_attributes)} attrs, "
+                f"{step.null_constraint_count} null constraints"
+                f"{', NNA-only' if step.nna_only_result else ''})"
+            )
+        return "\n".join(lines)
+
+
+class MergePlanner:
+    """Find and apply merges across a whole relational schema."""
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        strategy: MergeStrategy = MergeStrategy.AGGRESSIVE,
+    ):
+        self.schema = schema
+        self.strategy = strategy
+
+    # -- discovery -----------------------------------------------------------
+
+    def candidate_families(self) -> tuple[CandidateFamily, ...]:
+        """Maximal families, one per potential key-relation.
+
+        For every scheme ``R0``, the family is ``{R0} u Refkey*(R0, C)``
+        where ``C`` is the set of schemes with primary keys compatible
+        with ``R0``'s; families of size one and families strictly
+        contained in another are dropped.
+        """
+        schema = self.schema
+        raw: dict[str, tuple[str, ...]] = {}
+        for base in schema.schemes:
+            compatible = [
+                s.name
+                for s in schema.schemes
+                if attribute_sets_compatible(base.primary_key, s.primary_key)
+            ]
+            closure = refkey_star(schema, base.name, compatible)
+            if closure:
+                raw[base.name] = (base.name,) + tuple(sorted(closure))
+        # Drop families strictly contained in another family.
+        out = []
+        for key_rel, members in raw.items():
+            member_set = set(members)
+            if any(
+                member_set < set(other)
+                for other_key, other in raw.items()
+                if other_key != key_rel
+            ):
+                continue
+            family = MergeFamily(schema, members)
+            out.append(
+                CandidateFamily(
+                    key_relation=key_rel,
+                    members=members,
+                    key_based_only=prop51_key_based_inds_only(schema, members),
+                    keys_not_null=prop51_keys_not_null(schema, members),
+                    nna_only=prop52_nulls_not_allowed_only(schema, members)[0],
+                )
+            )
+        return tuple(sorted(out, key=lambda f: f.key_relation))
+
+    def selected_families(self) -> tuple[CandidateFamily, ...]:
+        """Candidate families admitted by the strategy, made disjoint
+        (larger families win; ties broken by key-relation name)."""
+        admitted = []
+        for family in self.candidate_families():
+            if self.strategy is MergeStrategy.NNA_ONLY and not family.nna_only:
+                continue
+            if self.strategy is MergeStrategy.KEY_BASED and not (
+                family.key_based_only and family.keys_not_null
+            ):
+                continue
+            admitted.append(family)
+        admitted.sort(key=lambda f: (-len(f.members), f.key_relation))
+        used: set[str] = set()
+        disjoint = []
+        for family in admitted:
+            if used & set(family.members):
+                continue
+            used |= set(family.members)
+            disjoint.append(family)
+        return tuple(disjoint)
+
+    # -- application -----------------------------------------------------------
+
+    def apply(self) -> PlanResult:
+        """Merge every selected family and compose the state mappings."""
+        result = PlanResult(source_schema=self.schema, schema=self.schema)
+        current = self.schema
+        forward: StateMapping | None = None
+        backward: StateMapping | None = None
+        for family in self.selected_families():
+            merged = Merge(
+                current, family.members, key_relation=family.key_relation
+            ).apply()
+            simplified = remove_all(merged)
+            current = simplified.schema
+            step_forward = simplified.forward
+            step_backward = simplified.backward
+            forward = (
+                step_forward if forward is None else forward.then(step_forward)
+            )
+            backward = (
+                step_backward
+                if backward is None
+                else step_backward.then(backward)
+            )
+            merged_constraints = [
+                c
+                for c in current.null_constraints
+                if c.scheme_name == simplified.info.merged_name
+            ]
+            nna_only = all(
+                isinstance(c, NullExistenceConstraint)
+                and c.is_nulls_not_allowed()
+                for c in merged_constraints
+            )
+            result.steps.append(
+                MergeStep(
+                    family=family,
+                    merged_name=simplified.info.merged_name,
+                    removed_attributes=tuple(
+                        a for r in simplified.removed for a in r.attrs
+                    ),
+                    removed_sets=tuple(
+                        tuple(r.attrs) for r in simplified.removed
+                    ),
+                    null_constraint_count=len(merged_constraints),
+                    nna_only_result=nna_only,
+                )
+            )
+        result.schema = current
+        result.forward = forward or IdentityMapping()
+        result.backward = backward or IdentityMapping()
+        return result

@@ -1,0 +1,173 @@
+"""Replayable migration scripts.
+
+A merge plan is worth keeping: the same redesign must be re-derived in
+every environment (dev, staging, production) and audited later.  A
+:class:`MigrationScript` records the schema operations -- which families
+were merged, under which key-relations, what was removed -- as plain
+data that serialises to JSON, and ``apply`` replays them against a
+schema to re-derive the *same* output schema and state mappings
+deterministically.
+
+The script stores intent, not results: replaying re-runs ``Merge`` and
+``Remove`` (so all invariants are re-checked) and fails loudly if the
+input schema has drifted since the script was recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.capacity import IdentityMapping, StateMapping
+from repro.core.merge import Merge, MergeError
+from repro.core.planner import PlanResult
+from repro.core.remove import Remove, removable_sets
+from repro.relational.schema import RelationalSchema
+
+
+class ScriptReplayError(ValueError):
+    """Replay failed: the target schema does not fit the recorded steps."""
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One recorded merge: the family, its key-relation, the merged
+    scheme's name, and the attribute sets removed afterwards (in
+    order)."""
+
+    members: tuple[str, ...]
+    key_relation: str | None
+    merged_name: str
+    removals: tuple[tuple[str, ...], ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form."""
+        return {
+            "members": list(self.members),
+            "key_relation": self.key_relation,
+            "merged_name": self.merged_name,
+            "removals": [list(r) for r in self.removals],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MergeStep":
+        """Decode one step."""
+        return cls(
+            members=tuple(data["members"]),
+            key_relation=data.get("key_relation"),
+            merged_name=data["merged_name"],
+            removals=tuple(tuple(r) for r in data.get("removals", [])),
+        )
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of replaying a script against a schema."""
+
+    source_schema: RelationalSchema
+    schema: RelationalSchema
+    forward: StateMapping
+    backward: StateMapping
+    steps: tuple[MergeStep, ...]
+
+
+@dataclass(frozen=True)
+class MigrationScript:
+    """An ordered list of merge steps, recordable and replayable."""
+
+    steps: tuple[MergeStep, ...]
+    description: str = ""
+
+    @classmethod
+    def from_plan(cls, plan: PlanResult, description: str = "") -> "MigrationScript":
+        """Record the steps a :class:`MergePlanner` run performed."""
+        steps = [
+            MergeStep(
+                members=step.family.members,
+                key_relation=step.family.key_relation,
+                merged_name=step.merged_name,
+                removals=step.removed_sets,
+            )
+            for step in plan.steps
+        ]
+        return cls(tuple(steps), description)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form (see the CLI's ``plan --script``)."""
+        return {
+            "kind": "repro-migration-script",
+            "description": self.description,
+            "steps": [s.to_dict() for s in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MigrationScript":
+        """Decode a script; raises on unknown payloads."""
+        if data.get("kind") != "repro-migration-script":
+            raise ScriptReplayError(
+                "not a migration script (missing kind marker)"
+            )
+        return cls(
+            steps=tuple(MergeStep.from_dict(s) for s in data.get("steps", [])),
+            description=data.get("description", ""),
+        )
+
+    # -- replay -----------------------------------------------------------
+
+    def apply(self, schema: RelationalSchema) -> ReplayResult:
+        """Replay every step against ``schema``.
+
+        Each merge re-runs ``Merge`` (validating the family and the
+        recorded key-relation) and each recorded removal re-runs
+        ``Remove`` (validating Definition 4.2); drift between the schema
+        and the recording surfaces as :class:`ScriptReplayError`.
+        """
+        source = schema
+        current = schema
+        forward: StateMapping = IdentityMapping()
+        backward: StateMapping = IdentityMapping()
+        for step in self.steps:
+            missing = [m for m in step.members if not current.has_scheme(m)]
+            if missing:
+                raise ScriptReplayError(
+                    f"schema has no scheme(s) {missing}; the script was "
+                    "recorded against a different schema"
+                )
+            try:
+                result = Merge(
+                    current,
+                    step.members,
+                    merged_name=step.merged_name,
+                    key_relation=step.key_relation,
+                ).apply()
+            except (MergeError, ValueError) as exc:
+                raise ScriptReplayError(
+                    f"merge of {step.members} failed on replay: {exc}"
+                ) from exc
+            current = result.schema
+            info = result.info
+            forward = forward.then(result.eta)
+            backward = result.eta_prime.then(backward)
+            for attrs in step.removals:
+                candidates = {
+                    r.attrs: r for r in removable_sets(current, info)
+                }
+                target = candidates.get(tuple(attrs))
+                if target is None:
+                    raise ScriptReplayError(
+                        f"recorded removal {attrs} is not removable on "
+                        "replay (Definition 4.2 conditions changed)"
+                    )
+                removed = Remove(current, info, target).apply()
+                current = removed.schema
+                info = removed.info
+                forward = forward.then(removed.mu)
+                backward = removed.mu_prime.then(backward)
+        return ReplayResult(source, current, forward, backward, self.steps)
+
+
+def record_plan(plan: PlanResult, description: str = "") -> MigrationScript:
+    """Convenience: :meth:`MigrationScript.from_plan`."""
+    return MigrationScript.from_plan(plan, description)

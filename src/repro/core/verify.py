@@ -1,0 +1,79 @@
+"""Post-condition verification for Merge/Remove results.
+
+The propositions guarantee BCNF and information-capacity preservation;
+these helpers let callers *assert* them on concrete results -- useful in
+pipelines that transform schemas they did not construct themselves, and
+the backbone of the proposition benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.functional import is_bcnf
+from repro.constraints.inference import fds_with_equality
+from repro.constraints.nulls import TotalEqualityConstraint
+from repro.core.capacity import verify_information_capacity
+from repro.core.merge import MergeResult
+from repro.core.remove import SimplifyResult
+from repro.relational.state import DatabaseState
+
+
+class MergeInvariantError(AssertionError):
+    """A Merge/Remove result violated a proposition's guarantee (which
+    indicates a bug or an out-of-class input, never expected use)."""
+
+
+def check_bcnf_preserved(result: "MergeResult | SimplifyResult") -> None:
+    """Proposition 4.1(ii): the merged scheme is in BCNF under the
+    declared dependencies extended with the total-equality-derived FDs."""
+    merged_name = result.info.merged_name
+    equalities = [
+        c
+        for c in result.schema.null_constraints
+        if isinstance(c, TotalEqualityConstraint)
+        and c.scheme_name == merged_name
+    ]
+    extended = fds_with_equality(
+        list(result.schema.fds), equalities, merged_name
+    )
+    scheme = result.schema.scheme(merged_name)
+    if not is_bcnf(scheme, extended):
+        raise MergeInvariantError(
+            f"{merged_name} is not in BCNF -- Proposition 4.1(ii) violated"
+        )
+
+
+def check_capacity_preserved(
+    result: "MergeResult | SimplifyResult",
+    states: Sequence[DatabaseState],
+) -> None:
+    """Definition 2.1 on sampled consistent source states."""
+    if isinstance(result, MergeResult):
+        forward, backward = result.eta, result.eta_prime
+    else:
+        forward, backward = result.forward, result.backward
+    report = verify_information_capacity(
+        result.source_schema,
+        result.schema,
+        forward,
+        backward,
+        states_a=states,
+        states_b=[forward.apply(s) for s in states],
+    )
+    if not report.equivalent:
+        details = "; ".join(str(f) for f in report.failures[:3])
+        raise MergeInvariantError(
+            f"information capacity not preserved: {details}"
+        )
+
+
+def assert_merge_invariants(
+    result: "MergeResult | SimplifyResult",
+    states: Sequence[DatabaseState] = (),
+) -> None:
+    """Both checks; ``states`` (consistent source states) are optional
+    but make the capacity check non-vacuous."""
+    check_bcnf_preserved(result)
+    if states:
+        check_capacity_preserved(result, states)

@@ -1,0 +1,30 @@
+"""Schema definition generation -- a reimplementation of the paper's SDT
+tool [12] (Section 5.1/6).
+
+* :mod:`repro.ddl.dialects` -- capability profiles of the three DBMSs the
+  paper discusses (DB2, SYBASE 4.0, INGRES 6.3);
+* :mod:`repro.ddl.generate` -- CREATE TABLE / declarative-constraint
+  emission;
+* :mod:`repro.ddl.triggers` -- procedural enforcement (SYBASE triggers,
+  INGRES rules, DB2 validprocs) for general null constraints and
+  non-key-based inclusion dependencies;
+* :mod:`repro.ddl.sdt` -- the tool facade: EER schema in, per-DBMS schema
+  definition out, with option (i) one relation per object-set or option
+  (ii) merged.
+"""
+
+from repro.ddl.dialects import DB2, INGRES_63, SYBASE_40, DialectProfile
+from repro.ddl.generate import DDLScript, generate_ddl
+from repro.ddl.sdt import SDTOptions, SDTReport, SchemaDefinitionTool
+
+__all__ = [
+    "DB2",
+    "INGRES_63",
+    "SYBASE_40",
+    "DialectProfile",
+    "DDLScript",
+    "generate_ddl",
+    "SDTOptions",
+    "SDTReport",
+    "SchemaDefinitionTool",
+]

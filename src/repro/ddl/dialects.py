@@ -1,0 +1,101 @@
+"""DBMS capability profiles (Section 5.1).
+
+The paper's compatibility analysis turns on four capabilities:
+
+* declarative referential integrity (key-based inclusion dependencies):
+  supported by DB2, absent as a declarative feature in SYBASE 4.0 and
+  INGRES 6.3 (both enforce it procedurally);
+* non-key-based inclusion dependencies: "not supported by DBMSs such as
+  IBM's DB2, but can be maintained in SYBASE 4.0 (triggers) and INGRES
+  6.3 (rules)";
+* general null constraints: maintainable via DB2 validprocs, SYBASE
+  triggers, INGRES rules -- all procedural; only nulls-not-allowed is
+  declarative everywhere;
+* candidate keys that allow nulls: "cannot be maintained in DBMSs (e.g.
+  SYBASE, INGRES) that consider all null values as identical".
+
+Profiles are plain data; :mod:`repro.ddl.generate` and
+:mod:`repro.ddl.triggers` consult them to decide what is emitted
+declaratively, what becomes a trigger/rule/validproc, and what must be
+reported as unsupported.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Mechanism(enum.Enum):
+    """How a constraint class can be enforced on a given system."""
+
+    DECLARATIVE = "declarative"
+    TRIGGER = "trigger"
+    RULE = "rule"
+    VALIDPROC = "validproc"
+    UNSUPPORTED = "unsupported"
+
+
+@dataclass(frozen=True)
+class DialectProfile:
+    """Capability profile of one target DBMS."""
+
+    name: str
+    #: Mechanism for key-based inclusion dependencies (referential
+    #: integrity constraints).
+    referential_integrity: Mechanism
+    #: Mechanism for non-key-based inclusion dependencies.
+    nonkey_inclusion: Mechanism
+    #: Mechanism for general null constraints (null-existence beyond NNA,
+    #: null-synchronization, part-null, total-equality).
+    general_null_constraints: Mechanism
+    #: Whether candidate keys with nullable attributes can be maintained
+    #: (requires nulls to be distinguishable; Section 5.1).
+    nullable_candidate_keys: bool
+    #: Keyword used for single-statement procedural constraints.
+    procedural_keyword: str
+
+    def can_enforce_nonkey_inclusion(self) -> bool:
+        """Whether any mechanism covers non-key-based inclusion dependencies."""
+        return self.nonkey_inclusion is not Mechanism.UNSUPPORTED
+
+    def can_enforce_general_nulls(self) -> bool:
+        """Whether any mechanism covers general null constraints."""
+        return self.general_null_constraints is not Mechanism.UNSUPPORTED
+
+
+#: IBM DB2 (per the Referential Integrity Usage Guide [5]): declarative
+#: RI, validprocs for null constraints, no mechanism for non-key-based
+#: inclusion dependencies.
+DB2 = DialectProfile(
+    name="DB2",
+    referential_integrity=Mechanism.DECLARATIVE,
+    nonkey_inclusion=Mechanism.UNSUPPORTED,
+    general_null_constraints=Mechanism.VALIDPROC,
+    nullable_candidate_keys=False,
+    procedural_keyword="VALIDPROC",
+)
+
+#: SYBASE 4.0 (Transact-SQL [13]): triggers for RI, non-key inclusion
+#: dependencies and null constraints; all nulls identical.
+SYBASE_40 = DialectProfile(
+    name="SYBASE 4.0",
+    referential_integrity=Mechanism.TRIGGER,
+    nonkey_inclusion=Mechanism.TRIGGER,
+    general_null_constraints=Mechanism.TRIGGER,
+    nullable_candidate_keys=False,
+    procedural_keyword="TRIGGER",
+)
+
+#: INGRES 6.3 (INGRES/SQL [6]): rules for everything procedural; all
+#: nulls identical.
+INGRES_63 = DialectProfile(
+    name="INGRES 6.3",
+    referential_integrity=Mechanism.RULE,
+    nonkey_inclusion=Mechanism.RULE,
+    general_null_constraints=Mechanism.RULE,
+    nullable_candidate_keys=False,
+    procedural_keyword="RULE",
+)
+
+ALL_DIALECTS: tuple[DialectProfile, ...] = (DB2, SYBASE_40, INGRES_63)

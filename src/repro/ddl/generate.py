@@ -1,0 +1,212 @@
+"""CREATE TABLE and declarative-constraint generation.
+
+Emits 1992-flavoured SQL for one relational schema against a
+:class:`~repro.ddl.dialects.DialectProfile`: column definitions with
+``NOT NULL`` wherever a nulls-not-allowed constraint applies, primary
+keys, unique candidate keys (when maintainable), declarative referential
+integrity where the dialect has it, and hands everything else to
+:mod:`repro.ddl.triggers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.ddl.dialects import DialectProfile, Mechanism
+from repro.relational.schema import RelationScheme, RelationalSchema
+
+
+def sql_identifier(name: str) -> str:
+    """A portable SQL identifier: dots and dashes become underscores."""
+    out = name.replace(".", "_").replace("-", "_").replace("'", "_P")
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def sql_type(domain_name: str) -> str:
+    """Domain -> 1992-flavoured SQL type (all domains are modelled as
+    bounded character strings; the paper never relies on typed domains
+    beyond compatibility)."""
+    return "VARCHAR(64)"
+
+
+@dataclass(frozen=True)
+class Statement:
+    """One emitted DDL statement."""
+
+    kind: str
+    mechanism: Mechanism
+    sql: str
+    subject: str
+
+    def __str__(self) -> str:
+        return self.sql
+
+
+@dataclass
+class DDLScript:
+    """A generated schema definition: statements plus a capability report."""
+
+    dialect: DialectProfile
+    statements: list[Statement] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    def sql(self) -> str:
+        """The full script text."""
+        return "\n\n".join(s.sql for s in self.statements)
+
+    def count(self, mechanism: Mechanism) -> int:
+        """Number of statements emitted under one mechanism."""
+        return sum(1 for s in self.statements if s.mechanism is mechanism)
+
+    def declarative_count(self) -> int:
+        """Number of declarative statements."""
+        return self.count(Mechanism.DECLARATIVE)
+
+    def procedural_count(self) -> int:
+        """Number of trigger/rule/validproc statements."""
+        return sum(
+            1
+            for s in self.statements
+            if s.mechanism
+            in (Mechanism.TRIGGER, Mechanism.RULE, Mechanism.VALIDPROC)
+        )
+
+    def summary(self) -> str:
+        """One-line statement/warning tally for reports."""
+        return (
+            f"{self.dialect.name}: {len(self.statements)} statements "
+            f"({self.declarative_count()} declarative, "
+            f"{self.procedural_count()} procedural), "
+            f"{len(self.warnings)} warning(s)"
+        )
+
+
+def _not_null_columns(
+    schema: RelationalSchema, scheme: RelationScheme
+) -> set[str]:
+    covered = set(scheme.key_names)
+    for c in schema.null_constraints_of(scheme.name):
+        if isinstance(c, NullExistenceConstraint) and c.is_nulls_not_allowed():
+            covered |= c.rhs
+    return covered
+
+
+def _create_table(
+    schema: RelationalSchema,
+    scheme: RelationScheme,
+    dialect: DialectProfile,
+    script: DDLScript,
+) -> None:
+    not_null = _not_null_columns(schema, scheme)
+    lines = [f"CREATE TABLE {sql_identifier(scheme.name)} ("]
+    col_lines = []
+    for attr in scheme.attributes:
+        null_clause = " NOT NULL" if attr.name in not_null else " NULL"
+        col_lines.append(
+            f"    {sql_identifier(attr.name)} "
+            f"{sql_type(attr.domain.name)}{null_clause}"
+        )
+    pk_cols = ", ".join(sql_identifier(a) for a in scheme.key_names)
+    col_lines.append(f"    PRIMARY KEY ({pk_cols})")
+
+    for key in sorted(scheme.candidate_keys, key=lambda k: [a.name for a in k]):
+        names = tuple(a.name for a in key)
+        if names == scheme.key_names:
+            continue
+        if set(names) <= not_null:
+            cols = ", ".join(sql_identifier(n) for n in names)
+            col_lines.append(f"    UNIQUE ({cols})")
+        elif not dialect.nullable_candidate_keys:
+            script.warnings.append(
+                f"{scheme.name}: candidate key ({', '.join(names)}) allows "
+                f"nulls; {dialect.name} considers all null values identical "
+                "and cannot maintain it (Section 5.1)"
+            )
+    lines.append(",\n".join(col_lines))
+    lines.append(");")
+    script.statements.append(
+        Statement(
+            kind="create-table",
+            mechanism=Mechanism.DECLARATIVE,
+            sql="\n".join(lines),
+            subject=scheme.name,
+        )
+    )
+
+
+def _declarative_foreign_key(
+    ind: InclusionDependency, script: DDLScript
+) -> None:
+    table = sql_identifier(ind.lhs_scheme)
+    cols = ", ".join(sql_identifier(a) for a in ind.lhs_attrs)
+    ref_table = sql_identifier(ind.rhs_scheme)
+    ref_cols = ", ".join(sql_identifier(a) for a in ind.rhs_attrs)
+    name = sql_identifier(f"fk_{ind.lhs_scheme}_{'_'.join(ind.lhs_attrs)}")
+    sql = (
+        f"ALTER TABLE {table}\n"
+        f"    ADD CONSTRAINT {name}\n"
+        f"    FOREIGN KEY ({cols}) REFERENCES {ref_table} ({ref_cols});"
+    )
+    script.statements.append(
+        Statement(
+            kind="foreign-key",
+            mechanism=Mechanism.DECLARATIVE,
+            sql=sql,
+            subject=str(ind),
+        )
+    )
+
+
+def generate_ddl(
+    schema: RelationalSchema, dialect: DialectProfile
+) -> DDLScript:
+    """Generate the full schema definition for one dialect.
+
+    Declarative statements are emitted here; triggers/rules/validprocs
+    are delegated to :mod:`repro.ddl.triggers`; what no mechanism covers
+    lands in ``script.warnings``.
+    """
+    from repro.ddl import triggers as trig
+
+    script = DDLScript(dialect=dialect)
+    for scheme in schema.schemes:
+        _create_table(schema, scheme, dialect, script)
+
+    for ind in schema.inds:
+        key_based = ind.is_key_based(schema)
+        if key_based and dialect.referential_integrity is Mechanism.DECLARATIVE:
+            _declarative_foreign_key(ind, script)
+        elif key_based:
+            trig.emit_inclusion_dependency(
+                ind, dialect, dialect.referential_integrity, script
+            )
+        elif dialect.can_enforce_nonkey_inclusion():
+            trig.emit_inclusion_dependency(
+                ind, dialect, dialect.nonkey_inclusion, script
+            )
+        else:
+            script.warnings.append(
+                f"non-key-based inclusion dependency {ind} is not "
+                f"maintainable on {dialect.name} (Section 5.1)"
+            )
+
+    for constraint in schema.null_constraints:
+        if (
+            isinstance(constraint, NullExistenceConstraint)
+            and constraint.is_nulls_not_allowed()
+        ):
+            continue  # already NOT NULL column clauses
+        if dialect.can_enforce_general_nulls():
+            trig.emit_null_constraint(
+                constraint, dialect, dialect.general_null_constraints, script
+            )
+        else:
+            script.warnings.append(
+                f"general null constraint {constraint} is not maintainable "
+                f"on {dialect.name}"
+            )
+    return script

@@ -1,0 +1,56 @@
+"""Extended Entity-Relationship substrate (Sections 1 and 5.2).
+
+The paper's schema class -- relation-schemes, key dependencies,
+referential integrity constraints and null constraints -- is exactly the
+image of EER schemas under the Markowitz-Shoshani translation [11].  This
+package provides:
+
+* :mod:`repro.eer.model` -- entity-sets, weak entity-sets,
+  relationship-sets (over entity- *or* relationship-participants, as the
+  Figure 7 schema requires), generalizations, and EER attributes with
+  null annotations;
+* :mod:`repro.eer.validate` -- well-formedness checking;
+* :mod:`repro.eer.translate` -- the BCNF-producing translation that
+  reproduces Figure 3 from Figure 7;
+* :mod:`repro.eer.teorey` -- the Teorey-Yang-Fry-style baseline [14] that
+  folds many-to-one relationship-sets into entity relations *without*
+  null constraints, exhibiting the Figure 1(iii) anomaly;
+* :mod:`repro.eer.patterns` -- the Section 5.2 classifiers for EER
+  structures amenable to single-relation representation (Figure 8).
+"""
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from repro.eer.validate import EERValidationError, validate_eer_schema
+from repro.eer.translate import Translation, translate_eer
+from repro.eer.teorey import translate_teorey
+from repro.eer.patterns import AmenableStructure, find_amenable_structures
+from repro.eer.builder import EERBuilder, optional
+
+__all__ = [
+    "Cardinality",
+    "EERAttribute",
+    "EERSchema",
+    "EntitySet",
+    "Generalization",
+    "Participation",
+    "RelationshipSet",
+    "WeakEntitySet",
+    "EERValidationError",
+    "validate_eer_schema",
+    "Translation",
+    "translate_eer",
+    "translate_teorey",
+    "AmenableStructure",
+    "find_amenable_structures",
+    "EERBuilder",
+    "optional",
+]

@@ -1,0 +1,195 @@
+"""A fluent builder for EER schemas.
+
+Constructing :class:`~repro.eer.model.EERSchema` objects directly is
+verbose (every attribute needs a :class:`Domain`); the builder keeps
+designs as readable as the paper's figures::
+
+    from repro.eer.builder import EERBuilder, optional
+
+    uni = (
+        EERBuilder("university")
+        .entity("PERSON", identifier={"SSN": "ssn"})
+        .entity("COURSE", identifier={"NR": "course-nr"})
+        .entity("DEPARTMENT", identifier={"NAME": "dept-name"})
+        .specialization("FACULTY", generic="PERSON")
+        .specialization("STUDENT", generic="PERSON")
+        .relationship("OFFER", many="COURSE", one="DEPARTMENT")
+        .relationship("TEACH", many="OFFER", one="FACULTY")
+        .relationship("ASSIST", many="OFFER", one="STUDENT")
+        .build()
+    )
+
+``build()`` validates the schema, so builder output is always
+translatable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    ObjectSet,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from repro.eer.validate import validate_eer_schema
+from repro.relational.attributes import Domain
+
+
+@dataclass(frozen=True)
+class _OptionalDomain:
+    """Marker wrapper produced by :func:`optional`."""
+
+    domain: Domain
+
+
+def optional(domain: "str | Domain") -> _OptionalDomain:
+    """Mark an attribute as nulls-allowed (the figures' starred
+    attributes): ``attrs={"DATE": optional("date")}``."""
+    return _OptionalDomain(_as_domain(domain))
+
+
+def _as_domain(value: "str | Domain") -> Domain:
+    return value if isinstance(value, Domain) else Domain(value)
+
+
+def _as_attributes(
+    spec: "Mapping[str, str | Domain | _OptionalDomain] | None",
+) -> tuple[EERAttribute, ...]:
+    if not spec:
+        return ()
+    out = []
+    for name, domain in spec.items():
+        if isinstance(domain, _OptionalDomain):
+            out.append(EERAttribute(name, domain.domain, required=False))
+        else:
+            out.append(EERAttribute(name, _as_domain(domain)))
+    return tuple(out)
+
+
+class EERBuilder:
+    """Accumulates object-sets and generalizations; ``build()`` validates."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._object_sets: list[ObjectSet] = []
+        self._generalizations: dict[str, list[str]] = {}
+
+    # -- object-sets ------------------------------------------------------
+
+    def entity(
+        self,
+        name: str,
+        identifier: Mapping[str, "str | Domain"],
+        attrs: "Mapping[str, str | Domain | _OptionalDomain] | None" = None,
+        abbrev: str | None = None,
+    ) -> "EERBuilder":
+        """Add a root entity-set; ``identifier`` maps identifying
+        attribute names to domains."""
+        id_attrs = tuple(
+            EERAttribute(n, _as_domain(d)) for n, d in identifier.items()
+        )
+        self._object_sets.append(
+            EntitySet(
+                name,
+                id_attrs + _as_attributes(attrs),
+                abbrev=abbrev,
+                identifier=tuple(identifier),
+            )
+        )
+        return self
+
+    def specialization(
+        self,
+        name: str,
+        generic: str,
+        attrs: "Mapping[str, str | Domain | _OptionalDomain] | None" = None,
+        abbrev: str | None = None,
+    ) -> "EERBuilder":
+        """Add a specialization entity-set under ``generic`` (ISA)."""
+        self._object_sets.append(
+            EntitySet(name, _as_attributes(attrs), abbrev=abbrev)
+        )
+        self._generalizations.setdefault(generic, []).append(name)
+        return self
+
+    def weak_entity(
+        self,
+        name: str,
+        owner: str,
+        partial_identifier: Mapping[str, "str | Domain"],
+        attrs: "Mapping[str, str | Domain | _OptionalDomain] | None" = None,
+        abbrev: str | None = None,
+    ) -> "EERBuilder":
+        """Add a weak entity-set identified through ``owner``."""
+        id_attrs = tuple(
+            EERAttribute(n, _as_domain(d))
+            for n, d in partial_identifier.items()
+        )
+        self._object_sets.append(
+            WeakEntitySet(
+                name,
+                id_attrs + _as_attributes(attrs),
+                abbrev=abbrev,
+                owner=owner,
+                partial_identifier=tuple(partial_identifier),
+            )
+        )
+        return self
+
+    def relationship(
+        self,
+        name: str,
+        many: "str | Sequence[str]",
+        one: "str | Sequence[str]" = (),
+        attrs: "Mapping[str, str | Domain | _OptionalDomain] | None" = None,
+        abbrev: str | None = None,
+    ) -> "EERBuilder":
+        """Add a relationship-set.
+
+        ``many``/``one`` name the participants by cardinality (strings or
+        sequences).  An object-set participating twice (e.g. a
+        self-relationship) needs role labels: write ``"EMP:REPORT"``
+        for participant EMP under role REPORT.
+        """
+
+        def participation(spec: str, cardinality: Cardinality) -> Participation:
+            object_set, _, role = spec.partition(":")
+            return Participation(object_set, cardinality, role or None)
+
+        many_list = [many] if isinstance(many, str) else list(many)
+        one_list = [one] if isinstance(one, str) else list(one)
+        participants = tuple(
+            participation(p, Cardinality.MANY) for p in many_list
+        ) + tuple(participation(p, Cardinality.ONE) for p in one_list)
+        self._object_sets.append(
+            RelationshipSet(
+                name,
+                _as_attributes(attrs),
+                abbrev=abbrev,
+                participants=participants,
+            )
+        )
+        return self
+
+    # -- output ---------------------------------------------------------------
+
+    def build(self) -> EERSchema:
+        """The validated EER schema."""
+        schema = EERSchema(
+            name=self._name,
+            object_sets=tuple(self._object_sets),
+            generalizations=tuple(
+                Generalization(generic, tuple(specs))
+                for generic, specs in self._generalizations.items()
+            ),
+        )
+        validate_eer_schema(schema)
+        return schema

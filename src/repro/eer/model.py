@@ -1,0 +1,290 @@
+"""The Extended Entity-Relationship (EER) data model.
+
+The flavour implemented here follows Markowitz-Shoshani [11], which the
+paper uses as the source of its relational schema class:
+
+* **entity-sets** with identifier attributes;
+* **weak entity-sets** identified through an owner entity-set;
+* **relationship-sets** over two or more *object-sets* -- entity-sets or
+  other relationship-sets (Figure 7 needs the latter: TEACH and ASSIST
+  are relationship-sets involving the relationship-set OFFER);
+* **generalizations** (ISA): specialization entity-sets inherit their
+  generic's identifier;
+* attributes carrying a null annotation (``required``), which the
+  translation turns into nulls-not-allowed constraints.
+
+Cardinalities are per-participation: a participant marked ``MANY``
+contributes its key to the relationship's identifier (each of its
+instances takes part at most once -- the relationship is functional from
+the MANY side to the ONE sides).  ``OFFER`` between ``COURSE`` (many) and
+``DEPARTMENT`` (one) means every course is offered by at most one
+department.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.relational.attributes import Domain
+
+
+class Cardinality(enum.Enum):
+    """How an object-set participates in a relationship-set."""
+
+    ONE = "one"
+    MANY = "many"
+
+
+@dataclass(frozen=True)
+class EERAttribute:
+    """An EER attribute with a null-value annotation.
+
+    ``required=False`` corresponds to the starred (nulls-allowed)
+    attributes of the paper's figures, e.g. ``DATE`` of ``WORKS`` in
+    Figure 1.
+    """
+
+    name: str
+    domain: Domain
+    required: bool = True
+
+    def __str__(self) -> str:
+        return self.name if self.required else f"{self.name}*"
+
+
+@dataclass(frozen=True)
+class ObjectSet:
+    """Common base of entity-sets, weak entity-sets and relationship-sets.
+
+    ``abbrev`` is the attribute-name prefix the relational translation
+    uses (``COURSE`` -> ``C`` gives ``C.NR``); when omitted, the
+    translator derives one.
+    """
+
+    name: str
+    attributes: tuple[EERAttribute, ...] = ()
+    abbrev: str | None = None
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate attribute names")
+
+    def attribute(self, name: str) -> EERAttribute:
+        """Look up one of this object-set's attributes by name."""
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise KeyError(f"{self.name} has no attribute {name!r}")
+
+
+@dataclass(frozen=True)
+class EntitySet(ObjectSet):
+    """An entity-set.
+
+    ``identifier`` names the identifying attributes.  A specialization
+    entity-set (one appearing in a :class:`Generalization`) leaves the
+    identifier empty and inherits its generic's.
+    """
+
+    identifier: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        own = {a.name for a in self.attributes}
+        missing = set(self.identifier) - own
+        if missing:
+            raise ValueError(
+                f"{self.name}: identifier attributes {sorted(missing)} are "
+                "not declared attributes"
+            )
+
+
+@dataclass(frozen=True)
+class WeakEntitySet(ObjectSet):
+    """A weak entity-set, identified through ``owner`` plus a partial
+    identifier of its own."""
+
+    owner: str = ""
+    partial_identifier: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.owner:
+            raise ValueError(f"{self.name}: weak entity-set needs an owner")
+        own = {a.name for a in self.attributes}
+        missing = set(self.partial_identifier) - own
+        if missing:
+            raise ValueError(
+                f"{self.name}: partial identifier attributes "
+                f"{sorted(missing)} are not declared attributes"
+            )
+
+
+@dataclass(frozen=True)
+class Participation:
+    """One leg of a relationship-set."""
+
+    object_set: str
+    cardinality: Cardinality
+    role: str | None = None
+
+    def __str__(self) -> str:
+        tag = "M" if self.cardinality is Cardinality.MANY else "1"
+        role = f" as {self.role}" if self.role else ""
+        return f"{self.object_set}({tag}){role}"
+
+
+@dataclass(frozen=True)
+class RelationshipSet(ObjectSet):
+    """A relationship-set over two or more object-sets."""
+
+    participants: tuple[Participation, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.participants) < 2:
+            raise ValueError(
+                f"{self.name}: relationship-sets need at least two "
+                "participants"
+            )
+
+    def many_participants(self) -> tuple[Participation, ...]:
+        """Participations with MANY cardinality (they form the key)."""
+        return tuple(
+            p
+            for p in self.participants
+            if p.cardinality is Cardinality.MANY
+        )
+
+    def one_participants(self) -> tuple[Participation, ...]:
+        """Participations with ONE cardinality."""
+        return tuple(
+            p for p in self.participants if p.cardinality is Cardinality.ONE
+        )
+
+    def is_binary_many_to_one(self) -> bool:
+        """The structure ER methodologies single out for folding
+        (Section 1): binary, one MANY leg, one ONE leg."""
+        return (
+            len(self.participants) == 2
+            and len(self.many_participants()) == 1
+            and len(self.one_participants()) == 1
+        )
+
+
+@dataclass(frozen=True)
+class Generalization:
+    """An ISA construct: ``specializations`` are subsets of ``generic``."""
+
+    generic: str
+    specializations: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.specializations:
+            raise ValueError("generalization needs at least one specialization")
+        if self.generic in self.specializations:
+            raise ValueError("an object-set cannot specialize itself")
+
+
+@dataclass(frozen=True)
+class EERSchema:
+    """An EER schema: object-sets plus generalizations."""
+
+    name: str
+    object_sets: tuple[ObjectSet, ...]
+    generalizations: tuple[Generalization, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        names = [o.name for o in self.object_sets]
+        if len(set(names)) != len(names):
+            raise ValueError("object-set names must be unique")
+
+    # -- lookups ---------------------------------------------------------
+
+    def object_set(self, name: str) -> ObjectSet:
+        """Look up an object-set by name."""
+        for o in self.object_sets:
+            if o.name == name:
+                return o
+        raise KeyError(f"no object-set named {name!r}")
+
+    def has_object_set(self, name: str) -> bool:
+        """Whether an object-set with this name exists."""
+        return any(o.name == name for o in self.object_sets)
+
+    def entity_sets(self) -> tuple[EntitySet, ...]:
+        """All plain (non-weak) entity-sets."""
+        return tuple(
+            o
+            for o in self.object_sets
+            if isinstance(o, EntitySet) and not isinstance(o, WeakEntitySet)
+        )
+
+    def weak_entity_sets(self) -> tuple[WeakEntitySet, ...]:
+        """All weak entity-sets."""
+        return tuple(
+            o for o in self.object_sets if isinstance(o, WeakEntitySet)
+        )
+
+    def relationship_sets(self) -> tuple[RelationshipSet, ...]:
+        """All relationship-sets."""
+        return tuple(
+            o for o in self.object_sets if isinstance(o, RelationshipSet)
+        )
+
+    def generic_of(self, name: str) -> str | None:
+        """The direct generic of a specialization entity-set, if any."""
+        for g in self.generalizations:
+            if name in g.specializations:
+                return g.generic
+        return None
+
+    def generics_of(self, name: str) -> tuple[str, ...]:
+        """All direct generics (multiple inheritance is representable but
+        flagged by the validator and by the Figure 8 classifiers)."""
+        return tuple(
+            g.generic
+            for g in self.generalizations
+            if name in g.specializations
+        )
+
+    def specializations_of(self, name: str) -> tuple[str, ...]:
+        """Direct specializations of an entity-set."""
+        out: list[str] = []
+        for g in self.generalizations:
+            if g.generic == name:
+                out.extend(g.specializations)
+        return tuple(out)
+
+    def is_specialization(self, name: str) -> bool:
+        """Whether the named entity-set has a generic."""
+        return self.generic_of(name) is not None
+
+    def relationships_involving(self, name: str) -> tuple[RelationshipSet, ...]:
+        """Relationship-sets in which the named object-set participates."""
+        return tuple(
+            r
+            for r in self.relationship_sets()
+            if any(p.object_set == name for p in r.participants)
+        )
+
+    def weak_entities_owned_by(self, name: str) -> tuple[WeakEntitySet, ...]:
+        """Weak entity-sets owned by the named entity-set."""
+        return tuple(
+            w for w in self.weak_entity_sets() if w.owner == name
+        )
+
+    def iter_isa_chain(self, name: str) -> Iterator[str]:
+        """The chain of generics from ``name`` up to a root entity-set."""
+        current: str | None = name
+        while current is not None:
+            yield current
+            current = self.generic_of(current)
+
+    def root_generic(self, name: str) -> str:
+        """The top of the ISA chain containing ``name``."""
+        *_, last = self.iter_isa_chain(name)
+        return last

@@ -1,0 +1,220 @@
+"""EER structures amenable to single-relation representation (Section 5.2,
+Figure 8).
+
+Applying ``Merge`` to relational translations of EER schemas shows that a
+single relation-scheme can represent multiple object-sets.  Two shapes
+arise:
+
+* **generalization hierarchies** -- a generic entity-set with its
+  specializations (Figures 8(i)/(iii));
+* **relationship stars** -- an object-set with the (chains of) binary
+  many-to-one relationship-sets anchored at it with many cardinality
+  (Figures 8(ii)/(iv)).
+
+Each structure is *always* mergeable (the anchor is a key-relation by
+Proposition 3.1); the interesting question is whether the merged relation
+needs general null constraints or -- per the conditions of
+Proposition 5.2 restated on the EER level -- only nulls-not-allowed
+constraints:
+
+1. specializations with (a) no own specializations and a single direct
+   generic, (b) no participation in relationship-sets or weak entity-sets,
+   and (c) exactly one own attribute -> NNA only (Figure 8(iii));
+2. binary many-to-one relationship-sets that (a) have no attributes,
+   (b) are not involved in any other relationship-set, and (c) whose
+   one-side entity-sets are not weak and have single-attribute
+   identifiers -> NNA only (Figure 8(iv)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eer.model import (
+    EERSchema,
+    EntitySet,
+    RelationshipSet,
+    WeakEntitySet,
+)
+
+
+@dataclass(frozen=True)
+class AmenableStructure:
+    """One group of object-sets representable by a single relation-scheme.
+
+    ``nna_only`` is True when the merged representation needs only
+    nulls-not-allowed constraints; otherwise ``reasons`` lists which
+    Section 5.2 conditions fail (requiring general null constraints and a
+    trigger/rule-capable DBMS).
+    """
+
+    kind: str
+    anchor: str
+    members: tuple[str, ...]
+    nna_only: bool
+    reasons: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        tier = "NNA-only" if self.nna_only else "general null constraints"
+        return (
+            f"{self.kind} at {self.anchor}: "
+            f"{{{', '.join(self.members)}}} [{tier}]"
+        )
+
+
+def _isa_subtree(eer: EERSchema, generic: str) -> tuple[str, ...]:
+    """All descendants of ``generic`` in the ISA graph, breadth-first."""
+    out: list[str] = []
+    frontier = [generic]
+    while frontier:
+        current = frontier.pop(0)
+        for spec in eer.specializations_of(current):
+            if spec not in out:
+                out.append(spec)
+                frontier.append(spec)
+    return tuple(out)
+
+
+def classify_generalization(
+    eer: EERSchema, generic: str
+) -> AmenableStructure | None:
+    """Classify the hierarchy rooted at ``generic`` (conditions (1) of
+    Section 5.2); ``None`` when there are no specializations.
+
+    The whole ISA subtree is always mergeable into the generic's relation
+    (every specialization's key chains into the root per Proposition
+    3.1); the conditions decide whether the merged relation needs only
+    nulls-not-allowed constraints.
+    """
+    specs = _isa_subtree(eer, generic)
+    if not specs:
+        return None
+    reasons: list[str] = []
+    for spec in specs:
+        if eer.specializations_of(spec):
+            reasons.append(
+                f"{spec} has specializations of its own (condition 1(a))"
+            )
+        if eer.relationships_involving(spec):
+            reasons.append(
+                f"{spec} participates in relationship-sets (condition 1(b))"
+            )
+        if eer.weak_entities_owned_by(spec):
+            reasons.append(
+                f"{spec} owns weak entity-sets (condition 1(b))"
+            )
+        own = eer.object_set(spec).attributes
+        if len(own) != 1:
+            reasons.append(
+                f"{spec} has {len(own)} own attributes (condition 1(c) "
+                "wants exactly one)"
+            )
+    return AmenableStructure(
+        kind="generalization",
+        anchor=generic,
+        members=(generic, *specs),
+        nna_only=not reasons,
+        reasons=tuple(reasons),
+    )
+
+
+def _star_members(eer: EERSchema, anchor: str) -> tuple[str, ...]:
+    """Relationship-sets reachable from ``anchor`` through many-side legs
+    of binary many-to-one relationship-sets (the EER mirror of the
+    ``Refkey*`` chains of Proposition 3.1)."""
+    members: list[str] = []
+    frontier = [anchor]
+    while frontier:
+        current = frontier.pop()
+        for rel in eer.relationship_sets():
+            if rel.name in members or not rel.is_binary_many_to_one():
+                continue
+            if rel.many_participants()[0].object_set == current:
+                members.append(rel.name)
+                frontier.append(rel.name)
+    return tuple(members)
+
+
+def classify_relationship_star(
+    eer: EERSchema, anchor: str
+) -> AmenableStructure | None:
+    """Classify the many-to-one star anchored at ``anchor`` (conditions
+    (2) of Section 5.2); ``None`` when no relationship-set hangs off it."""
+    rels = _star_members(eer, anchor)
+    if not rels:
+        return None
+    reasons: list[str] = []
+    for rel_name in rels:
+        rel = eer.object_set(rel_name)
+        assert isinstance(rel, RelationshipSet)
+        if rel.attributes:
+            reasons.append(
+                f"{rel_name} has attributes (condition 2(a))"
+            )
+        if eer.relationships_involving(rel_name):
+            reasons.append(
+                f"{rel_name} is involved in other relationship-sets "
+                "(condition 2(b))"
+            )
+        one_side = rel.one_participants()[0].object_set
+        one_obj = eer.object_set(one_side)
+        if isinstance(one_obj, WeakEntitySet):
+            reasons.append(
+                f"{rel_name}'s one-side {one_side} is weak (condition 2(c))"
+            )
+        elif isinstance(one_obj, EntitySet):
+            root = eer.root_generic(one_side)
+            root_obj = eer.object_set(root)
+            assert isinstance(root_obj, EntitySet)
+            if len(root_obj.identifier) != 1:
+                reasons.append(
+                    f"{rel_name}'s one-side {one_side} has a composite "
+                    "identifier (condition 2(c))"
+                )
+        elif isinstance(one_obj, RelationshipSet):
+            one_scheme_key_width = len(
+                one_obj.many_participants()
+            )
+            if one_scheme_key_width != 1:
+                reasons.append(
+                    f"{rel_name}'s one-side {one_side} has a composite key "
+                    "(condition 2(c))"
+                )
+    return AmenableStructure(
+        kind="relationship-star",
+        anchor=anchor,
+        members=(anchor, *rels),
+        nna_only=not reasons,
+        reasons=tuple(dict.fromkeys(reasons)),
+    )
+
+
+def find_amenable_structures(eer: EERSchema) -> tuple[AmenableStructure, ...]:
+    """All single-relation-representable structures of an EER schema.
+
+    Generalization hierarchies are reported per generic; relationship
+    stars per anchor object-set.  Stars strictly contained in another
+    reported star are dropped.
+    """
+    out: list[AmenableStructure] = []
+    roots = {
+        g.generic
+        for g in eer.generalizations
+        if not eer.is_specialization(g.generic)
+    }
+    for generic in roots:
+        structure = classify_generalization(eer, generic)
+        if structure is not None:
+            out.append(structure)
+    stars: list[AmenableStructure] = []
+    for obj in eer.object_sets:
+        structure = classify_relationship_star(eer, obj.name)
+        if structure is not None:
+            stars.append(structure)
+    for star in stars:
+        contained = any(
+            set(star.members) < set(other.members) for other in stars
+        )
+        if not contained:
+            out.append(star)
+    return tuple(sorted(out, key=lambda s: (s.kind, s.anchor)))

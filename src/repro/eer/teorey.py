@@ -1,0 +1,195 @@
+"""Teorey-Yang-Fry-style baseline translation [14].
+
+ER- and EER-oriented design methodologies "recommend using a single
+relation-scheme for representing a binary many-to-one relationship-set
+and the entity-set involved in that relationship-set with a many
+cardinality" (Section 1).  The paper shows this folding, done naively, is
+*inconsistent with the EER semantics*: the Figure 1(iii) schema admits a
+WORKS tuple with a non-null assignment DATE for an employee working on no
+project, because the methodology emits no null constraints.
+
+This module implements exactly that baseline: start from the
+Markowitz-Shoshani translation, then fold each requested binary
+many-to-one relationship-set into its many-side entity relation, making
+the folded attributes nullable and emitting **no** null-existence
+constraints.  The ``fig1`` benchmark contrasts it with the paper's
+``Merge`` (which generates the missing ``DATE |-> NR`` constraint) and
+demonstrates the anomaly state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import NullConstraint, NullExistenceConstraint
+from repro.eer.model import EERSchema, EntitySet, RelationshipSet, WeakEntitySet
+from repro.eer.translate import Translation, translate_eer
+from repro.relational.schema import RelationScheme, RelationalSchema
+
+
+class TeoreyTranslationError(ValueError):
+    """Raised when a requested fold is not applicable."""
+
+
+@dataclass(frozen=True)
+class TeoreyTranslation:
+    """Result of the baseline translation.
+
+    ``folded`` maps each folded relationship-set to the entity relation
+    that absorbed it.
+    """
+
+    source: EERSchema
+    schema: RelationalSchema
+    folded: dict[str, str]
+
+
+def _foldable(eer: EERSchema, rel: RelationshipSet) -> str | None:
+    """The many-side entity name if ``rel`` can be folded, else ``None``."""
+    if not rel.is_binary_many_to_one():
+        return None
+    many = rel.many_participants()[0].object_set
+    many_obj = eer.object_set(many)
+    if isinstance(many_obj, (RelationshipSet, WeakEntitySet)):
+        return None
+    if not isinstance(many_obj, EntitySet):
+        return None
+    # A relationship that itself participates in another relationship-set
+    # cannot be folded away: the other relationship references its key.
+    if eer.relationships_involving(rel.name):
+        return None
+    return many
+
+
+def translate_teorey(
+    eer: EERSchema, fold: Sequence[str] | None = None
+) -> TeoreyTranslation:
+    """Translate ``eer``, folding binary many-to-one relationship-sets.
+
+    ``fold`` names the relationship-sets to fold (default: every foldable
+    one).  Folded foreign keys and relationship attributes become
+    nullable columns of the many-side entity relation; *no* null
+    constraints tie them together -- that omission is the point of the
+    baseline.
+    """
+    base = translate_eer(eer)
+    if fold is None:
+        targets = [
+            r.name
+            for r in eer.relationship_sets()
+            if _foldable(eer, r) is not None
+        ]
+    else:
+        targets = list(fold)
+        for name in targets:
+            obj = eer.object_set(name)
+            if not isinstance(obj, RelationshipSet) or _foldable(eer, obj) is None:
+                raise TeoreyTranslationError(
+                    f"{name!r} is not a foldable binary many-to-one "
+                    "relationship-set"
+                )
+
+    schema = base.schema
+    folded: dict[str, str] = {}
+    for rel_name in targets:
+        rel = eer.object_set(rel_name)
+        assert isinstance(rel, RelationshipSet)
+        entity_name = _foldable(eer, rel)
+        assert entity_name is not None
+        schema = _fold_one(schema, base, rel, entity_name)
+        folded[rel_name] = entity_name
+    return TeoreyTranslation(eer, schema, folded)
+
+
+def _fold_one(
+    schema: RelationalSchema,
+    base: Translation,
+    rel: RelationshipSet,
+    entity_name: str,
+) -> RelationalSchema:
+    rel_scheme = schema.scheme(rel.name)
+    entity_scheme = schema.scheme(entity_name)
+    many = rel.many_participants()[0]
+    many_handle = f"{many.object_set}:{many.role}" if many.role else many.object_set
+    many_fk = set(base.foreign_keys[rel.name][many_handle])
+
+    # The many-side foreign key duplicates the entity key; only the other
+    # columns move over.
+    moved = tuple(
+        a for a in rel_scheme.attributes if a.name not in many_fk
+    )
+    new_entity = RelationScheme(
+        entity_name,
+        entity_scheme.attributes + moved,
+        entity_scheme.primary_key,
+        entity_scheme.candidate_keys,
+    )
+
+    inds: list[InclusionDependency] = []
+    for ind in schema.inds:
+        if ind.lhs_scheme == rel.name:
+            if set(ind.lhs_attrs) <= many_fk:
+                continue  # the key-side reference dissolves into identity
+            inds.append(
+                InclusionDependency(
+                    entity_name, ind.lhs_attrs, ind.rhs_scheme, ind.rhs_attrs
+                )
+            )
+        elif ind.rhs_scheme == rel.name:
+            raise TeoreyTranslationError(
+                f"cannot fold {rel.name!r}: it is referenced by {ind}"
+            )
+        else:
+            inds.append(ind)
+
+    # Null constraints: the relationship's nulls-not-allowed constraint is
+    # dropped wholesale -- the folded columns are nullable and the
+    # methodology emits nothing to synchronize them (the Figure 1(iii)
+    # defect).
+    null_constraints: list[NullConstraint] = [
+        c for c in schema.null_constraints if c.scheme_name != rel.name
+    ]
+
+    return schema.replacing_schemes(
+        removed=[rel.name, entity_name],
+        added=[new_entity],
+        fds=schema.fds,
+        inds=inds,
+        null_constraints=null_constraints,
+    )
+
+
+def missing_null_constraints(
+    teorey: TeoreyTranslation, base: Translation | None = None
+) -> tuple[NullExistenceConstraint, ...]:
+    """The null-existence constraints the baseline *should* have emitted.
+
+    For every folded relationship, each of its own (nullable) attributes
+    must be null whenever the folded foreign key is null -- e.g.
+    ``DATE |-> NR`` for Figure 1(iii).  Returned so callers can repair the
+    baseline schema and re-check information capacity.
+    """
+    base = base or translate_eer(teorey.source)
+    out: list[NullExistenceConstraint] = []
+    for rel_name, entity_name in teorey.folded.items():
+        rel = teorey.source.object_set(rel_name)
+        assert isinstance(rel, RelationshipSet)
+        one = rel.one_participants()[0]
+        handle = f"{one.object_set}:{one.role}" if one.role else one.object_set
+        fk = frozenset(base.foreign_keys[rel_name][handle])
+        for attr in rel.attributes:
+            rel_attr = base.attribute_names[(rel_name, attr.name)]
+            out.append(
+                NullExistenceConstraint(
+                    entity_name, frozenset({rel_attr}), fk
+                )
+            )
+        # The foreign key itself must be all-or-nothing when composite.
+        if len(fk) > 1:
+            for a in sorted(fk):
+                out.append(
+                    NullExistenceConstraint(entity_name, frozenset({a}), fk)
+                )
+    return tuple(out)

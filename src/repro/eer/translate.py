@@ -1,0 +1,328 @@
+"""EER -> relational translation (Markowitz-Shoshani [11]).
+
+Every object-set becomes one relation-scheme; the output schema is in
+BCNF and consists of key dependencies, referential integrity constraints
+and nulls-not-allowed constraints -- the exact class the merging
+technique takes as input (Section 5.2: "if ... every relation-scheme
+represents a single EER object-set, then the set of null constraints
+consists only of nulls-not-allowed constraints involving primary-keys and
+foreign-keys").
+
+Attribute naming reproduces the paper's figures.  Every object-set gets a
+prefix (its abbreviation); each primary-key attribute additionally
+carries a *reference label*, the suffix a referencing scheme uses:
+
+* a native entity attribute ``NR`` of ``COURSE`` (abbrev ``C``) is named
+  ``C.NR`` and referenced as ``C.NR`` -- so ``OFFER`` names its foreign
+  key ``O.C.NR``;
+* a specialization inherits its generic's key under its own prefix:
+  ``FACULTY`` (abbrev ``F``) inherits ``P.SSN`` as ``F.SSN`` and is
+  referenced as ``F.SSN`` -- so ``TEACH`` names its foreign key
+  ``T.F.SSN``;
+* a relationship-set's key keeps the *referenced* label: ``TEACH``
+  references ``OFFER``'s key ``O.C.NR`` (label ``C.NR``) as ``T.C.NR``.
+
+Applying this to the Figure 7 EER schema yields exactly the Figure 3
+relational schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import NullConstraint, nulls_not_allowed
+from repro.eer.model import (
+    EERSchema,
+    EntitySet,
+    ObjectSet,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from repro.eer.validate import validate_eer_schema
+from repro.relational.attributes import Attribute
+from repro.relational.schema import RelationScheme, RelationalSchema
+
+
+class TranslationError(ValueError):
+    """Raised when an EER schema cannot be translated (e.g. ambiguous
+    attribute naming that needs participant roles)."""
+
+
+@dataclass
+class _TranslatedSet:
+    """Intermediate per-object-set translation state."""
+
+    scheme: RelationScheme
+    #: Reference label per primary-key attribute name (see module doc).
+    reference_labels: dict[str, str]
+    #: Relational name of each EER attribute of this object-set.
+    eer_attr_names: dict[str, str]
+    inds: list[InclusionDependency] = field(default_factory=list)
+    not_null: list[str] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Translation:
+    """The result of :func:`translate_eer`.
+
+    ``schema`` is the relational schema; the mapping fields let callers
+    (the SDT tool, the Figure 8 classifiers, state generators) navigate
+    between EER and relational names.
+    """
+
+    source: EERSchema
+    schema: RelationalSchema
+    #: EER object-set name -> relation-scheme name (identical by
+    #: construction, kept explicit for downstream code).
+    scheme_names: dict[str, str]
+    #: (object-set name, EER attribute name) -> relational attribute name.
+    attribute_names: dict[tuple[str, str], str]
+    #: relationship name -> participant handle -> foreign-key attribute
+    #: names (handle is ``object_set`` or ``object_set:role``).
+    foreign_keys: dict[str, dict[str, tuple[str, ...]]]
+
+    def scheme_of(self, object_set: str) -> RelationScheme:
+        """The relation-scheme an object-set translated to."""
+        return self.schema.scheme(self.scheme_names[object_set])
+
+
+class _Translator:
+    def __init__(self, eer: EERSchema):
+        self.eer = eer
+        self.abbrevs = self._assign_abbrevs()
+        self.translated: dict[str, _TranslatedSet] = {}
+        self.foreign_keys: dict[str, dict[str, tuple[str, ...]]] = {}
+
+    # -- abbreviations ----------------------------------------------------
+
+    def _assign_abbrevs(self) -> dict[str, str]:
+        taken: set[str] = set()
+        abbrevs: dict[str, str] = {}
+        for obj in self.eer.object_sets:
+            if obj.abbrev:
+                if obj.abbrev in taken:
+                    raise TranslationError(
+                        f"duplicate abbreviation {obj.abbrev!r}"
+                    )
+                abbrevs[obj.name] = obj.abbrev
+                taken.add(obj.abbrev)
+        for obj in self.eer.object_sets:
+            if obj.name in abbrevs:
+                continue
+            base = obj.name.upper()
+            candidate = base[0]
+            length = 1
+            while candidate in taken and length < len(base):
+                length += 1
+                candidate = base[:length]
+            suffix = 1
+            while candidate in taken:
+                candidate = base[0] + str(suffix)
+                suffix += 1
+            abbrevs[obj.name] = candidate
+            taken.add(candidate)
+        return abbrevs
+
+    # -- per-object-set translation -----------------------------------------
+
+    def translated_set(self, name: str) -> _TranslatedSet:
+        """Translate (and cache) one object-set, recursing into its dependencies."""
+        if name not in self.translated:
+            obj = self.eer.object_set(name)
+            if isinstance(obj, WeakEntitySet):
+                self.translated[name] = self._translate_weak(obj)
+            elif isinstance(obj, RelationshipSet):
+                self.translated[name] = self._translate_relationship(obj)
+            elif isinstance(obj, EntitySet):
+                self.translated[name] = self._translate_entity(obj)
+            else:  # pragma: no cover - model has no other kinds
+                raise TranslationError(f"unknown object-set kind: {obj!r}")
+        return self.translated[name]
+
+    def _own_attributes(
+        self, obj: ObjectSet, skip: Iterable[str] = ()
+    ) -> tuple[list[Attribute], dict[str, str], list[str]]:
+        """Translate an object-set's own (non-inherited) attributes."""
+        abbrev = self.abbrevs[obj.name]
+        skipped = set(skip)
+        attrs: list[Attribute] = []
+        names: dict[str, str] = {}
+        not_null: list[str] = []
+        for eer_attr in obj.attributes:
+            if eer_attr.name in skipped:
+                continue
+            full = f"{abbrev}.{eer_attr.name}"
+            attrs.append(Attribute(full, eer_attr.domain))
+            names[eer_attr.name] = full
+            if eer_attr.required:
+                not_null.append(full)
+        return attrs, names, not_null
+
+    def _translate_entity(self, obj: EntitySet) -> _TranslatedSet:
+        abbrev = self.abbrevs[obj.name]
+        generic = self.eer.generic_of(obj.name)
+        inds: list[InclusionDependency] = []
+        labels: dict[str, str] = {}
+
+        if generic is None:
+            key_attrs = []
+            for id_name in obj.identifier:
+                eer_attr = obj.attribute(id_name)
+                full = f"{abbrev}.{id_name}"
+                key_attrs.append(Attribute(full, eer_attr.domain))
+                labels[full] = full
+            own_skip = set(obj.identifier)
+        else:
+            parent = self.translated_set(generic)
+            parent_abbrev = self.abbrevs[generic]
+            key_attrs = []
+            for p_attr in parent.scheme.primary_key:
+                tail = p_attr.name
+                prefix = parent_abbrev + "."
+                if tail.startswith(prefix):
+                    tail = tail[len(prefix):]
+                full = f"{abbrev}.{tail}"
+                key_attrs.append(Attribute(full, p_attr.domain))
+                labels[full] = full
+            inds.append(
+                InclusionDependency(
+                    obj.name,
+                    tuple(a.name for a in key_attrs),
+                    generic,
+                    parent.scheme.key_names,
+                )
+            )
+            own_skip = set()
+
+        own, names, own_not_null = self._own_attributes(obj, skip=own_skip)
+        for id_name in obj.identifier:
+            names[id_name] = f"{abbrev}.{id_name}"
+        scheme = RelationScheme(
+            obj.name, tuple(key_attrs) + tuple(own), tuple(key_attrs)
+        )
+        not_null = [a.name for a in key_attrs] + own_not_null
+        return _TranslatedSet(scheme, labels, names, inds, not_null)
+
+    def _translate_weak(self, obj: WeakEntitySet) -> _TranslatedSet:
+        abbrev = self.abbrevs[obj.name]
+        owner = self.translated_set(obj.owner)
+        inds: list[InclusionDependency] = []
+        labels: dict[str, str] = {}
+
+        fk_attrs = []
+        for o_attr in owner.scheme.primary_key:
+            label = owner.reference_labels[o_attr.name]
+            full = f"{abbrev}.{label}"
+            fk_attrs.append(Attribute(full, o_attr.domain))
+            labels[full] = full
+        inds.append(
+            InclusionDependency(
+                obj.name,
+                tuple(a.name for a in fk_attrs),
+                obj.owner,
+                owner.scheme.key_names,
+            )
+        )
+        partial_attrs = []
+        for id_name in obj.partial_identifier:
+            eer_attr = obj.attribute(id_name)
+            full = f"{abbrev}.{id_name}"
+            partial_attrs.append(Attribute(full, eer_attr.domain))
+            labels[full] = full
+        own, names, own_not_null = self._own_attributes(
+            obj, skip=set(obj.partial_identifier)
+        )
+        for id_name in obj.partial_identifier:
+            names[id_name] = f"{abbrev}.{id_name}"
+        key = tuple(fk_attrs) + tuple(partial_attrs)
+        scheme = RelationScheme(obj.name, key + tuple(own), key)
+        not_null = [a.name for a in key] + own_not_null
+        return _TranslatedSet(scheme, labels, names, inds, not_null)
+
+    def _participant_handle(self, p: Participation) -> str:
+        return f"{p.object_set}:{p.role}" if p.role else p.object_set
+
+    def _translate_relationship(self, obj: RelationshipSet) -> _TranslatedSet:
+        abbrev = self.abbrevs[obj.name]
+        inds: list[InclusionDependency] = []
+        labels: dict[str, str] = {}
+        groups: dict[str, tuple[str, ...]] = {}
+        all_attrs: list[Attribute] = []
+        key_attrs: list[Attribute] = []
+        not_null: list[str] = []
+
+        for p in obj.participants:
+            target = self.translated_set(p.object_set)
+            group = []
+            for t_attr in target.scheme.primary_key:
+                label = target.reference_labels[t_attr.name]
+                middle = f"{p.role}.{label}" if p.role else label
+                full = f"{abbrev}.{middle}"
+                attr = Attribute(full, t_attr.domain)
+                group.append(attr)
+                labels[full] = label if not p.role else f"{p.role}.{label}"
+            names = tuple(a.name for a in group)
+            if any(any(a.name == g.name for g in all_attrs) for a in group):
+                raise TranslationError(
+                    f"{obj.name}: participants produce clashing attribute "
+                    "names; add distinguishing roles"
+                )
+            all_attrs.extend(group)
+            not_null.extend(names)
+            groups[self._participant_handle(p)] = names
+            inds.append(
+                InclusionDependency(
+                    obj.name, names, p.object_set, target.scheme.key_names
+                )
+            )
+            if p.cardinality.value == "many":
+                key_attrs.extend(group)
+
+        own, names_map, own_not_null = self._own_attributes(obj)
+        scheme = RelationScheme(
+            obj.name, tuple(all_attrs) + tuple(own), tuple(key_attrs)
+        )
+        self.foreign_keys[obj.name] = groups
+        not_null = list(dict.fromkeys(not_null)) + own_not_null
+        return _TranslatedSet(scheme, labels, names_map, inds, not_null)
+
+    # -- assembly -----------------------------------------------------------
+
+    def run(self) -> Translation:
+        """Assemble the full relational schema and mapping registries."""
+        ordered = [o.name for o in self.eer.object_sets]
+        for name in ordered:
+            self.translated_set(name)
+        schemes = tuple(self.translated[n].scheme for n in ordered)
+        inds: list[InclusionDependency] = []
+        null_constraints: list[NullConstraint] = []
+        attribute_names: dict[tuple[str, str], str] = {}
+        for name in ordered:
+            t = self.translated[name]
+            inds.extend(t.inds)
+            if t.not_null:
+                null_constraints.append(nulls_not_allowed(name, t.not_null))
+            for eer_name, rel_name in t.eer_attr_names.items():
+                attribute_names[(name, eer_name)] = rel_name
+        schema = RelationalSchema(
+            schemes=schemes,
+            inds=tuple(inds),
+            null_constraints=tuple(null_constraints),
+        )
+        return Translation(
+            source=self.eer,
+            schema=schema,
+            scheme_names={n: n for n in ordered},
+            attribute_names=attribute_names,
+            foreign_keys=self.foreign_keys,
+        )
+
+
+def translate_eer(eer: EERSchema) -> Translation:
+    """Translate a (validated) EER schema into the paper's relational
+    schema class; reproduces Figure 3 from Figure 7."""
+    validate_eer_schema(eer)
+    return _Translator(eer).run()

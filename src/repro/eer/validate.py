@@ -1,0 +1,139 @@
+"""EER schema well-formedness.
+
+The translation of Section 5.2 assumes well-formed EER schemas; this
+module checks the structural rules and raises :class:`EERValidationError`
+with every problem found.
+"""
+
+from __future__ import annotations
+
+from repro.eer.model import (
+    EERSchema,
+    EntitySet,
+    RelationshipSet,
+    WeakEntitySet,
+)
+
+
+class EERValidationError(ValueError):
+    """Raised when an EER schema is not well-formed; carries all
+    problems found."""
+
+    def __init__(self, problems: list[str]):
+        self.problems = problems
+        super().__init__("; ".join(problems))
+
+
+def _check_generalizations(schema: EERSchema, problems: list[str]) -> None:
+    for g in schema.generalizations:
+        if not schema.has_object_set(g.generic):
+            problems.append(f"generalization generic {g.generic!r} undefined")
+            continue
+        if isinstance(schema.object_set(g.generic), RelationshipSet):
+            problems.append(
+                f"generalization generic {g.generic!r} must be an entity-set"
+            )
+        for spec_name in g.specializations:
+            if not schema.has_object_set(spec_name):
+                problems.append(f"specialization {spec_name!r} undefined")
+                continue
+            spec = schema.object_set(spec_name)
+            if not isinstance(spec, EntitySet) or isinstance(spec, WeakEntitySet):
+                problems.append(
+                    f"specialization {spec_name!r} must be a plain entity-set"
+                )
+                continue
+            if spec.identifier:
+                problems.append(
+                    f"specialization {spec_name!r} must inherit its "
+                    "identifier (declared one of its own)"
+                )
+    # Acyclicity of the ISA graph.
+    for entity in schema.entity_sets():
+        seen = set()
+        current: str | None = entity.name
+        while current is not None:
+            if current in seen:
+                problems.append(
+                    f"generalization cycle through {current!r}"
+                )
+                break
+            seen.add(current)
+            current = schema.generic_of(current)
+    # Single direct generic per specialization.
+    for entity in schema.entity_sets():
+        generics = schema.generics_of(entity.name)
+        if len(generics) > 1:
+            problems.append(
+                f"{entity.name!r} has multiple direct generics "
+                f"{sorted(generics)}; the translation requires a single "
+                "inheritance path"
+            )
+
+
+def _check_entities(schema: EERSchema, problems: list[str]) -> None:
+    for entity in schema.entity_sets():
+        if schema.is_specialization(entity.name):
+            continue
+        if not entity.identifier:
+            problems.append(
+                f"root entity-set {entity.name!r} needs an identifier"
+            )
+            continue
+        for attr_name in entity.identifier:
+            if not entity.attribute(attr_name).required:
+                problems.append(
+                    f"{entity.name!r}: identifier attribute {attr_name!r} "
+                    "cannot allow nulls"
+                )
+
+
+def _check_weak_entities(schema: EERSchema, problems: list[str]) -> None:
+    for weak in schema.weak_entity_sets():
+        if not schema.has_object_set(weak.owner):
+            problems.append(
+                f"weak entity-set {weak.name!r} owner {weak.owner!r} undefined"
+            )
+            continue
+        owner = schema.object_set(weak.owner)
+        if isinstance(owner, RelationshipSet):
+            problems.append(
+                f"weak entity-set {weak.name!r} must be owned by an entity-set"
+            )
+        if not weak.partial_identifier:
+            problems.append(
+                f"weak entity-set {weak.name!r} needs a partial identifier"
+            )
+
+
+def _check_relationships(schema: EERSchema, problems: list[str]) -> None:
+    for rel in schema.relationship_sets():
+        seen_roles = set()
+        for p in rel.participants:
+            if not schema.has_object_set(p.object_set):
+                problems.append(
+                    f"{rel.name!r}: participant {p.object_set!r} undefined"
+                )
+            handle = (p.object_set, p.role)
+            if handle in seen_roles:
+                problems.append(
+                    f"{rel.name!r}: participant {p.object_set!r} appears "
+                    "twice without distinguishing roles"
+                )
+            seen_roles.add(handle)
+        if not rel.many_participants():
+            problems.append(
+                f"{rel.name!r}: at least one participant must have MANY "
+                "cardinality (its key identifies the relationship)"
+            )
+
+
+def validate_eer_schema(schema: EERSchema) -> None:
+    """Raise :class:`EERValidationError` if the schema is not well-formed."""
+    problems: list[str] = []
+    _check_generalizations(schema, problems)
+    _check_entities(schema, problems)
+    _check_weak_entities(schema, problems)
+    _check_relationships(schema, problems)
+    if problems:
+        raise EERValidationError(problems)

@@ -1,0 +1,30 @@
+"""A small constraint-enforcing in-memory storage engine.
+
+The paper motivates merging with access performance: "decreasing the
+number of relations ... reduces the need for joining relations, and
+usually results in a better access performance" (Section 1).  The paper
+itself reports no measurements; this engine is the reproduction's
+measurement substrate:
+
+* :mod:`repro.engine.database` -- a mutable database over one relational
+  schema, enforcing key dependencies, inclusion dependencies and null
+  constraints on every insert/update/delete (the behaviours Section 5.1
+  attributes to triggers/rules/validprocs);
+* :mod:`repro.engine.query` -- point lookups and join navigation with
+  operation counting;
+* :mod:`repro.engine.stats` -- the counters the join-reduction benchmarks
+  report.
+"""
+
+from repro.engine.database import ConstraintViolationError, Database
+from repro.engine.query import QueryEngine
+from repro.engine.stats import EngineStats
+from repro.engine.views import MergedViewResolver
+
+__all__ = [
+    "ConstraintViolationError",
+    "Database",
+    "QueryEngine",
+    "EngineStats",
+    "MergedViewResolver",
+]

@@ -1,0 +1,477 @@
+"""A mutable, constraint-enforcing database over one relational schema.
+
+Rows are indexed by primary key; every mutation enforces:
+
+* per-tuple null constraints of the affected scheme (the single-tuple
+  semantics of Section 3 makes them checkable on the new row alone);
+* primary/candidate key uniqueness (candidate keys with nulls follow the
+  total-left-hand-side FD semantics of Section 5.1);
+* inclusion dependencies: on insert/update, referenced values must exist;
+  on delete/update, referencing rows restrict the mutation.
+
+This is the behaviour the paper expects triggers (SYBASE), rules
+(INGRES) or validprocs (DB2) to implement; having it natively lets the
+benchmarks run merged and unmerged schemas under identical enforcement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.constraints.nulls import NullConstraint
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import Tuple, is_null
+from repro.engine.stats import EngineStats
+
+
+class ConstraintViolationError(ValueError):
+    """A mutation was rejected; carries which constraint failed."""
+
+    def __init__(self, constraint: str, detail: str):
+        self.constraint = constraint
+        self.detail = detail
+        super().__init__(f"{constraint}: {detail}")
+
+
+class _Table:
+    """One stored relation: primary-key index, candidate-key indexes, and
+    value-count indexes for the column groups inclusion dependencies
+    touch (so reference checks are O(1) instead of scans)."""
+
+    def __init__(self, scheme: RelationScheme):
+        self.scheme = scheme
+        self.rows: dict[tuple[Any, ...], Tuple] = {}
+        self.key_indexes: dict[tuple[str, ...], dict[tuple[Any, ...], tuple[Any, ...]]] = {
+            tuple(a.name for a in key): {}
+            for key in scheme.candidate_keys
+            if tuple(a.name for a in key) != scheme.key_names
+        }
+        #: value tuple -> number of rows carrying it, per indexed group.
+        self.group_indexes: dict[tuple[str, ...], dict[tuple[Any, ...], int]] = {}
+
+    def add_group_index(self, attrs: tuple[str, ...]) -> None:
+        """Register a value-count index over a column group."""
+        if attrs != self.scheme.key_names:
+            self.group_indexes.setdefault(attrs, {})
+
+    def pk_of(self, t: Tuple) -> tuple[Any, ...]:
+        """The primary-key value tuple of a stored row."""
+        return tuple(t[name] for name in self.scheme.key_names)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """A mutable database state with incremental constraint enforcement.
+
+    ``null_semantics`` selects how candidate keys treat nulls:
+
+    * ``"distinct"`` (default): a nullable candidate key binds only when
+      total -- the formal semantics the merged schemas need;
+    * ``"identical"``: all null values are considered identical, as in
+      SYBASE 4.0 and INGRES 6.3 (Section 5.1) -- two rows with a null
+      candidate key then *clash*, which is exactly why such systems
+      "cannot maintain keys that are allowed to be null" and why
+      Proposition 5.1(ii) matters.
+    """
+
+    def __init__(
+        self,
+        schema: RelationalSchema,
+        stats: EngineStats | None = None,
+        null_semantics: str = "distinct",
+    ):
+        if null_semantics not in ("distinct", "identical"):
+            raise ValueError(
+                "null_semantics must be 'distinct' or 'identical'"
+            )
+        self.null_semantics = null_semantics
+        self.schema = schema
+        self.stats = stats if stats is not None else EngineStats()
+        self._tables: dict[str, _Table] = {
+            s.name: _Table(s) for s in schema.schemes
+        }
+        self._null_constraints: dict[str, list[NullConstraint]] = {
+            s.name: list(schema.null_constraints_of(s.name))
+            for s in schema.schemes
+        }
+        self._outgoing = {
+            s.name: [
+                ind
+                for ind in schema.inds
+                if ind.lhs_scheme == s.name
+            ]
+            for s in schema.schemes
+        }
+        self._incoming = {
+            s.name: [
+                ind
+                for ind in schema.inds
+                if ind.rhs_scheme == s.name
+            ]
+            for s in schema.schemes
+        }
+        # Index every column group an inclusion dependency touches:
+        # right-hand sides for existence checks, left-hand sides for
+        # restrict checks on delete/update.
+        for ind in schema.inds:
+            self._tables[ind.rhs_scheme].add_group_index(tuple(ind.rhs_attrs))
+            self._tables[ind.lhs_scheme].add_group_index(tuple(ind.lhs_attrs))
+        #: Undo log of the innermost open transaction (None outside one).
+        self._undo_log: list[tuple[str, _Table, tuple[Any, ...], Tuple | None]] | None = None
+
+    # -- access ----------------------------------------------------------
+
+    def table(self, scheme_name: str) -> _Table:
+        """The stored table for one relation-scheme."""
+        try:
+            return self._tables[scheme_name]
+        except KeyError:
+            raise KeyError(f"no relation named {scheme_name!r}") from None
+
+    def get(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> Tuple | None:
+        """Primary-key lookup; counts as one lookup."""
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        self.stats.lookups += 1
+        return self.table(scheme_name).rows.get(pk)
+
+    def scan(self, scheme_name: str) -> Iterable[Tuple]:
+        """Full scan; counts every tuple touched."""
+        table = self.table(scheme_name)
+        self.stats.tuples_scanned += len(table.rows)
+        return list(table.rows.values())
+
+    def count(self, scheme_name: str) -> int:
+        """Current row count of one relation."""
+        return len(self.table(scheme_name))
+
+    def state(self) -> DatabaseState:
+        """An immutable snapshot of the current contents."""
+        return DatabaseState(
+            {
+                name: Relation(table.scheme.attributes, table.rows.values())
+                for name, table in self._tables.items()
+            }
+        )
+
+    # -- validation helpers -----------------------------------------------
+
+    def _check_shape(self, table: _Table, row: Mapping[str, Any]) -> Tuple:
+        expected = set(table.scheme.attribute_names)
+        given = set(row)
+        if given != expected:
+            missing = expected - given
+            extra = given - expected
+            raise ConstraintViolationError(
+                "structure",
+                f"{table.scheme.name}: row attributes mismatch "
+                f"(missing {sorted(missing)}, unexpected {sorted(extra)})",
+            )
+        return Tuple(row)
+
+    def _check_null_constraints(self, scheme_name: str, t: Tuple) -> None:
+        for constraint in self._null_constraints[scheme_name]:
+            self.stats.constraint_checks += 1
+            if not constraint.holds_for(t):
+                raise ConstraintViolationError(str(constraint), f"row {t!r}")
+
+    def _check_keys(
+        self, table: _Table, t: Tuple, replacing: tuple[Any, ...] | None
+    ) -> None:
+        pk = table.pk_of(t)
+        if any(is_null(v) for v in pk):
+            raise ConstraintViolationError(
+                "primary-key",
+                f"{table.scheme.name}: primary key contains nulls: {pk!r}",
+            )
+        self.stats.constraint_checks += 1
+        if pk in table.rows and pk != replacing:
+            raise ConstraintViolationError(
+                "primary-key",
+                f"{table.scheme.name}: duplicate primary key {pk!r}",
+            )
+        for key_names, index in table.key_indexes.items():
+            value = tuple(t[name] for name in key_names)
+            if any(is_null(v) for v in value):
+                if self.null_semantics == "distinct":
+                    continue  # binds only when total
+                # 'identical' semantics (SYBASE/INGRES, Section 5.1):
+                # nulls compare equal, so a partially-null key value
+                # occupies an index slot like any other.
+            self.stats.constraint_checks += 1
+            owner = index.get(value)
+            if owner is not None and owner != replacing:
+                raise ConstraintViolationError(
+                    "candidate-key",
+                    f"{table.scheme.name}: duplicate candidate key "
+                    f"{dict(zip(key_names, value))!r} "
+                    f"({self.null_semantics} null semantics)",
+                )
+
+    def _check_references_out(self, scheme_name: str, t: Tuple) -> None:
+        for ind in self._outgoing[scheme_name]:
+            value = tuple(t[a] for a in ind.lhs_attrs)
+            if any(is_null(v) for v in value):
+                continue
+            self.stats.constraint_checks += 1
+            if not self._referenced_exists(ind.rhs_scheme, ind.rhs_attrs, value):
+                raise ConstraintViolationError(
+                    str(ind),
+                    f"no {ind.rhs_scheme} row with "
+                    f"{dict(zip(ind.rhs_attrs, value))!r}",
+                )
+
+    def _referenced_exists(
+        self, scheme_name: str, attrs: tuple[str, ...], value: tuple[Any, ...]
+    ) -> bool:
+        table = self.table(scheme_name)
+        if tuple(attrs) == table.scheme.key_names:
+            return value in table.rows
+        index = table.group_indexes.get(tuple(attrs))
+        if index is not None:
+            return index.get(value, 0) > 0
+        self.stats.tuples_scanned += len(table.rows)
+        return any(
+            tuple(row[a] for a in attrs) == value
+            for row in table.rows.values()
+        )
+
+    def _referencing_rows_exist(
+        self,
+        scheme_name: str,
+        old: Tuple,
+        ignore_self_pk: tuple[Any, ...] | None = None,
+    ) -> str | None:
+        """Description of a restricting reference into ``old``, if any."""
+        for ind in self._incoming[scheme_name]:
+            target_value = tuple(old[a] for a in ind.rhs_attrs)
+            if any(is_null(v) for v in target_value):
+                continue
+            child = self.table(ind.lhs_scheme)
+            needs_scan = ignore_self_pk is not None and ind.lhs_scheme == scheme_name
+            if not needs_scan:
+                if tuple(ind.lhs_attrs) == child.scheme.key_names:
+                    if target_value in child.rows:
+                        return f"{ind} (from {ind.lhs_scheme})"
+                    continue
+                index = child.group_indexes.get(tuple(ind.lhs_attrs))
+                if index is not None:
+                    if index.get(target_value, 0) > 0:
+                        return f"{ind} (from {ind.lhs_scheme})"
+                    continue
+            self.stats.tuples_scanned += len(child.rows)
+            for pk, row in child.rows.items():
+                if (
+                    ind.lhs_scheme == scheme_name
+                    and ignore_self_pk is not None
+                    and pk == ignore_self_pk
+                ):
+                    continue
+                if tuple(row[a] for a in ind.lhs_attrs) == target_value:
+                    return f"{ind} (row {pk!r} of {ind.lhs_scheme})"
+        return None
+
+    # -- mutations -----------------------------------------------------------
+
+    def insert(self, scheme_name: str, row: Mapping[str, Any]) -> Tuple:
+        """Insert one row; raises :class:`ConstraintViolationError` when
+        any constraint would be violated."""
+        table = self.table(scheme_name)
+        t = self._check_shape(table, row)
+        self._check_null_constraints(scheme_name, t)
+        self._check_keys(table, t, replacing=None)
+        self._check_references_out(scheme_name, t)
+        self._store(table, t)
+        self.stats.inserts += 1
+        return t
+
+    def delete(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> None:
+        """Delete by primary key, restricting when referenced."""
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        table = self.table(scheme_name)
+        old = table.rows.get(pk)
+        if old is None:
+            raise KeyError(f"{scheme_name}: no row with key {pk!r}")
+        blocker = self._referencing_rows_exist(scheme_name, old)
+        if blocker is not None:
+            raise ConstraintViolationError(
+                "restrict-delete", f"{scheme_name} row {pk!r} referenced via {blocker}"
+            )
+        self._unstore(table, pk, old)
+        self.stats.deletes += 1
+
+    def update(
+        self, scheme_name: str, pk: tuple[Any, ...] | Any, updates: Mapping[str, Any]
+    ) -> Tuple:
+        """Update one row by primary key."""
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        table = self.table(scheme_name)
+        old = table.rows.get(pk)
+        if old is None:
+            raise KeyError(f"{scheme_name}: no row with key {pk!r}")
+        t = old.with_values(dict(updates))
+        self._check_null_constraints(scheme_name, t)
+        self._check_keys(table, t, replacing=pk)
+        self._check_references_out(scheme_name, t)
+        # Referenced attribute values must not change under incoming
+        # references (restrict semantics on update).
+        changed = {
+            name for name in updates if old[name] != t[name]
+        }
+        for ind in self._incoming[scheme_name]:
+            if changed & set(ind.rhs_attrs):
+                blocker = self._referencing_rows_exist(
+                    scheme_name, old, ignore_self_pk=pk
+                )
+                if blocker is not None:
+                    raise ConstraintViolationError(
+                        "restrict-update",
+                        f"{scheme_name} row {pk!r} referenced via {blocker}",
+                    )
+                break
+        self._unstore(table, pk, old)
+        self._store(table, t)
+        self.stats.updates += 1
+        return t
+
+    def load_state(self, state: DatabaseState, validate: bool = True) -> None:
+        """Bulk-load an existing state (e.g. the image of a state mapping).
+
+        With ``validate`` the final contents are checked wholesale via the
+        consistency checker, which is much cheaper than per-row checks
+        with inter-row ordering concerns.
+        """
+        if self.in_transaction:
+            raise ConstraintViolationError(
+                "bulk-load", "cannot bulk-load inside a transaction"
+            )
+        for name, relation in state.items():
+            table = self.table(name)
+            table.rows.clear()
+            for index in table.key_indexes.values():
+                index.clear()
+            for counts in table.group_indexes.values():
+                counts.clear()
+            for t in relation:
+                self._store_raw(table, t)
+        if validate:
+            from repro.constraints.checker import ConsistencyChecker
+
+            violations = ConsistencyChecker(self.schema).violations(self.state())
+            if violations:
+                raise ConstraintViolationError(
+                    "bulk-load", "; ".join(str(v) for v in violations[:5])
+                )
+
+    # -- transactions -----------------------------------------------------------
+
+    def transaction(self) -> "_TransactionContext":
+        """A context manager giving all-or-nothing mutation semantics::
+
+            with db.transaction():
+                db.insert(...)
+                db.update(...)
+
+        On any exception inside the block, every mutation performed in it
+        is undone (the paper's DBMS triggers ``ROLLBACK TRANSACTION`` on
+        violations; this is the same discipline).  Transactions nest: an
+        inner failure unwinds to the inner boundary only.
+        """
+        return _TransactionContext(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a transaction block is currently open."""
+        return self._undo_log is not None
+
+    def _journal(
+        self,
+        op: str,
+        table: _Table,
+        pk: tuple[Any, ...],
+        old: Tuple | None,
+    ) -> None:
+        if self._undo_log is not None:
+            self._undo_log.append((op, table, pk, old))
+
+    def _rollback_to(self, mark: int) -> None:
+        assert self._undo_log is not None
+        while len(self._undo_log) > mark:
+            op, table, pk, old = self._undo_log.pop()
+            if op == "store":
+                current = table.rows.get(pk)
+                if current is not None:
+                    self._unstore_raw(table, pk, current)
+            else:  # "unstore"
+                assert old is not None
+                self._store_raw(table, old)
+
+    # -- low-level storage ---------------------------------------------------
+
+    def _store(self, table: _Table, t: Tuple) -> None:
+        self._journal("store", table, table.pk_of(t), None)
+        self._store_raw(table, t)
+
+    def _unstore(self, table: _Table, pk: tuple[Any, ...], old: Tuple) -> None:
+        self._journal("unstore", table, pk, old)
+        self._unstore_raw(table, pk, old)
+
+    def _store_raw(self, table: _Table, t: Tuple) -> None:
+        pk = table.pk_of(t)
+        table.rows[pk] = t
+        for key_names, index in table.key_indexes.items():
+            value = tuple(t[name] for name in key_names)
+            if (
+                not any(is_null(v) for v in value)
+                or self.null_semantics == "identical"
+            ):
+                index[value] = pk
+        for attrs, counts in table.group_indexes.items():
+            value = tuple(t[name] for name in attrs)
+            if not any(is_null(v) for v in value):
+                counts[value] = counts.get(value, 0) + 1
+
+    def _unstore_raw(self, table: _Table, pk: tuple[Any, ...], old: Tuple) -> None:
+        del table.rows[pk]
+        for key_names, index in table.key_indexes.items():
+            value = tuple(old[name] for name in key_names)
+            if index.get(value) == pk:
+                del index[value]
+        for attrs, counts in table.group_indexes.items():
+            value = tuple(old[name] for name in attrs)
+            if not any(is_null(v) for v in value):
+                remaining = counts.get(value, 0) - 1
+                if remaining > 0:
+                    counts[value] = remaining
+                else:
+                    counts.pop(value, None)
+
+
+class _TransactionContext:
+    """Context manager implementing :meth:`Database.transaction`."""
+
+    def __init__(self, db: Database):
+        self._db = db
+        self._mark: int | None = None
+        self._outermost = False
+
+    def __enter__(self) -> "Database":
+        if self._db._undo_log is None:
+            self._db._undo_log = []
+            self._outermost = True
+        self._mark = len(self._db._undo_log)
+        return self._db
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        assert self._mark is not None
+        if exc_type is not None:
+            self._db._rollback_to(self._mark)
+        if self._outermost:
+            self._db._undo_log = None
+        return False

@@ -1,0 +1,121 @@
+"""Query navigation with operation counting.
+
+The primitives mirror what a 1992 application would do against the
+schemas the paper compares: primary-key lookups, foreign-key
+navigations (joins), and object reconstruction from merged relations by
+total projection.  Every navigation increments the shared
+:class:`~repro.engine.stats.EngineStats`, which is what the
+join-reduction benchmarks report.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.merge import MergedSchemeInfo
+from repro.engine.database import Database
+from repro.relational.tuples import Tuple, is_null
+
+
+class QueryEngine:
+    """Point queries and join navigation over a :class:`Database`."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.stats = db.stats
+
+    # -- primitives ---------------------------------------------------------
+
+    def get(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> Tuple | None:
+        """Primary-key lookup (1 lookup)."""
+        return self.db.get(scheme_name, pk)
+
+    def join_to(
+        self,
+        source: Tuple,
+        via: Sequence[str],
+        target_scheme: str,
+        target_attrs: Sequence[str] | None = None,
+    ) -> Tuple | None:
+        """Navigate from one tuple to the referenced row (1 join).
+
+        ``via`` names the foreign-key attributes of ``source``;
+        ``target_attrs`` defaults to the target's primary key.  Returns
+        ``None`` when the foreign key is null (no referenced object).
+        """
+        value = tuple(source[a] for a in via)
+        self.stats.joins_performed += 1
+        if any(is_null(v) for v in value):
+            return None
+        table = self.db.table(target_scheme)
+        targets = (
+            tuple(target_attrs)
+            if target_attrs is not None
+            else table.scheme.key_names
+        )
+        if targets == table.scheme.key_names:
+            return table.rows.get(value)
+        self.stats.tuples_scanned += len(table.rows)
+        for row in table.rows.values():
+            if tuple(row[a] for a in targets) == value:
+                return row
+        return None
+
+    def find_referencing(
+        self,
+        target: Tuple,
+        source_scheme: str,
+        via: Sequence[str],
+        target_attrs: Sequence[str],
+    ) -> list[Tuple]:
+        """All rows of ``source_scheme`` referencing ``target`` (1 join,
+        scanning the source)."""
+        self.stats.joins_performed += 1
+        value = tuple(target[a] for a in target_attrs)
+        table = self.db.table(source_scheme)
+        self.stats.tuples_scanned += len(table.rows)
+        return [
+            row
+            for row in table.rows.values()
+            if tuple(row[a] for a in via) == value
+        ]
+
+    # -- merged-relation reconstruction ---------------------------------------
+
+    def object_view(
+        self, info: MergedSchemeInfo, member: str, merged_row: Tuple
+    ) -> Tuple | None:
+        """The ``member`` object held in one merged tuple, or ``None`` when
+        absent (its required attributes are null) -- the per-tuple form of
+        the total projection ``eta'`` uses (0 joins)."""
+        required = info.required_remaining(member)
+        if not merged_row.is_total_on(required):
+            return None
+        return merged_row.subtuple(info.family_attrs[member])
+
+    def profile(
+        self,
+        scheme_name: str,
+        pk: tuple[Any, ...] | Any,
+        navigations: Sequence[tuple[Sequence[str], str, Sequence[str] | None]],
+    ) -> dict[str, Tuple | None]:
+        """A point query assembling one object with its related rows.
+
+        ``navigations`` is a list of ``(via_attrs, target_scheme,
+        target_attrs)``; the result maps the target scheme name to the
+        joined row.  On a merged schema the same information comes from
+        the single ``get`` with an empty navigation list -- the benchmarks
+        compare exactly these two call shapes.
+        """
+        root = self.get(scheme_name, pk)
+        result: dict[str, Tuple | None] = {scheme_name: root}
+        if root is None:
+            return result
+        for via, target, target_attrs in navigations:
+            result[target] = self.join_to(root, via, target, target_attrs)
+        return result
+
+
+def row_counts(db: Database) -> Mapping[str, int]:
+    """Row count per relation (for reports)."""
+    return {name: db.count(name) for name in db.schema.scheme_names}

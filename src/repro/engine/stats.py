@@ -1,0 +1,50 @@
+"""Operation counters for the access-performance benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineStats:
+    """Counts of the work a database/query-engine pair performed.
+
+    ``joins_performed`` counts relation-to-relation navigations (the
+    quantity merging is supposed to reduce); ``lookups`` counts primary-
+    key accesses; ``tuples_scanned`` counts tuples touched by scans and
+    constraint checks.
+    """
+
+    inserts: int = 0
+    deletes: int = 0
+    updates: int = 0
+    lookups: int = 0
+    joins_performed: int = 0
+    tuples_scanned: int = 0
+    constraint_checks: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.inserts = 0
+        self.deletes = 0
+        self.updates = 0
+        self.lookups = 0
+        self.joins_performed = 0
+        self.tuples_scanned = 0
+        self.constraint_checks = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict copy, for reporting."""
+        return {
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "updates": self.updates,
+            "lookups": self.lookups,
+            "joins_performed": self.joins_performed,
+            "tuples_scanned": self.tuples_scanned,
+            "constraint_checks": self.constraint_checks,
+        }
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)
+        return f"EngineStats({parts})"

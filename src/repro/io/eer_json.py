@@ -1,0 +1,169 @@
+"""JSON form of EER schemas.
+
+Example::
+
+    {
+      "name": "university",
+      "object_sets": [
+        {"kind": "entity", "name": "COURSE",
+         "attributes": [{"name": "NR", "domain": "course-nr"}],
+         "identifier": ["NR"]},
+        {"kind": "relationship", "name": "OFFER",
+         "participants": [
+            {"object_set": "COURSE", "cardinality": "many"},
+            {"object_set": "DEPARTMENT", "cardinality": "one"}]}
+      ],
+      "generalizations": [
+        {"generic": "PERSON", "specializations": ["FACULTY", "STUDENT"]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    ObjectSet,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from repro.relational.attributes import Domain
+
+
+class EERDecodeError(ValueError):
+    """Raised when an EER dictionary is malformed."""
+
+
+def _attr_to_dict(attr: EERAttribute) -> dict[str, Any]:
+    out: dict[str, Any] = {"name": attr.name, "domain": attr.domain.name}
+    if not attr.required:
+        out["required"] = False
+    return out
+
+
+def _object_set_to_dict(obj: ObjectSet) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "name": obj.name,
+        "attributes": [_attr_to_dict(a) for a in obj.attributes],
+    }
+    if obj.abbrev:
+        out["abbrev"] = obj.abbrev
+    if isinstance(obj, WeakEntitySet):
+        out["kind"] = "weak-entity"
+        out["owner"] = obj.owner
+        out["partial_identifier"] = list(obj.partial_identifier)
+    elif isinstance(obj, RelationshipSet):
+        out["kind"] = "relationship"
+        out["participants"] = [
+            {
+                "object_set": p.object_set,
+                "cardinality": p.cardinality.value,
+                **({"role": p.role} if p.role else {}),
+            }
+            for p in obj.participants
+        ]
+    elif isinstance(obj, EntitySet):
+        out["kind"] = "entity"
+        if obj.identifier:
+            out["identifier"] = list(obj.identifier)
+    else:  # pragma: no cover - the model has no other kinds
+        raise TypeError(f"unknown object-set kind: {obj!r}")
+    return out
+
+
+def eer_schema_to_dict(schema: EERSchema) -> dict[str, Any]:
+    """Encode an EER schema as a JSON-compatible dictionary."""
+    return {
+        "name": schema.name,
+        "object_sets": [_object_set_to_dict(o) for o in schema.object_sets],
+        "generalizations": [
+            {"generic": g.generic, "specializations": list(g.specializations)}
+            for g in schema.generalizations
+        ],
+    }
+
+
+def _attrs_from(data: Mapping[str, Any], context: str) -> tuple[EERAttribute, ...]:
+    out = []
+    for a in data.get("attributes", []):
+        try:
+            out.append(
+                EERAttribute(
+                    a["name"], Domain(a["domain"]), a.get("required", True)
+                )
+            )
+        except KeyError as exc:
+            raise EERDecodeError(
+                f"{context}: attribute missing field {exc}"
+            ) from None
+    return tuple(out)
+
+
+def _object_set_from_dict(data: Mapping[str, Any]) -> ObjectSet:
+    try:
+        kind = data.get("kind", "entity")
+        name = data["name"]
+    except KeyError as exc:
+        raise EERDecodeError(f"object-set missing field {exc}") from None
+    attrs = _attrs_from(data, name)
+    abbrev = data.get("abbrev")
+    if kind == "entity":
+        return EntitySet(
+            name,
+            attrs,
+            abbrev=abbrev,
+            identifier=tuple(data.get("identifier", [])),
+        )
+    if kind == "weak-entity":
+        return WeakEntitySet(
+            name,
+            attrs,
+            abbrev=abbrev,
+            owner=data.get("owner", ""),
+            partial_identifier=tuple(data.get("partial_identifier", [])),
+        )
+    if kind == "relationship":
+        try:
+            participants = tuple(
+                Participation(
+                    p["object_set"],
+                    Cardinality(p["cardinality"]),
+                    p.get("role"),
+                )
+                for p in data["participants"]
+            )
+        except (KeyError, ValueError) as exc:
+            raise EERDecodeError(f"{name}: bad participant: {exc}") from None
+        return RelationshipSet(
+            name, attrs, abbrev=abbrev, participants=participants
+        )
+    raise EERDecodeError(f"unknown object-set kind {kind!r}")
+
+
+def eer_schema_from_dict(data: Mapping[str, Any]) -> EERSchema:
+    """Decode an EER schema from its dictionary form."""
+    try:
+        object_sets = tuple(
+            _object_set_from_dict(o) for o in data["object_sets"]
+        )
+    except KeyError:
+        raise EERDecodeError("schema: missing field 'object_sets'") from None
+    generalizations = tuple(
+        Generalization(g["generic"], tuple(g["specializations"]))
+        for g in data.get("generalizations", [])
+    )
+    try:
+        return EERSchema(
+            name=data.get("name", "schema"),
+            object_sets=object_sets,
+            generalizations=generalizations,
+        )
+    except ValueError as exc:
+        raise EERDecodeError(str(exc)) from exc

@@ -1,0 +1,198 @@
+"""JSON form of relational schemas.
+
+The encoding mirrors the paper's presentation: a schema is its
+relation-schemes (attributes with domains, primary key, extra candidate
+keys) plus the four constraint groups.  Example::
+
+    {
+      "schemes": [
+        {"name": "OFFER",
+         "attributes": [["O.C.NR", "course-nr"], ["O.D.NAME", "dept-name"]],
+         "primary_key": ["O.C.NR"]}
+      ],
+      "fds": [{"scheme": "OFFER", "lhs": ["O.C.NR"],
+               "rhs": ["O.C.NR", "O.D.NAME"]}],
+      "inds": [{"lhs_scheme": "OFFER", "lhs_attrs": ["O.C.NR"],
+                "rhs_scheme": "COURSE", "rhs_attrs": ["C.NR"]}],
+      "null_constraints": [
+        {"kind": "null-existence", "scheme": "OFFER",
+         "lhs": [], "rhs": ["O.C.NR", "O.D.NAME"]}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.constraints.functional import KeyDependency
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import (
+    NullConstraint,
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+)
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+
+
+class SchemaDecodeError(ValueError):
+    """Raised when a schema dictionary is malformed."""
+
+
+def _scheme_to_dict(scheme: RelationScheme) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "name": scheme.name,
+        "attributes": [[a.name, a.domain.name] for a in scheme.attributes],
+        "primary_key": list(scheme.key_names),
+    }
+    extra_keys = sorted(
+        [list(a.name for a in key) for key in scheme.candidate_keys]
+    )
+    extra_keys = [k for k in extra_keys if tuple(k) != scheme.key_names]
+    if extra_keys:
+        out["candidate_keys"] = extra_keys
+    return out
+
+
+def _null_constraint_to_dict(constraint: NullConstraint) -> dict[str, Any]:
+    if isinstance(constraint, NullExistenceConstraint):
+        return {
+            "kind": "null-existence",
+            "scheme": constraint.scheme_name,
+            "lhs": sorted(constraint.lhs),
+            "rhs": sorted(constraint.rhs),
+        }
+    if isinstance(constraint, PartNullConstraint):
+        return {
+            "kind": "part-null",
+            "scheme": constraint.scheme_name,
+            "groups": [sorted(g) for g in constraint.groups],
+        }
+    if isinstance(constraint, TotalEqualityConstraint):
+        return {
+            "kind": "total-equality",
+            "scheme": constraint.scheme_name,
+            "lhs": list(constraint.lhs),
+            "rhs": list(constraint.rhs),
+        }
+    raise TypeError(f"unknown null constraint: {constraint!r}")
+
+
+def relational_schema_to_dict(schema: RelationalSchema) -> dict[str, Any]:
+    """Encode a relational schema as a JSON-compatible dictionary."""
+    return {
+        "schemes": [_scheme_to_dict(s) for s in schema.schemes],
+        "fds": [
+            {
+                "scheme": fd.scheme_name,
+                "lhs": sorted(fd.lhs),
+                "rhs": sorted(fd.rhs),
+            }
+            for fd in schema.fds
+        ],
+        "inds": [
+            {
+                "lhs_scheme": d.lhs_scheme,
+                "lhs_attrs": list(d.lhs_attrs),
+                "rhs_scheme": d.rhs_scheme,
+                "rhs_attrs": list(d.rhs_attrs),
+            }
+            for d in schema.inds
+        ],
+        "null_constraints": [
+            _null_constraint_to_dict(c) for c in schema.null_constraints
+        ],
+    }
+
+
+def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise SchemaDecodeError(f"{context}: missing field {key!r}")
+    return mapping[key]
+
+
+def _scheme_from_dict(data: Mapping[str, Any]) -> RelationScheme:
+    name = _require(data, "name", "scheme")
+    attr_pairs = _require(data, "attributes", f"scheme {name}")
+    attrs = tuple(
+        Attribute(attr_name, Domain(domain_name))
+        for attr_name, domain_name in attr_pairs
+    )
+    by_name = {a.name: a for a in attrs}
+    try:
+        key = tuple(
+            by_name[n] for n in _require(data, "primary_key", f"scheme {name}")
+        )
+        candidate_keys = frozenset(
+            tuple(by_name[n] for n in key_names)
+            for key_names in data.get("candidate_keys", [])
+        )
+    except KeyError as exc:
+        raise SchemaDecodeError(
+            f"scheme {name}: key references unknown attribute {exc}"
+        ) from None
+    return RelationScheme(name, attrs, key, candidate_keys)
+
+
+def _null_constraint_from_dict(data: Mapping[str, Any]) -> NullConstraint:
+    kind = _require(data, "kind", "null constraint")
+    scheme = _require(data, "scheme", f"null constraint ({kind})")
+    if kind == "null-existence":
+        return NullExistenceConstraint(
+            scheme,
+            frozenset(data.get("lhs", [])),
+            frozenset(_require(data, "rhs", "null-existence")),
+        )
+    if kind == "part-null":
+        return PartNullConstraint(
+            scheme,
+            tuple(
+                frozenset(g) for g in _require(data, "groups", "part-null")
+            ),
+        )
+    if kind == "total-equality":
+        return TotalEqualityConstraint(
+            scheme,
+            tuple(_require(data, "lhs", "total-equality")),
+            tuple(_require(data, "rhs", "total-equality")),
+        )
+    raise SchemaDecodeError(f"unknown null constraint kind {kind!r}")
+
+
+def relational_schema_from_dict(data: Mapping[str, Any]) -> RelationalSchema:
+    """Decode a relational schema from its dictionary form."""
+    schemes = tuple(
+        _scheme_from_dict(s) for s in _require(data, "schemes", "schema")
+    )
+    fds = tuple(
+        KeyDependency(
+            _require(fd, "scheme", "fd"),
+            frozenset(_require(fd, "lhs", "fd")),
+            frozenset(_require(fd, "rhs", "fd")),
+        )
+        for fd in data.get("fds", [])
+    )
+    inds = tuple(
+        InclusionDependency(
+            _require(d, "lhs_scheme", "ind"),
+            tuple(_require(d, "lhs_attrs", "ind")),
+            _require(d, "rhs_scheme", "ind"),
+            tuple(_require(d, "rhs_attrs", "ind")),
+        )
+        for d in data.get("inds", [])
+    )
+    null_constraints = tuple(
+        _null_constraint_from_dict(c)
+        for c in data.get("null_constraints", [])
+    )
+    try:
+        return RelationalSchema(
+            schemes=schemes,
+            fds=fds,
+            inds=inds,
+            null_constraints=null_constraints,
+        )
+    except ValueError as exc:
+        raise SchemaDecodeError(str(exc)) from exc

@@ -1,0 +1,15 @@
+"""Normalization baselines (Section 1).
+
+Relation merging "was first used in synthesis normalization algorithms"
+[1]; :mod:`repro.normalization.synthesis` implements a Bernstein-style
+synthesis algorithm including its merge-equivalent-keys step, so the
+paper's opening example (TEACH/OFFER merged into ASSIGN without null
+constraints, losing information capacity) can be reproduced and repaired.
+:mod:`repro.normalization.decompose` provides the converse baseline --
+lossless BCNF decomposition by splitting.
+"""
+
+from repro.normalization.synthesis import SynthesisResult, synthesize
+from repro.normalization.decompose import bcnf_decompose
+
+__all__ = ["SynthesisResult", "synthesize", "bcnf_decompose"]

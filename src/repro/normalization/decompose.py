@@ -1,0 +1,95 @@
+"""Lossless BCNF decomposition -- the converse baseline.
+
+Normalization "tends to increase the number of relations by splitting
+unnormalized relations into smaller, normalized, relations" (Section 1).
+This module implements the classical split: while some scheme violates
+BCNF for a declared dependency ``Y -> Z``, replace it by ``(Y u Z)`` and
+``(X - Z)``.  The benchmarks use it to show the two directions of the
+design trade-off the paper opens with: decomposition grows scheme counts
+(and join work), merging shrinks them (and adds null constraints).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.constraints.functional import (
+    FunctionalDependency,
+    attribute_closure,
+    candidate_keys,
+    is_superkey,
+)
+from repro.relational.attributes import Attribute
+from repro.relational.schema import RelationScheme
+
+
+def _violating_fd(
+    scheme: RelationScheme, fds: Sequence[FunctionalDependency]
+) -> FunctionalDependency | None:
+    attr_names = set(scheme.attribute_names)
+    local = [
+        FunctionalDependency(
+            scheme.name, fd.lhs & attr_names, fd.rhs & attr_names
+        )
+        for fd in fds
+        if fd.lhs <= attr_names
+    ]
+    for fd in local:
+        if fd.is_trivial() or not fd.rhs:
+            continue
+        if not is_superkey(fd.lhs, attr_names, local):
+            return fd
+    return None
+
+
+def bcnf_decompose(
+    scheme: RelationScheme, fds: Sequence[FunctionalDependency]
+) -> tuple[RelationScheme, ...]:
+    """Losslessly decompose ``scheme`` into BCNF fragments under ``fds``.
+
+    Dependencies are projected onto each fragment by closure; fragment
+    names are derived from the parent (``R``, ``R_1``, ``R_2``, ...).
+    """
+    result: list[RelationScheme] = []
+    pending = [scheme]
+    counter = 0
+    while pending:
+        current = pending.pop()
+        violation = _violating_fd(current, fds)
+        if violation is None:
+            result.append(current)
+            continue
+        attr_names = list(current.attribute_names)
+        lhs_closure = attribute_closure(
+            violation.lhs,
+            [fd for fd in fds if fd.lhs <= set(attr_names)],
+        ) & set(attr_names)
+        left_names = [a for a in attr_names if a in lhs_closure]
+        right_names = [
+            a
+            for a in attr_names
+            if a in violation.lhs or a not in lhs_closure
+        ]
+        by_name = {a.name: a for a in current.attributes}
+
+        def fragment(names: list[str]) -> RelationScheme:
+            nonlocal counter
+            counter += 1
+            attrs: tuple[Attribute, ...] = tuple(by_name[n] for n in names)
+            projected = [
+                FunctionalDependency(
+                    scheme.name, fd.lhs & set(names), fd.rhs & set(names)
+                )
+                for fd in fds
+                if fd.lhs <= set(names)
+            ]
+            keys = candidate_keys(tuple(names), projected)
+            key_names = (
+                sorted(sorted(keys, key=sorted)[0]) if keys else list(names)
+            )
+            key = tuple(a for a in attrs if a.name in set(key_names))
+            return RelationScheme(f"{scheme.name}_{counter}", attrs, key)
+
+        pending.append(fragment(left_names))
+        pending.append(fragment(right_names))
+    return tuple(sorted(result, key=lambda s: s.name))

@@ -1,0 +1,156 @@
+"""Synthesis normalization (Bernstein [1]), the historical origin of
+relation merging.
+
+Given a universe of attributes and a set of functional dependencies, the
+algorithm:
+
+1. computes a minimal cover;
+2. groups dependencies by left-hand side;
+3. **merges groups with equivalent keys** (left-hand sides that determine
+   each other) -- this is the merge step Section 1 discusses: TEACH
+   (COURSE, FACULTY) and OFFER (COURSE, DEPARTMENT), both keyed by
+   COURSE, fuse into ASSIGN (COURSE, FACULTY, DEPARTMENT);
+4. emits one relation-scheme per group, adding a key scheme if no group
+   contains a candidate key of the universe.
+
+The paper's point is that step 3 is capacity-lossy unless null
+constraints are added: ``synthesize`` optionally emits the part-null
+constraint the example needs (``with_null_constraints=True``), so the
+``synthesis`` benchmark can demonstrate both the defect and the repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.constraints.functional import (
+    FunctionalDependency,
+    attribute_closure,
+    candidate_keys,
+    minimal_cover,
+)
+from repro.constraints.nulls import (
+    NullConstraint,
+    PartNullConstraint,
+    nulls_not_allowed,
+)
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme
+
+
+@dataclass(frozen=True)
+class SynthesisResult:
+    """Output of :func:`synthesize`.
+
+    Synthesis produces schemes that *share* attribute names (the
+    universal-relation style), so the result holds the schemes and
+    constraints directly rather than a :class:`RelationalSchema` (whose
+    globally-unique-names invariant belongs to the merging technique's
+    schema class).  ``merged_groups`` records which left-hand-side groups
+    were fused by the equivalent-keys step -- the capacity-sensitive
+    merges the paper's Section 1 example targets.
+    """
+
+    schemes: tuple[RelationScheme, ...]
+    null_constraints: tuple[NullConstraint, ...]
+    merged_groups: tuple[tuple[frozenset[str], ...], ...]
+
+    def scheme(self, name: str) -> RelationScheme:
+        """Look up a synthesized scheme by name."""
+        for s in self.schemes:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+
+def _group_by_equivalent_lhs(
+    cover: Sequence[FunctionalDependency],
+) -> list[list[FunctionalDependency]]:
+    """Group a minimal cover by equivalent left-hand sides."""
+    groups: list[list[FunctionalDependency]] = []
+    for fd in cover:
+        placed = False
+        for group in groups:
+            lhs = group[0].lhs
+            forward = group[0].rhs and fd.lhs <= attribute_closure(lhs, cover)
+            backward = lhs <= attribute_closure(fd.lhs, cover)
+            if forward and backward:
+                group.append(fd)
+                placed = True
+                break
+        if not placed:
+            groups.append([fd])
+    return groups
+
+
+def synthesize(
+    attributes: Mapping[str, Domain],
+    fds: Sequence[FunctionalDependency],
+    with_null_constraints: bool = False,
+    scheme_prefix: str = "S",
+) -> SynthesisResult:
+    """Run synthesis normalization over one universal attribute set.
+
+    ``attributes`` maps attribute names to domains; ``fds`` are stated
+    over an implicit universal scheme (their ``scheme_name`` is ignored).
+    With ``with_null_constraints`` the schema carries, per merged group,
+    the part-null constraint over the fused right-hand sides plus
+    nulls-not-allowed keys -- the repair the paper's Section 1 example
+    needs for information-capacity equivalence.
+    """
+    universe = tuple(attributes)
+    normalized = [
+        FunctionalDependency("U", fd.lhs, fd.rhs) for fd in fds
+    ]
+    cover = minimal_cover(normalized)
+    groups = _group_by_equivalent_lhs(cover)
+
+    schemes: list[RelationScheme] = []
+    null_constraints: list[NullConstraint] = []
+    merged_groups: list[tuple[frozenset[str], ...]] = []
+    covered_key = False
+
+    for i, group in enumerate(groups):
+        lhs_variants = tuple(dict.fromkeys(fd.lhs for fd in group))
+        key = sorted(lhs_variants[0])
+        scheme_attr_names = list(
+            dict.fromkeys(
+                key
+                + sorted(
+                    a for fd in group for a in fd.rhs if a not in set(key)
+                )
+            )
+        )
+        attrs = tuple(
+            Attribute(name, attributes[name]) for name in scheme_attr_names
+        )
+        key_attrs = tuple(a for a in attrs if a.name in set(key))
+        name = f"{scheme_prefix}{i + 1}"
+        schemes.append(RelationScheme(name, attrs, key_attrs))
+        if len(lhs_variants) > 1 or len(group) > 1:
+            merged_groups.append(tuple(fd.rhs for fd in group))
+        if with_null_constraints:
+            null_constraints.append(
+                nulls_not_allowed(name, [a.name for a in key_attrs])
+            )
+            rhs_groups = tuple(
+                frozenset(fd.rhs) for fd in group if fd.rhs - set(key)
+            )
+            if len(rhs_groups) > 1:
+                null_constraints.append(PartNullConstraint(name, rhs_groups))
+        if set(universe) <= attribute_closure(key, cover):
+            covered_key = True
+
+    if not covered_key:
+        keys = candidate_keys(universe, cover)
+        key = sorted(sorted(keys, key=sorted)[0]) if keys else list(universe)
+        attrs = tuple(Attribute(name, attributes[name]) for name in key)
+        name = f"{scheme_prefix}{len(groups) + 1}"
+        schemes.append(RelationScheme(name, attrs, attrs))
+        if with_null_constraints:
+            null_constraints.append(nulls_not_allowed(name, key))
+
+    return SynthesisResult(
+        tuple(schemes), tuple(null_constraints), tuple(merged_groups)
+    )

@@ -1,0 +1,40 @@
+"""Relational data model substrate (Section 2 of the paper).
+
+This package implements the relational concepts the merging technique is
+defined over: domains, attributes with compatibility, tuples that may hold
+the distinguished ``NULL`` marker, relations, relation-schemes, relational
+schemas, database states, and the relational algebra operators used by the
+paper -- in particular *total projection* and the *outer equi-join*.
+"""
+
+from repro.relational.attributes import (
+    Attribute,
+    Domain,
+    attributes_compatible,
+    attribute_sets_compatible,
+    Correspondence,
+)
+from repro.relational.tuples import NULL, Tuple, is_null
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+from repro.relational import algebra
+from repro.relational.display import format_relation, format_state
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "attributes_compatible",
+    "attribute_sets_compatible",
+    "Correspondence",
+    "NULL",
+    "Tuple",
+    "is_null",
+    "Relation",
+    "RelationScheme",
+    "RelationalSchema",
+    "DatabaseState",
+    "algebra",
+    "format_relation",
+    "format_state",
+]

@@ -1,0 +1,212 @@
+"""Relational algebra operators, exactly as defined in Section 2.
+
+The merging technique relies on four operators with precise null
+semantics:
+
+* ``project`` -- ordinary projection ``pi_W(r)``;
+* ``total_project`` -- total projection ``pi!_W(r)``, the subset of *total*
+  tuples of the projection (this is how merged relations are decomposed
+  back into the original relations);
+* ``rename`` -- ``rename(r; W <- Y)``;
+* ``outer_equi_join`` -- the three-part union ``r1 u r2 u r3`` of the
+  paper: the equi-join, plus left-side tuples padded with nulls for
+  unmatched right tuples, plus right-side padding for unmatched left
+  tuples.
+
+Join predicates are *total equality*: a null never matches anything,
+matching the single-null-marker semantics the paper assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.relational.attributes import Attribute, Correspondence
+from repro.relational.relation import Relation
+from repro.relational.tuples import NULL, Tuple, is_null
+
+
+def _resolve(relation: Relation, attrs: Iterable[str | Attribute]) -> tuple[Attribute, ...]:
+    """Resolve names or attributes against a relation's attribute set."""
+    resolved = []
+    for a in attrs:
+        name = a.name if isinstance(a, Attribute) else a
+        resolved.append(relation.attribute(name))
+    return tuple(resolved)
+
+
+def project(relation: Relation, attrs: Sequence[str | Attribute]) -> Relation:
+    """Projection ``pi_W(r)``: sub-tuples of every tuple on ``W``."""
+    target = _resolve(relation, attrs)
+    names = [a.name for a in target]
+    return Relation(target, (t.subtuple(names) for t in relation))
+
+
+def total_project(relation: Relation, attrs: Sequence[str | Attribute]) -> Relation:
+    """Total projection ``pi!_W(r)``: the *total* sub-tuples on ``W``.
+
+    This is the reconstruction operator of the paper's state mapping
+    ``eta'``: a merged relation is split back into the original relations
+    by total projection on each original attribute set.
+    """
+    target = _resolve(relation, attrs)
+    names = [a.name for a in target]
+    return Relation(
+        target,
+        (
+            t.subtuple(names)
+            for t in relation
+            if t.is_total_on(names)
+        ),
+    )
+
+
+def rename(relation: Relation, correspondence: Correspondence) -> Relation:
+    """``rename(r; W <- Y)``: rename the correspondence's source attributes
+    to its target attributes (all other attributes are kept)."""
+    source_names = {a.name for a in correspondence.source}
+    missing = source_names - set(relation.attribute_names)
+    if missing:
+        raise KeyError(f"rename source attributes not in relation: {sorted(missing)}")
+    name_map = correspondence.as_name_map()
+    new_attrs = tuple(
+        correspondence.image(a) if a in correspondence.source else a
+        for a in relation.attributes
+    )
+    return Relation(new_attrs, (t.renamed(name_map) for t in relation))
+
+
+def select(relation: Relation, predicate: Callable[[Tuple], bool]) -> Relation:
+    """Selection by an arbitrary tuple predicate."""
+    return Relation(relation.attributes, (t for t in relation if predicate(t)))
+
+
+def union(r1: Relation, r2: Relation) -> Relation:
+    """Set union of two relations over the same attribute set."""
+    if set(r1.attributes) != set(r2.attributes):
+        raise ValueError("union requires identical attribute sets")
+    return Relation(r1.attributes, set(r1.tuples) | set(r2.tuples))
+
+
+def difference(r1: Relation, r2: Relation) -> Relation:
+    """Set difference of two relations over the same attribute set."""
+    if set(r1.attributes) != set(r2.attributes):
+        raise ValueError("difference requires identical attribute sets")
+    return Relation(r1.attributes, set(r1.tuples) - set(r2.tuples))
+
+
+def _join_key(t: Tuple, names: Sequence[str]) -> tuple[Any, ...] | None:
+    """The total join key of a tuple, or ``None`` if any component is null
+    (nulls never participate in join matches)."""
+    key = tuple(t[n] for n in names)
+    if any(is_null(v) for v in key):
+        return None
+    return key
+
+
+def _check_join_sides(
+    r1: Relation, r2: Relation, on: Correspondence
+) -> tuple[list[str], list[str]]:
+    left_names = [a.name for a in on.source]
+    right_names = [a.name for a in on.target]
+    if not set(left_names) <= set(r1.attribute_names):
+        raise KeyError("join correspondence source not within left relation")
+    if not set(right_names) <= set(r2.attribute_names):
+        raise KeyError("join correspondence target not within right relation")
+    overlap = set(r1.attribute_names) & set(r2.attribute_names)
+    if overlap:
+        raise ValueError(
+            f"equi-join requires disjoint attribute sets, shared: {sorted(overlap)}"
+        )
+    return left_names, right_names
+
+
+def equi_join(r1: Relation, r2: Relation, on: Correspondence) -> Relation:
+    """Equi-join ``r1 |x|_{Y=Z} r2`` over disjoint attribute sets.
+
+    The result carries *both* join columns (``Y`` and ``Z``), as in the
+    paper -- redundant join columns are what ``Remove`` later eliminates.
+    """
+    left_names, right_names = _check_join_sides(r1, r2, on)
+    index: dict[tuple[Any, ...], list[Tuple]] = {}
+    for t in r2:
+        key = _join_key(t, right_names)
+        if key is not None:
+            index.setdefault(key, []).append(t)
+    out_attrs = r1.attributes + r2.attributes
+    result = []
+    for t in r1:
+        key = _join_key(t, left_names)
+        if key is None:
+            continue
+        for u in index.get(key, ()):
+            result.append(t.combined(u))
+    return Relation(out_attrs, result)
+
+
+def outer_equi_join(r1: Relation, r2: Relation, on: Correspondence) -> Relation:
+    """Outer equi-join ``r1 |x|+_{Y=Z} r2`` (full outer join).
+
+    Per Section 2 the result is the union of three relations:
+
+    * ``r1'`` -- the equi-join of ``r1`` and ``r2`` on ``Y = Z``;
+    * ``r2'`` -- tuples whose ``X1`` part is all-null and whose ``X2`` part
+      is an ``r2`` tuple with no ``Y``-match in ``r1``;
+    * ``r3'`` -- tuples whose ``X2`` part is all-null and whose ``X1`` part
+      is an ``r1`` tuple with no ``Z``-match in ``r2``.
+    """
+    left_names, right_names = _check_join_sides(r1, r2, on)
+    right_index: dict[tuple[Any, ...], list[Tuple]] = {}
+    for t in r2:
+        key = _join_key(t, right_names)
+        if key is not None:
+            right_index.setdefault(key, []).append(t)
+    left_keys = set()
+    out_attrs = r1.attributes + r2.attributes
+    result = []
+    for t in r1:
+        key = _join_key(t, left_names)
+        matched = False
+        if key is not None:
+            left_keys.add(key)
+            for u in right_index.get(key, ()):
+                result.append(t.combined(u))
+                matched = True
+        if not matched:
+            result.append(t.padded_with_nulls(r2.attributes))
+    for t in r2:
+        key = _join_key(t, right_names)
+        if key is None or key not in left_keys:
+            result.append(
+                Tuple({a.name: NULL for a in r1.attributes}).combined(t)
+            )
+    return Relation(out_attrs, result)
+
+
+def left_outer_equi_join(r1: Relation, r2: Relation, on: Correspondence) -> Relation:
+    """Left outer equi-join: the paper's outer join restricted to parts
+    ``r1'`` and ``r3'`` (every left tuple survives; unmatched right tuples
+    are dropped).
+
+    In the state mapping ``eta`` the key-relation side contains every join
+    key by construction (Definition 3.1), so the full outer join and the
+    left outer join coincide there; this operator exists for engine reuse
+    and for property tests that check that coincidence.
+    """
+    left_names, right_names = _check_join_sides(r1, r2, on)
+    right_index: dict[tuple[Any, ...], list[Tuple]] = {}
+    for t in r2:
+        key = _join_key(t, right_names)
+        if key is not None:
+            right_index.setdefault(key, []).append(t)
+    out_attrs = r1.attributes + r2.attributes
+    result = []
+    for t in r1:
+        key = _join_key(t, left_names)
+        matches = right_index.get(key, ()) if key is not None else ()
+        if matches:
+            for u in matches:
+                result.append(t.combined(u))
+        else:
+            result.append(t.padded_with_nulls(r2.attributes))
+    return Relation(out_attrs, result)

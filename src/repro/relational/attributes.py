@@ -1,0 +1,128 @@
+"""Attributes, domains, and compatibility.
+
+The paper (Section 2) associates every attribute with a *domain*, and calls
+two attributes *compatible* when they share a domain.  Attribute sets ``X``
+and ``Y`` are compatible when there is a one-to-one correspondence of
+compatible attributes between them.  Because correspondences matter (the
+Merge procedure equates primary keys component-wise), compatible attribute
+*sequences* are the working representation: a key is an ordered tuple of
+attributes and two keys correspond position by position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Domain:
+    """A named value domain, e.g. ``Domain('ssn')`` or ``Domain('date')``.
+
+    Only the name participates in identity; the paper never needs domain
+    extensions, only the compatibility relation induced by equality of
+    domains.
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Attribute:
+    """A named attribute drawn from a :class:`Domain`.
+
+    Attribute names are globally unique within a relational schema (an
+    assumption the paper makes explicit in Definition 4.1); the model does
+    not enforce uniqueness here -- :class:`~repro.relational.schema.RelationalSchema`
+    does.
+    """
+
+    name: str
+    domain: Domain
+
+    def __str__(self) -> str:
+        return self.name
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name (same domain)."""
+        return Attribute(new_name, self.domain)
+
+
+def attributes_compatible(a: Attribute, b: Attribute) -> bool:
+    """True iff ``a`` and ``b`` are associated with the same domain."""
+    return a.domain == b.domain
+
+
+def attribute_sets_compatible(
+    xs: Sequence[Attribute], ys: Sequence[Attribute]
+) -> bool:
+    """True iff the sequences correspond position-wise with compatible
+    attributes.
+
+    This is the ordered form of the paper's "one-to-one correspondence of
+    compatible attributes": callers supply keys in canonical order, so
+    position-wise compatibility is the correspondence.
+    """
+    if len(xs) != len(ys):
+        return False
+    return all(attributes_compatible(a, b) for a, b in zip(xs, ys))
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """A one-to-one correspondence between two compatible attribute
+    sequences.
+
+    Used to express key compatibility during merging (``Km`` corresponds to
+    each family key ``Ki``) and the rename maps of the paper's
+    ``rename(r; W <- Y)`` operator.
+    """
+
+    source: tuple[Attribute, ...]
+    target: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not attribute_sets_compatible(self.source, self.target):
+            raise ValueError(
+                "correspondence requires position-wise compatible sequences: "
+                f"{[a.name for a in self.source]} vs "
+                f"{[a.name for a in self.target]}"
+            )
+        if len(set(self.source)) != len(self.source):
+            raise ValueError("duplicate attributes on source side")
+        if len(set(self.target)) != len(self.target):
+            raise ValueError("duplicate attributes on target side")
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    def __iter__(self) -> Iterator[tuple[Attribute, Attribute]]:
+        return iter(zip(self.source, self.target))
+
+    def as_name_map(self) -> dict[str, str]:
+        """Mapping of source attribute names to target attribute names."""
+        return {a.name: b.name for a, b in self}
+
+    def inverted(self) -> "Correspondence":
+        """The correspondence read in the opposite direction."""
+        return Correspondence(self.target, self.source)
+
+    def image(self, attr: Attribute) -> Attribute:
+        """The target attribute corresponding to ``attr``."""
+        for a, b in self:
+            if a == attr:
+                return b
+        raise KeyError(f"{attr.name} is not on the source side")
+
+
+def names(attrs: Iterable[Attribute]) -> tuple[str, ...]:
+    """Names of an attribute sequence, preserving order."""
+    return tuple(a.name for a in attrs)
+
+
+def by_name(attrs: Iterable[Attribute]) -> Mapping[str, Attribute]:
+    """Index an attribute collection by name."""
+    return {a.name: a for a in attrs}

@@ -1,0 +1,63 @@
+"""Plain-text rendering of relations and database states.
+
+Used by the examples and handy at the REPL; deterministic row order so
+renderings are diffable in tests and docs.
+"""
+
+from __future__ import annotations
+
+from repro.relational.relation import Relation
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import is_null
+
+
+def format_value(value: object) -> str:
+    """One cell: ``NULL`` is rendered as a bare marker, not ``repr``."""
+    if is_null(value):
+        return "-"
+    return str(value)
+
+
+def format_relation(
+    relation: Relation, name: str | None = None, max_rows: int = 20
+) -> str:
+    """An ASCII table of a relation, truncated past ``max_rows``."""
+    headers = list(relation.attribute_names)
+    rows = [
+        [format_value(v) for v in row] for row in relation.sorted_rows()
+    ]
+    shown = rows[:max_rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in shown), 1) if shown else len(h)
+        for i, h in enumerate(headers)
+    ]
+
+    def line(cells: list[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+    rule = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = []
+    if name is not None:
+        out.append(f"{name} ({len(relation)} tuple(s))")
+    out.append(rule)
+    out.append(line(headers))
+    out.append(rule)
+    for r in shown:
+        out.append(line(r))
+    if len(rows) > max_rows:
+        out.append(f"... {len(rows) - max_rows} more row(s)")
+    out.append(rule)
+    return "\n".join(out)
+
+
+def format_state(
+    state: DatabaseState, max_rows: int = 10, skip_empty: bool = True
+) -> str:
+    """Every relation of a state, alphabetically."""
+    parts = []
+    for name in sorted(state):
+        relation = state[name]
+        if skip_empty and not len(relation):
+            continue
+        parts.append(format_relation(relation, name=name, max_rows=max_rows))
+    return "\n\n".join(parts) if parts else "(empty state)"

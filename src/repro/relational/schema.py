@@ -1,0 +1,230 @@
+"""Relation-schemes and relational schemas.
+
+A *relation-scheme* is a pair ``Ri(Xi)`` of a name and an attribute set; a
+*relational schema* is a pair ``RS = (R, Delta)`` of relation-schemes and a
+set of dependencies and constraints over them (paper, Section 2).  The
+merging technique targets the class ``RS = (R, F u I u N)`` where ``F`` are
+key dependencies, ``I`` key-based inclusion dependencies, and ``N`` null
+constraints; :class:`RelationalSchema` keeps the three groups separate.
+
+The constraint objects themselves live in :mod:`repro.constraints`; this
+module stores them opaquely to keep the dependency direction one-way
+(constraints are defined *over* the data model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from repro.relational.attributes import Attribute, by_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.constraints.functional import KeyDependency
+    from repro.constraints.inclusion import InclusionDependency
+    from repro.constraints.nulls import NullConstraint
+
+
+@dataclass(frozen=True)
+class RelationScheme:
+    """A relation-scheme ``Ri(Xi)`` with a designated primary key.
+
+    ``primary_key`` is an ordered attribute tuple (order carries the
+    correspondence used when compatible keys are equated by ``Merge``).
+    ``candidate_keys`` always contains the primary key; additional entries
+    model schemes with several candidate keys (Section 5.1 discusses when
+    merged schemes acquire nullable candidate keys).
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+    primary_key: tuple[Attribute, ...]
+    candidate_keys: frozenset[tuple[Attribute, ...]] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate attribute names")
+        attr_set = set(self.attributes)
+        if not self.primary_key:
+            raise ValueError(f"{self.name}: primary key must be non-empty")
+        if not set(self.primary_key) <= attr_set:
+            raise ValueError(f"{self.name}: primary key not within attributes")
+        keys = self.candidate_keys
+        if keys is None:
+            keys = frozenset()
+        keys = frozenset(keys) | {tuple(self.primary_key)}
+        for key in keys:
+            if not set(key) <= attr_set:
+                raise ValueError(f"{self.name}: candidate key not within attributes")
+        object.__setattr__(self, "candidate_keys", keys)
+
+    # -- convenience -------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """Attribute names, in declaration order."""
+        return tuple(a.name for a in self.attributes)
+
+    @property
+    def key_names(self) -> tuple[str, ...]:
+        """Primary-key attribute names, in key order."""
+        return tuple(a.name for a in self.primary_key)
+
+    @property
+    def nonkey_attributes(self) -> tuple[Attribute, ...]:
+        """Attributes outside the primary key."""
+        key = set(self.primary_key)
+        return tuple(a for a in self.attributes if a not in key)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute of this scheme by name."""
+        return by_name(self.attributes)[name]
+
+    def has_attribute(self, name: str) -> bool:
+        """Whether this scheme declares the named attribute."""
+        return any(a.name == name for a in self.attributes)
+
+    def __str__(self) -> str:
+        key = set(self.primary_key)
+        cols = ", ".join(
+            f"{a.name}*" if a in key else a.name for a in self.attributes
+        )
+        return f"{self.name}({cols})"
+
+
+@dataclass(frozen=True)
+class RelationalSchema:
+    """A relational schema ``RS = (R, F u I u N)``.
+
+    ``schemes`` is ordered (insertion order is display order); attribute
+    names are enforced to be globally unique across schemes, the standing
+    assumption of Definition 4.1.
+    """
+
+    schemes: tuple[RelationScheme, ...]
+    fds: tuple["KeyDependency", ...] = ()
+    inds: tuple["InclusionDependency", ...] = ()
+    null_constraints: tuple["NullConstraint", ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.schemes]
+        if len(set(names)) != len(names):
+            raise ValueError("relation-scheme names must be unique")
+        seen: dict[str, str] = {}
+        for scheme in self.schemes:
+            for attr in scheme.attributes:
+                owner = seen.get(attr.name)
+                if owner is not None:
+                    raise ValueError(
+                        f"attribute name {attr.name!r} appears in both "
+                        f"{owner} and {scheme.name}; the merging technique "
+                        "assumes globally unique attribute names"
+                    )
+                seen[attr.name] = scheme.name
+
+    # -- lookups -------------------------------------------------------------
+
+    def scheme(self, name: str) -> RelationScheme:
+        """Look up a relation-scheme by name."""
+        for s in self.schemes:
+            if s.name == name:
+                return s
+        raise KeyError(f"no relation-scheme named {name!r}")
+
+    def has_scheme(self, name: str) -> bool:
+        """Whether a relation-scheme with this name exists."""
+        return any(s.name == name for s in self.schemes)
+
+    @property
+    def scheme_names(self) -> tuple[str, ...]:
+        """Names of all relation-schemes, in declaration order."""
+        return tuple(s.name for s in self.schemes)
+
+    def owner_of(self, attribute_name: str) -> RelationScheme:
+        """The scheme holding the (globally unique) attribute name."""
+        for s in self.schemes:
+            if s.has_attribute(attribute_name):
+                return s
+        raise KeyError(f"no scheme holds attribute {attribute_name!r}")
+
+    def __iter__(self) -> Iterator[RelationScheme]:
+        return iter(self.schemes)
+
+    # -- constraint slices ---------------------------------------------------
+
+    def fds_of(self, scheme_name: str) -> tuple["KeyDependency", ...]:
+        """Key/functional dependencies declared over one scheme."""
+        return tuple(fd for fd in self.fds if fd.scheme_name == scheme_name)
+
+    def inds_from(self, scheme_name: str) -> tuple["InclusionDependency", ...]:
+        """Inclusion dependencies whose left-hand side is ``scheme_name``."""
+        return tuple(d for d in self.inds if d.lhs_scheme == scheme_name)
+
+    def inds_into(self, scheme_name: str) -> tuple["InclusionDependency", ...]:
+        """Inclusion dependencies whose right-hand side is ``scheme_name``."""
+        return tuple(d for d in self.inds if d.rhs_scheme == scheme_name)
+
+    def null_constraints_of(self, scheme_name: str) -> tuple["NullConstraint", ...]:
+        """Null constraints declared over one scheme."""
+        return tuple(
+            c for c in self.null_constraints if c.scheme_name == scheme_name
+        )
+
+    # -- derived transformations ----------------------------------------------
+
+    def replacing_schemes(
+        self,
+        removed: Iterable[str],
+        added: Sequence[RelationScheme],
+        fds: Sequence["KeyDependency"],
+        inds: Sequence["InclusionDependency"],
+        null_constraints: Sequence["NullConstraint"],
+    ) -> "RelationalSchema":
+        """A new schema with some schemes replaced and all constraint groups
+        substituted wholesale (the shape of ``Merge``/``Remove`` output)."""
+        removed_set = set(removed)
+        kept = tuple(s for s in self.schemes if s.name not in removed_set)
+        return RelationalSchema(
+            schemes=kept + tuple(added),
+            fds=tuple(fds),
+            inds=tuple(inds),
+            null_constraints=tuple(null_constraints),
+        )
+
+    def with_constraints(
+        self,
+        fds: Sequence["KeyDependency"] | None = None,
+        inds: Sequence["InclusionDependency"] | None = None,
+        null_constraints: Sequence["NullConstraint"] | None = None,
+    ) -> "RelationalSchema":
+        """A copy with one or more constraint groups replaced."""
+        return replace(
+            self,
+            fds=self.fds if fds is None else tuple(fds),
+            inds=self.inds if inds is None else tuple(inds),
+            null_constraints=(
+                self.null_constraints
+                if null_constraints is None
+                else tuple(null_constraints)
+            ),
+        )
+
+    def describe(self) -> str:
+        """A printable rendition in the paper's figure style."""
+        lines = ["Relation-Schemes (keys marked *)"]
+        for s in self.schemes:
+            lines.append(f"  {s}")
+        if self.fds:
+            lines.append("Key Dependencies")
+            for fd in self.fds:
+                lines.append(f"  {fd}")
+        if self.inds:
+            lines.append("Inclusion Dependencies")
+            for d in self.inds:
+                lines.append(f"  {d}")
+        if self.null_constraints:
+            lines.append("Null Constraints")
+            for c in self.null_constraints:
+                lines.append(f"  {c}")
+        return "\n".join(lines)

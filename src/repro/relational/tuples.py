@@ -1,0 +1,191 @@
+"""Tuples over attribute sets, with the distinguished ``NULL`` marker.
+
+The paper works with a single null marker (Section 2): a tuple is *total*
+iff it has only non-null values, and ``null_k`` denotes a sub-tuple of
+``k`` nulls.  Following the DBMSs the paper targets (Section 5.1 notes that
+SYBASE and INGRES "consider all null values as identical"), ``NULL`` is a
+singleton and compares equal only to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.relational.attributes import Attribute
+
+
+class _NullType:
+    """Singleton type of the ``NULL`` marker."""
+
+    _instance: "_NullType | None" = None
+
+    def __new__(cls) -> "_NullType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __reduce__(self):
+        return (_NullType, ())
+
+
+#: The distinguished null marker used throughout the library.
+NULL = _NullType()
+
+
+def is_null(value: Any) -> bool:
+    """True iff ``value`` is the ``NULL`` marker."""
+    return value is NULL
+
+
+class Tuple:
+    """An immutable tuple over a set of attributes.
+
+    A :class:`Tuple` maps attribute *names* to values (possibly ``NULL``).
+    Attribute names are used as keys because the paper assumes globally
+    unique attribute names within a schema, which makes names unambiguous
+    join/projection handles.
+    """
+
+    __slots__ = ("_values", "_hash")
+
+    def __init__(self, values: Mapping[str, Any]):
+        self._values: dict[str, Any] = dict(values)
+        self._hash: int | None = None
+
+    @classmethod
+    def over(cls, attrs: Sequence[Attribute], values: Sequence[Any]) -> "Tuple":
+        """Build a tuple by pairing attributes with positional values."""
+        if len(attrs) != len(values):
+            raise ValueError(
+                f"{len(attrs)} attributes but {len(values)} values"
+            )
+        return cls({a.name: v for a, v in zip(attrs, values)})
+
+    # -- mapping interface -------------------------------------------------
+
+    def __getitem__(self, key: "str | Attribute") -> Any:
+        name = key.name if isinstance(key, Attribute) else key
+        return self._values[name]
+
+    def get(self, key: "str | Attribute", default: Any = None) -> Any:
+        """Value lookup with a default, mirroring ``dict.get``."""
+        name = key.name if isinstance(key, Attribute) else key
+        return self._values.get(name, default)
+
+    def __contains__(self, key: "str | Attribute") -> bool:
+        name = key.name if isinstance(key, Attribute) else key
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def keys(self):
+        """The tuple's attribute names."""
+        return self._values.keys()
+
+    def items(self):
+        """(attribute name, value) pairs."""
+        return self._values.items()
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain-dict copy of the tuple's values."""
+        return dict(self._values)
+
+    # -- equality / hashing ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._values.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v!r}" for k, v in sorted(self._values.items()))
+        return f"Tuple({body})"
+
+    # -- paper operations ----------------------------------------------------
+
+    def subtuple(self, attrs: "Iterable[str | Attribute]") -> "Tuple":
+        """The sub-tuple ``t[W]`` of this tuple on attribute set ``W``."""
+        selected = {}
+        for key in attrs:
+            name = key.name if isinstance(key, Attribute) else key
+            selected[name] = self._values[name]
+        return Tuple(selected)
+
+    def is_total(self) -> bool:
+        """True iff the tuple has only non-null values."""
+        return not any(is_null(v) for v in self._values.values())
+
+    def is_total_on(self, attrs: "Iterable[str | Attribute]") -> bool:
+        """True iff the sub-tuple on ``attrs`` has only non-null values."""
+        for key in attrs:
+            name = key.name if isinstance(key, Attribute) else key
+            if is_null(self._values[name]):
+                return False
+        return True
+
+    def is_all_null_on(self, attrs: "Iterable[str | Attribute]") -> bool:
+        """True iff the sub-tuple on ``attrs`` consists entirely of nulls."""
+        for key in attrs:
+            name = key.name if isinstance(key, Attribute) else key
+            if not is_null(self._values[name]):
+                return False
+        return True
+
+    def renamed(self, name_map: Mapping[str, str]) -> "Tuple":
+        """Rename attributes per ``name_map`` (names absent from the map are
+        kept)."""
+        return Tuple(
+            {name_map.get(k, k): v for k, v in self._values.items()}
+        )
+
+    def combined(self, other: "Tuple") -> "Tuple":
+        """The concatenation of two tuples over disjoint attribute sets."""
+        overlap = self._values.keys() & other._values.keys()
+        if overlap:
+            raise ValueError(
+                f"cannot combine tuples with shared attributes: {sorted(overlap)}"
+            )
+        merged = dict(self._values)
+        merged.update(other._values)
+        return Tuple(merged)
+
+    def with_values(self, updates: Mapping[str, Any]) -> "Tuple":
+        """A copy of this tuple with some attribute values replaced."""
+        unknown = updates.keys() - self._values.keys()
+        if unknown:
+            raise KeyError(f"unknown attributes: {sorted(unknown)}")
+        merged = dict(self._values)
+        merged.update(updates)
+        return Tuple(merged)
+
+    def padded_with_nulls(self, attrs: Iterable[Attribute]) -> "Tuple":
+        """Extend the tuple with ``NULL`` values on additional attributes."""
+        extra = {a.name: NULL for a in attrs}
+        overlap = extra.keys() & self._values.keys()
+        if overlap:
+            raise ValueError(
+                f"cannot pad attributes already present: {sorted(overlap)}"
+            )
+        merged = dict(self._values)
+        merged.update(extra)
+        return Tuple(merged)
+
+
+def null_tuple(attrs: Sequence[Attribute]) -> Tuple:
+    """The tuple ``null_k`` consisting entirely of nulls on ``attrs``."""
+    return Tuple({a.name: NULL for a in attrs})

@@ -1,0 +1,27 @@
+"""Workloads: the paper's running examples and random generators.
+
+* :mod:`repro.workloads.university` -- the university schema of Figures
+  3/7 and scaled consistent states;
+* :mod:`repro.workloads.project` -- the employee/project ER example of
+  Figure 1 and the two-scheme OFFER/TEACH example of Figure 2;
+* :mod:`repro.workloads.fig8` -- the four EER structures of Figure 8;
+* :mod:`repro.workloads.random_schemas` / ``random_states`` -- seeded
+  generators of schemas in the paper's class and consistent states, used
+  by property tests and scale benchmarks.
+"""
+
+from repro.workloads.university import (
+    university_relational,
+    university_state,
+)
+from repro.workloads.project import (
+    assign_example_schema,
+    figure2_schema,
+)
+
+__all__ = [
+    "university_relational",
+    "university_state",
+    "assign_example_schema",
+    "figure2_schema",
+]

@@ -1,0 +1,152 @@
+"""The four EER structures of Figure 8.
+
+Each is "amenable for representation involving a single relation":
+
+* (i)   a generalization hierarchy whose specializations carry several
+        attributes -- mergeable, but the merged relation needs general
+        null constraints (null-synchronization across each
+        specialization's attributes);
+* (ii)  binary many-to-one relationship-sets *with attributes* anchored
+        at one entity-set -- mergeable with general null constraints
+        (the relationship attribute must be synchronized with the
+        foreign key, the Figure 1(iii) situation);
+* (iii) a generalization hierarchy whose specializations have exactly
+        one own attribute, no specializations of their own, and no
+        relationship participation -- mergeable with only
+        nulls-not-allowed constraints (Proposition 5.2 via
+        condition (1));
+* (iv)  attribute-free binary many-to-one relationship-sets whose
+        one-sides are plain entity-sets with single-attribute
+        identifiers -- mergeable with only nulls-not-allowed constraints
+        (Proposition 5.2 via condition (2)).
+"""
+
+from __future__ import annotations
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+)
+from repro.relational.attributes import Domain
+
+_ID = Domain("id")
+_TEXT = Domain("text")
+_DATE = Domain("date")
+
+
+def fig8_i_generalization_general() -> EERSchema:
+    """Figure 8(i): ISA hierarchy with multi-attribute specializations."""
+    employee = EntitySet(
+        "EMPLOYEE", (EERAttribute("SSN", _ID),), identifier=("SSN",)
+    )
+    engineer = EntitySet(
+        "ENGINEER",
+        (EERAttribute("DEGREE", _TEXT), EERAttribute("SPECIALTY", _TEXT)),
+    )
+    manager = EntitySet(
+        "MANAGER",
+        (EERAttribute("LEVEL", _TEXT), EERAttribute("BONUS", _TEXT)),
+    )
+    return EERSchema(
+        name="fig8-i",
+        object_sets=(employee, engineer, manager),
+        generalizations=(
+            Generalization("EMPLOYEE", ("ENGINEER", "MANAGER")),
+        ),
+    )
+
+
+def fig8_ii_star_general() -> EERSchema:
+    """Figure 8(ii): many-to-one relationship-sets with attributes."""
+    employee = EntitySet(
+        "EMPLOYEE", (EERAttribute("SSN", _ID),), identifier=("SSN",)
+    )
+    project = EntitySet(
+        "PROJECT", (EERAttribute("NR", _ID),), identifier=("NR",)
+    )
+    department = EntitySet(
+        "DEPARTMENT", (EERAttribute("NAME", _TEXT),), identifier=("NAME",)
+    )
+    works = RelationshipSet(
+        "WORKS",
+        attributes=(EERAttribute("SINCE", _DATE, required=False),),
+        participants=(
+            Participation("EMPLOYEE", Cardinality.MANY),
+            Participation("PROJECT", Cardinality.ONE),
+        ),
+    )
+    belongs = RelationshipSet(
+        "BELONGS",
+        attributes=(EERAttribute("ROLE", _TEXT),),
+        participants=(
+            Participation("EMPLOYEE", Cardinality.MANY),
+            Participation("DEPARTMENT", Cardinality.ONE),
+        ),
+    )
+    return EERSchema(
+        name="fig8-ii",
+        object_sets=(employee, project, department, works, belongs),
+    )
+
+
+def fig8_iii_generalization_nna() -> EERSchema:
+    """Figure 8(iii): ISA hierarchy satisfying condition (1) of
+    Section 5.2 -- one own attribute per specialization, no further
+    structure."""
+    vehicle = EntitySet(
+        "VEHICLE", (EERAttribute("VIN", _ID),), identifier=("VIN",)
+    )
+    car = EntitySet("CAR", (EERAttribute("DOORS", _TEXT),))
+    truck = EntitySet("TRUCK", (EERAttribute("PAYLOAD", _TEXT),))
+    return EERSchema(
+        name="fig8-iii",
+        object_sets=(vehicle, car, truck),
+        generalizations=(Generalization("VEHICLE", ("CAR", "TRUCK")),),
+    )
+
+
+def fig8_iv_star_nna() -> EERSchema:
+    """Figure 8(iv): attribute-free many-to-one star satisfying
+    condition (2) of Section 5.2."""
+    book = EntitySet(
+        "BOOK", (EERAttribute("ISBN", _ID),), identifier=("ISBN",)
+    )
+    publisher = EntitySet(
+        "PUBLISHER", (EERAttribute("NAME", _TEXT),), identifier=("NAME",)
+    )
+    language = EntitySet(
+        "LANGUAGE", (EERAttribute("CODE", _TEXT),), identifier=("CODE",)
+    )
+    published_by = RelationshipSet(
+        "ISSUED",
+        participants=(
+            Participation("BOOK", Cardinality.MANY),
+            Participation("PUBLISHER", Cardinality.ONE),
+        ),
+    )
+    written_in = RelationshipSet(
+        "WRITTEN",
+        participants=(
+            Participation("BOOK", Cardinality.MANY),
+            Participation("LANGUAGE", Cardinality.ONE),
+        ),
+    )
+    return EERSchema(
+        name="fig8-iv",
+        object_sets=(book, publisher, language, published_by, written_in),
+    )
+
+
+def all_fig8_schemas() -> dict[str, EERSchema]:
+    """The four structures keyed by their figure label."""
+    return {
+        "8(i)": fig8_i_generalization_general(),
+        "8(ii)": fig8_ii_star_general(),
+        "8(iii)": fig8_iii_generalization_nna(),
+        "8(iv)": fig8_iv_star_nna(),
+    }

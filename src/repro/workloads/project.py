@@ -1,0 +1,235 @@
+"""The employee/project example of Figure 1 and the OFFER/TEACH example
+of Figure 2.
+
+``figure1_relational`` builds the BCNF schema ``RS`` of Figure 1(ii)
+(the Markowitz-Shoshani translation of the ER schema); the ER source
+itself lives in :mod:`repro.workloads.fig_eer`.  ``figure2_schema``
+builds the two-scheme OFFER/TEACH schema used to introduce merging, with
+or without the inclusion dependency that makes OFFER a key-relation.
+``assign_example_schema`` is the Section 1 synthesis example
+(TEACH/OFFER with equivalent keys).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import nulls_not_allowed
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Participation,
+    RelationshipSet,
+)
+
+SSN = Domain("ssn")
+PROJECT_NR = Domain("project-nr")
+DATE = Domain("date")
+COURSE_NR = Domain("course-nr")
+DEPT = Domain("dept-name")
+FACULTY_NAME = Domain("faculty-name")
+
+
+def figure1_eer() -> EERSchema:
+    """The ER schema of Figure 1(i): EMPLOYEE and PROJECT connected by the
+    binary many-to-one relationship-sets WORKS (with an optional DATE
+    attribute) and MANAGES."""
+    employee = EntitySet(
+        "EMPLOYEE", (EERAttribute("SSN", SSN),), identifier=("SSN",)
+    )
+    project = EntitySet(
+        "PROJECT", (EERAttribute("NR", PROJECT_NR),), identifier=("NR",)
+    )
+    works = RelationshipSet(
+        "WORKS",
+        attributes=(EERAttribute("DATE", DATE, required=False),),
+        participants=(
+            Participation("EMPLOYEE", Cardinality.MANY),
+            Participation("PROJECT", Cardinality.ONE),
+        ),
+    )
+    manages = RelationshipSet(
+        "MANAGES",
+        participants=(
+            Participation("EMPLOYEE", Cardinality.MANY),
+            Participation("PROJECT", Cardinality.ONE),
+        ),
+    )
+    return EERSchema(
+        name="employee-project",
+        object_sets=(employee, project, works, manages),
+    )
+
+
+def figure1_relational() -> RelationalSchema:
+    """The BCNF schema ``RS`` of Figure 1(ii), with prefixed attribute
+    names (the figure prints bare names; prefixes implement the globally
+    unique naming Definition 4.1 assumes).
+
+    ``WORKS`` and ``MANAGES`` are many-to-one from EMPLOYEE to PROJECT;
+    the ``DATE`` attribute of WORKS allows nulls (starred in the figure).
+    """
+    project = RelationScheme(
+        "PROJECT", (Attribute("P.NR", PROJECT_NR),), (Attribute("P.NR", PROJECT_NR),)
+    )
+    employee = RelationScheme(
+        "EMPLOYEE", (Attribute("E.SSN", SSN),), (Attribute("E.SSN", SSN),)
+    )
+    works_key = Attribute("W.E.SSN", SSN)
+    works = RelationScheme(
+        "WORKS",
+        (works_key, Attribute("W.P.NR", PROJECT_NR), Attribute("W.DATE", DATE)),
+        (works_key,),
+    )
+    manages_key = Attribute("M.E.SSN", SSN)
+    manages = RelationScheme(
+        "MANAGES",
+        (manages_key, Attribute("M.P.NR", PROJECT_NR)),
+        (manages_key,),
+    )
+    inds = (
+        InclusionDependency("WORKS", ("W.P.NR",), "PROJECT", ("P.NR",)),
+        InclusionDependency("WORKS", ("W.E.SSN",), "EMPLOYEE", ("E.SSN",)),
+        InclusionDependency("MANAGES", ("M.P.NR",), "PROJECT", ("P.NR",)),
+        InclusionDependency("MANAGES", ("M.E.SSN",), "EMPLOYEE", ("E.SSN",)),
+    )
+    null_constraints = (
+        nulls_not_allowed("PROJECT", ["P.NR"]),
+        nulls_not_allowed("EMPLOYEE", ["E.SSN"]),
+        nulls_not_allowed("WORKS", ["W.E.SSN", "W.P.NR"]),
+        nulls_not_allowed("MANAGES", ["M.E.SSN", "M.P.NR"]),
+    )
+    return RelationalSchema(
+        schemes=(project, employee, works, manages),
+        inds=inds,
+        null_constraints=null_constraints,
+    )
+
+
+def figure1_state(
+    n_employees: int = 20,
+    n_projects: int = 5,
+    works_fraction: float = 0.7,
+    manages_fraction: float = 0.2,
+    seed: int = 0,
+) -> DatabaseState:
+    """A random consistent state of the Figure 1(ii) schema."""
+    rng = random.Random(seed)
+    schema = figure1_relational()
+    employees = [f"ssn-{i:04d}" for i in range(n_employees)]
+    projects = [f"prj-{i:03d}" for i in range(n_projects)]
+    rows: dict[str, list[Mapping[str, Any]]] = {
+        "EMPLOYEE": [{"E.SSN": e} for e in employees],
+        "PROJECT": [{"P.NR": p} for p in projects],
+        "WORKS": [],
+        "MANAGES": [],
+    }
+    from repro.relational.tuples import NULL
+
+    for emp in employees:
+        if rng.random() < works_fraction:
+            date = f"2026-0{rng.randint(1, 7)}-01" if rng.random() < 0.8 else NULL
+            rows["WORKS"].append(
+                {"W.E.SSN": emp, "W.P.NR": rng.choice(projects), "W.DATE": date}
+            )
+        if rng.random() < manages_fraction:
+            rows["MANAGES"].append(
+                {"M.E.SSN": emp, "M.P.NR": rng.choice(projects)}
+            )
+    return DatabaseState.for_schema(schema, rows)
+
+
+def figure2_schema(with_ind: bool = False) -> RelationalSchema:
+    """The two-scheme schema of Figure 2: ``OFFER(O.CN, O.DN)`` and
+    ``TEACH(T.CN, T.FN)``.
+
+    With ``with_ind`` the schema also carries
+    ``TEACH[T.CN] <= OFFER[O.CN]``, which (Proposition 3.1) makes OFFER a
+    key-relation of the pair; without it, merging must synthesise a fresh
+    key-relation and the merged scheme acquires a part-null constraint.
+    """
+    offer = RelationScheme(
+        "OFFER",
+        (Attribute("O.CN", COURSE_NR), Attribute("O.DN", DEPT)),
+        (Attribute("O.CN", COURSE_NR),),
+    )
+    teach = RelationScheme(
+        "TEACH",
+        (Attribute("T.CN", COURSE_NR), Attribute("T.FN", FACULTY_NAME)),
+        (Attribute("T.CN", COURSE_NR),),
+    )
+    inds = (
+        (InclusionDependency("TEACH", ("T.CN",), "OFFER", ("O.CN",)),)
+        if with_ind
+        else ()
+    )
+    return RelationalSchema(
+        schemes=(offer, teach),
+        inds=inds,
+        null_constraints=(
+            nulls_not_allowed("OFFER", ["O.CN", "O.DN"]),
+            nulls_not_allowed("TEACH", ["T.CN", "T.FN"]),
+        ),
+    )
+
+
+def figure2_state(
+    n_courses: int = 12,
+    offer_fraction: float = 0.7,
+    teach_fraction: float = 0.6,
+    with_ind: bool = False,
+    seed: int = 0,
+) -> DatabaseState:
+    """A random consistent state of the Figure 2 schema.
+
+    With ``with_ind`` every taught course is also offered (satisfying the
+    inclusion dependency); without it the two relations overlap freely.
+    """
+    rng = random.Random(seed)
+    schema = figure2_schema(with_ind=with_ind)
+    courses = [f"crs-{i:03d}" for i in range(n_courses)]
+    depts = ["math", "cs", "physics"]
+    names = ["ada", "grace", "edgar", "alan"]
+    rows: dict[str, list[Mapping[str, Any]]] = {"OFFER": [], "TEACH": []}
+    for course in courses:
+        offered = rng.random() < offer_fraction
+        if offered:
+            rows["OFFER"].append({"O.CN": course, "O.DN": rng.choice(depts)})
+        can_teach = offered if with_ind else True
+        if can_teach and rng.random() < teach_fraction:
+            rows["TEACH"].append({"T.CN": course, "T.FN": rng.choice(names)})
+    return DatabaseState.for_schema(schema, rows)
+
+
+def assign_example_schema() -> RelationalSchema:
+    """The Section 1 synthesis example: ``TEACH(COURSE, FACULTY)`` and
+    ``OFFER(COURSE, DEPARTMENT)`` with equivalent keys.
+
+    Attribute names are prefixed for global uniqueness; both COURSE
+    columns belong to the same domain, making the keys compatible.
+    """
+    teach = RelationScheme(
+        "TEACH",
+        (Attribute("T.COURSE", COURSE_NR), Attribute("T.FACULTY", FACULTY_NAME)),
+        (Attribute("T.COURSE", COURSE_NR),),
+    )
+    offer = RelationScheme(
+        "OFFER",
+        (Attribute("O.COURSE", COURSE_NR), Attribute("O.DEPARTMENT", DEPT)),
+        (Attribute("O.COURSE", COURSE_NR),),
+    )
+    return RelationalSchema(
+        schemes=(teach, offer),
+        null_constraints=(
+            nulls_not_allowed("TEACH", ["T.COURSE", "T.FACULTY"]),
+            nulls_not_allowed("OFFER", ["O.COURSE", "O.DEPARTMENT"]),
+        ),
+    )

@@ -1,0 +1,162 @@
+"""Seeded random schemas in the paper's class.
+
+Generated schemas consist of relation-schemes, (implicit) key
+dependencies, key-based inclusion dependencies, and nulls-not-allowed
+constraints -- and are built so that mergeable families exist: each
+*cluster* has a root scheme whose primary key is chained into by child
+schemes (their primary keys are foreign keys into the parent, the
+``Refkey*`` shape of Proposition 3.1), plus optional cross-cluster
+foreign keys on non-key attributes.
+
+Used by the property tests (Merge/Remove round trips on arbitrary
+schemas) and the proposition benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import nulls_not_allowed
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+
+
+@dataclass(frozen=True)
+class RandomSchemaParams:
+    """Shape parameters for :func:`random_schema`."""
+
+    n_clusters: int = 2
+    #: Children chained under each root (each child's key references its
+    #: parent's key; depth grows along the chain).
+    max_children: int = 3
+    max_depth: int = 2
+    #: Extra non-key attributes per scheme (uniform 0..max).
+    max_extra_attrs: int = 2
+    #: Probability that a scheme gains a non-key foreign key into another
+    #: cluster's root.
+    cross_ref_prob: float = 0.3
+    #: Probability that a non-key, non-foreign-key attribute allows nulls.
+    optional_attr_prob: float = 0.0
+
+
+@dataclass
+class GeneratedSchema:
+    """A random schema plus the cluster structure that produced it."""
+
+    schema: RelationalSchema
+    #: Root scheme name per cluster.
+    roots: list[str] = field(default_factory=list)
+    #: Cluster members (including the root), per root name.
+    clusters: dict[str, list[str]] = field(default_factory=dict)
+
+
+def random_schema(
+    params: RandomSchemaParams = RandomSchemaParams(), seed: int = 0
+) -> GeneratedSchema:
+    """Generate a random relational schema of the paper's class."""
+    rng = random.Random(seed)
+    schemes: list[RelationScheme] = []
+    inds: list[InclusionDependency] = []
+    null_constraints = []
+    result = GeneratedSchema(schema=None)  # type: ignore[arg-type]
+
+    counter = 0
+
+    def next_name() -> str:
+        nonlocal counter
+        counter += 1
+        return f"R{counter}"
+
+    def build_scheme(
+        name: str,
+        key_domain: Domain,
+        parent: RelationScheme | None,
+        cluster: list[str],
+    ) -> RelationScheme:
+        key_attr = Attribute(f"{name}.K", key_domain)
+        attrs = [key_attr]
+        required = [key_attr.name]
+        for j in range(rng.randint(0, params.max_extra_attrs)):
+            attr = Attribute(f"{name}.A{j}", Domain(f"dom-{name}-A{j}"))
+            attrs.append(attr)
+            if rng.random() >= params.optional_attr_prob:
+                required.append(attr.name)
+        scheme = RelationScheme(name, tuple(attrs), (key_attr,))
+        schemes.append(scheme)
+        null_constraints.append(nulls_not_allowed(name, required))
+        if parent is not None:
+            inds.append(
+                InclusionDependency(
+                    name, scheme.key_names, parent.name, parent.key_names
+                )
+            )
+        cluster.append(name)
+        return scheme
+
+    # Cluster roots and chains.
+    for c in range(params.n_clusters):
+        key_domain = Domain(f"key-{c}")
+        root = build_scheme(next_name(), key_domain, None, cluster := [])
+        result.roots.append(root.name)
+        frontier = [(root, 1)]
+        while frontier:
+            parent, depth = frontier.pop(0)
+            if depth > params.max_depth:
+                continue
+            for _ in range(rng.randint(0, params.max_children)):
+                child = build_scheme(next_name(), key_domain, parent, cluster)
+                frontier.append((child, depth + 1))
+        result.clusters[root.name] = cluster
+
+    # Cross-cluster foreign keys on fresh non-key attributes.  Targets
+    # are restricted to *earlier* clusters so the inclusion-dependency
+    # graph stays acyclic (the EER translation never produces cycles
+    # either).
+    cluster_index = {
+        name: i
+        for i, root in enumerate(result.roots)
+        for name in result.clusters[root]
+    }
+    final_schemes: list[RelationScheme] = []
+    for scheme in schemes:
+        earlier_roots = [
+            r
+            for i, r in enumerate(result.roots)
+            if i < cluster_index[scheme.name]
+        ]
+        if earlier_roots and rng.random() < params.cross_ref_prob:
+            other_root_name = rng.choice(earlier_roots)
+            if scheme.name not in result.clusters[other_root_name]:
+                target = next(
+                    s for s in schemes if s.name == other_root_name
+                )
+                fk = Attribute(
+                    f"{scheme.name}.FK", target.primary_key[0].domain
+                )
+                scheme = RelationScheme(
+                    scheme.name,
+                    scheme.attributes + (fk,),
+                    scheme.primary_key,
+                    scheme.candidate_keys,
+                )
+                inds.append(
+                    InclusionDependency(
+                        scheme.name,
+                        (fk.name,),
+                        target.name,
+                        target.key_names,
+                    )
+                )
+                null_constraints.append(
+                    nulls_not_allowed(scheme.name, [fk.name])
+                )
+        final_schemes.append(scheme)
+
+    result.schema = RelationalSchema(
+        schemes=tuple(final_schemes),
+        inds=tuple(inds),
+        null_constraints=tuple(null_constraints),
+    )
+    return result

@@ -1,0 +1,152 @@
+"""Seeded random *consistent* database states for schemas of the paper's
+class.
+
+Works for any schema whose inclusion-dependency graph is acyclic (the
+class produced by the EER translation and by
+:mod:`repro.workloads.random_schemas`): schemes are filled in topological
+order so foreign keys can be sampled from already-populated referenced
+relations, primary keys are kept distinct, and nulls are injected only
+into attributes not covered by nulls-not-allowed constraints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+
+def _topological_order(schema: RelationalSchema) -> list[RelationScheme]:
+    """Schemes ordered so every IND target precedes its sources."""
+    remaining = {s.name for s in schema.schemes}
+    deps: dict[str, set[str]] = {name: set() for name in remaining}
+    for ind in schema.inds:
+        if ind.lhs_scheme != ind.rhs_scheme:
+            deps[ind.lhs_scheme].add(ind.rhs_scheme)
+    order: list[RelationScheme] = []
+    while remaining:
+        ready = sorted(
+            name for name in remaining if not (deps[name] & remaining)
+        )
+        if not ready:
+            raise ValueError(
+                "inclusion-dependency graph has a cycle; cannot order schemes"
+            )
+        for name in ready:
+            order.append(schema.scheme(name))
+            remaining.discard(name)
+    return order
+
+
+def _required_attrs(schema: RelationalSchema, scheme: RelationScheme) -> set[str]:
+    required = set(scheme.key_names)
+    for c in schema.null_constraints_of(scheme.name):
+        if isinstance(c, NullExistenceConstraint) and c.is_nulls_not_allowed():
+            required |= c.rhs
+    return required
+
+
+def random_consistent_state(
+    schema: RelationalSchema,
+    rows_per_scheme: int | Mapping[str, int] = 8,
+    null_prob: float = 0.3,
+    seed: int = 0,
+) -> DatabaseState:
+    """A random consistent state of ``schema``.
+
+    ``rows_per_scheme`` caps row counts (schemes whose primary key is a
+    foreign key are additionally capped by the referenced population);
+    ``null_prob`` drives nulls into optional attributes.
+    """
+    rng = random.Random(seed)
+    value_counter = 0
+
+    def fresh(domain_name: str) -> str:
+        nonlocal value_counter
+        value_counter += 1
+        return f"{domain_name}#{value_counter}"
+
+    def wanted(name: str) -> int:
+        if isinstance(rows_per_scheme, int):
+            return rows_per_scheme
+        return rows_per_scheme.get(name, 8)
+
+    relations: dict[str, list[dict[str, Any]]] = {}
+    key_pools: dict[str, list[tuple[Any, ...]]] = {}
+
+    for scheme in _topological_order(schema):
+        required = _required_attrs(schema, scheme)
+        fk_groups: list[tuple[tuple[str, ...], str, tuple[str, ...]]] = []
+        for ind in schema.inds_from(scheme.name):
+            if ind.rhs_scheme != scheme.name:
+                fk_groups.append(
+                    (tuple(ind.lhs_attrs), ind.rhs_scheme, tuple(ind.rhs_attrs))
+                )
+        key_names = set(scheme.key_names)
+        key_fk = next(
+            (g for g in fk_groups if set(g[0]) == key_names), None
+        )
+
+        n = wanted(scheme.name)
+        rows: list[dict[str, Any]] = []
+        used_keys: set[tuple[Any, ...]] = set()
+
+        if key_fk is not None:
+            _, ref_scheme, ref_attrs = key_fk
+            pool = [
+                tuple(row[a] for a in ref_attrs)
+                for row in relations.get(ref_scheme, ())
+            ]
+            rng.shuffle(pool)
+            key_values = pool[:n]
+        else:
+            key_values = [
+                tuple(
+                    fresh(attr.domain.name)
+                    for attr in scheme.primary_key
+                )
+                for _ in range(n)
+            ]
+
+        for key_value in key_values:
+            if key_value in used_keys:
+                continue
+            used_keys.add(key_value)
+            row: dict[str, Any] = dict(zip(scheme.key_names, key_value))
+            for attrs, ref_scheme, ref_attrs in fk_groups:
+                if set(attrs) == key_names:
+                    continue
+                ref_rows = relations.get(ref_scheme, ())
+                optional = not (set(attrs) & required)
+                if not ref_rows:
+                    if not optional:
+                        raise ValueError(
+                            f"{scheme.name} requires rows in {ref_scheme} "
+                            "but it is empty; raise its row count"
+                        )
+                    for a in attrs:
+                        row[a] = NULL
+                    continue
+                if optional and rng.random() < null_prob:
+                    for a in attrs:
+                        row[a] = NULL
+                else:
+                    picked = rng.choice(list(ref_rows))
+                    for a, ra in zip(attrs, ref_attrs):
+                        row[a] = picked[ra]
+            for attr in scheme.attributes:
+                if attr.name in row:
+                    continue
+                if attr.name not in required and rng.random() < null_prob:
+                    row[attr.name] = NULL
+                else:
+                    row[attr.name] = fresh(attr.domain.name)
+            rows.append(row)
+        relations[scheme.name] = rows
+        key_pools[scheme.name] = sorted(used_keys)
+
+    return DatabaseState.for_schema(schema, relations)

@@ -1,0 +1,163 @@
+"""A clinical sample-registry workload (second application domain).
+
+The paper came out of Lawrence Berkeley Laboratory's health-data work;
+this workload models the kind of schema its SDT tool targeted: subjects
+specializing into patients and donors, and samples hanging off three
+binary many-to-one relationship-sets (drawn from a subject, stored in a
+freezer, assayed by a lab).  The SAMPLE star is a Figure 8(iv)-shaped
+structure *except* that DRAWN_FROM points at a generalization hierarchy,
+exercising merge planning beyond the university example.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+)
+from repro.eer.translate import Translation, translate_eer
+from repro.relational.attributes import Domain
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+ID = Domain("id")
+TEXT = Domain("text")
+DATE = Domain("date")
+
+
+def registry_eer() -> EERSchema:
+    """The registry EER design (see module docstring)."""
+    subject = EntitySet(
+        "SUBJECT", (EERAttribute("SID", ID),), identifier=("SID",), abbrev="SU"
+    )
+    patient = EntitySet(
+        "PATIENT", (EERAttribute("DIAGNOSIS", TEXT),), abbrev="P"
+    )
+    donor = EntitySet("DONOR", (EERAttribute("CONSENT", TEXT),), abbrev="D")
+    sample = EntitySet(
+        "SAMPLE",
+        (
+            EERAttribute("BARCODE", ID),
+            EERAttribute("DRAWN", DATE, required=False),
+        ),
+        identifier=("BARCODE",),
+        abbrev="S",
+    )
+    freezer = EntitySet(
+        "FREEZER", (EERAttribute("UNIT", ID),), identifier=("UNIT",), abbrev="F"
+    )
+    lab = EntitySet(
+        "LAB", (EERAttribute("CODE", ID),), identifier=("CODE",), abbrev="L"
+    )
+    drawn_from = RelationshipSet(
+        "DRAWN_FROM",
+        abbrev="DR",
+        participants=(
+            Participation("SAMPLE", Cardinality.MANY),
+            Participation("SUBJECT", Cardinality.ONE),
+        ),
+    )
+    stored_in = RelationshipSet(
+        "STORED_IN",
+        abbrev="ST",
+        participants=(
+            Participation("SAMPLE", Cardinality.MANY),
+            Participation("FREEZER", Cardinality.ONE),
+        ),
+    )
+    assayed_by = RelationshipSet(
+        "ASSAYED_BY",
+        abbrev="A",
+        participants=(
+            Participation("SAMPLE", Cardinality.MANY),
+            Participation("LAB", Cardinality.ONE),
+        ),
+    )
+    return EERSchema(
+        name="registry",
+        object_sets=(
+            subject,
+            patient,
+            donor,
+            sample,
+            freezer,
+            lab,
+            drawn_from,
+            stored_in,
+            assayed_by,
+        ),
+        generalizations=(Generalization("SUBJECT", ("PATIENT", "DONOR")),),
+    )
+
+
+def registry_translation() -> Translation:
+    """The registry's relational translation (9 relation-schemes)."""
+    return translate_eer(registry_eer())
+
+
+def registry_state(
+    n_samples: int = 50,
+    n_subjects: int = 20,
+    n_freezers: int = 4,
+    n_labs: int = 3,
+    drawn_fraction: float = 0.9,
+    stored_fraction: float = 0.8,
+    assayed_fraction: float = 0.5,
+    seed: int = 0,
+) -> DatabaseState:
+    """A random consistent state of the registry schema."""
+    rng = random.Random(seed)
+    schema = registry_translation().schema
+    subjects = [f"sub-{i:04d}" for i in range(n_subjects)]
+    half = max(1, n_subjects // 2)
+    patients = subjects[:half]
+    donors = subjects[half:] or subjects[:1]
+    samples = [f"bar-{i:05d}" for i in range(n_samples)]
+    freezers = [f"frz-{i}" for i in range(n_freezers)]
+    labs = [f"lab-{i}" for i in range(n_labs)]
+
+    rows: dict[str, list[Mapping[str, Any]]] = {
+        "SUBJECT": [{"SU.SID": s} for s in subjects],
+        "PATIENT": [
+            {"P.SID": s, "P.DIAGNOSIS": f"dx-{rng.randint(1, 9)}"}
+            for s in patients
+        ],
+        "DONOR": [
+            {"D.SID": s, "D.CONSENT": rng.choice(["full", "limited"])}
+            for s in donors
+        ],
+        "SAMPLE": [],
+        "FREEZER": [{"F.UNIT": f} for f in freezers],
+        "LAB": [{"L.CODE": code} for code in labs],
+        "DRAWN_FROM": [],
+        "STORED_IN": [],
+        "ASSAYED_BY": [],
+    }
+    for barcode in samples:
+        drawn = (
+            f"2026-{rng.randint(1, 7):02d}-{rng.randint(1, 28):02d}"
+            if rng.random() < 0.8
+            else NULL
+        )
+        rows["SAMPLE"].append({"S.BARCODE": barcode, "S.DRAWN": drawn})
+        if rng.random() < drawn_fraction:
+            rows["DRAWN_FROM"].append(
+                {"DR.S.BARCODE": barcode, "DR.SU.SID": rng.choice(subjects)}
+            )
+        if rng.random() < stored_fraction:
+            rows["STORED_IN"].append(
+                {"ST.S.BARCODE": barcode, "ST.F.UNIT": rng.choice(freezers)}
+            )
+        if rng.random() < assayed_fraction:
+            rows["ASSAYED_BY"].append(
+                {"A.S.BARCODE": barcode, "A.L.CODE": rng.choice(labs)}
+            )
+    return DatabaseState.for_schema(schema, rows)

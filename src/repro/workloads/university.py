@@ -1,0 +1,209 @@
+"""The university schema of Figure 3 (the relational translation of the
+EER schema of Figure 7) and consistent-state generators over it.
+
+The schema has eight relation-schemes::
+
+    PERSON(P.SSN)           DEPARTMENT(D.NAME)
+    FACULTY(F.SSN)          OFFER(O.C.NR, O.D.NAME)
+    STUDENT(S.SSN)          TEACH(T.C.NR, T.F.SSN)
+    COURSE(C.NR)            ASSIST(A.C.NR, A.S.SSN)
+
+eight referential integrity constraints and eight nulls-not-allowed
+constraints -- reproduced verbatim from the figure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import nulls_not_allowed
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+)
+
+SSN = Domain("ssn")
+COURSE_NR = Domain("course-nr")
+DEPT_NAME = Domain("dept-name")
+
+
+def university_eer() -> EERSchema:
+    """The EER schema of Figure 7.
+
+    PERSON generalizes FACULTY and STUDENT; OFFER relates COURSE (many)
+    to DEPARTMENT (one); TEACH and ASSIST are relationship-sets over the
+    relationship-set OFFER (many) and FACULTY resp. STUDENT (one).  Its
+    Markowitz-Shoshani translation is exactly the Figure 3 schema.
+    """
+    person = EntitySet(
+        "PERSON", (EERAttribute("SSN", SSN),), identifier=("SSN",)
+    )
+    faculty = EntitySet("FACULTY")
+    student = EntitySet("STUDENT")
+    course = EntitySet(
+        "COURSE", (EERAttribute("NR", COURSE_NR),), identifier=("NR",)
+    )
+    department = EntitySet(
+        "DEPARTMENT", (EERAttribute("NAME", DEPT_NAME),), identifier=("NAME",)
+    )
+    offer = RelationshipSet(
+        "OFFER",
+        participants=(
+            Participation("COURSE", Cardinality.MANY),
+            Participation("DEPARTMENT", Cardinality.ONE),
+        ),
+    )
+    teach = RelationshipSet(
+        "TEACH",
+        participants=(
+            Participation("OFFER", Cardinality.MANY),
+            Participation("FACULTY", Cardinality.ONE),
+        ),
+    )
+    assist = RelationshipSet(
+        "ASSIST",
+        participants=(
+            Participation("OFFER", Cardinality.MANY),
+            Participation("STUDENT", Cardinality.ONE),
+        ),
+    )
+    return EERSchema(
+        name="university",
+        object_sets=(
+            person,
+            faculty,
+            student,
+            course,
+            department,
+            offer,
+            teach,
+            assist,
+        ),
+        generalizations=(
+            Generalization("PERSON", ("FACULTY", "STUDENT")),
+        ),
+    )
+
+
+def _scheme(name: str, attrs: list[Attribute], key_size: int) -> RelationScheme:
+    return RelationScheme(name, tuple(attrs), tuple(attrs[:key_size]))
+
+
+def university_relational() -> RelationalSchema:
+    """The relational schema of Figure 3, exactly as printed."""
+    person = _scheme("PERSON", [Attribute("P.SSN", SSN)], 1)
+    faculty = _scheme("FACULTY", [Attribute("F.SSN", SSN)], 1)
+    student = _scheme("STUDENT", [Attribute("S.SSN", SSN)], 1)
+    course = _scheme("COURSE", [Attribute("C.NR", COURSE_NR)], 1)
+    department = _scheme("DEPARTMENT", [Attribute("D.NAME", DEPT_NAME)], 1)
+    offer = _scheme(
+        "OFFER",
+        [Attribute("O.C.NR", COURSE_NR), Attribute("O.D.NAME", DEPT_NAME)],
+        1,
+    )
+    teach = _scheme(
+        "TEACH",
+        [Attribute("T.C.NR", COURSE_NR), Attribute("T.F.SSN", SSN)],
+        1,
+    )
+    assist = _scheme(
+        "ASSIST",
+        [Attribute("A.C.NR", COURSE_NR), Attribute("A.S.SSN", SSN)],
+        1,
+    )
+    schemes = (
+        person,
+        faculty,
+        student,
+        course,
+        department,
+        offer,
+        teach,
+        assist,
+    )
+    inds = (
+        InclusionDependency("FACULTY", ("F.SSN",), "PERSON", ("P.SSN",)),
+        InclusionDependency("STUDENT", ("S.SSN",), "PERSON", ("P.SSN",)),
+        InclusionDependency("OFFER", ("O.C.NR",), "COURSE", ("C.NR",)),
+        InclusionDependency("OFFER", ("O.D.NAME",), "DEPARTMENT", ("D.NAME",)),
+        InclusionDependency("TEACH", ("T.C.NR",), "OFFER", ("O.C.NR",)),
+        InclusionDependency("TEACH", ("T.F.SSN",), "FACULTY", ("F.SSN",)),
+        InclusionDependency("ASSIST", ("A.C.NR",), "OFFER", ("O.C.NR",)),
+        InclusionDependency("ASSIST", ("A.S.SSN",), "STUDENT", ("S.SSN",)),
+    )
+    null_constraints = (
+        nulls_not_allowed("PERSON", ["P.SSN"]),
+        nulls_not_allowed("FACULTY", ["F.SSN"]),
+        nulls_not_allowed("STUDENT", ["S.SSN"]),
+        nulls_not_allowed("COURSE", ["C.NR"]),
+        nulls_not_allowed("DEPARTMENT", ["D.NAME"]),
+        nulls_not_allowed("OFFER", ["O.C.NR", "O.D.NAME"]),
+        nulls_not_allowed("TEACH", ["T.C.NR", "T.F.SSN"]),
+        nulls_not_allowed("ASSIST", ["A.C.NR", "A.S.SSN"]),
+    )
+    return RelationalSchema(
+        schemes=schemes, inds=inds, null_constraints=null_constraints
+    )
+
+
+def university_state(
+    n_courses: int = 10,
+    n_departments: int = 3,
+    n_people: int | None = None,
+    offer_fraction: float = 0.8,
+    teach_fraction: float = 0.7,
+    assist_fraction: float = 0.5,
+    seed: int = 0,
+) -> DatabaseState:
+    """A random consistent state of the Figure 3 schema.
+
+    Each course is offered with probability ``offer_fraction``; offered
+    courses are taught/assisted with the given fractions (the inclusion
+    chain COURSE <- OFFER <- TEACH/ASSIST is respected by construction).
+    """
+    rng = random.Random(seed)
+    schema = university_relational()
+    n_people = n_people if n_people is not None else max(4, n_courses)
+    people = [f"ssn-{i:04d}" for i in range(n_people)]
+    half = max(1, n_people // 2)
+    faculty = people[:half]
+    students = people[half:] or people[:1]
+    departments = [f"dept-{i}" for i in range(n_departments)]
+    courses = [f"crs-{i:04d}" for i in range(n_courses)]
+
+    rows: dict[str, list[Mapping[str, Any]]] = {
+        "PERSON": [{"P.SSN": p} for p in people],
+        "FACULTY": [{"F.SSN": f} for f in faculty],
+        "STUDENT": [{"S.SSN": s} for s in students],
+        "COURSE": [{"C.NR": c} for c in courses],
+        "DEPARTMENT": [{"D.NAME": d} for d in departments],
+        "OFFER": [],
+        "TEACH": [],
+        "ASSIST": [],
+    }
+    for course in courses:
+        if rng.random() >= offer_fraction:
+            continue
+        rows["OFFER"].append(
+            {"O.C.NR": course, "O.D.NAME": rng.choice(departments)}
+        )
+        if rng.random() < teach_fraction:
+            rows["TEACH"].append(
+                {"T.C.NR": course, "T.F.SSN": rng.choice(faculty)}
+            )
+        if rng.random() < assist_fraction:
+            rows["ASSIST"].append(
+                {"A.C.NR": course, "A.S.SSN": rng.choice(students)}
+            )
+    return DatabaseState.for_schema(schema, rows)

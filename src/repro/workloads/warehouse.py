@@ -1,0 +1,106 @@
+"""A warehouse workload: weak entities, composite keys, and an m:n
+relationship.
+
+This third domain exercises the translation and merging paths the
+university and registry workloads do not:
+
+* ``BIN`` is a *weak* entity-set identified through ``WAREHOUSE`` plus a
+  partial identifier -- its relation has a composite primary key;
+* ``STOCKED`` is a binary many-to-one relationship-set anchored at the
+  weak entity, so its relation inherits the composite key and merging
+  ``{BIN, STOCKED}`` equates *two-attribute* keys (the ordered
+  correspondence of Definition 4.1);
+* ``SUPPLIES`` is many-to-many (both legs MANY), translating to a
+  relation keyed by both participants -- never mergeable into either
+  side, a useful negative case for the planner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping
+
+from repro.eer.builder import EERBuilder, optional
+from repro.eer.model import EERSchema
+from repro.eer.translate import Translation, translate_eer
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+
+def warehouse_eer() -> EERSchema:
+    """The warehouse EER design (see module docstring)."""
+    return (
+        EERBuilder("warehouse")
+        .entity("WAREHOUSE", identifier={"SITE": "site"}, abbrev="W")
+        .weak_entity(
+            "BIN",
+            owner="WAREHOUSE",
+            partial_identifier={"SLOT": "slot"},
+            attrs={"CAPACITY": optional("units")},
+            abbrev="B",
+        )
+        .entity("PRODUCT", identifier={"SKU": "sku"}, abbrev="P")
+        .entity("VENDOR", identifier={"VAT": "vat"}, abbrev="V")
+        .relationship("STOCKED", many="BIN", one="PRODUCT", abbrev="ST")
+        .relationship(
+            "SUPPLIES", many=["VENDOR", "PRODUCT"], abbrev="SU"
+        )
+        .build()
+    )
+
+
+def warehouse_translation() -> Translation:
+    """The relational translation (6 relation-schemes; BIN and STOCKED
+    carry composite primary keys)."""
+    return translate_eer(warehouse_eer())
+
+
+def warehouse_state(
+    n_warehouses: int = 3,
+    bins_per_warehouse: int = 8,
+    n_products: int = 10,
+    n_vendors: int = 4,
+    stocked_fraction: float = 0.7,
+    seed: int = 0,
+) -> DatabaseState:
+    """A random consistent state of the warehouse schema."""
+    rng = random.Random(seed)
+    schema = warehouse_translation().schema
+    warehouses = [f"site-{i}" for i in range(n_warehouses)]
+    products = [f"sku-{i:04d}" for i in range(n_products)]
+    vendors = [f"vat-{i:03d}" for i in range(n_vendors)]
+
+    rows: dict[str, list[Mapping[str, Any]]] = {
+        "WAREHOUSE": [{"W.SITE": w} for w in warehouses],
+        "PRODUCT": [{"P.SKU": p} for p in products],
+        "VENDOR": [{"V.VAT": v} for v in vendors],
+        "BIN": [],
+        "STOCKED": [],
+        "SUPPLIES": [],
+    }
+    for site in warehouses:
+        for slot in range(bins_per_warehouse):
+            slot_id = f"slot-{slot:02d}"
+            capacity = (
+                str(rng.choice([10, 20, 50])) if rng.random() < 0.7 else NULL
+            )
+            rows["BIN"].append(
+                {"B.W.SITE": site, "B.SLOT": slot_id, "B.CAPACITY": capacity}
+            )
+            if rng.random() < stocked_fraction:
+                rows["STOCKED"].append(
+                    {
+                        "ST.B.W.SITE": site,
+                        "ST.B.SLOT": slot_id,
+                        "ST.P.SKU": rng.choice(products),
+                    }
+                )
+    seen = set()
+    for vendor in vendors:
+        for product in rng.sample(products, k=min(3, len(products))):
+            if (vendor, product) not in seen:
+                seen.add((vendor, product))
+                rows["SUPPLIES"].append(
+                    {"SU.V.VAT": vendor, "SU.P.SKU": product}
+                )
+    return DatabaseState.for_schema(schema, rows)

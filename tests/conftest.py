@@ -1,0 +1,89 @@
+"""Shared fixtures: the paper's running examples and small helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.relation import Relation
+from repro.workloads.project import (
+    figure1_eer,
+    figure1_relational,
+    figure1_state,
+    figure2_schema,
+    figure2_state,
+)
+from repro.workloads.university import (
+    university_eer,
+    university_relational,
+    university_state,
+)
+
+
+@pytest.fixture
+def university_schema():
+    """The Figure 3 relational schema."""
+    return university_relational()
+
+
+@pytest.fixture
+def university_sample_state():
+    """A mid-sized consistent state of the Figure 3 schema."""
+    return university_state(n_courses=25, seed=7)
+
+
+@pytest.fixture
+def university_eer_schema():
+    """The Figure 7 EER schema."""
+    return university_eer()
+
+
+@pytest.fixture
+def fig1_schema():
+    """The Figure 1(ii) relational schema."""
+    return figure1_relational()
+
+
+@pytest.fixture
+def fig1_state():
+    """A consistent state of the Figure 1(ii) schema."""
+    return figure1_state(n_employees=15, n_projects=4, seed=11)
+
+
+@pytest.fixture
+def fig1_eer():
+    """The Figure 1(i) ER schema."""
+    return figure1_eer()
+
+
+@pytest.fixture
+def fig2_with_ind():
+    """The Figure 2 schema where OFFER is a key-relation."""
+    return figure2_schema(with_ind=True)
+
+
+@pytest.fixture
+def fig2_without_ind():
+    """The Figure 2 schema with no inclusion dependency."""
+    return figure2_schema(with_ind=False)
+
+
+@pytest.fixture
+def fig2_state_with_ind():
+    return figure2_state(with_ind=True, seed=5)
+
+
+# -- small relational building blocks ---------------------------------------
+
+D_NUM = Domain("num")
+D_TXT = Domain("txt")
+
+
+def attrs(*names: str, domain: Domain = D_NUM) -> tuple[Attribute, ...]:
+    """Shorthand attribute tuple over one domain."""
+    return tuple(Attribute(n, domain) for n in names)
+
+
+def rel(attributes: tuple[Attribute, ...], *rows) -> Relation:
+    """Shorthand relation from positional rows."""
+    return Relation.from_rows(attributes, rows)

@@ -1,0 +1,107 @@
+"""Whole-state consistency checking."""
+
+from repro.constraints.checker import ConsistencyChecker, is_consistent
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+
+def test_consistent_sample_state(university_schema, university_sample_state):
+    assert is_consistent(university_sample_state, university_schema)
+
+
+def test_empty_state_is_consistent(university_schema):
+    assert is_consistent(
+        DatabaseState.empty_for(university_schema), university_schema
+    )
+
+
+def test_missing_relation_reported(university_schema, university_sample_state):
+    broken = university_sample_state.without_relations(["TEACH"])
+    checker = ConsistencyChecker(university_schema)
+    kinds = {v.kind for v in checker.violations(broken)}
+    assert "structure" in kinds
+
+
+def test_key_violation_detected(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema,
+        {
+            "COURSE": [{"C.NR": "c1"}],
+            "DEPARTMENT": [{"D.NAME": "d1"}, {"D.NAME": "d2"}],
+            "OFFER": [
+                {"O.C.NR": "c1", "O.D.NAME": "d1"},
+                {"O.C.NR": "c1", "O.D.NAME": "d2"},
+            ],
+        },
+    )
+    checker = ConsistencyChecker(university_schema)
+    violations = checker.violations(state)
+    assert any(v.kind == "key-dependency" for v in violations)
+
+
+def test_implicit_key_dependencies_enforced(university_schema):
+    """Candidate keys imply key dependencies even when F is empty."""
+    checker = ConsistencyChecker(university_schema)
+    assert checker._implicit_keys  # every scheme contributes one
+
+
+def test_ind_violation_detected(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema,
+        {
+            "DEPARTMENT": [{"D.NAME": "d1"}],
+            "OFFER": [{"O.C.NR": "ghost", "O.D.NAME": "d1"}],
+        },
+    )
+    checker = ConsistencyChecker(university_schema)
+    assert any(
+        v.kind == "inclusion-dependency" for v in checker.violations(state)
+    )
+
+
+def test_null_constraint_violation_detected(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema, {"COURSE": [{"C.NR": NULL}]}
+    )
+    checker = ConsistencyChecker(university_schema)
+    violations = checker.violations(state)
+    assert any(v.kind == "null-constraint" for v in violations)
+    assert any("C.NR" in v.constraint for v in violations)
+
+
+def test_violation_str_is_informative(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema, {"COURSE": [{"C.NR": NULL}]}
+    )
+    checker = ConsistencyChecker(university_schema)
+    text = str(checker.violations(state)[0])
+    assert "null-constraint" in text
+
+
+def test_merged_schema_constraints_checked(university_schema):
+    """The checker enforces the general null constraints Merge creates."""
+    from repro.core.merge import merge
+
+    result = merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+    merged = result.info.merged_name
+    checker = ConsistencyChecker(result.schema)
+    good = DatabaseState.empty_for(result.schema)
+    assert checker.is_consistent(good)
+    # TEACH present without OFFER violates the step-3(e) constraint.
+    bad = good.with_relation(
+        merged,
+        good[merged].with_tuples(
+            [
+                __import__("repro.relational.tuples", fromlist=["Tuple"]).Tuple(
+                    {
+                        "C.NR": "c1",
+                        "O.C.NR": NULL,
+                        "O.D.NAME": NULL,
+                        "T.C.NR": "c1",
+                        "T.F.SSN": "f1",
+                    }
+                )
+            ]
+        ),
+    )
+    assert not checker.is_consistent(bad)

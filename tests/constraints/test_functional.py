@@ -1,0 +1,140 @@
+"""Functional dependencies, closures, keys, BCNF, minimal covers."""
+
+from repro.constraints.functional import (
+    FunctionalDependency as FD,
+    KeyDependency,
+    attribute_closure,
+    candidate_keys,
+    equivalent_fd_sets,
+    implies_fd,
+    is_bcnf,
+    is_superkey,
+    minimal_cover,
+)
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationScheme
+from repro.relational.tuples import NULL
+
+D = Domain("d")
+
+
+def fd(lhs, rhs, scheme="R"):
+    return FD(scheme, frozenset(lhs), frozenset(rhs))
+
+
+def test_trivial_fd():
+    assert fd("AB", "A").is_trivial()
+    assert not fd("A", "B").is_trivial()
+
+
+def test_closure_transitive():
+    fds = [fd("A", "B"), fd("B", "C")]
+    assert attribute_closure({"A"}, fds) == {"A", "B", "C"}
+
+
+def test_closure_requires_full_lhs():
+    fds = [fd("AB", "C")]
+    assert "C" not in attribute_closure({"A"}, fds)
+    assert "C" in attribute_closure({"A", "B"}, fds)
+
+
+def test_implies_fd():
+    fds = [fd("A", "B"), fd("B", "C")]
+    assert implies_fd(fds, fd("A", "C"))
+    assert not implies_fd(fds, fd("C", "A"))
+
+
+def test_implies_fd_scopes_by_scheme():
+    fds = [fd("A", "B", scheme="OTHER")]
+    assert not implies_fd(fds, fd("A", "B", scheme="R"))
+
+
+def test_is_superkey():
+    fds = [fd("A", "B")]
+    assert is_superkey({"A"}, {"A", "B"}, fds)
+    assert not is_superkey({"B"}, {"A", "B"}, fds)
+
+
+def test_candidate_keys_simple():
+    keys = candidate_keys(("A", "B", "C"), [fd("A", "BC")])
+    assert keys == frozenset({frozenset({"A"})})
+
+
+def test_candidate_keys_multiple():
+    keys = candidate_keys(
+        ("A", "B", "C"), [fd("A", "B"), fd("B", "A"), fd("A", "C")]
+    )
+    assert keys == frozenset({frozenset({"A"}), frozenset({"B"})})
+
+
+def test_candidate_keys_all_attributes_when_no_fds():
+    keys = candidate_keys(("A", "B"), [])
+    assert keys == frozenset({frozenset({"A", "B"})})
+
+
+def test_key_dependency_of_scheme():
+    s = RelationScheme(
+        "R", (Attribute("K", D), Attribute("A", D)), (Attribute("K", D),)
+    )
+    dep = KeyDependency.of_scheme(s)
+    assert dep.lhs == {"K"} and dep.rhs == {"K", "A"}
+
+
+def test_fd_satisfaction_detects_violation():
+    rel = Relation.from_dicts(
+        (Attribute("A", D), Attribute("B", D)),
+        [{"A": 1, "B": 1}, {"A": 1, "B": 2}],
+    )
+    assert not fd("A", "B").is_satisfied_by(rel)
+
+
+def test_fd_satisfaction_ignores_null_lhs():
+    """Nullable candidate keys bind only when total (Section 5.1)."""
+    rel = Relation.from_dicts(
+        (Attribute("A", D), Attribute("B", D)),
+        [{"A": NULL, "B": 1}, {"A": NULL, "B": 2}],
+    )
+    assert fd("A", "B").is_satisfied_by(rel)
+
+
+def test_is_bcnf_accepts_key_only_schemas():
+    s = RelationScheme(
+        "R", (Attribute("K", D), Attribute("A", D)), (Attribute("K", D),)
+    )
+    assert is_bcnf(s, [fd("K", "KA".replace("K", "K"))])
+    assert is_bcnf(s, [FD("R", frozenset({"K"}), frozenset({"K", "A"}))])
+
+
+def test_is_bcnf_rejects_nonkey_determinant():
+    s = RelationScheme(
+        "R",
+        (Attribute("K", D), Attribute("A", D), Attribute("B", D)),
+        (Attribute("K", D),),
+    )
+    fds = [
+        FD("R", frozenset({"K"}), frozenset({"A", "B"})),
+        FD("R", frozenset({"A"}), frozenset({"B"})),
+    ]
+    assert not is_bcnf(s, fds)
+
+
+def test_minimal_cover_splits_and_prunes():
+    fds = [fd("A", "BC"), fd("B", "C")]
+    cover = minimal_cover(fds)
+    assert all(len(f.rhs) == 1 for f in cover)
+    # A -> C is redundant through A -> B -> C.
+    assert fd("A", "C") not in cover
+    assert equivalent_fd_sets(cover, fds)
+
+
+def test_minimal_cover_trims_extraneous_lhs():
+    fds = [fd("A", "B"), fd("AB", "C")]
+    cover = minimal_cover(fds)
+    assert fd("A", "C") in cover or equivalent_fd_sets(cover, fds)
+    assert equivalent_fd_sets(cover, fds)
+
+
+def test_equivalent_fd_sets():
+    assert equivalent_fd_sets([fd("A", "B"), fd("B", "C")], [fd("A", "B"), fd("B", "C"), fd("A", "C")])
+    assert not equivalent_fd_sets([fd("A", "B")], [fd("B", "A")])

@@ -1,0 +1,79 @@
+"""Inclusion dependencies and referential integrity."""
+
+import pytest
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+
+def ind(lhs_scheme, lhs, rhs_scheme, rhs):
+    return InclusionDependency(lhs_scheme, tuple(lhs), rhs_scheme, tuple(rhs))
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        ind("R", ["A", "B"], "S", ["C"])
+
+
+def test_empty_sides_rejected():
+    with pytest.raises(ValueError):
+        ind("R", [], "S", [])
+
+
+def test_key_based_detection(university_schema):
+    teach_offer = ind("TEACH", ["T.C.NR"], "OFFER", ["O.C.NR"])
+    assert teach_offer.is_key_based(university_schema)
+    non_key = ind("TEACH", ["T.C.NR"], "OFFER", ["O.D.NAME"])
+    assert not non_key.is_key_based(university_schema)
+
+
+def test_internal_detection():
+    assert ind("R", ["A"], "R", ["B"]).is_internal()
+    assert not ind("R", ["A"], "S", ["B"]).is_internal()
+
+
+def test_satisfaction_total_projection(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema,
+        {
+            "COURSE": [{"C.NR": "c1"}],
+            "DEPARTMENT": [{"D.NAME": "cs"}],
+            "OFFER": [{"O.C.NR": "c1", "O.D.NAME": "cs"}],
+        },
+    )
+    assert ind("OFFER", ["O.C.NR"], "COURSE", ["C.NR"]).is_satisfied_by(state)
+    bad = DatabaseState.for_schema(
+        university_schema,
+        {"OFFER": [{"O.C.NR": "c1", "O.D.NAME": "cs"}]},
+    )
+    assert not ind("OFFER", ["O.C.NR"], "COURSE", ["C.NR"]).is_satisfied_by(bad)
+
+
+def test_satisfaction_ignores_null_foreign_keys(fig1_schema):
+    state = DatabaseState.for_schema(
+        fig1_schema,
+        {
+            "EMPLOYEE": [{"E.SSN": "e1"}],
+            "WORKS": [{"W.E.SSN": "e1", "W.P.NR": NULL, "W.DATE": NULL}],
+        },
+    )
+    assert ind("WORKS", ["W.P.NR"], "PROJECT", ["P.NR"]).is_satisfied_by(state)
+
+
+def test_rename_scheme():
+    d = ind("R", ["A"], "S", ["B"])
+    renamed = d.rename_scheme("R", "M")
+    assert renamed.lhs_scheme == "M" and renamed.rhs_scheme == "S"
+    both = ind("R", ["A"], "R", ["B"]).rename_scheme("R", "M")
+    assert both.lhs_scheme == both.rhs_scheme == "M"
+
+
+def test_attr_replacement_helpers():
+    d = ind("R", ["A"], "S", ["B"])
+    assert d.with_rhs_attrs(("C",)).rhs_attrs == ("C",)
+    assert d.with_lhs_attrs(("X",)).lhs_attrs == ("X",)
+
+
+def test_str_rendering():
+    assert str(ind("R", ["A"], "S", ["B"])) == "R[A] <= S[B]"

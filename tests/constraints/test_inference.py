@@ -1,0 +1,102 @@
+"""Inference for null-existence and total-equality constraints."""
+
+from repro.constraints.functional import FunctionalDependency as FD
+from repro.constraints.inference import (
+    EqualityClasses,
+    fds_with_equality,
+    implies_null_existence,
+    implies_total_equality,
+    null_existence_closure,
+)
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    TotalEqualityConstraint,
+    nulls_not_allowed,
+)
+
+
+def nec(lhs, rhs, scheme="R"):
+    return NullExistenceConstraint(scheme, frozenset(lhs), frozenset(rhs))
+
+
+def te(lhs, rhs, scheme="R"):
+    return TotalEqualityConstraint(scheme, tuple(lhs), tuple(rhs))
+
+
+class TestNullExistenceInference:
+    def test_closure_chains_like_fds(self):
+        cs = [nec("A", "B"), nec("B", "C")]
+        assert null_existence_closure({"A"}, cs) == {"A", "B", "C"}
+
+    def test_nna_contributes_unconditionally(self):
+        cs = [nulls_not_allowed("R", ["K"])]
+        assert "K" in null_existence_closure(set(), cs)
+
+    def test_implies_transitivity(self):
+        cs = [nec("A", "B"), nec("B", "C")]
+        assert implies_null_existence(cs, nec("A", "C"))
+        assert not implies_null_existence(cs, nec("C", "A"))
+
+    def test_implies_reflexivity(self):
+        assert implies_null_existence([], nec("AB", "A"))
+
+    def test_scheme_scoping(self):
+        cs = [nec("A", "B", scheme="OTHER")]
+        assert not implies_null_existence(cs, nec("A", "B", scheme="R"))
+
+
+class TestEqualityClasses:
+    def test_transitivity(self):
+        classes = EqualityClasses([te("A", "B"), te("B", "C")])
+        assert classes.equivalent("A", "C")
+        assert not classes.equivalent("A", "D")
+
+    def test_class_of(self):
+        classes = EqualityClasses([te("A", "B")])
+        assert classes.class_of("A") == {"A", "B"}
+
+    def test_classes_listing_skips_singletons(self):
+        classes = EqualityClasses([te("A", "B")])
+        classes.equivalent("Z", "Z")
+        assert classes.classes() == (frozenset({"A", "B"}),)
+
+    def test_componentwise_constraints(self):
+        classes = EqualityClasses([te(("A", "B"), ("C", "D"))])
+        assert classes.equivalent("A", "C")
+        assert classes.equivalent("B", "D")
+        assert not classes.equivalent("A", "D")
+
+
+class TestTotalEqualityImplication:
+    def test_symmetry_and_transitivity(self):
+        cs = [te("A", "B"), te("B", "C")]
+        assert implies_total_equality(cs, te("C", "A"))
+        assert not implies_total_equality(cs, te("A", "D"))
+
+    def test_merge_redundancy_case(self):
+        """The Km =! Ki constraints make the dropped internal inclusion
+        dependencies redundant (Merge step 4(c) justification)."""
+        cs = [
+            te(("C.NR",), ("O.C.NR",)),
+            te(("C.NR",), ("T.C.NR",)),
+        ]
+        assert implies_total_equality(cs, te(("O.C.NR",), ("T.C.NR",)))
+
+
+class TestFdsWithEquality:
+    def test_equated_attributes_determine_each_other(self):
+        fds = [FD("R", frozenset({"K"}), frozenset({"K", "A", "B"}))]
+        out = fds_with_equality(fds, [te("K", "A")], "R")
+        assert FD("R", frozenset({"A"}), frozenset({"K"})) in out
+
+    def test_old_keys_become_superkeys(self):
+        """Proposition 4.1's BCNF argument: with Km =! Ki, the old key Ki
+        is a superkey of the merged scheme."""
+        from repro.constraints.functional import is_superkey
+
+        universe = ("C.NR", "O.C.NR", "O.D.NAME")
+        fds = [FD("M", frozenset({"C.NR"}), frozenset(universe))]
+        extended = fds_with_equality(
+            fds, [te(("C.NR",), ("O.C.NR",), scheme="M")], "M"
+        )
+        assert is_superkey({"O.C.NR"}, universe, extended)

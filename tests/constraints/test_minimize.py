@@ -1,0 +1,126 @@
+"""Constraint-set minimization."""
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.minimize import (
+    minimize_inds,
+    minimize_null_constraints,
+    minimize_schema,
+)
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+    nulls_not_allowed,
+)
+
+
+def nec(lhs, rhs, scheme="R"):
+    return NullExistenceConstraint(scheme, frozenset(lhs), frozenset(rhs))
+
+
+def te(lhs, rhs, scheme="R"):
+    return TotalEqualityConstraint(scheme, tuple(lhs), tuple(rhs))
+
+
+class TestNullConstraintMinimization:
+    def test_transitive_nec_dropped(self):
+        out = minimize_null_constraints(
+            [nec("A", "B"), nec("B", "C"), nec("A", "C")]
+        )
+        assert nec("A", "C") not in out
+        assert len(out) == 2
+
+    def test_trivial_nec_dropped(self):
+        out = minimize_null_constraints([nec("AB", "A")])
+        assert out == ()
+
+    def test_nna_subsumes_conditional(self):
+        """0 |-> B implies A |-> B."""
+        out = minimize_null_constraints(
+            [nulls_not_allowed("R", ["B"]), nec("A", "B")]
+        )
+        assert out == (nulls_not_allowed("R", ["B"]),)
+
+    def test_symmetric_te_dropped(self):
+        out = minimize_null_constraints([te("A", "B"), te("B", "A")])
+        assert len(out) == 1
+
+    def test_transitive_te_dropped(self):
+        out = minimize_null_constraints(
+            [te("A", "B"), te("B", "C"), te("A", "C")]
+        )
+        assert len(out) == 2
+
+    def test_part_null_kept_verbatim(self):
+        pn = PartNullConstraint("R", (frozenset({"A"}), frozenset({"B"})))
+        out = minimize_null_constraints([pn, nec("A", "B")])
+        assert pn in out
+
+    def test_duplicates_collapse(self):
+        out = minimize_null_constraints([nec("A", "B"), nec("A", "B")])
+        assert len(out) == 1
+
+    def test_different_schemes_do_not_interact(self):
+        out = minimize_null_constraints(
+            [nec("A", "B", scheme="R1"), nec("A", "B", scheme="R2")]
+        )
+        assert len(out) == 2
+
+
+class TestIndMinimization:
+    def test_transitive_chain_dropped(self):
+        chain = [
+            InclusionDependency("A", ("A.K",), "B", ("B.K",)),
+            InclusionDependency("B", ("B.K",), "C", ("C.K",)),
+            InclusionDependency("A", ("A.K",), "C", ("C.K",)),
+        ]
+        out = minimize_inds(chain)
+        assert len(out) == 2
+        assert InclusionDependency("A", ("A.K",), "C", ("C.K",)) not in out
+
+    def test_trivial_self_ind_dropped(self):
+        out = minimize_inds([InclusionDependency("A", ("A.K",), "A", ("A.K",))])
+        assert out == ()
+
+    def test_unrelated_inds_kept(self, university_schema):
+        assert minimize_inds(university_schema.inds) == university_schema.inds
+
+
+class TestSchemaMinimization:
+    def test_university_already_minimal(self, university_schema):
+        assert minimize_schema(university_schema) == university_schema
+
+    def test_same_consistent_states(self, university_schema):
+        """Minimization must not change the set of consistent states."""
+        from repro.workloads.university import university_state
+
+        redundant = university_schema.with_constraints(
+            inds=university_schema.inds
+            + (
+                # implied: TEACH -> OFFER -> COURSE
+                InclusionDependency("TEACH", ("T.C.NR",), "COURSE", ("C.NR",)),
+            ),
+            null_constraints=university_schema.null_constraints
+            + (nec({"O.D.NAME"}, {"O.C.NR"}, scheme="OFFER"),),
+        )
+        minimized = minimize_schema(redundant)
+        assert len(minimized.inds) == len(university_schema.inds)
+        checker_full = ConsistencyChecker(redundant)
+        checker_min = ConsistencyChecker(minimized)
+        for seed in range(4):
+            state = university_state(n_courses=10, seed=seed)
+            assert checker_full.is_consistent(state) == checker_min.is_consistent(
+                state
+            )
+
+    def test_merged_schema_minimization_is_stable(self, university_schema):
+        """Merge output has no redundant constraints to begin with."""
+        from repro.core.merge import merge
+
+        merged = merge(
+            university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"]
+        ).schema
+        minimized = minimize_schema(merged)
+        assert set(minimized.null_constraints) == set(merged.null_constraints)
+        assert set(minimized.inds) == set(merged.inds)

@@ -1,0 +1,154 @@
+"""The five null-constraint classes of Section 3."""
+
+import pytest
+
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+    is_synchronized,
+    null_synchronization_set,
+    nulls_not_allowed,
+)
+from repro.relational.tuples import NULL, Tuple
+
+
+def t(**values):
+    return Tuple(values)
+
+
+class TestNullExistence:
+    def test_fires_only_on_total_lhs(self):
+        c = NullExistenceConstraint("R", frozenset({"A"}), frozenset({"B"}))
+        assert c.holds_for(t(A=1, B=2))
+        assert c.holds_for(t(A=NULL, B=NULL))  # lhs not total: vacuous
+        assert not c.holds_for(t(A=1, B=NULL))
+
+    def test_paper_example_assign(self):
+        """ASSIGN: T.CN |-> O.CN forbids non-null T.CN with null O.CN."""
+        c = NullExistenceConstraint(
+            "ASSIGN", frozenset({"T.CN"}), frozenset({"O.CN"})
+        )
+        assert not c.holds_for(t(**{"T.CN": "c1", "O.CN": NULL}))
+        assert c.holds_for(t(**{"T.CN": NULL, "O.CN": NULL}))
+
+    def test_nulls_not_allowed(self):
+        c = nulls_not_allowed("R", ["A", "B"])
+        assert c.is_nulls_not_allowed()
+        assert c.holds_for(t(A=1, B=2))
+        assert not c.holds_for(t(A=1, B=NULL))
+
+    def test_empty_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            NullExistenceConstraint("R", frozenset(), frozenset())
+
+    def test_without_attributes(self):
+        c = NullExistenceConstraint(
+            "R", frozenset({"A", "B"}), frozenset({"C", "D"})
+        )
+        trimmed = c.without_attributes({"A", "C"})
+        assert trimmed.lhs == {"B"} and trimmed.rhs == {"D"}
+        assert c.without_attributes({"C", "D"}) is None
+
+    def test_rename_scheme(self):
+        c = nulls_not_allowed("R", ["A"])
+        assert c.rename_scheme("R", "M").scheme_name == "M"
+        assert c.rename_scheme("X", "M") is c
+
+    def test_str(self):
+        assert str(nulls_not_allowed("R", ["A"])) == "R: 0 |-> A"
+
+
+class TestNullSynchronization:
+    def test_set_shape(self):
+        ns = null_synchronization_set("R", ["A", "B"])
+        assert len(ns) == 2
+        assert all(c.rhs == {"A", "B"} for c in ns)
+        assert {next(iter(c.lhs)) for c in ns} == {"A", "B"}
+
+    def test_all_or_nothing_semantics(self):
+        ns = null_synchronization_set("R", ["A", "B"])
+        total = t(A=1, B=2)
+        empty = t(A=NULL, B=NULL)
+        partial = t(A=1, B=NULL)
+        assert all(c.holds_for(total) for c in ns)
+        assert all(c.holds_for(empty) for c in ns)
+        assert not all(c.holds_for(partial) for c in ns)
+
+    def test_is_synchronized_helper(self):
+        assert is_synchronized(t(A=1, B=2), ["A", "B"])
+        assert is_synchronized(t(A=NULL, B=NULL), ["A", "B"])
+        assert not is_synchronized(t(A=1, B=NULL), ["A", "B"])
+
+
+class TestPartNull:
+    def test_at_least_one_group_total(self):
+        c = PartNullConstraint(
+            "R", (frozenset({"A", "B"}), frozenset({"C"}))
+        )
+        assert c.holds_for(t(A=1, B=2, C=NULL))
+        assert c.holds_for(t(A=NULL, B=NULL, C=3))
+        assert not c.holds_for(t(A=1, B=NULL, C=NULL))
+
+    def test_paper_example(self):
+        """ASSIGN: PN({O.CN, O.FN}, {T.CN, T.FN})."""
+        c = PartNullConstraint(
+            "ASSIGN",
+            (frozenset({"O.CN", "O.FN"}), frozenset({"T.CN", "T.FN"})),
+        )
+        both = t(**{"O.CN": 1, "O.FN": 2, "T.CN": 1, "T.FN": 3})
+        offer_only = t(**{"O.CN": 1, "O.FN": 2, "T.CN": NULL, "T.FN": NULL})
+        neither = t(**{"O.CN": NULL, "O.FN": 2, "T.CN": NULL, "T.FN": 3})
+        assert c.holds_for(both)
+        assert c.holds_for(offer_only)
+        assert not c.holds_for(neither)
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError):
+            PartNullConstraint("R", ())
+        with pytest.raises(ValueError):
+            PartNullConstraint("R", (frozenset(),))
+
+    def test_without_attributes(self):
+        c = PartNullConstraint("R", (frozenset({"A", "B"}), frozenset({"C"})))
+        trimmed = c.without_attributes({"B"})
+        assert trimmed.groups == (frozenset({"A"}), frozenset({"C"}))
+        assert c.without_attributes({"A", "B", "C"}) is None
+
+
+class TestTotalEquality:
+    def test_equal_when_both_total(self):
+        c = TotalEqualityConstraint("R", ("A",), ("B",))
+        assert c.holds_for(t(A=1, B=1))
+        assert not c.holds_for(t(A=1, B=2))
+        assert c.holds_for(t(A=1, B=NULL))
+        assert c.holds_for(t(A=NULL, B=NULL))
+
+    def test_componentwise_correspondence(self):
+        c = TotalEqualityConstraint("R", ("A", "B"), ("C", "D"))
+        assert c.holds_for(t(A=1, B=2, C=1, D=2))
+        assert not c.holds_for(t(A=1, B=2, C=2, D=1))
+        assert c.correspondence() == {"A": "C", "B": "D"}
+
+    def test_arity_checks(self):
+        with pytest.raises(ValueError):
+            TotalEqualityConstraint("R", ("A",), ("B", "C"))
+        with pytest.raises(ValueError):
+            TotalEqualityConstraint("R", (), ())
+
+    def test_str(self):
+        assert str(TotalEqualityConstraint("R", ("A",), ("B",))) == "R: A =! B"
+
+
+def test_state_level_satisfaction(university_schema):
+    from repro.relational.state import DatabaseState
+
+    c = nulls_not_allowed("COURSE", ["C.NR"])
+    good = DatabaseState.for_schema(
+        university_schema, {"COURSE": [{"C.NR": "c1"}]}
+    )
+    bad = DatabaseState.for_schema(
+        university_schema, {"COURSE": [{"C.NR": NULL}]}
+    )
+    assert c.is_satisfied_by(good)
+    assert not c.is_satisfied_by(bad)

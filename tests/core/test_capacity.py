@@ -1,0 +1,133 @@
+"""Information-capacity equivalence checking (Definition 2.1)."""
+
+from repro.core.capacity import (
+    ComposedMapping,
+    FunctionMapping,
+    IdentityMapping,
+    verify_information_capacity,
+)
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.relational.relation import Relation
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL, Tuple
+from repro.workloads.university import university_state
+
+
+def test_identity_mapping_is_equivalence(university_schema):
+    states = [university_state(n_courses=8, seed=s) for s in range(3)]
+    report = verify_information_capacity(
+        university_schema,
+        university_schema,
+        IdentityMapping(),
+        IdentityMapping(),
+        states_a=states,
+        states_b=states,
+    )
+    assert report.equivalent
+    assert report.states_checked_forward == 3
+    assert report.states_checked_backward == 3
+
+
+def test_composition_and_then():
+    inc = FunctionMapping(lambda s: s, "noop")
+    composed = inc.then(IdentityMapping()).then(IdentityMapping())
+    assert isinstance(composed, ComposedMapping)
+    assert "noop" in composed.description
+
+
+def test_merge_remove_pipeline_verified(university_schema):
+    simplified = remove_all(
+        merge(university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    states = [university_state(n_courses=12, seed=s) for s in range(4)]
+    merged_states = [simplified.forward.apply(s) for s in states]
+    report = verify_information_capacity(
+        university_schema,
+        simplified.schema,
+        simplified.forward,
+        simplified.backward,
+        states_a=states,
+        states_b=merged_states,
+    )
+    assert report.equivalent, [str(f) for f in report.failures]
+    assert "EQUIVALENT" in report.summary()
+
+
+def test_detects_value_invention(university_schema):
+    """A mapping that invents values violates condition 4."""
+    target = university_schema
+
+    def invent(state: DatabaseState) -> DatabaseState:
+        scheme = target.scheme("COURSE")
+        extra = Relation(
+            scheme.attributes,
+            list(state["COURSE"]) + [Tuple({"C.NR": "invented"})],
+        )
+        return state.with_relation("COURSE", extra)
+
+    report = verify_information_capacity(
+        university_schema,
+        university_schema,
+        FunctionMapping(invent, "inventor"),
+        IdentityMapping(),
+        states_a=[university_state(n_courses=4, seed=0)],
+    )
+    assert not report.equivalent
+    kinds = {f.condition for f in report.failures}
+    assert "value-preservation" in kinds
+    assert "identity" in kinds  # round trip also breaks
+
+
+def test_detects_inconsistent_images(university_schema):
+    """A mapping whose image violates the target schema fails the
+    consistency condition."""
+
+    def corrupt(state: DatabaseState) -> DatabaseState:
+        scheme = university_schema.scheme("COURSE")
+        return state.with_relation(
+            "COURSE", Relation(scheme.attributes, [Tuple({"C.NR": NULL})])
+        )
+
+    report = verify_information_capacity(
+        university_schema,
+        university_schema,
+        FunctionMapping(corrupt, "corruptor"),
+        IdentityMapping(),
+        states_a=[university_state(n_courses=3, seed=0)],
+    )
+    assert any(f.condition == "consistency" for f in report.failures)
+
+
+def test_rejects_inconsistent_input_samples(university_schema):
+    bad = DatabaseState.for_schema(
+        university_schema, {"COURSE": [{"C.NR": NULL}]}
+    )
+    report = verify_information_capacity(
+        university_schema,
+        university_schema,
+        IdentityMapping(),
+        IdentityMapping(),
+        states_a=[bad],
+    )
+    assert any(f.condition == "precondition" for f in report.failures)
+
+
+def test_lossy_mapping_detected(university_schema):
+    """Dropping TEACH information breaks the identity condition -- the
+    merging-without-null-constraints failure mode of Section 1."""
+
+    def drop_teach(state: DatabaseState) -> DatabaseState:
+        scheme = university_schema.scheme("TEACH")
+        return state.with_relation(
+            "TEACH", Relation.empty(scheme.attributes)
+        )
+
+    report = verify_information_capacity(
+        university_schema,
+        university_schema,
+        FunctionMapping(drop_teach, "drop-teach"),
+        IdentityMapping(),
+        states_a=[university_state(n_courses=10, teach_fraction=1.0, seed=0)],
+    )
+    assert any(f.condition == "identity" for f in report.failures)

@@ -1,0 +1,178 @@
+"""Propositions 5.1 and 5.2: DBMS-compatibility conditions, validated
+against actual Merge/Remove outputs."""
+
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.core.conditions import (
+    prop51_key_based_inds_only,
+    prop51_keys_not_null,
+    prop52_nulls_not_allowed_only,
+)
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.constraints.nulls import nulls_not_allowed
+from repro.constraints.inclusion import InclusionDependency
+
+
+class TestProp51KeyBased:
+    def test_fig4_family_fails(self, university_schema):
+        """ASSIST references OFFER from outside the family, so a non-key-
+        based dependency survives."""
+        assert not prop51_key_based_inds_only(
+            university_schema, ["COURSE", "OFFER", "TEACH"]
+        )
+
+    def test_fig5_family_holds(self, university_schema):
+        assert prop51_key_based_inds_only(
+            university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"]
+        )
+
+    def test_prediction_matches_merge_output(self, university_schema):
+        for members in (
+            ["COURSE", "OFFER", "TEACH"],
+            ["COURSE", "OFFER", "TEACH", "ASSIST"],
+            ["OFFER", "TEACH", "ASSIST"],
+            ["PERSON", "FACULTY", "STUDENT"],
+        ):
+            predicted = prop51_key_based_inds_only(university_schema, members)
+            result = merge(university_schema, members)
+            actual = all(
+                d.is_key_based(result.schema) for d in result.schema.inds
+            )
+            assert predicted == actual, members
+
+
+class TestProp51Keys:
+    def test_unique_keys_hold(self, university_schema):
+        assert prop51_keys_not_null(
+            university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"]
+        )
+
+    def test_extra_candidate_key_fails(self):
+        d, e = Domain("d"), Domain("e")
+        k1, a1 = Attribute("R1.K", d), Attribute("R1.A", e)
+        r1 = RelationScheme("R1", (k1,), (k1,))
+        k2 = Attribute("R2.K", d)
+        a2 = Attribute("R2.A", e)
+        r2 = RelationScheme(
+            "R2", (k2, a2), (k2,), frozenset({(a2,)})
+        )
+        schema = RelationalSchema(
+            schemes=(r1, r2),
+            inds=(InclusionDependency("R2", ("R2.K",), "R1", ("R1.K",)),),
+            null_constraints=(
+                nulls_not_allowed("R1", ["R1.K"]),
+                nulls_not_allowed("R2", ["R2.K", "R2.A"]),
+            ),
+        )
+        assert not prop51_keys_not_null(schema, ["R1", "R2"])
+        # And indeed the merged scheme has a candidate key on nullable
+        # attributes.
+        result = merge(schema, ["R1", "R2"])
+        merged = result.merged_scheme
+        required = {
+            a
+            for c in result.schema.null_constraints
+            if c.scheme_name == merged.name
+            and isinstance(c, NullExistenceConstraint)
+            and c.is_nulls_not_allowed()
+            for a in c.rhs
+        }
+        nullable_keys = [
+            key
+            for key in merged.candidate_keys
+            if not {a.name for a in key} <= required
+        ]
+        assert nullable_keys
+
+
+class TestProp52:
+    def test_course_star_fails(self, university_schema):
+        """Section 5.2: COURSE with OFFER/TEACH/ASSIST does *not* satisfy
+        the conditions (TEACH and ASSIST reference OFFER)."""
+        holds, _ = prop52_nulls_not_allowed_only(
+            university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"]
+        )
+        assert not holds
+
+    def test_offer_star_holds(self, university_schema):
+        """Section 5.2: OFFER with TEACH and ASSIST satisfies conditions
+        (2.a)-(2.c); the hub is OFFER."""
+        holds, hub = prop52_nulls_not_allowed_only(
+            university_schema, ["OFFER", "TEACH", "ASSIST"]
+        )
+        assert holds and hub == "OFFER"
+
+    def test_prediction_matches_merge_remove_output(self, university_schema):
+        for members in (
+            ["COURSE", "OFFER", "TEACH", "ASSIST"],
+            ["OFFER", "TEACH", "ASSIST"],
+            ["COURSE", "OFFER"],
+            ["PERSON", "FACULTY", "STUDENT"],
+        ):
+            predicted, _ = prop52_nulls_not_allowed_only(
+                university_schema, members
+            )
+            simplified = remove_all(merge(university_schema, members))
+            merged_cs = [
+                c
+                for c in simplified.schema.null_constraints
+                if c.scheme_name == simplified.info.merged_name
+            ]
+            actual = all(
+                isinstance(c, NullExistenceConstraint)
+                and c.is_nulls_not_allowed()
+                for c in merged_cs
+            )
+            assert predicted == actual, (members, list(map(str, merged_cs)))
+
+    def test_offer_star_result_single_nna(self, university_schema):
+        simplified = remove_all(
+            merge(university_schema, ["OFFER", "TEACH", "ASSIST"])
+        )
+        merged_cs = [
+            c
+            for c in simplified.schema.null_constraints
+            if c.scheme_name == simplified.info.merged_name
+        ]
+        assert merged_cs == [
+            nulls_not_allowed(
+                simplified.info.merged_name, ["O.C.NR", "O.D.NAME"]
+            )
+        ]
+
+    def test_extra_nonkey_attribute_fails_condition2(self):
+        """A member with two non-key attributes breaks condition (2)."""
+        d, e, f = Domain("d"), Domain("e"), Domain("f")
+        hub_k = Attribute("H.K", d)
+        hub = RelationScheme("H", (hub_k,), (hub_k,))
+        m_k = Attribute("M.K", d)
+        m = RelationScheme(
+            "M",
+            (m_k, Attribute("M.A", e), Attribute("M.B", f)),
+            (m_k,),
+        )
+        schema = RelationalSchema(
+            schemes=(hub, m),
+            inds=(InclusionDependency("M", ("M.K",), "H", ("H.K",)),),
+            null_constraints=(
+                nulls_not_allowed("H", ["H.K"]),
+                nulls_not_allowed("M", ["M.K", "M.A", "M.B"]),
+            ),
+        )
+        holds, _ = prop52_nulls_not_allowed_only(schema, ["H", "M"])
+        assert not holds
+        # The merged relation keeps a null-synchronization set -> not
+        # NNA-only, confirming the prediction.
+        simplified = remove_all(merge(schema, ["H", "M"]))
+        merged_cs = [
+            c
+            for c in simplified.schema.null_constraints
+            if c.scheme_name == simplified.info.merged_name
+        ]
+        assert any(
+            isinstance(c, NullExistenceConstraint)
+            and not c.is_nulls_not_allowed()
+            for c in merged_cs
+        )

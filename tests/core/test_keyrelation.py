@@ -1,0 +1,135 @@
+"""Key-relations: Definition 3.1 and the Proposition 3.1 criterion."""
+
+import pytest
+
+from repro.core.keyrelation import (
+    MergeFamily,
+    find_key_relation,
+    ind_for_synthesized,
+    key_relation_condition_holds,
+    key_relation_contents,
+    refkey,
+    refkey_star,
+    synthesize_key_relation,
+)
+from repro.workloads.project import figure2_schema, figure2_state
+from repro.workloads.university import university_state
+
+
+class TestMergeFamily:
+    def test_requires_two_members(self, university_schema):
+        with pytest.raises(ValueError):
+            MergeFamily(university_schema, ("COURSE",))
+
+    def test_rejects_duplicates(self, university_schema):
+        with pytest.raises(ValueError):
+            MergeFamily(university_schema, ("COURSE", "COURSE"))
+
+    def test_rejects_incompatible_keys(self, university_schema):
+        with pytest.raises(ValueError, match="compatible"):
+            MergeFamily(university_schema, ("COURSE", "PERSON"))
+
+    def test_accepts_compatible_keys(self, university_schema):
+        family = MergeFamily(
+            university_schema, ("COURSE", "OFFER", "TEACH", "ASSIST")
+        )
+        assert "OFFER" in family
+
+
+class TestRefkey:
+    def test_direct_references(self, university_schema):
+        family = ("COURSE", "OFFER", "TEACH", "ASSIST")
+        assert refkey(university_schema, "COURSE", family) == {"OFFER"}
+        assert refkey(university_schema, "OFFER", family) == {"TEACH", "ASSIST"}
+        assert refkey(university_schema, "TEACH", family) == frozenset()
+
+    def test_restricted_to_family(self, university_schema):
+        assert refkey(university_schema, "COURSE", ("COURSE", "TEACH")) == frozenset()
+
+    def test_requires_primary_keys_on_both_sides(self, university_schema):
+        # TEACH[T.F.SSN] <= FACULTY[F.SSN] has a non-key left side, so
+        # TEACH must not appear in Refkey(FACULTY, ...).
+        assert refkey(
+            university_schema, "FACULTY", ("FACULTY", "TEACH")
+        ) == frozenset()
+
+    def test_star_transitive_closure(self, university_schema):
+        family = ("COURSE", "OFFER", "TEACH", "ASSIST")
+        assert refkey_star(university_schema, "COURSE", family) == {
+            "OFFER",
+            "TEACH",
+            "ASSIST",
+        }
+
+
+class TestFindKeyRelation:
+    def test_university_course_family(self, university_schema):
+        family = MergeFamily(
+            university_schema, ("COURSE", "OFFER", "TEACH", "ASSIST")
+        )
+        assert find_key_relation(family) == "COURSE"
+
+    def test_offer_family_without_course(self, university_schema):
+        family = MergeFamily(university_schema, ("OFFER", "TEACH", "ASSIST"))
+        assert find_key_relation(family) == "OFFER"
+
+    def test_fig2_with_ind(self, fig2_with_ind):
+        family = MergeFamily(fig2_with_ind, ("OFFER", "TEACH"))
+        assert find_key_relation(family) == "OFFER"
+
+    def test_fig2_without_ind(self, fig2_without_ind):
+        family = MergeFamily(fig2_without_ind, ("OFFER", "TEACH"))
+        assert find_key_relation(family) is None
+
+    def test_person_family(self, university_schema):
+        family = MergeFamily(
+            university_schema, ("PERSON", "FACULTY", "STUDENT")
+        )
+        assert find_key_relation(family) == "PERSON"
+
+
+class TestSynthesizedKeyRelation:
+    def test_fresh_names_and_domains(self, fig2_without_ind):
+        family = MergeFamily(fig2_without_ind, ("OFFER", "TEACH"))
+        rk = synthesize_key_relation(family)
+        assert not fig2_without_ind.has_scheme(rk.name)
+        assert rk.attributes == rk.primary_key
+        assert rk.primary_key[0].domain == (
+            fig2_without_ind.scheme("OFFER").primary_key[0].domain
+        )
+
+    def test_contents_union_of_key_projections(self, fig2_without_ind):
+        family = MergeFamily(fig2_without_ind, ("OFFER", "TEACH"))
+        rk = synthesize_key_relation(family)
+        state = figure2_state(with_ind=False, seed=9)
+        contents = key_relation_contents(family, rk, state)
+        offered = {t["O.CN"] for t in state["OFFER"]}
+        taught = {t["T.CN"] for t in state["TEACH"]}
+        assert {t[rk.key_names[0]] for t in contents} == offered | taught
+
+    def test_ind_for_synthesized(self, fig2_without_ind):
+        family = MergeFamily(fig2_without_ind, ("OFFER", "TEACH"))
+        rk = synthesize_key_relation(family)
+        inds = ind_for_synthesized(family, rk)
+        assert len(inds) == 2
+        assert all(d.rhs_scheme == rk.name for d in inds)
+
+
+class TestCriterionAgainstDefinition:
+    def test_prop31_holds_on_states(self, university_schema):
+        """The Refkey* criterion implies Definition 3.1's state condition
+        on consistent states."""
+        family = MergeFamily(
+            university_schema, ("COURSE", "OFFER", "TEACH", "ASSIST")
+        )
+        for seed in range(5):
+            state = university_state(n_courses=12, seed=seed)
+            assert key_relation_condition_holds(family, "COURSE", state)
+
+    def test_non_key_relation_fails_state_condition(self, university_schema):
+        family = MergeFamily(
+            university_schema, ("COURSE", "OFFER", "TEACH", "ASSIST")
+        )
+        state = university_state(n_courses=12, offer_fraction=0.5, seed=1)
+        # OFFER misses unoffered courses, so it cannot be the key-relation.
+        assert not key_relation_condition_holds(family, "OFFER", state)

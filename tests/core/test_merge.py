@@ -1,0 +1,291 @@
+"""The Merge procedure (Definition 4.1) against the paper's figures."""
+
+import pytest
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+    nulls_not_allowed,
+)
+from repro.constraints.checker import ConsistencyChecker
+from repro.constraints.functional import is_bcnf
+from repro.constraints.inference import fds_with_equality
+from repro.core.merge import Merge, MergeError, merge
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.workloads.project import figure2_state
+from repro.workloads.university import university_state
+
+
+def merged_constraints(result):
+    return [
+        c
+        for c in result.schema.null_constraints
+        if c.scheme_name == result.info.merged_name
+    ]
+
+
+class TestFigure4:
+    """Merge(COURSE, OFFER, TEACH) -> COURSE' exactly as printed."""
+
+    @pytest.fixture
+    def result(self, university_schema):
+        return merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+
+    def test_key_relation_is_course(self, result):
+        assert result.info.key_relation == "COURSE"
+        assert not result.info.synthesized
+
+    def test_merged_scheme_shape(self, result):
+        scheme = result.merged_scheme
+        assert scheme.name == "COURSE'"
+        assert scheme.attribute_names == (
+            "C.NR",
+            "O.C.NR",
+            "O.D.NAME",
+            "T.C.NR",
+            "T.F.SSN",
+        )
+        assert scheme.key_names == ("C.NR",)
+
+    def test_inds_match_figure(self, result):
+        expected = {
+            InclusionDependency("FACULTY", ("F.SSN",), "PERSON", ("P.SSN",)),
+            InclusionDependency("STUDENT", ("S.SSN",), "PERSON", ("P.SSN",)),
+            InclusionDependency(
+                "COURSE'", ("O.D.NAME",), "DEPARTMENT", ("D.NAME",)
+            ),
+            InclusionDependency("COURSE'", ("T.F.SSN",), "FACULTY", ("F.SSN",)),
+            InclusionDependency("ASSIST", ("A.C.NR",), "COURSE'", ("O.C.NR",)),
+            InclusionDependency("ASSIST", ("A.S.SSN",), "STUDENT", ("S.SSN",)),
+        }
+        assert set(result.schema.inds) == expected
+
+    def test_assist_reference_no_longer_key_based(self, result):
+        """Figure 4's dependency (11) is the non-key-based survivor."""
+        (assist_ind,) = [
+            d for d in result.schema.inds if d.lhs_scheme == "ASSIST"
+            and d.rhs_scheme == "COURSE'"
+        ]
+        assert not assist_ind.is_key_based(result.schema)
+
+    def test_null_constraints_match_figure(self, result):
+        cs = merged_constraints(result)
+        assert nulls_not_allowed("COURSE'", ["C.NR"]) in cs
+        assert TotalEqualityConstraint("COURSE'", ("C.NR",), ("O.C.NR",)) in cs
+        assert TotalEqualityConstraint("COURSE'", ("C.NR",), ("T.C.NR",)) in cs
+        assert (
+            NullExistenceConstraint(
+                "COURSE'",
+                frozenset({"T.C.NR", "T.F.SSN"}),
+                frozenset({"O.C.NR", "O.D.NAME"}),
+            )
+            in cs
+        )
+        # NS(O.C.NR, O.D.NAME) and NS(T.C.NR, T.F.SSN): 4 one-sided
+        # null-existence constraints.
+        ns = [
+            c
+            for c in cs
+            if isinstance(c, NullExistenceConstraint) and len(c.lhs) == 1
+        ]
+        assert len(ns) == 4
+
+    def test_no_part_null_when_key_relation_is_member(self, result):
+        assert not [
+            c for c in merged_constraints(result)
+            if isinstance(c, PartNullConstraint)
+        ]
+
+    def test_merged_key_dependency(self, result):
+        (dep,) = [
+            fd for fd in result.schema.fds if fd.scheme_name == "COURSE'"
+        ]
+        assert dep.lhs == {"C.NR"}
+        assert dep.rhs == set(result.merged_scheme.attribute_names)
+
+    def test_bcnf_preserved(self, result):
+        """Proposition 4.1(ii): with the total-equality-derived FDs, every
+        declared dependency has a superkey determinant."""
+        equalities = [
+            c
+            for c in merged_constraints(result)
+            if isinstance(c, TotalEqualityConstraint)
+        ]
+        extended = fds_with_equality(
+            list(result.schema.fds), equalities, "COURSE'"
+        )
+        assert is_bcnf(result.merged_scheme, extended)
+
+    def test_untouched_schemes_survive(self, result):
+        for name in ("PERSON", "FACULTY", "STUDENT", "DEPARTMENT", "ASSIST"):
+            assert result.schema.has_scheme(name)
+        for name in ("COURSE", "OFFER", "TEACH"):
+            assert not result.schema.has_scheme(name)
+
+
+class TestFigure5:
+    """Merge(COURSE, OFFER, TEACH, ASSIST) -> COURSE'' as printed."""
+
+    @pytest.fixture
+    def result(self, university_schema):
+        return merge(
+            university_schema,
+            ["COURSE", "OFFER", "TEACH", "ASSIST"],
+            merged_name="COURSE''",
+        )
+
+    def test_scheme_width(self, result):
+        assert len(result.merged_scheme.attributes) == 7
+
+    def test_all_inds_key_based(self, result):
+        """With ASSIST inside the family, every dependency is key-based
+        again (Proposition 5.1(i) example)."""
+        assert all(d.is_key_based(result.schema) for d in result.schema.inds)
+
+    def test_three_total_equalities(self, result):
+        tes = [
+            c
+            for c in merged_constraints(result)
+            if isinstance(c, TotalEqualityConstraint)
+        ]
+        assert {te.rhs for te in tes} == {
+            ("O.C.NR",),
+            ("T.C.NR",),
+            ("A.C.NR",),
+        }
+
+    def test_step3e_constraints(self, result):
+        chained = [
+            c
+            for c in merged_constraints(result)
+            if isinstance(c, NullExistenceConstraint) and len(c.lhs) == 2
+        ]
+        assert {frozenset(c.lhs) for c in chained} == {
+            frozenset({"T.C.NR", "T.F.SSN"}),
+            frozenset({"A.C.NR", "A.S.SSN"}),
+        }
+        assert all(c.rhs == {"O.C.NR", "O.D.NAME"} for c in chained)
+
+
+class TestStateMappings:
+    def test_eta_round_trip_identity(self, university_schema):
+        result = merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+        for seed in range(4):
+            state = university_state(n_courses=15, seed=seed)
+            assert result.eta_prime.apply(result.eta.apply(state)) == state
+
+    def test_eta_produces_consistent_states(self, university_schema):
+        result = merge(
+            university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"]
+        )
+        checker = ConsistencyChecker(result.schema)
+        for seed in range(4):
+            state = university_state(n_courses=15, seed=seed)
+            assert checker.is_consistent(result.eta.apply(state))
+
+    def test_eta_outer_join_content(self, university_schema):
+        state = university_state(n_courses=10, seed=2)
+        result = merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+        merged_rel = result.eta.apply(state)[result.info.merged_name]
+        # One merged tuple per course (C.NR is the key and every key value
+        # comes from COURSE).
+        assert len(merged_rel) == len(state["COURSE"])
+
+    def test_synthesized_key_relation_mapping(self, fig2_without_ind):
+        result = merge(fig2_without_ind, ["OFFER", "TEACH"])
+        assert result.info.synthesized
+        state = figure2_state(with_ind=False, seed=3)
+        merged_state = result.eta.apply(state)
+        round_trip = result.eta_prime.apply(merged_state)
+        assert round_trip == state
+        checker = ConsistencyChecker(result.schema)
+        assert checker.is_consistent(merged_state)
+
+    def test_synthesized_family_gets_part_null(self, fig2_without_ind):
+        result = merge(fig2_without_ind, ["OFFER", "TEACH"])
+        pn = [
+            c
+            for c in merged_constraints(result)
+            if isinstance(c, PartNullConstraint)
+        ]
+        assert len(pn) == 1
+        assert set(pn[0].groups) == {
+            frozenset({"O.CN", "O.DN"}),
+            frozenset({"T.CN", "T.FN"}),
+        }
+
+
+class TestValidation:
+    def test_unknown_member_rejected(self, university_schema):
+        with pytest.raises(KeyError):
+            merge(university_schema, ["COURSE", "NOPE"])
+
+    def test_incompatible_keys_rejected(self, university_schema):
+        with pytest.raises(ValueError, match="compatible"):
+            merge(university_schema, ["COURSE", "DEPARTMENT"])
+
+    def test_forced_key_relation_must_qualify(self, university_schema):
+        with pytest.raises(MergeError):
+            Merge(
+                university_schema,
+                ["COURSE", "OFFER", "TEACH"],
+                key_relation="TEACH",
+            ).apply()
+
+    def test_forced_key_relation_must_be_member(self, university_schema):
+        with pytest.raises(MergeError):
+            Merge(
+                university_schema,
+                ["OFFER", "TEACH"],
+                key_relation="COURSE",
+            ).apply()
+
+    def test_strict_mode_rejects_optional_attributes(self, fig1_schema):
+        with pytest.raises(MergeError, match="strict"):
+            Merge(fig1_schema, ["EMPLOYEE", "WORKS"], strict=True).apply()
+
+    def test_general_null_constraints_on_members_rejected(self):
+        d = Domain("d")
+        r1 = RelationScheme("R1", (Attribute("R1.K", d),), (Attribute("R1.K", d),))
+        r2 = RelationScheme(
+            "R2",
+            (Attribute("R2.K", d), Attribute("R2.A", Domain("e"))),
+            (Attribute("R2.K", d),),
+        )
+        schema = RelationalSchema(
+            schemes=(r1, r2),
+            inds=(InclusionDependency("R2", ("R2.K",), "R1", ("R1.K",)),),
+            null_constraints=(
+                nulls_not_allowed("R1", ["R1.K"]),
+                NullExistenceConstraint(
+                    "R2", frozenset({"R2.A"}), frozenset({"R2.K"})
+                ),
+            ),
+        )
+        with pytest.raises(MergeError, match="general null constraint"):
+            merge(schema, ["R1", "R2"])
+
+
+class TestOptionalAttributeExtension:
+    def test_fig1_merge_generates_date_constraint(self, fig1_schema):
+        """Merging EMPLOYEE+WORKS yields (after simplification) the
+        DATE |-> NR constraint the paper demands of Figure 1(iii)."""
+        result = merge(fig1_schema, ["EMPLOYEE", "WORKS"])
+        cs = merged_constraints(result)
+        assert (
+            NullExistenceConstraint(
+                result.info.merged_name,
+                frozenset({"W.DATE"}),
+                frozenset({"W.E.SSN", "W.P.NR"}),
+            )
+            in cs
+        )
+
+    def test_fig1_round_trip_with_nullable_date(self, fig1_schema, fig1_state):
+        result = merge(fig1_schema, ["EMPLOYEE", "WORKS", "MANAGES"])
+        mapped = result.eta.apply(fig1_state)
+        assert result.eta_prime.apply(mapped) == fig1_state
+        assert ConsistencyChecker(result.schema).is_consistent(mapped)

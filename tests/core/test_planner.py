@@ -1,0 +1,101 @@
+"""Schema-level merge planning."""
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.core.capacity import verify_information_capacity
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.workloads.university import university_state
+
+
+def test_candidate_families_discovered(university_schema):
+    planner = MergePlanner(university_schema)
+    families = planner.candidate_families()
+    by_key = {f.key_relation: set(f.members) for f in families}
+    assert by_key["COURSE"] == {"COURSE", "OFFER", "TEACH", "ASSIST"}
+    assert by_key["PERSON"] == {"PERSON", "FACULTY", "STUDENT"}
+    # OFFER's family is strictly contained in COURSE's and must be dropped.
+    assert "OFFER" not in by_key
+
+
+def test_candidate_families_carry_prop5_flags(university_schema):
+    planner = MergePlanner(university_schema)
+    course = next(
+        f
+        for f in planner.candidate_families()
+        if f.key_relation == "COURSE"
+    )
+    assert course.key_based_only  # Fig 5 family keeps key-based RI
+    assert course.keys_not_null
+    assert not course.nna_only  # needs general null constraints
+    assert "key-based RI" in str(course)
+
+
+def test_aggressive_plan_merges_everything(university_schema):
+    result = MergePlanner(
+        university_schema, MergeStrategy.AGGRESSIVE
+    ).apply()
+    assert result.schemes_before == 8
+    assert result.schemes_after == 3  # COURSE', PERSON', DEPARTMENT
+    assert len(result.steps) == 2
+    assert "8 schemes -> 3 schemes" in result.summary()
+
+
+def test_nna_only_strategy_merges_nothing_here(university_schema):
+    """Neither university family is NNA-only (COURSE's chains through
+    OFFER; PERSON's specializations are referenced), so the conservative
+    plan leaves the schema alone."""
+    result = MergePlanner(university_schema, MergeStrategy.NNA_ONLY).apply()
+    assert result.schemes_after == 8
+    assert not result.steps
+
+
+def test_key_based_strategy_merges_course_family(university_schema):
+    result = MergePlanner(university_schema, MergeStrategy.KEY_BASED).apply()
+    merged_names = {s.merged_name for s in result.steps}
+    assert merged_names == {"COURSE'"}
+    assert result.schemes_after == 5
+
+
+def test_plan_round_trip_and_consistency(university_schema):
+    result = MergePlanner(
+        university_schema, MergeStrategy.AGGRESSIVE
+    ).apply()
+    checker = ConsistencyChecker(result.schema)
+    states = [university_state(n_courses=14, seed=s) for s in range(3)]
+    for state in states:
+        mapped = result.forward.apply(state)
+        assert checker.is_consistent(mapped)
+        assert result.backward.apply(mapped) == state
+
+
+def test_plan_capacity_verified(university_schema):
+    result = MergePlanner(
+        university_schema, MergeStrategy.AGGRESSIVE
+    ).apply()
+    states = [university_state(n_courses=10, seed=s) for s in range(3)]
+    report = verify_information_capacity(
+        university_schema,
+        result.schema,
+        result.forward,
+        result.backward,
+        states_a=states,
+        states_b=[result.forward.apply(s) for s in states],
+    )
+    assert report.equivalent, [str(f) for f in report.failures]
+
+
+def test_nna_only_strategy_on_amenable_schema():
+    """On the Figure 8(iv) star, the conservative strategy does merge."""
+    from repro.eer.translate import translate_eer
+    from repro.workloads.fig8 import fig8_iv_star_nna
+
+    schema = translate_eer(fig8_iv_star_nna()).schema
+    result = MergePlanner(schema, MergeStrategy.NNA_ONLY).apply()
+    assert len(result.steps) == 1
+    assert result.steps[0].nna_only_result
+
+
+def test_empty_plan_identity_mappings(university_schema):
+    result = MergePlanner(university_schema, MergeStrategy.NNA_ONLY).apply()
+    state = university_state(n_courses=5, seed=0)
+    assert result.forward.apply(state) == state
+    assert result.backward.apply(state) == state

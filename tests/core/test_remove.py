@@ -1,0 +1,171 @@
+"""Remove (Definitions 4.2/4.3) against the paper's figures."""
+
+import pytest
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    TotalEqualityConstraint,
+    nulls_not_allowed,
+)
+from repro.core.merge import merge
+from repro.core.remove import Remove, RemovableSet, remove_all, removable_sets
+from repro.workloads.university import university_state
+
+
+@pytest.fixture
+def fig5(university_schema):
+    return merge(
+        university_schema,
+        ["COURSE", "OFFER", "TEACH", "ASSIST"],
+        merged_name="COURSE''",
+    )
+
+
+@pytest.fixture
+def fig4(university_schema):
+    return merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+
+
+class TestRemovability:
+    def test_fig5_all_key_copies_removable(self, fig5):
+        sets = removable_sets(fig5.schema, fig5.info)
+        assert {s.attrs for s in sets} == {
+            ("O.C.NR",),
+            ("T.C.NR",),
+            ("A.C.NR",),
+        }
+
+    def test_fig4_ocnr_not_removable(self, fig4):
+        """O.C.NR is referenced by ASSIST from outside (condition (2)):
+        removable in COURSE'' but not in COURSE' -- the paper's own
+        contrast after Definition 4.2."""
+        sets = removable_sets(fig4.schema, fig4.info)
+        assert ("O.C.NR",) not in {s.attrs for s in sets}
+        assert ("T.C.NR",) in {s.attrs for s in sets}
+
+    def test_bare_key_scheme_blocks_removal(self, university_schema):
+        """Condition (1): a scheme that is nothing but its key cannot lose
+        it (FACULTY inside the PERSON family)."""
+        result = merge(university_schema, ["PERSON", "FACULTY", "STUDENT"])
+        assert removable_sets(result.schema, result.info) == ()
+
+
+class TestRemoveApplication:
+    def test_fig6_schema(self, fig5):
+        simplified = remove_all(fig5)
+        scheme = simplified.merged_scheme
+        assert scheme.attribute_names == (
+            "C.NR",
+            "O.D.NAME",
+            "T.F.SSN",
+            "A.S.SSN",
+        )
+        merged_cs = [
+            c
+            for c in simplified.schema.null_constraints
+            if c.scheme_name == scheme.name
+        ]
+        assert set(merged_cs) == {
+            nulls_not_allowed(scheme.name, ["C.NR"]),
+            NullExistenceConstraint(
+                scheme.name, frozenset({"T.F.SSN"}), frozenset({"O.D.NAME"})
+            ),
+            NullExistenceConstraint(
+                scheme.name, frozenset({"A.S.SSN"}), frozenset({"O.D.NAME"})
+            ),
+        }
+
+    def test_fig6_inds_unchanged(self, fig5):
+        """Figure 6: 'Inclusion Dependencies involving COURSE'' are
+        unchanged'."""
+        before = {d for d in fig5.schema.inds}
+        after = {d for d in remove_all(fig5).schema.inds}
+        assert before == after
+
+    def test_total_equalities_all_consumed(self, fig5):
+        simplified = remove_all(fig5)
+        assert not [
+            c
+            for c in simplified.schema.null_constraints
+            if isinstance(c, TotalEqualityConstraint)
+        ]
+
+    def test_remove_rejects_non_removable(self, fig4):
+        with pytest.raises(ValueError, match="Definition 4.2"):
+            Remove(
+                fig4.schema, fig4.info, RemovableSet("OFFER", ("O.C.NR",))
+            ).apply()
+
+    def test_candidate_keys_shrink(self, fig5):
+        simplified = remove_all(fig5)
+        keys = {
+            tuple(a.name for a in key)
+            for key in simplified.merged_scheme.candidate_keys
+        }
+        assert keys == {("C.NR",)}
+
+    def test_outward_fk_rewritten_through_km(self, university_schema):
+        """Condition (3)/step 3: an outward dependency on a removed key
+        copy is re-expressed through Km."""
+        from repro.constraints.inclusion import InclusionDependency
+
+        result = merge(university_schema, ["OFFER", "TEACH", "ASSIST"])
+        simplified = remove_all(result)
+        # TEACH[T.C.NR] <= OFFER[O.C.NR] was internalised and dropped; the
+        # outward references use the surviving attributes.
+        for ind in simplified.schema.inds:
+            if ind.lhs_scheme == simplified.info.merged_name:
+                assert set(ind.lhs_attrs) <= set(
+                    simplified.merged_scheme.attribute_names
+                )
+
+
+class TestRemoveStateMappings:
+    def test_round_trip_through_merge_and_remove(self, fig5):
+        simplified = remove_all(fig5)
+        for seed in range(4):
+            state = university_state(n_courses=18, seed=seed)
+            merged_state = simplified.forward.apply(state)
+            assert simplified.backward.apply(merged_state) == state
+
+    def test_forward_states_consistent(self, fig5):
+        simplified = remove_all(fig5)
+        checker = ConsistencyChecker(simplified.schema)
+        for seed in range(4):
+            state = university_state(n_courses=18, seed=seed)
+            assert checker.is_consistent(simplified.forward.apply(state))
+
+    def test_mu_prime_restores_key_copy_values(self, fig5):
+        state = university_state(n_courses=10, seed=5)
+        merged_state = fig5.eta.apply(state)
+        step = Remove(
+            fig5.schema,
+            fig5.info,
+            removable_sets(fig5.schema, fig5.info)[0],
+        ).apply()
+        narrowed = step.mu.apply(merged_state)
+        restored = step.mu_prime.apply(narrowed)
+        assert restored == merged_state
+
+    def test_removed_attribute_order_matters_not(self, fig5):
+        """remove_all converges regardless of which removable set goes
+        first: final schema attribute sets agree."""
+        simplified = remove_all(fig5)
+        sets = removable_sets(fig5.schema, fig5.info)
+        step = Remove(fig5.schema, fig5.info, sets[-1]).apply()
+        # Continue removing from the alternative first step.
+        from repro.core.merge import MergeResult
+
+        alt = remove_all(
+            MergeResult(
+                fig5.source_schema,
+                step.schema,
+                step.info,
+                fig5.eta,
+                fig5.eta_prime,
+            )
+        )
+        assert set(alt.merged_scheme.attribute_names) == set(
+            simplified.merged_scheme.attribute_names
+        )

@@ -1,0 +1,216 @@
+"""Targeted tests for Definition 4.2's removability conditions (3)/(4)
+and for composite-key merging (exercising ordered correspondences)."""
+
+import pytest
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import TotalEqualityConstraint, nulls_not_allowed
+from repro.core.merge import merge
+from repro.core.remove import remove_all, removable_sets
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+
+K = Domain("key")
+EXT = Domain("ext")
+
+
+def _base_schemes():
+    """EXT(K); R1(K) <- R2(K, FK-ish pieces added per test)."""
+    ext = RelationScheme("EXT", (Attribute("E.K", EXT),), (Attribute("E.K", EXT),))
+    r1 = RelationScheme("R1", (Attribute("R1.K", K),), (Attribute("R1.K", K),))
+    return ext, r1
+
+
+class TestCondition3:
+    """An outward dependency on the removable key copy must be mirrored
+    by every attribute set equated with it."""
+
+    def _schema(self, mirrored: bool):
+        ext, r1_plain = _base_schemes()
+        # Both keys reference EXT? R1's key also lives in the EXT domain
+        # so the dependencies type-check.
+        r1 = RelationScheme(
+            "R1", (Attribute("R1.K", EXT),), (Attribute("R1.K", EXT),)
+        )
+        r2 = RelationScheme(
+            "R2",
+            (Attribute("R2.K", EXT), Attribute("R2.A", Domain("payload"))),
+            (Attribute("R2.K", EXT),),
+        )
+        inds = [
+            InclusionDependency("R2", ("R2.K",), "R1", ("R1.K",)),
+            InclusionDependency("R2", ("R2.K",), "EXT", ("E.K",)),
+        ]
+        if mirrored:
+            inds.append(InclusionDependency("R1", ("R1.K",), "EXT", ("E.K",)))
+        return RelationalSchema(
+            schemes=(ext, r1, r2),
+            inds=tuple(inds),
+            null_constraints=(
+                nulls_not_allowed("EXT", ["E.K"]),
+                nulls_not_allowed("R1", ["R1.K"]),
+                nulls_not_allowed("R2", ["R2.K", "R2.A"]),
+            ),
+        )
+
+    def test_unmirrored_outward_dependency_blocks_removal(self):
+        schema = self._schema(mirrored=False)
+        result = merge(schema, ["R1", "R2"])
+        assert removable_sets(result.schema, result.info) == ()
+
+    def test_mirrored_outward_dependency_allows_removal(self):
+        schema = self._schema(mirrored=True)
+        result = merge(schema, ["R1", "R2"])
+        sets = removable_sets(result.schema, result.info)
+        assert [s.attrs for s in sets] == [("R2.K",)]
+        simplified = remove_all(result)
+        # The outward dependency survives, re-expressed through Km.
+        assert (
+            InclusionDependency(
+                simplified.info.merged_name, ("R1.K",), "EXT", ("E.K",)
+            )
+            in simplified.schema.inds
+        )
+
+
+class TestCondition4:
+    """The removable set must not overlap other foreign keys."""
+
+    def test_overlapping_foreign_key_blocks_removal(self):
+        # EXT2 has a composite key (E.X, E.Y); R2's key K2 is one half of
+        # a composite foreign key into EXT2.
+        ext2 = RelationScheme(
+            "EXT2",
+            (Attribute("E.X", K), Attribute("E.Y", Domain("other"))),
+            (Attribute("E.X", K), Attribute("E.Y", Domain("other"))),
+        )
+        r1 = RelationScheme(
+            "R1", (Attribute("R1.K", K),), (Attribute("R1.K", K),)
+        )
+        r2 = RelationScheme(
+            "R2",
+            (Attribute("R2.K", K), Attribute("R2.B", Domain("other"))),
+            (Attribute("R2.K", K),),
+        )
+        schema = RelationalSchema(
+            schemes=(ext2, r1, r2),
+            inds=(
+                InclusionDependency("R2", ("R2.K",), "R1", ("R1.K",)),
+                InclusionDependency(
+                    "R2", ("R2.K", "R2.B"), "EXT2", ("E.X", "E.Y")
+                ),
+            ),
+            null_constraints=(
+                nulls_not_allowed("EXT2", ["E.X", "E.Y"]),
+                nulls_not_allowed("R1", ["R1.K"]),
+                nulls_not_allowed("R2", ["R2.K", "R2.B"]),
+            ),
+        )
+        result = merge(schema, ["R1", "R2"])
+        assert removable_sets(result.schema, result.info) == ()
+
+
+class TestCompositeKeys:
+    """Merging schemes with multi-attribute primary keys exercises the
+    ordered correspondences throughout Merge/Remove/eta/mu."""
+
+    def _schema(self):
+        d1, d2 = Domain("part1"), Domain("part2")
+        r1 = RelationScheme(
+            "R1",
+            (Attribute("R1.X", d1), Attribute("R1.Y", d2)),
+            (Attribute("R1.X", d1), Attribute("R1.Y", d2)),
+        )
+        r2 = RelationScheme(
+            "R2",
+            (
+                Attribute("R2.X", d1),
+                Attribute("R2.Y", d2),
+                Attribute("R2.A", Domain("payload")),
+            ),
+            (Attribute("R2.X", d1), Attribute("R2.Y", d2)),
+        )
+        return RelationalSchema(
+            schemes=(r1, r2),
+            inds=(
+                InclusionDependency(
+                    "R2", ("R2.X", "R2.Y"), "R1", ("R1.X", "R1.Y")
+                ),
+            ),
+            null_constraints=(
+                nulls_not_allowed("R1", ["R1.X", "R1.Y"]),
+                nulls_not_allowed("R2", ["R2.X", "R2.Y", "R2.A"]),
+            ),
+        )
+
+    def test_merge_composite_keys(self):
+        schema = self._schema()
+        result = merge(schema, ["R1", "R2"])
+        assert result.info.key_relation == "R1"
+        assert result.merged_scheme.key_names == ("R1.X", "R1.Y")
+        te = [
+            c
+            for c in result.schema.null_constraints
+            if isinstance(c, TotalEqualityConstraint)
+        ]
+        assert te == [
+            TotalEqualityConstraint(
+                result.info.merged_name, ("R1.X", "R1.Y"), ("R2.X", "R2.Y")
+            )
+        ]
+
+    def test_composite_round_trip_and_removal(self):
+        schema = self._schema()
+        result = merge(schema, ["R1", "R2"])
+        simplified = remove_all(result)
+        # The whole composite key copy is removed together.
+        assert [r.attrs for r in simplified.removed] == [("R2.X", "R2.Y")]
+        assert simplified.merged_scheme.attribute_names == (
+            "R1.X",
+            "R1.Y",
+            "R2.A",
+        )
+        state = DatabaseState.for_schema(
+            schema,
+            {
+                "R1": [
+                    {"R1.X": "x1", "R1.Y": "y1"},
+                    {"R1.X": "x1", "R1.Y": "y2"},
+                    {"R1.X": "x2", "R1.Y": "y1"},
+                ],
+                "R2": [{"R2.X": "x1", "R2.Y": "y2", "R2.A": "payload"}],
+            },
+        )
+        merged_state = simplified.forward.apply(state)
+        assert simplified.backward.apply(merged_state) == state
+        # The R2 payload sits on the right composite key.
+        (present,) = [
+            t
+            for t in merged_state[simplified.info.merged_name]
+            if t.is_total_on(["R2.A"])
+        ]
+        assert (present["R1.X"], present["R1.Y"]) == ("x1", "y2")
+
+    def test_composite_keys_must_match_componentwise(self):
+        """Swapped component domains are incompatible."""
+        d1, d2 = Domain("part1"), Domain("part2")
+        r1 = RelationScheme(
+            "R1",
+            (Attribute("R1.X", d1), Attribute("R1.Y", d2)),
+            (Attribute("R1.X", d1), Attribute("R1.Y", d2)),
+        )
+        r2 = RelationScheme(
+            "R2",
+            (Attribute("R2.X", d2), Attribute("R2.Y", d1)),
+            (Attribute("R2.X", d2), Attribute("R2.Y", d1)),
+        )
+        schema = RelationalSchema(
+            schemes=(r1, r2),
+            null_constraints=(
+                nulls_not_allowed("R1", ["R1.X", "R1.Y"]),
+                nulls_not_allowed("R2", ["R2.X", "R2.Y"]),
+            ),
+        )
+        with pytest.raises(ValueError, match="compatible"):
+            merge(schema, ["R1", "R2"])

@@ -1,0 +1,103 @@
+"""Replayable migration scripts."""
+
+import json
+
+import pytest
+
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.core.script import MigrationScript, ScriptReplayError, record_plan
+from repro.workloads.registry import registry_state, registry_translation
+from repro.workloads.university import university_relational, university_state
+
+
+@pytest.fixture
+def plan_and_script(university_schema):
+    plan = MergePlanner(university_schema, MergeStrategy.AGGRESSIVE).apply()
+    return plan, record_plan(plan, "university redesign")
+
+
+def test_script_records_every_step(plan_and_script):
+    plan, script = plan_and_script
+    assert len(script.steps) == len(plan.steps) == 2
+    course_step = next(
+        s for s in script.steps if s.key_relation == "COURSE"
+    )
+    assert set(course_step.members) == {"COURSE", "OFFER", "TEACH", "ASSIST"}
+    assert set(course_step.removals) == {
+        ("O.C.NR",),
+        ("T.C.NR",),
+        ("A.C.NR",),
+    }
+
+
+def test_replay_reproduces_plan_schema(plan_and_script, university_schema):
+    plan, script = plan_and_script
+    replay = script.apply(university_schema)
+    assert replay.schema == plan.schema
+
+
+def test_replay_state_mappings_round_trip(plan_and_script, university_schema):
+    _, script = plan_and_script
+    replay = script.apply(university_schema)
+    for seed in range(3):
+        state = university_state(n_courses=12, seed=seed)
+        assert replay.backward.apply(replay.forward.apply(state)) == state
+
+
+def test_json_round_trip(plan_and_script, university_schema):
+    plan, script = plan_and_script
+    text = json.dumps(script.to_dict())
+    back = MigrationScript.from_dict(json.loads(text))
+    assert back == script
+    assert back.apply(university_schema).schema == plan.schema
+
+
+def test_replay_on_drifted_schema_fails(plan_and_script):
+    _, script = plan_and_script
+    drifted = registry_translation().schema
+    with pytest.raises(ScriptReplayError, match="no scheme"):
+        script.apply(drifted)
+
+
+def test_replay_rejects_invalid_removal(university_schema):
+    """A hand-edited script asking to remove a non-removable set fails
+    loudly rather than silently skipping."""
+    script = MigrationScript.from_dict(
+        {
+            "kind": "repro-migration-script",
+            "steps": [
+                {
+                    "members": ["COURSE", "OFFER", "TEACH"],
+                    "key_relation": "COURSE",
+                    "merged_name": "COURSE'",
+                    # O.C.NR is not removable here (ASSIST references it).
+                    "removals": [["O.C.NR"]],
+                }
+            ],
+        }
+    )
+    with pytest.raises(ScriptReplayError, match="not removable"):
+        script.apply(university_schema)
+
+
+def test_unknown_payload_rejected():
+    with pytest.raises(ScriptReplayError, match="kind"):
+        MigrationScript.from_dict({"steps": []})
+
+
+def test_registry_script_round_trip():
+    schema = registry_translation().schema
+    plan = MergePlanner(schema, MergeStrategy.NNA_ONLY).apply()
+    script = record_plan(plan)
+    replay = script.apply(schema)
+    assert replay.schema == plan.schema
+    state = registry_state(n_samples=25, seed=3)
+    assert replay.backward.apply(replay.forward.apply(state)) == state
+
+
+def test_empty_script_is_identity(university_schema):
+    script = MigrationScript(steps=())
+    replay = script.apply(university_schema)
+    assert replay.schema == university_schema
+    state = university_state(n_courses=4, seed=0)
+    assert replay.forward.apply(state) == state

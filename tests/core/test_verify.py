@@ -1,0 +1,76 @@
+"""Merge/Remove post-condition verification helpers."""
+
+import pytest
+
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.core.verify import (
+    MergeInvariantError,
+    assert_merge_invariants,
+    check_bcnf_preserved,
+    check_capacity_preserved,
+)
+from repro.workloads.university import university_state
+
+
+def test_invariants_hold_on_paper_merges(university_schema):
+    states = [university_state(n_courses=8, seed=s) for s in range(2)]
+    for members in (
+        ["COURSE", "OFFER", "TEACH"],
+        ["COURSE", "OFFER", "TEACH", "ASSIST"],
+        ["OFFER", "TEACH", "ASSIST"],
+    ):
+        result = merge(university_schema, members)
+        assert_merge_invariants(result, states)
+        assert_merge_invariants(remove_all(result), states)
+
+
+def test_bcnf_check_detects_damage(university_schema):
+    """Injecting a non-key dependency into the merged schema trips the
+    check (simulating an out-of-class transformation)."""
+    from repro.constraints.functional import FunctionalDependency
+
+    result = merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+    damaged_schema = result.schema.with_constraints(
+        fds=result.schema.fds
+        + (
+            FunctionalDependency(
+                "COURSE'",
+                frozenset({"O.D.NAME"}),
+                frozenset({"T.F.SSN"}),
+            ),
+        )
+    )
+    damaged = type(result)(
+        result.source_schema,
+        damaged_schema,
+        result.info,
+        result.eta,
+        result.eta_prime,
+    )
+    with pytest.raises(MergeInvariantError, match="BCNF"):
+        check_bcnf_preserved(damaged)
+
+
+def test_capacity_check_detects_broken_mapping(university_schema):
+    """Swapping the backward mapping for the identity breaks the round
+    trip and the checker says so."""
+    from repro.core.capacity import IdentityMapping
+
+    result = merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+    broken = type(result)(
+        result.source_schema,
+        result.schema,
+        result.info,
+        result.eta,
+        IdentityMapping(),
+    )
+    with pytest.raises(MergeInvariantError, match="capacity"):
+        check_capacity_preserved(
+            broken, [university_state(n_courses=5, seed=0)]
+        )
+
+
+def test_assert_without_states_checks_bcnf_only(university_schema):
+    result = merge(university_schema, ["COURSE", "OFFER"])
+    assert_merge_invariants(result)  # no states: capacity check skipped

@@ -1,0 +1,116 @@
+"""CREATE TABLE / declarative constraint generation."""
+
+from repro.ddl.dialects import DB2, INGRES_63, SYBASE_40, Mechanism
+from repro.ddl.generate import generate_ddl, sql_identifier, sql_type
+
+
+def test_sql_identifier_sanitization():
+    assert sql_identifier("O.C.NR") == "O_C_NR"
+    assert sql_identifier("COURSE'") == "COURSE_P"
+    assert sql_identifier("9lives") == "_9lives"
+    assert sql_identifier("a-b") == "a_b"
+
+
+def test_sql_type_is_bounded_varchar():
+    assert "VARCHAR" in sql_type("anything")
+
+
+def test_db2_university_all_declarative(university_schema):
+    script = generate_ddl(university_schema, DB2)
+    assert script.declarative_count() == len(script.statements)
+    assert script.procedural_count() == 0
+    assert not script.warnings
+    # 8 tables + 8 foreign keys.
+    assert len(script.statements) == 16
+
+
+def test_not_null_follows_nna(university_schema):
+    script = generate_ddl(university_schema, DB2)
+    offer_sql = next(
+        s.sql for s in script.statements if s.subject == "OFFER"
+    )
+    assert "O_C_NR VARCHAR(64) NOT NULL" in offer_sql
+    assert "O_D_NAME VARCHAR(64) NOT NULL" in offer_sql
+    assert "PRIMARY KEY (O_C_NR)" in offer_sql
+
+
+def test_nullable_column_on_merged_schema(university_schema):
+    from repro.core.merge import merge
+    from repro.core.remove import remove_all
+
+    simplified = remove_all(
+        merge(university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    script = generate_ddl(simplified.schema, DB2)
+    merged_sql = next(
+        s.sql
+        for s in script.statements
+        if s.subject == simplified.info.merged_name
+    )
+    assert "T_F_SSN VARCHAR(64) NULL" in merged_sql
+
+
+def test_sybase_foreign_keys_become_triggers(university_schema):
+    script = generate_ddl(university_schema, SYBASE_40)
+    assert script.count(Mechanism.TRIGGER) > 0
+    assert "CREATE TRIGGER" in script.sql()
+    # Each dependency also gets a delete guard.
+    ri = [s for s in script.statements if "inclusion" in s.kind]
+    assert len(ri) == 16  # 8 dependencies x 2 statements
+
+
+def test_ingres_uses_rules(university_schema):
+    script = generate_ddl(university_schema, INGRES_63)
+    assert script.count(Mechanism.RULE) > 0
+    assert "CREATE RULE" in script.sql()
+
+
+def test_db2_nonkey_ind_warns(university_schema):
+    """Figure 4's non-key-based dependency is unmaintainable on DB2."""
+    from repro.core.merge import merge
+
+    result = merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+    script = generate_ddl(result.schema, DB2)
+    assert any("non-key-based" in w for w in script.warnings)
+
+
+def test_sybase_nonkey_ind_enforced(university_schema):
+    from repro.core.merge import merge
+
+    result = merge(university_schema, ["COURSE", "OFFER", "TEACH"])
+    script = generate_ddl(result.schema, SYBASE_40)
+    assert not any("non-key-based" in w for w in script.warnings)
+
+
+def test_general_null_constraints_procedural(university_schema):
+    from repro.core.merge import merge
+    from repro.core.remove import remove_all
+
+    simplified = remove_all(
+        merge(university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    for dialect, mech in ((DB2, Mechanism.VALIDPROC), (SYBASE_40, Mechanism.TRIGGER), (INGRES_63, Mechanism.RULE)):
+        script = generate_ddl(simplified.schema, dialect)
+        nc = [s for s in script.statements if s.kind == "null-constraint"]
+        assert nc, dialect.name
+        assert all(s.mechanism is mech for s in nc)
+
+
+def test_nullable_candidate_key_warning():
+    """A merged scheme before Remove keeps nullable candidate keys, which
+    these systems cannot maintain (Section 5.1)."""
+    from repro.core.merge import merge
+    from repro.workloads.university import university_relational
+
+    result = merge(
+        university_relational(), ["COURSE", "OFFER", "TEACH", "ASSIST"]
+    )
+    script = generate_ddl(result.schema, SYBASE_40)
+    assert any("candidate key" in w for w in script.warnings)
+
+
+def test_summary_counts(university_schema):
+    script = generate_ddl(university_schema, SYBASE_40)
+    text = script.summary()
+    assert "SYBASE 4.0" in text
+    assert "declarative" in text and "procedural" in text

@@ -1,0 +1,71 @@
+"""The SDT tool facade."""
+
+import pytest
+
+from repro.core.planner import MergeStrategy
+from repro.ddl.dialects import ALL_DIALECTS, DB2, SYBASE_40
+from repro.ddl.sdt import SDTOptions, SchemaDefinitionTool
+
+
+@pytest.fixture
+def sdt(university_eer_schema):
+    return SchemaDefinitionTool(university_eer_schema)
+
+
+def test_option_one_to_one(sdt):
+    report = sdt.generate(DB2)
+    assert report.scheme_count == 8
+    assert report.plan is None
+    assert "one-to-one" in report.summary()
+
+
+def test_option_merged_reduces_schemes(sdt):
+    report = sdt.generate(DB2, SDTOptions(merge=True))
+    assert report.scheme_count == 3
+    assert report.plan is not None
+    assert len(report.plan.steps) == 2
+
+
+def test_merged_vs_one_to_one_statement_counts(sdt):
+    for dialect in ALL_DIALECTS:
+        plain = sdt.generate(dialect)
+        merged = sdt.generate(dialect, SDTOptions(merge=True))
+        assert merged.scheme_count < plain.scheme_count
+        # Fewer tables but possibly more procedural statements.
+        assert len(merged.script.statements) <= len(plain.script.statements)
+
+
+def test_db2_merged_notes_unmaintainable(sdt):
+    report = sdt.generate(DB2, SDTOptions(merge=True))
+    assert any("not maintainable" in n for n in report.notes)
+
+
+def test_nna_only_strategy_is_safe_everywhere(sdt):
+    report = sdt.generate(
+        DB2, SDTOptions(merge=True, strategy=MergeStrategy.NNA_ONLY)
+    )
+    assert not report.script.warnings
+    assert any("no mergeable families" in n for n in report.notes)
+
+
+def test_nna_only_strategy_merges_amenable_schema():
+    from repro.workloads.fig8 import fig8_iv_star_nna
+
+    sdt = SchemaDefinitionTool(fig8_iv_star_nna())
+    report = sdt.generate(
+        DB2, SDTOptions(merge=True, strategy=MergeStrategy.NNA_ONLY)
+    )
+    assert report.scheme_count == 3  # BOOK' + PUBLISHER + LANGUAGE
+    assert not report.script.warnings
+    assert report.script.procedural_count() == 0
+
+
+def test_sql_script_text_is_complete(sdt):
+    report = sdt.generate(SYBASE_40, SDTOptions(merge=True))
+    sql = report.script.sql()
+    assert sql.count("CREATE TABLE") == report.scheme_count
+    assert "CREATE TRIGGER" in sql
+
+
+def test_translation_exposed(sdt):
+    assert sdt.translation.scheme_of("COURSE").key_names == ("C.NR",)

@@ -1,0 +1,97 @@
+"""Trigger/rule/validproc text generation."""
+
+import pytest
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+)
+from repro.ddl.dialects import DB2, INGRES_63, SYBASE_40, Mechanism
+from repro.ddl.generate import DDLScript
+from repro.ddl.triggers import emit_inclusion_dependency, emit_null_constraint
+
+
+def nec(lhs, rhs):
+    return NullExistenceConstraint("R", frozenset(lhs), frozenset(rhs))
+
+
+@pytest.fixture
+def script():
+    return DDLScript(dialect=SYBASE_40)
+
+
+def test_null_existence_trigger_condition(script):
+    emit_null_constraint(nec({"A"}, {"B"}), SYBASE_40, Mechanism.TRIGGER, script)
+    sql = script.statements[0].sql
+    assert "inserted.A IS NOT NULL" in sql
+    assert "inserted.B IS NULL" in sql
+    assert "ROLLBACK TRANSACTION" in sql
+
+
+def test_nna_trigger_has_unconditional_rhs(script):
+    emit_null_constraint(nec(set(), {"B"}), SYBASE_40, Mechanism.TRIGGER, script)
+    sql = script.statements[0].sql
+    assert "inserted.B IS NULL" in sql
+    assert "IS NOT NULL) AND" not in sql
+
+
+def test_part_null_trigger(script):
+    c = PartNullConstraint("R", (frozenset({"A"}), frozenset({"B"})))
+    emit_null_constraint(c, SYBASE_40, Mechanism.TRIGGER, script)
+    sql = script.statements[0].sql
+    assert "(inserted.A IS NULL) AND (inserted.B IS NULL)" in sql
+
+
+def test_total_equality_trigger(script):
+    c = TotalEqualityConstraint("R", ("A",), ("B",))
+    emit_null_constraint(c, SYBASE_40, Mechanism.TRIGGER, script)
+    sql = script.statements[0].sql
+    assert "inserted.A <> inserted.B" in sql
+
+
+def test_ingres_rule_shape():
+    script = DDLScript(dialect=INGRES_63)
+    emit_null_constraint(nec({"A"}, {"B"}), INGRES_63, Mechanism.RULE, script)
+    sql = script.statements[0].sql
+    assert sql.count("CREATE RULE") == 1
+    assert "new.A IS NOT NULL" in sql
+
+
+def test_db2_validproc_shape():
+    script = DDLScript(dialect=DB2)
+    emit_null_constraint(nec({"A"}, {"B"}), DB2, Mechanism.VALIDPROC, script)
+    sql = script.statements[0].sql
+    assert "VALIDPROC" in sql
+
+
+def test_inclusion_trigger_pair(script):
+    ind = InclusionDependency("CHILD", ("FK",), "PARENT", ("K",))
+    emit_inclusion_dependency(ind, SYBASE_40, Mechanism.TRIGGER, script)
+    assert len(script.statements) == 2
+    insert_side, delete_side = script.statements
+    assert "FOR INSERT, UPDATE" in insert_side.sql
+    assert "FOR DELETE" in delete_side.sql
+    assert "p.K = i.FK" in insert_side.sql
+
+
+def test_inclusion_rule_pair():
+    script = DDLScript(dialect=INGRES_63)
+    ind = InclusionDependency("CHILD", ("FK",), "PARENT", ("K",))
+    emit_inclusion_dependency(ind, INGRES_63, Mechanism.RULE, script)
+    kinds = [s.kind for s in script.statements]
+    assert kinds == ["inclusion-dependency", "inclusion-dependency-delete"]
+
+
+def test_comment_carries_original_constraint(script):
+    c = nec({"T.F.SSN"}, {"O.D.NAME"})
+    emit_null_constraint(c, SYBASE_40, Mechanism.TRIGGER, script)
+    assert "-- enforces: R: T.F.SSN |-> O.D.NAME" in script.statements[0].sql
+
+
+def test_tag_length_bounded(script):
+    wide = nec({f"LONG.ATTRIBUTE.{i}" for i in range(6)}, {"B"})
+    emit_null_constraint(wide, SYBASE_40, Mechanism.TRIGGER, script)
+    name_line = script.statements[0].sql.splitlines()[1]
+    assert len(name_line) < 80

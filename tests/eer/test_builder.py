@@ -1,0 +1,123 @@
+"""The fluent EER builder."""
+
+import pytest
+
+from repro.eer.builder import EERBuilder, optional
+from repro.eer.translate import translate_eer
+from repro.eer.validate import EERValidationError
+from repro.workloads.university import university_eer, university_relational
+
+
+def build_university():
+    return (
+        EERBuilder("university")
+        .entity("PERSON", identifier={"SSN": "ssn"})
+        .specialization("FACULTY", generic="PERSON")
+        .specialization("STUDENT", generic="PERSON")
+        .entity("COURSE", identifier={"NR": "course-nr"})
+        .entity("DEPARTMENT", identifier={"NAME": "dept-name"})
+        .relationship("OFFER", many="COURSE", one="DEPARTMENT")
+        .relationship("TEACH", many="OFFER", one="FACULTY")
+        .relationship("ASSIST", many="OFFER", one="STUDENT")
+        .build()
+    )
+
+
+def test_builder_reproduces_university_schema():
+    built = build_university()
+    reference = university_eer()
+    assert {o.name for o in built.object_sets} == {
+        o.name for o in reference.object_sets
+    }
+    # The relational translations agree completely.
+    assert translate_eer(built).schema == translate_eer(reference).schema
+    assert translate_eer(built).schema == university_relational()
+
+
+def test_optional_attributes():
+    eer = (
+        EERBuilder("fig1")
+        .entity("EMPLOYEE", identifier={"SSN": "ssn"})
+        .entity("PROJECT", identifier={"NR": "project-nr"})
+        .relationship(
+            "WORKS",
+            many="EMPLOYEE",
+            one="PROJECT",
+            attrs={"DATE": optional("date")},
+        )
+        .build()
+    )
+    works = eer.object_set("WORKS")
+    assert not works.attribute("DATE").required
+
+
+def test_weak_entity():
+    eer = (
+        EERBuilder("campus")
+        .entity("BUILDING", identifier={"CODE": "id"})
+        .weak_entity("ROOM", owner="BUILDING", partial_identifier={"NR": "id"})
+        .build()
+    )
+    room = eer.object_set("ROOM")
+    assert room.owner == "BUILDING"
+    assert translate_eer(eer).scheme_of("ROOM").key_names == (
+        "R.B.CODE",
+        "R.NR",
+    )
+
+
+def test_roles_for_self_relationship():
+    eer = (
+        EERBuilder("org")
+        .entity("EMP", identifier={"ID": "id"})
+        .relationship("MGMT", many="EMP:REPORT", one="EMP:BOSS")
+        .build()
+    )
+    mgmt = eer.object_set("MGMT")
+    assert {p.role for p in mgmt.participants} == {"REPORT", "BOSS"}
+    t = translate_eer(eer)
+    assert t.scheme_of("MGMT").key_names == ("M.REPORT.E.ID",)
+
+
+def test_self_relationship_shared_role_rejected_at_validation():
+    with pytest.raises(EERValidationError, match="twice"):
+        (
+            EERBuilder("org")
+            .entity("EMP", identifier={"ID": "id"})
+            .relationship("MGMT", many="EMP", one="EMP")
+            .build()
+        )
+
+
+def test_many_to_many():
+    eer = (
+        EERBuilder("uni")
+        .entity("STUDENT", identifier={"SID": "id"})
+        .entity("COURSE", identifier={"NR": "nr"})
+        .relationship("ENROLLS", many=["STUDENT", "COURSE"])
+        .build()
+    )
+    enrolls = eer.object_set("ENROLLS")
+    assert len(enrolls.many_participants()) == 2
+
+
+def test_invalid_design_rejected_at_build():
+    with pytest.raises(EERValidationError):
+        (
+            EERBuilder("broken")
+            .entity("E", identifier={"A": "d"})
+            .relationship("R", many="E", one="GHOST")
+            .build()
+        )
+
+
+def test_abbrev_passthrough():
+    eer = (
+        EERBuilder("x")
+        .entity("SUBJECT", identifier={"SID": "id"}, abbrev="SU")
+        .entity("SAMPLE", identifier={"BARCODE": "id"}, abbrev="S")
+        .relationship("DRAWN", many="SAMPLE", one="SUBJECT", abbrev="DR")
+        .build()
+    )
+    t = translate_eer(eer)
+    assert t.scheme_of("DRAWN").key_names == ("DR.S.BARCODE",)

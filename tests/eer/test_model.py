@@ -1,0 +1,102 @@
+"""The EER data model."""
+
+import pytest
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from repro.relational.attributes import Domain
+
+D = Domain("d")
+
+
+def test_attribute_star_rendering():
+    assert str(EERAttribute("DATE", D, required=False)) == "DATE*"
+    assert str(EERAttribute("SSN", D)) == "SSN"
+
+
+def test_entity_identifier_must_be_declared():
+    with pytest.raises(ValueError):
+        EntitySet("E", (EERAttribute("A", D),), identifier=("Z",))
+
+
+def test_duplicate_attribute_names_rejected():
+    with pytest.raises(ValueError):
+        EntitySet("E", (EERAttribute("A", D), EERAttribute("A", D)))
+
+
+def test_weak_entity_needs_owner():
+    with pytest.raises(ValueError):
+        WeakEntitySet("W", (EERAttribute("N", D),), partial_identifier=("N",))
+
+
+def test_relationship_needs_two_participants():
+    with pytest.raises(ValueError):
+        RelationshipSet(
+            "R", participants=(Participation("E", Cardinality.MANY),)
+        )
+
+
+def test_relationship_cardinality_queries(university_eer_schema):
+    offer = university_eer_schema.object_set("OFFER")
+    assert offer.is_binary_many_to_one()
+    assert offer.many_participants()[0].object_set == "COURSE"
+    assert offer.one_participants()[0].object_set == "DEPARTMENT"
+
+
+def test_schema_lookups(university_eer_schema):
+    assert university_eer_schema.has_object_set("TEACH")
+    assert not university_eer_schema.has_object_set("NOPE")
+    with pytest.raises(KeyError):
+        university_eer_schema.object_set("NOPE")
+    assert len(university_eer_schema.entity_sets()) == 5
+    assert len(university_eer_schema.relationship_sets()) == 3
+
+
+def test_generalization_navigation(university_eer_schema):
+    assert university_eer_schema.generic_of("FACULTY") == "PERSON"
+    assert university_eer_schema.generic_of("PERSON") is None
+    assert set(university_eer_schema.specializations_of("PERSON")) == {
+        "FACULTY",
+        "STUDENT",
+    }
+    assert university_eer_schema.is_specialization("STUDENT")
+    assert not university_eer_schema.is_specialization("COURSE")
+
+
+def test_isa_chain_and_root(university_eer_schema):
+    assert list(university_eer_schema.iter_isa_chain("FACULTY")) == [
+        "FACULTY",
+        "PERSON",
+    ]
+    assert university_eer_schema.root_generic("FACULTY") == "PERSON"
+    assert university_eer_schema.root_generic("COURSE") == "COURSE"
+
+
+def test_relationships_involving(university_eer_schema):
+    involving_offer = university_eer_schema.relationships_involving("OFFER")
+    assert {r.name for r in involving_offer} == {"TEACH", "ASSIST"}
+    assert university_eer_schema.relationships_involving("DEPARTMENT")
+
+
+def test_generalization_self_specialization_rejected():
+    with pytest.raises(ValueError):
+        Generalization("E", ("E",))
+
+
+def test_schema_unique_object_set_names():
+    e = EntitySet("E", (EERAttribute("A", D),), identifier=("A",))
+    with pytest.raises(ValueError):
+        EERSchema("s", (e, e))
+
+
+def test_participation_str():
+    p = Participation("E", Cardinality.MANY, role="boss")
+    assert "E(M) as boss" == str(p)

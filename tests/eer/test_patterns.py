@@ -1,0 +1,115 @@
+"""Section 5.2 / Figure 8 classifiers, cross-checked against Merge."""
+
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.eer.patterns import (
+    classify_generalization,
+    classify_relationship_star,
+    find_amenable_structures,
+)
+from repro.eer.translate import translate_eer
+from repro.workloads.fig8 import (
+    all_fig8_schemas,
+    fig8_i_generalization_general,
+    fig8_ii_star_general,
+    fig8_iii_generalization_nna,
+    fig8_iv_star_nna,
+)
+
+
+def _structure(eer):
+    (structure,) = find_amenable_structures(eer)
+    return structure
+
+
+class TestFigure8Classification:
+    def test_8i_generalization_general(self):
+        s = _structure(fig8_i_generalization_general())
+        assert s.kind == "generalization"
+        assert not s.nna_only
+        assert any("own attributes" in r for r in s.reasons)
+
+    def test_8ii_star_general(self):
+        s = _structure(fig8_ii_star_general())
+        assert s.kind == "relationship-star"
+        assert s.anchor == "EMPLOYEE"
+        assert not s.nna_only
+        assert any("attributes" in r for r in s.reasons)
+
+    def test_8iii_generalization_nna(self):
+        s = _structure(fig8_iii_generalization_nna())
+        assert s.kind == "generalization"
+        assert s.nna_only
+        assert set(s.members) == {"VEHICLE", "CAR", "TRUCK"}
+
+    def test_8iv_star_nna(self):
+        s = _structure(fig8_iv_star_nna())
+        assert s.kind == "relationship-star"
+        assert s.nna_only
+        assert set(s.members) == {"BOOK", "ISSUED", "WRITTEN"}
+
+
+class TestClassifierMatchesMergeOutput:
+    def test_every_fig8_verdict_confirmed_by_merge(self):
+        """The classifier's NNA-only verdict must agree with the actual
+        constraint set Merge+Remove produce on the translated schema."""
+        for label, eer in all_fig8_schemas().items():
+            structure = _structure(eer)
+            schema = translate_eer(eer).schema
+            simplified = remove_all(merge(schema, list(structure.members)))
+            merged_cs = [
+                c
+                for c in simplified.schema.null_constraints
+                if c.scheme_name == simplified.info.merged_name
+            ]
+            actual_nna_only = all(
+                isinstance(c, NullExistenceConstraint)
+                and c.is_nulls_not_allowed()
+                for c in merged_cs
+            )
+            assert structure.nna_only == actual_nna_only, (
+                label,
+                list(map(str, merged_cs)),
+            )
+
+
+class TestUniversityStructures:
+    def test_course_star_needs_general_constraints(self, university_eer_schema):
+        structures = find_amenable_structures(university_eer_schema)
+        star = next(s for s in structures if s.kind == "relationship-star")
+        assert star.anchor == "COURSE"
+        assert set(star.members) == {"COURSE", "OFFER", "TEACH", "ASSIST"}
+        assert not star.nna_only
+        assert any("2(b)" in r for r in star.reasons)
+
+    def test_person_generalization_reported(self, university_eer_schema):
+        g = classify_generalization(university_eer_schema, "PERSON")
+        assert g is not None
+        assert not g.nna_only  # FACULTY/STUDENT participate in TEACH/ASSIST
+        assert any("1(b)" in r for r in g.reasons)
+
+    def test_offer_substar_contained(self, university_eer_schema):
+        """The OFFER-anchored star is strictly inside the COURSE star and
+        is not reported separately."""
+        structures = find_amenable_structures(university_eer_schema)
+        anchors = {s.anchor for s in structures if s.kind == "relationship-star"}
+        assert anchors == {"COURSE"}
+        # But it can be classified explicitly, and it is NNA-only.
+        sub = classify_relationship_star(university_eer_schema, "OFFER")
+        assert sub is not None and sub.nna_only
+
+
+def test_no_structures_in_flat_schema(fig1_eer):
+    """WORKS/MANAGES have attributes or not -- check what is reported."""
+    structures = find_amenable_structures(fig1_eer)
+    (star,) = structures
+    assert star.anchor == "EMPLOYEE"
+    assert set(star.members) == {"EMPLOYEE", "WORKS", "MANAGES"}
+    # WORKS has an attribute (DATE) -> general null constraints needed.
+    assert not star.nna_only
+
+
+def test_structure_str_mentions_tier(fig1_eer):
+    (star,) = find_amenable_structures(fig1_eer)
+    assert "general null constraints" in str(star)

@@ -1,0 +1,110 @@
+"""The Teorey-style baseline translation and the Figure 1(iii) anomaly."""
+
+import pytest
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.eer.teorey import (
+    TeoreyTranslationError,
+    missing_null_constraints,
+    translate_teorey,
+)
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+
+def test_fig1_fold_shape(fig1_eer):
+    t = translate_teorey(fig1_eer, fold=["WORKS"])
+    employee = t.schema.scheme("EMPLOYEE")
+    assert set(employee.attribute_names) == {"E.SSN", "W.P.NR", "W.DATE"}
+    assert employee.key_names == ("E.SSN",)
+    assert not t.schema.has_scheme("WORKS")
+    assert t.schema.has_scheme("MANAGES")
+    assert t.folded == {"WORKS": "EMPLOYEE"}
+
+
+def test_fold_all_by_default(fig1_eer):
+    t = translate_teorey(fig1_eer)
+    assert set(t.folded) == {"WORKS", "MANAGES"}
+    employee = t.schema.scheme("EMPLOYEE")
+    assert "M.P.NR" in employee.attribute_names
+
+
+def test_folded_fk_still_referentially_constrained(fig1_eer):
+    t = translate_teorey(fig1_eer, fold=["WORKS"])
+    assert any(
+        d.lhs_scheme == "EMPLOYEE" and d.rhs_scheme == "PROJECT"
+        for d in t.schema.inds
+    )
+
+
+def test_no_null_existence_constraints_emitted(fig1_eer):
+    """The baseline's defining defect."""
+    t = translate_teorey(fig1_eer, fold=["WORKS"])
+    general = [
+        c
+        for c in t.schema.null_constraints
+        if isinstance(c, NullExistenceConstraint)
+        and not c.is_nulls_not_allowed()
+    ]
+    assert not general
+
+
+def test_anomaly_state_is_accepted(fig1_eer):
+    """The Figure 1(iii) anomaly: a non-null assignment DATE for an
+    employee working on no project is *consistent* with the baseline
+    schema -- contrary to the ER semantics."""
+    t = translate_teorey(fig1_eer, fold=["WORKS"])
+    anomaly = DatabaseState.for_schema(
+        t.schema,
+        {
+            "EMPLOYEE": [
+                {"E.SSN": "e1", "W.P.NR": NULL, "W.DATE": "2026-01-01"}
+            ],
+        },
+    )
+    assert ConsistencyChecker(t.schema).is_consistent(anomaly)
+
+
+def test_missing_constraints_repair_the_anomaly(fig1_eer):
+    """Adding DATE |-> NR (what Merge generates) rejects the anomaly."""
+    t = translate_teorey(fig1_eer, fold=["WORKS"])
+    missing = missing_null_constraints(t)
+    assert (
+        NullExistenceConstraint(
+            "EMPLOYEE", frozenset({"W.DATE"}), frozenset({"W.P.NR"})
+        )
+        in missing
+    )
+    repaired = t.schema.with_constraints(
+        null_constraints=t.schema.null_constraints + missing
+    )
+    anomaly = DatabaseState.for_schema(
+        repaired,
+        {
+            "EMPLOYEE": [
+                {"E.SSN": "e1", "W.P.NR": NULL, "W.DATE": "2026-01-01"}
+            ],
+        },
+    )
+    assert not ConsistencyChecker(repaired).is_consistent(anomaly)
+
+
+def test_cannot_fold_referenced_relationship(university_eer_schema):
+    """OFFER participates in TEACH/ASSIST, so it is not foldable."""
+    with pytest.raises(TeoreyTranslationError):
+        translate_teorey(university_eer_schema, fold=["OFFER"])
+
+
+def test_default_fold_skips_unfoldable(university_eer_schema):
+    """No university relationship-set is foldable: OFFER is referenced by
+    TEACH/ASSIST, and TEACH/ASSIST hang off a relationship-set (the
+    methodology only folds into entity relations)."""
+    t = translate_teorey(university_eer_schema)
+    assert t.folded == {}
+    assert t.schema.has_scheme("OFFER")
+
+
+def test_fold_of_non_relationship_rejected(fig1_eer):
+    with pytest.raises(TeoreyTranslationError):
+        translate_teorey(fig1_eer, fold=["EMPLOYEE"])

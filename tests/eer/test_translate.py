@@ -1,0 +1,243 @@
+"""The Markowitz-Shoshani EER -> relational translation."""
+
+import pytest
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from repro.eer.translate import TranslationError, translate_eer
+from repro.relational.attributes import Domain
+from repro.workloads.university import university_relational
+
+D = Domain("d")
+
+
+class TestFigure7ToFigure3:
+    def test_exact_reproduction(self, university_eer_schema):
+        translated = translate_eer(university_eer_schema).schema
+        reference = university_relational()
+        assert set(map(str, translated.schemes)) == set(
+            map(str, reference.schemes)
+        )
+        assert set(translated.inds) == set(reference.inds)
+        assert set(translated.null_constraints) == set(
+            reference.null_constraints
+        )
+
+    def test_relationship_over_relationship_key_naming(
+        self, university_eer_schema
+    ):
+        """TEACH references OFFER's key O.C.NR under the label C.NR."""
+        t = translate_eer(university_eer_schema)
+        assert t.scheme_of("TEACH").key_names == ("T.C.NR",)
+
+    def test_specialization_key_naming(self, university_eer_schema):
+        t = translate_eer(university_eer_schema)
+        assert t.scheme_of("FACULTY").key_names == ("F.SSN",)
+
+    def test_foreign_key_registry(self, university_eer_schema):
+        t = translate_eer(university_eer_schema)
+        assert t.foreign_keys["OFFER"]["COURSE"] == ("O.C.NR",)
+        assert t.foreign_keys["TEACH"]["FACULTY"] == ("T.F.SSN",)
+
+    def test_attribute_name_registry(self, university_eer_schema):
+        t = translate_eer(university_eer_schema)
+        assert t.attribute_names[("COURSE", "NR")] == "C.NR"
+        assert t.attribute_names[("PERSON", "SSN")] == "P.SSN"
+
+
+class TestFigure1:
+    def test_reproduction(self, fig1_eer):
+        from repro.workloads.project import figure1_relational
+
+        translated = translate_eer(fig1_eer).schema
+        reference = figure1_relational()
+        assert set(map(str, translated.schemes)) == set(
+            map(str, reference.schemes)
+        )
+        assert set(translated.inds) == set(reference.inds)
+        assert set(translated.null_constraints) == set(
+            reference.null_constraints
+        )
+
+    def test_optional_relationship_attribute_nullable(self, fig1_eer):
+        t = translate_eer(fig1_eer)
+        works_nna = [
+            c
+            for c in t.schema.null_constraints_of("WORKS")
+            if isinstance(c, NullExistenceConstraint)
+            and c.is_nulls_not_allowed()
+        ]
+        covered = set().union(*(c.rhs for c in works_nna))
+        assert "W.DATE" not in covered
+        assert {"W.E.SSN", "W.P.NR"} <= covered
+
+
+class TestWeakEntities:
+    def test_weak_entity_translation(self):
+        building = EntitySet(
+            "BUILDING", (EERAttribute("CODE", D),), identifier=("CODE",)
+        )
+        room = WeakEntitySet(
+            "ROOM",
+            (EERAttribute("NR", D), EERAttribute("SIZE", D, required=False)),
+            owner="BUILDING",
+            partial_identifier=("NR",),
+        )
+        t = translate_eer(EERSchema("campus", (building, room)))
+        scheme = t.scheme_of("ROOM")
+        assert scheme.key_names == ("R.B.CODE", "R.NR")
+        assert any(
+            d.lhs_scheme == "ROOM" and d.rhs_scheme == "BUILDING"
+            for d in t.schema.inds
+        )
+
+
+class TestManyToMany:
+    def test_all_many_participants_key(self):
+        student = EntitySet(
+            "STUDENT", (EERAttribute("SID", D),), identifier=("SID",)
+        )
+        course = EntitySet(
+            "COURSE", (EERAttribute("NR", Domain("e")),), identifier=("NR",)
+        )
+        enrolls = RelationshipSet(
+            "ENROLLS",
+            participants=(
+                Participation("STUDENT", Cardinality.MANY),
+                Participation("COURSE", Cardinality.MANY),
+            ),
+        )
+        t = translate_eer(EERSchema("uni", (student, course, enrolls)))
+        assert t.scheme_of("ENROLLS").key_names == ("E.S.SID", "E.C.NR")
+
+
+class TestRolesAndErrors:
+    def test_self_relationship_needs_roles(self):
+        emp = EntitySet(
+            "EMP", (EERAttribute("ID", D),), identifier=("ID",)
+        )
+        manages = RelationshipSet(
+            "MGMT",
+            participants=(
+                Participation("EMP", Cardinality.MANY),
+                Participation("EMP", Cardinality.ONE),
+            ),
+        )
+        with pytest.raises(Exception):
+            translate_eer(EERSchema("org", (emp, manages)))
+
+    def test_self_relationship_with_roles(self):
+        emp = EntitySet("EMP", (EERAttribute("ID", D),), identifier=("ID",))
+        manages = RelationshipSet(
+            "MGMT",
+            participants=(
+                Participation("EMP", Cardinality.MANY, role="REPORT"),
+                Participation("EMP", Cardinality.ONE, role="BOSS"),
+            ),
+        )
+        t = translate_eer(EERSchema("org", (emp, manages)))
+        scheme = t.scheme_of("MGMT")
+        assert scheme.key_names == ("M.REPORT.E.ID",)
+        assert "M.BOSS.E.ID" in scheme.attribute_names
+
+    def test_duplicate_abbreviations_rejected(self):
+        e1 = EntitySet(
+            "ALPHA", (EERAttribute("A", D),), identifier=("A",), abbrev="X"
+        )
+        e2 = EntitySet(
+            "BETA", (EERAttribute("B", D),), identifier=("B",), abbrev="X"
+        )
+        with pytest.raises(TranslationError):
+            translate_eer(EERSchema("s", (e1, e2)))
+
+    def test_abbreviation_clash_auto_resolved(self):
+        e1 = EntitySet("CAT", (EERAttribute("A", D),), identifier=("A",))
+        e2 = EntitySet("CAR", (EERAttribute("B", D),), identifier=("B",))
+        t = translate_eer(EERSchema("s", (e1, e2)))
+        names = {
+            a.name for s in t.schema.schemes for a in s.attributes
+        }
+        assert len(names) == 2  # distinct prefixes were derived
+
+
+def test_translation_output_is_consistent_substrate(university_eer_schema):
+    """Translated schemas accept their own empty state."""
+    from repro.relational.state import DatabaseState
+
+    t = translate_eer(university_eer_schema)
+    checker = ConsistencyChecker(t.schema)
+    assert checker.is_consistent(DatabaseState.empty_for(t.schema))
+
+
+class TestTernary:
+    def test_ternary_relationship_translation(self):
+        """A ternary relationship: SHIPMENT sends PRODUCT from VENDOR to
+        WAREHOUSE; the many-side (SHIPMENT is functional from PRODUCT x
+        VENDOR) keys the relation."""
+        product = EntitySet(
+            "PRODUCT", (EERAttribute("SKU", D),), identifier=("SKU",)
+        )
+        vendor = EntitySet(
+            "VENDOR", (EERAttribute("VAT", Domain("e")),), identifier=("VAT",)
+        )
+        site = EntitySet(
+            "SITE", (EERAttribute("CODE", Domain("f")),), identifier=("CODE",)
+        )
+        ships = RelationshipSet(
+            "SHIPS",
+            attributes=(EERAttribute("QTY", Domain("qty")),),
+            participants=(
+                Participation("PRODUCT", Cardinality.MANY),
+                Participation("VENDOR", Cardinality.MANY),
+                Participation("SITE", Cardinality.ONE),
+            ),
+        )
+        t = translate_eer(
+            EERSchema("logistics", (product, vendor, site, ships))
+        )
+        scheme = t.scheme_of("SHIPS")
+        assert scheme.key_names == ("SH.P.SKU", "SH.V.VAT")
+        assert "SH.S.CODE" in scheme.attribute_names
+        assert "SH.QTY" in scheme.attribute_names
+        # Three referential integrity constraints, one per participant.
+        assert len([d for d in t.schema.inds if d.lhs_scheme == "SHIPS"]) == 3
+        for d in t.schema.inds:
+            assert d.is_key_based(t.schema)
+
+    def test_ternary_states_round_trip_merge(self):
+        """Ternary relations are not refkey-chained into any single
+        entity (composite key), so no family forms -- the planner
+        correctly leaves the schema alone."""
+        from repro.core.planner import MergePlanner
+
+        product = EntitySet(
+            "PRODUCT", (EERAttribute("SKU", D),), identifier=("SKU",)
+        )
+        vendor = EntitySet(
+            "VENDOR", (EERAttribute("VAT", Domain("e")),), identifier=("VAT",)
+        )
+        site = EntitySet(
+            "SITE", (EERAttribute("CODE", Domain("f")),), identifier=("CODE",)
+        )
+        ships = RelationshipSet(
+            "SHIPS",
+            participants=(
+                Participation("PRODUCT", Cardinality.MANY),
+                Participation("VENDOR", Cardinality.MANY),
+                Participation("SITE", Cardinality.ONE),
+            ),
+        )
+        schema = translate_eer(
+            EERSchema("logistics", (product, vendor, site, ships))
+        ).schema
+        assert MergePlanner(schema).candidate_families() == ()

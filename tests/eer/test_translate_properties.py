@@ -1,0 +1,169 @@
+"""Property-based tests: invariants of the EER translation.
+
+For arbitrary (generated) EER schemas, the Markowitz-Shoshani
+translation must produce schemas in the paper's class: BCNF schemes,
+key-based inclusion dependencies only, nulls-not-allowed constraints
+covering exactly the primary keys, foreign keys and required attributes
+-- and the whole pipeline (translate, plan, merge, round-trip) must hold
+together.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.constraints.functional import KeyDependency, is_bcnf
+from repro.core.capacity import verify_information_capacity
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+)
+from repro.eer.translate import translate_eer
+from repro.relational.attributes import Domain
+from repro.workloads.random_states import random_consistent_state
+
+
+@st.composite
+def eer_schemas(draw) -> EERSchema:
+    """Random well-formed EER schemas: a handful of entity-sets, optional
+    specializations, and binary many-to-one relationship-sets."""
+    n_entities = draw(st.integers(min_value=2, max_value=4))
+    entities = []
+    for i in range(n_entities):
+        n_attrs = draw(st.integers(min_value=1, max_value=3))
+        attrs = tuple(
+            EERAttribute(
+                f"A{j}",
+                Domain(f"dom-{i}-{j}"),
+                required=(j == 0 or draw(st.booleans())),
+            )
+            for j in range(n_attrs)
+        )
+        entities.append(
+            EntitySet(f"E{i}", attrs, identifier=("A0",))
+        )
+
+    generalizations = []
+    specs = []
+    if draw(st.booleans()):
+        n_specs = draw(st.integers(min_value=1, max_value=2))
+        for k in range(n_specs):
+            n_attrs = draw(st.integers(min_value=0, max_value=2))
+            attrs = tuple(
+                EERAttribute(f"S{k}A{j}", Domain(f"sdom-{k}-{j}"))
+                for j in range(n_attrs)
+            )
+            specs.append(EntitySet(f"SP{k}", attrs))
+        generalizations.append(
+            Generalization("E0", tuple(s.name for s in specs))
+        )
+
+    relationships = []
+    n_rels = draw(st.integers(min_value=0, max_value=3))
+    for r in range(n_rels):
+        many = draw(st.integers(min_value=0, max_value=n_entities - 1))
+        one = draw(st.integers(min_value=0, max_value=n_entities - 1))
+        if many == one:
+            one = (one + 1) % n_entities
+        n_attrs = draw(st.integers(min_value=0, max_value=1))
+        attrs = tuple(
+            EERAttribute(
+                f"R{r}A{j}", Domain(f"rdom-{r}-{j}"), required=draw(st.booleans())
+            )
+            for j in range(n_attrs)
+        )
+        relationships.append(
+            RelationshipSet(
+                f"R{r}",
+                attrs,
+                participants=(
+                    Participation(f"E{many}", Cardinality.MANY),
+                    Participation(f"E{one}", Cardinality.ONE),
+                ),
+            )
+        )
+    return EERSchema(
+        "generated",
+        tuple(entities) + tuple(specs) + tuple(relationships),
+        tuple(generalizations),
+    )
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(eer=eer_schemas())
+def test_translation_stays_in_paper_class(eer):
+    translation = translate_eer(eer)
+    schema = translation.schema
+    # One scheme per object-set.
+    assert len(schema.schemes) == len(eer.object_sets)
+    # Every inclusion dependency is key-based (referential integrity).
+    assert all(ind.is_key_based(schema) for ind in schema.inds)
+    # Every scheme is in BCNF under its key dependency.
+    for scheme in schema.schemes:
+        assert is_bcnf(scheme, [KeyDependency.of_scheme(scheme)])
+    # Null constraints are NNA-only and cover every primary key.
+    for scheme in schema.schemes:
+        covered = set()
+        for c in schema.null_constraints_of(scheme.name):
+            assert c.is_nulls_not_allowed()
+            covered |= c.rhs
+        assert set(scheme.key_names) <= covered
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(eer=eer_schemas(), seed=st.integers(min_value=0, max_value=1000))
+def test_translated_schemas_merge_and_round_trip(eer, seed):
+    schema = translate_eer(eer).schema
+    state = random_consistent_state(schema, rows_per_scheme=4, seed=seed)
+    plan = MergePlanner(schema, MergeStrategy.AGGRESSIVE).apply()
+    report = verify_information_capacity(
+        schema,
+        plan.schema,
+        plan.forward,
+        plan.backward,
+        states_a=[state],
+        states_b=[plan.forward.apply(state)],
+    )
+    assert report.equivalent, [str(f) for f in report.failures]
+
+
+@settings(max_examples=25, deadline=None)
+@given(eer=eer_schemas())
+def test_classifier_verdicts_sound(eer):
+    """Whenever the Figure 8 classifier says NNA-only, the actual merge
+    output contains only nulls-not-allowed constraints."""
+    from repro.constraints.nulls import NullExistenceConstraint
+    from repro.core.merge import merge
+    from repro.core.remove import remove_all
+    from repro.eer.patterns import find_amenable_structures
+
+    schema = translate_eer(eer).schema
+    for structure in find_amenable_structures(eer):
+        if not structure.nna_only:
+            continue
+        simplified = remove_all(merge(schema, list(structure.members)))
+        merged_cs = [
+            c
+            for c in simplified.schema.null_constraints
+            if c.scheme_name == simplified.info.merged_name
+        ]
+        assert all(
+            isinstance(c, NullExistenceConstraint)
+            and c.is_nulls_not_allowed()
+            for c in merged_cs
+        ), (structure, list(map(str, merged_cs)))

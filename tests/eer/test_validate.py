@@ -1,0 +1,149 @@
+"""EER well-formedness checking."""
+
+import pytest
+
+from repro.eer.model import (
+    Cardinality,
+    EERAttribute,
+    EERSchema,
+    EntitySet,
+    Generalization,
+    Participation,
+    RelationshipSet,
+    WeakEntitySet,
+)
+from repro.eer.validate import EERValidationError, validate_eer_schema
+from repro.relational.attributes import Domain
+
+D = Domain("d")
+
+
+def entity(name, *attr_names, identifier=None):
+    attrs = tuple(EERAttribute(a, D) for a in attr_names)
+    return EntitySet(name, attrs, identifier=tuple(identifier or attr_names[:1]))
+
+
+def test_valid_schemas_pass(university_eer_schema, fig1_eer):
+    validate_eer_schema(university_eer_schema)
+    validate_eer_schema(fig1_eer)
+
+
+def _expect_problems(schema, *fragments):
+    with pytest.raises(EERValidationError) as exc:
+        validate_eer_schema(schema)
+    text = str(exc.value)
+    for fragment in fragments:
+        assert fragment in text, (fragment, text)
+
+
+def test_root_entity_needs_identifier():
+    e = EntitySet("E", (EERAttribute("A", D),))
+    _expect_problems(EERSchema("s", (e,)), "needs an identifier")
+
+
+def test_nullable_identifier_rejected():
+    e = EntitySet(
+        "E", (EERAttribute("A", D, required=False),), identifier=("A",)
+    )
+    _expect_problems(EERSchema("s", (e,)), "cannot allow nulls")
+
+
+def test_undefined_generalization_parts():
+    g = Generalization("GHOST", ("ALSO_GHOST",))
+    schema = EERSchema("s", (entity("E", "A"),), (g,))
+    _expect_problems(schema, "undefined")
+
+
+def test_specialization_with_own_identifier_rejected():
+    spec = entity("S", "B")
+    schema = EERSchema(
+        "s", (entity("E", "A"), spec), (Generalization("E", ("S",)),)
+    )
+    _expect_problems(schema, "inherit")
+
+
+def test_generalization_cycle_detected():
+    a = EntitySet("A", (EERAttribute("X", D),), identifier=("X",))
+    b = EntitySet("B")
+    schema = EERSchema(
+        "s",
+        (a, b),
+        (Generalization("A", ("B",)), Generalization("B", ("A",))),
+    )
+    _expect_problems(schema, "cycle")
+
+
+def test_multiple_direct_generics_rejected():
+    a = entity("A", "X")
+    b = entity("B", "Y")
+    c = EntitySet("C")
+    schema = EERSchema(
+        "s",
+        (a, b, c),
+        (Generalization("A", ("C",)), Generalization("B", ("C",))),
+    )
+    _expect_problems(schema, "multiple direct generics")
+
+
+def test_weak_entity_checks():
+    w = WeakEntitySet(
+        "W",
+        (EERAttribute("N", D),),
+        owner="GHOST",
+        partial_identifier=("N",),
+    )
+    _expect_problems(EERSchema("s", (w,)), "undefined")
+
+
+def test_weak_entity_needs_partial_identifier():
+    e = entity("E", "A")
+    w = WeakEntitySet("W", (EERAttribute("N", D),), owner="E")
+    _expect_problems(EERSchema("s", (e, w)), "partial identifier")
+
+
+def test_relationship_undefined_participant():
+    r = RelationshipSet(
+        "R",
+        participants=(
+            Participation("E", Cardinality.MANY),
+            Participation("GHOST", Cardinality.ONE),
+        ),
+    )
+    _expect_problems(EERSchema("s", (entity("E", "A"), r)), "undefined")
+
+
+def test_relationship_duplicate_participant_without_roles():
+    e = entity("E", "A")
+    r = RelationshipSet(
+        "R",
+        participants=(
+            Participation("E", Cardinality.MANY),
+            Participation("E", Cardinality.ONE),
+        ),
+    )
+    _expect_problems(EERSchema("s", (e, r)), "twice")
+
+
+def test_relationship_with_roles_allowed():
+    e = entity("E", "A")
+    r = RelationshipSet(
+        "R",
+        participants=(
+            Participation("E", Cardinality.MANY, role="child"),
+            Participation("E", Cardinality.ONE, role="parent"),
+        ),
+    )
+    validate_eer_schema(EERSchema("s", (e, r)))
+
+
+def test_relationship_needs_a_many_leg():
+    e1 = entity("E1", "A")
+    e2 = entity("E2", "B")
+    r = RelationshipSet(
+        "R",
+        participants=(
+            Participation("E1", Cardinality.ONE),
+            Participation("E2", Cardinality.ONE),
+        ),
+    )
+    _expect_problems(EERSchema("s", (e1, e2, r)), "MANY")

@@ -1,0 +1,88 @@
+"""Section 5.1's null-semantics claim on the engine.
+
+"Keys that are allowed to be null cannot be maintained in DBMSs (e.g.
+SYBASE, INGRES) that consider all null values as identical."  Under the
+``identical`` engine mode, the merged schema's nullable candidate keys
+reject perfectly legitimate states -- which is exactly why Proposition
+5.1(ii) gates merging on unique member keys for such systems.
+"""
+
+import pytest
+
+from repro.core.merge import merge
+from repro.engine.database import ConstraintViolationError, Database
+from repro.relational.tuples import NULL
+from repro.workloads.university import university_relational
+
+
+def _merged_schema():
+    result = merge(university_relational(), ["COURSE", "OFFER"])
+    return result.schema, result.info.merged_name
+
+
+def test_distinct_semantics_accepts_multiple_unoffered_courses():
+    schema, merged = _merged_schema()
+    db = Database(schema, null_semantics="distinct")
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    db.insert(merged, {"C.NR": "c1", "O.C.NR": NULL, "O.D.NAME": NULL})
+    db.insert(merged, {"C.NR": "c2", "O.C.NR": NULL, "O.D.NAME": NULL})
+    assert db.count(merged) == 2
+
+
+def test_identical_semantics_rejects_second_null_key():
+    """The paper's point: a second unoffered course clashes on the
+    all-null candidate key under SYBASE/INGRES semantics."""
+    schema, merged = _merged_schema()
+    db = Database(schema, null_semantics="identical")
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    db.insert(merged, {"C.NR": "c1", "O.C.NR": NULL, "O.D.NAME": NULL})
+    with pytest.raises(ConstraintViolationError, match="identical"):
+        db.insert(merged, {"C.NR": "c2", "O.C.NR": NULL, "O.D.NAME": NULL})
+
+
+def test_identical_semantics_fine_after_remove():
+    """After Remove, the nullable key copy is gone, so the simplified
+    schema is maintainable on all-nulls-identical systems (here the
+    OFFER+TEACH family, whose T.C.NR copy is removable)."""
+    from repro.core.remove import remove_all
+
+    result = merge(university_relational(), ["OFFER", "TEACH"])
+    simplified = remove_all(result)
+    merged = simplified.info.merged_name
+    assert "T.C.NR" not in simplified.merged_scheme.attribute_names
+    db = Database(simplified.schema, null_semantics="identical")
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    db.insert("COURSE", {"C.NR": "c1"})
+    db.insert("COURSE", {"C.NR": "c2"})
+    db.insert(merged, {"O.C.NR": "c1", "O.D.NAME": "cs", "T.F.SSN": NULL})
+    db.insert(merged, {"O.C.NR": "c2", "O.D.NAME": "cs", "T.F.SSN": NULL})
+    assert db.count(merged) == 2
+
+
+def test_identical_semantics_total_keys_unaffected():
+    schema, merged = _merged_schema()
+    db = Database(schema, null_semantics="identical")
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    db.insert(merged, {"C.NR": "c1", "O.C.NR": "c1", "O.D.NAME": "cs"})
+    with pytest.raises(ConstraintViolationError):
+        db.insert(merged, {"C.NR": "c2", "O.C.NR": "c1", "O.D.NAME": "cs"})
+
+
+def test_unknown_semantics_rejected():
+    with pytest.raises(ValueError, match="null_semantics"):
+        Database(university_relational(), null_semantics="weird")
+
+
+def test_rollback_under_identical_semantics():
+    schema, merged = _merged_schema()
+    db = Database(schema, null_semantics="identical")
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    with pytest.raises(ConstraintViolationError):
+        with db.transaction():
+            db.insert(
+                merged, {"C.NR": "c1", "O.C.NR": NULL, "O.D.NAME": NULL}
+            )
+            db.insert(
+                merged, {"C.NR": "c2", "O.C.NR": NULL, "O.D.NAME": NULL}
+            )
+    assert db.count(merged) == 0

@@ -1,0 +1,140 @@
+"""Query navigation and join counting."""
+
+import pytest
+
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.engine.database import Database
+from repro.engine.query import QueryEngine, row_counts
+from repro.relational.tuples import NULL, is_null
+from repro.workloads.university import university_state
+
+
+@pytest.fixture
+def loaded(university_schema):
+    db = Database(university_schema)
+    db.load_state(university_state(n_courses=30, seed=13))
+    db.stats.reset()
+    return db
+
+
+@pytest.fixture
+def merged_loaded(university_schema):
+    simplified = remove_all(
+        merge(university_schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    db = Database(simplified.schema)
+    db.load_state(
+        simplified.forward.apply(university_state(n_courses=30, seed=13))
+    )
+    db.stats.reset()
+    return db, simplified
+
+
+def test_get_counts_one_lookup(loaded):
+    q = QueryEngine(loaded)
+    assert q.get("COURSE", "crs-0000") is not None
+    assert loaded.stats.lookups == 1
+
+
+def test_join_to_via_primary_key(loaded):
+    q = QueryEngine(loaded)
+    course = q.get("COURSE", "crs-0000")
+    offer = q.join_to(course, ["C.NR"], "OFFER", ["O.C.NR"])
+    assert offer is not None and offer["O.C.NR"] == "crs-0000"
+    assert loaded.stats.joins_performed == 1
+
+
+def test_join_to_null_fk_short_circuits(merged_loaded):
+    db, simplified = merged_loaded
+    q = QueryEngine(db)
+    merged_name = simplified.info.merged_name
+    row = next(
+        t for t in db.scan(merged_name) if is_null(t["T.F.SSN"])
+    )
+    assert q.join_to(row, ["T.F.SSN"], "FACULTY", ["F.SSN"]) is None
+
+
+def test_profile_unmerged_costs_three_joins(loaded):
+    """The course-profile query on the Figure 3 schema needs one lookup
+    plus three navigations."""
+    q = QueryEngine(loaded)
+    result = q.profile(
+        "COURSE",
+        "crs-0000",
+        [
+            (["C.NR"], "OFFER", ["O.C.NR"]),
+            (["C.NR"], "TEACH", ["T.C.NR"]),
+            (["C.NR"], "ASSIST", ["A.C.NR"]),
+        ],
+    )
+    assert set(result) == {"COURSE", "OFFER", "TEACH", "ASSIST"}
+    assert loaded.stats.lookups == 1
+    assert loaded.stats.joins_performed == 3
+
+
+def test_profile_merged_costs_zero_joins(merged_loaded):
+    """The same information on the Figure 6 schema is one lookup."""
+    db, simplified = merged_loaded
+    q = QueryEngine(db)
+    result = q.profile(simplified.info.merged_name, "crs-0000", [])
+    assert result[simplified.info.merged_name] is not None
+    assert db.stats.lookups == 1
+    assert db.stats.joins_performed == 0
+
+
+def test_profiles_agree_across_schemas(loaded, merged_loaded):
+    """Merged and unmerged answers carry the same facts."""
+    db, simplified = merged_loaded
+    qm = QueryEngine(db)
+    qu = QueryEngine(loaded)
+    for course in ("crs-0000", "crs-0007", "crs-0015"):
+        unmerged = qu.profile(
+            "COURSE",
+            course,
+            [
+                (["C.NR"], "OFFER", ["O.C.NR"]),
+                (["C.NR"], "TEACH", ["T.C.NR"]),
+            ],
+        )
+        merged_row = qm.get(simplified.info.merged_name, course)
+        offer = qm.object_view(simplified.info, "OFFER", merged_row)
+        if unmerged["OFFER"] is None:
+            assert offer is None
+        else:
+            assert offer["O.D.NAME"] == unmerged["OFFER"]["O.D.NAME"]
+
+
+def test_object_view_absent_member(merged_loaded):
+    db, simplified = merged_loaded
+    q = QueryEngine(db)
+    row = next(
+        t
+        for t in db.scan(simplified.info.merged_name)
+        if is_null(t["O.D.NAME"])
+    )
+    assert q.object_view(simplified.info, "OFFER", row) is None
+    assert q.object_view(simplified.info, "COURSE", row) is not None
+
+
+def test_find_referencing(loaded):
+    q = QueryEngine(loaded)
+    dept = next(iter(loaded.scan("DEPARTMENT")))
+    loaded.stats.reset()
+    offers = q.find_referencing(dept, "OFFER", ["O.D.NAME"], ["D.NAME"])
+    assert all(o["O.D.NAME"] == dept["D.NAME"] for o in offers)
+    assert loaded.stats.joins_performed == 1
+
+
+def test_join_to_non_key_target_scans(loaded):
+    q = QueryEngine(loaded)
+    offer = next(iter(loaded.scan("OFFER")))
+    loaded.stats.reset()
+    q.join_to(offer, ["O.D.NAME"], "DEPARTMENT", ["D.NAME"])
+    assert loaded.stats.joins_performed == 1
+
+
+def test_row_counts(loaded, university_schema):
+    counts = row_counts(loaded)
+    assert set(counts) == set(university_schema.scheme_names)
+    assert counts["COURSE"] == 30

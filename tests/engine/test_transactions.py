@@ -1,0 +1,143 @@
+"""Engine transactions and reference indexes."""
+
+import pytest
+
+from repro.engine.database import ConstraintViolationError, Database
+from repro.workloads.university import university_relational, university_state
+
+
+@pytest.fixture
+def db():
+    database = Database(university_relational())
+    database.insert("COURSE", {"C.NR": "c1"})
+    database.insert("DEPARTMENT", {"D.NAME": "cs"})
+    return database
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, db):
+        with db.transaction():
+            db.insert("COURSE", {"C.NR": "c2"})
+            db.insert("OFFER", {"O.C.NR": "c2", "O.D.NAME": "cs"})
+        assert db.count("COURSE") == 2
+        assert db.count("OFFER") == 1
+        assert not db.in_transaction
+
+    def test_rollback_on_exception(self, db):
+        with pytest.raises(ConstraintViolationError):
+            with db.transaction():
+                db.insert("COURSE", {"C.NR": "c2"})
+                db.insert("OFFER", {"O.C.NR": "ghost", "O.D.NAME": "cs"})
+        assert db.count("COURSE") == 1  # c2 was rolled back
+        assert db.count("OFFER") == 0
+        assert not db.in_transaction
+
+    def test_rollback_restores_updates_and_deletes(self, db):
+        db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+        db.insert("DEPARTMENT", {"D.NAME": "math"})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.update("OFFER", "c1", {"O.D.NAME": "math"})
+                db.delete("DEPARTMENT", "cs")  # now unreferenced
+                raise RuntimeError("abort")
+        assert db.get("OFFER", "c1")["O.D.NAME"] == "cs"
+        assert db.get("DEPARTMENT", "cs") is not None
+
+    def test_nested_transactions_partial_rollback(self, db):
+        with db.transaction():
+            db.insert("COURSE", {"C.NR": "outer"})
+            with pytest.raises(RuntimeError):
+                with db.transaction():
+                    db.insert("COURSE", {"C.NR": "inner"})
+                    raise RuntimeError("inner abort")
+            assert db.get("COURSE", "inner") is None
+            assert db.get("COURSE", "outer") is not None
+        assert db.get("COURSE", "outer") is not None
+
+    def test_rollback_restores_indexes(self, db):
+        """After a rollback, reference checks behave as before."""
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+                raise RuntimeError("abort")
+        # The rolled-back OFFER row must not restrict deleting COURSE.
+        db.delete("COURSE", "c1")
+        assert db.count("COURSE") == 0
+
+    def test_bulk_load_rejected_inside_transaction(self, db):
+        state = university_state(n_courses=3, seed=0)
+        with pytest.raises(ConstraintViolationError, match="bulk-load"):
+            with db.transaction():
+                db.load_state(state)
+
+
+class TestReferenceIndexes:
+    def test_delete_restrict_uses_index_not_scan(self, db):
+        db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+        db.stats.reset()
+        with pytest.raises(ConstraintViolationError):
+            db.delete("COURSE", "c1")
+        assert db.stats.tuples_scanned == 0
+
+    def test_nonkey_reference_check_uses_index(self, db):
+        """OFFER[O.C.NR] is a key, but ASSIST -> OFFER[O.C.NR] after a
+        merge targets a non-key group; here we check the generic group
+        index via a large referencing relation."""
+        for i in range(200):
+            db.insert("COURSE", {"C.NR": f"bulk-{i}"})
+            db.insert("OFFER", {"O.C.NR": f"bulk-{i}", "O.D.NAME": "cs"})
+        db.stats.reset()
+        with pytest.raises(ConstraintViolationError):
+            db.delete("COURSE", "bulk-77")
+        assert db.stats.tuples_scanned == 0
+
+    def test_index_counts_duplicates(self, db):
+        """Group indexes count rows: deleting one of two referencing rows
+        keeps the restriction."""
+        db.insert("PERSON", {"P.SSN": "p1"})
+        db.insert("FACULTY", {"F.SSN": "p1"})
+        db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+        db.insert("TEACH", {"T.C.NR": "c1", "T.F.SSN": "p1"})
+        # Two rows reference DEPARTMENT "cs"? Only OFFER does; use FACULTY
+        # instead: PERSON referenced by FACULTY and (via TEACH) FACULTY
+        # referenced by TEACH.
+        with pytest.raises(ConstraintViolationError):
+            db.delete("FACULTY", "p1")
+        db.delete("TEACH", "c1")
+        db.delete("FACULTY", "p1")
+        assert db.count("FACULTY") == 0
+
+    def test_update_self_reference_exception_path(self):
+        """Updating a referenced value in a self-referencing scheme falls
+        back to the scan path (ignore_self_pk)."""
+        from repro.constraints.inclusion import InclusionDependency
+        from repro.constraints.nulls import nulls_not_allowed
+        from repro.relational.attributes import Attribute, Domain
+        from repro.relational.schema import RelationScheme, RelationalSchema
+        from repro.relational.tuples import NULL
+
+        d = Domain("d")
+        emp = RelationScheme(
+            "EMP",
+            (Attribute("E.ID", d), Attribute("E.BOSS", d)),
+            (Attribute("E.ID", d),),
+        )
+        schema = RelationalSchema(
+            schemes=(emp,),
+            inds=(InclusionDependency("EMP", ("E.BOSS",), "EMP", ("E.ID",)),),
+            null_constraints=(nulls_not_allowed("EMP", ["E.ID"]),),
+        )
+        db = Database(schema)
+        db.insert("EMP", {"E.ID": "boss", "E.BOSS": NULL})
+        db.insert("EMP", {"E.ID": "worker", "E.BOSS": "boss"})
+        # A row may change its own referenced value when only it points
+        # there... worker points at boss, so boss's id is pinned:
+        with pytest.raises(ConstraintViolationError):
+            db.update("EMP", "boss", {"E.ID": "chief"})
+        # But the worker can repoint and then the boss can be renamed --
+        # as one transaction.
+        with db.transaction():
+            db.update("EMP", "worker", {"E.BOSS": NULL})
+            db.update("EMP", "boss", {"E.ID": "chief"})
+            db.update("EMP", "worker", {"E.BOSS": "chief"})
+        assert db.get("EMP", "worker")["E.BOSS"] == "chief"

@@ -1,0 +1,103 @@
+"""Object-level views over merged relations."""
+
+import pytest
+
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.engine.database import Database
+from repro.engine.views import MergedViewResolver
+from repro.workloads.university import university_relational, university_state
+
+
+@pytest.fixture
+def setup():
+    schema = university_relational()
+    simplified = remove_all(
+        merge(schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    state = university_state(n_courses=25, seed=9)
+    db = Database(simplified.schema)
+    db.load_state(simplified.forward.apply(state))
+    return db, simplified, state
+
+
+def test_member_get_present_object(setup):
+    db, simplified, state = setup
+    view = MergedViewResolver(db, simplified.info)
+    offered = {t["O.C.NR"] for t in state["OFFER"]}
+    course = sorted(offered)[0]
+    row = view.member_get("OFFER", course)
+    assert row is not None
+    reference = next(
+        t for t in state["OFFER"] if t["O.C.NR"] == course
+    )
+    assert row["O.D.NAME"] == reference["O.D.NAME"]
+
+
+def test_member_get_absent_object(setup):
+    db, simplified, state = setup
+    view = MergedViewResolver(db, simplified.info)
+    unoffered = {t["C.NR"] for t in state["COURSE"]} - {
+        t["O.C.NR"] for t in state["OFFER"]
+    }
+    if not unoffered:
+        pytest.skip("state has no unoffered course")
+    assert view.member_get("OFFER", sorted(unoffered)[0]) is None
+
+
+def test_member_get_unknown_key(setup):
+    db, simplified, _ = setup
+    view = MergedViewResolver(db, simplified.info)
+    assert view.member_get("COURSE", "nope") is None
+
+
+def test_member_scan_matches_source_relations(setup):
+    db, simplified, state = setup
+    view = MergedViewResolver(db, simplified.info)
+    # COURSE reconstructs exactly; OFFER/TEACH/ASSIST reconstruct their
+    # *surviving* attributes (the key copies were removed).
+    assert view.member_count("COURSE") == len(state["COURSE"])
+    assert view.member_count("OFFER") == len(state["OFFER"])
+    assert view.member_count("TEACH") == len(state["TEACH"])
+    scanned = {t["T.F.SSN"] for t in view.member_scan("TEACH")}
+    assert scanned == {t["T.F.SSN"] for t in state["TEACH"]}
+
+
+def test_object_profile_costs_one_lookup(setup):
+    db, simplified, state = setup
+    view = MergedViewResolver(db, simplified.info)
+    db.stats.reset()
+    profile = view.object_profile("crs-0000")
+    assert set(profile) == set(simplified.info.family)
+    assert db.stats.lookups == 1
+    assert db.stats.joins_performed == 0
+
+
+def test_unknown_member_rejected(setup):
+    db, simplified, _ = setup
+    view = MergedViewResolver(db, simplified.info)
+    with pytest.raises(KeyError):
+        view.member_get("DEPARTMENT", "cs")
+    with pytest.raises(KeyError):
+        list(view.member_scan("NOPE"))
+
+
+def test_resolver_requires_matching_schema(setup):
+    _, simplified, _ = setup
+    other = Database(university_relational())
+    with pytest.raises(KeyError):
+        MergedViewResolver(other, simplified.info)
+
+
+def test_views_track_mutations(setup):
+    db, simplified, _ = setup
+    view = MergedViewResolver(db, simplified.info)
+    from repro.relational.tuples import NULL
+
+    before = view.member_count("COURSE")
+    db.insert(
+        simplified.info.merged_name,
+        {"C.NR": "fresh", "O.D.NAME": NULL, "T.F.SSN": NULL, "A.S.SSN": NULL},
+    )
+    assert view.member_count("COURSE") == before + 1
+    assert view.member_get("OFFER", "fresh") is None

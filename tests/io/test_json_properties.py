@@ -1,0 +1,70 @@
+"""Property-based serialization round trips on random artifacts."""
+
+import json
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.io import (
+    relational_schema_from_dict,
+    relational_schema_to_dict,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.workloads.random_schemas import RandomSchemaParams, random_schema
+from repro.workloads.random_states import random_consistent_state
+
+params = st.builds(
+    RandomSchemaParams,
+    n_clusters=st.integers(min_value=1, max_value=3),
+    max_children=st.integers(min_value=0, max_value=3),
+    max_depth=st.integers(min_value=1, max_value=2),
+    max_extra_attrs=st.integers(min_value=0, max_value=3),
+    cross_ref_prob=st.floats(min_value=0.0, max_value=0.5),
+    optional_attr_prob=st.floats(min_value=0.0, max_value=0.7),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(params=params, seed=st.integers(min_value=0, max_value=5000))
+def test_random_schema_round_trip(params, seed):
+    schema = random_schema(params, seed=seed).schema
+    text = json.dumps(relational_schema_to_dict(schema))
+    assert relational_schema_from_dict(json.loads(text)) == schema
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=params, seed=st.integers(min_value=0, max_value=5000))
+def test_random_state_round_trip(params, seed):
+    generated = random_schema(params, seed=seed)
+    state = random_consistent_state(generated.schema, rows_per_scheme=5, seed=seed)
+    text = json.dumps(state_to_dict(state))
+    assert state_from_dict(json.loads(text), generated.schema) == state
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=5000))
+def test_merged_schema_round_trip(seed):
+    """Merged schemas carry every constraint kind; serialization must
+    survive all of them."""
+    generated = random_schema(RandomSchemaParams(n_clusters=1), seed=seed)
+    (root,) = generated.roots
+    members = generated.clusters[root]
+    if len(members) < 2:
+        return
+    for schema in (
+        merge(generated.schema, members).schema,
+        remove_all(merge(generated.schema, members)).schema,
+    ):
+        text = json.dumps(relational_schema_to_dict(schema))
+        assert relational_schema_from_dict(json.loads(text)) == schema

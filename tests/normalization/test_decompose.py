@@ -1,0 +1,75 @@
+"""BCNF decomposition baseline."""
+
+from repro.constraints.functional import FunctionalDependency as FD, is_bcnf
+from repro.normalization.decompose import bcnf_decompose
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme
+
+
+def scheme(name, names, key_count):
+    attrs = tuple(Attribute(n, Domain(n.lower())) for n in names)
+    return RelationScheme(name, attrs, attrs[:key_count])
+
+
+def fd(lhs, rhs, name="R"):
+    return FD(name, frozenset(lhs), frozenset(rhs))
+
+
+def test_already_bcnf_untouched():
+    s = scheme("R", ("K", "A"), 1)
+    out = bcnf_decompose(s, [fd({"K"}, {"A"})])
+    assert out == (s,)
+
+
+def test_classic_split():
+    s = scheme("R", ("A", "B", "C"), 2)
+    out = bcnf_decompose(s, [fd({"B"}, {"C"})])
+    assert len(out) == 2
+    attr_sets = {frozenset(f.attribute_names) for f in out}
+    assert attr_sets == {frozenset({"B", "C"}), frozenset({"A", "B"})}
+
+
+def test_fragments_are_bcnf():
+    s = scheme("R", ("A", "B", "C", "D"), 1)
+    fds = [
+        fd({"A"}, {"B", "C", "D"}),
+        fd({"B"}, {"C"}),
+        fd({"C"}, {"D"}),
+    ]
+    out = bcnf_decompose(s, fds)
+    for fragment in out:
+        names = set(fragment.attribute_names)
+        local = [
+            FD(fragment.name, f.lhs, f.rhs & names)
+            for f in fds
+            if f.lhs <= names and (f.rhs & names)
+        ]
+        assert is_bcnf(fragment, local), fragment
+
+
+def test_attribute_coverage_preserved():
+    s = scheme("R", ("A", "B", "C", "D"), 1)
+    fds = [fd({"A"}, {"B", "C", "D"}), fd({"C"}, {"D"})]
+    out = bcnf_decompose(s, fds)
+    covered = set().union(*(set(f.attribute_names) for f in out))
+    assert covered == {"A", "B", "C", "D"}
+
+
+def test_split_shares_join_attributes():
+    """Losslessness: every split shares the violating determinant."""
+    s = scheme("R", ("A", "B", "C"), 2)
+    out = bcnf_decompose(s, [fd({"B"}, {"C"})])
+    first, second = out
+    assert set(first.attribute_names) & set(second.attribute_names)
+
+
+def test_decomposition_grows_scheme_count():
+    """The Section 1 trade-off: splitting multiplies relations."""
+    s = scheme("R", ("A", "B", "C", "D", "E"), 1)
+    fds = [
+        fd({"A"}, {"B", "C", "D", "E"}),
+        fd({"B"}, {"C"}),
+        fd({"D"}, {"E"}),
+    ]
+    out = bcnf_decompose(s, fds)
+    assert len(out) >= 3

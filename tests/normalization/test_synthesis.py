@@ -1,0 +1,96 @@
+"""Synthesis normalization and the Section 1 ASSIGN example."""
+
+from repro.constraints.functional import FunctionalDependency as FD
+from repro.constraints.nulls import PartNullConstraint, nulls_not_allowed
+from repro.normalization.synthesis import synthesize
+from repro.relational.attributes import Domain
+
+
+def fd(lhs, rhs):
+    return FD("U", frozenset(lhs), frozenset(rhs))
+
+
+ASSIGN_ATTRS = {
+    "COURSE": Domain("course"),
+    "FACULTY": Domain("faculty"),
+    "DEPARTMENT": Domain("department"),
+}
+ASSIGN_FDS = [fd({"COURSE"}, {"FACULTY"}), fd({"COURSE"}, {"DEPARTMENT"})]
+
+
+class TestAssignExample:
+    def test_equivalent_keys_merge_into_one_scheme(self):
+        result = synthesize(ASSIGN_ATTRS, ASSIGN_FDS)
+        assert len(result.schemes) == 1
+        (scheme,) = result.schemes
+        assert set(scheme.attribute_names) == set(ASSIGN_ATTRS)
+        assert scheme.key_names == ("COURSE",)
+
+    def test_merge_recorded(self):
+        result = synthesize(ASSIGN_ATTRS, ASSIGN_FDS)
+        assert result.merged_groups == (
+            (frozenset({"FACULTY"}), frozenset({"DEPARTMENT"})),
+        )
+
+    def test_null_constraints_option(self):
+        """The paper's repair: FACULTY/DEPARTMENT nullable with at least
+        one non-null per tuple."""
+        result = synthesize(ASSIGN_ATTRS, ASSIGN_FDS, with_null_constraints=True)
+        (scheme,) = result.schemes
+        assert nulls_not_allowed(scheme.name, ["COURSE"]) in result.null_constraints
+        assert (
+            PartNullConstraint(
+                scheme.name,
+                (frozenset({"FACULTY"}), frozenset({"DEPARTMENT"})),
+            )
+            in result.null_constraints
+        )
+
+
+class TestGeneralSynthesis:
+    def test_separate_keys_stay_separate(self):
+        attrs = {n: Domain(n.lower()) for n in ("A", "B", "C", "D")}
+        result = synthesize(
+            attrs, [fd({"A"}, {"B"}), fd({"C"}, {"D"})]
+        )
+        assert len(result.schemes) == 3  # two groups + universal key scheme
+        key_scheme = result.schemes[-1]
+        assert set(key_scheme.attribute_names) == {"A", "C"}
+
+    def test_universal_key_not_added_when_covered(self):
+        attrs = {n: Domain(n.lower()) for n in ("A", "B", "C")}
+        result = synthesize(attrs, [fd({"A"}, {"B"}), fd({"B"}, {"C"})])
+        assert len(result.schemes) == 2
+        assert {s.key_names for s in result.schemes} == {("A",), ("B",)}
+
+    def test_transitive_redundancy_removed(self):
+        attrs = {n: Domain(n.lower()) for n in ("A", "B", "C")}
+        result = synthesize(
+            attrs,
+            [fd({"A"}, {"B"}), fd({"B"}, {"C"}), fd({"A"}, {"C"})],
+        )
+        scheme_a = result.scheme("S1")
+        # A -> C was redundant; A's scheme holds only A and B.
+        assert set(scheme_a.attribute_names) == {"A", "B"}
+
+    def test_bcnf_of_output(self):
+        from repro.constraints.functional import is_bcnf
+
+        attrs = {n: Domain(n.lower()) for n in ("A", "B", "C", "D")}
+        fds = [fd({"A"}, {"B", "C"}), fd({"B"}, {"C"}), fd({"C", "D"}, {"A"})]
+        result = synthesize(attrs, fds)
+        for scheme in result.schemes:
+            local = [
+                FD(scheme.name, f.lhs, f.rhs)
+                for f in fds
+                if f.lhs <= set(scheme.attribute_names)
+                and f.rhs <= set(scheme.attribute_names)
+            ]
+            assert is_bcnf(scheme, local), scheme
+
+    def test_scheme_lookup_raises(self):
+        result = synthesize(ASSIGN_ATTRS, ASSIGN_FDS)
+        import pytest
+
+        with pytest.raises(KeyError):
+            result.scheme("NOPE")

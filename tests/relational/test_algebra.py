@@ -1,0 +1,148 @@
+"""The Section 2 algebra: projection, total projection, rename, joins."""
+
+import pytest
+
+from repro.relational.algebra import (
+    difference,
+    equi_join,
+    left_outer_equi_join,
+    outer_equi_join,
+    project,
+    rename,
+    select,
+    total_project,
+    union,
+)
+from repro.relational.attributes import Attribute, Correspondence, Domain
+from repro.relational.relation import Relation
+from repro.relational.tuples import NULL, Tuple
+
+D = Domain("d")
+E = Domain("e")
+A = Attribute("A", D)
+B = Attribute("B", E)
+C = Attribute("C", D)
+F = Attribute("F", E)
+
+
+def _left():
+    return Relation.from_rows((A, B), [(1, "x"), (2, "y"), (3, NULL)])
+
+
+def _right():
+    return Relation.from_rows((C, F), [(1, "p"), (4, "q")])
+
+
+def test_project_keeps_all_tuples():
+    r = project(_left(), ["A"])
+    assert len(r) == 3
+    assert r.attribute_names == ("A",)
+
+
+def test_project_can_collapse_duplicates():
+    rel = Relation.from_rows((A, B), [(1, "x"), (1, "y")])
+    assert len(project(rel, ["A"])) == 1
+
+
+def test_total_project_drops_partial_tuples():
+    r = total_project(_left(), ["B"])
+    assert {t["B"] for t in r} == {"x", "y"}
+
+
+def test_total_project_equals_project_when_total():
+    rel = Relation.from_rows((A, B), [(1, "x")])
+    assert total_project(rel, ["A", "B"]) == project(rel, ["A", "B"])
+
+
+def test_rename_swaps_attribute_names():
+    renamed = rename(_left(), Correspondence((A,), (C,)))
+    assert set(renamed.attribute_names) == {"C", "B"}
+    assert Tuple({"C": 1, "B": "x"}) in renamed
+
+
+def test_rename_missing_source_raises():
+    with pytest.raises(KeyError):
+        rename(_right(), Correspondence((A,), (C,)))
+
+
+def test_select_by_predicate():
+    r = select(_left(), lambda t: t["A"] > 1)
+    assert {t["A"] for t in r} == {2, 3}
+
+
+def test_union_and_difference_same_attributes():
+    r1 = Relation.from_rows((A,), [(1,), (2,)])
+    r2 = Relation.from_rows((A,), [(2,), (3,)])
+    assert {t["A"] for t in union(r1, r2)} == {1, 2, 3}
+    assert {t["A"] for t in difference(r1, r2)} == {1}
+
+
+def test_union_rejects_different_attribute_sets():
+    with pytest.raises(ValueError):
+        union(Relation.empty((A,)), Relation.empty((B,)))
+
+
+def test_equi_join_keeps_both_join_columns():
+    j = equi_join(_left(), _right(), Correspondence((A,), (C,)))
+    assert set(j.attribute_names) == {"A", "B", "C", "F"}
+    assert len(j) == 1
+    (t,) = j
+    assert t["A"] == t["C"] == 1
+
+
+def test_equi_join_null_never_matches():
+    left = Relation.from_rows((A, B), [(NULL, "x")])
+    right = Relation.from_rows((C, F), [(NULL, "p")])
+    assert len(equi_join(left, right, Correspondence((A,), (C,)))) == 0
+
+
+def test_equi_join_requires_disjoint_attributes():
+    with pytest.raises(ValueError):
+        equi_join(_left(), _left(), Correspondence((A,), (A,)))
+
+
+def test_outer_equi_join_three_parts():
+    """The paper's r1 u r2 u r3 decomposition of the outer join."""
+    j = outer_equi_join(_left(), _right(), Correspondence((A,), (C,)))
+    rows = {tuple(t[n] for n in ("A", "B", "C", "F")) for t in j}
+    assert (1, "x", 1, "p") in rows  # r1: the equi-join
+    assert (2, "y", NULL, NULL) in rows  # r3: unmatched left
+    assert (3, NULL, NULL, NULL) in rows  # r3: unmatched left with null B
+    assert (NULL, NULL, 4, "q") in rows  # r2: unmatched right
+    assert len(j) == 4
+
+
+def test_outer_join_contains_inner_join():
+    inner = equi_join(_left(), _right(), Correspondence((A,), (C,)))
+    outer = outer_equi_join(_left(), _right(), Correspondence((A,), (C,)))
+    assert set(inner.tuples) <= set(outer.tuples)
+
+
+def test_outer_join_total_projections_recover_sides():
+    outer = outer_equi_join(_left(), _right(), Correspondence((A,), (C,)))
+    # Total projection on the left attributes recovers the left tuples
+    # whose attributes were total -- plus nothing else.
+    left_back = total_project(outer, ["A", "B"])
+    assert set(left_back.tuples) == {
+        Tuple({"A": 1, "B": "x"}),
+        Tuple({"A": 2, "B": "y"}),
+    }
+    right_back = total_project(outer, ["C", "F"])
+    assert set(right_back.tuples) == set(_right().tuples)
+
+
+def test_left_outer_join_drops_unmatched_right():
+    j = left_outer_equi_join(_left(), _right(), Correspondence((A,), (C,)))
+    assert len(j) == 3
+    assert all(not (t.is_all_null_on(["A", "B"])) for t in j)
+
+
+def test_left_and_full_outer_join_agree_when_right_keys_covered():
+    """When every right key appears on the left (the key-relation
+    situation of eta), the two outer joins coincide."""
+    left = Relation.from_rows((A, B), [(1, "x"), (4, "z")])
+    right = _right()
+    on = Correspondence((A,), (C,))
+    assert set(outer_equi_join(left, right, on).tuples) == set(
+        left_outer_equi_join(left, right, on).tuples
+    )

@@ -1,0 +1,85 @@
+"""Differential testing: the algebra against naive reference
+implementations.
+
+The production operators use hash indexes; the references below follow
+the paper's set-builder definitions literally (quadratic, obviously
+correct).  Hypothesis drives both over relations with arbitrary null
+placements and asserts equality.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.relational.algebra import equi_join, outer_equi_join
+from repro.relational.attributes import Attribute, Correspondence, Domain
+from repro.relational.relation import Relation
+from repro.relational.tuples import NULL, Tuple, is_null
+
+D = Domain("d")
+E = Domain("e")
+LEFT = (Attribute("A", D), Attribute("B", E))
+RIGHT = (Attribute("C", D), Attribute("F", E))
+ON = Correspondence((LEFT[0],), (RIGHT[0],))
+
+values = st.one_of(st.integers(min_value=0, max_value=4), st.just(NULL))
+lefts = st.lists(st.tuples(values, values), max_size=7).map(
+    lambda rows: Relation.from_rows(LEFT, rows)
+)
+rights = st.lists(st.tuples(values, values), max_size=7).map(
+    lambda rows: Relation.from_rows(RIGHT, rows)
+)
+
+
+def _matches(t: Tuple, u: Tuple) -> bool:
+    return (
+        not is_null(t["A"]) and not is_null(u["C"]) and t["A"] == u["C"]
+    )
+
+
+def _reference_equi_join(left: Relation, right: Relation) -> set[Tuple]:
+    return {
+        t.combined(u) for t in left for u in right if _matches(t, u)
+    }
+
+
+def _reference_outer_join(left: Relation, right: Relation) -> set[Tuple]:
+    """The paper's r1 u r2 u r3, literally."""
+    r1 = _reference_equi_join(left, right)
+    r2 = {
+        Tuple({"A": NULL, "B": NULL}).combined(u)
+        for u in right
+        if not any(_matches(t, u) for t in left)
+    }
+    r3 = {
+        t.combined(Tuple({"C": NULL, "F": NULL}))
+        for t in left
+        if not any(_matches(t, u) for u in right)
+    }
+    return r1 | r2 | r3
+
+
+@given(lefts, rights)
+def test_equi_join_matches_reference(left, right):
+    assert set(equi_join(left, right, ON).tuples) == _reference_equi_join(
+        left, right
+    )
+
+
+@given(lefts, rights)
+def test_outer_equi_join_matches_reference(left, right):
+    assert set(
+        outer_equi_join(left, right, ON).tuples
+    ) == _reference_outer_join(left, right)
+
+
+@given(lefts, rights)
+def test_outer_join_is_symmetric_up_to_renaming(left, right):
+    """Full outer join commutes (modulo the column bookkeeping)."""
+    ab = outer_equi_join(left, right, ON)
+    ba = outer_equi_join(right, left, Correspondence((RIGHT[0],), (LEFT[0],)))
+    normalize = lambda rel: {
+        tuple(t[n] for n in ("A", "B", "C", "F")) for t in rel
+    }
+    assert normalize(ab) == normalize(ba)

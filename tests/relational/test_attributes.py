@@ -1,0 +1,87 @@
+"""Attributes, domains, compatibility and correspondences."""
+
+import pytest
+
+from repro.relational.attributes import (
+    Attribute,
+    Correspondence,
+    Domain,
+    attribute_sets_compatible,
+    attributes_compatible,
+    by_name,
+    names,
+)
+
+
+def test_domain_identity_is_name_based():
+    assert Domain("ssn") == Domain("ssn")
+    assert Domain("ssn") != Domain("nr")
+
+
+def test_attributes_compatible_same_domain():
+    d = Domain("ssn")
+    assert attributes_compatible(Attribute("A", d), Attribute("B", d))
+
+
+def test_attributes_incompatible_across_domains():
+    assert not attributes_compatible(
+        Attribute("A", Domain("x")), Attribute("B", Domain("y"))
+    )
+
+
+def test_attribute_renamed_keeps_domain():
+    a = Attribute("A", Domain("x"))
+    b = a.renamed("B")
+    assert b.name == "B" and b.domain == a.domain
+
+
+def test_attribute_sets_compatible_positionwise():
+    d1, d2 = Domain("x"), Domain("y")
+    xs = (Attribute("A", d1), Attribute("B", d2))
+    ys = (Attribute("C", d1), Attribute("D", d2))
+    assert attribute_sets_compatible(xs, ys)
+    assert not attribute_sets_compatible(xs, (ys[1], ys[0]))
+
+
+def test_attribute_sets_compatible_requires_equal_length():
+    d = Domain("x")
+    assert not attribute_sets_compatible(
+        (Attribute("A", d),), (Attribute("B", d), Attribute("C", d))
+    )
+
+
+def test_correspondence_name_map_and_image():
+    d = Domain("x")
+    a, b = Attribute("A", d), Attribute("B", d)
+    c = Correspondence((a,), (b,))
+    assert c.as_name_map() == {"A": "B"}
+    assert c.image(a) == b
+    assert c.inverted().as_name_map() == {"B": "A"}
+
+
+def test_correspondence_rejects_incompatible_sides():
+    with pytest.raises(ValueError):
+        Correspondence(
+            (Attribute("A", Domain("x")),), (Attribute("B", Domain("y")),)
+        )
+
+
+def test_correspondence_rejects_duplicates():
+    d = Domain("x")
+    a = Attribute("A", d)
+    with pytest.raises(ValueError):
+        Correspondence((a, a), (Attribute("B", d), Attribute("C", d)))
+
+
+def test_correspondence_image_unknown_attr_raises():
+    d = Domain("x")
+    c = Correspondence((Attribute("A", d),), (Attribute("B", d),))
+    with pytest.raises(KeyError):
+        c.image(Attribute("Z", d))
+
+
+def test_names_and_by_name_helpers():
+    d = Domain("x")
+    a, b = Attribute("A", d), Attribute("B", d)
+    assert names((a, b)) == ("A", "B")
+    assert by_name((a, b))["B"] is b

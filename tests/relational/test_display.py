@@ -1,0 +1,61 @@
+"""ASCII rendering of relations and states."""
+
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.display import format_relation, format_state, format_value
+from repro.relational.relation import Relation
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+D = Domain("d")
+AB = (Attribute("A", D), Attribute("B", D))
+
+
+def test_format_value_null_marker():
+    assert format_value(NULL) == "-"
+    assert format_value("x") == "x"
+    assert format_value(3) == "3"
+
+
+def test_format_relation_table_shape():
+    rel = Relation.from_rows(AB, [(1, "long-value"), (2, NULL)])
+    text = format_relation(rel, name="R")
+    lines = text.splitlines()
+    assert lines[0].startswith("R (2 tuple(s))")
+    assert "| A | B          |" in text
+    assert "| 2 | -          |" in text
+    # Frame lines match header width.
+    assert len({len(l) for l in lines[1:]}) == 1
+
+
+def test_format_relation_truncation():
+    rel = Relation.from_rows((AB[0],), [(i,) for i in range(30)])
+    text = format_relation(rel, max_rows=5)
+    assert "... 25 more row(s)" in text
+
+
+def test_format_empty_relation():
+    text = format_relation(Relation.empty(AB))
+    assert "| A | B |" in text
+
+
+def test_format_state_skips_empty(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema, {"COURSE": [{"C.NR": "c1"}]}
+    )
+    text = format_state(state)
+    assert "COURSE (1 tuple(s))" in text
+    assert "OFFER" not in text
+    full = format_state(state, skip_empty=False)
+    assert "OFFER" in full
+
+
+def test_format_state_empty_placeholder(university_schema):
+    assert (
+        format_state(DatabaseState.empty_for(university_schema))
+        == "(empty state)"
+    )
+
+
+def test_rendering_is_deterministic():
+    rel = Relation.from_rows(AB, [(2, "x"), (1, "y")])
+    assert format_relation(rel) == format_relation(rel)

@@ -1,0 +1,68 @@
+"""Relations as sets of tuples over an attribute sequence."""
+
+import pytest
+
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.relation import Relation
+from repro.relational.tuples import NULL, Tuple
+
+D = Domain("d")
+AB = (Attribute("A", D), Attribute("B", D))
+
+
+def test_from_rows_and_len():
+    r = Relation.from_rows(AB, [(1, 2), (3, 4)])
+    assert len(r) == 2
+    assert Tuple({"A": 1, "B": 2}) in r
+
+
+def test_duplicate_rows_collapse():
+    r = Relation.from_rows(AB, [(1, 2), (1, 2)])
+    assert len(r) == 1
+
+
+def test_from_dicts():
+    r = Relation.from_dicts(AB, [{"A": 1, "B": NULL}])
+    assert len(r) == 1
+
+
+def test_mismatched_tuple_attributes_rejected():
+    with pytest.raises(ValueError):
+        Relation(AB, [Tuple({"A": 1})])
+
+
+def test_duplicate_attribute_names_rejected():
+    with pytest.raises(ValueError):
+        Relation((Attribute("A", D), Attribute("A", D)))
+
+
+def test_equality_ignores_attribute_order():
+    r1 = Relation.from_dicts(AB, [{"A": 1, "B": 2}])
+    r2 = Relation.from_dicts((AB[1], AB[0]), [{"A": 1, "B": 2}])
+    assert r1 == r2
+
+
+def test_with_and_without_tuples():
+    r = Relation.empty(AB)
+    t = Tuple({"A": 1, "B": 2})
+    r2 = r.with_tuples([t])
+    assert len(r2) == 1 and len(r) == 0
+    assert len(r2.without_tuples([t])) == 0
+
+
+def test_attribute_lookup():
+    r = Relation.empty(AB)
+    assert r.attribute("B").name == "B"
+    with pytest.raises(KeyError):
+        r.attribute("Z")
+
+
+def test_values_of_column():
+    r = Relation.from_rows(AB, [(1, 2), (1, NULL)])
+    assert r.values_of("A") == {1}
+    assert NULL in r.values_of("B")
+
+
+def test_sorted_rows_is_deterministic():
+    r = Relation.from_rows(AB, [(2, 1), (1, 2)])
+    assert r.sorted_rows() == sorted(r.sorted_rows())

@@ -1,0 +1,114 @@
+"""Relation-schemes and relational schemas."""
+
+import pytest
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import nulls_not_allowed
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+
+D = Domain("d")
+
+
+def _scheme(name="R", names=("R.K", "R.A"), key=1):
+    attrs = tuple(Attribute(n, D) for n in names)
+    return RelationScheme(name, attrs, attrs[:key])
+
+
+def test_scheme_str_marks_key():
+    assert str(_scheme()) == "R(R.K*, R.A)"
+
+
+def test_scheme_candidate_keys_include_primary():
+    s = _scheme()
+    assert tuple(s.primary_key) in s.candidate_keys
+
+
+def test_scheme_rejects_key_outside_attributes():
+    attrs = (Attribute("A", D),)
+    with pytest.raises(ValueError):
+        RelationScheme("R", attrs, (Attribute("Z", D),))
+
+
+def test_scheme_rejects_empty_key():
+    with pytest.raises(ValueError):
+        RelationScheme("R", (Attribute("A", D),), ())
+
+
+def test_scheme_rejects_duplicate_attribute_names():
+    with pytest.raises(ValueError):
+        RelationScheme(
+            "R", (Attribute("A", D), Attribute("A", D)), (Attribute("A", D),)
+        )
+
+
+def test_scheme_nonkey_attributes():
+    s = _scheme()
+    assert tuple(a.name for a in s.nonkey_attributes) == ("R.A",)
+
+
+def test_schema_rejects_duplicate_scheme_names():
+    with pytest.raises(ValueError):
+        RelationalSchema(schemes=(_scheme(), _scheme()))
+
+
+def test_schema_rejects_shared_attribute_names():
+    s1 = _scheme("R1", ("K", "A"))
+    s2 = _scheme("R2", ("K2", "A"))
+    with pytest.raises(ValueError, match="globally unique"):
+        RelationalSchema(schemes=(s1, s2))
+
+
+def test_schema_lookups(university_schema):
+    assert university_schema.scheme("OFFER").key_names == ("O.C.NR",)
+    assert university_schema.has_scheme("TEACH")
+    assert not university_schema.has_scheme("NOPE")
+    with pytest.raises(KeyError):
+        university_schema.scheme("NOPE")
+    assert university_schema.owner_of("T.F.SSN").name == "TEACH"
+    with pytest.raises(KeyError):
+        university_schema.owner_of("NOPE")
+
+
+def test_schema_constraint_slices(university_schema):
+    into_offer = university_schema.inds_into("OFFER")
+    assert {d.lhs_scheme for d in into_offer} == {"TEACH", "ASSIST"}
+    from_offer = university_schema.inds_from("OFFER")
+    assert {d.rhs_scheme for d in from_offer} == {"COURSE", "DEPARTMENT"}
+    ncs = university_schema.null_constraints_of("OFFER")
+    assert len(ncs) == 1
+
+
+def test_replacing_schemes_swaps_and_substitutes():
+    s1 = _scheme("R1", ("R1.K",), key=1)
+    s2 = _scheme("R2", ("R2.K",), key=1)
+    schema = RelationalSchema(
+        schemes=(s1, s2),
+        inds=(InclusionDependency("R2", ("R2.K",), "R1", ("R1.K",)),),
+        null_constraints=(nulls_not_allowed("R1", ["R1.K"]),),
+    )
+    merged = _scheme("M", ("M.K",), key=1)
+    out = schema.replacing_schemes(
+        removed=["R1", "R2"],
+        added=[merged],
+        fds=(),
+        inds=(),
+        null_constraints=(nulls_not_allowed("M", ["M.K"]),),
+    )
+    assert out.scheme_names == ("M",)
+    assert out.inds == ()
+    assert len(out.null_constraints) == 1
+
+
+def test_with_constraints_partial_replacement(university_schema):
+    out = university_schema.with_constraints(inds=())
+    assert out.inds == ()
+    assert out.null_constraints == university_schema.null_constraints
+
+
+def test_describe_mentions_every_section(university_schema):
+    text = university_schema.describe()
+    assert "Relation-Schemes" in text
+    assert "Inclusion Dependencies" in text
+    assert "Null Constraints" in text
+    assert "OFFER(O.C.NR*, O.D.NAME)" in text

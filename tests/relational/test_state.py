@@ -1,0 +1,74 @@
+"""Database states."""
+
+import pytest
+
+from repro.relational.relation import Relation
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL
+
+
+def test_empty_for_creates_all_relations(university_schema):
+    state = DatabaseState.empty_for(university_schema)
+    assert set(state) == set(university_schema.scheme_names)
+    assert all(len(state[name]) == 0 for name in state)
+
+
+def test_for_schema_fills_listed_rows(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema,
+        {"COURSE": [{"C.NR": "c1"}], "DEPARTMENT": [{"D.NAME": "cs"}]},
+    )
+    assert len(state["COURSE"]) == 1
+    assert len(state["OFFER"]) == 0
+
+
+def test_for_schema_rejects_unknown_scheme(university_schema):
+    with pytest.raises(KeyError):
+        DatabaseState.for_schema(university_schema, {"NOPE": []})
+
+
+def test_state_equality(university_schema):
+    s1 = DatabaseState.empty_for(university_schema)
+    s2 = DatabaseState.empty_for(university_schema)
+    assert s1 == s2
+    s3 = s1.with_relation(
+        "COURSE",
+        Relation.from_dicts(
+            university_schema.scheme("COURSE").attributes, [{"C.NR": "c1"}]
+        ),
+    )
+    assert s1 != s3
+
+
+def test_with_relation_does_not_mutate(university_schema):
+    s1 = DatabaseState.empty_for(university_schema)
+    s1.with_relation(
+        "COURSE",
+        Relation.from_dicts(
+            university_schema.scheme("COURSE").attributes, [{"C.NR": "c1"}]
+        ),
+    )
+    assert len(s1["COURSE"]) == 0
+
+
+def test_without_and_restricted(university_schema):
+    state = DatabaseState.empty_for(university_schema)
+    fewer = state.without_relations(["COURSE"])
+    assert "COURSE" not in fewer
+    only = state.restricted_to(["COURSE", "OFFER"])
+    assert set(only) == {"COURSE", "OFFER"}
+
+
+def test_total_size_counts_tuples(university_sample_state):
+    assert university_sample_state.total_size() == sum(
+        len(university_sample_state[name]) for name in university_sample_state
+    )
+
+
+def test_data_values_excludes_null(university_schema):
+    state = DatabaseState.for_schema(
+        university_schema, {"COURSE": [{"C.NR": "c1"}]}
+    )
+    values = state.data_values()
+    assert "c1" in values
+    assert NULL not in values

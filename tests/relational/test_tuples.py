@@ -1,0 +1,95 @@
+"""Tuples and the NULL marker."""
+
+import pytest
+
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.tuples import NULL, Tuple, is_null, null_tuple
+
+D = Domain("d")
+
+
+def test_null_is_singleton_and_falsy():
+    import copy
+
+    assert NULL is copy.deepcopy(NULL)
+    assert not NULL
+    assert is_null(NULL)
+    assert not is_null(None)
+    assert not is_null(0)
+
+
+def test_null_repr():
+    assert repr(NULL) == "NULL"
+
+
+def test_tuple_over_pairs_attributes_with_values():
+    t = Tuple.over((Attribute("A", D), Attribute("B", D)), (1, 2))
+    assert t["A"] == 1 and t["B"] == 2
+
+
+def test_tuple_over_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        Tuple.over((Attribute("A", D),), (1, 2))
+
+
+def test_tuple_getitem_accepts_attribute_objects():
+    a = Attribute("A", D)
+    t = Tuple({"A": 5})
+    assert t[a] == 5
+    assert a in t
+
+
+def test_tuple_equality_and_hash():
+    assert Tuple({"A": 1, "B": NULL}) == Tuple({"B": NULL, "A": 1})
+    assert hash(Tuple({"A": 1})) == hash(Tuple({"A": 1}))
+
+
+def test_subtuple_projects_named_attributes():
+    t = Tuple({"A": 1, "B": 2, "C": 3})
+    assert t.subtuple(["A", "C"]) == Tuple({"A": 1, "C": 3})
+
+
+def test_is_total_and_total_on():
+    t = Tuple({"A": 1, "B": NULL})
+    assert not t.is_total()
+    assert t.is_total_on(["A"])
+    assert not t.is_total_on(["A", "B"])
+    assert t.is_total_on([])  # the empty sub-tuple is vacuously total
+
+
+def test_is_all_null_on():
+    t = Tuple({"A": 1, "B": NULL, "C": NULL})
+    assert t.is_all_null_on(["B", "C"])
+    assert not t.is_all_null_on(["A", "B"])
+
+
+def test_renamed_maps_only_listed_names():
+    t = Tuple({"A": 1, "B": 2})
+    assert t.renamed({"A": "X"}) == Tuple({"X": 1, "B": 2})
+
+
+def test_combined_requires_disjoint_attributes():
+    t = Tuple({"A": 1})
+    assert t.combined(Tuple({"B": 2})) == Tuple({"A": 1, "B": 2})
+    with pytest.raises(ValueError):
+        t.combined(Tuple({"A": 9}))
+
+
+def test_with_values_replaces_and_rejects_unknown():
+    t = Tuple({"A": 1, "B": 2})
+    assert t.with_values({"B": 9}) == Tuple({"A": 1, "B": 9})
+    with pytest.raises(KeyError):
+        t.with_values({"Z": 0})
+
+
+def test_padded_with_nulls():
+    t = Tuple({"A": 1})
+    padded = t.padded_with_nulls((Attribute("B", D),))
+    assert is_null(padded["B"])
+    with pytest.raises(ValueError):
+        t.padded_with_nulls((Attribute("A", D),))
+
+
+def test_null_tuple_is_entirely_null():
+    t = null_tuple((Attribute("A", D), Attribute("B", D)))
+    assert t.is_all_null_on(["A", "B"])

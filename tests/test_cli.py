@@ -1,0 +1,255 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import (
+    eer_schema_to_dict,
+    relational_schema_to_dict,
+    state_to_dict,
+)
+from repro.workloads.university import (
+    university_eer,
+    university_relational,
+    university_state,
+)
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "uni.json"
+    path.write_text(
+        json.dumps(relational_schema_to_dict(university_relational()))
+    )
+    return str(path)
+
+
+@pytest.fixture
+def eer_file(tmp_path):
+    path = tmp_path / "uni_eer.json"
+    path.write_text(json.dumps(eer_schema_to_dict(university_eer())))
+    return str(path)
+
+
+@pytest.fixture
+def state_file(tmp_path):
+    path = tmp_path / "state.json"
+    path.write_text(
+        json.dumps(state_to_dict(university_state(n_courses=5, seed=1)))
+    )
+    return str(path)
+
+
+def test_describe(schema_file, capsys):
+    assert main(["describe", schema_file]) == 0
+    out = capsys.readouterr().out
+    assert "OFFER(O.C.NR*, O.D.NAME)" in out
+
+
+def test_check_consistent(schema_file, state_file, capsys):
+    assert main(["check", schema_file, state_file]) == 0
+    assert "consistent" in capsys.readouterr().out
+
+
+def test_check_inconsistent(schema_file, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(
+        json.dumps(
+            {
+                "relations": {
+                    "OFFER": [{"O.C.NR": "ghost", "O.D.NAME": "nowhere"}]
+                }
+            }
+        )
+    )
+    assert main(["check", schema_file, str(bad)]) == 1
+    assert "violation" in capsys.readouterr().out
+
+
+def test_families(schema_file, capsys):
+    assert main(["families", schema_file]) == 0
+    out = capsys.readouterr().out
+    assert "COURSE <-" in out and "PERSON <-" in out
+
+
+def test_merge_writes_output(schema_file, tmp_path, capsys):
+    out_path = tmp_path / "merged.json"
+    code = main(
+        [
+            "merge",
+            schema_file,
+            "COURSE",
+            "OFFER",
+            "TEACH",
+            "ASSIST",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "removed" in out
+    data = json.loads(out_path.read_text())
+    names = {s["name"] for s in data["schemes"]}
+    assert "COURSE'" in names and "OFFER" not in names
+
+
+def test_merge_keep_redundant(schema_file, capsys):
+    assert (
+        main(
+            ["merge", schema_file, "COURSE", "OFFER", "--keep-redundant"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "no removal pass" in out
+    assert "O.C.NR" in out
+
+
+def test_plan(schema_file, capsys):
+    assert main(["plan", schema_file, "--strategy", "aggressive"]) == 0
+    assert "8 schemes -> 3 schemes" in capsys.readouterr().out
+
+
+def test_migrate_round_trip(schema_file, state_file, tmp_path, capsys):
+    out_path = tmp_path / "migrated.json"
+    code = main(
+        [
+            "migrate",
+            schema_file,
+            state_file,
+            "--members",
+            "COURSE",
+            "OFFER",
+            "TEACH",
+            "ASSIST",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    assert "round trip verified" in capsys.readouterr().out
+    migrated = json.loads(out_path.read_text())
+    assert "COURSE'" in migrated["relations"]
+
+
+def test_translate(eer_file, tmp_path, capsys):
+    out_path = tmp_path / "translated.json"
+    assert main(["translate", eer_file, "-o", str(out_path)]) == 0
+    data = json.loads(out_path.read_text())
+    assert {s["name"] for s in data["schemes"]} >= {"COURSE", "OFFER"}
+
+
+def test_translate_teorey(eer_file, capsys):
+    assert main(["translate", eer_file, "--teorey"]) == 0
+    assert "folded" in capsys.readouterr().out
+
+
+def test_structures(eer_file, capsys):
+    assert main(["structures", eer_file]) == 0
+    assert "relationship-star at COURSE" in capsys.readouterr().out
+
+
+def test_ddl(schema_file, capsys):
+    assert main(["ddl", schema_file, "--dialect", "db2"]) == 0
+    out = capsys.readouterr().out
+    assert "CREATE TABLE" in out and "FOREIGN KEY" in out
+
+
+def test_ddl_strict_flags_warnings(schema_file, tmp_path, capsys):
+    # Merge first so a non-key-based dependency appears, then DB2+strict
+    # must exit nonzero.
+    merged_path = tmp_path / "merged.json"
+    main(
+        ["merge", schema_file, "COURSE", "OFFER", "TEACH",
+         "--keep-redundant", "-o", str(merged_path)]
+    )
+    capsys.readouterr()
+    assert (
+        main(["ddl", str(merged_path), "--dialect", "db2", "--strict"]) == 1
+    )
+    assert "WARNING" in capsys.readouterr().out
+
+
+def test_minimize(schema_file, capsys):
+    assert main(["minimize", schema_file]) == 0
+    assert "dropped" in capsys.readouterr().out
+
+
+def test_wrong_file_kind_errors(eer_file, schema_file):
+    with pytest.raises(SystemExit):
+        main(["describe", eer_file])
+    with pytest.raises(SystemExit):
+        main(["structures", schema_file])
+
+
+def test_missing_file_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["describe", str(tmp_path / "nope.json")])
+
+
+def test_bad_merge_members(schema_file, capsys):
+    assert main(["merge", schema_file, "COURSE", "NOPE"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_plan_script_and_replay(schema_file, state_file, tmp_path, capsys):
+    script_path = tmp_path / "script.json"
+    out_schema = tmp_path / "planned.json"
+    assert (
+        main(
+            ["plan", schema_file, "-o", str(out_schema), "--script", str(script_path)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    replayed = tmp_path / "replayed.json"
+    migrated = tmp_path / "migrated.json"
+    code = main(
+        [
+            "replay",
+            str(script_path),
+            schema_file,
+            "--state",
+            state_file,
+            "-o",
+            str(replayed),
+            "--state-output",
+            str(migrated),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "replayed 2 step(s)" in out
+    assert "round trip verified" in out
+    assert json.loads(replayed.read_text()) == json.loads(out_schema.read_text())
+
+
+def test_replay_wrong_schema_errors(schema_file, tmp_path, capsys):
+    script_path = tmp_path / "script.json"
+    main(["plan", schema_file, "--script", str(script_path)])
+    capsys.readouterr()
+    wrong = tmp_path / "wrong.json"
+    wrong.write_text(json.dumps({"schemes": []}))
+    assert main(["replay", str(script_path), str(wrong)]) == 2
+
+
+def test_init_writes_usable_demo_files(tmp_path, capsys):
+    target = tmp_path / "demo"
+    assert main(["init", str(target)]) == 0
+    capsys.readouterr()
+    assert main(["families", str(target / "university.json")]) == 0
+    capsys.readouterr()
+    assert (
+        main(
+            [
+                "check",
+                str(target / "university.json"),
+                str(target / "university_state.json"),
+            ]
+        )
+        == 0
+    )
+    assert "consistent" in capsys.readouterr().out

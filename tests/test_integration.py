@@ -1,0 +1,131 @@
+"""End-to-end integration: the paper's pipeline from EER to queried
+merged database, and the public API surface."""
+
+from repro import (
+    Database,
+    MergePlanner,
+    MergeStrategy,
+    QueryEngine,
+    SchemaDefinitionTool,
+    SDTOptions,
+    SYBASE_40,
+    merge,
+    remove_all,
+    translate_eer,
+    university_eer,
+    verify_information_capacity,
+)
+from repro.constraints.checker import ConsistencyChecker
+from repro.workloads.university import university_state
+
+
+def test_public_api_is_importable():
+    import repro
+
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_full_pipeline_eer_to_queries():
+    """Figure 7 EER -> Figure 3 schema -> Figure 6 merged schema ->
+    loaded database -> equivalent answers, fewer joins."""
+    eer = university_eer()
+    translation = translate_eer(eer)
+    schema = translation.schema
+
+    simplified = remove_all(merge(schema, ["COURSE", "OFFER", "TEACH", "ASSIST"]))
+    state = university_state(n_courses=40, seed=21)
+
+    unmerged_db = Database(schema)
+    unmerged_db.load_state(state)
+    merged_db = Database(simplified.schema)
+    merged_db.load_state(simplified.forward.apply(state))
+
+    unmerged_db.stats.reset()
+    merged_db.stats.reset()
+    qu, qm = QueryEngine(unmerged_db), QueryEngine(merged_db)
+
+    for i in range(40):
+        course = f"crs-{i:04d}"
+        qu.profile(
+            "COURSE",
+            course,
+            [
+                (["C.NR"], "OFFER", ["O.C.NR"]),
+                (["C.NR"], "TEACH", ["T.C.NR"]),
+                (["C.NR"], "ASSIST", ["A.C.NR"]),
+            ],
+        )
+        qm.profile(simplified.info.merged_name, course, [])
+
+    assert unmerged_db.stats.joins_performed == 120
+    assert merged_db.stats.joins_performed == 0
+    assert unmerged_db.stats.lookups == merged_db.stats.lookups == 40
+
+
+def test_full_pipeline_capacity_and_consistency():
+    schema = translate_eer(university_eer()).schema
+    plan = MergePlanner(schema, MergeStrategy.AGGRESSIVE).apply()
+    states = [university_state(n_courses=15, seed=s) for s in range(3)]
+    report = verify_information_capacity(
+        schema,
+        plan.schema,
+        plan.forward,
+        plan.backward,
+        states_a=states,
+        states_b=[plan.forward.apply(s) for s in states],
+    )
+    assert report.equivalent, [str(f) for f in report.failures]
+
+
+def test_sdt_end_to_end_sql():
+    sdt = SchemaDefinitionTool(university_eer())
+    report = sdt.generate(SYBASE_40, SDTOptions(merge=True))
+    sql = report.script.sql()
+    assert sql.count("CREATE TABLE") == 3
+    assert "CREATE TRIGGER" in sql
+
+
+def test_mutations_on_merged_schema_respect_paper_semantics():
+    """On the Figure 6 schema: a TEACH fact cannot exist without its
+    OFFER fact (the step-3(e)-derived constraint)."""
+    import pytest
+
+    from repro.engine import ConstraintViolationError
+    from repro.relational.tuples import NULL
+
+    schema = translate_eer(university_eer()).schema
+    simplified = remove_all(merge(schema, ["COURSE", "OFFER", "TEACH", "ASSIST"]))
+    db = Database(simplified.schema)
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    db.insert("PERSON", {"P.SSN": "p1"})
+    db.insert("FACULTY", {"F.SSN": "p1"})
+    merged = simplified.info.merged_name
+
+    # A course with no offer: fine.
+    db.insert(
+        merged,
+        {"C.NR": "c1", "O.D.NAME": NULL, "T.F.SSN": NULL, "A.S.SSN": NULL},
+    )
+    # Taught but not offered: rejected.
+    with pytest.raises(ConstraintViolationError):
+        db.insert(
+            merged,
+            {"C.NR": "c2", "O.D.NAME": NULL, "T.F.SSN": "p1", "A.S.SSN": NULL},
+        )
+    # Offered and taught: fine.
+    db.insert(
+        merged,
+        {"C.NR": "c3", "O.D.NAME": "cs", "T.F.SSN": "p1", "A.S.SSN": NULL},
+    )
+    assert ConsistencyChecker(simplified.schema).is_consistent(db.state())
+
+
+def test_readme_quickstart_snippet_runs():
+    from repro import university_relational
+
+    schema = university_relational()
+    merged = merge(schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    simplified = remove_all(merged)
+    text = simplified.schema.describe()
+    assert "COURSE'" in text

@@ -1,0 +1,91 @@
+"""Meta-tests: documentation and benchmark suite stay in sync."""
+
+import ast
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_design_bench_targets_exist():
+    """Every bench target named in DESIGN.md's per-experiment index is a
+    real file."""
+    design = (REPO / "DESIGN.md").read_text()
+    targets = set(re.findall(r"`benchmarks/(test_\w+\.py)`", design))
+    assert targets, "DESIGN.md lists no bench targets?"
+    for target in sorted(targets):
+        assert (REPO / "benchmarks" / target).exists(), target
+
+
+def test_every_benchmark_has_design_row():
+    """Every benchmark file is referenced from DESIGN.md."""
+    design = (REPO / "DESIGN.md").read_text()
+    for path in sorted((REPO / "benchmarks").glob("test_*.py")):
+        assert path.name in design, f"{path.name} missing from DESIGN.md"
+
+
+def test_experiments_cover_every_figure_and_proposition():
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    for item in (
+        "Fig 1",
+        "Fig 2",
+        "Fig 3",
+        "Fig 4",
+        "Fig 5",
+        "Fig 6",
+        "Fig 7",
+        "Fig 8",
+        "Prop 3.1",
+        "Prop 4.1",
+        "Prop 4.2",
+        "Prop 5.1",
+        "Prop 5.2",
+    ):
+        assert item in experiments, item
+
+
+def test_examples_are_listed_in_readme():
+    readme = (REPO / "README.md").read_text()
+    for path in sorted((REPO / "examples").glob("*.py")):
+        assert path.name in readme, f"{path.name} missing from README"
+
+
+def test_all_modules_have_docstrings():
+    """Every library module starts with a docstring."""
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        assert ast.get_docstring(tree), f"{path} has no module docstring"
+
+
+def test_all_public_functions_documented():
+    """Every public module-level or class-level function, method and
+    class carries a docstring (function-local helpers are exempt)."""
+
+    def public_defs(parent):
+        for node in ast.iter_child_nodes(parent):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                if not node.name.startswith("_"):
+                    yield node
+                if isinstance(node, ast.ClassDef):
+                    yield from public_defs(node)
+
+    missing = []
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        tree = ast.parse(path.read_text())
+        for node in public_defs(tree):
+            if not ast.get_docstring(node):
+                missing.append(f"{path.name}:{node.name}")
+    assert not missing, missing
+
+
+def test_no_placeholder_markers():
+    """No TODO/FIXME/XXX stubs anywhere in the library."""
+    offenders = []
+    for path in sorted((REPO / "src" / "repro").rglob("*.py")):
+        text = path.read_text()
+        for marker in ("TODO", "FIXME", "XXX", "NotImplementedError()"):
+            if marker in text:
+                offenders.append(f"{path.name}: {marker}")
+    assert not offenders, offenders

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central properties mirror the paper's propositions:
+
+* Merge followed by its inverse mapping is the identity on consistent
+  states (Proposition 4.1, condition 3 of Definition 2.1);
+* the forward image is consistent with the merged schema (conditions
+  1-2) and invents no values (condition 4);
+* Remove preserves all of the above (Proposition 4.2);
+* the algebra obeys its Section 2 laws under arbitrary null placements.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.core.capacity import verify_information_capacity
+from repro.core.merge import merge
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.core.remove import remove_all
+from repro.relational.algebra import (
+    equi_join,
+    outer_equi_join,
+    project,
+    total_project,
+)
+from repro.relational.attributes import Attribute, Correspondence, Domain
+from repro.relational.relation import Relation
+from repro.relational.tuples import NULL
+from repro.workloads.random_schemas import RandomSchemaParams, random_schema
+from repro.workloads.random_states import random_consistent_state
+from repro.workloads.university import university_state
+
+# -- algebra laws -------------------------------------------------------------
+
+D = Domain("d")
+E = Domain("e")
+LEFT_ATTRS = (Attribute("A", D), Attribute("B", E))
+RIGHT_ATTRS = (Attribute("C", D), Attribute("F", E))
+
+values = st.one_of(st.integers(min_value=0, max_value=5), st.just(NULL))
+left_relations = st.lists(
+    st.tuples(values, values), max_size=8
+).map(lambda rows: Relation.from_rows(LEFT_ATTRS, rows))
+right_relations = st.lists(
+    st.tuples(values, values), max_size=8
+).map(lambda rows: Relation.from_rows(RIGHT_ATTRS, rows))
+
+ON = Correspondence((LEFT_ATTRS[0],), (RIGHT_ATTRS[0],))
+
+
+@given(left_relations, right_relations)
+def test_outer_join_contains_inner_join(left, right):
+    inner = set(equi_join(left, right, ON).tuples)
+    outer = set(outer_equi_join(left, right, ON).tuples)
+    assert inner <= outer
+
+
+@given(left_relations, right_relations)
+def test_outer_join_covers_both_sides(left, right):
+    """Every input tuple survives somewhere in the outer join."""
+    outer = outer_equi_join(left, right, ON)
+    left_parts = {
+        t.subtuple(["A", "B"]) for t in outer if not t.is_all_null_on(["A", "B"])
+    }
+    right_parts = {
+        t.subtuple(["C", "F"]) for t in outer if not t.is_all_null_on(["C", "F"])
+    }
+    assert set(left.tuples) <= left_parts | {
+        t for t in left if t.is_all_null_on(["A", "B"])
+    }
+    assert set(right.tuples) <= right_parts | {
+        t for t in right if t.is_all_null_on(["C", "F"])
+    }
+
+
+@given(left_relations)
+def test_total_project_is_subset_of_project(rel):
+    full = set(project(rel, ["B"]).tuples)
+    total = set(total_project(rel, ["B"]).tuples)
+    assert total <= full
+    assert all(t.is_total() for t in total)
+
+
+@given(left_relations, right_relations)
+def test_outer_join_size_bounds(left, right):
+    outer = outer_equi_join(left, right, ON)
+    inner = equi_join(left, right, ON)
+    assert len(outer) <= len(inner) + len(left) + len(right)
+    assert len(outer) >= max(len(left), len(right)) or (
+        len(left) == 0 and len(right) == 0
+    )
+
+
+# -- merge/remove round trips on random schemas -------------------------------
+
+schema_params = st.builds(
+    RandomSchemaParams,
+    n_clusters=st.integers(min_value=1, max_value=3),
+    max_children=st.integers(min_value=1, max_value=3),
+    max_depth=st.integers(min_value=1, max_value=2),
+    max_extra_attrs=st.integers(min_value=0, max_value=3),
+    cross_ref_prob=st.floats(min_value=0.0, max_value=0.5),
+    optional_attr_prob=st.floats(min_value=0.0, max_value=0.5),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=schema_params, seed=st.integers(min_value=0, max_value=10_000))
+def test_planner_is_capacity_preserving_on_random_schemas(params, seed):
+    generated = random_schema(params, seed=seed)
+    state = random_consistent_state(
+        generated.schema, rows_per_scheme=5, seed=seed
+    )
+    plan = MergePlanner(generated.schema, MergeStrategy.AGGRESSIVE).apply()
+    report = verify_information_capacity(
+        generated.schema,
+        plan.schema,
+        plan.forward,
+        plan.backward,
+        states_a=[state],
+        states_b=[plan.forward.apply(state)],
+    )
+    assert report.equivalent, [str(f) for f in report.failures]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=schema_params, seed=st.integers(min_value=0, max_value=10_000))
+def test_merge_keeps_scheme_count_arithmetic(params, seed):
+    generated = random_schema(params, seed=seed)
+    plan = MergePlanner(generated.schema, MergeStrategy.AGGRESSIVE).apply()
+    merged_away = sum(len(s.family.members) - 1 for s in plan.steps)
+    assert len(plan.schema.schemes) == len(generated.schema.schemes) - merged_away
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_university_merge_round_trip_property(seed):
+    from repro.workloads.university import university_relational
+
+    schema = university_relational()
+    simplified = remove_all(
+        merge(schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    state = university_state(n_courses=12, seed=seed)
+    merged_state = simplified.forward.apply(state)
+    assert ConsistencyChecker(simplified.schema).is_consistent(merged_state)
+    assert simplified.backward.apply(merged_state) == state
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    offer=st.floats(min_value=0.0, max_value=1.0),
+    teach=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_merged_relation_row_count_equals_key_relation(seed, offer, teach):
+    """eta produces exactly one merged tuple per key-relation tuple."""
+    from repro.workloads.university import university_relational
+
+    schema = university_relational()
+    result = merge(schema, ["COURSE", "OFFER", "TEACH"])
+    state = university_state(
+        n_courses=10, offer_fraction=offer, teach_fraction=teach, seed=seed
+    )
+    merged_state = result.eta.apply(state)
+    assert len(merged_state[result.info.merged_name]) == len(state["COURSE"])

@@ -1,0 +1,64 @@
+"""Larger-scale smoke tests: the pipeline at sizes beyond the paper's
+examples (dozens of schemes, thousands of tuples)."""
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.core.script import record_plan
+from repro.workloads.random_schemas import RandomSchemaParams, random_schema
+from repro.workloads.random_states import random_consistent_state
+from repro.workloads.university import university_relational, university_state
+
+
+def test_wide_random_schema_plan_round_trip():
+    """~30 schemes across 6 clusters with cross-references."""
+    generated = random_schema(
+        RandomSchemaParams(
+            n_clusters=6,
+            max_children=3,
+            max_depth=2,
+            max_extra_attrs=3,
+            cross_ref_prob=0.4,
+            optional_attr_prob=0.3,
+        ),
+        seed=424242,
+    )
+    assert len(generated.schema.schemes) >= 15
+    state = random_consistent_state(generated.schema, rows_per_scheme=12, seed=1)
+    plan = MergePlanner(generated.schema, MergeStrategy.AGGRESSIVE).apply()
+    assert plan.schemes_after < plan.schemes_before
+    mapped = plan.forward.apply(state)
+    assert ConsistencyChecker(plan.schema).is_consistent(mapped)
+    assert plan.backward.apply(mapped) == state
+    # The plan replays from its script form.
+    replay = record_plan(plan).apply(generated.schema)
+    assert replay.schema == plan.schema
+
+
+def test_university_at_ten_thousand_courses():
+    schema = university_relational()
+    state = university_state(n_courses=10_000, seed=2)
+    plan = MergePlanner(schema, MergeStrategy.KEY_BASED).apply()
+    mapped = plan.forward.apply(state)
+    assert len(mapped[plan.steps[0].merged_name]) == 10_000
+    assert plan.backward.apply(mapped) == state
+
+
+def test_engine_bulk_population_under_transactions():
+    """2k whole-object inserts inside chunked transactions."""
+    from repro.engine.database import Database
+
+    schema = university_relational()
+    db = Database(schema)
+    db.insert("DEPARTMENT", {"D.NAME": "d"})
+    db.insert("PERSON", {"P.SSN": "f"})
+    db.insert("FACULTY", {"F.SSN": "f"})
+    chunk = 100
+    for base in range(0, 2000, chunk):
+        with db.transaction():
+            for i in range(base, base + chunk):
+                nr = f"c{i:05d}"
+                db.insert("COURSE", {"C.NR": nr})
+                db.insert("OFFER", {"O.C.NR": nr, "O.D.NAME": "d"})
+                db.insert("TEACH", {"T.C.NR": nr, "T.F.SSN": "f"})
+    assert db.count("COURSE") == 2000
+    assert ConsistencyChecker(schema).is_consistent(db.state())

@@ -1,0 +1,109 @@
+"""Random schema and state generators."""
+
+import pytest
+
+from repro.constraints.checker import is_consistent
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.core.keyrelation import MergeFamily, find_key_relation
+from repro.workloads.random_schemas import RandomSchemaParams, random_schema
+from repro.workloads.random_states import (
+    _topological_order,
+    random_consistent_state,
+)
+
+
+def test_random_schema_is_well_formed():
+    for seed in range(8):
+        g = random_schema(seed=seed)
+        assert g.schema.schemes  # constructor validation did not raise
+        for ind in g.schema.inds:
+            assert ind.is_key_based(g.schema)
+
+
+def test_random_schema_deterministic():
+    a = random_schema(seed=5)
+    b = random_schema(seed=5)
+    assert a.schema.scheme_names == b.schema.scheme_names
+    assert a.schema.inds == b.schema.inds
+
+
+def test_clusters_form_merge_families():
+    g = random_schema(
+        RandomSchemaParams(n_clusters=2, max_children=2, max_depth=2), seed=3
+    )
+    for root in g.roots:
+        members = g.clusters[root]
+        if len(members) < 2:
+            continue
+        family = MergeFamily(g.schema, tuple(members))
+        assert find_key_relation(family) == root
+
+
+def test_optional_attrs_parameter():
+    g = random_schema(
+        RandomSchemaParams(max_extra_attrs=3, optional_attr_prob=1.0), seed=2
+    )
+    nna_covered = set()
+    for c in g.schema.null_constraints:
+        if isinstance(c, NullExistenceConstraint) and c.is_nulls_not_allowed():
+            nna_covered |= c.rhs
+    all_attrs = {
+        a.name for s in g.schema.schemes for a in s.attributes
+    }
+    assert all_attrs - nna_covered  # some attributes really are optional
+
+
+def test_random_states_consistent():
+    for seed in range(8):
+        g = random_schema(
+            RandomSchemaParams(optional_attr_prob=0.3, cross_ref_prob=0.4),
+            seed=seed,
+        )
+        state = random_consistent_state(g.schema, rows_per_scheme=7, seed=seed)
+        assert is_consistent(state, g.schema), seed
+
+
+def test_random_state_on_university(university_schema):
+    state = random_consistent_state(university_schema, rows_per_scheme=10, seed=0)
+    assert is_consistent(state, university_schema)
+    assert len(state["COURSE"]) == 10
+
+
+def test_topological_order_respects_inds(university_schema):
+    order = [s.name for s in _topological_order(university_schema)]
+    assert order.index("COURSE") < order.index("OFFER")
+    assert order.index("OFFER") < order.index("TEACH")
+    assert order.index("PERSON") < order.index("FACULTY")
+
+
+def test_topological_order_detects_cycles():
+    from repro.constraints.inclusion import InclusionDependency
+    from repro.constraints.nulls import nulls_not_allowed
+    from repro.relational.attributes import Attribute, Domain
+    from repro.relational.schema import RelationScheme, RelationalSchema
+
+    d = Domain("d")
+    r1 = RelationScheme("R1", (Attribute("R1.K", d),), (Attribute("R1.K", d),))
+    r2 = RelationScheme("R2", (Attribute("R2.K", d),), (Attribute("R2.K", d),))
+    schema = RelationalSchema(
+        schemes=(r1, r2),
+        inds=(
+            InclusionDependency("R1", ("R1.K",), "R2", ("R2.K",)),
+            InclusionDependency("R2", ("R2.K",), "R1", ("R1.K",)),
+        ),
+        null_constraints=(
+            nulls_not_allowed("R1", ["R1.K"]),
+            nulls_not_allowed("R2", ["R2.K"]),
+        ),
+    )
+    with pytest.raises(ValueError, match="cycle"):
+        _topological_order(schema)
+
+
+def test_row_counts_mapping():
+    g = random_schema(seed=1)
+    some = g.schema.scheme_names[0]
+    state = random_consistent_state(
+        g.schema, rows_per_scheme={some: 3}, seed=1
+    )
+    assert len(state[some]) <= 3

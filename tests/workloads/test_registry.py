@@ -1,0 +1,62 @@
+"""The clinical registry workload."""
+
+from repro.constraints.checker import is_consistent
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.eer.patterns import find_amenable_structures
+from repro.eer.validate import validate_eer_schema
+from repro.workloads.registry import (
+    registry_eer,
+    registry_state,
+    registry_translation,
+)
+
+
+def test_eer_is_valid():
+    validate_eer_schema(registry_eer())
+
+
+def test_translation_shape():
+    schema = registry_translation().schema
+    assert len(schema.schemes) == 9
+    assert schema.scheme("SAMPLE").key_names == ("S.BARCODE",)
+    assert schema.scheme("DRAWN_FROM").key_names == ("DR.S.BARCODE",)
+    # SAMPLE.DRAWN is optional.
+    covered = set()
+    for c in schema.null_constraints_of("SAMPLE"):
+        covered |= c.rhs
+    assert "S.DRAWN" not in covered
+
+
+def test_states_consistent():
+    schema = registry_translation().schema
+    for seed in range(5):
+        assert is_consistent(registry_state(seed=seed), schema), seed
+
+
+def test_state_determinism_and_scale():
+    assert registry_state(seed=3) == registry_state(seed=3)
+    big = registry_state(n_samples=300, seed=1)
+    assert len(big["SAMPLE"]) == 300
+
+
+def test_both_structures_nna_only():
+    """Unlike the university schema, both registry structures satisfy
+    the Section 5.2 conditions."""
+    structures = find_amenable_structures(registry_eer())
+    assert len(structures) == 2
+    assert all(s.nna_only for s in structures)
+
+
+def test_nna_only_plan_merges_everything():
+    schema = registry_translation().schema
+    plan = MergePlanner(schema, MergeStrategy.NNA_ONLY).apply()
+    assert plan.schemes_after == 4  # SAMPLE', SUBJECT', FREEZER, LAB
+    assert all(step.nna_only_result for step in plan.steps)
+
+
+def test_plan_round_trips_registry_states():
+    schema = registry_translation().schema
+    plan = MergePlanner(schema, MergeStrategy.NNA_ONLY).apply()
+    for seed in range(3):
+        state = registry_state(n_samples=40, seed=seed)
+        assert plan.backward.apply(plan.forward.apply(state)) == state

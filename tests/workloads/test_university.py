@@ -1,0 +1,50 @@
+"""The university workload (Figures 3/7) and its state generator."""
+
+from repro.constraints.checker import is_consistent
+from repro.workloads.university import (
+    university_eer,
+    university_relational,
+    university_state,
+)
+
+
+def test_schema_shape():
+    schema = university_relational()
+    assert len(schema.schemes) == 8
+    assert len(schema.inds) == 8
+    assert len(schema.null_constraints) == 8
+
+
+def test_states_are_consistent_across_seeds():
+    schema = university_relational()
+    for seed in range(6):
+        state = university_state(n_courses=10, seed=seed)
+        assert is_consistent(state, schema), seed
+
+
+def test_state_is_deterministic():
+    assert university_state(seed=42) == university_state(seed=42)
+    assert university_state(seed=42) != university_state(seed=43)
+
+
+def test_state_scales():
+    state = university_state(n_courses=200, seed=0)
+    assert len(state["COURSE"]) == 200
+    assert len(state["OFFER"]) <= 200
+    assert len(state["TEACH"]) <= len(state["OFFER"])
+
+
+def test_fractions_respected():
+    all_offered = university_state(
+        n_courses=50, offer_fraction=1.0, teach_fraction=1.0, seed=1
+    )
+    assert len(all_offered["OFFER"]) == 50
+    assert len(all_offered["TEACH"]) == 50
+    none_offered = university_state(n_courses=50, offer_fraction=0.0, seed=1)
+    assert len(none_offered["OFFER"]) == 0
+
+
+def test_eer_schema_is_valid():
+    from repro.eer.validate import validate_eer_schema
+
+    validate_eer_schema(university_eer())

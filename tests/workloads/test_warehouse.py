@@ -1,0 +1,74 @@
+"""The warehouse workload: weak entities, composite keys, m:n."""
+
+from repro.constraints.checker import ConsistencyChecker, is_consistent
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.core.verify import assert_merge_invariants
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.eer.validate import validate_eer_schema
+from repro.workloads.warehouse import (
+    warehouse_eer,
+    warehouse_state,
+    warehouse_translation,
+)
+
+
+def test_eer_valid_and_translation_shape():
+    validate_eer_schema(warehouse_eer())
+    schema = warehouse_translation().schema
+    assert schema.scheme("BIN").key_names == ("B.W.SITE", "B.SLOT")
+    assert schema.scheme("STOCKED").key_names == ("ST.B.W.SITE", "ST.B.SLOT")
+    assert schema.scheme("SUPPLIES").key_names == ("SU.V.VAT", "SU.P.SKU")
+
+
+def test_states_consistent():
+    schema = warehouse_translation().schema
+    for seed in range(4):
+        assert is_consistent(warehouse_state(seed=seed), schema), seed
+
+
+def test_planner_finds_only_the_bin_family():
+    """SUPPLIES (m:n) must not join any family; BIN+STOCKED must."""
+    schema = warehouse_translation().schema
+    families = MergePlanner(schema).candidate_families()
+    assert len(families) == 1
+    (family,) = families
+    assert family.key_relation == "BIN"
+    assert set(family.members) == {"BIN", "STOCKED"}
+    assert family.nna_only
+
+
+def test_composite_key_merge_round_trip():
+    schema = warehouse_translation().schema
+    simplified = remove_all(merge(schema, ["BIN", "STOCKED"]))
+    # The whole composite key copy was removed as one unit.
+    assert [r.attrs for r in simplified.removed] == [
+        ("ST.B.W.SITE", "ST.B.SLOT")
+    ]
+    assert simplified.merged_scheme.attribute_names == (
+        "B.W.SITE",
+        "B.SLOT",
+        "B.CAPACITY",
+        "ST.P.SKU",
+    )
+    states = [warehouse_state(seed=s) for s in range(3)]
+    assert_merge_invariants(simplified, states)
+
+
+def test_merged_state_content():
+    schema = warehouse_translation().schema
+    simplified = remove_all(merge(schema, ["BIN", "STOCKED"]))
+    state = warehouse_state(seed=7)
+    mapped = simplified.forward.apply(state)
+    merged_rel = mapped[simplified.info.merged_name]
+    assert len(merged_rel) == len(state["BIN"])
+    stocked = [t for t in merged_rel if t.is_total_on(["ST.P.SKU"])]
+    assert len(stocked) == len(state["STOCKED"])
+    assert ConsistencyChecker(simplified.schema).is_consistent(mapped)
+
+
+def test_nna_only_strategy_applies_here():
+    schema = warehouse_translation().schema
+    plan = MergePlanner(schema, MergeStrategy.NNA_ONLY).apply()
+    assert plan.schemes_after == 5
+    assert plan.steps[0].nna_only_result
