@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Storage-engine micro-benchmark runner.
+
+Measures insert/update/delete/navigate ops/sec on the Figure 3 versus
+Figure 6 schemas at growing scale, plus the speedup of the engine's
+index-backed restrict-delete and ``find_referencing`` paths over the
+scan-based oracle (the seed engine's behaviour).  Results land in
+``BENCH_engine.json`` at the repo root by default::
+
+    python benchmarks/bench_engine.py
+    python benchmarks/bench_engine.py --sizes 1000,10000 --ops 500 -o -
+
+Equivalent to ``python -m repro bench`` (which needs ``PYTHONPATH=src``);
+this runner sets up ``sys.path`` itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.engine.bench import DEFAULT_SIZES, format_report, run_engine_benchmark
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default=",".join(str(n) for n in DEFAULT_SIZES),
+        help="comma-separated course counts "
+        f"(default: {','.join(str(n) for n in DEFAULT_SIZES)})",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=2000,
+        help="max operations per measurement (default: 2000)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="JSON report path; '-' to skip writing "
+        "(default: BENCH_engine.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        parser.error(f"--sizes must be comma-separated integers: {args.sizes!r}")
+    if not sizes or any(n <= 0 for n in sizes):
+        parser.error("--sizes needs at least one positive integer")
+    if args.ops <= 0:
+        parser.error("--ops must be a positive integer")
+    report = run_engine_benchmark(sizes=sizes, ops_cap=args.ops)
+    print(format_report(report))
+    if args.output != "-":
+        Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ recognised by their ``object_sets`` field.  Commands:
 ``structures`` classify an EER design's single-relation structures
 ``ddl``        generate DDL for DB2 / SYBASE 4.0 / INGRES 6.3
 ``minimize``   drop implied constraints from a schema
+``bench``      run the storage-engine micro-benchmarks
 
 Every command reads JSON from file arguments and writes human output to
 stdout; ``-o`` writes machine-readable JSON results.
@@ -311,6 +312,24 @@ def cmd_minimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``bench``: run the storage-engine micro-benchmarks."""
+    from repro.engine.bench import format_report, run_engine_benchmark
+
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        raise CliError(f"--sizes must be comma-separated integers: {args.sizes!r}")
+    if not sizes or any(n <= 0 for n in sizes):
+        raise CliError("--sizes needs at least one positive integer")
+    if args.ops <= 0:
+        raise CliError("--ops must be a positive integer")
+    report = run_engine_benchmark(sizes=sizes, ops_cap=args.ops)
+    print(format_report(report))
+    _write_output(args.output, report)
+    return 0
+
+
 # -- parser ---------------------------------------------------------------
 
 
@@ -411,6 +430,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("schema")
     p.add_argument("-o", "--output")
     p.set_defaults(fn=cmd_minimize)
+
+    p = sub.add_parser("bench", help="run the engine micro-benchmarks")
+    p.add_argument(
+        "--sizes",
+        default="1000,10000,50000",
+        help="comma-separated course counts (default: 1000,10000,50000)",
+    )
+    p.add_argument(
+        "--ops",
+        type=int,
+        default=2000,
+        help="max operations per measurement (default: 2000)",
+    )
+    p.add_argument("-o", "--output", help="write the JSON report here")
+    p.set_defaults(fn=cmd_bench)
 
     return parser
 

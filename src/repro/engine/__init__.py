@@ -13,10 +13,18 @@ measurement substrate:
 * :mod:`repro.engine.query` -- point lookups and join navigation with
   operation counting;
 * :mod:`repro.engine.stats` -- the counters the join-reduction benchmarks
-  report.
+  report;
+* :mod:`repro.engine.plans` -- compiled per-scheme access plans (key /
+  reference / null-group extractors) shared by the hot paths;
+* :mod:`repro.engine.oracle` -- a scan-based reference implementation,
+  the differential-testing oracle and benchmark baseline;
+* :mod:`repro.engine.bench` -- the ops/sec harness behind
+  ``benchmarks/bench_engine.py`` and ``python -m repro bench``.
 """
 
 from repro.engine.database import ConstraintViolationError, Database
+from repro.engine.oracle import OracleDatabase
+from repro.engine.plans import SchemeAccessPlan, compile_schema
 from repro.engine.query import QueryEngine
 from repro.engine.stats import EngineStats
 from repro.engine.views import MergedViewResolver
@@ -24,7 +32,10 @@ from repro.engine.views import MergedViewResolver
 __all__ = [
     "ConstraintViolationError",
     "Database",
+    "OracleDatabase",
     "QueryEngine",
     "EngineStats",
     "MergedViewResolver",
+    "SchemeAccessPlan",
+    "compile_schema",
 ]

@@ -1,0 +1,263 @@
+"""Engine micro-benchmark harness.
+
+Measures ops/sec for the engine's core operations -- insert, update,
+delete and navigate -- on the paper's Figure 3 (normalized) versus
+Figure 6 (merged) university schemas at growing scale, plus the
+speedup of the index-backed restrict-delete and ``find_referencing``
+paths over the scan-based oracle (the seed engine's behaviour).
+
+The results are emitted as a JSON document (``BENCH_engine.json`` at the
+repo root) so the perf trajectory is tracked across PRs; run it via::
+
+    python benchmarks/bench_engine.py [--sizes 1000,10000] [-o BENCH_engine.json]
+    python -m repro bench -o BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from typing import Any, Callable
+
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.engine.database import ConstraintViolationError, Database
+from repro.engine.oracle import OracleDatabase
+from repro.engine.query import QueryEngine
+from repro.relational.tuples import NULL
+from repro.workloads.university import university_relational, university_state
+
+DEFAULT_SIZES = (1_000, 10_000, 50_000)
+
+#: Navigations of the course-profile query on the Figure 3 schema.
+PROFILE_NAVIGATIONS = [
+    (["C.NR"], "OFFER", ["O.C.NR"]),
+    (["C.NR"], "TEACH", ["T.C.NR"]),
+    (["C.NR"], "ASSIST", ["A.C.NR"]),
+]
+
+
+def _ops_per_second(fn: Callable[[int], Any], n_ops: int) -> float:
+    start = time.perf_counter()
+    for i in range(n_ops):
+        fn(i)
+    elapsed = time.perf_counter() - start
+    return n_ops / elapsed if elapsed > 0 else float("inf")
+
+
+def _build_databases(n_courses: int):
+    schema = university_relational()
+    state = university_state(n_courses=n_courses, seed=7)
+    simplified = remove_all(
+        merge(schema, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    unmerged = Database(schema)
+    unmerged.load_state(state, validate=False)
+    merged = Database(simplified.schema)
+    merged.load_state(simplified.forward.apply(state), validate=False)
+    oracle = OracleDatabase(schema)
+    oracle.load_state(state)
+    for db in (unmerged, merged, oracle):
+        db.insert("DEPARTMENT", {"D.NAME": "bench-dept"})
+        db.insert("PERSON", {"P.SSN": "bench-fac"})
+        db.insert("FACULTY", {"F.SSN": "bench-fac"})
+        db.insert("PERSON", {"P.SSN": "bench-stu"})
+        db.insert("STUDENT", {"S.SSN": "bench-stu"})
+    return unmerged, merged, simplified, oracle
+
+
+def _bench_fig3(db: Database, n_ops: int) -> dict[str, float]:
+    def insert_object(i: int) -> None:
+        nr = f"new-{i:06d}"
+        db.insert("COURSE", {"C.NR": nr})
+        db.insert("OFFER", {"O.C.NR": nr, "O.D.NAME": "bench-dept"})
+        db.insert("TEACH", {"T.C.NR": nr, "T.F.SSN": "bench-fac"})
+        db.insert("ASSIST", {"A.C.NR": nr, "A.S.SSN": "bench-stu"})
+
+    q = QueryEngine(db)
+    result = {
+        "insert": _ops_per_second(insert_object, n_ops),
+        "update": _ops_per_second(
+            lambda i: db.update(
+                "TEACH", f"new-{i:06d}", {"T.F.SSN": "bench-fac"}
+            ),
+            n_ops,
+        ),
+        "navigate": _ops_per_second(
+            lambda i: q.profile(
+                "COURSE", f"crs-{i % 1000:04d}", PROFILE_NAVIGATIONS
+            ),
+            n_ops,
+        ),
+        "delete": _ops_per_second(
+            lambda i: db.delete("TEACH", f"new-{i:06d}"), n_ops
+        ),
+    }
+    return result
+
+
+def _bench_fig6(db: Database, merged_name: str, n_ops: int) -> dict[str, float]:
+    def insert_object(i: int) -> None:
+        db.insert(
+            merged_name,
+            {
+                "C.NR": f"new-{i:06d}",
+                "O.D.NAME": "bench-dept",
+                "T.F.SSN": "bench-fac",
+                "A.S.SSN": "bench-stu",
+            },
+        )
+
+    q = QueryEngine(db)
+    return {
+        "insert": _ops_per_second(insert_object, n_ops),
+        "update": _ops_per_second(
+            lambda i: db.update(
+                merged_name, f"new-{i:06d}", {"T.F.SSN": "bench-fac"}
+            ),
+            n_ops,
+        ),
+        "navigate": _ops_per_second(
+            lambda i: q.profile(merged_name, f"crs-{i % 1000:04d}", []),
+            n_ops,
+        ),
+        "delete": _ops_per_second(
+            lambda i: db.update(merged_name, f"new-{i:06d}", {"T.F.SSN": NULL}),
+            n_ops,
+        ),
+    }
+
+
+def _bench_scan_paths(
+    unmerged: Database, oracle: OracleDatabase, n_ops: int
+) -> tuple[dict[str, float], dict[str, float]]:
+    """Indexed engine vs scan oracle on the two formerly-O(n) paths.
+
+    ``find_referencing`` probes a heavily-referenced department (~n/3
+    child rows); the restrict-delete probes ``bench-dept``, referenced
+    by exactly one OFFER row *appended last* -- the needle-late case
+    where the seed's restrict scan walks the whole child relation
+    before finding the blocker.
+    """
+    dept = next(iter(unmerged.scan("DEPARTMENT")))
+    for db in (unmerged, oracle):
+        db.insert("COURSE", {"C.NR": "bench-crs"})
+        db.insert("OFFER", {"O.C.NR": "bench-crs", "O.D.NAME": "bench-dept"})
+    q = QueryEngine(unmerged)
+
+    def indexed_find(i: int) -> None:
+        q.find_referencing(dept, "OFFER", ["O.D.NAME"], ["D.NAME"])
+
+    def indexed_restrict(i: int) -> None:
+        try:
+            unmerged.delete("DEPARTMENT", "bench-dept")
+        except ConstraintViolationError:
+            pass
+        else:  # pragma: no cover - the department is always referenced
+            raise AssertionError("restrict-delete unexpectedly succeeded")
+
+    # The oracle scans O(n) per op; cap its reps to keep runs short.
+    oracle_ops = min(n_ops, 100)
+
+    def oracle_find(i: int) -> None:
+        oracle.find_referencing(dept, "OFFER", ["O.D.NAME"], ["D.NAME"])
+
+    def oracle_restrict(i: int) -> None:
+        try:
+            oracle.delete("DEPARTMENT", "bench-dept")
+        except ConstraintViolationError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("restrict-delete unexpectedly succeeded")
+
+    indexed = {
+        "find_referencing": _ops_per_second(indexed_find, n_ops),
+        "restrict_delete": _ops_per_second(indexed_restrict, n_ops),
+    }
+    scan = {
+        "find_referencing": _ops_per_second(oracle_find, oracle_ops),
+        "restrict_delete": _ops_per_second(oracle_restrict, oracle_ops),
+    }
+    return indexed, scan
+
+
+def _bench_bulk(db: Database, n_ops: int) -> dict[str, float]:
+    """Rows/sec through insert_many + apply_batch (delete back)."""
+    rows = [{"C.NR": f"bulk-{i:06d}"} for i in range(n_ops)]
+    start = time.perf_counter()
+    db.insert_many("COURSE", rows)
+    insert_rate = n_ops / (time.perf_counter() - start)
+    ops = [("delete", "COURSE", (f"bulk-{i:06d}",)) for i in range(n_ops)]
+    start = time.perf_counter()
+    db.apply_batch(ops)
+    batch_rate = n_ops / (time.perf_counter() - start)
+    return {"insert_many": insert_rate, "apply_batch_delete": batch_rate}
+
+
+def run_engine_benchmark(
+    sizes: tuple[int, ...] = DEFAULT_SIZES, ops_cap: int = 2_000
+) -> dict[str, Any]:
+    """Run the full harness; returns the JSON-ready report."""
+    if not sizes or any(n <= 0 for n in sizes):
+        raise ValueError("sizes must be positive integers")
+    if ops_cap <= 0:
+        raise ValueError("ops_cap must be a positive integer")
+    report: dict[str, Any] = {
+        "harness": "benchmarks/bench_engine.py",
+        "python": platform.python_version(),
+        "sizes": list(sizes),
+        "ops_cap": ops_cap,
+        "results": [],
+    }
+    for n in sizes:
+        n_ops = min(ops_cap, n)
+        unmerged, merged, simplified, oracle = _build_databases(n)
+        fig3 = _bench_fig3(unmerged, n_ops)
+        fig6 = _bench_fig6(merged, simplified.info.merged_name, n_ops)
+        indexed, scan = _bench_scan_paths(unmerged, oracle, n_ops)
+        bulk = _bench_bulk(unmerged, n_ops)
+        report["results"].append(
+            {
+                "n_courses": n,
+                "n_ops": n_ops,
+                "fig3_ops_per_s": {k: round(v, 1) for k, v in fig3.items()},
+                "fig6_ops_per_s": {k: round(v, 1) for k, v in fig6.items()},
+                "indexed_ops_per_s": {
+                    k: round(v, 1) for k, v in indexed.items()
+                },
+                "scan_baseline_ops_per_s": {
+                    k: round(v, 1) for k, v in scan.items()
+                },
+                "speedup_vs_scan": {
+                    k: round(indexed[k] / scan[k], 1) for k in indexed
+                },
+                "bulk_rows_per_s": {k: round(v, 1) for k, v in bulk.items()},
+            }
+        )
+    return report
+
+
+def format_report(report: dict[str, Any]) -> str:
+    """A printable table of one harness run."""
+    lines = [
+        f"engine benchmark (python {report['python']}, "
+        f"{report['ops_cap']} ops/measurement)",
+        f"{'n':>8} {'op':>18} {'fig3 ops/s':>12} {'fig6 ops/s':>12}",
+    ]
+    for row in report["results"]:
+        n = row["n_courses"]
+        for op in ("insert", "update", "delete", "navigate"):
+            lines.append(
+                f"{n:>8} {op:>18} "
+                f"{row['fig3_ops_per_s'][op]:>12.0f} "
+                f"{row['fig6_ops_per_s'][op]:>12.0f}"
+            )
+        for op in ("find_referencing", "restrict_delete"):
+            lines.append(
+                f"{n:>8} {op:>18} indexed {row['indexed_ops_per_s'][op]:>12.0f}"
+                f"  scan {row['scan_baseline_ops_per_s'][op]:>12.0f}"
+                f"  speedup {row['speedup_vs_scan'][op]:>8.1f}x"
+            )
+        for op, rate in row["bulk_rows_per_s"].items():
+            lines.append(f"{n:>8} {op:>18} {rate:>12.0f} rows/s")
+    return "\n".join(lines)

@@ -12,18 +12,40 @@ Rows are indexed by primary key; every mutation enforces:
 This is the behaviour the paper expects triggers (SYBASE), rules
 (INGRES) or validprocs (DB2) to implement; having it natively lets the
 benchmarks run merged and unmerged schemas under identical enforcement.
+
+Two layers keep the enforcement fast (see ``docs/PERFORMANCE.md``):
+
+* **compiled access plans** (:mod:`repro.engine.plans`) -- every
+  projection a mutation needs (primary key, candidate keys, both sides
+  of every inclusion dependency, null-constraint groups) is compiled
+  once per schema into an ``itemgetter``-backed extractor;
+* **reverse-reference indexes** -- for every column group an inclusion
+  dependency touches, the owning table keeps ``value -> {pk: None}``
+  (insertion-ordered), so existence checks, restrict checks and
+  ``find_referencing`` are O(1)/O(k) instead of scans.  Only *total*
+  values are indexed: the paper defines inclusion-dependency
+  satisfaction over total projections, which holds under both the
+  ``distinct`` and the ``identical`` null semantics; candidate-key
+  indexes, by contrast, do differ by mode (``identical`` indexes
+  partially-null key values too, which is why SYBASE/INGRES reject
+  duplicate null keys).
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
-from repro.constraints.nulls import NullConstraint
+from repro.engine.plans import (
+    CompiledReference,
+    SchemeAccessPlan,
+    attr_extractor,
+    compile_schema,
+)
+from repro.engine.stats import EngineStats
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationScheme, RelationalSchema
 from repro.relational.state import DatabaseState
-from repro.relational.tuples import Tuple, is_null
-from repro.engine.stats import EngineStats
+from repro.relational.tuples import NULL, Tuple
 
 
 class ConstraintViolationError(ValueError):
@@ -37,31 +59,83 @@ class ConstraintViolationError(ValueError):
 
 class _Table:
     """One stored relation: primary-key index, candidate-key indexes, and
-    value-count indexes for the column groups inclusion dependencies
-    touch (so reference checks are O(1) instead of scans)."""
+    reverse-reference indexes (``value -> {pk: None}``, insertion-ordered)
+    for the column groups inclusion dependencies touch, so reference and
+    restrict checks are O(1) and ``find_referencing`` is O(k)."""
 
-    def __init__(self, scheme: RelationScheme):
+    __slots__ = (
+        "scheme",
+        "plan",
+        "rows",
+        "key_indexes",
+        "group_indexes",
+        "group_extractors",
+        "version",
+    )
+
+    def __init__(self, scheme: RelationScheme, plan: SchemeAccessPlan):
         self.scheme = scheme
+        self.plan = plan
         self.rows: dict[tuple[Any, ...], Tuple] = {}
         self.key_indexes: dict[tuple[str, ...], dict[tuple[Any, ...], tuple[Any, ...]]] = {
-            tuple(a.name for a in key): {}
-            for key in scheme.candidate_keys
-            if tuple(a.name for a in key) != scheme.key_names
+            key_names: {} for key_names, _ in plan.candidate_keys
         }
-        #: value tuple -> number of rows carrying it, per indexed group.
-        self.group_indexes: dict[tuple[str, ...], dict[tuple[Any, ...], int]] = {}
+        #: value tuple -> ordered set of primary keys carrying it, per
+        #: indexed group (a dict-of-None preserves row insertion order,
+        #: so index-backed answers match the seed's scan order).
+        self.group_indexes: dict[
+            tuple[str, ...], dict[tuple[Any, ...], dict[tuple[Any, ...], None]]
+        ] = {}
+        self.group_extractors: dict[tuple[str, ...], Any] = {}
+        #: Mutation counter; scans snapshot it to stay iteration-safe.
+        self.version = 0
 
     def add_group_index(self, attrs: tuple[str, ...]) -> None:
-        """Register a value-count index over a column group."""
-        if attrs != self.scheme.key_names:
-            self.group_indexes.setdefault(attrs, {})
+        """Register a reverse-reference index over a column group (and
+        backfill it from any rows already stored)."""
+        attrs = tuple(attrs)
+        if attrs == self.plan.key_names or attrs in self.group_indexes:
+            return
+        extract = attr_extractor(attrs)
+        index: dict[tuple[Any, ...], dict[tuple[Any, ...], None]] = {}
+        for pk, t in self.rows.items():
+            value = extract(t.mapping)
+            if not any(v is NULL for v in value):
+                index.setdefault(value, {})[pk] = None
+        self.group_indexes[attrs] = index
+        self.group_extractors[attrs] = extract
 
     def pk_of(self, t: Tuple) -> tuple[Any, ...]:
         """The primary-key value tuple of a stored row."""
-        return tuple(t[name] for name in self.scheme.key_names)
+        return self.plan.pk(t.mapping)
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+def _snapshot_scan(table: _Table) -> Iterator[Tuple]:
+    """Lazily yield the table's rows, guarding against concurrent
+    mutation (no full-list copy is materialized).
+
+    The version check runs *before* resuming the dict iterator: a
+    mutation can only happen while the generator is suspended, and
+    advancing the raw iterator first would raise the dict's own
+    ``RuntimeError`` (or, worse, silently continue after an update
+    that kept the size unchanged).
+    """
+    expected = table.version
+    it = iter(table.rows.values())
+    while True:
+        if table.version != expected:
+            raise RuntimeError(
+                f"{table.scheme.name} mutated during scan; materialize the "
+                "scan (list(db.scan(...))) before mutating"
+            )
+        try:
+            t = next(it)
+        except StopIteration:
+            return
+        yield t
 
 
 class Database:
@@ -91,32 +165,13 @@ class Database:
         self.null_semantics = null_semantics
         self.schema = schema
         self.stats = stats if stats is not None else EngineStats()
+        self._plans = compile_schema(schema)
         self._tables: dict[str, _Table] = {
-            s.name: _Table(s) for s in schema.schemes
-        }
-        self._null_constraints: dict[str, list[NullConstraint]] = {
-            s.name: list(schema.null_constraints_of(s.name))
-            for s in schema.schemes
-        }
-        self._outgoing = {
-            s.name: [
-                ind
-                for ind in schema.inds
-                if ind.lhs_scheme == s.name
-            ]
-            for s in schema.schemes
-        }
-        self._incoming = {
-            s.name: [
-                ind
-                for ind in schema.inds
-                if ind.rhs_scheme == s.name
-            ]
-            for s in schema.schemes
+            s.name: _Table(s, self._plans[s.name]) for s in schema.schemes
         }
         # Index every column group an inclusion dependency touches:
         # right-hand sides for existence checks, left-hand sides for
-        # restrict checks on delete/update.
+        # restrict checks on delete/update and for find_referencing.
         for ind in schema.inds:
             self._tables[ind.rhs_scheme].add_group_index(tuple(ind.rhs_attrs))
             self._tables[ind.lhs_scheme].add_group_index(tuple(ind.lhs_attrs))
@@ -132,6 +187,11 @@ class Database:
         except KeyError:
             raise KeyError(f"no relation named {scheme_name!r}") from None
 
+    def plan(self, scheme_name: str) -> SchemeAccessPlan:
+        """The compiled access plan for one relation-scheme."""
+        self.table(scheme_name)  # raises uniformly on unknown names
+        return self._plans[scheme_name]
+
     def get(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> Tuple | None:
         """Primary-key lookup; counts as one lookup."""
         if not isinstance(pk, tuple):
@@ -140,10 +200,15 @@ class Database:
         return self.table(scheme_name).rows.get(pk)
 
     def scan(self, scheme_name: str) -> Iterable[Tuple]:
-        """Full scan; counts every tuple touched."""
+        """Full scan; counts every tuple touched.
+
+        Returns a lazy snapshot-safe iterator (no list copy): mutating
+        the relation while the iterator is live raises ``RuntimeError``
+        at the next step instead of yielding inconsistent rows.
+        """
         table = self.table(scheme_name)
         self.stats.tuples_scanned += len(table.rows)
-        return list(table.rows.values())
+        return _snapshot_scan(table)
 
     def count(self, scheme_name: str) -> int:
         """Current row count of one relation."""
@@ -161,11 +226,11 @@ class Database:
     # -- validation helpers -----------------------------------------------
 
     def _check_shape(self, table: _Table, row: Mapping[str, Any]) -> Tuple:
-        expected = set(table.scheme.attribute_names)
-        given = set(row)
+        expected = table.plan.attr_set
+        given = row.keys() if isinstance(row, (dict, Tuple)) else set(row)
         if given != expected:
             missing = expected - given
-            extra = given - expected
+            extra = set(given) - expected
             raise ConstraintViolationError(
                 "structure",
                 f"{table.scheme.name}: row attributes mismatch "
@@ -174,16 +239,20 @@ class Database:
         return Tuple(row)
 
     def _check_null_constraints(self, scheme_name: str, t: Tuple) -> None:
-        for constraint in self._null_constraints[scheme_name]:
+        for constraint, check in self._plans[scheme_name].null_checks:
             self.stats.constraint_checks += 1
-            if not constraint.holds_for(t):
+            if not check(t):
                 raise ConstraintViolationError(str(constraint), f"row {t!r}")
 
     def _check_keys(
         self, table: _Table, t: Tuple, replacing: tuple[Any, ...] | None
-    ) -> None:
-        pk = table.pk_of(t)
-        if any(is_null(v) for v in pk):
+    ) -> tuple[Any, ...]:
+        """Key-uniqueness checks; returns the (validated) primary key so
+        callers can store the row without re-projecting it."""
+        plan = table.plan
+        values = t.mapping
+        pk = plan.pk(values)
+        if any(v is NULL for v in pk):
             raise ConstraintViolationError(
                 "primary-key",
                 f"{table.scheme.name}: primary key contains nulls: {pk!r}",
@@ -194,16 +263,16 @@ class Database:
                 "primary-key",
                 f"{table.scheme.name}: duplicate primary key {pk!r}",
             )
-        for key_names, index in table.key_indexes.items():
-            value = tuple(t[name] for name in key_names)
-            if any(is_null(v) for v in value):
+        for key_names, extract in plan.candidate_keys:
+            value = extract(values)
+            if any(v is NULL for v in value):
                 if self.null_semantics == "distinct":
                     continue  # binds only when total
                 # 'identical' semantics (SYBASE/INGRES, Section 5.1):
                 # nulls compare equal, so a partially-null key value
                 # occupies an index slot like any other.
             self.stats.constraint_checks += 1
-            owner = index.get(value)
+            owner = table.key_indexes[key_names].get(value)
             if owner is not None and owner != replacing:
                 raise ConstraintViolationError(
                     "candidate-key",
@@ -211,34 +280,98 @@ class Database:
                     f"{dict(zip(key_names, value))!r} "
                     f"({self.null_semantics} null semantics)",
                 )
+        return pk
 
     def _check_references_out(self, scheme_name: str, t: Tuple) -> None:
-        for ind in self._outgoing[scheme_name]:
-            value = tuple(t[a] for a in ind.lhs_attrs)
-            if any(is_null(v) for v in value):
+        values = t.mapping
+        for ref in self._plans[scheme_name].outgoing:
+            value = ref.extract(values)
+            if any(v is NULL for v in value):
                 continue
             self.stats.constraint_checks += 1
-            if not self._referenced_exists(ind.rhs_scheme, ind.rhs_attrs, value):
+            if not self._referenced_exists_via(ref, value):
                 raise ConstraintViolationError(
-                    str(ind),
-                    f"no {ind.rhs_scheme} row with "
-                    f"{dict(zip(ind.rhs_attrs, value))!r}",
+                    str(ref.ind),
+                    f"no {ref.scheme} row with "
+                    f"{dict(zip(ref.attrs, value))!r}",
                 )
+
+    def _referenced_exists_via(
+        self, ref: CompiledReference, value: tuple[Any, ...]
+    ) -> bool:
+        table = self._tables[ref.scheme]
+        if ref.is_pk:
+            self.stats.index_hits += 1
+            return value in table.rows
+        index = table.group_indexes.get(ref.attrs)
+        if index is not None:
+            self.stats.index_hits += 1
+            return bool(index.get(value))
+        self.stats.index_misses += 1
+        self.stats.tuples_scanned += len(table.rows)
+        attrs = ref.attrs
+        return any(
+            tuple(row[a] for a in attrs) == value
+            for row in table.rows.values()
+        )
 
     def _referenced_exists(
         self, scheme_name: str, attrs: tuple[str, ...], value: tuple[Any, ...]
     ) -> bool:
+        """Index-backed existence of ``value`` under ``scheme_name[attrs]``."""
         table = self.table(scheme_name)
-        if tuple(attrs) == table.scheme.key_names:
+        attrs = tuple(attrs)
+        if attrs == table.plan.key_names:
+            self.stats.index_hits += 1
             return value in table.rows
-        index = table.group_indexes.get(tuple(attrs))
+        index = table.group_indexes.get(attrs)
         if index is not None:
-            return index.get(value, 0) > 0
+            self.stats.index_hits += 1
+            return bool(index.get(value))
+        self.stats.index_misses += 1
         self.stats.tuples_scanned += len(table.rows)
         return any(
             tuple(row[a] for a in attrs) == value
             for row in table.rows.values()
         )
+
+    def _blocking_referencer(
+        self,
+        ref: CompiledReference,
+        value: tuple[Any, ...],
+        exclude_pk: tuple[Any, ...] | None,
+    ) -> str | None:
+        """Description of a row of ``ref.scheme`` referencing ``value``
+        (ignoring the row keyed ``exclude_pk``), or ``None``."""
+        child = self._tables[ref.scheme]
+        if ref.is_pk:
+            self.stats.index_hits += 1
+            if value in child.rows:
+                if exclude_pk is None:
+                    return f"{ref.ind} (from {ref.scheme})"
+                if value != exclude_pk:
+                    return f"{ref.ind} (row {value!r} of {ref.scheme})"
+            return None
+        index = child.group_indexes.get(ref.attrs)
+        if index is not None:
+            self.stats.index_hits += 1
+            referencers = index.get(value)
+            if referencers:
+                if exclude_pk is None:
+                    return f"{ref.ind} (from {ref.scheme})"
+                for pk in referencers:
+                    if pk != exclude_pk:
+                        return f"{ref.ind} (row {pk!r} of {ref.scheme})"
+            return None
+        self.stats.index_misses += 1
+        self.stats.tuples_scanned += len(child.rows)
+        attrs = ref.attrs
+        for pk, row in child.rows.items():
+            if exclude_pk is not None and pk == exclude_pk:
+                continue
+            if tuple(row[a] for a in attrs) == value:
+                return f"{ref.ind} (row {pk!r} of {ref.scheme})"
+        return None
 
     def _referencing_rows_exist(
         self,
@@ -247,32 +380,19 @@ class Database:
         ignore_self_pk: tuple[Any, ...] | None = None,
     ) -> str | None:
         """Description of a restricting reference into ``old``, if any."""
-        for ind in self._incoming[scheme_name]:
-            target_value = tuple(old[a] for a in ind.rhs_attrs)
-            if any(is_null(v) for v in target_value):
+        values = old.mapping
+        for ref in self._plans[scheme_name].incoming:
+            value = ref.extract(values)
+            if any(v is NULL for v in value):
                 continue
-            child = self.table(ind.lhs_scheme)
-            needs_scan = ignore_self_pk is not None and ind.lhs_scheme == scheme_name
-            if not needs_scan:
-                if tuple(ind.lhs_attrs) == child.scheme.key_names:
-                    if target_value in child.rows:
-                        return f"{ind} (from {ind.lhs_scheme})"
-                    continue
-                index = child.group_indexes.get(tuple(ind.lhs_attrs))
-                if index is not None:
-                    if index.get(target_value, 0) > 0:
-                        return f"{ind} (from {ind.lhs_scheme})"
-                    continue
-            self.stats.tuples_scanned += len(child.rows)
-            for pk, row in child.rows.items():
-                if (
-                    ind.lhs_scheme == scheme_name
-                    and ignore_self_pk is not None
-                    and pk == ignore_self_pk
-                ):
-                    continue
-                if tuple(row[a] for a in ind.lhs_attrs) == target_value:
-                    return f"{ind} (row {pk!r} of {ind.lhs_scheme})"
+            exclude = (
+                ignore_self_pk
+                if ignore_self_pk is not None and ref.scheme == scheme_name
+                else None
+            )
+            blocker = self._blocking_referencer(ref, value, exclude)
+            if blocker is not None:
+                return blocker
         return None
 
     # -- mutations -----------------------------------------------------------
@@ -283,9 +403,9 @@ class Database:
         table = self.table(scheme_name)
         t = self._check_shape(table, row)
         self._check_null_constraints(scheme_name, t)
-        self._check_keys(table, t, replacing=None)
+        pk = self._check_keys(table, t, replacing=None)
         self._check_references_out(scheme_name, t)
-        self._store(table, t)
+        self._store(table, t, pk)
         self.stats.inserts += 1
         return t
 
@@ -317,49 +437,223 @@ class Database:
             raise KeyError(f"{scheme_name}: no row with key {pk!r}")
         t = old.with_values(dict(updates))
         self._check_null_constraints(scheme_name, t)
-        self._check_keys(table, t, replacing=pk)
+        new_pk = self._check_keys(table, t, replacing=pk)
         self._check_references_out(scheme_name, t)
         # Referenced attribute values must not change under incoming
         # references (restrict semantics on update).
+        old_values = old.mapping
+        new_values = t.mapping
         changed = {
-            name for name in updates if old[name] != t[name]
+            name for name in updates if old_values[name] != new_values[name]
         }
-        for ind in self._incoming[scheme_name]:
-            if changed & set(ind.rhs_attrs):
-                blocker = self._referencing_rows_exist(
-                    scheme_name, old, ignore_self_pk=pk
-                )
-                if blocker is not None:
-                    raise ConstraintViolationError(
-                        "restrict-update",
-                        f"{scheme_name} row {pk!r} referenced via {blocker}",
+        if changed:
+            for ref in self._plans[scheme_name].incoming:
+                if changed & ref.watch:
+                    blocker = self._referencing_rows_exist(
+                        scheme_name, old, ignore_self_pk=pk
                     )
-                break
+                    if blocker is not None:
+                        raise ConstraintViolationError(
+                            "restrict-update",
+                            f"{scheme_name} row {pk!r} referenced via {blocker}",
+                        )
+                    break
         self._unstore(table, pk, old)
-        self._store(table, t)
+        self._store(table, t, new_pk)
         self.stats.updates += 1
         return t
+
+    # -- bulk mutations --------------------------------------------------------
+
+    def insert_many(
+        self, scheme_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> list[Tuple]:
+        """Insert many rows of one scheme atomically.
+
+        Shape, null-constraint and key checks run immediately per row
+        (so intra-batch duplicates are caught in order), while outgoing
+        reference checks are *deferred* until every row is stored and
+        then verified -- rows of a self-referencing scheme may therefore
+        arrive in any order.  On any violation the whole batch rolls
+        back and the same :class:`ConstraintViolationError` the per-row
+        path would raise is re-raised.
+        """
+        table = self.table(scheme_name)
+        stored: list[Tuple] = []
+        with self.transaction():
+            for row in rows:
+                t = self._check_shape(table, row)
+                self._check_null_constraints(scheme_name, t)
+                pk = self._check_keys(table, t, replacing=None)
+                self._store(table, t, pk)
+                stored.append(t)
+            for t in stored:
+                self._check_references_out(scheme_name, t)
+        self.stats.inserts += len(stored)
+        self.stats.bulk_rows += len(stored)
+        return stored
+
+    def apply_batch(
+        self, ops: Iterable[tuple]
+    ) -> list[Tuple | None]:
+        """Apply a sequence of mutations atomically with *deferred*
+        reference checking.
+
+        ``ops`` is an iterable of operation tuples::
+
+            ("insert", scheme_name, row_mapping)
+            ("update", scheme_name, pk, updates_mapping)
+            ("delete", scheme_name, pk)
+
+        Shape, null-constraint and key checks run immediately per
+        operation (in batch order); inclusion-dependency checks in both
+        directions are deferred and verified against the batch's *final*
+        state, so operations may arrive in any order -- a child row may
+        be inserted before its parent, a parent deleted before its
+        children, a referenced value rewired in two steps.  On any
+        violation the whole batch rolls back: outgoing-reference
+        failures raise the same error the per-row path would, dangling
+        references left by deletes/updates raise ``restrict-batch``.
+
+        Returns one entry per operation: the stored :class:`Tuple` for
+        inserts/updates, ``None`` for deletes.
+        """
+        results: list[Tuple | None] = []
+        pending_out: list[tuple[str, Tuple]] = []
+        pending_in: list[tuple[CompiledReference, tuple[Any, ...]]] = []
+        n_ops = 0
+        with self.transaction():
+            for op in ops:
+                kind = op[0]
+                n_ops += 1
+                if kind == "insert":
+                    _, scheme_name, row = op
+                    table = self.table(scheme_name)
+                    t = self._check_shape(table, row)
+                    self._check_null_constraints(scheme_name, t)
+                    pk = self._check_keys(table, t, replacing=None)
+                    self._store(table, t, pk)
+                    pending_out.append((scheme_name, t))
+                    self.stats.inserts += 1
+                    results.append(t)
+                elif kind == "delete":
+                    _, scheme_name, pk = op
+                    if not isinstance(pk, tuple):
+                        pk = (pk,)
+                    table = self.table(scheme_name)
+                    old = table.rows.get(pk)
+                    if old is None:
+                        raise KeyError(
+                            f"{scheme_name}: no row with key {pk!r}"
+                        )
+                    old_values = old.mapping
+                    for ref in self._plans[scheme_name].incoming:
+                        value = ref.extract(old_values)
+                        if not any(v is NULL for v in value):
+                            pending_in.append((ref, value))
+                    self._unstore(table, pk, old)
+                    self.stats.deletes += 1
+                    results.append(None)
+                elif kind == "update":
+                    _, scheme_name, pk, updates = op
+                    if not isinstance(pk, tuple):
+                        pk = (pk,)
+                    table = self.table(scheme_name)
+                    old = table.rows.get(pk)
+                    if old is None:
+                        raise KeyError(
+                            f"{scheme_name}: no row with key {pk!r}"
+                        )
+                    t = old.with_values(dict(updates))
+                    self._check_null_constraints(scheme_name, t)
+                    new_pk = self._check_keys(table, t, replacing=pk)
+                    old_values = old.mapping
+                    new_values = t.mapping
+                    changed = {
+                        name
+                        for name in updates
+                        if old_values[name] != new_values[name]
+                    }
+                    for ref in self._plans[scheme_name].incoming:
+                        if changed & ref.watch:
+                            value = ref.extract(old_values)
+                            if not any(v is NULL for v in value):
+                                pending_in.append((ref, value))
+                    self._unstore(table, pk, old)
+                    self._store(table, t, new_pk)
+                    pending_out.append((scheme_name, t))
+                    self.stats.updates += 1
+                    results.append(t)
+                else:
+                    raise ValueError(f"unknown batch operation {kind!r}")
+            # Deferred verification against the final batch state.
+            for scheme_name, t in pending_out:
+                table = self._tables[scheme_name]
+                if table.rows.get(table.plan.pk(t.mapping)) is not t:
+                    continue  # superseded by a later operation
+                self._check_references_out(scheme_name, t)
+            verified: set[tuple[Any, ...]] = set()
+            for ref, value in pending_in:
+                dedup_key = (id(ref.ind), value)
+                if dedup_key in verified:
+                    continue
+                verified.add(dedup_key)
+                if self._referenced_exists(
+                    ref.ind.rhs_scheme, ref.ind.rhs_attrs, value
+                ):
+                    continue  # another row still carries the referenced value
+                blocker = self._blocking_referencer(ref, value, None)
+                if blocker is not None:
+                    raise ConstraintViolationError(
+                        "restrict-batch",
+                        f"{ref.ind.rhs_scheme} value "
+                        f"{dict(zip(ref.ind.rhs_attrs, value))!r} "
+                        f"still referenced via {blocker}",
+                    )
+        self.stats.bulk_rows += n_ops
+        return results
 
     def load_state(self, state: DatabaseState, validate: bool = True) -> None:
         """Bulk-load an existing state (e.g. the image of a state mapping).
 
-        With ``validate`` the final contents are checked wholesale via the
-        consistency checker, which is much cheaper than per-row checks
-        with inter-row ordering concerns.
+        Rows and every index are built in one pass per relation through
+        the compiled access plans -- no per-row constraint checks, no
+        journaling.  With ``validate`` the final contents are checked
+        wholesale via the consistency checker, which is much cheaper
+        than per-row checks with inter-row ordering concerns.
         """
         if self.in_transaction:
             raise ConstraintViolationError(
                 "bulk-load", "cannot bulk-load inside a transaction"
             )
+        identical = self.null_semantics == "identical"
+        total = 0
         for name, relation in state.items():
             table = self.table(name)
-            table.rows.clear()
-            for index in table.key_indexes.values():
-                index.clear()
-            for counts in table.group_indexes.values():
-                counts.clear()
+            plan = table.plan
+            pk_extract = plan.pk
+            rows: dict[tuple[Any, ...], Tuple] = {}
             for t in relation:
-                self._store_raw(table, t)
+                rows[pk_extract(t.mapping)] = t
+            table.rows = rows
+            table.version += 1
+            total += len(rows)
+            for key_names, extract in plan.candidate_keys:
+                index: dict[tuple[Any, ...], tuple[Any, ...]] = {}
+                for pk, t in rows.items():
+                    value = extract(t.mapping)
+                    if identical or not any(v is NULL for v in value):
+                        index[value] = pk
+                table.key_indexes[key_names] = index
+            for attrs in table.group_indexes:
+                extract = table.group_extractors[attrs]
+                refs: dict[tuple[Any, ...], dict[tuple[Any, ...], None]] = {}
+                for pk, t in rows.items():
+                    value = extract(t.mapping)
+                    if not any(v is NULL for v in value):
+                        refs.setdefault(value, {})[pk] = None
+                table.group_indexes[attrs] = refs
+        self.stats.bulk_rows += total
         if validate:
             from repro.constraints.checker import ConsistencyChecker
 
@@ -414,43 +708,58 @@ class Database:
 
     # -- low-level storage ---------------------------------------------------
 
-    def _store(self, table: _Table, t: Tuple) -> None:
-        self._journal("store", table, table.pk_of(t), None)
-        self._store_raw(table, t)
+    def _store(
+        self, table: _Table, t: Tuple, pk: tuple[Any, ...] | None = None
+    ) -> None:
+        if pk is None:
+            pk = table.plan.pk(t.mapping)
+        self._journal("store", table, pk, None)
+        self._store_raw(table, t, pk)
 
     def _unstore(self, table: _Table, pk: tuple[Any, ...], old: Tuple) -> None:
         self._journal("unstore", table, pk, old)
         self._unstore_raw(table, pk, old)
 
-    def _store_raw(self, table: _Table, t: Tuple) -> None:
-        pk = table.pk_of(t)
+    def _store_raw(
+        self, table: _Table, t: Tuple, pk: tuple[Any, ...] | None = None
+    ) -> None:
+        values = t.mapping
+        plan = table.plan
+        if pk is None:
+            pk = plan.pk(values)
         table.rows[pk] = t
-        for key_names, index in table.key_indexes.items():
-            value = tuple(t[name] for name in key_names)
-            if (
-                not any(is_null(v) for v in value)
-                or self.null_semantics == "identical"
-            ):
-                index[value] = pk
-        for attrs, counts in table.group_indexes.items():
-            value = tuple(t[name] for name in attrs)
-            if not any(is_null(v) for v in value):
-                counts[value] = counts.get(value, 0) + 1
+        table.version += 1
+        if plan.candidate_keys:
+            identical = self.null_semantics == "identical"
+            for key_names, extract in plan.candidate_keys:
+                value = extract(values)
+                if identical or not any(v is NULL for v in value):
+                    table.key_indexes[key_names][value] = pk
+        for attrs, refs in table.group_indexes.items():
+            value = table.group_extractors[attrs](values)
+            if not any(v is NULL for v in value):
+                bucket = refs.get(value)
+                if bucket is None:
+                    refs[value] = {pk: None}
+                else:
+                    bucket[pk] = None
 
     def _unstore_raw(self, table: _Table, pk: tuple[Any, ...], old: Tuple) -> None:
         del table.rows[pk]
-        for key_names, index in table.key_indexes.items():
-            value = tuple(old[name] for name in key_names)
+        table.version += 1
+        values = old.mapping
+        for key_names, extract in table.plan.candidate_keys:
+            value = extract(values)
+            index = table.key_indexes[key_names]
             if index.get(value) == pk:
                 del index[value]
-        for attrs, counts in table.group_indexes.items():
-            value = tuple(old[name] for name in attrs)
-            if not any(is_null(v) for v in value):
-                remaining = counts.get(value, 0) - 1
-                if remaining > 0:
-                    counts[value] = remaining
-                else:
-                    counts.pop(value, None)
+        for attrs, refs in table.group_indexes.items():
+            value = table.group_extractors[attrs](values)
+            bucket = refs.get(value)
+            if bucket is not None:
+                bucket.pop(pk, None)
+                if not bucket:
+                    del refs[value]
 
 
 class _TransactionContext:

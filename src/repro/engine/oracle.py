@@ -1,0 +1,290 @@
+"""A scan-based reference implementation of the storage engine.
+
+:class:`OracleDatabase` enforces exactly the same constraints, in the
+same order, with the same constraint labels as
+:class:`~repro.engine.database.Database` -- but with *no* reference
+indexes: every candidate-key, inclusion-dependency and restrict check is
+a full scan (the seed engine's fallback path, made total).  It exists
+for two jobs:
+
+* it is the **oracle** the differential property tests run the indexed
+  engine against: any divergence in accept/reject decisions or in the
+  resulting states is a bug in the index maintenance;
+* it is the **baseline** the benchmark harness measures the indexed
+  engine's restrict-delete and ``find_referencing`` speedups against
+  (the "seed scan path" of ``benchmarks/bench_engine.py``).
+
+It is deliberately simple and slow; never use it for real workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.engine.database import ConstraintViolationError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL, Tuple
+
+
+class OracleDatabase:
+    """Scan-based twin of :class:`~repro.engine.database.Database`.
+
+    Supports the same mutation surface (``insert`` / ``update`` /
+    ``delete`` / ``load_state`` / ``state``) under both null-semantics
+    modes; raises :class:`ConstraintViolationError` with the same
+    ``constraint`` labels and ``KeyError`` for missing rows, in the same
+    check order as the indexed engine.
+    """
+
+    def __init__(self, schema: RelationalSchema, null_semantics: str = "distinct"):
+        if null_semantics not in ("distinct", "identical"):
+            raise ValueError(
+                "null_semantics must be 'distinct' or 'identical'"
+            )
+        self.schema = schema
+        self.null_semantics = null_semantics
+        self._rows: dict[str, dict[tuple[Any, ...], Tuple]] = {
+            s.name: {} for s in schema.schemes
+        }
+        self._schemes: dict[str, RelationScheme] = {
+            s.name: s for s in schema.schemes
+        }
+        self._null = {
+            s.name: list(schema.null_constraints_of(s.name))
+            for s in schema.schemes
+        }
+        self._outgoing = {
+            s.name: [i for i in schema.inds if i.lhs_scheme == s.name]
+            for s in schema.schemes
+        }
+        self._incoming = {
+            s.name: [i for i in schema.inds if i.rhs_scheme == s.name]
+            for s in schema.schemes
+        }
+        # Non-primary candidate keys, in the same iteration order the
+        # engine builds its key indexes from.
+        self._candidate_keys = {
+            s.name: [
+                tuple(a.name for a in key)
+                for key in s.candidate_keys
+                if tuple(a.name for a in key) != s.key_names
+            ]
+            for s in schema.schemes
+        }
+
+    # -- access ----------------------------------------------------------
+
+    def _scheme(self, name: str) -> RelationScheme:
+        try:
+            return self._schemes[name]
+        except KeyError:
+            raise KeyError(f"no relation named {name!r}") from None
+
+    def _table_rows(self, name: str) -> dict[tuple[Any, ...], Tuple]:
+        self._scheme(name)
+        return self._rows[name]
+
+    def get(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> Tuple | None:
+        """Primary-key lookup (no stats are kept on the oracle)."""
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        return self._table_rows(scheme_name).get(pk)
+
+    def count(self, scheme_name: str) -> int:
+        """Current row count of one relation."""
+        return len(self._table_rows(scheme_name))
+
+    def state(self) -> DatabaseState:
+        """An immutable snapshot of the current contents."""
+        return DatabaseState(
+            {
+                name: Relation(self._schemes[name].attributes, rows.values())
+                for name, rows in self._rows.items()
+            }
+        )
+
+    def load_state(self, state: DatabaseState) -> None:
+        """Bulk-load a (trusted) state, unchecked."""
+        for name, relation in state.items():
+            scheme = self._scheme(name)
+            key_names = scheme.key_names
+            self._rows[name] = {
+                tuple(t[a] for a in key_names): t for t in relation
+            }
+
+    # -- scan-based checks ------------------------------------------------
+
+    def _check_shape(self, scheme: RelationScheme, row: Mapping[str, Any]) -> Tuple:
+        expected = set(scheme.attribute_names)
+        given = set(row)
+        if given != expected:
+            missing = expected - given
+            extra = given - expected
+            raise ConstraintViolationError(
+                "structure",
+                f"{scheme.name}: row attributes mismatch "
+                f"(missing {sorted(missing)}, unexpected {sorted(extra)})",
+            )
+        return Tuple(row)
+
+    def _check_null_constraints(self, scheme_name: str, t: Tuple) -> None:
+        for constraint in self._null[scheme_name]:
+            if not constraint.holds_for(t):
+                raise ConstraintViolationError(str(constraint), f"row {t!r}")
+
+    def _check_keys(
+        self,
+        scheme: RelationScheme,
+        t: Tuple,
+        replacing: tuple[Any, ...] | None,
+    ) -> tuple[Any, ...]:
+        pk = tuple(t[a] for a in scheme.key_names)
+        if any(v is NULL for v in pk):
+            raise ConstraintViolationError(
+                "primary-key",
+                f"{scheme.name}: primary key contains nulls: {pk!r}",
+            )
+        rows = self._rows[scheme.name]
+        if pk in rows and pk != replacing:
+            raise ConstraintViolationError(
+                "primary-key",
+                f"{scheme.name}: duplicate primary key {pk!r}",
+            )
+        for key_names in self._candidate_keys[scheme.name]:
+            value = tuple(t[a] for a in key_names)
+            value_has_null = any(v is NULL for v in value)
+            if value_has_null and self.null_semantics == "distinct":
+                continue  # binds only when total
+            for other_pk, other in rows.items():
+                if other_pk == replacing:
+                    continue
+                other_value = tuple(other[a] for a in key_names)
+                if self.null_semantics == "distinct" and any(
+                    v is NULL for v in other_value
+                ):
+                    continue  # an unbound stored key cannot clash
+                if other_value == value:
+                    raise ConstraintViolationError(
+                        "candidate-key",
+                        f"{scheme.name}: duplicate candidate key "
+                        f"{dict(zip(key_names, value))!r} "
+                        f"({self.null_semantics} null semantics)",
+                    )
+        return pk
+
+    def _check_references_out(self, scheme_name: str, t: Tuple) -> None:
+        for ind in self._outgoing[scheme_name]:
+            value = tuple(t[a] for a in ind.lhs_attrs)
+            if any(v is NULL for v in value):
+                continue
+            rhs_rows = self._rows[ind.rhs_scheme]
+            if not any(
+                tuple(row[a] for a in ind.rhs_attrs) == value
+                for row in rhs_rows.values()
+            ):
+                raise ConstraintViolationError(
+                    str(ind),
+                    f"no {ind.rhs_scheme} row with "
+                    f"{dict(zip(ind.rhs_attrs, value))!r}",
+                )
+
+    def _scan_referencing(
+        self,
+        scheme_name: str,
+        old: Tuple,
+        ignore_self_pk: tuple[Any, ...] | None = None,
+    ) -> str | None:
+        """The seed engine's O(n) restrict check: scan every child."""
+        for ind in self._incoming[scheme_name]:
+            target_value = tuple(old[a] for a in ind.rhs_attrs)
+            if any(v is NULL for v in target_value):
+                continue
+            for pk, row in self._rows[ind.lhs_scheme].items():
+                if (
+                    ind.lhs_scheme == scheme_name
+                    and ignore_self_pk is not None
+                    and pk == ignore_self_pk
+                ):
+                    continue
+                if tuple(row[a] for a in ind.lhs_attrs) == target_value:
+                    return f"{ind} (row {pk!r} of {ind.lhs_scheme})"
+        return None
+
+    # -- mutations ---------------------------------------------------------
+
+    def insert(self, scheme_name: str, row: Mapping[str, Any]) -> Tuple:
+        """Insert one row, scanning for every check."""
+        scheme = self._scheme(scheme_name)
+        t = self._check_shape(scheme, row)
+        self._check_null_constraints(scheme_name, t)
+        pk = self._check_keys(scheme, t, replacing=None)
+        self._check_references_out(scheme_name, t)
+        self._rows[scheme_name][pk] = t
+        return t
+
+    def delete(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> None:
+        """Delete by primary key, restricting when referenced (by scan)."""
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        rows = self._table_rows(scheme_name)
+        old = rows.get(pk)
+        if old is None:
+            raise KeyError(f"{scheme_name}: no row with key {pk!r}")
+        blocker = self._scan_referencing(scheme_name, old)
+        if blocker is not None:
+            raise ConstraintViolationError(
+                "restrict-delete",
+                f"{scheme_name} row {pk!r} referenced via {blocker}",
+            )
+        del rows[pk]
+
+    def update(
+        self, scheme_name: str, pk: tuple[Any, ...] | Any, updates: Mapping[str, Any]
+    ) -> Tuple:
+        """Update one row by primary key, scanning for every check."""
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        scheme = self._scheme(scheme_name)
+        rows = self._rows[scheme_name]
+        old = rows.get(pk)
+        if old is None:
+            raise KeyError(f"{scheme_name}: no row with key {pk!r}")
+        t = old.with_values(dict(updates))
+        self._check_null_constraints(scheme_name, t)
+        new_pk = self._check_keys(scheme, t, replacing=pk)
+        self._check_references_out(scheme_name, t)
+        changed = {name for name in updates if old[name] != t[name]}
+        for ind in self._incoming[scheme_name]:
+            if changed & set(ind.rhs_attrs):
+                blocker = self._scan_referencing(
+                    scheme_name, old, ignore_self_pk=pk
+                )
+                if blocker is not None:
+                    raise ConstraintViolationError(
+                        "restrict-update",
+                        f"{scheme_name} row {pk!r} referenced via {blocker}",
+                    )
+                break
+        del rows[pk]
+        rows[new_pk] = t
+        return t
+
+    # -- navigation (bench baseline) ---------------------------------------
+
+    def find_referencing(
+        self,
+        target: Tuple,
+        source_scheme: str,
+        via: Sequence[str],
+        target_attrs: Sequence[str],
+    ) -> list[Tuple]:
+        """All rows of ``source_scheme`` referencing ``target``, by full
+        scan -- the navigation the reverse-reference indexes replace."""
+        value = tuple(target[a] for a in target_attrs)
+        return [
+            row
+            for row in self._table_rows(source_scheme).values()
+            if tuple(row[a] for a in via) == value
+        ]

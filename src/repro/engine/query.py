@@ -6,6 +6,12 @@ navigations (joins), and object reconstruction from merged relations by
 total projection.  Every navigation increments the shared
 :class:`~repro.engine.stats.EngineStats`, which is what the
 join-reduction benchmarks report.
+
+Navigations are index-backed where the storage engine keeps an index:
+a navigation landing on the target's primary key costs one ``lookup``
+(counted -- a navigation is never cheaper than a point query), one
+landing on a reverse-reference index costs an ``index_hit``, and only
+the residual cases scan (``tuples_scanned``).
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.core.merge import MergedSchemeInfo
 from repro.engine.database import Database
-from repro.relational.tuples import Tuple, is_null
+from repro.relational.tuples import NULL, Tuple, is_null
 
 
 class QueryEngine:
@@ -42,6 +48,8 @@ class QueryEngine:
         ``via`` names the foreign-key attributes of ``source``;
         ``target_attrs`` defaults to the target's primary key.  Returns
         ``None`` when the foreign key is null (no referenced object).
+        The primary-key probe inside the navigation counts as one
+        lookup, exactly as the equivalent :meth:`Database.get` would.
         """
         value = tuple(source[a] for a in via)
         self.stats.joins_performed += 1
@@ -54,7 +62,16 @@ class QueryEngine:
             else table.scheme.key_names
         )
         if targets == table.scheme.key_names:
+            self.stats.lookups += 1
             return table.rows.get(value)
+        index = table.group_indexes.get(targets)
+        if index is not None:
+            self.stats.index_hits += 1
+            referencers = index.get(value)
+            if referencers:
+                return table.rows[next(iter(referencers))]
+            return None
+        self.stats.index_misses += 1
         self.stats.tuples_scanned += len(table.rows)
         for row in table.rows.values():
             if tuple(row[a] for a in targets) == value:
@@ -68,16 +85,37 @@ class QueryEngine:
         via: Sequence[str],
         target_attrs: Sequence[str],
     ) -> list[Tuple]:
-        """All rows of ``source_scheme`` referencing ``target`` (1 join,
-        scanning the source)."""
+        """All rows of ``source_scheme`` referencing ``target`` (1 join).
+
+        Answered from the source's reverse-reference index in O(k) when
+        the ``via`` group is indexed (it is for every inclusion-
+        dependency side); only unindexed or null-valued probes scan.
+        Results come back in row insertion order, as a scan would
+        produce them.
+        """
         self.stats.joins_performed += 1
         value = tuple(target[a] for a in target_attrs)
         table = self.db.table(source_scheme)
+        via_t = tuple(via)
+        if not any(v is NULL for v in value):
+            if via_t == table.scheme.key_names:
+                self.stats.lookups += 1
+                row = table.rows.get(value)
+                return [row] if row is not None else []
+            index = table.group_indexes.get(via_t)
+            if index is not None:
+                self.stats.index_hits += 1
+                referencers = index.get(value)
+                if not referencers:
+                    return []
+                rows = table.rows
+                return [rows[pk] for pk in referencers]
+            self.stats.index_misses += 1
         self.stats.tuples_scanned += len(table.rows)
         return [
             row
             for row in table.rows.values()
-            if tuple(row[a] for a in via) == value
+            if tuple(row[a] for a in via_t) == value
         ]
 
     # -- merged-relation reconstruction ---------------------------------------

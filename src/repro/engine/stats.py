@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 
 @dataclass
@@ -11,8 +11,16 @@ class EngineStats:
 
     ``joins_performed`` counts relation-to-relation navigations (the
     quantity merging is supposed to reduce); ``lookups`` counts primary-
-    key accesses; ``tuples_scanned`` counts tuples touched by scans and
-    constraint checks.
+    key accesses (including the primary-key probe inside a navigation);
+    ``tuples_scanned`` counts tuples touched by scans and fallback
+    constraint checks.  ``index_hits`` / ``index_misses`` count reference
+    and navigation checks answered by (resp. falling through) the
+    engine's key and reverse-reference indexes, and ``bulk_rows`` counts
+    rows that moved through a bulk path (``load_state``, ``insert_many``,
+    ``apply_batch``).
+
+    ``reset`` and ``snapshot`` are driven by ``dataclasses.fields`` so a
+    newly added counter can never be silently missed by either.
     """
 
     inserts: int = 0
@@ -22,28 +30,18 @@ class EngineStats:
     joins_performed: int = 0
     tuples_scanned: int = 0
     constraint_checks: int = 0
+    index_hits: int = 0
+    index_misses: int = 0
+    bulk_rows: int = 0
 
     def reset(self) -> None:
-        """Zero every counter."""
-        self.inserts = 0
-        self.deletes = 0
-        self.updates = 0
-        self.lookups = 0
-        self.joins_performed = 0
-        self.tuples_scanned = 0
-        self.constraint_checks = 0
+        """Zero every counter (every dataclass field, by construction)."""
+        for f in fields(self):
+            setattr(self, f.name, f.default)
 
     def snapshot(self) -> dict[str, int]:
-        """A plain-dict copy, for reporting."""
-        return {
-            "inserts": self.inserts,
-            "deletes": self.deletes,
-            "updates": self.updates,
-            "lookups": self.lookups,
-            "joins_performed": self.joins_performed,
-            "tuples_scanned": self.tuples_scanned,
-            "constraint_checks": self.constraint_checks,
-        }
+        """A plain-dict copy of every counter, for reporting."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
     def __str__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)

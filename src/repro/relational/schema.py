@@ -15,6 +15,7 @@ module stores them opaquely to keep the dependency direction one-way
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.relational.attributes import Attribute, by_name
@@ -61,25 +62,33 @@ class RelationScheme:
 
     # -- convenience -------------------------------------------------------
 
-    @property
+    @cached_property
     def attribute_names(self) -> tuple[str, ...]:
-        """Attribute names, in declaration order."""
+        """Attribute names, in declaration order.
+
+        Cached: the scheme is frozen, and these projections sit on the
+        engine's per-row hot paths.
+        """
         return tuple(a.name for a in self.attributes)
 
-    @property
+    @cached_property
     def key_names(self) -> tuple[str, ...]:
-        """Primary-key attribute names, in key order."""
+        """Primary-key attribute names, in key order (cached)."""
         return tuple(a.name for a in self.primary_key)
 
-    @property
+    @cached_property
     def nonkey_attributes(self) -> tuple[Attribute, ...]:
-        """Attributes outside the primary key."""
+        """Attributes outside the primary key (cached)."""
         key = set(self.primary_key)
         return tuple(a for a in self.attributes if a not in key)
 
+    @cached_property
+    def _attributes_by_name(self) -> dict[str, Attribute]:
+        return by_name(self.attributes)
+
     def attribute(self, name: str) -> Attribute:
         """Look up an attribute of this scheme by name."""
-        return by_name(self.attributes)[name]
+        return self._attributes_by_name[name]
 
     def has_attribute(self, name: str) -> bool:
         """Whether this scheme declares the named attribute."""
@@ -125,16 +134,20 @@ class RelationalSchema:
 
     # -- lookups -------------------------------------------------------------
 
+    @cached_property
+    def _schemes_by_name(self) -> dict[str, RelationScheme]:
+        return {s.name: s for s in self.schemes}
+
     def scheme(self, name: str) -> RelationScheme:
         """Look up a relation-scheme by name."""
-        for s in self.schemes:
-            if s.name == name:
-                return s
-        raise KeyError(f"no relation-scheme named {name!r}")
+        try:
+            return self._schemes_by_name[name]
+        except KeyError:
+            raise KeyError(f"no relation-scheme named {name!r}") from None
 
     def has_scheme(self, name: str) -> bool:
         """Whether a relation-scheme with this name exists."""
-        return any(s.name == name for s in self.schemes)
+        return name in self._schemes_by_name
 
     @property
     def scheme_names(self) -> tuple[str, ...]:

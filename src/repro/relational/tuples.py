@@ -100,6 +100,17 @@ class Tuple:
         """A plain-dict copy of the tuple's values."""
         return dict(self._values)
 
+    @property
+    def mapping(self) -> Mapping[str, Any]:
+        """The underlying name -> value mapping, without copying.
+
+        Read-only by convention: callers must not mutate it (the tuple
+        is immutable and caches its hash).  Hot paths -- the engine's
+        compiled access plans -- read values through this mapping
+        instead of paying :meth:`__getitem__`'s per-access dispatch.
+        """
+        return self._values
+
     # -- equality / hashing ------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

@@ -39,6 +39,10 @@ class RandomSchemaParams:
     cross_ref_prob: float = 0.3
     #: Probability that a non-key, non-foreign-key attribute allows nulls.
     optional_attr_prob: float = 0.0
+    #: Probability that a scheme gains a nullable unique attribute
+    #: (``<name>.U``) declared as a candidate key -- the Section 5.1
+    #: shape whose enforcement differs between null-semantics modes.
+    candidate_key_prob: float = 0.0
 
 
 @dataclass
@@ -83,7 +87,14 @@ def random_schema(
             attrs.append(attr)
             if rng.random() >= params.optional_attr_prob:
                 required.append(attr.name)
-        scheme = RelationScheme(name, tuple(attrs), (key_attr,))
+        candidate_keys = ()
+        if rng.random() < params.candidate_key_prob:
+            unique = Attribute(f"{name}.U", Domain(f"dom-{name}-U"))
+            attrs.append(unique)  # nullable: not added to ``required``
+            candidate_keys = ((unique,),)
+        scheme = RelationScheme(
+            name, tuple(attrs), (key_attr,), candidate_keys
+        )
         schemes.append(scheme)
         null_constraints.append(nulls_not_allowed(name, required))
         if parent is not None:

@@ -1,0 +1,173 @@
+"""Bulk mutations: ``insert_many`` and ``apply_batch``.
+
+Both run under one transaction with *deferred* reference checking:
+immediate per-row shape/null/key checks, inclusion dependencies verified
+against the batch's final state.  Order inside a batch therefore does
+not matter -- children before parents, parents deleted before children.
+"""
+
+import pytest
+
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import nulls_not_allowed
+from repro.engine.database import ConstraintViolationError, Database
+from repro.relational.attributes import Attribute, Domain
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.tuples import NULL
+
+
+@pytest.fixture
+def emp_db():
+    """EMP(E.ID*, E.MGR) with EMP[E.MGR] <= EMP[E.ID], E.MGR nullable --
+    the self-referencing shape where batch order matters most."""
+    d = Domain("id")
+    eid = Attribute("E.ID", d)
+    mgr = Attribute("E.MGR", d)
+    schema = RelationalSchema(
+        schemes=(RelationScheme("EMP", (eid, mgr), (eid,)),),
+        inds=(InclusionDependency("EMP", ("E.MGR",), "EMP", ("E.ID",)),),
+        null_constraints=(nulls_not_allowed("EMP", ["E.ID"]),),
+    )
+    return Database(schema)
+
+
+@pytest.fixture
+def uni_db(university_schema):
+    db = Database(university_schema)
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    return db
+
+
+class TestInsertMany:
+    def test_out_of_order_self_references(self, emp_db):
+        """A row may reference a row appearing later in the same batch
+        (per-row insert would reject this very sequence)."""
+        with pytest.raises(ConstraintViolationError):
+            emp_db.insert("EMP", {"E.ID": "e2", "E.MGR": "e1"})
+        rows = emp_db.insert_many(
+            "EMP",
+            [
+                {"E.ID": "e2", "E.MGR": "e1"},
+                {"E.ID": "e1", "E.MGR": NULL},
+            ],
+        )
+        assert len(rows) == 2
+        assert emp_db.count("EMP") == 2
+
+    def test_atomic_rollback_on_dangling(self, emp_db):
+        with pytest.raises(ConstraintViolationError, match="no EMP row"):
+            emp_db.insert_many(
+                "EMP",
+                [
+                    {"E.ID": "e1", "E.MGR": NULL},
+                    {"E.ID": "e2", "E.MGR": "ghost"},
+                ],
+            )
+        assert emp_db.count("EMP") == 0
+
+    def test_intra_batch_duplicate_key_rejected(self, uni_db):
+        with pytest.raises(ConstraintViolationError, match="duplicate"):
+            uni_db.insert_many(
+                "COURSE", [{"C.NR": "c1"}, {"C.NR": "c1"}]
+            )
+        assert uni_db.count("COURSE") == 0
+
+    def test_same_error_as_per_row_path(self, uni_db):
+        with pytest.raises(ConstraintViolationError, match="structure"):
+            uni_db.insert_many("COURSE", [{"WRONG": 1}])
+
+    def test_nested_in_outer_transaction(self, uni_db):
+        with pytest.raises(RuntimeError):
+            with uni_db.transaction():
+                uni_db.insert_many(
+                    "COURSE", [{"C.NR": "c1"}, {"C.NR": "c2"}]
+                )
+                raise RuntimeError("outer failure")
+        assert uni_db.count("COURSE") == 0
+
+
+class TestApplyBatch:
+    def test_child_before_parent(self, uni_db):
+        results = uni_db.apply_batch(
+            [
+                ("insert", "OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"}),
+                ("insert", "COURSE", {"C.NR": "c1"}),
+            ]
+        )
+        assert [r is not None for r in results] == [True, True]
+        assert uni_db.count("OFFER") == 1
+
+    def test_parent_deleted_before_children(self, uni_db):
+        uni_db.insert("COURSE", {"C.NR": "c1"})
+        uni_db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+        with pytest.raises(ConstraintViolationError, match="restrict-delete"):
+            uni_db.delete("COURSE", "c1")
+        results = uni_db.apply_batch(
+            [
+                ("delete", "COURSE", "c1"),
+                ("delete", "OFFER", "c1"),
+            ]
+        )
+        assert results == [None, None]
+        assert uni_db.count("COURSE") == 0
+        assert uni_db.count("OFFER") == 0
+
+    def test_dangling_after_batch_restricts(self, uni_db):
+        uni_db.insert("COURSE", {"C.NR": "c1"})
+        uni_db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+        with pytest.raises(ConstraintViolationError, match="restrict-batch"):
+            uni_db.apply_batch([("delete", "COURSE", "c1")])
+        assert uni_db.count("COURSE") == 1  # rolled back
+
+    def test_reference_rewired_in_two_steps(self, uni_db):
+        uni_db.insert("COURSE", {"C.NR": "c1"})
+        uni_db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+        uni_db.insert("DEPARTMENT", {"D.NAME": "math"})
+        uni_db.apply_batch(
+            [
+                ("update", "OFFER", "c1", {"O.D.NAME": "math"}),
+                ("delete", "DEPARTMENT", ("cs",)),
+            ]
+        )
+        assert uni_db.get("OFFER", "c1")["O.D.NAME"] == "math"
+        assert uni_db.count("DEPARTMENT") == 1
+
+    def test_missing_row_rolls_back_whole_batch(self, uni_db):
+        with pytest.raises(KeyError):
+            uni_db.apply_batch(
+                [
+                    ("insert", "COURSE", {"C.NR": "c1"}),
+                    ("delete", "COURSE", "ghost"),
+                ]
+            )
+        assert uni_db.count("COURSE") == 0
+
+    def test_unknown_operation_rejected(self, uni_db):
+        with pytest.raises(ValueError, match="unknown batch operation"):
+            uni_db.apply_batch([("upsert", "COURSE", {"C.NR": "c1"})])
+
+    def test_immediate_checks_still_immediate(self, uni_db):
+        """Key violations do not wait for batch end: the second insert
+        fails while the batch is still being applied."""
+        with pytest.raises(ConstraintViolationError, match="duplicate"):
+            uni_db.apply_batch(
+                [
+                    ("insert", "COURSE", {"C.NR": "c1"}),
+                    ("insert", "COURSE", {"C.NR": "c1"}),
+                ]
+            )
+        assert uni_db.count("COURSE") == 0
+
+    def test_state_stays_consistent(self, uni_db, university_schema):
+        from repro.constraints.checker import ConsistencyChecker
+
+        uni_db.apply_batch(
+            [
+                ("insert", "OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"}),
+                ("insert", "COURSE", {"C.NR": "c1"}),
+                ("insert", "COURSE", {"C.NR": "c2"}),
+                ("delete", "COURSE", "c2"),
+            ]
+        )
+        checker = ConsistencyChecker(university_schema)
+        assert checker.is_consistent(uni_db.state())

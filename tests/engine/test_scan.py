@@ -1,0 +1,68 @@
+"""Snapshot-safety of :meth:`Database.scan`.
+
+The scan is a lazy iterator (no full-list copy); mutating the scanned
+relation while the iterator is live must raise instead of silently
+yielding rows from an inconsistent traversal.
+"""
+
+import pytest
+
+from repro.engine.database import Database
+
+
+@pytest.fixture
+def db(university_schema):
+    database = Database(university_schema)
+    for i in range(6):
+        database.insert("COURSE", {"C.NR": f"c{i}"})
+    return database
+
+
+def test_scan_is_lazy(db):
+    it = db.scan("COURSE")
+    assert iter(it) is it  # an iterator, not a materialized list
+    assert next(it)["C.NR"] == "c0"
+
+
+def test_scan_counts_tuples_up_front(db):
+    db.stats.reset()
+    it = db.scan("COURSE")
+    assert db.stats.tuples_scanned == 6
+    list(it)
+    assert db.stats.tuples_scanned == 6
+
+
+def test_mutation_during_scan_raises(db):
+    it = db.scan("COURSE")
+    next(it)
+    db.insert("COURSE", {"C.NR": "c-late"})
+    with pytest.raises(RuntimeError, match="mutated during scan"):
+        next(it)
+
+
+def test_delete_during_scan_raises(db):
+    it = db.scan("COURSE")
+    next(it)
+    db.delete("COURSE", "c5")
+    with pytest.raises(RuntimeError, match="mutated during scan"):
+        next(it)
+
+
+def test_mutating_other_relation_is_fine(db):
+    it = db.scan("COURSE")
+    next(it)
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    assert sum(1 for _ in it) == 5
+
+
+def test_materialized_scan_survives_mutation(db):
+    rows = list(db.scan("COURSE"))
+    db.delete("COURSE", "c0")
+    assert [t["C.NR"] for t in rows] == [f"c{i}" for i in range(6)]
+
+
+def test_exhausted_scan_then_mutate_is_fine(db):
+    rows = [t for t in db.scan("COURSE")]
+    assert len(rows) == 6
+    db.insert("COURSE", {"C.NR": "c-new"})
+    assert db.count("COURSE") == 7

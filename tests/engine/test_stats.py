@@ -1,0 +1,49 @@
+"""The engine's operation counters."""
+
+import dataclasses
+
+from repro.engine.database import Database
+from repro.engine.query import QueryEngine
+from repro.engine.stats import EngineStats
+from repro.workloads.university import university_state
+
+
+def test_reset_zeroes_every_field():
+    """``reset()`` must cover every declared counter -- enumerated via
+    ``dataclasses.fields`` so a newly added counter cannot be missed."""
+    stats = EngineStats()
+    for f in dataclasses.fields(EngineStats):
+        setattr(stats, f.name, 42)
+    stats.reset()
+    for f in dataclasses.fields(EngineStats):
+        assert getattr(stats, f.name) == f.default, f.name
+
+
+def test_snapshot_covers_every_field():
+    stats = EngineStats(lookups=3, index_hits=2, bulk_rows=7)
+    snap = stats.snapshot()
+    assert set(snap) == {f.name for f in dataclasses.fields(EngineStats)}
+    assert snap["lookups"] == 3
+    assert snap["index_hits"] == 2
+    assert snap["bulk_rows"] == 7
+
+
+def test_index_counters_move(university_schema):
+    db = Database(university_schema)
+    db.load_state(university_state(n_courses=10, seed=3))
+    db.stats.reset()
+    dept = next(iter(db.scan("DEPARTMENT")))
+    db.stats.reset()
+    q = QueryEngine(db)
+    q.find_referencing(dept, "OFFER", ["O.D.NAME"], ["D.NAME"])
+    assert db.stats.index_hits == 1
+    assert db.stats.index_misses == 0
+    assert db.stats.tuples_scanned == 0
+
+
+def test_bulk_rows_counts_batched_work(university_schema):
+    db = Database(university_schema)
+    db.stats.reset()
+    db.insert_many("COURSE", [{"C.NR": f"c{i}"} for i in range(5)])
+    assert db.stats.bulk_rows == 5
+    assert db.stats.inserts == 5

@@ -178,6 +178,22 @@ def test_minimize(schema_file, capsys):
     assert "dropped" in capsys.readouterr().out
 
 
+def test_bench_writes_report(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--sizes", "50", "--ops", "20", "-o", str(out)]) == 0
+    assert "find_referencing" in capsys.readouterr().out
+    report = json.loads(out.read_text())
+    assert report["results"][0]["n_courses"] == 50
+    assert (
+        report["results"][0]["speedup_vs_scan"]["restrict_delete"] > 0
+    )
+
+
+def test_bench_bad_sizes_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["bench", "--sizes", "ten"])
+
+
 def test_wrong_file_kind_errors(eer_file, schema_file):
     with pytest.raises(SystemExit):
         main(["describe", eer_file])
