@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Check that intra-repository markdown links resolve.
+
+Scans ``README.md`` and ``docs/*.md`` (or the files given on the
+command line) for inline links ``[text](target)`` and verifies that
+
+* relative targets point at files that exist;
+* ``#Lnnn`` fragments (GitHub line anchors) stay within the target
+  file's line count, so paper-map references rot loudly when code
+  moves;
+* other fragments match a GitHub-style heading anchor in the target
+  markdown file.
+
+External links (``http:``/``https:``/``mailto:``) are ignored; so is
+anything inside a fenced code block.  Exit status 0 means every link
+resolved; 1 lists the broken ones.  Run it from anywhere::
+
+    python scripts/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links, excluding images.  Targets with spaces or
+#: nested parens do not occur in this repo's docs.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^()\s]+)\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+LINE_ANCHOR_RE = re.compile(r"^L(\d+)$")
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def default_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading line."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def iter_links(path: Path):
+    """Yield ``(line_number, target)`` for every link outside fences."""
+    in_fence = False
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def heading_anchors(path: Path) -> set[str]:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.add(github_anchor(match.group(2)))
+    return anchors
+
+
+def check_fragment(target: Path, fragment: str) -> str | None:
+    """An error message if ``fragment`` does not resolve in ``target``."""
+    line_anchor = LINE_ANCHOR_RE.match(fragment)
+    if line_anchor:
+        wanted = int(line_anchor.group(1))
+        have = len(target.read_text(encoding="utf-8").splitlines())
+        if wanted > have:
+            return f"line anchor #L{wanted} beyond end of file ({have} lines)"
+        return None
+    if target.suffix.lower() in (".md", ".markdown"):
+        if fragment.lower() not in heading_anchors(target):
+            return f"no heading for anchor #{fragment}"
+        return None
+    # Non-line fragments into source files are not checkable; allow.
+    return None
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    try:
+        shown = path.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = path
+    for lineno, raw_target in iter_links(path):
+        if SCHEME_RE.match(raw_target):
+            continue
+        target_part, _, fragment = raw_target.partition("#")
+        where = f"{shown}:{lineno}"
+        if not target_part:
+            if fragment and fragment.lower() not in heading_anchors(path):
+                errors.append(f"{where}: no heading for anchor #{fragment}")
+            continue
+        target = (path.parent / target_part).resolve()
+        if not target.exists():
+            errors.append(f"{where}: broken link -> {raw_target}")
+            continue
+        if fragment and target.is_file():
+            problem = check_fragment(target, fragment)
+            if problem:
+                errors.append(f"{where}: {raw_target}: {problem}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(a).resolve() for a in argv] if argv else default_files()
+    errors: list[str] = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"{path}: no such file")
+            continue
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {checked} file(s): {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

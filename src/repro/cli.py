@@ -5,6 +5,7 @@ recognised by their ``object_sets`` field.  Commands:
 
 ``describe``   print a schema in the paper's figure style
 ``check``      check a database state against a schema
+``explain``    show enforcement plans / merge reasoning without executing
 ``families``   list mergeable families with Proposition 5.1/5.2 verdicts
 ``merge``      apply Merge (and, by default, Remove) to named schemes
 ``plan``       merge every family admitted by a strategy
@@ -16,7 +17,10 @@ recognised by their ``object_sets`` field.  Commands:
 ``bench``      run the storage-engine micro-benchmarks
 
 Every command reads JSON from file arguments and writes human output to
-stdout; ``-o`` writes machine-readable JSON results.
+stdout; ``-o`` writes machine-readable JSON results.  ``check``,
+``merge`` and ``plan`` additionally take ``--explain`` (print the
+decision plan) and ``--trace [FILE]`` (write a JSONL trace of every
+enforcement/merge decision; ``-`` or no argument means stdout).
 """
 
 from __future__ import annotations
@@ -92,6 +96,29 @@ def _load_eer(path: str):
         raise CliError(f"{path}: {exc}")
 
 
+def _open_tracer(spec: str | None):
+    """``--trace`` plumbing: ``None`` -> no tracer; ``-`` -> JSONL on
+    stdout; anything else -> JSONL written to that path."""
+    if spec is None:
+        return None, None
+    from repro.obs.trace import JsonlTracer
+
+    if spec == "-":
+        return JsonlTracer(sys.stdout), None
+    try:
+        return JsonlTracer.to_path(spec), spec
+    except OSError as exc:
+        raise CliError(f"cannot open trace file {spec}: {exc}")
+
+
+def _close_tracer(tracer, path: str | None) -> None:
+    if tracer is None:
+        return
+    tracer.close()
+    if path is not None:
+        print(f"wrote {path} ({tracer.events_written} trace event(s))")
+
+
 def _write_output(path: str | None, data: Any) -> None:
     if path is None:
         return
@@ -115,7 +142,15 @@ def cmd_check(args: argparse.Namespace) -> int:
     """``check``: consistency-check a state; exit 1 on violations."""
     schema = _load_relational(args.schema)
     state = state_from_dict(_load_json(args.state), schema)
-    violations = ConsistencyChecker(schema).violations(state)
+    tracer, trace_path = _open_tracer(args.trace)
+    checker = ConsistencyChecker(schema, tracer=tracer)
+    if args.explain:
+        print(checker.explain_text())
+        print()
+    try:
+        violations = checker.violations(state)
+    finally:
+        _close_tracer(tracer, trace_path)
     if not violations:
         print(f"consistent: {state.total_size()} tuples satisfy the schema")
         return 0
@@ -123,6 +158,36 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(v)
     print(f"{len(violations)} violation(s)")
     return 1
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``explain``: show enforcement plans (or, with ``--plan``, the
+    merge planner's reasoning) without executing anything."""
+    from repro.engine.database import Database
+    from repro.obs.explain import explain_database, render_database
+
+    schema = _load_relational(args.schema)
+    if args.plan:
+        planner = MergePlanner(schema, MergeStrategy(args.strategy))
+        print(planner.explain_text())
+        _write_output(args.output, planner.explain())
+        return 0
+    schemes = args.scheme or None
+    if schemes:
+        known = set(schema.scheme_names)
+        for name in schemes:
+            if name not in known:
+                raise CliError(f"unknown scheme {name!r}")
+    ops = (args.op,) if args.op else None
+    db = Database(schema)
+    explanation = (
+        explain_database(db, schemes, ops)
+        if ops
+        else explain_database(db, schemes)
+    )
+    print(render_database(explanation))
+    _write_output(args.output, explanation)
+    return 0
 
 
 def cmd_families(args: argparse.Namespace) -> int:
@@ -140,17 +205,54 @@ def cmd_families(args: argparse.Namespace) -> int:
 def cmd_merge(args: argparse.Namespace) -> int:
     """``merge``: apply Merge (and by default Remove) to named schemes."""
     schema = _load_relational(args.schema)
+    tracer, trace_path = _open_tracer(args.trace)
     result = apply_merge(schema, args.members, merged_name=args.name)
     if args.keep_redundant:
         out_schema = result.schema
+        removed: list = []
         print(f"merged into {result.info.merged_name} (no removal pass)")
     else:
         simplified = remove_all(result)
         out_schema = simplified.schema
-        removed = ", ".join(str(r) for r in simplified.removed) or "nothing"
+        removed = list(simplified.removed)
         print(
-            f"merged into {simplified.info.merged_name}; removed: {removed}"
+            f"merged into {simplified.info.merged_name}; removed: "
+            f"{', '.join(str(r) for r in removed) or 'nothing'}"
         )
+    if tracer is not None:
+        from repro.obs.trace import TraceEvent
+
+        tracer.emit(
+            TraceEvent(
+                event="merge-applied",
+                op="merge",
+                scheme=result.info.merged_name,
+                constraint=f"Merge({', '.join(args.members)})",
+                kind="merge-admission",
+                rule="Definition 4.1 (Merge) + Definition 4.3 (Remove)",
+                outcome="ok",
+                rows=len(removed),
+                detail=(
+                    f"{len(list(out_schema.null_constraints_of(result.info.merged_name)))} "
+                    "null constraint(s) on the merged scheme; "
+                    f"{len(removed)} constraint(s) removed"
+                ),
+            )
+        )
+        _close_tracer(tracer, trace_path)
+    if args.explain:
+        from repro.obs.explain import (
+            explain_null_constraints,
+            render_null_constraints,
+        )
+
+        print()
+        print(
+            render_null_constraints(
+                explain_null_constraints(out_schema, result.info.merged_name)
+            )
+        )
+        print()
     print(out_schema.describe())
     _write_output(args.output, relational_schema_to_dict(out_schema))
     return 0
@@ -162,7 +264,15 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
     schema = _load_relational(args.schema)
     strategy = MergeStrategy(args.strategy)
-    plan = MergePlanner(schema, strategy).apply()
+    tracer, trace_path = _open_tracer(args.trace)
+    planner = MergePlanner(schema, strategy, tracer=tracer)
+    if args.explain:
+        print(planner.explain_text())
+        print()
+    try:
+        plan = planner.apply()
+    finally:
+        _close_tracer(tracer, trace_path)
     print(plan.summary())
     _write_output(args.output, relational_schema_to_dict(plan.schema))
     if args.script:
@@ -347,10 +457,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("schema")
     p.set_defaults(fn=cmd_describe)
 
+    trace_kwargs = dict(
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="write a JSONL decision trace (default: stdout)",
+    )
+
     p = sub.add_parser("check", help="check a state against a schema")
     p.add_argument("schema")
     p.add_argument("state")
+    p.add_argument("--trace", **trace_kwargs)
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the checks the checker will run, with paper rules",
+    )
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "explain",
+        help="show enforcement plans or merge reasoning",
+    )
+    p.add_argument("schema")
+    p.add_argument(
+        "--scheme",
+        action="append",
+        help="explain only this scheme (repeatable; default: all)",
+    )
+    p.add_argument(
+        "--op",
+        choices=["insert", "update", "delete"],
+        help="explain only this mutation kind (default: all)",
+    )
+    p.add_argument(
+        "--plan",
+        action="store_true",
+        help="explain the merge planner's decisions instead",
+    )
+    p.add_argument(
+        "--strategy",
+        choices=[s.value for s in MergeStrategy],
+        default=MergeStrategy.AGGRESSIVE.value,
+        help="strategy for --plan",
+    )
+    p.add_argument("-o", "--output", help="write the explanation JSON")
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser("families", help="list mergeable families")
     p.add_argument("schema")
@@ -366,6 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the Remove pass (Definition 4.3)",
     )
     p.add_argument("-o", "--output", help="write the result schema JSON")
+    p.add_argument("--trace", **trace_kwargs)
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print null-constraint provenance of the merged scheme",
+    )
     p.set_defaults(fn=cmd_merge)
 
     p = sub.add_parser("plan", help="merge every admissible family")
@@ -378,6 +536,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output")
     p.add_argument(
         "--script", help="write a replayable migration script JSON"
+    )
+    p.add_argument("--trace", **trace_kwargs)
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print every family's admission decision and rule",
     )
     p.set_defaults(fn=cmd_plan)
 

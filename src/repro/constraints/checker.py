@@ -5,26 +5,38 @@ satisfies every dependency and constraint of the schema (Section 2).  The
 checker evaluates all of them and reports structured violations; schema
 transformations (``Merge``/``Remove``), the information-capacity verifier,
 and the storage engine all share this one notion of consistency.
+
+Pass a :class:`~repro.obs.trace.Tracer` to watch the checker work: it
+emits one ``check`` event per constraint evaluated and one ``violation``
+event per constraint found violated, each carrying the constraint id and
+its paper-rule label (see :mod:`repro.obs.rules`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.constraints.functional import KeyDependency
+from repro.obs.rules import classify_null_constraint, paper_rule
+from repro.obs.trace import TraceEvent, Tracer
 from repro.relational.schema import RelationalSchema
 from repro.relational.state import DatabaseState
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One constraint violation: which constraint, where, and why."""
+    """One constraint violation: which constraint, where, and why.
+
+    ``rule`` carries the paper-rule label of the violated constraint
+    (empty only for violation kinds the rule table does not know).
+    """
 
     kind: str
     scheme_name: str
     constraint: str
     detail: str
+    rule: str = field(default="", compare=False)
 
     def __str__(self) -> str:
         return f"[{self.kind}] {self.constraint}: {self.detail}"
@@ -33,8 +45,9 @@ class Violation:
 class ConsistencyChecker:
     """Evaluates database states against one relational schema."""
 
-    def __init__(self, schema: RelationalSchema):
+    def __init__(self, schema: RelationalSchema, tracer: Tracer | None = None):
         self.schema = schema
+        self.tracer = tracer
         # Key dependencies implied by the schemes' candidate keys are always
         # in force, even when not listed in F explicitly.
         self._implicit_keys: list[KeyDependency] = []
@@ -51,63 +64,198 @@ class ConsistencyChecker:
                 if (dep.scheme_name, dep.lhs, dep.rhs) not in declared:
                     self._implicit_keys.append(dep)
 
+    def _trace_check(
+        self,
+        kind: str,
+        scheme_name: str,
+        constraint: str,
+        ok: bool,
+        rows: int | None = None,
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    event="check",
+                    op="check",
+                    scheme=scheme_name,
+                    constraint=constraint,
+                    kind=kind,
+                    rule=paper_rule(kind),
+                    outcome="ok" if ok else "violation",
+                    rows=rows,
+                )
+            )
+
+    def _emit(self, violation: Violation) -> Violation:
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    event="violation",
+                    op="check",
+                    scheme=violation.scheme_name,
+                    constraint=violation.constraint,
+                    kind=violation.kind,
+                    rule=violation.rule,
+                    outcome="rejected",
+                    detail=violation.detail,
+                )
+            )
+        return violation
+
+    def explain(self) -> dict:
+        """The checks :meth:`iter_violations` will run, in evaluation
+        order, each with its constraint id, kind and paper-rule label."""
+        checks: list[dict] = []
+
+        def add(check: str, scheme: str, constraint: str, kind: str) -> None:
+            checks.append(
+                {
+                    "step": len(checks) + 1,
+                    "check": check,
+                    "scheme": scheme,
+                    "constraint": constraint,
+                    "kind": kind,
+                    "rule": paper_rule(kind),
+                }
+            )
+
+        for scheme in self.schema.schemes:
+            add("structure", scheme.name, scheme.name, "structure")
+        for fd in list(self.schema.fds) + self._implicit_keys:
+            add("key-dependency", fd.scheme_name, str(fd), "key-dependency")
+        for ind in self.schema.inds:
+            add(
+                "inclusion-dependency",
+                ind.lhs_scheme,
+                str(ind),
+                "inclusion-dependency",
+            )
+        for nc in self.schema.null_constraints:
+            add(
+                "null-constraint",
+                nc.scheme_name,
+                str(nc),
+                classify_null_constraint(nc),
+            )
+        return {"schemes": len(self.schema.schemes), "checks": checks}
+
+    def explain_text(self) -> str:
+        """Human-readable form of :meth:`explain`."""
+        explanation = self.explain()
+        lines = [
+            f"EXPLAIN check ({explanation['schemes']} schemes, "
+            f"{len(explanation['checks'])} checks)"
+        ]
+        for check in explanation["checks"]:
+            lines.append(
+                f"  {check['step']}. {check['check']} on {check['scheme']}: "
+                f"{check['constraint']}  [{check['kind']}]"
+            )
+            if check["rule"]:
+                lines.append(f"       rule: {check['rule']}")
+        return "\n".join(lines)
+
     def iter_violations(self, state: DatabaseState) -> Iterator[Violation]:
         """Yield every violation of the schema's constraints by ``state``."""
         yield from self._structural_violations(state)
         for fd in list(self.schema.fds) + self._implicit_keys:
             if fd.scheme_name not in state:
                 continue
-            if not fd.is_satisfied_by(state[fd.scheme_name]):
-                yield Violation(
-                    "key-dependency",
-                    fd.scheme_name,
-                    str(fd),
-                    "two tuples agree on a total left-hand side but differ "
-                    "on the right-hand side",
+            ok = fd.is_satisfied_by(state[fd.scheme_name])
+            self._trace_check(
+                "key-dependency",
+                fd.scheme_name,
+                str(fd),
+                ok,
+                rows=len(state[fd.scheme_name]),
+            )
+            if not ok:
+                yield self._emit(
+                    Violation(
+                        "key-dependency",
+                        fd.scheme_name,
+                        str(fd),
+                        "two tuples agree on a total left-hand side but "
+                        "differ on the right-hand side",
+                        rule=paper_rule("key-dependency"),
+                    )
                 )
         for ind in self.schema.inds:
             if ind.lhs_scheme not in state or ind.rhs_scheme not in state:
                 continue
-            if not ind.is_satisfied_by(state):
-                yield Violation(
-                    "inclusion-dependency",
-                    ind.lhs_scheme,
-                    str(ind),
-                    "total projection of the left side is not contained in "
-                    "the total projection of the right side",
+            ok = ind.is_satisfied_by(state)
+            self._trace_check(
+                "inclusion-dependency",
+                ind.lhs_scheme,
+                str(ind),
+                ok,
+                rows=len(state[ind.lhs_scheme]),
+            )
+            if not ok:
+                yield self._emit(
+                    Violation(
+                        "inclusion-dependency",
+                        ind.lhs_scheme,
+                        str(ind),
+                        "total projection of the left side is not contained "
+                        "in the total projection of the right side",
+                        rule=paper_rule("inclusion-dependency"),
+                    )
                 )
         for nc in self.schema.null_constraints:
             if nc.scheme_name not in state:
                 continue
+            kind = classify_null_constraint(nc)
+            ok = True
             for t in state[nc.scheme_name]:
                 if not nc.holds_for(t):
-                    yield Violation(
-                        "null-constraint",
-                        nc.scheme_name,
-                        str(nc),
-                        f"violated by tuple {t!r}",
+                    ok = False
+                    self._trace_check(
+                        kind, nc.scheme_name, str(nc), False,
+                        rows=len(state[nc.scheme_name]),
+                    )
+                    yield self._emit(
+                        Violation(
+                            "null-constraint",
+                            nc.scheme_name,
+                            str(nc),
+                            f"violated by tuple {t!r}",
+                            rule=paper_rule(kind),
+                        )
                     )
                     break
+            if ok:
+                self._trace_check(
+                    kind, nc.scheme_name, str(nc), True,
+                    rows=len(state[nc.scheme_name]),
+                )
 
     def _structural_violations(self, state: DatabaseState) -> Iterator[Violation]:
+        rule = paper_rule("structure")
         for scheme in self.schema.schemes:
             if scheme.name not in state:
-                yield Violation(
-                    "structure",
-                    scheme.name,
-                    scheme.name,
-                    "state has no relation for this scheme",
+                yield self._emit(
+                    Violation(
+                        "structure",
+                        scheme.name,
+                        scheme.name,
+                        "state has no relation for this scheme",
+                        rule=rule,
+                    )
                 )
                 continue
             rel = state[scheme.name]
             if set(rel.attribute_names) != set(scheme.attribute_names):
-                yield Violation(
-                    "structure",
-                    scheme.name,
-                    scheme.name,
-                    f"relation attributes {sorted(rel.attribute_names)} do "
-                    f"not match scheme attributes "
-                    f"{sorted(scheme.attribute_names)}",
+                yield self._emit(
+                    Violation(
+                        "structure",
+                        scheme.name,
+                        scheme.name,
+                        f"relation attributes {sorted(rel.attribute_names)} do "
+                        f"not match scheme attributes "
+                        f"{sorted(scheme.attribute_names)}",
+                        rule=rule,
+                    )
                 )
 
     def violations(self, state: DatabaseState) -> list[Violation]:

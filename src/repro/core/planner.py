@@ -30,6 +30,7 @@ from repro.core.conditions import (
     prop51_keys_not_null,
     prop52_nulls_not_allowed_only,
 )
+from repro.obs.trace import TraceEvent, Tracer
 from repro.relational.attributes import attribute_sets_compatible
 from repro.relational.schema import RelationalSchema
 
@@ -69,6 +70,22 @@ class CandidateFamily:
             flags.append("non-null keys")
         tail = f" [{', '.join(flags)}]" if flags else ""
         return f"{self.key_relation} <- {{{', '.join(self.members)}}}{tail}"
+
+
+@dataclass(frozen=True)
+class FamilyDecision:
+    """The planner's verdict on one candidate family: admitted (and then
+    actually merged) or skipped, with the reason and the paper rule the
+    decision leaned on."""
+
+    family: CandidateFamily
+    admitted: bool
+    reason: str
+    rule: str
+
+    def __str__(self) -> str:
+        verdict = "merge" if self.admitted else "skip"
+        return f"{verdict} {self.family.key_relation}: {self.reason}"
 
 
 @dataclass
@@ -128,9 +145,11 @@ class MergePlanner:
         self,
         schema: RelationalSchema,
         strategy: MergeStrategy = MergeStrategy.AGGRESSIVE,
+        tracer: Tracer | None = None,
     ):
         self.schema = schema
         self.strategy = strategy
+        self.tracer = tracer
 
     # -- discovery -----------------------------------------------------------
 
@@ -175,37 +194,177 @@ class MergePlanner:
             )
         return tuple(sorted(out, key=lambda f: f.key_relation))
 
+    def _strategy_verdict(
+        self, family: CandidateFamily
+    ) -> tuple[bool, str, str]:
+        """``(admitted, reason, rule)`` for one family under the strategy."""
+        if self.strategy is MergeStrategy.NNA_ONLY:
+            if family.nna_only:
+                return (
+                    True,
+                    "Proposition 5.2 holds: the merged result needs "
+                    "nulls-not-allowed constraints only",
+                    "Proposition 5.2 (nulls-not-allowed-only result)",
+                )
+            return (
+                False,
+                "Proposition 5.2 fails: the merged result would need "
+                "general null constraints (triggers/rules, Section 5.1)",
+                "Proposition 5.2 (nulls-not-allowed-only result)",
+            )
+        if self.strategy is MergeStrategy.KEY_BASED:
+            if family.key_based_only and family.keys_not_null:
+                return (
+                    True,
+                    "Proposition 5.1 holds: every inclusion dependency "
+                    "stays key-based and the merged key stays non-null",
+                    "Proposition 5.1 (key-based RI, non-null keys)",
+                )
+            problems = []
+            if not family.key_based_only:
+                problems.append(
+                    "some inclusion dependency would not be key-based "
+                    "(Proposition 5.1(i))"
+                )
+            if not family.keys_not_null:
+                problems.append(
+                    "the merged key could take nulls (Proposition 5.1(ii))"
+                )
+            return (
+                False,
+                "Proposition 5.1 fails: " + "; ".join(problems),
+                "Proposition 5.1 (key-based RI, non-null keys)",
+            )
+        return (
+            True,
+            "aggressive strategy admits every discovered family",
+            "Proposition 3.1 (mergeable family discovery)",
+        )
+
+    def _decide(
+        self,
+    ) -> tuple[list[FamilyDecision], tuple[CandidateFamily, ...]]:
+        """Every family's decision (in discovery order) plus the selected
+        disjoint families (in application order)."""
+        decisions: dict[str, FamilyDecision] = {}
+        order: list[str] = []
+        admitted: list[CandidateFamily] = []
+        for family in self.candidate_families():
+            order.append(family.key_relation)
+            ok, reason, rule = self._strategy_verdict(family)
+            decisions[family.key_relation] = FamilyDecision(
+                family, ok, reason, rule
+            )
+            if ok:
+                admitted.append(family)
+        admitted.sort(key=lambda f: (-len(f.members), f.key_relation))
+        used: set[str] = set()
+        claimed: dict[str, str] = {}
+        selected: list[CandidateFamily] = []
+        for family in admitted:
+            overlap = used & set(family.members)
+            if overlap:
+                winner = claimed[min(overlap)]
+                decisions[family.key_relation] = FamilyDecision(
+                    family,
+                    False,
+                    f"members {sorted(overlap)} already belong to the "
+                    f"family of {winner} (larger families win)",
+                    "disjointness (families must not share members)",
+                )
+                continue
+            used |= set(family.members)
+            for member in family.members:
+                claimed[member] = family.key_relation
+            selected.append(family)
+        return [decisions[k] for k in order], tuple(selected)
+
+    def decisions(self) -> tuple[FamilyDecision, ...]:
+        """The admit/skip verdict for every candidate family, with the
+        reason and the Proposition 5.1/5.2 rule behind it."""
+        return tuple(self._decide()[0])
+
     def selected_families(self) -> tuple[CandidateFamily, ...]:
         """Candidate families admitted by the strategy, made disjoint
         (larger families win; ties broken by key-relation name)."""
-        admitted = []
-        for family in self.candidate_families():
-            if self.strategy is MergeStrategy.NNA_ONLY and not family.nna_only:
-                continue
-            if self.strategy is MergeStrategy.KEY_BASED and not (
-                family.key_based_only and family.keys_not_null
-            ):
-                continue
-            admitted.append(family)
-        admitted.sort(key=lambda f: (-len(f.members), f.key_relation))
-        used: set[str] = set()
-        disjoint = []
-        for family in admitted:
-            if used & set(family.members):
-                continue
-            used |= set(family.members)
-            disjoint.append(family)
-        return tuple(disjoint)
+        return self._decide()[1]
+
+    def explain(self) -> dict:
+        """The planner's reasoning as a structured dict: every candidate
+        family with its Proposition 5.1/5.2 verdicts and the admission
+        decision the strategy took."""
+        decisions, selected = self._decide()
+        return {
+            "strategy": self.strategy.value,
+            "schemes": len(self.schema.schemes),
+            "families": [
+                {
+                    "key_relation": d.family.key_relation,
+                    "members": list(d.family.members),
+                    "verdicts": {
+                        "prop51_key_based_inds_only": d.family.key_based_only,
+                        "prop51_keys_not_null": d.family.keys_not_null,
+                        "prop52_nna_only": d.family.nna_only,
+                    },
+                    "admitted": d.admitted,
+                    "reason": d.reason,
+                    "rule": d.rule,
+                }
+                for d in decisions
+            ],
+            "selected": [f.key_relation for f in selected],
+        }
+
+    def explain_text(self) -> str:
+        """Human-readable form of :meth:`explain`."""
+        explanation = self.explain()
+        lines = [
+            f"EXPLAIN merge plan (strategy: {explanation['strategy']}, "
+            f"{explanation['schemes']} schemes)"
+        ]
+        if not explanation["families"]:
+            lines.append(
+                "  no mergeable families "
+                "(Proposition 3.1 finds no key-relations)"
+            )
+        for entry in explanation["families"]:
+            verdict = "MERGE" if entry["admitted"] else "skip"
+            lines.append(
+                f"  {verdict} {entry['key_relation']} <- "
+                f"{{{', '.join(entry['members'])}}}"
+            )
+            lines.append(f"       {entry['reason']}")
+            lines.append(f"       rule: {entry['rule']}")
+        return "\n".join(lines)
+
+    def _trace_decisions(self, decisions: list[FamilyDecision]) -> None:
+        if self.tracer is None:
+            return
+        for d in decisions:
+            self.tracer.emit(
+                TraceEvent(
+                    event="merge-decision",
+                    op="plan",
+                    scheme=d.family.key_relation,
+                    constraint=str(d.family),
+                    kind="merge-admission",
+                    rule=d.rule,
+                    outcome="admitted" if d.admitted else "skipped",
+                    detail=d.reason,
+                )
+            )
 
     # -- application -----------------------------------------------------------
 
     def apply(self) -> PlanResult:
         """Merge every selected family and compose the state mappings."""
+        decisions, selected = self._decide()
+        self._trace_decisions(decisions)
         result = PlanResult(source_schema=self.schema, schema=self.schema)
         current = self.schema
         forward: StateMapping | None = None
         backward: StateMapping | None = None
-        for family in self.selected_families():
+        for family in selected:
             merged = Merge(
                 current, family.members, key_relation=family.key_relation
             ).apply()
@@ -245,6 +404,23 @@ class MergePlanner:
                     nna_only_result=nna_only,
                 )
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    TraceEvent(
+                        event="merge-applied",
+                        op="merge",
+                        scheme=simplified.info.merged_name,
+                        constraint=str(family),
+                        kind="merge-admission",
+                        rule="Definition 4.1 (Merge) + Definition 4.3 (Remove)",
+                        outcome="ok",
+                        rows=len(result.steps[-1].removed_attributes),
+                        detail=(
+                            f"{len(merged_constraints)} null constraint(s)"
+                            f"{', NNA-only' if nna_only else ''}"
+                        ),
+                    )
+                )
         result.schema = current
         result.forward = forward or IdentityMapping()
         result.backward = backward or IdentityMapping()

@@ -24,6 +24,7 @@ from repro.core.remove import remove_all
 from repro.engine.database import ConstraintViolationError, Database
 from repro.engine.oracle import OracleDatabase
 from repro.engine.query import QueryEngine
+from repro.engine.stats import EngineStats
 from repro.relational.tuples import NULL
 from repro.workloads.university import university_relational, university_state
 
@@ -37,10 +38,27 @@ PROFILE_NAVIGATIONS = [
 ]
 
 
-def _ops_per_second(fn: Callable[[int], Any], n_ops: int) -> float:
+def _ops_per_second(
+    fn: Callable[[int], Any],
+    n_ops: int,
+    stats: EngineStats | None = None,
+    op: str | None = None,
+) -> float:
+    """Throughput of ``fn``; with ``stats``/``op`` every call's latency
+    is also recorded into ``stats.latencies[op]`` (the p50/p99 columns
+    of the report)."""
+    if stats is None:
+        start = time.perf_counter()
+        for i in range(n_ops):
+            fn(i)
+        elapsed = time.perf_counter() - start
+        return n_ops / elapsed if elapsed > 0 else float("inf")
+    observe = stats.observe
     start = time.perf_counter()
     for i in range(n_ops):
+        t0 = time.perf_counter()
         fn(i)
+        observe(op, time.perf_counter() - t0)
     elapsed = time.perf_counter() - start
     return n_ops / elapsed if elapsed > 0 else float("inf")
 
@@ -75,22 +93,27 @@ def _bench_fig3(db: Database, n_ops: int) -> dict[str, float]:
         db.insert("ASSIST", {"A.C.NR": nr, "A.S.SSN": "bench-stu"})
 
     q = QueryEngine(db)
+    stats = db.stats
     result = {
-        "insert": _ops_per_second(insert_object, n_ops),
+        "insert": _ops_per_second(insert_object, n_ops, stats, "insert"),
         "update": _ops_per_second(
             lambda i: db.update(
                 "TEACH", f"new-{i:06d}", {"T.F.SSN": "bench-fac"}
             ),
             n_ops,
+            stats,
+            "update",
         ),
         "navigate": _ops_per_second(
             lambda i: q.profile(
                 "COURSE", f"crs-{i % 1000:04d}", PROFILE_NAVIGATIONS
             ),
             n_ops,
+            stats,
+            "navigate",
         ),
         "delete": _ops_per_second(
-            lambda i: db.delete("TEACH", f"new-{i:06d}"), n_ops
+            lambda i: db.delete("TEACH", f"new-{i:06d}"), n_ops, stats, "delete"
         ),
     }
     return result
@@ -109,21 +132,28 @@ def _bench_fig6(db: Database, merged_name: str, n_ops: int) -> dict[str, float]:
         )
 
     q = QueryEngine(db)
+    stats = db.stats
     return {
-        "insert": _ops_per_second(insert_object, n_ops),
+        "insert": _ops_per_second(insert_object, n_ops, stats, "insert"),
         "update": _ops_per_second(
             lambda i: db.update(
                 merged_name, f"new-{i:06d}", {"T.F.SSN": "bench-fac"}
             ),
             n_ops,
+            stats,
+            "update",
         ),
         "navigate": _ops_per_second(
             lambda i: q.profile(merged_name, f"crs-{i % 1000:04d}", []),
             n_ops,
+            stats,
+            "navigate",
         ),
         "delete": _ops_per_second(
             lambda i: db.update(merged_name, f"new-{i:06d}", {"T.F.SSN": NULL}),
             n_ops,
+            stats,
+            "delete",
         ),
     }
 
@@ -171,12 +201,23 @@ def _bench_scan_paths(
             raise AssertionError("restrict-delete unexpectedly succeeded")
 
     indexed = {
-        "find_referencing": _ops_per_second(indexed_find, n_ops),
-        "restrict_delete": _ops_per_second(indexed_restrict, n_ops),
+        "find_referencing": _ops_per_second(
+            indexed_find, n_ops, unmerged.stats, "find_referencing"
+        ),
+        "restrict_delete": _ops_per_second(
+            indexed_restrict, n_ops, unmerged.stats, "restrict_delete"
+        ),
     }
+    # Same per-call timing as the indexed side, so the speedup compares
+    # like with like; the oracle's latencies are not reported.
+    scan_stats = EngineStats()
     scan = {
-        "find_referencing": _ops_per_second(oracle_find, oracle_ops),
-        "restrict_delete": _ops_per_second(oracle_restrict, oracle_ops),
+        "find_referencing": _ops_per_second(
+            oracle_find, oracle_ops, scan_stats, "find_referencing"
+        ),
+        "restrict_delete": _ops_per_second(
+            oracle_restrict, oracle_ops, scan_stats, "restrict_delete"
+        ),
     }
     return indexed, scan
 
@@ -192,6 +233,25 @@ def _bench_bulk(db: Database, n_ops: int) -> dict[str, float]:
     db.apply_batch(ops)
     batch_rate = n_ops / (time.perf_counter() - start)
     return {"insert_many": insert_rate, "apply_batch_delete": batch_rate}
+
+
+def _latency_summary(
+    stats: EngineStats, ops: tuple[str, ...]
+) -> dict[str, dict]:
+    """p50/p99 (log2-bucket upper bounds, in us) per measured op."""
+    out = {}
+    for op in ops:
+        hist = stats.latencies.get(op)
+        if hist is None or hist.count == 0:
+            continue
+        summary = hist.to_dict()
+        out[op] = {
+            "count": summary["count"],
+            "p50_us": summary["p50_us"],
+            "p99_us": summary["p99_us"],
+            "max_us": summary["max_us"],
+        }
+    return out
 
 
 def run_engine_benchmark(
@@ -216,12 +276,20 @@ def run_engine_benchmark(
         fig6 = _bench_fig6(merged, simplified.info.merged_name, n_ops)
         indexed, scan = _bench_scan_paths(unmerged, oracle, n_ops)
         bulk = _bench_bulk(unmerged, n_ops)
+        mutation_ops = ("insert", "update", "navigate", "delete")
         report["results"].append(
             {
                 "n_courses": n,
                 "n_ops": n_ops,
                 "fig3_ops_per_s": {k: round(v, 1) for k, v in fig3.items()},
                 "fig6_ops_per_s": {k: round(v, 1) for k, v in fig6.items()},
+                "fig3_latency_us": _latency_summary(
+                    unmerged.stats, mutation_ops
+                ),
+                "fig6_latency_us": _latency_summary(merged.stats, mutation_ops),
+                "indexed_latency_us": _latency_summary(
+                    unmerged.stats, ("find_referencing", "restrict_delete")
+                ),
                 "indexed_ops_per_s": {
                     k: round(v, 1) for k, v in indexed.items()
                 },
@@ -242,15 +310,26 @@ def format_report(report: dict[str, Any]) -> str:
     lines = [
         f"engine benchmark (python {report['python']}, "
         f"{report['ops_cap']} ops/measurement)",
-        f"{'n':>8} {'op':>18} {'fig3 ops/s':>12} {'fig6 ops/s':>12}",
+        f"{'n':>8} {'op':>18} {'fig3 ops/s':>12} {'fig6 ops/s':>12}"
+        f" {'fig3 p50/p99 us':>18} {'fig6 p50/p99 us':>18}",
     ]
+
+    def _p(latencies: dict, op: str) -> str:
+        lat = latencies.get(op)
+        if not lat:
+            return "-"
+        return f"{lat['p50_us']:.0f}/{lat['p99_us']:.0f}"
+
     for row in report["results"]:
         n = row["n_courses"]
+        fig3_lat = row.get("fig3_latency_us", {})
+        fig6_lat = row.get("fig6_latency_us", {})
         for op in ("insert", "update", "delete", "navigate"):
             lines.append(
                 f"{n:>8} {op:>18} "
                 f"{row['fig3_ops_per_s'][op]:>12.0f} "
                 f"{row['fig6_ops_per_s'][op]:>12.0f}"
+                f" {_p(fig3_lat, op):>18} {_p(fig6_lat, op):>18}"
             )
         for op in ("find_referencing", "restrict_delete"):
             lines.append(

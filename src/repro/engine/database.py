@@ -33,6 +33,7 @@ Two layers keep the enforcement fast (see ``docs/PERFORMANCE.md``):
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.engine.plans import (
@@ -42,6 +43,8 @@ from repro.engine.plans import (
     compile_schema,
 )
 from repro.engine.stats import EngineStats
+from repro.obs.rules import classify_null_constraint, paper_rule
+from repro.obs.trace import TraceEvent, Tracer
 from repro.relational.relation import Relation
 from repro.relational.schema import RelationScheme, RelationalSchema
 from repro.relational.state import DatabaseState
@@ -49,11 +52,27 @@ from repro.relational.tuples import NULL, Tuple
 
 
 class ConstraintViolationError(ValueError):
-    """A mutation was rejected; carries which constraint failed."""
+    """A mutation was rejected; carries which constraint failed.
 
-    def __init__(self, constraint: str, detail: str):
+    ``constraint`` is the constraint id (the label the seed engine
+    always raised with); ``kind`` is the violation-kind string used for
+    rule lookup (defaults to ``constraint``, which is already a kind
+    for labels like ``restrict-delete``); ``rule`` is the paper-rule
+    label (:data:`repro.obs.rules.PAPER_RULES`), derived from ``kind``
+    when not given.
+    """
+
+    def __init__(
+        self,
+        constraint: str,
+        detail: str,
+        kind: str | None = None,
+        rule: str | None = None,
+    ):
         self.constraint = constraint
         self.detail = detail
+        self.kind = kind if kind is not None else constraint
+        self.rule = rule if rule is not None else paper_rule(self.kind)
         super().__init__(f"{constraint}: {detail}")
 
 
@@ -157,6 +176,8 @@ class Database:
         schema: RelationalSchema,
         stats: EngineStats | None = None,
         null_semantics: str = "distinct",
+        tracer: Tracer | None = None,
+        record_latencies: bool = False,
     ):
         if null_semantics not in ("distinct", "identical"):
             raise ValueError(
@@ -165,6 +186,11 @@ class Database:
         self.null_semantics = null_semantics
         self.schema = schema
         self.stats = stats if stats is not None else EngineStats()
+        #: Trace sink for enforcement decisions (None = tracing off).
+        self.tracer = tracer
+        #: Whether mutations time themselves into ``stats.latencies``.
+        self.record_latencies = record_latencies
+        self._timed = tracer is not None or record_latencies
         self._plans = compile_schema(schema)
         self._tables: dict[str, _Table] = {
             s.name: _Table(s, self._plans[s.name]) for s in schema.schemes
@@ -191,6 +217,77 @@ class Database:
         """The compiled access plan for one relation-scheme."""
         self.table(scheme_name)  # raises uniformly on unknown names
         return self._plans[scheme_name]
+
+    # -- observability ---------------------------------------------------
+
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Attach (or with ``None`` detach) a trace sink."""
+        self.tracer = tracer
+        self._timed = tracer is not None or self.record_latencies
+
+    def set_record_latencies(self, enabled: bool) -> None:
+        """Toggle per-mutation latency recording into ``stats.latencies``."""
+        self.record_latencies = enabled
+        self._timed = self.tracer is not None or enabled
+
+    def explain(self, op: str, scheme_name: str) -> dict:
+        """The ordered checks ``op`` ("insert"/"update"/"delete") runs on
+        ``scheme_name``, with constraint ids, paper-rule labels and
+        access paths -- as a structured dict."""
+        from repro.obs.explain import explain_mutation
+
+        return explain_mutation(self, op, scheme_name)
+
+    def explain_text(self, op: str, scheme_name: str) -> str:
+        """Human-readable form of :meth:`explain`."""
+        from repro.obs.explain import explain_mutation, render_mutation
+
+        return render_mutation(explain_mutation(self, op, scheme_name))
+
+    def _observe_ok(
+        self, op: str, scheme: str | None, start: float, rows: int = 1
+    ) -> None:
+        """Record one accepted mutation (latency and/or trace event)."""
+        elapsed = perf_counter() - start
+        if self.record_latencies:
+            self.stats.observe(op, elapsed)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    event="mutation",
+                    op=op,
+                    scheme=scheme,
+                    outcome="ok",
+                    rows=rows,
+                    elapsed_us=round(elapsed * 1e6, 3),
+                )
+            )
+
+    def _observe_reject(
+        self,
+        op: str,
+        scheme: str | None,
+        exc: ConstraintViolationError,
+        start: float,
+    ) -> None:
+        """Record one rejected mutation with its constraint provenance."""
+        elapsed = perf_counter() - start
+        if self.record_latencies:
+            self.stats.observe(op, elapsed)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    event="reject",
+                    op=op,
+                    scheme=scheme,
+                    constraint=exc.constraint,
+                    kind=exc.kind,
+                    rule=exc.rule,
+                    outcome="rejected",
+                    detail=exc.detail,
+                    elapsed_us=round(elapsed * 1e6, 3),
+                )
+            )
 
     def get(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> Tuple | None:
         """Primary-key lookup; counts as one lookup."""
@@ -242,7 +339,11 @@ class Database:
         for constraint, check in self._plans[scheme_name].null_checks:
             self.stats.constraint_checks += 1
             if not check(t):
-                raise ConstraintViolationError(str(constraint), f"row {t!r}")
+                raise ConstraintViolationError(
+                    str(constraint),
+                    f"row {t!r}",
+                    kind=classify_null_constraint(constraint),
+                )
 
     def _check_keys(
         self, table: _Table, t: Tuple, replacing: tuple[Any, ...] | None
@@ -294,26 +395,47 @@ class Database:
                     str(ref.ind),
                     f"no {ref.scheme} row with "
                     f"{dict(zip(ref.attrs, value))!r}",
+                    kind="inclusion-dependency",
                 )
 
     def _referenced_exists_via(
         self, ref: CompiledReference, value: tuple[Any, ...]
     ) -> bool:
         table = self._tables[ref.scheme]
+        scanned = 0
         if ref.is_pk:
             self.stats.index_hits += 1
-            return value in table.rows
-        index = table.group_indexes.get(ref.attrs)
-        if index is not None:
+            path = "pk-index"
+            found = value in table.rows
+        elif (index := table.group_indexes.get(ref.attrs)) is not None:
             self.stats.index_hits += 1
-            return bool(index.get(value))
-        self.stats.index_misses += 1
-        self.stats.tuples_scanned += len(table.rows)
-        attrs = ref.attrs
-        return any(
-            tuple(row[a] for a in attrs) == value
-            for row in table.rows.values()
-        )
+            path = "group-index"
+            found = bool(index.get(value))
+        else:
+            self.stats.index_misses += 1
+            scanned = len(table.rows)
+            self.stats.tuples_scanned += scanned
+            path = "scan"
+            attrs = ref.attrs
+            found = any(
+                tuple(row[a] for a in attrs) == value
+                for row in table.rows.values()
+            )
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    event="ref-check",
+                    op="exists",
+                    scheme=ref.scheme,
+                    constraint=str(ref.ind),
+                    kind="inclusion-dependency",
+                    rule=paper_rule("inclusion-dependency"),
+                    outcome="found" if found else "absent",
+                    access_path=path,
+                    rows=scanned,
+                )
+            )
+        return found
 
     def _referenced_exists(
         self, scheme_name: str, attrs: tuple[str, ...], value: tuple[Any, ...]
@@ -335,6 +457,29 @@ class Database:
             for row in table.rows.values()
         )
 
+    def _trace_restrict(
+        self,
+        ref: CompiledReference,
+        path: str,
+        scanned: int,
+        blocker: str | None,
+    ) -> None:
+        """Emit the restrict-probe event for one incoming reference."""
+        self.tracer.emit(
+            TraceEvent(
+                event="restrict-check",
+                op="referencers",
+                scheme=ref.scheme,
+                constraint=str(ref.ind),
+                kind="inclusion-dependency",
+                rule=paper_rule("inclusion-dependency"),
+                outcome="blocked" if blocker is not None else "clear",
+                access_path=path,
+                rows=scanned,
+                detail=blocker,
+            )
+        )
+
     def _blocking_referencer(
         self,
         ref: CompiledReference,
@@ -344,34 +489,43 @@ class Database:
         """Description of a row of ``ref.scheme`` referencing ``value``
         (ignoring the row keyed ``exclude_pk``), or ``None``."""
         child = self._tables[ref.scheme]
+        blocker: str | None = None
+        scanned = 0
         if ref.is_pk:
             self.stats.index_hits += 1
+            path = "pk-index"
             if value in child.rows:
                 if exclude_pk is None:
-                    return f"{ref.ind} (from {ref.scheme})"
-                if value != exclude_pk:
-                    return f"{ref.ind} (row {value!r} of {ref.scheme})"
-            return None
-        index = child.group_indexes.get(ref.attrs)
-        if index is not None:
+                    blocker = f"{ref.ind} (from {ref.scheme})"
+                elif value != exclude_pk:
+                    blocker = f"{ref.ind} (row {value!r} of {ref.scheme})"
+        elif (index := child.group_indexes.get(ref.attrs)) is not None:
             self.stats.index_hits += 1
+            path = "group-index"
             referencers = index.get(value)
             if referencers:
                 if exclude_pk is None:
-                    return f"{ref.ind} (from {ref.scheme})"
-                for pk in referencers:
-                    if pk != exclude_pk:
-                        return f"{ref.ind} (row {pk!r} of {ref.scheme})"
-            return None
-        self.stats.index_misses += 1
-        self.stats.tuples_scanned += len(child.rows)
-        attrs = ref.attrs
-        for pk, row in child.rows.items():
-            if exclude_pk is not None and pk == exclude_pk:
-                continue
-            if tuple(row[a] for a in attrs) == value:
-                return f"{ref.ind} (row {pk!r} of {ref.scheme})"
-        return None
+                    blocker = f"{ref.ind} (from {ref.scheme})"
+                else:
+                    for pk in referencers:
+                        if pk != exclude_pk:
+                            blocker = f"{ref.ind} (row {pk!r} of {ref.scheme})"
+                            break
+        else:
+            self.stats.index_misses += 1
+            scanned = len(child.rows)
+            self.stats.tuples_scanned += scanned
+            path = "scan"
+            attrs = ref.attrs
+            for pk, row in child.rows.items():
+                if exclude_pk is not None and pk == exclude_pk:
+                    continue
+                if tuple(row[a] for a in attrs) == value:
+                    blocker = f"{ref.ind} (row {pk!r} of {ref.scheme})"
+                    break
+        if self.tracer is not None:
+            self._trace_restrict(ref, path, scanned, blocker)
+        return blocker
 
     def _referencing_rows_exist(
         self,
@@ -400,30 +554,46 @@ class Database:
     def insert(self, scheme_name: str, row: Mapping[str, Any]) -> Tuple:
         """Insert one row; raises :class:`ConstraintViolationError` when
         any constraint would be violated."""
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
         table = self.table(scheme_name)
-        t = self._check_shape(table, row)
-        self._check_null_constraints(scheme_name, t)
-        pk = self._check_keys(table, t, replacing=None)
-        self._check_references_out(scheme_name, t)
+        try:
+            t = self._check_shape(table, row)
+            self._check_null_constraints(scheme_name, t)
+            pk = self._check_keys(table, t, replacing=None)
+            self._check_references_out(scheme_name, t)
+        except ConstraintViolationError as exc:
+            if timed:
+                self._observe_reject("insert", scheme_name, exc, start)
+            raise
         self._store(table, t, pk)
         self.stats.inserts += 1
+        if timed:
+            self._observe_ok("insert", scheme_name, start)
         return t
 
     def delete(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> None:
         """Delete by primary key, restricting when referenced."""
         if not isinstance(pk, tuple):
             pk = (pk,)
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
         table = self.table(scheme_name)
         old = table.rows.get(pk)
         if old is None:
             raise KeyError(f"{scheme_name}: no row with key {pk!r}")
         blocker = self._referencing_rows_exist(scheme_name, old)
         if blocker is not None:
-            raise ConstraintViolationError(
+            exc = ConstraintViolationError(
                 "restrict-delete", f"{scheme_name} row {pk!r} referenced via {blocker}"
             )
+            if timed:
+                self._observe_reject("delete", scheme_name, exc, start)
+            raise exc
         self._unstore(table, pk, old)
         self.stats.deletes += 1
+        if timed:
+            self._observe_ok("delete", scheme_name, start)
 
     def update(
         self, scheme_name: str, pk: tuple[Any, ...] | Any, updates: Mapping[str, Any]
@@ -431,36 +601,46 @@ class Database:
         """Update one row by primary key."""
         if not isinstance(pk, tuple):
             pk = (pk,)
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
         table = self.table(scheme_name)
         old = table.rows.get(pk)
         if old is None:
             raise KeyError(f"{scheme_name}: no row with key {pk!r}")
-        t = old.with_values(dict(updates))
-        self._check_null_constraints(scheme_name, t)
-        new_pk = self._check_keys(table, t, replacing=pk)
-        self._check_references_out(scheme_name, t)
-        # Referenced attribute values must not change under incoming
-        # references (restrict semantics on update).
-        old_values = old.mapping
-        new_values = t.mapping
-        changed = {
-            name for name in updates if old_values[name] != new_values[name]
-        }
-        if changed:
-            for ref in self._plans[scheme_name].incoming:
-                if changed & ref.watch:
-                    blocker = self._referencing_rows_exist(
-                        scheme_name, old, ignore_self_pk=pk
-                    )
-                    if blocker is not None:
-                        raise ConstraintViolationError(
-                            "restrict-update",
-                            f"{scheme_name} row {pk!r} referenced via {blocker}",
+        try:
+            t = old.with_values(dict(updates))
+            self._check_null_constraints(scheme_name, t)
+            new_pk = self._check_keys(table, t, replacing=pk)
+            self._check_references_out(scheme_name, t)
+            # Referenced attribute values must not change under incoming
+            # references (restrict semantics on update).
+            old_values = old.mapping
+            new_values = t.mapping
+            changed = {
+                name for name in updates if old_values[name] != new_values[name]
+            }
+            if changed:
+                for ref in self._plans[scheme_name].incoming:
+                    if changed & ref.watch:
+                        blocker = self._referencing_rows_exist(
+                            scheme_name, old, ignore_self_pk=pk
                         )
-                    break
+                        if blocker is not None:
+                            raise ConstraintViolationError(
+                                "restrict-update",
+                                f"{scheme_name} row {pk!r} "
+                                f"referenced via {blocker}",
+                            )
+                        break
+        except ConstraintViolationError as exc:
+            if timed:
+                self._observe_reject("update", scheme_name, exc, start)
+            raise
         self._unstore(table, pk, old)
         self._store(table, t, new_pk)
         self.stats.updates += 1
+        if timed:
+            self._observe_ok("update", scheme_name, start)
         return t
 
     # -- bulk mutations --------------------------------------------------------
@@ -478,19 +658,28 @@ class Database:
         back and the same :class:`ConstraintViolationError` the per-row
         path would raise is re-raised.
         """
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
         table = self.table(scheme_name)
         stored: list[Tuple] = []
-        with self.transaction():
-            for row in rows:
-                t = self._check_shape(table, row)
-                self._check_null_constraints(scheme_name, t)
-                pk = self._check_keys(table, t, replacing=None)
-                self._store(table, t, pk)
-                stored.append(t)
-            for t in stored:
-                self._check_references_out(scheme_name, t)
+        try:
+            with self.transaction():
+                for row in rows:
+                    t = self._check_shape(table, row)
+                    self._check_null_constraints(scheme_name, t)
+                    pk = self._check_keys(table, t, replacing=None)
+                    self._store(table, t, pk)
+                    stored.append(t)
+                for t in stored:
+                    self._check_references_out(scheme_name, t)
+        except ConstraintViolationError as exc:
+            if timed:
+                self._observe_reject("insert_many", scheme_name, exc, start)
+            raise
         self.stats.inserts += len(stored)
         self.stats.bulk_rows += len(stored)
+        if timed:
+            self._observe_ok("insert_many", scheme_name, start, rows=len(stored))
         return stored
 
     def apply_batch(
@@ -518,6 +707,19 @@ class Database:
         Returns one entry per operation: the stored :class:`Tuple` for
         inserts/updates, ``None`` for deletes.
         """
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
+        try:
+            results = self._apply_batch(ops)
+        except ConstraintViolationError as exc:
+            if timed:
+                self._observe_reject("apply_batch", None, exc, start)
+            raise
+        if timed:
+            self._observe_ok("apply_batch", None, start, rows=len(results))
+        return results
+
+    def _apply_batch(self, ops: Iterable[tuple]) -> list[Tuple | None]:
         results: list[Tuple | None] = []
         pending_out: list[tuple[str, Tuple]] = []
         pending_in: list[tuple[CompiledReference, tuple[Any, ...]]] = []
@@ -626,6 +828,8 @@ class Database:
             raise ConstraintViolationError(
                 "bulk-load", "cannot bulk-load inside a transaction"
             )
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
         identical = self.null_semantics == "identical"
         total = 0
         for name, relation in state.items():
@@ -657,11 +861,17 @@ class Database:
         if validate:
             from repro.constraints.checker import ConsistencyChecker
 
-            violations = ConsistencyChecker(self.schema).violations(self.state())
+            checker = ConsistencyChecker(self.schema, tracer=self.tracer)
+            violations = checker.violations(self.state())
             if violations:
-                raise ConstraintViolationError(
+                exc = ConstraintViolationError(
                     "bulk-load", "; ".join(str(v) for v in violations[:5])
                 )
+                if timed:
+                    self._observe_reject("load_state", None, exc, start)
+                raise exc
+        if timed:
+            self._observe_ok("load_state", None, start, rows=total)
 
     # -- transactions -----------------------------------------------------------
 

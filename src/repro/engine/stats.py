@@ -1,13 +1,16 @@
-"""Operation counters for the access-performance benchmarks."""
+"""Operation counters and latency histograms for the access benchmarks."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import MISSING, dataclass, field, fields
+
+from repro.obs.histogram import LatencyHistogram
 
 
 @dataclass
 class EngineStats:
-    """Counts of the work a database/query-engine pair performed.
+    """Counts (and latency distributions) of the work a database/query-
+    engine pair performed.
 
     ``joins_performed`` counts relation-to-relation navigations (the
     quantity merging is supposed to reduce); ``lookups`` counts primary-
@@ -19,8 +22,16 @@ class EngineStats:
     rows that moved through a bulk path (``load_state``, ``insert_many``,
     ``apply_batch``).
 
+    ``latencies`` maps an operation name to a
+    :class:`~repro.obs.histogram.LatencyHistogram`; it stays empty
+    unless something calls :meth:`observe` (the engine does when
+    constructed with ``record_latencies=True``, and the benchmark
+    harness does around every measured op).
+
     ``reset`` and ``snapshot`` are driven by ``dataclasses.fields`` so a
-    newly added counter can never be silently missed by either.
+    newly added counter can never be silently missed by either; fields
+    with factory defaults (like ``latencies``) reset through their
+    factory.
     """
 
     inserts: int = 0
@@ -33,15 +44,72 @@ class EngineStats:
     index_hits: int = 0
     index_misses: int = 0
     bulk_rows: int = 0
+    latencies: dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def observe(self, op: str, seconds: float) -> None:
+        """Record one operation latency into the ``op`` histogram."""
+        hist = self.latencies.get(op)
+        if hist is None:
+            hist = self.latencies[op] = LatencyHistogram()
+        hist.record(seconds)
 
     def reset(self) -> None:
-        """Zero every counter (every dataclass field, by construction)."""
-        for f in fields(self):
-            setattr(self, f.name, f.default)
+        """Zero every counter (every dataclass field, by construction).
 
-    def snapshot(self) -> dict[str, int]:
-        """A plain-dict copy of every counter, for reporting."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        A field with a factory default is re-created through
+        ``default_factory`` -- using ``f.default`` there would assign the
+        ``MISSING`` sentinel.
+        """
+        for f in fields(self):
+            if f.default_factory is not MISSING:
+                setattr(self, f.name, f.default_factory())
+            else:
+                setattr(self, f.name, f.default)
+
+    def snapshot(self) -> dict[str, object]:
+        """A plain-dict copy of every field, for reporting; histograms
+        appear as their JSON-ready summaries."""
+        out: dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "latencies":
+                value = {op: hist.to_dict() for op, hist in value.items()}
+            out[f.name] = value
+        return out
+
+    def to_json(self) -> dict[str, object]:
+        """Alias of :meth:`snapshot` (the JSON-ready export)."""
+        return self.snapshot()
+
+    def to_prometheus(self, prefix: str = "repro_engine") -> str:
+        """The counters and latency histograms in Prometheus text
+        exposition format (counters plus cumulative ``le`` buckets)."""
+        lines: list[str] = []
+        for f in fields(self):
+            if f.name == "latencies":
+                continue
+            lines.append(f"# TYPE {prefix}_{f.name} counter")
+            lines.append(f"{prefix}_{f.name} {getattr(self, f.name)}")
+        if self.latencies:
+            metric = f"{prefix}_op_latency_seconds"
+            lines.append(f"# TYPE {metric} histogram")
+            for op in sorted(self.latencies):
+                hist = self.latencies[op]
+                for bound, cumulative in hist.cumulative():
+                    if cumulative == 0:
+                        continue  # skip empty leading buckets
+                    lines.append(
+                        f'{metric}_bucket{{op="{op}",le="{bound:.6g}"}} '
+                        f"{cumulative}"
+                    )
+                    if cumulative == hist.count:
+                        break  # the remaining buckets only repeat the total
+                lines.append(
+                    f'{metric}_bucket{{op="{op}",le="+Inf"}} {hist.count}'
+                )
+                lines.append(f'{metric}_sum{{op="{op}"}} {hist.total:.9f}')
+                lines.append(f'{metric}_count{{op="{op}"}} {hist.count}')
+        return "\n".join(lines) + "\n"
 
     def __str__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.snapshot().items() if v)

@@ -1,0 +1,44 @@
+"""Decision-provenance observability for the enforcement engine.
+
+The paper's constraint vocabulary is generated mechanically -- every
+null constraint a merge produces has a provenance in one step of
+Definition 4.1, every referential-integrity rejection traces back to a
+Section 2 inclusion dependency, and the two Section 5 propositions
+decide which merges a declarative DBMS can maintain.  This package
+makes that provenance visible at run time:
+
+* :mod:`repro.obs.trace` -- structured :class:`TraceEvent` records with
+  ring-buffer and JSONL sinks; the engine, the consistency checker and
+  the merge planner emit one event per enforcement decision;
+* :mod:`repro.obs.rules` -- the constraint-kind classifier and the
+  paper-rule labels (Definition 4.1 steps 3(a)-3(e)/4(b)-4(c),
+  Section 3 constraint forms, Section 5.1 maintenance rules,
+  Propositions 5.1/5.2) attached to every event and violation;
+* :mod:`repro.obs.histogram` -- a fixed log-bucket latency histogram
+  (no dependencies) behind ``EngineStats.latencies`` and the bench
+  report's p50/p99 columns;
+* :mod:`repro.obs.explain` -- EXPLAIN renderers: the compiled access
+  plan behind each mutation kind, the provenance of merged null
+  constraints, and the planner's admission decisions, as structured
+  dicts plus human-readable text.
+"""
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.rules import classify_null_constraint, paper_rule, rule_for
+from repro.obs.trace import (
+    JsonlTracer,
+    RingBufferTracer,
+    TraceEvent,
+    Tracer,
+)
+
+__all__ = [
+    "JsonlTracer",
+    "LatencyHistogram",
+    "RingBufferTracer",
+    "TraceEvent",
+    "Tracer",
+    "classify_null_constraint",
+    "paper_rule",
+    "rule_for",
+]

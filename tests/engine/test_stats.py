@@ -10,13 +10,17 @@ from repro.workloads.university import university_state
 
 def test_reset_zeroes_every_field():
     """``reset()`` must cover every declared counter -- enumerated via
-    ``dataclasses.fields`` so a newly added counter cannot be missed."""
+    ``dataclasses.fields`` so a newly added counter cannot be missed --
+    and must rebuild factory-default fields through their factory
+    (``f.default`` is the ``MISSING`` sentinel for those)."""
     stats = EngineStats()
     for f in dataclasses.fields(EngineStats):
         setattr(stats, f.name, 42)
     stats.reset()
+    fresh = EngineStats()
     for f in dataclasses.fields(EngineStats):
-        assert getattr(stats, f.name) == f.default, f.name
+        assert getattr(stats, f.name) == getattr(fresh, f.name), f.name
+    assert stats.latencies == {}  # factory default, not MISSING
 
 
 def test_snapshot_covers_every_field():
@@ -47,3 +51,46 @@ def test_bulk_rows_counts_batched_work(university_schema):
     db.insert_many("COURSE", [{"C.NR": f"c{i}"} for i in range(5)])
     assert db.stats.bulk_rows == 5
     assert db.stats.inserts == 5
+
+
+def test_observe_builds_per_op_histograms():
+    stats = EngineStats()
+    for us in (5, 10, 20, 40):
+        stats.observe("insert", us * 1e-6)
+    stats.observe("delete", 1e-3)
+    assert set(stats.latencies) == {"insert", "delete"}
+    summary = stats.snapshot()["latencies"]
+    assert summary["insert"]["count"] == 4
+    assert summary["delete"]["count"] == 1
+    # Quantiles are log2-bucket upper bounds, capped at the exact max.
+    assert summary["insert"]["p99_us"] == 40.0
+    assert summary["insert"]["p50_us"] <= 16.0
+
+
+def test_record_latencies_times_mutations(university_schema):
+    db = Database(university_schema, record_latencies=True)
+    db.insert("COURSE", {"C.NR": "c1"})
+    db.update("COURSE", "c1", {"C.NR": "c1"})
+    db.delete("COURSE", "c1")
+    assert {"insert", "update", "delete"} <= set(db.stats.latencies)
+    assert db.stats.latencies["insert"].count == 1
+
+
+def test_prometheus_export_shape():
+    stats = EngineStats(inserts=3)
+    stats.observe("insert", 2e-6)
+    stats.observe("insert", 3e-6)
+    text = stats.to_prometheus()
+    assert "repro_engine_inserts 3" in text
+    assert '# TYPE repro_engine_op_latency_seconds histogram' in text
+    assert 'repro_engine_op_latency_seconds_bucket{op="insert",le="+Inf"} 2' in text
+    assert 'repro_engine_op_latency_seconds_count{op="insert"} 2' in text
+    # Cumulative buckets end at the total count.
+    assert text.endswith("\n")
+
+
+def test_reset_clears_histograms():
+    stats = EngineStats()
+    stats.observe("insert", 1e-6)
+    stats.reset()
+    assert stats.latencies == {}

@@ -1,0 +1,142 @@
+"""EXPLAIN output for mutations, merges, and consistency checks."""
+
+import pytest
+
+from repro.constraints.checker import ConsistencyChecker
+from repro.core.merge import merge
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.core.remove import remove_all
+from repro.engine.database import Database
+from repro.obs.explain import (
+    explain_database,
+    explain_mutation,
+    explain_null_constraints,
+    render_database,
+    render_mutation,
+    render_null_constraints,
+)
+from repro.workloads.university import university_relational
+
+
+@pytest.fixture
+def db(university_schema):
+    return Database(university_schema)
+
+
+def test_insert_explanation_orders_checks_like_the_engine(db):
+    explanation = explain_mutation(db, "insert", "OFFER")
+    checks = [c["check"] for c in explanation["checks"]]
+    # structure, then null constraints, then keys, then references --
+    # the order Database.insert evaluates them in.
+    assert checks[0] == "structure"
+    assert checks.index("null-constraint") < checks.index("primary-key")
+    assert checks.index("primary-key") < checks.index("inclusion-dependency")
+    steps = [c["step"] for c in explanation["checks"]]
+    assert steps == list(range(1, len(steps) + 1))
+
+
+def test_insert_references_report_access_paths(db):
+    explanation = explain_mutation(db, "insert", "OFFER")
+    ref_checks = [
+        c
+        for c in explanation["checks"]
+        if c["check"] == "inclusion-dependency"
+    ]
+    assert {c["constraint"] for c in ref_checks} == {
+        "OFFER[O.C.NR] <= COURSE[C.NR]",
+        "OFFER[O.D.NAME] <= DEPARTMENT[D.NAME]",
+    }
+    assert all(c["access_path"] == "pk-index" for c in ref_checks)
+
+
+def test_delete_explanation_lists_restrict_checks(db):
+    explanation = explain_mutation(db, "delete", "DEPARTMENT")
+    assert [c["check"] for c in explanation["checks"]] == ["restrict-delete"]
+    check = explanation["checks"][0]
+    assert check["constraint"] == "OFFER[O.D.NAME] <= DEPARTMENT[D.NAME]"
+    assert "restrict rule on delete" in check["rule"]
+
+
+def test_explain_rejects_unknown_op(db):
+    with pytest.raises(ValueError):
+        explain_mutation(db, "upsert", "COURSE")
+
+
+def test_explain_database_covers_requested_schemes(db):
+    explanation = explain_database(db, ["COURSE"], ["insert", "delete"])
+    assert set(explanation["schemes"]) == {"COURSE"}
+    assert set(explanation["schemes"]["COURSE"]) == {"insert", "delete"}
+    text = render_database(explanation)
+    assert "EXPLAIN insert on COURSE" in text
+    assert "EXPLAIN delete on COURSE" in text
+
+
+def test_render_mutation_shows_rules_and_paths(db):
+    text = render_mutation(explain_mutation(db, "delete", "DEPARTMENT"))
+    # The incoming reference probe goes through OFFER's O.D.NAME group
+    # index (that column group is no key of OFFER).
+    assert "[group-index]" in text
+    assert "rule: Section 5.1" in text
+
+
+def test_null_constraint_provenance_on_merged_schema():
+    simplified = remove_all(
+        merge(university_relational(), ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    )
+    explanation = explain_null_constraints(
+        simplified.schema, simplified.info.merged_name
+    )
+    kinds = {e["kind"] for e in explanation["null_constraints"]}
+    assert "nulls-not-allowed" in kinds
+    assert all(e["rule"] for e in explanation["null_constraints"])
+    text = render_null_constraints(explanation)
+    assert "Definition 4.1" in text
+
+
+def test_render_null_constraints_empty():
+    assert (
+        render_null_constraints({"null_constraints": []})
+        == "no null constraints"
+    )
+
+
+def test_checker_explain_covers_every_constraint(university_schema):
+    checker = ConsistencyChecker(university_schema)
+    explanation = checker.explain()
+    kinds = {c["check"] for c in explanation["checks"]}
+    assert kinds == {
+        "structure",
+        "key-dependency",
+        "inclusion-dependency",
+        "null-constraint",
+    }
+    n_structure = sum(
+        1 for c in explanation["checks"] if c["check"] == "structure"
+    )
+    assert n_structure == len(university_schema.schemes)
+    text = checker.explain_text()
+    assert "EXPLAIN check" in text
+    assert "rule: Section 2" in text
+
+
+def test_planner_explain_reports_verdicts_and_decisions():
+    planner = MergePlanner(university_relational(), MergeStrategy.KEY_BASED)
+    explanation = planner.explain()
+    assert explanation["strategy"] == "key-based"
+    outcomes = {
+        f["key_relation"]: f["admitted"] for f in explanation["families"]
+    }
+    assert outcomes == {"COURSE": True, "PERSON": False}
+    for entry in explanation["families"]:
+        assert set(entry["verdicts"]) == {
+            "prop51_key_based_inds_only",
+            "prop51_keys_not_null",
+            "prop52_nna_only",
+        }
+    assert "EXPLAIN merge plan" in planner.explain_text()
+
+
+def test_database_explain_entrypoints(db):
+    structured = db.explain("insert", "COURSE")
+    assert structured["op"] == "insert"
+    assert "EXPLAIN insert on COURSE" in db.explain_text("insert", "COURSE")

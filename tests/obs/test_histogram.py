@@ -1,0 +1,86 @@
+"""The fixed log-bucket latency histogram."""
+
+import math
+
+import pytest
+
+from repro.obs.histogram import BASE_SECONDS, N_BUCKETS, LatencyHistogram
+
+
+def test_bucket_boundaries():
+    assert LatencyHistogram.bucket_index(0.0) == 0
+    assert LatencyHistogram.bucket_index(BASE_SECONDS) == 0
+    assert LatencyHistogram.bucket_index(BASE_SECONDS * 1.01) == 1
+    assert LatencyHistogram.bucket_index(BASE_SECONDS * 2) == 1
+    assert LatencyHistogram.bucket_index(BASE_SECONDS * 2.01) == 2
+    # Anything huge clamps into the overflow bucket.
+    assert LatencyHistogram.bucket_index(1e9) == N_BUCKETS - 1
+    assert LatencyHistogram.bucket_bound(3) == BASE_SECONDS * 8
+
+
+def test_quantile_is_bucket_upper_bound_capped_at_max():
+    h = LatencyHistogram()
+    for us in (5, 10, 20, 40):
+        h.record(us * 1e-6)
+    # p50 rank falls in the 8-16us bucket (samples 5 and 10).
+    assert h.quantile(0.5) == pytest.approx(16e-6)
+    # The top quantile never exceeds the exact maximum.
+    assert h.quantile(1.0) == pytest.approx(40e-6)
+    assert h.min_seen == pytest.approx(5e-6)
+    assert h.max_seen == pytest.approx(40e-6)
+
+
+def test_empty_histogram():
+    h = LatencyHistogram()
+    assert h.count == 0
+    assert h.quantile(0.99) == 0.0
+    assert h.to_dict() == {"count": 0}
+
+
+def test_negative_values_clamp_to_zero():
+    h = LatencyHistogram()
+    h.record(-1.0)
+    assert h.count == 1
+    assert h.min_seen == 0.0
+    assert h.counts[0] == 1
+
+
+def test_quantile_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        LatencyHistogram().quantile(1.5)
+
+
+def test_merge_folds_counts_and_extremes():
+    a, b = LatencyHistogram(), LatencyHistogram()
+    a.record(2e-6)
+    b.record(100e-6)
+    a.merge(b)
+    assert a.count == 2
+    assert a.min_seen == pytest.approx(2e-6)
+    assert a.max_seen == pytest.approx(100e-6)
+    assert a.total == pytest.approx(102e-6)
+
+
+def test_cumulative_is_monotonic_and_ends_at_count():
+    h = LatencyHistogram()
+    for us in (1, 3, 9, 400):
+        h.record(us * 1e-6)
+    pairs = list(h.cumulative())
+    assert len(pairs) == N_BUCKETS
+    counts = [c for _, c in pairs]
+    assert counts == sorted(counts)
+    assert counts[-1] == h.count
+    bounds = [b for b, _ in pairs]
+    assert bounds[0] == BASE_SECONDS
+    assert all(math.isclose(b2 / b1, 2.0) for b1, b2 in zip(bounds, bounds[1:]))
+
+
+def test_to_dict_reports_microseconds():
+    h = LatencyHistogram()
+    for us in (5, 10, 20, 40):
+        h.record(us * 1e-6)
+    d = h.to_dict()
+    assert d["count"] == 4
+    assert d["sum_us"] == pytest.approx(75.0)
+    assert d["p99_us"] == pytest.approx(40.0)
+    assert d["min_us"] == pytest.approx(5.0)

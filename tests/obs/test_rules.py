@@ -1,0 +1,55 @@
+"""Paper-rule labels and null-constraint classification."""
+
+from repro.constraints.nulls import (
+    NullExistenceConstraint,
+    PartNullConstraint,
+    TotalEqualityConstraint,
+    nulls_not_allowed,
+)
+from repro.obs.rules import (
+    PAPER_RULES,
+    classify_null_constraint,
+    paper_rule,
+    rule_for,
+)
+
+
+def test_every_rule_labels_a_paper_location():
+    for kind, rule in PAPER_RULES.items():
+        assert rule, kind
+        assert any(
+            word in rule for word in ("Section", "Definition", "Proposition")
+        ), f"{kind}: {rule!r} does not cite the paper"
+
+
+def test_classify_nulls_not_allowed():
+    c = nulls_not_allowed("R", ["A", "B"])
+    assert classify_null_constraint(c) == "nulls-not-allowed"
+    assert "0 |-> Z" in rule_for(c)
+    assert "step 3(a)" in rule_for(c)
+
+
+def test_classify_null_synchronization_member():
+    # A member of NS(Y): singleton lhs contained in the rhs.
+    c = NullExistenceConstraint("R", frozenset({"A"}), frozenset({"A", "B"}))
+    assert classify_null_constraint(c) == "null-synchronization"
+    assert "NS(Y)" in rule_for(c)
+
+
+def test_classify_general_null_existence():
+    c = NullExistenceConstraint("R", frozenset({"A"}), frozenset({"B"}))
+    assert classify_null_constraint(c) == "null-existence"
+    assert "Y |-> Z" in rule_for(c)
+
+
+def test_classify_part_null_and_total_equality():
+    pn = PartNullConstraint("R", (frozenset({"A"}), frozenset({"B"})))
+    te = TotalEqualityConstraint("R", ("A",), ("B",))
+    assert classify_null_constraint(pn) == "part-null"
+    assert classify_null_constraint(te) == "total-equality"
+    assert "step 3(d)" in rule_for(pn)
+    assert "step 3(b)" in rule_for(te)
+
+
+def test_unknown_kind_maps_to_empty_label():
+    assert paper_rule("no-such-kind") == ""

@@ -269,3 +269,113 @@ def test_init_writes_usable_demo_files(tmp_path, capsys):
         == 0
     )
     assert "consistent" in capsys.readouterr().out
+
+
+# -- observability surfaces (PR 2) --------------------------------------------
+
+
+def test_check_trace_writes_jsonl(schema_file, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text(
+        json.dumps(
+            {
+                "relations": {
+                    "OFFER": [{"O.C.NR": "ghost", "O.D.NAME": "nowhere"}]
+                }
+            }
+        )
+    )
+    trace = tmp_path / "trace.jsonl"
+    assert main(["check", schema_file, str(bad), "--trace", str(trace)]) == 1
+    capsys.readouterr()
+    events = [
+        json.loads(line) for line in trace.read_text().splitlines() if line
+    ]
+    assert events, "trace file is empty"
+    violations = [e for e in events if e["event"] == "violation"]
+    assert violations
+    # Every rejection names the violated constraint and its paper rule.
+    for v in violations:
+        assert v["constraint"]
+        assert v["rule"]
+    assert any(
+        v["constraint"] == "OFFER[O.C.NR] <= COURSE[C.NR]" for v in violations
+    )
+
+
+def test_check_trace_to_stdout_and_explain(schema_file, state_file, capsys):
+    assert main(["check", schema_file, state_file, "--trace", "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN check" in out
+    assert '"event": "check"' in out
+    assert "consistent" in out
+
+
+def test_explain_mutations(schema_file, tmp_path, capsys):
+    out_path = tmp_path / "explain.json"
+    code = main(
+        [
+            "explain",
+            schema_file,
+            "--scheme",
+            "OFFER",
+            "--op",
+            "delete",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN delete on OFFER" in out
+    assert "restrict-delete" in out
+    data = json.loads(out_path.read_text())
+    assert set(data["schemes"]) == {"OFFER"}
+    assert set(data["schemes"]["OFFER"]) == {"delete"}
+
+
+def test_explain_unknown_scheme_errors(schema_file):
+    with pytest.raises(SystemExit):
+        main(["explain", schema_file, "--scheme", "NOPE"])
+
+
+def test_explain_plan(schema_file, capsys):
+    assert main(["explain", schema_file, "--plan", "--strategy", "key-based"]) == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN merge plan" in out
+    assert "Proposition 5.1" in out
+
+
+def test_merge_explain_and_trace(schema_file, tmp_path, capsys):
+    trace = tmp_path / "merge.jsonl"
+    code = main(
+        [
+            "merge",
+            schema_file,
+            "COURSE",
+            "OFFER",
+            "TEACH",
+            "ASSIST",
+            "--explain",
+            "--trace",
+            str(trace),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "null-constraint provenance" in out
+    assert "Definition 4.1" in out
+    (event,) = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert event["event"] == "merge-applied"
+    assert event["scheme"] == "COURSE'"
+
+
+def test_plan_explain_and_trace(schema_file, tmp_path, capsys):
+    trace = tmp_path / "plan.jsonl"
+    code = main(["plan", schema_file, "--explain", "--trace", str(trace)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "EXPLAIN merge plan" in out
+    events = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert [e["event"] for e in events].count("merge-decision") == 2
+    assert any(e["event"] == "merge-applied" for e in events)

@@ -1,0 +1,53 @@
+"""Documentation stays wired to the code it describes.
+
+Runs the same link checker CI uses: every intra-repo markdown link in
+README.md and docs/*.md must resolve, including ``#Lnnn`` line anchors
+into source files (so docs/PAPER_MAP.md rots loudly when code moves).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "scripts" / "check_doc_links.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_doc_links", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_doc_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_intra_repo_doc_links_resolve():
+    checker = _load_checker()
+    errors = []
+    for path in checker.default_files():
+        errors.extend(checker.check_file(path))
+    assert not errors, "\n".join(errors)
+
+
+def test_checker_covers_the_paper_map():
+    checker = _load_checker()
+    names = {p.name for p in checker.default_files()}
+    assert {"README.md", "PAPER_MAP.md", "CLI.md", "PERFORMANCE.md"} <= names
+
+
+def test_checker_flags_broken_links(tmp_path):
+    checker = _load_checker()
+    bad = tmp_path / "bad.md"
+    bad.write_text(
+        "[gone](missing.md)\n"
+        "[late](ok.md#L999)\n"
+        "[no-heading](ok.md#nope)\n"
+        "```\n[in a fence](also_missing.md)\n```\n"
+        "[ok](ok.md#L1)\n"
+    )
+    (tmp_path / "ok.md").write_text("# Title\nbody\n")
+    errors = checker.check_file(bad)
+    assert len(errors) == 3
+    assert any("missing.md" in e for e in errors)
+    assert any("#L999" in e for e in errors)
+    assert any("#nope" in e for e in errors)
