@@ -48,6 +48,13 @@ def main(argv: list[str] | None = None) -> int:
         help="JSON report path; '-' to skip writing "
         "(default: BENCH_engine.json at the repo root)",
     )
+    parser.add_argument(
+        "--wal",
+        default=None,
+        metavar="PATH",
+        help="back the WAL rows with a real log file at PATH "
+        "(default: in-memory log, format cost only)",
+    )
     args = parser.parse_args(argv)
     try:
         sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
@@ -57,7 +64,7 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--sizes needs at least one positive integer")
     if args.ops <= 0:
         parser.error("--ops must be a positive integer")
-    report = run_engine_benchmark(sizes=sizes, ops_cap=args.ops)
+    report = run_engine_benchmark(sizes=sizes, ops_cap=args.ops, wal_path=args.wal)
     print(format_report(report))
     if args.output != "-":
         Path(args.output).write_text(json.dumps(report, indent=2) + "\n")

@@ -15,6 +15,7 @@ recognised by their ``object_sets`` field.  Commands:
 ``ddl``        generate DDL for DB2 / SYBASE 4.0 / INGRES 6.3
 ``minimize``   drop implied constraints from a schema
 ``bench``      run the storage-engine micro-benchmarks
+``recover``    rebuild the committed state from a write-ahead log
 
 Every command reads JSON from file arguments and writes human output to
 stdout; ``-o`` writes machine-readable JSON results.  ``check``,
@@ -139,9 +140,15 @@ def cmd_describe(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    """``check``: consistency-check a state; exit 1 on violations."""
+    """``check``: consistency-check a state (from a file, or recovered
+    from a write-ahead log with ``--wal``); exit 1 on violations."""
     schema = _load_relational(args.schema)
-    state = state_from_dict(_load_json(args.state), schema)
+    if (args.state is None) == (args.wal is None):
+        raise CliError("pass exactly one of a state file or --wal LOG")
+    if args.wal is not None:
+        state = _recovered_state(schema, args.wal)
+    else:
+        state = state_from_dict(_load_json(args.state), schema)
     tracer, trace_path = _open_tracer(args.trace)
     checker = ConsistencyChecker(schema, tracer=tracer)
     if args.explain:
@@ -158,6 +165,57 @@ def cmd_check(args: argparse.Namespace) -> int:
         print(v)
     print(f"{len(violations)} violation(s)")
     return 1
+
+
+def _recovered_state(schema, wal_path: str):
+    """The state a log recovers to, unverified (for ``check --wal``,
+    which runs its own consistency pass)."""
+    from repro.engine.recovery import RecoveryError, recover_database
+    from repro.engine.wal import WalError
+
+    try:
+        result = recover_database(schema, wal_path, verify=False)
+    except (RecoveryError, WalError, OSError) as exc:
+        raise CliError(f"cannot recover {wal_path}: {exc}")
+    state = result.database.state()
+    result.database.wal.close()
+    return state
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``recover``: replay a write-ahead log into the committed state."""
+    from repro.engine.recovery import RecoveryError, recover_database
+    from repro.engine.wal import WalError
+
+    schema = _load_relational(args.schema)
+    tracer, trace_path = _open_tracer(args.trace)
+    try:
+        try:
+            result = recover_database(
+                schema,
+                args.wal,
+                tracer=tracer,
+                verify=not args.no_verify,
+            )
+        except (RecoveryError, WalError, OSError) as exc:
+            raise CliError(f"recovery failed: {exc}")
+    finally:
+        _close_tracer(tracer, trace_path)
+    db, report = result.database, result.report
+    print(
+        f"recovered {db.state().total_size()} tuple(s): "
+        f"{report.records_replayed} record(s) replayed, "
+        f"{report.transactions_rolled_back} transaction(s) rolled back, "
+        f"{report.truncated_bytes} byte(s) truncated"
+        + ("" if args.no_verify else "; consistency verified")
+    )
+    if args.checkpoint:
+        db.checkpoint()
+        print(f"compacted {args.wal} into a snapshot")
+    db.wal.close()
+    _write_output(args.output, state_to_dict(db.state()))
+    _write_output(args.report, report.to_dict())
+    return 0
 
 
 def cmd_explain(args: argparse.Namespace) -> int:
@@ -434,7 +492,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         raise CliError("--sizes needs at least one positive integer")
     if args.ops <= 0:
         raise CliError("--ops must be a positive integer")
-    report = run_engine_benchmark(sizes=sizes, ops_cap=args.ops)
+    report = run_engine_benchmark(
+        sizes=sizes, ops_cap=args.ops, wal_path=args.wal
+    )
     print(format_report(report))
     _write_output(args.output, report)
     return 0
@@ -466,7 +526,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("check", help="check a state against a schema")
     p.add_argument("schema")
-    p.add_argument("state")
+    p.add_argument("state", nargs="?")
+    p.add_argument(
+        "--wal",
+        metavar="LOG",
+        help="check the state recovered from this write-ahead log "
+        "instead of a state file",
+    )
     p.add_argument("--trace", **trace_kwargs)
     p.add_argument(
         "--explain",
@@ -608,7 +674,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="max operations per measurement (default: 2000)",
     )
     p.add_argument("-o", "--output", help="write the JSON report here")
+    p.add_argument(
+        "--wal",
+        metavar="LOG",
+        help="also measure WAL-on insert throughput and checkpoint "
+        "latency, logging to this path",
+    )
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "recover", help="rebuild the committed state from a write-ahead log"
+    )
+    p.add_argument("schema")
+    p.add_argument("--wal", metavar="LOG", required=True)
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the consistency re-check of the recovered state",
+    )
+    p.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="compact the recovered log into a snapshot",
+    )
+    p.add_argument("-o", "--output", help="write the recovered state JSON")
+    p.add_argument("--report", help="write the recovery report JSON")
+    p.add_argument("--trace", **trace_kwargs)
+    p.set_defaults(fn=cmd_recover)
 
     return parser
 

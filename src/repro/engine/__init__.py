@@ -19,15 +19,36 @@ measurement substrate:
 * :mod:`repro.engine.oracle` -- a scan-based reference implementation,
   the differential-testing oracle and benchmark baseline;
 * :mod:`repro.engine.bench` -- the ops/sec harness behind
-  ``benchmarks/bench_engine.py`` and ``python -m repro bench``.
+  ``benchmarks/bench_engine.py`` and ``python -m repro bench``;
+* :mod:`repro.engine.wal` / :mod:`repro.engine.recovery` -- the
+  durability subsystem: a checksummed write-ahead log, checkpointing,
+  and crash recovery that restores exactly the committed consistent
+  state (Definition 2.1);
+* :mod:`repro.engine.faults` -- deterministic storage fault injection
+  for the crash-point test matrix.
 """
 
 from repro.engine.database import ConstraintViolationError, Database
+from repro.engine.faults import FaultyStorage, InjectedFault
 from repro.engine.oracle import OracleDatabase
 from repro.engine.plans import SchemeAccessPlan, compile_schema
 from repro.engine.query import QueryEngine
+from repro.engine.recovery import (
+    RecoveryError,
+    RecoveryReport,
+    RecoveryResult,
+    recover_database,
+)
 from repro.engine.stats import EngineStats
 from repro.engine.views import MergedViewResolver
+from repro.engine.wal import (
+    FileStorage,
+    MemoryStorage,
+    Storage,
+    WalError,
+    WriteAheadLog,
+    parse_wal,
+)
 
 __all__ = [
     "ConstraintViolationError",
@@ -38,4 +59,16 @@ __all__ = [
     "MergedViewResolver",
     "SchemeAccessPlan",
     "compile_schema",
+    "WriteAheadLog",
+    "WalError",
+    "Storage",
+    "FileStorage",
+    "MemoryStorage",
+    "parse_wal",
+    "FaultyStorage",
+    "InjectedFault",
+    "recover_database",
+    "RecoveryError",
+    "RecoveryReport",
+    "RecoveryResult",
 ]

@@ -235,6 +235,49 @@ def _bench_bulk(db: Database, n_ops: int) -> dict[str, float]:
     return {"insert_many": insert_rate, "apply_batch_delete": batch_rate}
 
 
+def _bench_wal(n_ops: int, wal_path: str | None) -> dict[str, float]:
+    """Durability overhead: WAL-off vs WAL-on insert throughput, plus
+    checkpoint latency at the workload's final size.
+
+    Without an explicit ``wal_path`` the log lives in memory, measuring
+    the logging discipline itself (encode + checksum + append) rather
+    than the disk; a path adds the file-system cost.
+    """
+    from repro.engine.wal import MemoryStorage, WriteAheadLog
+
+    schema = university_relational()
+
+    def _fresh(with_wal: bool) -> Database:
+        if not with_wal:
+            db = Database(schema)
+        elif wal_path is None:
+            db = Database(schema, wal=WriteAheadLog(MemoryStorage()))
+        else:
+            open(wal_path, "w").close()  # start from an empty log
+            db = Database(schema, wal_path=wal_path)
+        db.insert("DEPARTMENT", {"D.NAME": "bench-dept"})
+        return db
+
+    off_db = _fresh(with_wal=False)
+    insert_off = _ops_per_second(
+        lambda i: off_db.insert("COURSE", {"C.NR": f"wal-{i:06d}"}), n_ops
+    )
+    on_db = _fresh(with_wal=True)
+    insert_on = _ops_per_second(
+        lambda i: on_db.insert("COURSE", {"C.NR": f"wal-{i:06d}"}), n_ops
+    )
+    start = time.perf_counter()
+    on_db.checkpoint()
+    checkpoint_s = time.perf_counter() - start
+    on_db.wal.close()
+    return {
+        "insert_wal_off": insert_off,
+        "insert_wal_on": insert_on,
+        "wal_overhead_x": insert_off / insert_on if insert_on else 0.0,
+        "checkpoint_ms": checkpoint_s * 1e3,
+    }
+
+
 def _latency_summary(
     stats: EngineStats, ops: tuple[str, ...]
 ) -> dict[str, dict]:
@@ -255,9 +298,16 @@ def _latency_summary(
 
 
 def run_engine_benchmark(
-    sizes: tuple[int, ...] = DEFAULT_SIZES, ops_cap: int = 2_000
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    ops_cap: int = 2_000,
+    wal_path: str | None = None,
 ) -> dict[str, Any]:
-    """Run the full harness; returns the JSON-ready report."""
+    """Run the full harness; returns the JSON-ready report.
+
+    ``wal_path`` routes the WAL measurement through file storage at
+    that path (truncated first); by default it runs against in-memory
+    storage, isolating the logging cost from the disk's.
+    """
     if not sizes or any(n <= 0 for n in sizes):
         raise ValueError("sizes must be positive integers")
     if ops_cap <= 0:
@@ -276,6 +326,7 @@ def run_engine_benchmark(
         fig6 = _bench_fig6(merged, simplified.info.merged_name, n_ops)
         indexed, scan = _bench_scan_paths(unmerged, oracle, n_ops)
         bulk = _bench_bulk(unmerged, n_ops)
+        wal = _bench_wal(n_ops, wal_path)
         mutation_ops = ("insert", "update", "navigate", "delete")
         report["results"].append(
             {
@@ -300,6 +351,7 @@ def run_engine_benchmark(
                     k: round(indexed[k] / scan[k], 1) for k in indexed
                 },
                 "bulk_rows_per_s": {k: round(v, 1) for k, v in bulk.items()},
+                "wal": {k: round(v, 2) for k, v in wal.items()},
             }
         )
     return report
@@ -339,4 +391,13 @@ def format_report(report: dict[str, Any]) -> str:
             )
         for op, rate in row["bulk_rows_per_s"].items():
             lines.append(f"{n:>8} {op:>18} {rate:>12.0f} rows/s")
+        wal = row.get("wal")
+        if wal:
+            lines.append(
+                f"{n:>8} {'wal insert':>18} "
+                f"off {wal['insert_wal_off']:>12.0f}"
+                f"  on {wal['insert_wal_on']:>12.0f}"
+                f"  overhead {wal['wal_overhead_x']:>6.2f}x"
+                f"  checkpoint {wal['checkpoint_ms']:.1f} ms"
+            )
     return "\n".join(lines)

@@ -43,6 +43,13 @@ from repro.engine.plans import (
     compile_schema,
 )
 from repro.engine.stats import EngineStats
+from repro.engine.wal import (
+    WalError,
+    WriteAheadLog,
+    delete_record,
+    insert_record,
+    update_record,
+)
 from repro.obs.rules import classify_null_constraint, paper_rule
 from repro.obs.trace import TraceEvent, Tracer
 from repro.relational.relation import Relation
@@ -169,6 +176,14 @@ class Database:
       candidate key then *clash*, which is exactly why such systems
       "cannot maintain keys that are allowed to be null" and why
       Proposition 5.1(ii) matters.
+
+    ``wal_path`` (or an explicit ``wal``
+    :class:`~repro.engine.wal.WriteAheadLog`) enables durability: every
+    accepted mutation is appended to the log *before* it touches a
+    table, transactions are bracketed by begin/commit markers, and
+    :meth:`checkpoint` compacts the log into a snapshot.  After a
+    crash, :meth:`Database.recover` rebuilds the committed state from
+    the log (see ``docs/DURABILITY.md``).
     """
 
     def __init__(
@@ -178,6 +193,8 @@ class Database:
         null_semantics: str = "distinct",
         tracer: Tracer | None = None,
         record_latencies: bool = False,
+        wal: WriteAheadLog | None = None,
+        wal_path: str | None = None,
     ):
         if null_semantics not in ("distinct", "identical"):
             raise ValueError(
@@ -203,6 +220,17 @@ class Database:
             self._tables[ind.lhs_scheme].add_group_index(tuple(ind.lhs_attrs))
         #: Undo log of the innermost open transaction (None outside one).
         self._undo_log: list[tuple[str, _Table, tuple[Any, ...], Tuple | None]] | None = None
+        if wal is not None and wal_path is not None:
+            raise ValueError("pass either wal or wal_path, not both")
+        if wal_path is not None:
+            wal = WriteAheadLog.open(wal_path)
+        #: The write-ahead log, or ``None`` for a purely in-memory engine.
+        self.wal = wal
+        if wal is not None:
+            wal.stats = self.stats
+        #: The :class:`~repro.engine.recovery.RecoveryReport` of the
+        #: recovery that built this engine (``None`` for a fresh one).
+        self.recovery_report = None
 
     # -- access ----------------------------------------------------------
 
@@ -286,6 +314,24 @@ class Database:
                     outcome="rejected",
                     detail=exc.detail,
                     elapsed_us=round(elapsed * 1e6, 3),
+                )
+            )
+
+    def _wal_append(self, record: dict, op: str, scheme: str | None) -> None:
+        """Durably log one accepted mutation (write-ahead: the caller
+        has validated it and applies it only after this returns).  A
+        storage fault propagates and leaves the mutation unapplied."""
+        self.wal.append(record)
+        if self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    event="wal",
+                    op=op,
+                    scheme=scheme,
+                    kind="wal-append",
+                    rule=paper_rule("wal-append"),
+                    outcome="logged",
+                    rows=1,
                 )
             )
 
@@ -566,6 +612,10 @@ class Database:
             if timed:
                 self._observe_reject("insert", scheme_name, exc, start)
             raise
+        if self.wal is not None:
+            self._wal_append(
+                insert_record(scheme_name, t.mapping), "insert", scheme_name
+            )
         self._store(table, t, pk)
         self.stats.inserts += 1
         if timed:
@@ -590,6 +640,8 @@ class Database:
             if timed:
                 self._observe_reject("delete", scheme_name, exc, start)
             raise exc
+        if self.wal is not None:
+            self._wal_append(delete_record(scheme_name, pk), "delete", scheme_name)
         self._unstore(table, pk, old)
         self.stats.deletes += 1
         if timed:
@@ -636,6 +688,12 @@ class Database:
             if timed:
                 self._observe_reject("update", scheme_name, exc, start)
             raise
+        if self.wal is not None:
+            self._wal_append(
+                update_record(scheme_name, pk, dict(updates)),
+                "update",
+                scheme_name,
+            )
         self._unstore(table, pk, old)
         self._store(table, t, new_pk)
         self.stats.updates += 1
@@ -668,6 +726,12 @@ class Database:
                     t = self._check_shape(table, row)
                     self._check_null_constraints(scheme_name, t)
                     pk = self._check_keys(table, t, replacing=None)
+                    if self.wal is not None:
+                        self._wal_append(
+                            insert_record(scheme_name, t.mapping),
+                            "insert",
+                            scheme_name,
+                        )
                     self._store(table, t, pk)
                     stored.append(t)
                 for t in stored:
@@ -734,6 +798,12 @@ class Database:
                     t = self._check_shape(table, row)
                     self._check_null_constraints(scheme_name, t)
                     pk = self._check_keys(table, t, replacing=None)
+                    if self.wal is not None:
+                        self._wal_append(
+                            insert_record(scheme_name, t.mapping),
+                            "insert",
+                            scheme_name,
+                        )
                     self._store(table, t, pk)
                     pending_out.append((scheme_name, t))
                     self.stats.inserts += 1
@@ -753,6 +823,12 @@ class Database:
                         value = ref.extract(old_values)
                         if not any(v is NULL for v in value):
                             pending_in.append((ref, value))
+                    if self.wal is not None:
+                        self._wal_append(
+                            delete_record(scheme_name, pk),
+                            "delete",
+                            scheme_name,
+                        )
                     self._unstore(table, pk, old)
                     self.stats.deletes += 1
                     results.append(None)
@@ -781,6 +857,12 @@ class Database:
                             value = ref.extract(old_values)
                             if not any(v is NULL for v in value):
                                 pending_in.append((ref, value))
+                    if self.wal is not None:
+                        self._wal_append(
+                            update_record(scheme_name, pk, dict(updates)),
+                            "update",
+                            scheme_name,
+                        )
                     self._unstore(table, pk, old)
                     self._store(table, t, new_pk)
                     pending_out.append((scheme_name, t))
@@ -830,6 +912,17 @@ class Database:
             )
         timed = self._timed
         start = perf_counter() if timed else 0.0
+        if self.wal is not None:
+            from repro.io.state_json import state_to_dict
+
+            # Logged before loading: a failed append leaves both the
+            # log and the tables untouched, a validate failure leaves
+            # both holding the loaded state -- they never disagree.
+            self._wal_append(
+                {"op": "load_state", "state": state_to_dict(state)},
+                "load_state",
+                None,
+            )
         identical = self.null_semantics == "identical"
         total = 0
         for name, relation in state.items():
@@ -872,6 +965,77 @@ class Database:
                 raise exc
         if timed:
             self._observe_ok("load_state", None, start, rows=total)
+
+    # -- durability ------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Compact the write-ahead log into a snapshot of the current
+        state (atomic under file storage); returns the snapshot record's
+        ``lsn``.  Raises :class:`~repro.engine.wal.WalError` without a
+        log or inside a transaction."""
+        if self.wal is None:
+            raise WalError("database has no write-ahead log to checkpoint")
+        if self.in_transaction:
+            raise WalError("cannot checkpoint inside a transaction")
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
+        from repro.io.state_json import state_to_dict
+
+        lsn = self.wal.write_snapshot(state_to_dict(self.state()))
+        self.stats.checkpoints += 1
+        if timed:
+            elapsed = perf_counter() - start
+            if self.record_latencies:
+                self.stats.observe("checkpoint", elapsed)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    TraceEvent(
+                        event="checkpoint",
+                        op="checkpoint",
+                        kind="wal-checkpoint",
+                        rule=paper_rule("wal-checkpoint"),
+                        outcome="ok",
+                        rows=sum(len(t) for t in self._tables.values()),
+                        elapsed_us=round(elapsed * 1e6, 3),
+                    )
+                )
+        return lsn
+
+    @classmethod
+    def recover(
+        cls,
+        schema: RelationalSchema,
+        wal_path: str | None = None,
+        *,
+        storage=None,
+        null_semantics: str = "distinct",
+        stats: EngineStats | None = None,
+        tracer: Tracer | None = None,
+        record_latencies: bool = False,
+        verify: bool = True,
+    ) -> "Database":
+        """Rebuild the committed state from a write-ahead log.
+
+        Replays the snapshot (if any) plus the log tail, truncating a
+        torn/corrupt tail and rolling back uncommitted transactions,
+        then re-verifies the result against the schema's constraints
+        (``verify=False`` skips the re-check).  The returned database
+        carries the repaired, resumed log and a
+        :class:`~repro.engine.recovery.RecoveryReport` in
+        ``recovery_report``.
+        """
+        from repro.engine.recovery import recover_database
+
+        return recover_database(
+            schema,
+            wal_path,
+            storage=storage,
+            null_semantics=null_semantics,
+            stats=stats,
+            tracer=tracer,
+            record_latencies=record_latencies,
+            verify=verify,
+        ).database
 
     # -- transactions -----------------------------------------------------------
 
@@ -973,24 +1137,60 @@ class Database:
 
 
 class _TransactionContext:
-    """Context manager implementing :meth:`Database.transaction`."""
+    """Context manager implementing :meth:`Database.transaction`.
+
+    With a write-ahead log attached, the outermost block brackets its
+    records with ``begin``/``commit`` markers (``abort`` on failure);
+    an inner block that fails logs a ``rollback`` marker cancelling its
+    records only.  A commit marker that cannot be written durably rolls
+    the whole transaction back in memory and re-raises, so memory never
+    runs ahead of what the log can prove committed.
+    """
 
     def __init__(self, db: Database):
         self._db = db
         self._mark: int | None = None
+        self._wal_mark: int | None = None
         self._outermost = False
 
     def __enter__(self) -> "Database":
-        if self._db._undo_log is None:
-            self._db._undo_log = []
+        db = self._db
+        if db._undo_log is None:
+            db._undo_log = []
             self._outermost = True
-        self._mark = len(self._db._undo_log)
-        return self._db
+            if db.wal is not None:
+                try:
+                    db.wal.begin()
+                except Exception:
+                    db._undo_log = None
+                    raise
+        self._mark = len(db._undo_log)
+        if db.wal is not None:
+            self._wal_mark = db.wal.next_lsn
+        return db
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         assert self._mark is not None
+        db = self._db
         if exc_type is not None:
-            self._db._rollback_to(self._mark)
+            db._rollback_to(self._mark)
+            if db.wal is not None:
+                if self._outermost:
+                    db.wal.abort()
+                else:
+                    db.wal.rollback(self._wal_mark)
+            if self._outermost:
+                db._undo_log = None
+            return False
         if self._outermost:
-            self._db._undo_log = None
+            if db.wal is not None:
+                try:
+                    db.wal.commit()
+                except Exception:
+                    # The group is not durably committed; undo it so the
+                    # in-memory state matches what recovery will rebuild.
+                    db._rollback_to(self._mark)
+                    db._undo_log = None
+                    raise
+            db._undo_log = None
         return False

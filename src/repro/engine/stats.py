@@ -22,6 +22,12 @@ class EngineStats:
     rows that moved through a bulk path (``load_state``, ``insert_many``,
     ``apply_batch``).
 
+    The ``wal_*`` counters track the durability subsystem
+    (:mod:`repro.engine.wal`): records and bytes appended to the log,
+    records replayed and transactions' records rolled back during
+    :meth:`~repro.engine.database.Database.recover`, bytes truncated
+    off a torn log tail, and ``checkpoints`` taken.
+
     ``latencies`` maps an operation name to a
     :class:`~repro.obs.histogram.LatencyHistogram`; it stays empty
     unless something calls :meth:`observe` (the engine does when
@@ -44,6 +50,12 @@ class EngineStats:
     index_hits: int = 0
     index_misses: int = 0
     bulk_rows: int = 0
+    wal_records: int = 0
+    wal_bytes: int = 0
+    wal_replayed_records: int = 0
+    wal_rolled_back_records: int = 0
+    wal_truncated_bytes: int = 0
+    checkpoints: int = 0
     latencies: dict[str, LatencyHistogram] = field(default_factory=dict)
 
     def observe(self, op: str, seconds: float) -> None:

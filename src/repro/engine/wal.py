@@ -1,0 +1,551 @@
+"""Append-only, checksummed write-ahead log for the storage engine.
+
+Definition 2.1's bijection between consistent states makes durability a
+correctness property, not just an operational one: a crash must never
+leave the database in a state outside the consistent-state family, and
+recovery must restore *exactly* the pre-crash consistent state.  This
+module provides the log; :mod:`repro.engine.recovery` provides the
+replay and :mod:`repro.engine.faults` the deterministic fault injection
+the crash-point test matrix is built on.
+
+Wire format
+-----------
+
+The log is a sequence of length-prefixed, CRC-checksummed JSON records,
+one per line::
+
+    llllllll cccccccc {"lsn":1,"op":"header","version":1}\\n
+
+where ``llllllll`` is the payload length in bytes (lowercase hex, zero
+padded), ``cccccccc`` the payload's ``zlib.crc32`` (same formatting),
+and the payload compact JSON with sorted keys.  A record whose payload
+is shorter than its declared length (a torn write), fails its checksum,
+or has a malformed header ends the readable log: recovery truncates the
+file there and never applies a partial record.  ``NULL`` attribute
+values use the same ``{"$null": true}`` marker as
+:mod:`repro.io.state_json`, so a recovered tuple re-enters the same
+null-synchronization/part-null equivalence class it left.
+
+Record kinds (the ``op`` field): ``header``, ``insert``, ``update``,
+``delete``, ``load_state``, ``begin``/``commit``/``abort``/``rollback``
+(transaction markers) and ``snapshot`` (the checkpoint image, in the
+:func:`repro.io.state_json.state_to_dict` format).  Every record
+carries a monotonically increasing ``lsn``.
+
+Write-ahead discipline
+----------------------
+
+The engine appends a mutation's record *after* constraint validation
+but *before* touching any table, so the log never holds a constraint-
+violating mutation and the in-memory state never holds a mutation the
+log lost.  Mutations outside a transaction are committed the moment
+their record is durable; mutations inside one are bracketed by
+``begin``/``commit`` markers and are rolled back at recovery when the
+``commit`` is missing.  A failed append poisons the log (every later
+append raises :class:`WalError`): after a storage fault the process
+must crash and recover, exactly like the DBMSs of Section 5.1 after a
+failed ``ROLLBACK TRANSACTION``.
+
+The file layer is abstracted behind the :class:`Storage` protocol so
+tests can inject :class:`repro.engine.faults.FaultyStorage` and crash
+the log at every write deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Protocol
+
+from repro.io.state_json import decode_value, encode_value
+
+#: Format version stamped into every ``header`` record.
+WAL_VERSION = 1
+
+#: Bytes of the ``llllllll cccccccc `` record prefix.
+_PREFIX_LEN = 18
+
+
+class WalError(RuntimeError):
+    """The log cannot be used: broken framing, misuse (commit without a
+    transaction, checkpoint inside one), or a handle poisoned by an
+    earlier storage fault."""
+
+
+# -- the storage protocol and its stock implementations -----------------------
+
+
+class Storage(Protocol):
+    """A byte sink/source the log appends to.
+
+    Implementations must make :meth:`append` atomic-or-detectable: a
+    partial append is acceptable only because every record carries its
+    length and checksum, letting recovery truncate the torn tail.
+    :meth:`replace` (used by checkpoints) should be atomic where the
+    medium allows it.
+    """
+
+    def append(self, data: bytes) -> None:
+        """Append ``data`` at the end."""
+        ...  # pragma: no cover - protocol
+
+    def read(self) -> bytes:
+        """The full current contents."""
+        ...  # pragma: no cover - protocol
+
+    def truncate(self, size: int) -> None:
+        """Drop everything beyond ``size`` bytes."""
+        ...  # pragma: no cover - protocol
+
+    def replace(self, data: bytes) -> None:
+        """Atomically swap the full contents for ``data``."""
+        ...  # pragma: no cover - protocol
+
+    def size(self) -> int:
+        """Current length in bytes."""
+        ...  # pragma: no cover - protocol
+
+    def close(self) -> None:
+        """Release any underlying resources."""
+        ...  # pragma: no cover - protocol
+
+
+class MemoryStorage:
+    """In-memory :class:`Storage`; the unit tests' default medium."""
+
+    def __init__(self, data: bytes = b""):
+        self._data = bytearray(data)
+
+    def append(self, data: bytes) -> None:
+        """Append ``data`` at the end."""
+        self._data.extend(data)
+
+    def read(self) -> bytes:
+        """The full current contents."""
+        return bytes(self._data)
+
+    def truncate(self, size: int) -> None:
+        """Drop everything beyond ``size`` bytes."""
+        del self._data[size:]
+
+    def replace(self, data: bytes) -> None:
+        """Swap the full contents for ``data``."""
+        self._data = bytearray(data)
+
+    def size(self) -> int:
+        """Current length in bytes."""
+        return len(self._data)
+
+    def close(self) -> None:
+        """No-op; memory needs no release."""
+
+
+class FileStorage:
+    """File-backed :class:`Storage`.
+
+    Appends go through a persistent ``'ab'`` handle and are flushed per
+    record (``fsync=True`` additionally syncs the OS buffers, trading
+    throughput for power-loss durability).  :meth:`replace` writes a
+    sibling temporary file and ``os.replace``\\ s it over the log, so a
+    checkpoint is atomic: a crash leaves either the old log or the new
+    snapshot, never a mix.
+    """
+
+    def __init__(self, path: str, fsync: bool = False):
+        self.path = str(path)
+        self.fsync = fsync
+        self._fh = open(self.path, "ab")
+
+    def append(self, data: bytes) -> None:
+        """Append ``data``, flushing (and optionally fsyncing) it."""
+        self._fh.write(data)
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+
+    def read(self) -> bytes:
+        """The full current file contents."""
+        self._fh.flush()
+        with open(self.path, "rb") as f:
+            return f.read()
+
+    def truncate(self, size: int) -> None:
+        """Drop everything beyond ``size`` bytes (O_APPEND writes keep
+        landing at the new end)."""
+        self._fh.flush()
+        os.truncate(self.path, size)
+
+    def replace(self, data: bytes) -> None:
+        """Atomically swap the file contents via a temp file + rename."""
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as f:
+            f.write(data)
+            f.flush()
+            if self.fsync:
+                os.fsync(f.fileno())
+        os.replace(tmp, self.path)
+        self._fh.close()
+        self._fh = open(self.path, "ab")
+
+    def size(self) -> int:
+        """Current file length in bytes."""
+        self._fh.flush()
+        return os.path.getsize(self.path)
+
+    def close(self) -> None:
+        """Close the append handle."""
+        self._fh.close()
+
+
+# -- record encoding ----------------------------------------------------------
+
+
+def encode_record(payload: Mapping[str, Any]) -> bytes:
+    """One wire-format line: ``llllllll cccccccc <compact json>\\n``."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+    return b"%08x %08x " % (len(body), zlib.crc32(body)) + body + b"\n"
+
+
+@dataclass
+class ParsedWal:
+    """The readable prefix of a log: records, where it ends, and why."""
+
+    records: list[dict]
+    valid_bytes: int
+    total_bytes: int
+    #: Why parsing stopped before ``total_bytes`` (``None`` = clean log).
+    error: str | None
+
+    @property
+    def torn(self) -> bool:
+        """Whether the log carries unreadable trailing bytes."""
+        return self.valid_bytes < self.total_bytes
+
+
+def parse_wal(data: bytes) -> ParsedWal:
+    """Parse a log image, stopping (never resyncing) at the first torn,
+    corrupt, or malformed record -- everything after an unreadable
+    record is untrustworthy and gets truncated by recovery."""
+    records: list[dict] = []
+    offset = 0
+    total = len(data)
+    error: str | None = None
+    while offset < total:
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            error = "torn record (no terminating newline)"
+            break
+        line = data[offset:newline]
+        if (
+            len(line) < _PREFIX_LEN
+            or line[8:9] != b" "
+            or line[17:18] != b" "
+        ):
+            error = "malformed record prefix"
+            break
+        try:
+            length = int(line[:8], 16)
+            crc = int(line[9:17], 16)
+        except ValueError:
+            error = "malformed record prefix"
+            break
+        body = line[_PREFIX_LEN:]
+        if len(body) != length:
+            error = (
+                f"record length mismatch (declared {length}, found "
+                f"{len(body)}; torn write)"
+            )
+            break
+        if zlib.crc32(body) != crc:
+            error = "record checksum mismatch"
+            break
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError:
+            error = "record payload is not valid JSON"
+            break
+        if not isinstance(payload, dict) or "op" not in payload:
+            error = "record payload is not an op object"
+            break
+        records.append(payload)
+        offset = newline + 1
+    return ParsedWal(records, offset, total, error)
+
+
+# -- mutation-record constructors ---------------------------------------------
+
+
+def insert_record(scheme: str, row: Mapping[str, Any]) -> dict:
+    """The log payload of one accepted insert."""
+    return {
+        "op": "insert",
+        "scheme": scheme,
+        "row": {k: encode_value(v) for k, v in row.items()},
+    }
+
+
+def update_record(
+    scheme: str, pk: tuple[Any, ...], updates: Mapping[str, Any]
+) -> dict:
+    """The log payload of one accepted update."""
+    return {
+        "op": "update",
+        "scheme": scheme,
+        "pk": [encode_value(v) for v in pk],
+        "updates": {k: encode_value(v) for k, v in updates.items()},
+    }
+
+
+def delete_record(scheme: str, pk: tuple[Any, ...]) -> dict:
+    """The log payload of one accepted delete."""
+    return {
+        "op": "delete",
+        "scheme": scheme,
+        "pk": [encode_value(v) for v in pk],
+    }
+
+
+def decode_batch_op(record: Mapping[str, Any]) -> tuple:
+    """A mutation record as the ``apply_batch`` op tuple it replays as."""
+    op = record["op"]
+    if op == "insert":
+        return (
+            "insert",
+            record["scheme"],
+            {k: decode_value(v) for k, v in record["row"].items()},
+        )
+    if op == "update":
+        return (
+            "update",
+            record["scheme"],
+            tuple(decode_value(v) for v in record["pk"]),
+            {k: decode_value(v) for k, v in record["updates"].items()},
+        )
+    if op == "delete":
+        return (
+            "delete",
+            record["scheme"],
+            tuple(decode_value(v) for v in record["pk"]),
+        )
+    raise WalError(f"record op {op!r} is not a mutation")
+
+
+# -- the log itself -----------------------------------------------------------
+
+
+class WriteAheadLog:
+    """The engine's append-only mutation log over one :class:`Storage`.
+
+    A fresh log stamps a ``header`` record; attaching to storage that
+    already holds mutations raises :class:`WalError` -- go through
+    :meth:`repro.engine.database.Database.recover`, which replays the
+    log and resumes it with continuous ``lsn``/transaction counters.
+
+    ``stats`` (set by the owning database) receives ``wal_records`` /
+    ``wal_bytes`` increments per durable record.
+    """
+
+    def __init__(self, storage: Storage, stats=None):
+        self.storage = storage
+        #: The owning engine's :class:`~repro.engine.stats.EngineStats`.
+        self.stats = stats
+        self._broken = False
+        self._txn: int | None = None
+        self._txn_failed = False
+        self._next_lsn = 1
+        self._next_txn = 1
+        self.records_appended = 0
+        self.bytes_appended = 0
+        if storage.size() == 0:
+            self.append({"op": "header", "version": WAL_VERSION})
+        else:
+            parsed = parse_wal(storage.read())
+            if parsed.torn:
+                raise WalError(
+                    f"log has an unreadable tail ({parsed.error}); "
+                    "recover it with Database.recover"
+                )
+            if any(r["op"] != "header" for r in parsed.records):
+                raise WalError(
+                    "log already holds mutations; replay it with "
+                    "Database.recover instead of attaching a fresh engine"
+                )
+            if parsed.records:
+                self._next_lsn = (
+                    max(r.get("lsn", 0) for r in parsed.records) + 1
+                )
+
+    @classmethod
+    def open(cls, path: str, fsync: bool = False) -> "WriteAheadLog":
+        """A log over :class:`FileStorage` at ``path``."""
+        return cls(FileStorage(path, fsync=fsync))
+
+    @classmethod
+    def _resume(
+        cls, storage: Storage, next_lsn: int, next_txn: int, stats=None
+    ) -> "WriteAheadLog":
+        """Recovery's constructor: continue an existing, repaired log."""
+        log = cls.__new__(cls)
+        log.storage = storage
+        log.stats = stats
+        log._broken = False
+        log._txn = None
+        log._txn_failed = False
+        log._next_lsn = next_lsn
+        log._next_txn = next_txn
+        log.records_appended = 0
+        log.bytes_appended = 0
+        return log
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """The ``lsn`` the next record will carry."""
+        return self._next_lsn
+
+    @property
+    def in_txn(self) -> bool:
+        """Whether a ``begin`` marker is awaiting its ``commit``."""
+        return self._txn is not None
+
+    @property
+    def broken(self) -> bool:
+        """Whether a storage fault poisoned this handle."""
+        return self._broken
+
+    # -- appends ---------------------------------------------------------
+
+    def append(self, payload: Mapping[str, Any]) -> int:
+        """Durably append one record (stamping its ``lsn``); returns the
+        ``lsn``.  A storage fault poisons the log and re-raises."""
+        if self._broken:
+            raise WalError(
+                "write-ahead log is poisoned by an earlier storage fault; "
+                "crash-recover before mutating further"
+            )
+        lsn = self._next_lsn
+        record = dict(payload)
+        record["lsn"] = lsn
+        data = encode_record(record)
+        try:
+            self.storage.append(data)
+        except Exception:
+            self._broken = True
+            if self._txn is not None:
+                self._txn_failed = True
+            raise
+        self._next_lsn = lsn + 1
+        self.records_appended += 1
+        self.bytes_appended += len(data)
+        if self.stats is not None:
+            self.stats.wal_records += 1
+            self.stats.wal_bytes += len(data)
+        return lsn
+
+    # -- transaction markers ---------------------------------------------
+
+    def begin(self) -> int:
+        """Open a transaction group; returns its id."""
+        if self._txn is not None:
+            raise WalError("a log transaction is already open")
+        txn = self._next_txn
+        self.append({"op": "begin", "txn": txn})
+        self._next_txn = txn + 1
+        self._txn = txn
+        self._txn_failed = False
+        return txn
+
+    def commit(self) -> None:
+        """Close the open group with a ``commit`` marker.  Raises
+        :class:`WalError` (without writing the marker) when the group
+        lost a record to a storage fault -- the caller must then undo
+        the in-memory transaction, keeping memory and log agreed that
+        the group never committed."""
+        if self._txn is None:
+            raise WalError("no log transaction to commit")
+        txn = self._txn
+        if self._txn_failed or self._broken:
+            self._txn = None
+            raise WalError(
+                f"log transaction {txn} lost records to a storage fault; "
+                "it cannot commit"
+            )
+        try:
+            self.append({"op": "commit", "txn": txn})
+        finally:
+            self._txn = None
+
+    def abort(self) -> None:
+        """Close the open group with an ``abort`` marker (best effort:
+        recovery drops an unterminated group anyway, so a failure to
+        write the marker is swallowed)."""
+        if self._txn is None:
+            return
+        txn = self._txn
+        self._txn = None
+        if self._broken:
+            return
+        try:
+            self.append({"op": "abort", "txn": txn})
+        except Exception:
+            pass  # the group has no commit marker; recovery drops it
+
+    def rollback(self, to_lsn: int) -> None:
+        """Cancel the open group's records with ``lsn >= to_lsn`` (an
+        inner transaction block unwound without aborting the outer one).
+        Best effort: a failed append poisons the group, so its commit
+        will refuse and recovery drops the whole group."""
+        if self._txn is None:
+            return
+        if self._broken:
+            self._txn_failed = True
+            return
+        try:
+            self.append(
+                {"op": "rollback", "txn": self._txn, "to_lsn": to_lsn}
+            )
+        except Exception:
+            pass  # append() already marked the transaction failed
+
+    # -- checkpointing ---------------------------------------------------
+
+    def write_snapshot(self, state_dict: Mapping[str, Any]) -> int:
+        """Compact the log to ``header`` + one ``snapshot`` record
+        holding ``state_dict`` (the :func:`repro.io.state_json` image);
+        returns the snapshot's ``lsn``.  The swap is atomic under
+        :class:`FileStorage`."""
+        if self._txn is not None:
+            raise WalError("cannot checkpoint inside a transaction")
+        if self._broken:
+            raise WalError(
+                "write-ahead log is poisoned by an earlier storage fault; "
+                "crash-recover before checkpointing"
+            )
+        header_lsn = self._next_lsn
+        snapshot_lsn = header_lsn + 1
+        data = encode_record(
+            {"op": "header", "version": WAL_VERSION, "lsn": header_lsn}
+        ) + encode_record(
+            {"op": "snapshot", "state": dict(state_dict), "lsn": snapshot_lsn}
+        )
+        try:
+            self.storage.replace(data)
+        except Exception:
+            self._broken = True
+            raise
+        self._next_lsn = snapshot_lsn + 1
+        self.records_appended += 2
+        self.bytes_appended += len(data)
+        if self.stats is not None:
+            self.stats.wal_records += 2
+            self.stats.wal_bytes += len(data)
+        return snapshot_lsn
+
+    def close(self) -> None:
+        """Close the underlying storage."""
+        self.storage.close()

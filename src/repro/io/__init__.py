@@ -20,7 +20,12 @@ from repro.io.relational_json import (
     relational_schema_to_dict,
 )
 from repro.io.eer_json import eer_schema_from_dict, eer_schema_to_dict
-from repro.io.state_json import state_from_dict, state_to_dict
+from repro.io.state_json import (
+    decode_value,
+    encode_value,
+    state_from_dict,
+    state_to_dict,
+)
 
 __all__ = [
     "relational_schema_from_dict",
@@ -29,4 +34,6 @@ __all__ = [
     "eer_schema_to_dict",
     "state_from_dict",
     "state_to_dict",
+    "encode_value",
+    "decode_value",
 ]

@@ -28,11 +28,16 @@ class StateDecodeError(ValueError):
     """Raised when a state dictionary does not fit its schema."""
 
 
-def _encode_value(value: Any) -> Any:
+def encode_value(value: Any) -> Any:
+    """One attribute value in JSON form (``NULL`` becomes the marker
+    object).  Shared by state files and the write-ahead log
+    (:mod:`repro.engine.wal`), so both formats agree on how a null
+    survives a round trip."""
     return dict(NULL_MARKER) if is_null(value) else value
 
 
-def _decode_value(value: Any) -> Any:
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
     if isinstance(value, Mapping) and value.get("$null") is True:
         return NULL
     return value
@@ -44,7 +49,7 @@ def state_to_dict(state: DatabaseState) -> dict[str, Any]:
     for name, relation in sorted(state.items()):
         rows = []
         for t in relation:
-            rows.append({k: _encode_value(v) for k, v in t.items()})
+            rows.append({k: encode_value(v) for k, v in t.items()})
         rows.sort(key=lambda r: sorted((k, repr(v)) for k, v in r.items()))
         relations[name] = rows
     return {"relations": relations}
@@ -68,7 +73,7 @@ def state_from_dict(
     for scheme in schema.schemes:
         rows = raw.get(scheme.name, [])
         decoded = [
-            {k: _decode_value(v) for k, v in row.items()} for row in rows
+            {k: decode_value(v) for k, v in row.items()} for row in rows
         ]
         try:
             relations[scheme.name] = Relation.from_dicts(

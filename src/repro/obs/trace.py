@@ -19,6 +19,9 @@ Event vocabulary (the ``event`` field):
 ``violation``       a constraint the checker found violated
 ``merge-decision``  one family admitted/skipped by the merge planner
 ``merge-applied``   one merge the planner actually performed
+``wal``             one mutation record appended to the write-ahead log
+``checkpoint``      the log compacted into a snapshot
+``recovery``        one crash-recovery step (truncate/rollback/replay/verify)
 """
 
 from __future__ import annotations

@@ -1,0 +1,62 @@
+"""Shared test helper: interpret a WAL image with the scan oracle.
+
+The crash-point matrix and the hypothesis property test both need an
+*independent* notion of "the state the log proves committed": parse the
+surviving bytes with :func:`repro.engine.wal.parse_wal` and apply the
+committed records, in log order, to the scan-based
+:class:`~repro.engine.oracle.OracleDatabase` -- buffering transaction
+groups until their ``commit`` marker, dropping aborted/unterminated
+groups and records cancelled by ``rollback`` markers.  Nothing in this
+interpreter shares code with :mod:`repro.engine.recovery`, so agreement
+between the two is evidence, not tautology.
+
+The oracle applies a committed group's records in order (it has no
+deferred reference checking), so test workloads keep their batches
+order-safe: parents before children, children deleted before parents.
+"""
+
+from repro.engine.oracle import OracleDatabase
+from repro.engine.wal import decode_batch_op, parse_wal
+from repro.io.state_json import state_from_dict
+
+
+def oracle_replay(
+    data: bytes, schema, null_semantics: str = "distinct"
+) -> OracleDatabase:
+    """The oracle holding the committed prefix of the log image ``data``."""
+    oracle = OracleDatabase(schema, null_semantics=null_semantics)
+    in_txn = False
+    buffered: list[dict] = []
+    for record in parse_wal(data).records:
+        op = record["op"]
+        if op == "header":
+            continue
+        if op in ("snapshot", "load_state"):
+            oracle.load_state(state_from_dict(record["state"], schema))
+        elif op == "begin":
+            in_txn, buffered = True, []
+        elif op == "rollback":
+            buffered = [
+                r for r in buffered if r.get("lsn", 0) < record["to_lsn"]
+            ]
+        elif op == "abort":
+            in_txn, buffered = False, []
+        elif op == "commit":
+            for r in buffered:
+                _apply(oracle, r)
+            in_txn, buffered = False, []
+        elif in_txn:
+            buffered.append(record)
+        else:
+            _apply(oracle, record)
+    return oracle
+
+
+def _apply(oracle: OracleDatabase, record: dict) -> None:
+    op = decode_batch_op(record)
+    if op[0] == "insert":
+        oracle.insert(op[1], op[2])
+    elif op[0] == "update":
+        oracle.update(op[1], op[2], op[3])
+    else:
+        oracle.delete(op[1], op[2])

@@ -94,3 +94,28 @@ def test_reset_clears_histograms():
     stats.observe("insert", 1e-6)
     stats.reset()
     assert stats.latencies == {}
+
+
+def test_wal_counters_move_and_reset(university_schema):
+    from repro.engine.recovery import recover_database
+    from repro.engine.wal import MemoryStorage, WriteAheadLog
+
+    db = Database(university_schema, wal=WriteAheadLog(MemoryStorage()))
+    db.insert("COURSE", {"C.NR": "c1"})
+    db.insert("COURSE", {"C.NR": "c2"})
+    assert db.stats.wal_records == 2
+    assert db.stats.wal_bytes > 0
+    db.checkpoint()
+    assert db.stats.checkpoints == 1
+
+    result = recover_database(
+        university_schema,
+        storage=MemoryStorage(db.wal.storage.read() + b"torn tail"),
+    )
+    rstats = result.database.stats
+    assert rstats.wal_replayed_records == 1  # the snapshot image
+    assert rstats.wal_truncated_bytes == len(b"torn tail")
+    rstats.reset()
+    assert rstats.wal_replayed_records == 0
+    assert rstats.wal_truncated_bytes == 0
+    assert rstats.snapshot()["wal_records"] == 0

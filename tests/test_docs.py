@@ -32,7 +32,13 @@ def test_intra_repo_doc_links_resolve():
 def test_checker_covers_the_paper_map():
     checker = _load_checker()
     names = {p.name for p in checker.default_files()}
-    assert {"README.md", "PAPER_MAP.md", "CLI.md", "PERFORMANCE.md"} <= names
+    assert {
+        "README.md",
+        "PAPER_MAP.md",
+        "CLI.md",
+        "PERFORMANCE.md",
+        "DURABILITY.md",
+    } <= names
 
 
 def test_checker_flags_broken_links(tmp_path):
