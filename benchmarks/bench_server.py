@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Closed-loop load generator for the JSON-lines server.
+
+Default mode hosts two servers in-process over temporary file WALs --
+one with the group-commit path (buffered appends, one flush per batch),
+one flushing every record (the ``max_batch=1`` baseline) -- drives each
+with N concurrent client threads doing inserts, and appends a
+``server`` entry with throughput and p50/p99 request latencies to
+``BENCH_engine.json``::
+
+    python benchmarks/bench_server.py --clients 8 --ops 250
+
+With ``--connect HOST:PORT`` it instead drives an already-running
+``python -m repro serve`` instance (no JSON is written); ``--smoke``
+shrinks the load and asserts the server answers a non-empty
+``metrics`` exposition -- the CI smoke-job mode::
+
+    python -m repro serve university.json --wal db.wal &
+    python benchmarks/bench_server.py --connect 127.0.0.1:7043 --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import threading
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.client import Client
+
+
+def run_clients(
+    port: int, clients: int, ops: int, prefix: str
+) -> dict[str, float]:
+    """Drive ``clients`` threads of ``ops`` inserts each; aggregate
+    throughput and per-request latency."""
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(clients + 1)
+
+    def worker(i: int) -> None:
+        try:
+            with Client(port=port, timeout=60) as c:
+                barrier.wait()
+                lat = latencies[i]
+                for j in range(ops):
+                    t0 = perf_counter()
+                    c.insert("COURSE", {"C.NR": f"{prefix}c{i}-{j}"})
+                    lat.append(perf_counter() - t0)
+        except BaseException as exc:  # surface, don't hang the barrier
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    barrier.wait()
+    t0 = perf_counter()
+    for t in threads:
+        t.join()
+    wall = perf_counter() - t0
+    if errors:
+        raise errors[0]
+    merged = sorted(x for lat in latencies for x in lat)
+    n = len(merged)
+    return {
+        "clients": clients,
+        "ops_per_client": ops,
+        "inserts_per_s": round(n / wall, 1),
+        "p50_us": round(merged[n // 2] * 1e6, 1),
+        "p99_us": round(merged[min(n - 1, (n * 99) // 100)] * 1e6, 1),
+        "wall_s": round(wall, 3),
+    }
+
+
+def bench_hosted(clients: int, ops: int) -> dict[str, object]:
+    """Group commit vs per-record flush, at both durability levels
+    (userspace flush only, and fsync at every barrier)."""
+    from repro.engine.database import Database
+    from repro.engine.wal import FileStorage, WriteAheadLog
+    from repro.server import ServerConfig, ServerThread
+    from repro.workloads.university import university_relational
+
+    entry: dict[str, object] = {
+        "harness": "benchmarks/bench_server.py",
+        "python": platform.python_version(),
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for level, fsync in (("flush", False), ("fsync", True)):
+            section: dict[str, object] = {}
+            for mode, buffered, max_batch in (
+                ("per_record", False, 1),
+                ("group_commit", True, 256),
+            ):
+                wal = WriteAheadLog(
+                    FileStorage(
+                        os.path.join(tmp, f"{level}_{mode}.wal"),
+                        fsync=fsync,
+                        buffered=buffered,
+                    )
+                )
+                db = Database(university_relational(), wal=wal)
+                config = ServerConfig(
+                    max_connections=clients + 4, max_batch=max_batch
+                )
+                with ServerThread(db, config) as st:
+                    assert st.port is not None
+                    result = run_clients(st.port, clients, ops, "")
+                snap = db.stats.snapshot()
+                result["group_commits"] = snap["wal_group_commits"]
+                result["batched_records"] = snap["wal_batched_records"]
+                section[mode] = result
+            section["group_commit_speedup_x"] = round(
+                section["group_commit"]["inserts_per_s"]
+                / section["per_record"]["inserts_per_s"],
+                2,
+            )
+            entry[level] = section
+    return entry
+
+
+def bench_external(
+    host: str, port: int, clients: int, ops: int
+) -> dict[str, object]:
+    """Drive an already-running server; returns the load summary."""
+    prefix = f"bench-{os.getpid()}-"
+    result = run_clients(port, clients, ops, prefix)
+    with Client(host=host, port=port, timeout=60) as c:
+        metrics = c.metrics()
+        stats = c.stats()
+    result["metrics_bytes"] = len(metrics)
+    result["group_commits"] = stats["wal_group_commits"]
+    result["batched_records"] = stats["wal_batched_records"]
+    if not metrics.strip():
+        raise SystemExit("server returned an empty metrics exposition")
+    return result
+
+
+def append_to_report(path: str, entry: dict[str, object]) -> None:
+    """Merge the ``server`` entry into the engine benchmark report."""
+    report: dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path) as f:
+            report = json.load(f)
+    report["server"] = entry
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--clients", type=int, default=8, help="concurrent clients"
+    )
+    parser.add_argument(
+        "--ops", type=int, default=250, help="inserts per client"
+    )
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="drive an already-running server instead of hosting one",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny load; with --connect, also assert metrics is non-empty",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="report to append the server entry to; '-' skips writing",
+    )
+    args = parser.parse_args(argv)
+    if args.clients < 1 or args.ops < 1:
+        parser.error("--clients and --ops must be positive")
+    if args.smoke:
+        args.clients = min(args.clients, 4)
+        args.ops = min(args.ops, 25)
+
+    if args.connect:
+        host, _, port = args.connect.rpartition(":")
+        entry = bench_external(host or "127.0.0.1", int(port), args.clients, args.ops)
+        print(json.dumps(entry, indent=2))
+        return 0
+
+    entry = bench_hosted(args.clients, args.ops)
+    print(json.dumps(entry, indent=2))
+    if not args.smoke and args.output != "-":
+        append_to_report(args.output, entry)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

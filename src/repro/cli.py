@@ -16,6 +16,7 @@ recognised by their ``object_sets`` field.  Commands:
 ``minimize``   drop implied constraints from a schema
 ``bench``      run the storage-engine micro-benchmarks
 ``recover``    rebuild the committed state from a write-ahead log
+``serve``      serve a database over the JSON-lines TCP protocol
 
 Every command reads JSON from file arguments and writes human output to
 stdout; ``-o`` writes machine-readable JSON results.  ``check``,
@@ -500,6 +501,76 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: run the JSON-lines TCP server until SIGTERM/SIGINT,
+    then drain gracefully (finish in-flight requests, final group
+    commit, checkpoint, close the WAL)."""
+    import asyncio
+    import os
+
+    from repro.engine.database import Database
+    from repro.engine.recovery import RecoveryError, recover_database
+    from repro.engine.wal import FileStorage, WalError, WriteAheadLog
+    from repro.server.server import ServerConfig
+    from repro.server.server import serve as serve_async
+
+    schema = _load_relational(args.schema)
+    if args.max_batch < 1:
+        raise CliError("--max-batch must be at least 1")
+    if args.max_delay < 0:
+        raise CliError("--max-delay must be non-negative")
+    tracer, trace_path = _open_tracer(args.trace)
+    if args.wal is not None:
+        storage = FileStorage(
+            args.wal, fsync=args.fsync, buffered=True
+        )
+        if os.path.exists(args.wal) and os.path.getsize(args.wal) > 0:
+            # A log with history: recover through it so the server
+            # starts from the committed state (and owns the repaired
+            # log, still in buffered group-commit mode).
+            try:
+                result = recover_database(
+                    schema, storage=storage, tracer=tracer
+                )
+            except (RecoveryError, WalError, OSError) as exc:
+                raise CliError(f"cannot recover {args.wal}: {exc}")
+            db = result.database
+            print(
+                f"recovered {db.state().total_size()} tuple(s) "
+                f"from {args.wal}"
+            )
+        else:
+            db = Database(
+                schema, tracer=tracer, wal=WriteAheadLog(storage)
+            )
+    else:
+        db = Database(schema, tracer=tracer)
+        print("warning: no --wal; state is not durable", file=sys.stderr)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        checkpoint_on_drain=not args.no_checkpoint,
+    )
+    try:
+        server = asyncio.run(serve_async(db, config))
+    finally:
+        _close_tracer(tracer, trace_path)
+    snap = db.stats.snapshot()
+    print(
+        f"drained: {server.sessions_opened} session(s), "
+        f"{server.service.requests_served} request(s), "
+        f"{snap['wal_group_commits']} group commit(s) covering "
+        f"{snap['wal_batched_records']} record(s)"
+    )
+    if server.drain_error is not None:
+        print(f"warning: drain error: {server.drain_error}", file=sys.stderr)
+        return 1
+    return 0
+
+
 # -- parser ---------------------------------------------------------------
 
 
@@ -701,6 +772,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", help="write the recovery report JSON")
     p.add_argument("--trace", **trace_kwargs)
     p.set_defaults(fn=cmd_recover)
+
+    p = sub.add_parser(
+        "serve", help="serve a database over the JSON-lines TCP protocol"
+    )
+    p.add_argument("schema")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0: pick a free one; the bound port "
+        "is printed in the readiness line)",
+    )
+    p.add_argument(
+        "--wal",
+        metavar="LOG",
+        help="write-ahead log path; an existing log is recovered first "
+        "(without one, state is not durable)",
+    )
+    p.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync at every group-commit barrier (power-loss "
+        "durability; default flushes to the OS only)",
+    )
+    p.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="reject connections beyond this many (default: 64)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="most mutations one group commit may cover (default: 64)",
+    )
+    p.add_argument(
+        "--max-delay",
+        type=float,
+        default=0.002,
+        help="seconds the writer waits for stragglers to join a group "
+        "(default: 0.002; 0 never waits)",
+    )
+    p.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="skip the WAL checkpoint during graceful drain",
+    )
+    p.add_argument("--trace", **trace_kwargs)
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

@@ -1,0 +1,235 @@
+"""A blocking client for the JSON-lines server (``repro.server``).
+
+One :class:`Client` is one TCP connection and one outstanding request
+at a time -- the deliberately simple synchronous counterpart to the
+asyncio server.  Concurrency comes from many clients (one per thread or
+process), which is exactly the shape the server's group-commit path is
+built for.
+
+Rows and primary keys travel in the engine's own value encoding
+(``NULL`` as the ``{"$null": true}`` marker), so what a method returns
+is what :meth:`Database.get` would return in-process, as a plain dict.
+Server-side rejections come back as exceptions:
+:class:`~repro.server.protocol.RemoteConstraintViolation` for
+constraint violations (carrying ``constraint``/``kind``/``rule``/
+``detail`` provenance) and :class:`~repro.server.protocol.RemoteError`
+for everything else.
+
+::
+
+    from repro.client import Client
+
+    with Client(port=7043) as c:
+        c.insert("COURSE", {"C.NR": "c1", "C.TITLE": "Databases"})
+        row = c.get("COURSE", "c1")
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    RemoteConstraintViolation,
+    RemoteError,
+    decode_frame,
+    decode_row,
+    encode_frame,
+    encode_pk,
+    encode_row,
+    raise_error,
+    request_frame,
+)
+
+__all__ = ["Client", "RemoteConstraintViolation", "RemoteError"]
+
+
+def _wire_pk(pk: Any) -> list:
+    """A primary key (scalar or tuple) in wire form."""
+    if not isinstance(pk, tuple):
+        pk = (pk,)
+    return encode_pk(pk)
+
+
+def _wire_ops(ops: Iterable[tuple]) -> list[list]:
+    """Engine-style ``apply_batch`` op tuples in wire form."""
+    wire: list[list] = []
+    for op in ops:
+        kind = op[0] if op else None
+        if kind == "insert" and len(op) == 3:
+            wire.append(["insert", op[1], encode_row(op[2])])
+        elif kind == "update" and len(op) == 4:
+            wire.append(
+                ["update", op[1], _wire_pk(op[2]), encode_row(op[3])]
+            )
+        elif kind == "delete" and len(op) == 3:
+            wire.append(["delete", op[1], _wire_pk(op[2])])
+        else:
+            raise ValueError(f"not a valid batch op: {op!r}")
+    return wire
+
+
+class Client:
+    """One blocking connection to a ``repro`` server."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = None,
+    ):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        # One small frame per request: Nagle+delayed-ACK would add
+        # whole milliseconds to every round trip.
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._fh = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing --------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._fh.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def call(self, verb: str, **params: Any) -> Any:
+        """One request/response round trip; the raw ``result`` value.
+
+        Raises the matching :class:`RemoteError` subtype on an error
+        frame, :class:`ConnectionError` if the server hangs up, and
+        :class:`ProtocolError` on an unparseable or mismatched response.
+        """
+        self._next_id += 1
+        request_id = self._next_id
+        self._fh.write(encode_frame(request_frame(request_id, verb, **params)))
+        self._fh.flush()
+        line = self._fh.readline(MAX_FRAME_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        frame = decode_frame(line)
+        if frame.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {frame.get('id')!r} does not match "
+                f"request id {request_id!r}"
+            )
+        if not frame.get("ok"):
+            raise_error(frame)
+        return frame.get("result")
+
+    # -- mutations -------------------------------------------------------
+
+    def insert(
+        self, scheme: str, row: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Insert one row; returns the stored row."""
+        return decode_row(
+            self.call("insert", scheme=scheme, row=encode_row(row))
+        )
+
+    def update(
+        self, scheme: str, pk: Any, updates: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Update one row by primary key; returns the updated row."""
+        return decode_row(
+            self.call(
+                "update",
+                scheme=scheme,
+                pk=_wire_pk(pk),
+                updates=encode_row(updates),
+            )
+        )
+
+    def delete(self, scheme: str, pk: Any) -> None:
+        """Delete one row by primary key."""
+        self.call("delete", scheme=scheme, pk=_wire_pk(pk))
+
+    def insert_many(
+        self, scheme: str, rows: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Insert many rows of one scheme atomically."""
+        result = self.call(
+            "insert_many",
+            scheme=scheme,
+            rows=[encode_row(r) for r in rows],
+        )
+        return [decode_row(r) for r in result]
+
+    def apply_batch(self, ops: Iterable[tuple]) -> list[dict[str, Any] | None]:
+        """Apply a mixed mutation batch atomically (engine-style op
+        tuples: ``("insert", scheme, row)``, ``("update", scheme, pk,
+        updates)``, ``("delete", scheme, pk)``)."""
+        result = self.call("apply_batch", ops=_wire_ops(ops))
+        return [decode_row(r) if r is not None else None for r in result]
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, scheme: str, pk: Any) -> dict[str, Any] | None:
+        """Primary-key lookup; ``None`` when absent."""
+        result = self.call("get", scheme=scheme, pk=_wire_pk(pk))
+        return decode_row(result) if result is not None else None
+
+    def join_to(
+        self,
+        scheme: str,
+        pk: Any,
+        via: Sequence[str],
+        target_scheme: str,
+        target_attrs: Sequence[str] | None = None,
+    ) -> dict[str, Any] | None:
+        """Navigate a foreign key from the row under ``pk``."""
+        result = self.call(
+            "join_to",
+            scheme=scheme,
+            pk=_wire_pk(pk),
+            via=list(via),
+            target_scheme=target_scheme,
+            target_attrs=list(target_attrs) if target_attrs else None,
+        )
+        return decode_row(result) if result is not None else None
+
+    def find_referencing(
+        self,
+        scheme: str,
+        pk: Any,
+        source_scheme: str,
+        via: Sequence[str],
+        target_attrs: Sequence[str],
+    ) -> list[dict[str, Any]]:
+        """All rows of ``source_scheme`` referencing the row under
+        ``pk``."""
+        result = self.call(
+            "find_referencing",
+            scheme=scheme,
+            pk=_wire_pk(pk),
+            source_scheme=source_scheme,
+            via=list(via),
+            target_attrs=list(target_attrs),
+        )
+        return [decode_row(r) for r in result]
+
+    def check(self) -> dict[str, Any]:
+        """Full-state consistency check:
+        ``{"consistent": bool, "violations": [...]}``."""
+        return self.call("check")
+
+    def explain(self, op: str, scheme: str) -> dict[str, Any]:
+        """The enforcement plan EXPLAIN dict for ``op`` on ``scheme``."""
+        return self.call("explain", op=op, scheme=scheme)
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition."""
+        return self.call("metrics")
+
+    def stats(self) -> dict[str, Any]:
+        """The server's :meth:`EngineStats.snapshot` dict."""
+        return self.call("stats")

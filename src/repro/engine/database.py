@@ -1001,6 +1001,33 @@ class Database:
                 )
         return lsn
 
+    def sync_wal(self) -> int:
+        """Group-commit barrier: flush every WAL record appended since
+        the last sync in one storage flush/fsync; returns how many
+        records the barrier covered (0 with no log or nothing pending).
+
+        This is the durability point of the server's batched-write
+        path: mutations are applied (and logged, unflushed) one by one,
+        then a single ``sync_wal`` makes the whole batch durable before
+        any of them is acknowledged.  A storage fault poisons the log
+        and re-raises -- the batch must not be acked.
+        """
+        if self.wal is None:
+            return 0
+        batched = self.wal.sync()
+        if batched and self.tracer is not None:
+            self.tracer.emit(
+                TraceEvent(
+                    event="wal",
+                    op="group-commit",
+                    kind="wal-group-commit",
+                    rule=paper_rule("wal-group-commit"),
+                    outcome="synced",
+                    rows=batched,
+                )
+            )
+        return batched
+
     @classmethod
     def recover(
         cls,

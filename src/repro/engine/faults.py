@@ -133,6 +133,11 @@ class FaultyStorage:
         """Pass through to the base storage."""
         return self.base.size()
 
+    def sync(self) -> None:
+        """Pass through to the base storage (a sync moves no record
+        bytes, so it is not a fault site of its own)."""
+        self.base.sync()
+
     def close(self) -> None:
         """Pass through to the base storage."""
         self.base.close()

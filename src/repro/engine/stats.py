@@ -27,6 +27,10 @@ class EngineStats:
     records replayed and transactions' records rolled back during
     :meth:`~repro.engine.database.Database.recover`, bytes truncated
     off a torn log tail, and ``checkpoints`` taken.
+    ``wal_group_commits`` / ``wal_batched_records`` count group-commit
+    sync barriers and the records they made durable (see
+    :meth:`repro.engine.wal.WriteAheadLog.sync`); their ratio is the
+    achieved batching factor.
 
     ``latencies`` maps an operation name to a
     :class:`~repro.obs.histogram.LatencyHistogram`; it stays empty
@@ -55,6 +59,8 @@ class EngineStats:
     wal_replayed_records: int = 0
     wal_rolled_back_records: int = 0
     wal_truncated_bytes: int = 0
+    wal_group_commits: int = 0
+    wal_batched_records: int = 0
     checkpoints: int = 0
     latencies: dict[str, LatencyHistogram] = field(default_factory=dict)
 
@@ -80,12 +86,20 @@ class EngineStats:
 
     def snapshot(self) -> dict[str, object]:
         """A plain-dict copy of every field, for reporting; histograms
-        appear as their JSON-ready summaries."""
+        appear as their JSON-ready summaries.
+
+        Safe against concurrent :meth:`observe` calls from cooperative
+        tasks (the server's handlers observe into the same stats object
+        a ``stats`` verb is snapshotting): the ``latencies`` dict is
+        copied via ``list(...)`` before iteration, so a histogram added
+        -- or the dict swapped by a reentrant :meth:`reset` -- mid-walk
+        cannot raise ``RuntimeError: dict changed size``.
+        """
         out: dict[str, object] = {}
         for f in fields(self):
             value = getattr(self, f.name)
             if f.name == "latencies":
-                value = {op: hist.to_dict() for op, hist in value.items()}
+                value = {op: hist.to_dict() for op, hist in list(value.items())}
             out[f.name] = value
         return out
 

@@ -49,6 +49,18 @@ failed ``ROLLBACK TRANSACTION``.
 The file layer is abstracted behind the :class:`Storage` protocol so
 tests can inject :class:`repro.engine.faults.FaultyStorage` and crash
 the log at every write deterministically.
+
+Group commit
+------------
+
+:class:`FileStorage` flushes per record by default; with
+``buffered=True`` appends stay in the userspace buffer and only
+:meth:`WriteAheadLog.sync` makes them durable, so many concurrent
+writers' records share a single flush/fsync (the group-commit path the
+server's single-writer task drives -- see ``docs/SERVER.md``).  Nothing
+is acknowledged durable until the sync returns; a crash between append
+and sync loses only unacknowledged records, which recovery's torn-tail
+truncation already tolerates.
 """
 
 from __future__ import annotations
@@ -107,8 +119,17 @@ class Storage(Protocol):
         """Current length in bytes."""
         ...  # pragma: no cover - protocol
 
+    def sync(self) -> None:
+        """Make every appended byte durable (group-commit barrier).
+
+        Storage that flushes per :meth:`append` may make this a no-op;
+        buffered storage flushes (and optionally fsyncs) here, so many
+        appends share one durability point.
+        """
+        ...  # pragma: no cover - protocol
+
     def close(self) -> None:
-        """Release any underlying resources."""
+        """Release any underlying resources (idempotent)."""
         ...  # pragma: no cover - protocol
 
 
@@ -138,6 +159,9 @@ class MemoryStorage:
         """Current length in bytes."""
         return len(self._data)
 
+    def sync(self) -> None:
+        """No-op; memory appends are already "durable"."""
+
     def close(self) -> None:
         """No-op; memory needs no release."""
 
@@ -145,40 +169,71 @@ class MemoryStorage:
 class FileStorage:
     """File-backed :class:`Storage`.
 
-    Appends go through a persistent ``'ab'`` handle and are flushed per
-    record (``fsync=True`` additionally syncs the OS buffers, trading
-    throughput for power-loss durability).  :meth:`replace` writes a
-    sibling temporary file and ``os.replace``\\ s it over the log, so a
-    checkpoint is atomic: a crash leaves either the old log or the new
-    snapshot, never a mix.
+    Appends go through a persistent ``'ab'`` handle.  In the default
+    (unbuffered) mode every append is flushed immediately (``fsync=True``
+    additionally syncs the OS buffers, trading throughput for power-loss
+    durability).  With ``buffered=True`` appends land in the handle's
+    userspace buffer and only :meth:`sync` flushes (and optionally
+    fsyncs) them -- the group-commit mode, where many records share one
+    flush and nothing is promised durable until the sync returns.
+
+    :meth:`replace` writes a sibling temporary file and ``os.replace``\\ s
+    it over the log, so a checkpoint is atomic: a crash leaves either
+    the old log or the new snapshot, never a mix.
+
+    :meth:`close` is idempotent; appending (or syncing) after close
+    raises :class:`WalError` instead of the raw ``ValueError`` a closed
+    file handle would.
     """
 
-    def __init__(self, path: str, fsync: bool = False):
+    def __init__(self, path: str, fsync: bool = False, buffered: bool = False):
         self.path = str(path)
         self.fsync = fsync
+        self.buffered = buffered
         self._fh = open(self.path, "ab")
+        self._closed = False
+
+    def _handle(self):
+        if self._closed:
+            raise WalError(
+                f"storage for {self.path!r} is closed; open a fresh "
+                "FileStorage (or recover) before appending further"
+            )
+        return self._fh
 
     def append(self, data: bytes) -> None:
-        """Append ``data``, flushing (and optionally fsyncing) it."""
-        self._fh.write(data)
-        self._fh.flush()
+        """Append ``data``; unbuffered mode flushes (and optionally
+        fsyncs) it immediately, buffered mode defers to :meth:`sync`."""
+        fh = self._handle()
+        fh.write(data)
+        if not self.buffered:
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+
+    def sync(self) -> None:
+        """Flush buffered appends to the OS (and fsync when asked) --
+        the single durability point a group commit shares."""
+        fh = self._handle()
+        fh.flush()
         if self.fsync:
-            os.fsync(self._fh.fileno())
+            os.fsync(fh.fileno())
 
     def read(self) -> bytes:
         """The full current file contents."""
-        self._fh.flush()
+        self._handle().flush()
         with open(self.path, "rb") as f:
             return f.read()
 
     def truncate(self, size: int) -> None:
         """Drop everything beyond ``size`` bytes (O_APPEND writes keep
         landing at the new end)."""
-        self._fh.flush()
+        self._handle().flush()
         os.truncate(self.path, size)
 
     def replace(self, data: bytes) -> None:
         """Atomically swap the file contents via a temp file + rename."""
+        self._handle()  # refuse after close, before touching the file
         tmp = self.path + ".tmp"
         with open(tmp, "wb") as f:
             f.write(data)
@@ -191,11 +246,14 @@ class FileStorage:
 
     def size(self) -> int:
         """Current file length in bytes."""
-        self._fh.flush()
+        self._handle().flush()
         return os.path.getsize(self.path)
 
     def close(self) -> None:
-        """Close the append handle."""
+        """Close the append handle (safe to call more than once)."""
+        if self._closed:
+            return
+        self._closed = True
         self._fh.close()
 
 
@@ -360,8 +418,15 @@ class WriteAheadLog:
         self._next_txn = 1
         self.records_appended = 0
         self.bytes_appended = 0
+        #: Records appended since the last :meth:`sync` (what one group
+        #: commit will make durable).
+        self.unsynced_records = 0
         if storage.size() == 0:
             self.append({"op": "header", "version": WAL_VERSION})
+            # The bootstrap header is not a client mutation: it should
+            # never count toward a group commit's batch (the first
+            # barrier's flush still covers its bytes).
+            self.unsynced_records = 0
         else:
             parsed = parse_wal(storage.read())
             if parsed.torn:
@@ -380,9 +445,13 @@ class WriteAheadLog:
                 )
 
     @classmethod
-    def open(cls, path: str, fsync: bool = False) -> "WriteAheadLog":
-        """A log over :class:`FileStorage` at ``path``."""
-        return cls(FileStorage(path, fsync=fsync))
+    def open(
+        cls, path: str, fsync: bool = False, buffered: bool = False
+    ) -> "WriteAheadLog":
+        """A log over :class:`FileStorage` at ``path``; ``buffered``
+        selects the group-commit mode (appends become durable only at
+        :meth:`sync`)."""
+        return cls(FileStorage(path, fsync=fsync, buffered=buffered))
 
     @classmethod
     def _resume(
@@ -399,6 +468,7 @@ class WriteAheadLog:
         log._next_txn = next_txn
         log.records_appended = 0
         log.bytes_appended = 0
+        log.unsynced_records = 0
         return log
 
     # -- introspection ---------------------------------------------------
@@ -442,10 +512,35 @@ class WriteAheadLog:
         self._next_lsn = lsn + 1
         self.records_appended += 1
         self.bytes_appended += len(data)
+        self.unsynced_records += 1
         if self.stats is not None:
             self.stats.wal_records += 1
             self.stats.wal_bytes += len(data)
         return lsn
+
+    def sync(self) -> int:
+        """Group-commit barrier: make every record appended since the
+        last sync durable in one storage flush; returns how many records
+        the barrier covered.  Counts one ``wal_group_commits`` (and the
+        batch size into ``wal_batched_records``) when records were
+        pending.  A storage fault poisons the log and re-raises -- the
+        batch is not durable and its mutations must not be acked."""
+        if self._broken:
+            raise WalError(
+                "write-ahead log is poisoned by an earlier storage fault; "
+                "crash-recover before syncing further"
+            )
+        batched = self.unsynced_records
+        try:
+            self.storage.sync()
+        except Exception:
+            self._broken = True
+            raise
+        self.unsynced_records = 0
+        if batched and self.stats is not None:
+            self.stats.wal_group_commits += 1
+            self.stats.wal_batched_records += batched
+        return batched
 
     # -- transaction markers ---------------------------------------------
 
@@ -539,6 +634,7 @@ class WriteAheadLog:
             self._broken = True
             raise
         self._next_lsn = snapshot_lsn + 1
+        self.unsynced_records = 0  # the replace persisted everything
         self.records_appended += 2
         self.bytes_appended += len(data)
         if self.stats is not None:
@@ -547,5 +643,11 @@ class WriteAheadLog:
         return snapshot_lsn
 
     def close(self) -> None:
-        """Close the underlying storage."""
+        """Close the underlying storage, flushing any buffered records
+        first (best effort -- a poisoned log skips the flush)."""
+        if not self._broken and self.unsynced_records:
+            try:
+                self.sync()
+            except (WalError, OSError):
+                pass  # unsynced records were never acked durable
         self.storage.close()

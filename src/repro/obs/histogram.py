@@ -61,7 +61,21 @@ class LatencyHistogram:
             self.max_seen = seconds
 
     def merge(self, other: "LatencyHistogram") -> None:
-        """Fold another histogram's observations into this one."""
+        """Fold another histogram's observations into this one.
+
+        Guards against the two silent-corruption cases: merging a
+        histogram into itself would double every count while iterating
+        the very list being mutated, and merging one with a different
+        bucket layout would add counts to the wrong latency ranges.
+        Both raise ``ValueError`` instead.
+        """
+        if other is self:
+            raise ValueError("cannot merge a histogram into itself")
+        if len(other.counts) != len(self.counts):
+            raise ValueError(
+                f"bucket layouts differ ({len(other.counts)} vs "
+                f"{len(self.counts)} buckets); refusing to merge"
+            )
         for i, c in enumerate(other.counts):
             self.counts[i] += c
         self.count += other.count

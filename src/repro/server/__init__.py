@@ -1,0 +1,44 @@
+"""The network service layer: serve one constraint-enforcing
+:class:`~repro.engine.database.Database` to many concurrent clients.
+
+The paper's Section 5 asks which merged-relation constraints a DBMS can
+maintain *declaratively* on behalf of applications; this package makes
+that question operational.  Clients submit mutations over a JSON-lines
+TCP protocol (:mod:`repro.server.protocol`), and the server is the sole
+enforcer of Definition 2.1 consistency: every rejection comes back as a
+typed error frame carrying the violated constraint's ``kind`` and
+paper-rule label, exactly as the in-process engine raises them.
+
+Layering:
+
+* :mod:`repro.server.protocol` -- the wire format (framing, verbs,
+  row/NULL encoding, typed error frames);
+* :mod:`repro.server.service` -- sessions, verb dispatch, and the
+  single-writer transaction manager with the group-commit WAL path;
+* :mod:`repro.server.server` -- the asyncio accept loop with connection
+  limits, backpressure, and graceful drain.
+
+The matching blocking client lives in :mod:`repro.client`; the CLI
+entry point is ``python -m repro serve`` (see ``docs/SERVER.md``).
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    RemoteConstraintViolation,
+    RemoteError,
+)
+from repro.server.server import ReproServer, ServerConfig, ServerThread, serve
+from repro.server.service import DatabaseService
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "RemoteConstraintViolation",
+    "RemoteError",
+    "ReproServer",
+    "ServerConfig",
+    "ServerThread",
+    "DatabaseService",
+    "serve",
+]

@@ -1,0 +1,340 @@
+"""The asyncio accept loop: connection limits, backpressure, drain.
+
+:class:`ReproServer` owns one :class:`~repro.server.service.DatabaseService`
+and speaks the JSON-lines protocol to any number of clients.  Each
+connection is one coroutine reading frames off its socket; flow control
+is end-to-end: a handler does not read the next request until the
+previous response is written (``writer.drain()``), and mutations block
+on the service's bounded queue, so a flood of writers slows clients
+down instead of growing server memory.
+
+Graceful drain (``SIGTERM`` under ``python -m repro serve``, or
+:meth:`ReproServer.drain`) follows the sequence the paper's durability
+story requires: stop accepting connections, let every in-flight request
+finish and be acknowledged, flush the mutation queue through the final
+group commit, checkpoint the write-ahead log, and close it.  Idle
+connections are closed immediately; a connection mid-request gets its
+response first.
+
+:class:`ServerThread` hosts a server on a private event loop in a
+background thread -- the harness both the test suite and
+``benchmarks/bench_server.py`` use, since the repository's toolchain has
+no async test runner.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import threading
+from dataclasses import dataclass
+
+from repro.engine.database import Database
+from repro.engine.wal import WalError
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+)
+from repro.server.service import DatabaseService, Session
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one server instance."""
+
+    host: str = "127.0.0.1"
+    #: Port to bind; 0 asks the OS for a free one (read the bound port
+    #: back from :attr:`ReproServer.port`).
+    port: int = 0
+    #: Connections beyond this are answered with an ``overloaded``
+    #: error frame and closed.
+    max_connections: int = 64
+    #: Most mutations one group commit may cover.
+    max_batch: int = 64
+    #: Longest the writer waits (seconds) for stragglers to join a
+    #: group after its first mutation arrives.  0 = commit whatever is
+    #: already queued, never wait.
+    max_delay: float = 0.002
+    #: Bound on queued-but-uncommitted mutations (the backpressure
+    #: threshold).
+    queue_depth: int = 1024
+    #: Compact the WAL into a snapshot as part of graceful drain.
+    checkpoint_on_drain: bool = True
+
+
+class ReproServer:
+    """One database served to many JSON-lines TCP clients."""
+
+    def __init__(self, db: Database, config: ServerConfig | None = None):
+        self.db = db
+        self.config = config or ServerConfig()
+        self.service = DatabaseService(
+            db,
+            max_batch=self.config.max_batch,
+            max_delay=self.config.max_delay,
+            queue_depth=self.config.queue_depth,
+        )
+        self.host = self.config.host
+        self.port: int | None = None
+        self.sessions_opened = 0
+        self.rejected_connections = 0
+        #: Error (if any) raised while checkpointing/closing the WAL
+        #: during drain; drain itself never raises.
+        self.drain_error: Exception | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._draining = asyncio.Event()
+        self._drained = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener and start the writer task."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._on_client,
+            self.host,
+            self.config.port,
+            limit=MAX_FRAME_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight requests,
+        run the final group commit, checkpoint, close the WAL.
+
+        Idempotent; concurrent callers all wait for the one drain.
+        """
+        if self._draining.is_set():
+            await self._drained.wait()
+            return
+        self._draining.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._connections:
+            await asyncio.gather(
+                *list(self._connections), return_exceptions=True
+            )
+        await self.service.stop()
+        try:
+            if self.db.wal is not None:
+                if (
+                    self.config.checkpoint_on_drain
+                    and self.service.poisoned is None
+                ):
+                    self.db.checkpoint()
+                self.db.wal.close()
+        except (WalError, OSError) as exc:
+            self.drain_error = exc
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        """Block until a drain (triggered elsewhere) completes."""
+        await self._drained.wait()
+
+    # -- per-connection handler ------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        if (
+            len(self._connections) >= self.config.max_connections
+            or self._draining.is_set()
+        ):
+            self.rejected_connections += 1
+            kind = (
+                "shutting-down" if self._draining.is_set() else "overloaded"
+            )
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.write(
+                    encode_frame(
+                        error_frame(None, kind, "connection refused")
+                    )
+                )
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            return
+        self._connections.add(task)
+        self.service.connections += 1
+        self.sessions_opened += 1
+        peername = writer.get_extra_info("peername")
+        session = Session(
+            id=self.sessions_opened,
+            peer=f"{peername[0]}:{peername[1]}" if peername else "",
+        )
+        try:
+            await self._serve_session(session, reader, writer)
+        finally:
+            self._connections.discard(task)
+            self.service.connections -= 1
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _serve_session(
+        self,
+        session: Session,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        while True:
+            line = await self._read_or_drain(reader)
+            if line is None:  # drain fired while the connection was idle
+                return
+            if isinstance(line, dict):  # oversized/broken framing
+                writer.write(encode_frame(line))
+                await writer.drain()
+                return
+            if not line:  # EOF: client hung up
+                return
+            try:
+                frame = decode_frame(line)
+            except ProtocolError as exc:
+                # Framing never resyncs mid-stream; answer and close.
+                writer.write(
+                    encode_frame(error_frame(None, "bad-request", str(exc)))
+                )
+                await writer.drain()
+                return
+            response = await self.service.handle(session, frame)
+            writer.write(encode_frame(response))
+            await writer.drain()
+            if self._draining.is_set():
+                return
+
+    async def _read_or_drain(self, reader: asyncio.StreamReader):
+        """The next request line, ``None`` if drain interrupts the idle
+        wait, or an error frame (dict) when framing breaks."""
+        read = asyncio.ensure_future(reader.readline())
+        drain = asyncio.ensure_future(self._draining.wait())
+        try:
+            done, _ = await asyncio.wait(
+                {read, drain}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            drain.cancel()
+        if read not in done:
+            read.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await read
+            return None
+        try:
+            return read.result()
+        except ValueError:
+            # StreamReader's limit tripped: the line exceeds the frame cap.
+            return error_frame(
+                None,
+                "bad-request",
+                f"frame exceeds the {MAX_FRAME_BYTES}-byte limit",
+            )
+        except (ConnectionError, OSError):
+            return b""
+
+
+async def serve(
+    db: Database,
+    config: ServerConfig | None = None,
+    *,
+    install_signal_handlers: bool = True,
+) -> ReproServer:
+    """Run a server until drained (the ``python -m repro serve`` body).
+
+    Prints ``listening on <host>:<port>`` once the socket is bound --
+    the readiness line scripts and tests wait for -- and installs
+    ``SIGTERM``/``SIGINT`` handlers that trigger a graceful drain.
+    """
+    server = ReproServer(db, config)
+    await server.start()
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(
+                    sig,
+                    lambda: asyncio.ensure_future(server.drain()),
+                )
+    await server.wait_drained()
+    return server
+
+
+class ServerThread:
+    """Host a :class:`ReproServer` on a private event loop in a
+    background thread.
+
+    For tests and benchmarks: the caller keeps the blocking side of the
+    conversation (e.g. :class:`repro.client.Client`) while the server
+    runs here.  ``stop()`` performs a full graceful drain.  After
+    ``stop()`` returns, the database may be inspected from the calling
+    thread -- the server thread has exited, so there is no sharing.
+    """
+
+    def __init__(self, db: Database, config: ServerConfig | None = None):
+        self.db = db
+        self.config = config or ServerConfig()
+        self.server: ReproServer | None = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ready = threading.Event()
+        self._startup_error: Exception | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> "ServerThread":
+        """Start the thread and block until the listener is bound
+        (re-raising any startup failure here, in the caller)."""
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start in time")
+        if self._startup_error is not None:
+            self._thread.join()
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        """Drain the server and join the thread."""
+        loop, server = self._loop, self.server
+        if loop is not None and server is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(server.drain())
+            )
+        self._thread.join(timeout=60)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread failed to drain in time")
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # surface startup failures to start()
+            if self._startup_error is None:
+                self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = ReproServer(self.db, self.config)
+        try:
+            await self.server.start()
+        except Exception as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.host, self.port = self.server.host, self.server.port
+        self._ready.set()
+        await self.server.wait_drained()

@@ -1,0 +1,439 @@
+"""Sessions, verb dispatch, and the single-writer transaction manager.
+
+One :class:`DatabaseService` multiplexes every connection over one
+:class:`~repro.engine.database.Database`:
+
+* **Reads** (``get``/``join_to``/``find_referencing``/``check``/
+  ``explain``/``metrics``/``stats``) execute inline in the connection's
+  coroutine.  The event loop is single-threaded and the handlers never
+  await while touching the database, so a read always sees a consistent
+  snapshot between mutations; ``Database.scan``'s version guard would
+  turn any future violation of that invariant into a loud
+  ``RuntimeError`` rather than a silently torn read.
+
+* **Mutations** (``insert``/``update``/``delete``/``insert_many``/
+  ``apply_batch``) are funneled through a bounded queue to a single
+  writer task -- the serialization point that makes "the server is the
+  sole enforcer" true under concurrency.  The queue bound is the
+  backpressure mechanism: when writers outrun the engine, connection
+  handlers block on ``put`` (and stop reading their sockets) instead of
+  buffering unboundedly.
+
+* **Group commit**: the writer drains up to ``max_batch`` queued
+  mutations (waiting at most ``max_delay`` seconds for stragglers after
+  the first), applies them one by one -- each validated, WAL-appended
+  *unflushed*, and stored -- then issues one
+  :meth:`~repro.engine.database.Database.sync_wal` barrier and only then
+  acknowledges the whole batch.  Concurrent writers' records thus share
+  a single flush/fsync instead of paying one each; the
+  ``wal_group_commits`` / ``wal_batched_records`` counters report the
+  achieved batching factor.  A client is never acked before its record
+  is durable, so a crash loses only unacknowledged mutations.
+
+If the sync barrier itself fails, the log is poisoned (the WAL module's
+standing discipline): every mutation in the batch -- and every later
+one -- is answered with a ``wal-error`` frame, and the process must be
+restarted through :meth:`Database.recover`, which drops whatever the
+log cannot prove committed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Mapping
+
+from repro.engine.database import ConstraintViolationError, Database
+from repro.engine.query import QueryEngine
+from repro.engine.wal import WalError
+from repro.server import protocol
+from repro.server.protocol import (
+    MUTATION_VERBS,
+    VERBS,
+    ProtocolError,
+    decode_pk,
+    decode_row,
+    encode_row,
+    error_frame,
+    ok_frame,
+    violation_frame,
+)
+
+
+@dataclass
+class Session:
+    """One client connection's state and counters."""
+
+    id: int
+    peer: str = ""
+    requests: int = 0
+    mutations: int = 0
+    rejections: int = 0
+    opened_at: float = field(default_factory=perf_counter)
+
+
+def _require(frame: Mapping[str, Any], key: str, kind: type) -> Any:
+    """A typed parameter, or :class:`ProtocolError` naming what's wrong."""
+    try:
+        value = frame[key]
+    except KeyError:
+        raise ProtocolError(f"missing parameter {key!r}") from None
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"parameter {key!r} must be {kind.__name__}, not "
+            f"{type(value).__name__}"
+        )
+    return value
+
+
+def _decode_batch_ops(raw_ops: list) -> list[tuple]:
+    """Wire-form ``apply_batch`` op arrays as engine op tuples."""
+    ops: list[tuple] = []
+    for i, raw in enumerate(raw_ops):
+        if not isinstance(raw, list) or not raw:
+            raise ProtocolError(f"ops[{i}] must be a non-empty array")
+        kind = raw[0]
+        if kind == "insert" and len(raw) == 3 and isinstance(raw[2], dict):
+            ops.append(("insert", raw[1], decode_row(raw[2])))
+        elif (
+            kind == "update"
+            and len(raw) == 4
+            and isinstance(raw[2], list)
+            and isinstance(raw[3], dict)
+        ):
+            ops.append(
+                ("update", raw[1], decode_pk(raw[2]), decode_row(raw[3]))
+            )
+        elif kind == "delete" and len(raw) == 3 and isinstance(raw[2], list):
+            ops.append(("delete", raw[1], decode_pk(raw[2])))
+        else:
+            raise ProtocolError(
+                f"ops[{i}] is not a valid insert/update/delete op array"
+            )
+    return ops
+
+
+class DatabaseService:
+    """Verb dispatch plus the single-writer group-commit pipeline."""
+
+    def __init__(
+        self,
+        db: Database,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        queue_depth: int = 1024,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.db = db
+        self.query = QueryEngine(db)
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        #: Why the WAL is unusable (``None`` = healthy).  Set on the
+        #: first storage fault; every later mutation gets a
+        #: ``wal-error`` frame until the process crash-recovers.
+        self.poisoned: str | None = None
+        self.requests_served = 0
+        #: Mutations submitted whose future is not yet resolved.  The
+        #: writer uses this to distinguish "everyone who wants into this
+        #: group is already in it -- commit now" from "a straggler is
+        #: mid-submission -- wait up to ``max_delay`` for it", so the
+        #: delay is only ever paid when it can actually grow a batch.
+        self.inflight = 0
+        #: Open connections (maintained by the server's accept loop).
+        #: The writer treats every connection as a potential straggler:
+        #: under a write-heavy load it waits up to ``max_delay`` for
+        #:  them to join the group, which is what turns near-simultaneous
+        #: arrivals into one barrier instead of many.  Read-heavy
+        #: deployments should run with ``max_delay=0``.
+        self.connections = 0
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self._writer: asyncio.Task | None = None
+        self._stopping = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the single writer task."""
+        if self._writer is None:
+            self._writer = asyncio.ensure_future(self._write_loop())
+
+    async def stop(self) -> None:
+        """Drain the mutation queue and stop the writer.
+
+        The caller (the server's drain path) guarantees no handler will
+        enqueue after this: the sentinel is FIFO-ordered behind every
+        already-queued mutation, so in-flight work completes first.
+        """
+        if self._writer is None:
+            return
+        self._stopping = True
+        await self._queue.put(None)
+        await self._writer
+        self._writer = None
+
+    # -- request dispatch ------------------------------------------------
+
+    async def handle(
+        self, session: Session, frame: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """One request frame in, one response frame out (never raises)."""
+        request_id = frame.get("id")
+        verb = frame.get("verb")
+        session.requests += 1
+        self.requests_served += 1
+        if not isinstance(verb, str) or verb not in VERBS:
+            return error_frame(
+                request_id,
+                "bad-request",
+                f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}",
+            )
+        if verb in MUTATION_VERBS:
+            session.mutations += 1
+            if self._stopping:
+                return error_frame(
+                    request_id,
+                    "shutting-down",
+                    "server is draining; no further mutations accepted",
+                )
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self.inflight += 1
+            try:
+                await self._queue.put((verb, frame, request_id, future))
+            except BaseException:
+                self.inflight -= 1
+                raise
+            response = await future
+        else:
+            response = self._execute_read(verb, frame, request_id)
+        if not response.get("ok"):
+            session.rejections += 1
+        return response
+
+    # -- reads (inline, snapshot-consistent) ------------------------------
+
+    def _execute_read(
+        self, verb: str, frame: Mapping[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        try:
+            if verb == "get":
+                t = self.db.get(
+                    _require(frame, "scheme", str),
+                    decode_pk(_require(frame, "pk", list)),
+                )
+                return ok_frame(
+                    request_id, encode_row(t.mapping) if t else None
+                )
+            if verb == "join_to":
+                return ok_frame(request_id, self._join_to(frame))
+            if verb == "find_referencing":
+                return ok_frame(request_id, self._find_referencing(frame))
+            if verb == "check":
+                from repro.constraints.checker import ConsistencyChecker
+
+                violations = ConsistencyChecker(self.db.schema).violations(
+                    self.db.state()
+                )
+                return ok_frame(
+                    request_id,
+                    {
+                        "consistent": not violations,
+                        "violations": [str(v) for v in violations],
+                    },
+                )
+            if verb == "explain":
+                return ok_frame(
+                    request_id,
+                    self.db.explain(
+                        _require(frame, "op", str),
+                        _require(frame, "scheme", str),
+                    ),
+                )
+            if verb == "metrics":
+                return ok_frame(request_id, self.db.stats.to_prometheus())
+            if verb == "stats":
+                return ok_frame(request_id, self.db.stats.snapshot())
+            raise ProtocolError(f"unhandled read verb {verb!r}")
+        except ProtocolError as exc:
+            return error_frame(request_id, "bad-request", str(exc))
+        except KeyError as exc:
+            return error_frame(request_id, "not-found", str(exc))
+        except ValueError as exc:
+            return error_frame(request_id, "bad-request", str(exc))
+        except Exception as exc:  # a read must never kill the connection
+            return error_frame(request_id, "server-error", repr(exc))
+
+    def _source_row(self, frame: Mapping[str, Any]):
+        scheme = _require(frame, "scheme", str)
+        pk = decode_pk(_require(frame, "pk", list))
+        t = self.db.get(scheme, pk)
+        if t is None:
+            raise KeyError(f"{scheme}: no row with key {pk!r}")
+        return t
+
+    def _join_to(self, frame: Mapping[str, Any]):
+        source = self._source_row(frame)
+        target_attrs = frame.get("target_attrs")
+        if target_attrs is not None and not isinstance(target_attrs, list):
+            raise ProtocolError("parameter 'target_attrs' must be a list")
+        t = self.query.join_to(
+            source,
+            _require(frame, "via", list),
+            _require(frame, "target_scheme", str),
+            target_attrs,
+        )
+        return encode_row(t.mapping) if t else None
+
+    def _find_referencing(self, frame: Mapping[str, Any]):
+        target = self._source_row(frame)
+        rows = self.query.find_referencing(
+            target,
+            _require(frame, "source_scheme", str),
+            _require(frame, "via", list),
+            _require(frame, "target_attrs", list),
+        )
+        return [encode_row(t.mapping) for t in rows]
+
+    # -- the single-writer group-commit pipeline ---------------------------
+
+    async def _write_loop(self) -> None:
+        """Pop mutation batches off the queue forever (until sentinel)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            stop_after = False
+            deadline = loop.time() + self.max_delay
+            while len(batch) < self.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    # Wait only for plausible stragglers: mutations
+                    # already submitted, or other connections that may
+                    # be mid-request.  When the batch already covers
+                    # them all, waiting cannot grow it -- commit
+                    # immediately.
+                    remaining = deadline - loop.time()
+                    expected = max(self.inflight, self.connections)
+                    if expected <= len(batch) or remaining <= 0:
+                        break
+                    try:
+                        nxt = await asyncio.wait_for(
+                            self._queue.get(), remaining
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                if nxt is None:
+                    stop_after = True
+                    break
+                batch.append(nxt)
+            self._commit_group(batch)
+            if stop_after:
+                return
+
+    def _commit_group(self, batch: list[tuple]) -> None:
+        """Apply one batch, issue the group-commit barrier, then ack.
+
+        Runs synchronously (no awaits): the whole group is one
+        scheduling step, so reads interleave between groups, never
+        inside one.
+        """
+        outcomes: list[dict | None] = []
+        for verb, frame, request_id, _future in batch:
+            if self.poisoned is not None:
+                outcomes.append(self._poisoned_frame(request_id))
+                continue
+            try:
+                result = self._execute_mutation(verb, frame)
+            except ConstraintViolationError as exc:
+                outcomes.append(violation_frame(request_id, exc))
+            except ProtocolError as exc:
+                outcomes.append(
+                    error_frame(request_id, "bad-request", str(exc))
+                )
+            except KeyError as exc:
+                outcomes.append(error_frame(request_id, "not-found", str(exc)))
+            except WalError as exc:
+                self.poisoned = str(exc)
+                outcomes.append(
+                    error_frame(request_id, "wal-error", str(exc))
+                )
+            except ValueError as exc:
+                outcomes.append(
+                    error_frame(request_id, "bad-request", str(exc))
+                )
+            except Exception as exc:
+                outcomes.append(
+                    error_frame(request_id, "server-error", repr(exc))
+                )
+            else:
+                outcomes.append(ok_frame(request_id, result))
+        if self.poisoned is None:
+            try:
+                self.db.sync_wal()
+            except (WalError, OSError) as exc:
+                # Nothing in this group is durable: poison the service
+                # and turn every would-be ack into a wal-error frame.
+                self.poisoned = str(exc)
+                outcomes = [
+                    self._poisoned_frame(request_id)
+                    if outcome is not None and outcome.get("ok")
+                    else outcome
+                    for outcome, (_, _, request_id, _) in zip(outcomes, batch)
+                ]
+        for (_, _, _, future), outcome in zip(batch, outcomes):
+            self.inflight -= 1
+            if not future.done():
+                future.set_result(outcome)
+
+    def _poisoned_frame(self, request_id: Any) -> dict[str, Any]:
+        return error_frame(
+            request_id,
+            "wal-error",
+            "write-ahead log is poisoned by an earlier storage fault "
+            f"({self.poisoned}); restart the server through recovery",
+        )
+
+    def _execute_mutation(self, verb: str, frame: Mapping[str, Any]) -> Any:
+        if verb == "insert":
+            t = self.db.insert(
+                _require(frame, "scheme", str),
+                decode_row(_require(frame, "row", dict)),
+            )
+            return encode_row(t.mapping)
+        if verb == "update":
+            t = self.db.update(
+                _require(frame, "scheme", str),
+                decode_pk(_require(frame, "pk", list)),
+                decode_row(_require(frame, "updates", dict)),
+            )
+            return encode_row(t.mapping)
+        if verb == "delete":
+            self.db.delete(
+                _require(frame, "scheme", str),
+                decode_pk(_require(frame, "pk", list)),
+            )
+            return None
+        if verb == "insert_many":
+            raw_rows = _require(frame, "rows", list)
+            if not all(isinstance(r, dict) for r in raw_rows):
+                raise ProtocolError("every element of 'rows' must be a row")
+            stored = self.db.insert_many(
+                _require(frame, "scheme", str),
+                [decode_row(r) for r in raw_rows],
+            )
+            return [encode_row(t.mapping) for t in stored]
+        if verb == "apply_batch":
+            results = self.db.apply_batch(
+                _decode_batch_ops(_require(frame, "ops", list))
+            )
+            return [
+                encode_row(t.mapping) if t is not None else None
+                for t in results
+            ]
+        raise ProtocolError(f"unhandled mutation verb {verb!r}")

@@ -2,6 +2,8 @@
 
 import dataclasses
 
+import pytest
+
 from repro.engine.database import Database
 from repro.engine.query import QueryEngine
 from repro.engine.stats import EngineStats
@@ -119,3 +121,58 @@ def test_wal_counters_move_and_reset(university_schema):
     assert rstats.wal_replayed_records == 0
     assert rstats.wal_truncated_bytes == 0
     assert rstats.snapshot()["wal_records"] == 0
+
+
+def test_histogram_merge_refuses_self_merge():
+    from repro.obs.histogram import LatencyHistogram
+
+    hist = LatencyHistogram()
+    hist.record(1e-6)
+    with pytest.raises(ValueError, match="itself"):
+        hist.merge(hist)
+    assert hist.count == 1  # refused before any mutation
+
+
+def test_histogram_merge_refuses_mismatched_buckets():
+    from repro.obs.histogram import LatencyHistogram
+
+    a, b = LatencyHistogram(), LatencyHistogram()
+    b.counts = b.counts[:-1]
+    with pytest.raises(ValueError, match="bucket layouts differ"):
+        a.merge(b)
+
+
+def test_snapshot_consistent_under_interleaved_observe():
+    """A ``stats`` verb snapshotting while handlers observe into the
+    same object: a histogram appearing (or the dict being swapped by a
+    reentrant ``reset``) mid-walk must not blow up the iteration."""
+    stats = EngineStats()
+    for i in range(8):
+        stats.observe(f"op{i}", 1e-6)
+
+    class Trojan(dict):
+        def items(self):
+            # Simulate an observe of a brand-new op (and a reset) landing
+            # between the snapshot's list() copy and its iteration.
+            items = list(super().items())
+            stats.observe("latecomer", 1e-6)
+            stats.reset()
+            return iter(items)
+
+    stats.latencies = Trojan(stats.latencies)
+    snap = stats.snapshot()
+    assert set(snap["latencies"]) >= {f"op{i}" for i in range(8)}
+
+
+def test_group_commit_counters_reset_and_export(university_schema):
+    from repro.engine.wal import MemoryStorage, WriteAheadLog
+
+    db = Database(university_schema, wal=WriteAheadLog(MemoryStorage()))
+    db.insert("COURSE", {"C.NR": "c1"})
+    db.sync_wal()
+    assert db.stats.snapshot()["wal_group_commits"] == 1
+    assert "repro_engine_wal_group_commits 1" in db.stats.to_prometheus()
+    assert "repro_engine_wal_batched_records 1" in db.stats.to_prometheus()
+    db.stats.reset()
+    assert db.stats.wal_group_commits == 0
+    assert db.stats.wal_batched_records == 0

@@ -345,3 +345,103 @@ def test_wal_stats_counters_move():
     assert db.stats.checkpoints == 1
     assert db.stats.wal_records == 3  # + compacted header and snapshot
     assert db.stats.wal_bytes < db.wal.bytes_appended + db.wal.storage.size()
+
+
+# -- idempotent close and the buffered (group-commit) mode ---------------------
+
+
+def test_file_storage_close_is_idempotent(tmp_path):
+    storage = FileStorage(str(tmp_path / "engine.wal"))
+    storage.append(b"x")
+    storage.close()
+    storage.close()  # second close must be a no-op, not an error
+
+
+def test_file_storage_refuses_use_after_close(tmp_path):
+    storage = FileStorage(str(tmp_path / "engine.wal"))
+    storage.close()
+    for use in (
+        lambda: storage.append(b"x"),
+        storage.sync,
+        storage.read,
+        storage.size,
+        lambda: storage.truncate(0),
+        lambda: storage.replace(b""),
+    ):
+        with pytest.raises(WalError, match="closed"):
+            use()
+
+
+def test_buffered_storage_defers_bytes_until_sync(tmp_path):
+    """In buffered mode nothing reaches the OS until :meth:`sync` -- the
+    single flush a group commit shares.  (``read`` flushes first, so the
+    on-disk size is probed directly.)"""
+    path = str(tmp_path / "engine.wal")
+    storage = FileStorage(path, buffered=True)
+    storage.append(b"a" * 4096)
+    assert os.path.getsize(path) == 0
+    storage.sync()
+    assert os.path.getsize(path) == 4096
+    storage.close()
+
+
+def test_wal_sync_counts_batched_records():
+    log = WriteAheadLog(MemoryStorage())
+    assert log.sync() == 0  # nothing pending: a no-op barrier
+    log.append({"op": "insert", "i": 0})
+    log.append({"op": "insert", "i": 1})
+    assert log.unsynced_records == 2
+    assert log.sync() == 2
+    assert log.unsynced_records == 0
+    assert log.sync() == 0
+
+
+def test_wal_sync_feeds_group_commit_stats(university_schema):
+    db = Database(university_schema, wal=WriteAheadLog(MemoryStorage()))
+    db.insert("COURSE", {"C.NR": "c1"})
+    db.insert("COURSE", {"C.NR": "c2"})
+    assert db.sync_wal() == 2
+    assert db.stats.wal_group_commits == 1
+    assert db.stats.wal_batched_records == 2
+    db.sync_wal()  # an empty barrier is not a group commit
+    assert db.stats.wal_group_commits == 1
+
+
+def test_checkpoint_clears_pending_sync_debt(university_schema):
+    db = Database(university_schema, wal=WriteAheadLog(MemoryStorage()))
+    db.insert("COURSE", {"C.NR": "c1"})
+    assert db.wal.unsynced_records == 1
+    db.checkpoint()  # the atomic replace persisted everything
+    assert db.wal.unsynced_records == 0
+    assert db.sync_wal() == 0
+
+
+def test_failed_sync_poisons_the_log():
+    class ExplodingSync(MemoryStorage):
+        boom = False
+
+        def sync(self):
+            if self.boom:
+                raise OSError("disk on fire")
+
+    storage = ExplodingSync()
+    log = WriteAheadLog(storage)
+    log.append({"op": "insert"})
+    storage.boom = True
+    with pytest.raises(OSError):
+        log.sync()
+    assert log.broken
+    storage.boom = False
+    with pytest.raises(WalError, match="poisoned"):
+        log.sync()
+    with pytest.raises(WalError, match="poisoned"):
+        log.append({"op": "insert"})
+
+
+def test_close_syncs_pending_buffered_records(tmp_path):
+    path = str(tmp_path / "engine.wal")
+    log = WriteAheadLog(FileStorage(path, buffered=True))
+    log.append({"op": "insert", "i": 0})
+    log.close()
+    records = parse_wal(open(path, "rb").read()).records
+    assert [r["op"] for r in records] == ["header", "insert"]

@@ -1,0 +1,1 @@
+"""Tests of the network service layer (repro.server)."""

@@ -1,0 +1,28 @@
+"""Shared fixtures: a served university database and a client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import Client
+from repro.engine.database import Database
+from repro.engine.wal import MemoryStorage, WriteAheadLog
+from repro.server import ServerConfig, ServerThread
+from repro.workloads.university import university_relational
+
+
+@pytest.fixture
+def served_db():
+    """A Figure 3 database with an in-memory WAL, hosted by a server
+    thread.  Yields the :class:`ServerThread`; the database is reachable
+    as ``.db`` (inspect it only after ``stop()``)."""
+    db = Database(university_relational(), wal=WriteAheadLog(MemoryStorage()))
+    with ServerThread(db, ServerConfig(max_connections=8)) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(served_db):
+    """A connected client for the served database."""
+    with Client(port=served_db.port, timeout=30) as c:
+        yield c

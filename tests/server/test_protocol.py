@@ -1,0 +1,100 @@
+"""The wire format: framing, value encoding, typed error frames."""
+
+import json
+
+import pytest
+
+from repro.engine.database import ConstraintViolationError
+from repro.relational.tuples import NULL
+from repro.server.protocol import (
+    MAX_FRAME_BYTES,
+    MUTATION_VERBS,
+    VERBS,
+    ProtocolError,
+    RemoteConstraintViolation,
+    RemoteError,
+    decode_frame,
+    decode_pk,
+    decode_row,
+    encode_frame,
+    encode_pk,
+    encode_row,
+    error_frame,
+    ok_frame,
+    raise_error,
+    request_frame,
+    violation_frame,
+)
+
+
+def test_frame_round_trip():
+    frame = request_frame(7, "insert", scheme="COURSE", row={"C.NR": "c1"})
+    wire = encode_frame(frame)
+    assert wire.endswith(b"\n")
+    assert b"\n" not in wire[:-1]  # one frame per line, no embedded newlines
+    assert decode_frame(wire) == frame
+    assert decode_frame(wire.decode("utf-8")) == frame
+
+
+def test_null_marker_round_trips_rows_and_pks():
+    row = {"O.C.NR": "c1", "O.D.NAME": NULL}
+    encoded = encode_row(row)
+    assert encoded["O.D.NAME"] == {"$null": True}
+    assert json.loads(json.dumps(encoded)) == encoded  # JSON-safe
+    assert decode_row(encoded) == row
+    assert decode_row(encoded)["O.D.NAME"] is NULL
+    pk = ("c1", NULL)
+    assert decode_pk(encode_pk(pk)) == pk
+
+
+@pytest.mark.parametrize(
+    "line,match",
+    [
+        (b"not json\n", "not valid JSON"),
+        (b"[1, 2]\n", "must be a JSON object"),
+        (b"\xff\xfe\n", "not valid UTF-8"),
+        (b"x" * (MAX_FRAME_BYTES + 1), "exceeds"),
+    ],
+)
+def test_decode_frame_rejects(line, match):
+    with pytest.raises(ProtocolError, match=match):
+        decode_frame(line)
+
+
+def test_mutation_verbs_are_a_subset_of_verbs():
+    assert MUTATION_VERBS < set(VERBS)
+
+
+def test_ok_and_error_frames():
+    assert ok_frame(3, [1]) == {"id": 3, "ok": True, "result": [1]}
+    frame = error_frame(4, "not-found", "no such row", detail=None)
+    assert frame == {
+        "id": 4,
+        "ok": False,
+        "error": {"type": "not-found", "message": "no such row"},
+    }  # None extras are dropped
+
+
+def test_violation_frame_carries_full_provenance():
+    exc = ConstraintViolationError(
+        "restrict-delete", "COURSE c1 is referenced", kind="restrict-delete"
+    )
+    frame = violation_frame(9, exc)
+    error = frame["error"]
+    assert error["type"] == "constraint-violation"
+    assert error["constraint"] == "restrict-delete"
+    assert error["kind"] == "restrict-delete"
+    assert "Section 5.1" in error["rule"]  # the paper-rule label
+    with pytest.raises(RemoteConstraintViolation) as info:
+        raise_error(frame)
+    assert info.value.kind == "restrict-delete"
+    assert info.value.rule == error["rule"]
+
+
+def test_raise_error_maps_other_types_to_remote_error():
+    with pytest.raises(RemoteError) as info:
+        raise_error(error_frame(1, "wal-error", "log is poisoned"))
+    assert info.value.type == "wal-error"
+    assert not isinstance(info.value, RemoteConstraintViolation)
+    with pytest.raises(ProtocolError):
+        raise_error({"id": 1, "ok": False})  # no error object at all
