@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Validate the structure of ``BENCH_engine.json``.
+
+The benchmark report is written by three harnesses --
+``benchmarks/bench_engine.py`` (the per-size ``results`` entries),
+``benchmarks/bench_server.py`` (the ``server`` flush/fsync matrix), and
+``bench_server.py --metrics`` (the ``server_metrics`` overhead entry)
+-- and read by docs, CI greps and regression tooling.  This checker
+pins the required keys per entry kind so a harness edit cannot
+silently drop a column downstream consumers depend on::
+
+    python scripts/check_bench_schema.py [REPORT.json]
+
+Exit code 0 when the report conforms, 1 with one line per problem
+otherwise.  :func:`validate_report` is importable for the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Top-level keys every report must carry.
+REPORT_KEYS = frozenset(("harness", "ops_cap", "python", "results", "sizes"))
+
+#: Per-size engine entry (one per ``sizes`` element).
+ENGINE_KEYS = frozenset(
+    (
+        "n_courses",
+        "n_ops",
+        "fig3_ops_per_s",
+        "fig3_latency_us",
+        "fig6_ops_per_s",
+        "fig6_latency_us",
+        "indexed_ops_per_s",
+        "indexed_latency_us",
+        "scan_baseline_ops_per_s",
+        "speedup_vs_scan",
+        "bulk_rows_per_s",
+    )
+)
+
+#: The optional ``wal`` sub-entry of an engine entry.
+WAL_KEYS = frozenset(
+    ("checkpoint_ms", "insert_wal_off", "insert_wal_on", "wal_overhead_x")
+)
+
+#: One client-load run (shared by the server matrix and the metrics
+#: overhead entry).
+RUN_KEYS = frozenset(
+    (
+        "clients",
+        "ops_per_client",
+        "inserts_per_s",
+        "p50_us",
+        "p99_us",
+        "wall_s",
+    )
+)
+
+#: The two durability levels of the ``server`` entry, each holding a
+#: per_record/group_commit pair plus the speedup ratio.
+SERVER_LEVELS = ("flush", "fsync")
+
+#: The ``server_metrics`` overhead entry's run keys.
+METRICS_MODES = ("metrics_off", "metrics_on")
+
+
+def _missing(entry: object, required: frozenset, where: str) -> list[str]:
+    """Problems for one dict-shaped entry: wrong type or missing keys."""
+    if not isinstance(entry, dict):
+        return [f"{where}: expected an object, got {type(entry).__name__}"]
+    absent = sorted(required - entry.keys())
+    if absent:
+        return [f"{where}: missing key(s) {', '.join(absent)}"]
+    return []
+
+
+def validate_report(report: object) -> list[str]:
+    """Every schema problem in one parsed report (empty = conformant)."""
+    problems: list[str] = []
+    problems += _missing(report, REPORT_KEYS, "report")
+    if not isinstance(report, dict):
+        return problems
+
+    results = report.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append("report: 'results' must be a non-empty array")
+        results = []
+    for i, entry in enumerate(results):
+        where = f"results[{i}]"
+        problems += _missing(entry, ENGINE_KEYS, where)
+        if isinstance(entry, dict) and "wal" in entry:
+            problems += _missing(entry["wal"], WAL_KEYS, f"{where}.wal")
+
+    if "server" in report:
+        server = report["server"]
+        problems += _missing(
+            server, frozenset(("harness", "python")), "server"
+        )
+        if isinstance(server, dict):
+            for level in SERVER_LEVELS:
+                if level not in server:
+                    problems.append(f"server: missing section {level!r}")
+                    continue
+                section = server[level]
+                problems += _missing(
+                    section,
+                    frozenset(
+                        ("per_record", "group_commit", "group_commit_speedup_x")
+                    ),
+                    f"server.{level}",
+                )
+                if isinstance(section, dict):
+                    for mode in ("per_record", "group_commit"):
+                        if mode in section:
+                            problems += _missing(
+                                section[mode],
+                                RUN_KEYS
+                                | {"group_commits", "batched_records"},
+                                f"server.{level}.{mode}",
+                            )
+
+    if "server_metrics" in report:
+        sm = report["server_metrics"]
+        problems += _missing(
+            sm,
+            frozenset(("harness", "python", "overhead_pct")),
+            "server_metrics",
+        )
+        if isinstance(sm, dict):
+            for mode in METRICS_MODES:
+                if mode not in sm:
+                    problems.append(f"server_metrics: missing run {mode!r}")
+                elif isinstance(sm[mode], dict):
+                    problems += _missing(
+                        sm[mode], RUN_KEYS, f"server_metrics.{mode}"
+                    )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Check one report file (default: the repo's BENCH_engine.json)."""
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(
+        argv[0]
+        if argv
+        else Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    )
+    try:
+        report = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_report(report)
+    for problem in problems:
+        print(f"{path}: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"{path}: bench schema OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

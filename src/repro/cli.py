@@ -17,6 +17,7 @@ recognised by their ``object_sets`` field.  Commands:
 ``bench``      run the storage-engine micro-benchmarks
 ``recover``    rebuild the committed state from a write-ahead log
 ``serve``      serve a database over the JSON-lines TCP protocol
+``monitor``    live terminal dashboard over a running server
 
 Every command reads JSON from file arguments and writes human output to
 stdout; ``-o`` writes machine-readable JSON results.  ``check``,
@@ -553,6 +554,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         checkpoint_on_drain=not args.no_checkpoint,
+        metrics_port=args.metrics_port,
     )
     try:
         server = asyncio.run(serve_async(db, config))
@@ -565,10 +567,60 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"{snap['wal_group_commits']} group commit(s) covering "
         f"{snap['wal_batched_records']} record(s)"
     )
+    # The machine-readable drain summary: one JSON object on stderr, so
+    # scripts assert on exact counts without parsing the line above.
+    from repro.server.server import drain_summary
+
+    print(json.dumps(drain_summary(server), sort_keys=True), file=sys.stderr)
     if server.drain_error is not None:
         print(f"warning: drain error: {server.drain_error}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """``monitor``: poll a running server's ``stats`` verb and repaint
+    a terminal dashboard (throughput, per-verb latency, violations by
+    paper rule, queue/batch gauges) in place."""
+    import time
+
+    from repro.client import Client
+    from repro.obs.monitor import CLEAR, render_dashboard
+
+    host, _, port_text = args.target.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CliError(f"target must be HOST:PORT, got {args.target!r}")
+    host = host or "127.0.0.1"
+    if args.interval <= 0:
+        raise CliError("--interval must be positive")
+    count = 1 if args.once else args.count
+    prev = None
+    frames = 0
+    try:
+        with Client(host=host, port=port, timeout=30) as client:
+            while True:
+                cur = client.call("stats")
+                frame = render_dashboard(
+                    cur,
+                    prev,
+                    args.interval,
+                    title=f"repro monitor {host}:{port}",
+                )
+                if not args.no_clear:
+                    sys.stdout.write(CLEAR)
+                sys.stdout.write(frame)
+                sys.stdout.flush()
+                frames += 1
+                prev = cur
+                if count and frames >= count:
+                    return 0
+                time.sleep(args.interval)
+    except (ConnectionError, OSError) as exc:
+        raise CliError(f"cannot reach {host}:{port}: {exc}")
+    except KeyboardInterrupt:
+        return 0
 
 
 # -- parser ---------------------------------------------------------------
@@ -821,8 +873,45 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the WAL checkpoint during graceful drain",
     )
+    p.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve /metrics, /healthz and /readyz over HTTP on this "
+        "port (0: pick a free one, printed in the 'metrics on' line; "
+        "default: disabled)",
+    )
     p.add_argument("--trace", **trace_kwargs)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "monitor", help="live dashboard over a running server"
+    )
+    p.add_argument("target", metavar="HOST:PORT")
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2.0)",
+    )
+    p.add_argument(
+        "-n",
+        "--count",
+        type=int,
+        default=0,
+        help="refresh this many times then exit (default 0: forever)",
+    )
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (same as -n 1)",
+    )
+    p.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of repainting in place",
+    )
+    p.set_defaults(fn=cmd_monitor)
 
     return parser
 

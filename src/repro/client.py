@@ -86,6 +86,10 @@ class Client:
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._fh = self._sock.makefile("rwb")
         self._next_id = 0
+        #: The ``trace_id`` the server echoed in the most recent
+        #: response (client-supplied or server-generated) -- the handle
+        #: for correlating this request with the server's trace events.
+        self.last_trace_id: str | None = None
 
     # -- plumbing --------------------------------------------------------
 
@@ -102,8 +106,15 @@ class Client:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def call(self, verb: str, **params: Any) -> Any:
+    def call(
+        self, verb: str, *, trace_id: str | None = None, **params: Any
+    ) -> Any:
         """One request/response round trip; the raw ``result`` value.
+
+        ``trace_id`` (optional) is sent with the request and stamped
+        onto every engine trace event the server emits for it; the
+        server echoes it (or a generated id) back and it is kept in
+        :attr:`last_trace_id`.
 
         Raises the matching :class:`RemoteError` subtype on an error
         frame, :class:`ConnectionError` if the server hangs up, and
@@ -111,6 +122,8 @@ class Client:
         """
         self._next_id += 1
         request_id = self._next_id
+        if trace_id is not None:
+            params["trace_id"] = trace_id
         self._fh.write(encode_frame(request_frame(request_id, verb, **params)))
         self._fh.flush()
         line = self._fh.readline(MAX_FRAME_BYTES + 1)
@@ -122,6 +135,9 @@ class Client:
                 f"response id {frame.get('id')!r} does not match "
                 f"request id {request_id!r}"
             )
+        echoed = frame.get("trace_id")
+        if isinstance(echoed, str):
+            self.last_trace_id = echoed
         if not frame.get("ok"):
             raise_error(frame)
         return frame.get("result")

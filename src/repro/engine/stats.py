@@ -121,20 +121,9 @@ class EngineStats:
             lines.append(f"# TYPE {metric} histogram")
             for op in sorted(self.latencies):
                 hist = self.latencies[op]
-                for bound, cumulative in hist.cumulative():
-                    if cumulative == 0:
-                        continue  # skip empty leading buckets
-                    lines.append(
-                        f'{metric}_bucket{{op="{op}",le="{bound:.6g}"}} '
-                        f"{cumulative}"
-                    )
-                    if cumulative == hist.count:
-                        break  # the remaining buckets only repeat the total
                 lines.append(
-                    f'{metric}_bucket{{op="{op}",le="+Inf"}} {hist.count}'
+                    hist.to_prometheus(metric, labels={"op": op}).rstrip("\n")
                 )
-                lines.append(f'{metric}_sum{{op="{op}"}} {hist.total:.9f}')
-                lines.append(f'{metric}_count{{op="{op}"}} {hist.count}')
         return "\n".join(lines) + "\n"
 
     def __str__(self) -> str:

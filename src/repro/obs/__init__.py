@@ -20,12 +20,19 @@ makes that provenance visible at run time:
 * :mod:`repro.obs.explain` -- EXPLAIN renderers: the compiled access
   plan behind each mutation kind, the provenance of merged null
   constraints, and the planner's admission decisions, as structured
-  dicts plus human-readable text.
+  dicts plus human-readable text;
+* :mod:`repro.obs.metrics` -- a dependency-free Counter/Gauge/Histogram
+  registry with labels and Prometheus text exposition, backing the
+  server's ``/metrics`` endpoint and the ``stats`` protocol verb;
+* :mod:`repro.obs.monitor` -- the ``python -m repro monitor`` terminal
+  dashboard renderer, fed by the ``stats`` verb.
 """
 
 from repro.obs.histogram import LatencyHistogram
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.rules import classify_null_constraint, paper_rule, rule_for
 from repro.obs.trace import (
+    CorrelatingTracer,
     JsonlTracer,
     RingBufferTracer,
     TraceEvent,
@@ -33,8 +40,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "CorrelatingTracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
     "JsonlTracer",
     "LatencyHistogram",
+    "MetricsRegistry",
     "RingBufferTracer",
     "TraceEvent",
     "Tracer",

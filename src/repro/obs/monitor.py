@@ -1,0 +1,167 @@
+"""The ``python -m repro monitor`` terminal dashboard renderer.
+
+Curses-free by design: the CLI polls the server's ``stats`` protocol
+verb (the engine snapshot plus the server-layer ``server`` key with its
+metric-registry snapshot) and repaints the terminal with one ANSI
+home-and-clear escape per refresh.  Everything here is pure rendering
+-- :func:`render_dashboard` takes two consecutive snapshots and returns
+the screen as a string -- so the dashboard is testable without a
+server, a terminal, or a clock.
+
+Layout::
+
+    repro monitor 127.0.0.1:7043 — every 2.0s
+    requests 1204 (61.5/s) · connections 4 · inflight 2 · queue 7
+
+    verb             count     p50      p99       errors
+    insert             980   210us    2.1ms
+    ...
+
+    violations by rule
+      restrict-delete · Section 5.1 (...)                    12
+
+    group commit: 151 barriers · batch p50 4 p99 16 · wal sync p99 1.2ms
+    engine: inserts 980 · deletes 12 · lookups 204 · ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+__all__ = ["render_dashboard"]
+
+#: ANSI: cursor home + clear to end of screen (repaint in place).
+CLEAR = "\x1b[H\x1b[J"
+
+
+def _metric_samples(stats: Mapping[str, Any], name: str) -> list[dict]:
+    """The samples of one registry family out of a ``stats`` result
+    (empty when the server runs with metrics disabled)."""
+    server = stats.get("server")
+    if not isinstance(server, Mapping):
+        return []
+    for family in server.get("metrics", []):
+        if family.get("name") == name:
+            return list(family.get("samples", []))
+    return []
+
+
+def _fmt_us(us: float | None) -> str:
+    """A microsecond quantity with an adaptive unit (``-`` if absent)."""
+    if us is None:
+        return "-"
+    if us >= 1_000_000:
+        return f"{us / 1_000_000:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1_000:.1f}ms"
+    return f"{us:.0f}us"
+
+
+def _rate(cur: Any, prev: Any, interval: float) -> str:
+    """A per-second delta between two counter readings."""
+    if prev is None or interval <= 0:
+        return ""
+    try:
+        return f" ({(cur - prev) / interval:.1f}/s)"
+    except TypeError:
+        return ""
+
+
+def render_dashboard(
+    cur: Mapping[str, Any],
+    prev: Mapping[str, Any] | None = None,
+    interval: float = 2.0,
+    title: str = "repro monitor",
+) -> str:
+    """One dashboard frame from a ``stats`` snapshot (and optionally
+    the previous one, for throughput deltas)."""
+    lines: list[str] = []
+    server = cur.get("server") if isinstance(cur.get("server"), Mapping) else {}
+    prev_server = (
+        prev.get("server")
+        if prev is not None and isinstance(prev.get("server"), Mapping)
+        else {}
+    )
+    lines.append(f"{title} — every {interval:g}s")
+
+    requests = server.get("requests_served", 0)
+    rate = _rate(requests, prev_server.get("requests_served"), interval)
+    gauges = (
+        f"requests {requests}{rate}"
+        f" · connections {server.get('connections', 0)}"
+        f" · inflight {server.get('inflight', 0)}"
+        f" · queue {server.get('queue_depth', 0)}"
+    )
+    if server.get("poisoned"):
+        gauges += f" · POISONED: {server['poisoned']}"
+    lines.append(gauges)
+    lines.append("")
+
+    counts = {
+        tuple(s["labels"].items()): s["value"]
+        for s in _metric_samples(cur, "repro_server_requests_total")
+    }
+    latencies = {
+        s["labels"].get("verb", ""): s["value"]
+        for s in _metric_samples(cur, "repro_server_request_seconds")
+    }
+    errors_by_type = _metric_samples(cur, "repro_server_errors_total")
+    if counts:
+        lines.append(f"{'verb':<18}{'count':>8}  {'p50':>8}  {'p99':>8}")
+        for labels, count in sorted(counts.items()):
+            verb = dict(labels).get("verb", "")
+            hist = latencies.get(verb, {})
+            lines.append(
+                f"{verb:<18}{int(count):>8}  "
+                f"{_fmt_us(hist.get('p50_us')):>8}  "
+                f"{_fmt_us(hist.get('p99_us')):>8}"
+            )
+        lines.append("")
+
+    violations = _metric_samples(cur, "repro_server_violations_total")
+    if violations:
+        lines.append("violations by rule")
+        for sample in sorted(
+            violations, key=lambda s: -s["value"]
+        ):
+            kind = sample["labels"].get("kind", "")
+            rule = sample["labels"].get("rule", "")
+            lines.append(f"  {kind} · {rule:<52} {int(sample['value']):>6}")
+        lines.append("")
+    if errors_by_type:
+        parts = ", ".join(
+            f"{s['labels'].get('type', '')}={int(s['value'])}"
+            for s in sorted(errors_by_type, key=lambda s: -s["value"])
+        )
+        lines.append(f"errors: {parts}")
+        lines.append("")
+
+    batch = _metric_samples(cur, "repro_server_commit_batch_size")
+    sync = _metric_samples(cur, "repro_server_wal_sync_seconds")
+    if batch and batch[0]["value"].get("count"):
+        b = batch[0]["value"]
+        commit = (
+            f"group commit: {b['count']} barriers · "
+            f"batch p50 {b.get('p50', 0):g} p99 {b.get('p99', 0):g}"
+        )
+        if sync and sync[0]["value"].get("count"):
+            commit += (
+                f" · wal sync p99 {_fmt_us(sync[0]['value'].get('p99_us'))}"
+            )
+        lines.append(commit)
+
+    engine_keys = (
+        "inserts",
+        "deletes",
+        "updates",
+        "lookups",
+        "constraint_checks",
+        "wal_group_commits",
+        "wal_batched_records",
+        "checkpoints",
+    )
+    engine = " · ".join(
+        f"{k} {cur.get(k, 0)}" for k in engine_keys if cur.get(k)
+    )
+    lines.append(f"engine: {engine or 'idle'}")
+    return "\n".join(lines) + "\n"

@@ -16,7 +16,16 @@ Layering:
 * :mod:`repro.server.service` -- sessions, verb dispatch, and the
   single-writer transaction manager with the group-commit WAL path;
 * :mod:`repro.server.server` -- the asyncio accept loop with connection
-  limits, backpressure, and graceful drain.
+  limits, backpressure, graceful drain, and the sidecar HTTP endpoint
+  serving ``/metrics``, ``/healthz`` and ``/readyz``.
+
+Telemetry runs end to end: the service records per-verb request
+counters and latencies, violation counters labeled by constraint kind
+and paper rule, and queue/batch/WAL-sync instruments on a
+:class:`~repro.obs.metrics.MetricsRegistry`, and every request carries
+a ``trace_id`` (client-supplied or server-generated) that is echoed in
+the response and stamped onto the engine's trace events (see
+``docs/OBSERVABILITY.md``).
 
 The matching blocking client lives in :mod:`repro.client`; the CLI
 entry point is ``python -m repro serve`` (see ``docs/SERVER.md``).
@@ -28,8 +37,14 @@ from repro.server.protocol import (
     RemoteConstraintViolation,
     RemoteError,
 )
-from repro.server.server import ReproServer, ServerConfig, ServerThread, serve
-from repro.server.service import DatabaseService
+from repro.server.server import (
+    ReproServer,
+    ServerConfig,
+    ServerThread,
+    drain_summary,
+    serve,
+)
+from repro.server.service import DatabaseService, ServerMetrics
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -38,7 +53,9 @@ __all__ = [
     "RemoteError",
     "ReproServer",
     "ServerConfig",
+    "ServerMetrics",
     "ServerThread",
     "DatabaseService",
+    "drain_summary",
     "serve",
 ]

@@ -7,6 +7,13 @@ match responses to requests), a ``verb``, and verb-specific parameters::
 
     {"id": 1, "verb": "insert", "scheme": "COURSE", "row": {"C.NR": "c1"}}
 
+Requests may also carry an optional ``trace_id`` string.  The server
+echoes it -- or a generated id, when absent -- as a top-level
+``trace_id`` on the response (and inside the ``error`` object of error
+frames), and stamps it onto every engine trace event emitted while
+handling the request, which is the correlation handle ``repro monitor``
+and JSONL trace greps pivot on (see ``docs/OBSERVABILITY.md``).
+
 Responses are either a result frame or a typed error frame::
 
     {"id": 1, "ok": true, "result": {"C.NR": "c1"}}
@@ -45,8 +52,12 @@ Verbs (dispatched by :mod:`repro.server.service`):
                           ``target_attrs`` -> list of rows
 ``check``                 -> ``{"consistent": bool, "violations": [...]}``
 ``explain``               ``op``, ``scheme`` -> the EXPLAIN dict
-``metrics``               -> Prometheus text exposition (string)
-``stats``                 -> the :meth:`EngineStats.snapshot` dict
+``metrics``               -> Prometheus text exposition (string): the
+                          engine counters/histograms plus the
+                          server-layer registry
+``stats``                 -> the :meth:`EngineStats.snapshot` dict plus
+                          a ``server`` key (request/queue gauges and
+                          the metric registry snapshot)
 ========================  =====================================================
 """
 

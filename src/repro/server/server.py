@@ -64,6 +64,15 @@ class ServerConfig:
     queue_depth: int = 1024
     #: Compact the WAL into a snapshot as part of graceful drain.
     checkpoint_on_drain: bool = True
+    #: Record server-layer metrics (the :class:`ServerMetrics`
+    #: registry).  Off is the baseline configuration
+    #: ``bench_server --metrics`` measures overhead against.
+    metrics: bool = True
+    #: Port for the sidecar HTTP endpoint serving ``/metrics``,
+    #: ``/healthz`` and ``/readyz``; 0 asks the OS for a free one
+    #: (read it back from :attr:`ReproServer.metrics_port`), ``None``
+    #: disables the listener.
+    metrics_port: int | None = None
 
 
 class ReproServer:
@@ -77,11 +86,20 @@ class ReproServer:
             max_batch=self.config.max_batch,
             max_delay=self.config.max_delay,
             queue_depth=self.config.queue_depth,
+            metrics=self.config.metrics,
         )
         self.host = self.config.host
         self.port: int | None = None
+        #: Bound port of the sidecar metrics endpoint (``None`` until
+        #: started, or when :attr:`ServerConfig.metrics_port` is unset).
+        self.metrics_port: int | None = None
         self.sessions_opened = 0
         self.rejected_connections = 0
+        #: True once startup (including WAL recovery, done before
+        #: construction) is complete and the listener is bound -- the
+        #: ``/readyz`` signal.
+        self._ready = False
+        self._metrics_server: asyncio.base_events.Server | None = None
         #: Error (if any) raised while checkpointing/closing the WAL
         #: during drain; drain itself never raises.
         self.drain_error: Exception | None = None
@@ -93,7 +111,7 @@ class ReproServer:
     # -- lifecycle -------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind the listener and start the writer task."""
+        """Bind the listeners and start the writer task."""
         await self.service.start()
         self._server = await asyncio.start_server(
             self._on_client,
@@ -102,6 +120,16 @@ class ReproServer:
             limit=MAX_FRAME_BYTES,
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._on_metrics_client,
+                self.host,
+                self.config.metrics_port,
+            )
+            self.metrics_port = (
+                self._metrics_server.sockets[0].getsockname()[1]
+            )
+        self._ready = True
 
     async def drain(self) -> None:
         """Graceful shutdown: stop accepting, finish in-flight requests,
@@ -131,6 +159,12 @@ class ReproServer:
                 self.db.wal.close()
         except (WalError, OSError) as exc:
             self.drain_error = exc
+        # The metrics listener outlives the client listener so a final
+        # scrape (and /readyz flipping to 503) is observable during the
+        # drain itself; it closes only once the WAL is safe.
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         self._drained.set()
 
     async def wait_drained(self) -> None:
@@ -149,6 +183,8 @@ class ReproServer:
             or self._draining.is_set()
         ):
             self.rejected_connections += 1
+            if self.service.metrics is not None:
+                self.service.metrics.rejected_connections.inc()
             kind = (
                 "shutting-down" if self._draining.is_set() else "overloaded"
             )
@@ -165,6 +201,8 @@ class ReproServer:
         self._connections.add(task)
         self.service.connections += 1
         self.sessions_opened += 1
+        if self.service.metrics is not None:
+            self.service.metrics.sessions.inc()
         peername = writer.get_extra_info("peername")
         session = Session(
             id=self.sessions_opened,
@@ -210,6 +248,67 @@ class ReproServer:
             if self._draining.is_set():
                 return
 
+    # -- the sidecar metrics endpoint --------------------------------------
+
+    async def _on_metrics_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One scrape: a minimal HTTP/1.0-style exchange (GET/HEAD,
+        ``Connection: close``) -- enough for Prometheus, curl, and
+        orchestrator probes without an HTTP dependency."""
+        try:
+            request_line = await reader.readline()
+            while True:  # drain request headers up to the blank line
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else ""
+            status, body, ctype = self._http_response(method, path)
+            head = method == "HEAD" and status != 405
+            payload = body.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {ctype}\r\n"
+                    f"Content-Length: {len(payload)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+            )
+            if not head:
+                writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # a broken scrape must never disturb the server
+        finally:
+            with contextlib.suppress(ConnectionError, OSError):
+                writer.close()
+                await writer.wait_closed()
+
+    def _http_response(self, method: str, path: str) -> tuple[str, str, str]:
+        """``(status line, body, content type)`` for one probe path."""
+        text = "text/plain; charset=utf-8"
+        if method not in ("GET", "HEAD"):
+            return "405 Method Not Allowed", "method not allowed\n", text
+        if path == "/metrics":
+            return (
+                "200 OK",
+                self.service.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/healthz":
+            # Liveness: the event loop is serving this very request.
+            return "200 OK", "ok\n", text
+        if path == "/readyz":
+            if self._draining.is_set():
+                return "503 Service Unavailable", "draining\n", text
+            if not self._ready:
+                return "503 Service Unavailable", "starting\n", text
+            return "200 OK", "ready\n", text
+        return "404 Not Found", "not found\n", text
+
     async def _read_or_drain(self, reader: asyncio.StreamReader):
         """The next request line, ``None`` if drain interrupts the idle
         wait, or an error frame (dict) when framing breaks."""
@@ -239,6 +338,28 @@ class ReproServer:
             return b""
 
 
+def drain_summary(server: ReproServer) -> dict:
+    """The final telemetry snapshot of a drained server, JSON-ready.
+
+    ``python -m repro serve`` prints this to stderr after a graceful
+    drain so scripts can assert on exact counts instead of parsing the
+    human-readable ``drained:`` line.
+    """
+    stats = server.db.stats
+    return {
+        "event": "drained",
+        "sessions": server.sessions_opened,
+        "rejected_connections": server.rejected_connections,
+        "requests": server.service.requests_served,
+        "group_commits": stats.wal_group_commits,
+        "batched_records": stats.wal_batched_records,
+        "checkpoints": stats.checkpoints,
+        "poisoned": server.service.poisoned,
+        "engine": stats.snapshot(),
+        "server": server.service.server_stats(),
+    }
+
+
 async def serve(
     db: Database,
     config: ServerConfig | None = None,
@@ -248,12 +369,16 @@ async def serve(
     """Run a server until drained (the ``python -m repro serve`` body).
 
     Prints ``listening on <host>:<port>`` once the socket is bound --
-    the readiness line scripts and tests wait for -- and installs
-    ``SIGTERM``/``SIGINT`` handlers that trigger a graceful drain.
+    the readiness line scripts and tests wait for -- then ``metrics on
+    <host>:<port>`` when the sidecar HTTP endpoint is enabled, and
+    installs ``SIGTERM``/``SIGINT`` handlers that trigger a graceful
+    drain.
     """
     server = ReproServer(db, config)
     await server.start()
     print(f"listening on {server.host}:{server.port}", flush=True)
+    if server.metrics_port is not None:
+        print(f"metrics on {server.host}:{server.metrics_port}", flush=True)
     if install_signal_handlers:
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
@@ -283,6 +408,7 @@ class ServerThread:
         self.server: ReproServer | None = None
         self.host: str | None = None
         self.port: int | None = None
+        self.metrics_port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._ready = threading.Event()
         self._startup_error: Exception | None = None
@@ -336,5 +462,6 @@ class ServerThread:
             self._ready.set()
             return
         self.host, self.port = self.server.host, self.server.port
+        self.metrics_port = self.server.metrics_port
         self._ready.set()
         await self.server.wait_drained()

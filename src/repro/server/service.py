@@ -40,6 +40,7 @@ log cannot prove committed.
 from __future__ import annotations
 
 import asyncio
+import uuid
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Mapping
@@ -47,6 +48,8 @@ from typing import Any, Mapping
 from repro.engine.database import ConstraintViolationError, Database
 from repro.engine.query import QueryEngine
 from repro.engine.wal import WalError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import CorrelatingTracer
 from repro.server import protocol
 from repro.server.protocol import (
     MUTATION_VERBS,
@@ -114,6 +117,74 @@ def _decode_batch_ops(raw_ops: list) -> list[tuple]:
     return ops
 
 
+class ServerMetrics:
+    """The server-layer metric families, on one shared registry.
+
+    Counters and histograms are recorded by the request path; the three
+    gauges are callback-backed, reading the live quantity (connections,
+    in-flight mutations, queue depth) at scrape time so they can never
+    drift.  The registry renders after the engine's own exposition in
+    :meth:`DatabaseService.render_metrics` and snapshots into the
+    ``stats`` verb's ``server.metrics`` key.
+    """
+
+    def __init__(self, service: "DatabaseService"):
+        self.registry = MetricsRegistry()
+        r = self.registry
+        self.requests = r.counter(
+            "repro_server_requests_total",
+            "Requests handled, by verb (unknown verbs count as 'invalid').",
+            labelnames=("verb",),
+        )
+        self.request_seconds = r.histogram(
+            "repro_server_request_seconds",
+            "End-to-end request latency by verb, queueing and group "
+            "commit included.",
+            labelnames=("verb",),
+        )
+        self.errors = r.counter(
+            "repro_server_errors_total",
+            "Error frames returned, by error type.",
+            labelnames=("type",),
+        )
+        self.violations = r.counter(
+            "repro_server_violations_total",
+            "Constraint-violation rejections, by constraint kind and "
+            "paper rule.",
+            labelnames=("kind", "rule"),
+        )
+        self.sessions = r.counter(
+            "repro_server_sessions_total", "Client sessions accepted."
+        )
+        self.rejected_connections = r.counter(
+            "repro_server_rejected_connections_total",
+            "Connections refused (overloaded or draining).",
+        )
+        connections = r.gauge(
+            "repro_server_connections", "Open client connections."
+        )
+        connections.set_callback(lambda: service.connections)
+        inflight = r.gauge(
+            "repro_server_inflight_mutations",
+            "Mutations submitted but not yet acknowledged.",
+        )
+        inflight.set_callback(lambda: service.inflight)
+        depth = r.gauge(
+            "repro_server_queue_depth",
+            "Mutations queued for the single writer.",
+        )
+        depth.set_callback(lambda: service._queue.qsize())
+        self.batch_size = r.histogram(
+            "repro_server_commit_batch_size",
+            "Mutations covered by one group-commit barrier.",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024),
+        )
+        self.wal_sync_seconds = r.histogram(
+            "repro_server_wal_sync_seconds",
+            "Latency of the group-commit WAL sync barrier.",
+        )
+
+
 class DatabaseService:
     """Verb dispatch plus the single-writer group-commit pipeline."""
 
@@ -123,6 +194,7 @@ class DatabaseService:
         max_batch: int = 64,
         max_delay: float = 0.002,
         queue_depth: int = 1024,
+        metrics: bool = True,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -153,6 +225,18 @@ class DatabaseService:
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
         self._writer: asyncio.Task | None = None
         self._stopping = False
+        #: Server-layer metric families (``None`` disables the registry
+        #: entirely -- the configuration ``bench_server --metrics``
+        #: compares against).
+        self.metrics: ServerMetrics | None = (
+            ServerMetrics(self) if metrics else None
+        )
+        #: Stamps each request's trace id onto the engine's trace
+        #: events; ``None`` when the database has no tracer attached.
+        self._correlator: CorrelatingTracer | None = None
+        if db.tracer is not None:
+            self._correlator = CorrelatingTracer(db.tracer)
+            db.set_tracer(self._correlator)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -180,37 +264,96 @@ class DatabaseService:
     async def handle(
         self, session: Session, frame: Mapping[str, Any]
     ) -> dict[str, Any]:
-        """One request frame in, one response frame out (never raises)."""
+        """One request frame in, one response frame out (never raises).
+
+        Every response echoes a ``trace_id`` -- the client's, when the
+        request carried one, otherwise a server-generated id -- and the
+        same id is stamped onto every engine :class:`TraceEvent` the
+        request causes (via the :class:`CorrelatingTracer`), so one
+        grep of a JSONL trace sink reconstructs the decision path.
+        """
         request_id = frame.get("id")
         verb = frame.get("verb")
         session.requests += 1
         self.requests_served += 1
+        started = perf_counter()
+        trace_id = frame.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            response = error_frame(
+                request_id, "bad-request", "parameter 'trace_id' must be a string"
+            )
+            return self._finish(session, "invalid", None, started, response)
+        if trace_id is None:
+            trace_id = uuid.uuid4().hex[:16]
         if not isinstance(verb, str) or verb not in VERBS:
-            return error_frame(
+            response = error_frame(
                 request_id,
                 "bad-request",
                 f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}",
             )
+            return self._finish(session, "invalid", trace_id, started, response)
         if verb in MUTATION_VERBS:
             session.mutations += 1
             if self._stopping:
-                return error_frame(
+                response = error_frame(
                     request_id,
                     "shutting-down",
                     "server is draining; no further mutations accepted",
                 )
+                return self._finish(session, verb, trace_id, started, response)
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self.inflight += 1
             try:
-                await self._queue.put((verb, frame, request_id, future))
+                await self._queue.put(
+                    (verb, frame, request_id, trace_id, future)
+                )
             except BaseException:
                 self.inflight -= 1
                 raise
             response = await future
         else:
-            response = self._execute_read(verb, frame, request_id)
+            if self._correlator is not None:
+                self._correlator.trace_id = trace_id
+            try:
+                response = self._execute_read(verb, frame, request_id)
+            finally:
+                if self._correlator is not None:
+                    self._correlator.trace_id = None
+        return self._finish(session, verb, trace_id, started, response)
+
+    def _finish(
+        self,
+        session: Session,
+        verb: str,
+        trace_id: str | None,
+        started: float,
+        response: dict[str, Any],
+    ) -> dict[str, Any]:
+        """Common response tail: echo the trace id (top-level and inside
+        the error object, so client exceptions carry it), bump the
+        session counters, and record the request metrics."""
+        if trace_id is not None:
+            response["trace_id"] = trace_id
+            error = response.get("error")
+            if isinstance(error, dict):
+                error.setdefault("trace_id", trace_id)
         if not response.get("ok"):
             session.rejections += 1
+        if self.metrics is not None:
+            self.metrics.requests.labels(verb=verb).inc()
+            self.metrics.request_seconds.labels(verb=verb).observe(
+                perf_counter() - started
+            )
+            error = response.get("error")
+            if isinstance(error, dict):
+                self.metrics.errors.labels(
+                    type=error.get("type", "server-error")
+                ).inc()
+                if error.get("type") == "constraint-violation":
+                    self.metrics.violations.labels(
+                        kind=error.get("kind", ""),
+                        rule=error.get("rule", ""),
+                    ).inc()
         return response
 
     # -- reads (inline, snapshot-consistent) ------------------------------
@@ -253,9 +396,11 @@ class DatabaseService:
                     ),
                 )
             if verb == "metrics":
-                return ok_frame(request_id, self.db.stats.to_prometheus())
+                return ok_frame(request_id, self.render_metrics())
             if verb == "stats":
-                return ok_frame(request_id, self.db.stats.snapshot())
+                snap = self.db.stats.snapshot()
+                snap["server"] = self.server_stats()
+                return ok_frame(request_id, snap)
             raise ProtocolError(f"unhandled read verb {verb!r}")
         except ProtocolError as exc:
             return error_frame(request_id, "bad-request", str(exc))
@@ -265,6 +410,31 @@ class DatabaseService:
             return error_frame(request_id, "bad-request", str(exc))
         except Exception as exc:  # a read must never kill the connection
             return error_frame(request_id, "server-error", repr(exc))
+
+    def render_metrics(self) -> str:
+        """The full Prometheus text exposition: the engine's counters
+        and latency histograms followed by the server-layer registry
+        (the body of the ``metrics`` verb and the ``/metrics`` HTTP
+        endpoint)."""
+        text = self.db.stats.to_prometheus()
+        if self.metrics is not None:
+            text += self.metrics.registry.render()
+        return text
+
+    def server_stats(self) -> dict[str, Any]:
+        """Live server-layer state for the ``stats`` verb: request and
+        queue gauges plus (when enabled) the metric registry's JSON
+        snapshot -- what ``python -m repro monitor`` polls."""
+        out: dict[str, Any] = {
+            "requests_served": self.requests_served,
+            "connections": self.connections,
+            "inflight": self.inflight,
+            "queue_depth": self._queue.qsize(),
+            "poisoned": self.poisoned,
+        }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics.registry.snapshot()
+        return out
 
     def _source_row(self, frame: Mapping[str, Any]):
         scheme = _require(frame, "scheme", str)
@@ -344,10 +514,12 @@ class DatabaseService:
         inside one.
         """
         outcomes: list[dict | None] = []
-        for verb, frame, request_id, _future in batch:
+        for verb, frame, request_id, trace_id, _future in batch:
             if self.poisoned is not None:
                 outcomes.append(self._poisoned_frame(request_id))
                 continue
+            if self._correlator is not None:
+                self._correlator.trace_id = trace_id
             try:
                 result = self._execute_mutation(verb, frame)
             except ConstraintViolationError as exc:
@@ -373,7 +545,14 @@ class DatabaseService:
                 )
             else:
                 outcomes.append(ok_frame(request_id, result))
+            finally:
+                # Clear before the next item -- and before the barrier,
+                # so the group-commit trace event (which covers the
+                # whole batch) is never attributed to one request.
+                if self._correlator is not None:
+                    self._correlator.trace_id = None
         if self.poisoned is None:
+            sync_started = perf_counter()
             try:
                 self.db.sync_wal()
             except (WalError, OSError) as exc:
@@ -384,9 +563,18 @@ class DatabaseService:
                     self._poisoned_frame(request_id)
                     if outcome is not None and outcome.get("ok")
                     else outcome
-                    for outcome, (_, _, request_id, _) in zip(outcomes, batch)
+                    for outcome, (_, _, request_id, _, _) in zip(
+                        outcomes, batch
+                    )
                 ]
-        for (_, _, _, future), outcome in zip(batch, outcomes):
+            else:
+                if self.metrics is not None:
+                    self.metrics.wal_sync_seconds.observe(
+                        perf_counter() - sync_started
+                    )
+        if self.metrics is not None:
+            self.metrics.batch_size.observe(len(batch))
+        for (_, _, _, _, future), outcome in zip(batch, outcomes):
             self.inflight -= 1
             if not future.done():
                 future.set_result(outcome)

@@ -180,3 +180,75 @@ def test_drain_checkpoints_the_wal(served_db, client):
 
     ops = [r["op"] for r in parse_wal(db.wal.storage.read()).records]
     assert ops == ["header", "snapshot"]
+
+
+def test_sigterm_drain_prints_json_summary_to_stderr(tmp_path):
+    """Graceful drain ends with a machine-readable telemetry snapshot:
+    one JSON object on stderr (the human ``drained:`` line stays on
+    stdout for scripts that grep it)."""
+    import json
+    import os
+    import re
+    import signal
+    import subprocess
+    import sys as _sys
+
+    from repro.io import relational_schema_to_dict
+    from repro.workloads.university import university_relational
+
+    schema_path = tmp_path / "university.json"
+    schema_path.write_text(
+        json.dumps(relational_schema_to_dict(university_relational()))
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (
+            env.get("PYTHONPATH"),
+            os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+        )
+        if p
+    )
+    proc = subprocess.Popen(
+        [
+            _sys.executable, "-m", "repro", "serve", str(schema_path),
+            "--wal", str(tmp_path / "server.wal"),
+            "--port", "0", "--metrics-port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        ready = proc.stdout.readline()
+        match = re.search(r"listening on [\d.]+:(\d+)", ready)
+        assert match, f"no readiness line: {ready!r}"
+        metrics_line = proc.stdout.readline()
+        assert re.search(r"metrics on [\d.]+:\d+", metrics_line)
+        port = int(match.group(1))
+        with Client(port=port, timeout=30) as c:
+            c.insert("COURSE", {"C.NR": "c1"})
+            with pytest.raises(RemoteConstraintViolation):
+                c.insert("COURSE", {"C.NR": "c1"})
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=60)
+    assert proc.returncode == 0
+    assert any(line.startswith("drained: ") for line in out.splitlines())
+    summary = next(
+        json.loads(line)
+        for line in err.splitlines()
+        if line.startswith("{")
+    )
+    assert summary["event"] == "drained"
+    assert summary["sessions"] == 1
+    assert summary["requests"] == 2
+    assert summary["poisoned"] is None
+    assert summary["engine"]["inserts"] == 1
+    assert summary["checkpoints"] == 1
+    names = {f["name"] for f in summary["server"]["metrics"]}
+    assert "repro_server_violations_total" in names

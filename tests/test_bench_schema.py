@@ -1,0 +1,75 @@
+"""The BENCH_engine.json schema validator (scripts/check_bench_schema.py).
+
+The committed report must conform, and the validator must actually
+catch the drift it exists to catch: a dropped column in any entry kind
+(engine result, wal sub-entry, server run, metrics-overhead run).
+"""
+
+from __future__ import annotations
+
+import copy
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_bench_schema", REPO_ROOT / "scripts" / "check_bench_schema.py"
+)
+check_bench_schema = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_bench_schema)
+validate_report = check_bench_schema.validate_report
+
+
+def _committed_report() -> dict:
+    return json.loads((REPO_ROOT / "BENCH_engine.json").read_text())
+
+
+def test_committed_report_conforms():
+    assert validate_report(_committed_report()) == []
+
+
+def test_cli_passes_on_committed_report(capsys):
+    assert check_bench_schema.main([]) == 0
+    assert "bench schema OK" in capsys.readouterr().out
+
+
+def test_missing_engine_column_is_caught():
+    report = _committed_report()
+    del report["results"][0]["fig3_ops_per_s"]
+    problems = validate_report(report)
+    assert any("results[0]" in p and "fig3_ops_per_s" in p for p in problems)
+
+
+def test_missing_wal_key_is_caught():
+    report = _committed_report()
+    entry = next(e for e in report["results"] if "wal" in e)
+    del entry["wal"]["checkpoint_ms"]
+    assert any("checkpoint_ms" in p for p in validate_report(report))
+
+
+def test_missing_server_run_key_is_caught():
+    report = _committed_report()
+    del report["server"]["flush"]["group_commit"]["p99_us"]
+    problems = validate_report(report)
+    assert any("server.flush.group_commit" in p for p in problems)
+
+
+def test_missing_metrics_overhead_field_is_caught():
+    report = _committed_report()
+    if "server_metrics" not in report:  # tolerate a pre-overhead report
+        return
+    broken = copy.deepcopy(report)
+    del broken["server_metrics"]["overhead_pct"]
+    assert any("overhead_pct" in p for p in validate_report(broken))
+    broken = copy.deepcopy(report)
+    del broken["server_metrics"]["metrics_on"]
+    assert any("metrics_on" in p for p in validate_report(broken))
+
+
+def test_non_object_report_is_rejected():
+    assert validate_report([]) != []
+    assert any(
+        "results" in p for p in validate_report({"harness": "x"})
+    )

@@ -379,3 +379,25 @@ def test_plan_explain_and_trace(schema_file, tmp_path, capsys):
     events = [json.loads(line) for line in trace.read_text().splitlines()]
     assert [e["event"] for e in events].count("merge-decision") == 2
     assert any(e["event"] == "merge-applied" for e in events)
+
+
+def test_monitor_rejects_bad_target_and_interval(capsys):
+    with pytest.raises(SystemExit):
+        main(["monitor", "not-a-target"])
+    assert "HOST:PORT" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["monitor", "127.0.0.1:1", "--interval", "0"])
+    assert "--interval" in capsys.readouterr().err
+
+
+def test_monitor_unreachable_server_errors(capsys):
+    # A closed port: the CLI reports the failure instead of raising.
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    with pytest.raises(SystemExit):
+        main(["monitor", f"127.0.0.1:{port}", "--once"])
+    assert "cannot reach" in capsys.readouterr().err
