@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Validate the structure of ``BENCH_engine.json``.
 
-The benchmark report is written by three harnesses --
+The benchmark report is written by four harnesses --
 ``benchmarks/bench_engine.py`` (the per-size ``results`` entries),
-``benchmarks/bench_server.py`` (the ``server`` flush/fsync matrix), and
-``bench_server.py --metrics`` (the ``server_metrics`` overhead entry)
--- and read by docs, CI greps and regression tooling.  This checker
+``benchmarks/bench_server.py`` (the ``server`` flush/fsync matrix),
+``bench_server.py --metrics`` (the ``server_metrics`` overhead entry),
+and ``bench_server.py --sharded`` (the ``server_sharded`` fleet-scaling
+entry) -- and read by docs, CI greps and regression tooling.  This checker
 pins the required keys per entry kind so a harness edit cannot
 silently drop a column downstream consumers depend on::
 
@@ -38,6 +39,8 @@ ENGINE_KEYS = frozenset(
         "scan_baseline_ops_per_s",
         "speedup_vs_scan",
         "bulk_rows_per_s",
+        "bulk_dict_rows_per_s",
+        "slotted_speedup_x",
     )
 )
 
@@ -65,6 +68,20 @@ SERVER_LEVELS = ("flush", "fsync")
 
 #: The ``server_metrics`` overhead entry's run keys.
 METRICS_MODES = ("metrics_off", "metrics_on")
+
+#: The ``server_sharded`` scaling entry's own keys (besides one
+#: ``workers_N`` run per measured fleet width).
+SHARDED_KEYS = frozenset(
+    (
+        "harness",
+        "python",
+        "cores",
+        "durability",
+        "max_batch",
+        "fsync_overlap_x",
+        "sharded_speedup_x",
+    )
+)
 
 
 def _missing(entry: object, required: frozenset, where: str) -> list[str]:
@@ -121,6 +138,22 @@ def validate_report(report: object) -> list[str]:
                                 | {"group_commits", "batched_records"},
                                 f"server.{level}.{mode}",
                             )
+
+    if "server_sharded" in report:
+        sh = report["server_sharded"]
+        problems += _missing(sh, SHARDED_KEYS, "server_sharded")
+        if isinstance(sh, dict):
+            runs = [k for k in sh if k.startswith("workers_")]
+            if len(runs) < 2:
+                problems.append(
+                    "server_sharded: needs at least two workers_N runs"
+                )
+            for key in sorted(runs):
+                problems += _missing(
+                    sh[key],
+                    RUN_KEYS | {"workers"},
+                    f"server_sharded.{key}",
+                )
 
     if "server_metrics" in report:
         sm = report["server_metrics"]

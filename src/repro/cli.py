@@ -520,6 +520,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--max-batch must be at least 1")
     if args.max_delay < 0:
         raise CliError("--max-delay must be non-negative")
+    if args.workers < 0:
+        raise CliError("--workers must be non-negative")
+    if args.workers and args.worker_index is None:
+        return _serve_fleet(args)
     tracer, trace_path = _open_tracer(args.trace)
     if args.wal is not None:
         storage = FileStorage(
@@ -547,6 +551,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
     else:
         db = Database(schema, tracer=tracer)
         print("warning: no --wal; state is not durable", file=sys.stderr)
+    sockets = []
+    shard = None
+    if args.worker_index is not None:
+        # Worker mode: serve the supervisor's pre-bound, fd-passed
+        # sockets as one shard of the fleet.
+        import socket as socket_module
+
+        from repro.server.service import ShardInfo
+
+        if (
+            args.listen_fd is None
+            or args.shared_fd is None
+            or args.worker_ports is None
+            or args.shared_port is None
+            or not args.workers
+        ):
+            raise CliError(
+                "worker mode is spawned by the fleet supervisor; "
+                "use --workers N instead"
+            )
+        ports = [int(p) for p in args.worker_ports.split(",")]
+        sockets = [
+            socket_module.socket(fileno=args.listen_fd),
+            socket_module.socket(fileno=args.shared_fd),
+        ]
+        shard = ShardInfo(
+            worker_id=args.worker_index,
+            n_shards=args.workers,
+            host=args.host,
+            ports=ports,
+            shared_port=args.shared_port,
+        )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -555,6 +591,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_delay=args.max_delay,
         checkpoint_on_drain=not args.no_checkpoint,
         metrics_port=args.metrics_port,
+        sockets=sockets,
+        shard=shard,
+        prepare_timeout=args.prepare_timeout,
     )
     try:
         server = asyncio.run(serve_async(db, config))
@@ -578,14 +617,71 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """``serve --workers N``: supervise a sharded fleet of worker
+    processes (see :mod:`repro.server.supervisor`)."""
+    from repro.server.supervisor import Supervisor
+
+    if args.trace:
+        raise CliError(
+            "--trace is not supported with --workers; trace individual "
+            "workers via their own serve invocations"
+        )
+    if args.metrics_port is not None:
+        raise CliError(
+            "--metrics-port is not supported with --workers; scrape "
+            "per-worker stats through the 'stats' verb (repro monitor "
+            "aggregates them)"
+        )
+    worker_args = [
+        args.schema,
+        "--max-connections",
+        str(args.max_connections),
+        "--max-batch",
+        str(args.max_batch),
+        "--max-delay",
+        str(args.max_delay),
+        "--prepare-timeout",
+        str(args.prepare_timeout),
+    ]
+    if args.fsync:
+        worker_args.append("--fsync")
+    if args.no_checkpoint:
+        worker_args.append("--no-checkpoint")
+    supervisor = Supervisor(
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        worker_args=worker_args,
+        wal=args.wal,
+    )
+    if args.wal is None:
+        print(
+            "warning: no --wal; no shard's state is durable",
+            file=sys.stderr,
+        )
+    supervisor.start()
+    return supervisor.run_forever()
+
+
 def cmd_monitor(args: argparse.Namespace) -> int:
     """``monitor``: poll a running server's ``stats`` verb and repaint
     a terminal dashboard (throughput, per-verb latency, violations by
-    paper rule, queue/batch gauges) in place."""
+    paper rule, queue/batch gauges) in place.
+
+    Pointed at a sharded fleet's public port, it discovers the workers
+    via the ``topology`` verb, polls every worker's direct port, and
+    renders the aggregated fleet dashboard instead (a row per worker
+    plus a fleet totals row).
+    """
     import time
 
     from repro.client import Client
-    from repro.obs.monitor import CLEAR, render_dashboard
+    from repro.obs.monitor import (
+        CLEAR,
+        render_dashboard,
+        render_fleet_dashboard,
+    )
 
     host, _, port_text = args.target.rpartition(":")
     try:
@@ -596,22 +692,49 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     if args.interval <= 0:
         raise CliError("--interval must be positive")
     count = 1 if args.once else args.count
-    prev = None
-    frames = 0
+    title = f"repro monitor {host}:{port}"
+
+    def paint(frame: str) -> None:
+        if not args.no_clear:
+            sys.stdout.write(CLEAR)
+        sys.stdout.write(frame)
+        sys.stdout.flush()
+
     try:
         with Client(host=host, port=port, timeout=30) as client:
+            try:
+                topo = client.call("topology")
+            except Exception:
+                topo = {}  # pre-topology server: plain dashboard
+            workers = int(topo.get("workers", 1) or 1)
+            ports = [int(p) for p in topo.get("ports", ())]
+            if workers > 1 and ports:
+                fleet = [
+                    Client(host=host, port=p, timeout=30) for p in ports
+                ]
+                try:
+                    prev_snaps = None
+                    frames = 0
+                    while True:
+                        snaps = [c.call("stats") for c in fleet]
+                        paint(
+                            render_fleet_dashboard(
+                                snaps, prev_snaps, args.interval, title=title
+                            )
+                        )
+                        frames += 1
+                        prev_snaps = snaps
+                        if count and frames >= count:
+                            return 0
+                        time.sleep(args.interval)
+                finally:
+                    for c in fleet:
+                        c.close()
+            prev = None
+            frames = 0
             while True:
                 cur = client.call("stats")
-                frame = render_dashboard(
-                    cur,
-                    prev,
-                    args.interval,
-                    title=f"repro monitor {host}:{port}",
-                )
-                if not args.no_clear:
-                    sys.stdout.write(CLEAR)
-                sys.stdout.write(frame)
-                sys.stdout.flush()
+                paint(render_dashboard(cur, prev, args.interval, title=title))
                 frames += 1
                 prev = cur
                 if count and frames >= count:
@@ -882,6 +1005,30 @@ def build_parser() -> argparse.ArgumentParser:
         "default: disabled)",
     )
     p.add_argument("--trace", **trace_kwargs)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run a sharded fleet of this many single-writer worker "
+        "processes (one per core; rows are hash-partitioned by primary "
+        "key).  --port is the fleet's shared public port; each worker "
+        "also gets a direct port, printed in the 'worker' lines.  "
+        "Default 0: one plain single-process server",
+    )
+    p.add_argument(
+        "--prepare-timeout",
+        type=float,
+        default=30.0,
+        help="seconds a worker holds a cross-shard batch prepare before "
+        "aborting it unilaterally (default: 30)",
+    )
+    # Worker-mode flags, set by the fleet supervisor when it spawns its
+    # workers -- not for direct use.
+    p.add_argument("--worker-index", type=int, help=argparse.SUPPRESS)
+    p.add_argument("--worker-ports", help=argparse.SUPPRESS)
+    p.add_argument("--shared-port", type=int, help=argparse.SUPPRESS)
+    p.add_argument("--listen-fd", type=int, help=argparse.SUPPRESS)
+    p.add_argument("--shared-fd", type=int, help=argparse.SUPPRESS)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(

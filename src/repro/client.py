@@ -27,6 +27,7 @@ for everything else.
 from __future__ import annotations
 
 import socket
+import uuid
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.server.protocol import (
@@ -42,8 +43,18 @@ from repro.server.protocol import (
     raise_error,
     request_frame,
 )
+from repro.server.router import (
+    ShardMap,
+    group_ops_by_shard,
+    requirement_violation,
+)
 
-__all__ = ["Client", "RemoteConstraintViolation", "RemoteError"]
+__all__ = [
+    "Client",
+    "ShardedClient",
+    "RemoteConstraintViolation",
+    "RemoteError",
+]
 
 
 def _wire_pk(pk: Any) -> list:
@@ -249,3 +260,266 @@ class Client:
     def stats(self) -> dict[str, Any]:
         """The server's :meth:`EngineStats.snapshot` dict."""
         return self.call("stats")
+
+
+class ShardedClient:
+    """The shard-aware client of a ``repro serve --workers N`` fleet.
+
+    Connecting to the fleet's shared port, it asks ``topology`` for the
+    shard map, then opens one direct connection per worker (lazily) and
+    routes every request to the worker owning its primary key
+    (:mod:`repro.server.router`).  Pointed at a plain single-process
+    server it degrades to a thin wrapper over :class:`Client`.
+
+    Mutation routing splits two ways:
+
+    * A mutation whose constraint checks are provably shard-local --
+      an insert into a scheme with no outgoing references, a delete
+      from a scheme nothing references, a single-shard ``insert_many``
+      of an unreferencing scheme -- is sent as the ordinary verb and
+      rides the owning worker's group-commit path at full speed.
+    * Everything else uses the two-phase protocol: ``batch_prepare`` on
+      every involved worker (in worker-id order, which makes concurrent
+      sharded writers deadlock-free), then ``exists`` probes across the
+      fleet for the requirements no single shard could verify, then
+      ``batch_commit`` everywhere -- or ``batch_abort`` everywhere,
+      which is what makes a cross-shard constraint violation reject the
+      whole batch atomically.
+
+    One instance is one logical connection: not thread-safe, one
+    outstanding logical request at a time.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float | None = None,
+    ):
+        self._timeout = timeout
+        bootstrap = Client(host=host, port=port, timeout=timeout)
+        try:
+            self.shard_map = ShardMap.from_topology(bootstrap.call("topology"))
+        except BaseException:
+            bootstrap.close()
+            raise
+        self._host = self.shard_map.host or host
+        self._clients: dict[int, Client] = {}
+        if not self.shard_map.ports:
+            # A plain server: everything lives behind this connection.
+            self._clients[0] = bootstrap
+        else:
+            bootstrap.close()
+
+    # -- plumbing --------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every per-shard connection."""
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "ShardedClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def n_shards(self) -> int:
+        """How many shards (workers) the fleet partitions rows across."""
+        return self.shard_map.n_shards
+
+    def shard_client(self, shard: int) -> Client:
+        """The direct connection to one worker (opened on first use)."""
+        client = self._clients.get(shard)
+        if client is None:
+            client = Client(
+                host=self._host,
+                port=self.shard_map.ports[shard],
+                timeout=self._timeout,
+            )
+            self._clients[shard] = client
+        return client
+
+    def _owner(self, scheme: str, pk: Any) -> int:
+        return self.shard_map.shard_of_pk(scheme, _wire_pk(pk))
+
+    # -- mutations -------------------------------------------------------
+
+    def insert(self, scheme: str, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Insert one row (routed; two-phase only when the scheme has
+        outgoing references another shard may have to satisfy)."""
+        wire = encode_row(row)
+        if not self.shard_map.refs_out.get(scheme, True):
+            shard = self.shard_map.shard_of_row(scheme, wire)
+            return decode_row(
+                self.shard_client(shard).call(
+                    "insert", scheme=scheme, row=wire
+                )
+            )
+        results = self._two_phase([["insert", scheme, wire]])
+        assert results[0] is not None
+        return results[0]
+
+    def update(
+        self, scheme: str, pk: Any, updates: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Update one row by primary key."""
+        if not self.shard_map.refs_out.get(
+            scheme, True
+        ) and not self.shard_map.refs_in.get(scheme, True):
+            return decode_row(
+                self.shard_client(self._owner(scheme, pk)).call(
+                    "update",
+                    scheme=scheme,
+                    pk=_wire_pk(pk),
+                    updates=encode_row(updates),
+                )
+            )
+        results = self._two_phase(
+            [["update", scheme, _wire_pk(pk), encode_row(updates)]]
+        )
+        assert results[0] is not None
+        return results[0]
+
+    def delete(self, scheme: str, pk: Any) -> None:
+        """Delete one row by primary key (two-phase when other shards
+        may hold rows referencing it)."""
+        if not self.shard_map.refs_in.get(scheme, True):
+            self.shard_client(self._owner(scheme, pk)).call(
+                "delete", scheme=scheme, pk=_wire_pk(pk)
+            )
+            return
+        self._two_phase([["delete", scheme, _wire_pk(pk)]])
+
+    def insert_many(
+        self, scheme: str, rows: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Insert many rows of one scheme atomically (per batch: a
+        multi-shard batch uses the two-phase protocol so rejection
+        stays all-or-nothing)."""
+        wire_rows = [encode_row(r) for r in rows]
+        if not self.shard_map.refs_out.get(scheme, True):
+            by_shard: dict[int, list[int]] = {}
+            for i, w in enumerate(wire_rows):
+                by_shard.setdefault(
+                    self.shard_map.shard_of_row(scheme, w), []
+                ).append(i)
+            if len(by_shard) == 1:
+                ((shard, _),) = by_shard.items()
+                result = self.shard_client(shard).call(
+                    "insert_many", scheme=scheme, rows=wire_rows
+                )
+                return [decode_row(r) for r in result]
+        results = self._two_phase(
+            [["insert", scheme, w] for w in wire_rows]
+        )
+        return [r for r in results if r is not None]
+
+    def apply_batch(
+        self, ops: Iterable[tuple]
+    ) -> list[dict[str, Any] | None]:
+        """Apply a mixed mutation batch atomically across shards
+        (engine-style op tuples, as :meth:`Client.apply_batch`)."""
+        return self._two_phase(_wire_ops(ops))
+
+    def _two_phase(
+        self, wire_ops: list[list]
+    ) -> list[dict[str, Any] | None]:
+        """Prepare/probe/commit one batch across every involved shard."""
+        groups = group_ops_by_shard(self.shard_map, wire_ops)
+        shards = sorted(groups)  # worker-id order: deadlock-free
+        xid = uuid.uuid4().hex
+        requirements: list[dict[str, Any]] = []
+        prepared: list[int] = []
+        try:
+            for shard in shards:
+                ack = self.shard_client(shard).call(
+                    "batch_prepare",
+                    xid=xid,
+                    ops=[op for _, op in groups[shard]],
+                )
+                prepared.append(shard)
+                requirements.extend(ack["requirements"])
+            probe_cache: dict[tuple, bool] = {}
+
+            def exists_any(scheme, attrs, value) -> bool:
+                key = (scheme, tuple(attrs), tuple(map(repr, value)))
+                hit = probe_cache.get(key)
+                if hit is None:
+                    hit = any(
+                        self.shard_client(s).call(
+                            "exists",
+                            scheme=scheme,
+                            attrs=list(attrs),
+                            value=list(value),
+                        )["exists"]
+                        for s in self.shard_map.shards()
+                    )
+                    probe_cache[key] = hit
+                return hit
+
+            for req in requirements:
+                message = requirement_violation(req, exists_any)
+                if message is not None:
+                    raise RemoteConstraintViolation(
+                        message,
+                        constraint=req["constraint"],
+                        kind="inclusion-dependency"
+                        if req["kind"] == "exists"
+                        else "restrict-batch",
+                        detail=message,
+                    )
+        except BaseException:
+            self._abort_all(prepared, xid)
+            raise
+        results: list[dict[str, Any] | None] = [None] * len(wire_ops)
+        failure: Exception | None = None
+        for shard in prepared:
+            try:
+                rows = self.shard_client(shard).call("batch_commit", xid=xid)
+            except Exception as exc:  # commit the rest, then report
+                failure = failure or exc
+                continue
+            for (index, _op), row in zip(groups[shard], rows):
+                results[index] = decode_row(row) if row is not None else None
+        if failure is not None:
+            raise failure
+        return results
+
+    def _abort_all(self, prepared: list[int], xid: str) -> None:
+        for shard in prepared:
+            try:
+                self.shard_client(shard).call("batch_abort", xid=xid)
+            except Exception:
+                pass  # its hold will expire; rejection already decided
+
+    # -- reads -----------------------------------------------------------
+
+    def get(self, scheme: str, pk: Any) -> dict[str, Any] | None:
+        """Primary-key lookup, routed to the owning worker."""
+        result = self.shard_client(self._owner(scheme, pk)).call(
+            "get", scheme=scheme, pk=_wire_pk(pk)
+        )
+        return decode_row(result) if result is not None else None
+
+    def exists(
+        self, scheme: str, attrs: Sequence[str], value: Sequence[Any]
+    ) -> bool:
+        """Whether any shard holds a row of ``scheme`` carrying
+        ``value`` under ``attrs``."""
+        wire = encode_pk(tuple(value))
+        return any(
+            self.shard_client(s).call(
+                "exists", scheme=scheme, attrs=list(attrs), value=wire
+            )["exists"]
+            for s in self.shard_map.shards()
+        )
+
+    def stats(self) -> list[dict[str, Any]]:
+        """Every worker's ``stats`` snapshot, in worker order."""
+        return [
+            self.shard_client(s).call("stats")
+            for s in self.shard_map.shards()
+        ]

@@ -42,6 +42,7 @@ from repro.engine.plans import (
     attr_extractor,
     compile_schema,
 )
+from repro.engine.rows import bulk_apply, bulk_insert_many
 from repro.engine.stats import EngineStats
 from repro.engine.wal import (
     WalError,
@@ -195,6 +196,7 @@ class Database:
         record_latencies: bool = False,
         wal: WriteAheadLog | None = None,
         wal_path: str | None = None,
+        slotted: bool = True,
     ):
         if null_semantics not in ("distinct", "identical"):
             raise ValueError(
@@ -208,6 +210,11 @@ class Database:
         #: Whether mutations time themselves into ``stats.latencies``.
         self.record_latencies = record_latencies
         self._timed = tracer is not None or record_latencies
+        #: Whether eligible bulk mutations may take the columnar
+        #: slotted-row path (:mod:`repro.engine.rows`).  ``False``
+        #: forces the row-at-a-time path everywhere -- the benchmark's
+        #: before/after switch.
+        self._slotted = slotted
         self._plans = compile_schema(schema)
         self._tables: dict[str, _Table] = {
             s.name: _Table(s, self._plans[s.name]) for s in schema.schemes
@@ -384,7 +391,7 @@ class Database:
     def _check_null_constraints(self, scheme_name: str, t: Tuple) -> None:
         for constraint, check in self._plans[scheme_name].null_checks:
             self.stats.constraint_checks += 1
-            if not check(t):
+            if not check(t.mapping):
                 raise ConstraintViolationError(
                     str(constraint),
                     f"row {t!r}",
@@ -719,6 +726,20 @@ class Database:
         timed = self._timed
         start = perf_counter() if timed else 0.0
         table = self.table(scheme_name)
+        if (
+            self._slotted
+            and self._undo_log is None
+            and self.wal is None
+            and self.tracer is None
+        ):
+            rows = rows if isinstance(rows, list) else list(rows)
+            fast = bulk_insert_many(self, scheme_name, rows)
+            if fast is not None:
+                if timed:
+                    self._observe_ok(
+                        "insert_many", scheme_name, start, rows=len(fast)
+                    )
+                return fast
         stored: list[Tuple] = []
         try:
             with self.transaction():
@@ -773,6 +794,20 @@ class Database:
         """
         timed = self._timed
         start = perf_counter() if timed else 0.0
+        if (
+            self._slotted
+            and self._undo_log is None
+            and self.wal is None
+            and self.tracer is None
+        ):
+            ops = ops if isinstance(ops, list) else list(ops)
+            fast = bulk_apply(self, ops)
+            if fast is not None:
+                if timed:
+                    self._observe_ok(
+                        "apply_batch", None, start, rows=len(fast)
+                    )
+                return fast
         try:
             results = self._apply_batch(ops)
         except ConstraintViolationError as exc:
@@ -784,118 +819,228 @@ class Database:
         return results
 
     def _apply_batch(self, ops: Iterable[tuple]) -> list[Tuple | None]:
+        with self.transaction():
+            results, pending_out, pending_in, n_ops = self._apply_ops(ops)
+            self._verify_deferred(pending_out, pending_in)
+        self.stats.bulk_rows += n_ops
+        return results
+
+    def _apply_ops(
+        self, ops: Iterable[tuple]
+    ) -> tuple[
+        list[Tuple | None],
+        list[tuple[str, Tuple]],
+        list[tuple[CompiledReference, tuple[Any, ...]]],
+        int,
+    ]:
+        """Apply a batch's operations with per-op immediate checks,
+        accumulating the deferred reference checks.
+
+        Returns ``(results, pending_out, pending_in, n_ops)``.  The
+        caller owns the enclosing transaction and the deferred
+        verification.
+        """
         results: list[Tuple | None] = []
         pending_out: list[tuple[str, Tuple]] = []
         pending_in: list[tuple[CompiledReference, tuple[Any, ...]]] = []
         n_ops = 0
-        with self.transaction():
-            for op in ops:
-                kind = op[0]
-                n_ops += 1
-                if kind == "insert":
-                    _, scheme_name, row = op
-                    table = self.table(scheme_name)
-                    t = self._check_shape(table, row)
-                    self._check_null_constraints(scheme_name, t)
-                    pk = self._check_keys(table, t, replacing=None)
-                    if self.wal is not None:
-                        self._wal_append(
-                            insert_record(scheme_name, t.mapping),
-                            "insert",
-                            scheme_name,
-                        )
-                    self._store(table, t, pk)
-                    pending_out.append((scheme_name, t))
-                    self.stats.inserts += 1
-                    results.append(t)
-                elif kind == "delete":
-                    _, scheme_name, pk = op
-                    if not isinstance(pk, tuple):
-                        pk = (pk,)
-                    table = self.table(scheme_name)
-                    old = table.rows.get(pk)
-                    if old is None:
-                        raise KeyError(
-                            f"{scheme_name}: no row with key {pk!r}"
-                        )
-                    old_values = old.mapping
-                    for ref in self._plans[scheme_name].incoming:
+        for op in ops:
+            kind = op[0]
+            n_ops += 1
+            if kind == "insert":
+                _, scheme_name, row = op
+                table = self.table(scheme_name)
+                t = self._check_shape(table, row)
+                self._check_null_constraints(scheme_name, t)
+                pk = self._check_keys(table, t, replacing=None)
+                if self.wal is not None:
+                    self._wal_append(
+                        insert_record(scheme_name, t.mapping),
+                        "insert",
+                        scheme_name,
+                    )
+                self._store(table, t, pk)
+                pending_out.append((scheme_name, t))
+                self.stats.inserts += 1
+                results.append(t)
+            elif kind == "delete":
+                _, scheme_name, pk = op
+                if not isinstance(pk, tuple):
+                    pk = (pk,)
+                table = self.table(scheme_name)
+                old = table.rows.get(pk)
+                if old is None:
+                    raise KeyError(
+                        f"{scheme_name}: no row with key {pk!r}"
+                    )
+                old_values = old.mapping
+                for ref in self._plans[scheme_name].incoming:
+                    value = ref.extract(old_values)
+                    if not any(v is NULL for v in value):
+                        pending_in.append((ref, value))
+                if self.wal is not None:
+                    self._wal_append(
+                        delete_record(scheme_name, pk),
+                        "delete",
+                        scheme_name,
+                    )
+                self._unstore(table, pk, old)
+                self.stats.deletes += 1
+                results.append(None)
+            elif kind == "update":
+                _, scheme_name, pk, updates = op
+                if not isinstance(pk, tuple):
+                    pk = (pk,)
+                table = self.table(scheme_name)
+                old = table.rows.get(pk)
+                if old is None:
+                    raise KeyError(
+                        f"{scheme_name}: no row with key {pk!r}"
+                    )
+                t = old.with_values(dict(updates))
+                self._check_null_constraints(scheme_name, t)
+                new_pk = self._check_keys(table, t, replacing=pk)
+                old_values = old.mapping
+                new_values = t.mapping
+                changed = {
+                    name
+                    for name in updates
+                    if old_values[name] != new_values[name]
+                }
+                for ref in self._plans[scheme_name].incoming:
+                    if changed & ref.watch:
                         value = ref.extract(old_values)
                         if not any(v is NULL for v in value):
                             pending_in.append((ref, value))
-                    if self.wal is not None:
-                        self._wal_append(
-                            delete_record(scheme_name, pk),
-                            "delete",
-                            scheme_name,
-                        )
-                    self._unstore(table, pk, old)
-                    self.stats.deletes += 1
-                    results.append(None)
-                elif kind == "update":
-                    _, scheme_name, pk, updates = op
-                    if not isinstance(pk, tuple):
-                        pk = (pk,)
-                    table = self.table(scheme_name)
-                    old = table.rows.get(pk)
-                    if old is None:
-                        raise KeyError(
-                            f"{scheme_name}: no row with key {pk!r}"
-                        )
-                    t = old.with_values(dict(updates))
-                    self._check_null_constraints(scheme_name, t)
-                    new_pk = self._check_keys(table, t, replacing=pk)
-                    old_values = old.mapping
-                    new_values = t.mapping
-                    changed = {
-                        name
-                        for name in updates
-                        if old_values[name] != new_values[name]
-                    }
-                    for ref in self._plans[scheme_name].incoming:
-                        if changed & ref.watch:
-                            value = ref.extract(old_values)
-                            if not any(v is NULL for v in value):
-                                pending_in.append((ref, value))
-                    if self.wal is not None:
-                        self._wal_append(
-                            update_record(scheme_name, pk, dict(updates)),
-                            "update",
-                            scheme_name,
-                        )
-                    self._unstore(table, pk, old)
-                    self._store(table, t, new_pk)
-                    pending_out.append((scheme_name, t))
-                    self.stats.updates += 1
-                    results.append(t)
-                else:
-                    raise ValueError(f"unknown batch operation {kind!r}")
-            # Deferred verification against the final batch state.
-            for scheme_name, t in pending_out:
-                table = self._tables[scheme_name]
-                if table.rows.get(table.plan.pk(t.mapping)) is not t:
-                    continue  # superseded by a later operation
-                self._check_references_out(scheme_name, t)
-            verified: set[tuple[Any, ...]] = set()
-            for ref, value in pending_in:
-                dedup_key = (id(ref.ind), value)
-                if dedup_key in verified:
-                    continue
-                verified.add(dedup_key)
-                if self._referenced_exists(
-                    ref.ind.rhs_scheme, ref.ind.rhs_attrs, value
-                ):
-                    continue  # another row still carries the referenced value
-                blocker = self._blocking_referencer(ref, value, None)
-                if blocker is not None:
-                    raise ConstraintViolationError(
-                        "restrict-batch",
-                        f"{ref.ind.rhs_scheme} value "
-                        f"{dict(zip(ref.ind.rhs_attrs, value))!r} "
-                        f"still referenced via {blocker}",
+                if self.wal is not None:
+                    self._wal_append(
+                        update_record(scheme_name, pk, dict(updates)),
+                        "update",
+                        scheme_name,
                     )
+                self._unstore(table, pk, old)
+                self._store(table, t, new_pk)
+                pending_out.append((scheme_name, t))
+                self.stats.updates += 1
+                results.append(t)
+            else:
+                raise ValueError(f"unknown batch operation {kind!r}")
+        return results, pending_out, pending_in, n_ops
+
+    def _verify_deferred(
+        self,
+        pending_out: list[tuple[str, Tuple]],
+        pending_in: list[tuple[CompiledReference, tuple[Any, ...]]],
+        collect_remote: bool = False,
+    ) -> list[dict[str, Any]]:
+        """Verify a batch's deferred reference checks against its final
+        state.
+
+        In the default mode any unsatisfied check raises exactly as the
+        unbatched path would.  With ``collect_remote`` (the sharded
+        two-phase prepare), a check that cannot be satisfied *locally*
+        is returned as a requirement dict instead of raising -- rows of
+        other shards may satisfy it, and only the shard router can know
+        (see ``docs/SERVER.md``).  Requirement kinds:
+
+        * ``exists`` -- an inserted/updated row references ``value``
+          under ``scheme[attrs]`` and no local row carries it;
+        * ``restrict`` -- a delete/update removed a local provider of
+          ``value`` under ``scheme[attrs]`` and no other local provider
+          remains: the batch is admissible iff some remote provider
+          exists or no ``child_scheme[child_attrs]`` row (on any shard)
+          still references the value.
+        """
+        requirements: list[dict[str, Any]] = []
+        # Deferred verification against the final batch state.
+        for scheme_name, t in pending_out:
+            table = self._tables[scheme_name]
+            if table.rows.get(table.plan.pk(t.mapping)) is not t:
+                continue  # superseded by a later operation
+            if not collect_remote:
+                self._check_references_out(scheme_name, t)
+                continue
+            values = t.mapping
+            for ref in self._plans[scheme_name].outgoing:
+                value = ref.extract(values)
+                if any(v is NULL for v in value):
+                    continue
+                self.stats.constraint_checks += 1
+                if self._referenced_exists_via(ref, value):
+                    continue
+                requirements.append(
+                    {
+                        "kind": "exists",
+                        "scheme": ref.scheme,
+                        "attrs": list(ref.attrs),
+                        "value": list(value),
+                        "constraint": str(ref.ind),
+                    }
+                )
+        verified: set[tuple[Any, ...]] = set()
+        for ref, value in pending_in:
+            dedup_key = (id(ref.ind), value)
+            if dedup_key in verified:
+                continue
+            verified.add(dedup_key)
+            if self._referenced_exists(
+                ref.ind.rhs_scheme, ref.ind.rhs_attrs, value
+            ):
+                continue  # another row still carries the referenced value
+            if collect_remote:
+                # No local provider: a remote one may exist, and the
+                # referencing children may live on any shard (this one
+                # included -- the router's probe sees this prepare's
+                # state, so in-batch deletes of children are honoured).
+                requirements.append(
+                    {
+                        "kind": "restrict",
+                        "scheme": ref.ind.rhs_scheme,
+                        "attrs": list(ref.ind.rhs_attrs),
+                        "child_scheme": ref.scheme,
+                        "child_attrs": list(ref.attrs),
+                        "value": list(value),
+                        "constraint": str(ref.ind),
+                    }
+                )
+                continue
+            blocker = self._blocking_referencer(ref, value, None)
+            if blocker is not None:
+                raise ConstraintViolationError(
+                    "restrict-batch",
+                    f"{ref.ind.rhs_scheme} value "
+                    f"{dict(zip(ref.ind.rhs_attrs, value))!r} "
+                    f"still referenced via {blocker}",
+                )
+        return requirements
+
+    def apply_batch_prepare(self, ops: Iterable[tuple]) -> "PreparedBatch":
+        """Phase one of a sharded cross-shard batch: apply and validate
+        ``ops`` inside an open transaction and report what this shard
+        cannot verify alone.
+
+        Local checks (shape, nulls, keys, locally-satisfiable reference
+        checks) run exactly as :meth:`apply_batch`; any local violation
+        raises and leaves the state untouched.  Checks that need other
+        shards come back as requirement dicts on the returned
+        :class:`PreparedBatch`, which holds the transaction (and the WAL
+        bracket) open until :meth:`PreparedBatch.commit` or
+        :meth:`PreparedBatch.abort`.  The caller must not run other
+        mutations while a prepare is held -- the server's single-writer
+        loop is what guarantees this.
+        """
+        ctx = self.transaction()
+        ctx.__enter__()
+        try:
+            results, pending_out, pending_in, n_ops = self._apply_ops(ops)
+            requirements = self._verify_deferred(
+                pending_out, pending_in, collect_remote=True
+            )
+        except BaseException as exc:
+            ctx.__exit__(type(exc), exc, exc.__traceback__)
+            raise
         self.stats.bulk_rows += n_ops
-        return results
+        return PreparedBatch(self, ctx, results, requirements)
 
     def load_state(self, state: DatabaseState, validate: bool = True) -> None:
         """Bulk-load an existing state (e.g. the image of a state mapping).
@@ -1221,3 +1366,55 @@ class _TransactionContext:
                     raise
             db._undo_log = None
         return False
+
+
+class PreparedBatch:
+    """A batch applied but not yet decided (phase one of the sharded
+    two-phase apply; see :meth:`Database.apply_batch_prepare`).
+
+    ``results`` mirrors :meth:`Database.apply_batch`'s return value;
+    ``requirements`` lists the reference checks only other shards can
+    answer.  Exactly one of :meth:`commit` / :meth:`abort` must be
+    called; until then the underlying transaction (and its WAL bracket)
+    stays open and the owning database must not run other mutations.
+    The prepare itself is volatile: a crash while held aborts it on
+    recovery, because the WAL bracket was never closed with a commit
+    marker.
+    """
+
+    __slots__ = ("db", "results", "requirements", "_ctx")
+
+    def __init__(
+        self,
+        db: Database,
+        ctx: _TransactionContext,
+        results: list[Tuple | None],
+        requirements: list[dict[str, Any]],
+    ):
+        self.db = db
+        self.results = results
+        self.requirements = requirements
+        self._ctx: _TransactionContext | None = ctx
+
+    @property
+    def decided(self) -> bool:
+        """Whether the hold has already been committed or aborted."""
+        return self._ctx is None
+
+    def commit(self) -> list[Tuple | None]:
+        """Make the batch permanent (the requirements were satisfied)."""
+        ctx, self._ctx = self._take(), None
+        ctx.__exit__(None, None, None)
+        return self.results
+
+    def abort(self) -> None:
+        """Roll the batch back (a requirement failed, or the router
+        aborted the distributed batch)."""
+        ctx, self._ctx = self._take(), None
+        exc = ValueError("prepared batch aborted")
+        ctx.__exit__(ValueError, exc, None)
+
+    def _take(self) -> _TransactionContext:
+        if self._ctx is None:
+            raise RuntimeError("prepared batch already decided")
+        return self._ctx

@@ -32,8 +32,9 @@ from repro.relational.tuples import NULL, Tuple
 #: A compiled projection: mapping of attribute values -> value tuple.
 Extractor = Callable[[Mapping[str, Any]], tuple]
 
-#: A compiled per-tuple null check.
-NullCheck = Callable[[Tuple], bool]
+#: A compiled per-tuple null check, over the tuple's attribute mapping
+#: (so the bulk path can run it on not-yet-materialized row dicts).
+NullCheck = Callable[[Mapping[str, Any]], bool]
 
 
 def attr_extractor(names: Sequence[str]) -> Extractor:
@@ -62,13 +63,15 @@ def compile_null_check(constraint: NullConstraint) -> NullCheck:
     The three concrete constraint classes are compiled into closures
     over plain dict lookups (identity tests against the ``NULL``
     singleton); unknown subclasses fall back to ``constraint.holds_for``.
+    Checks take the row's attribute *mapping* (a ``Tuple.mapping`` or a
+    raw row dict), so both the per-row and the columnar bulk path can
+    call them without materializing tuples first.
     """
     if isinstance(constraint, NullExistenceConstraint):
         lhs = tuple(sorted(constraint.lhs))
         rhs = tuple(sorted(constraint.rhs))
 
-        def check_existence(t: Tuple) -> bool:
-            values = t.mapping
+        def check_existence(values: Mapping[str, Any]) -> bool:
             for name in lhs:
                 if values[name] is NULL:
                     return True
@@ -81,8 +84,7 @@ def compile_null_check(constraint: NullConstraint) -> NullCheck:
     if isinstance(constraint, PartNullConstraint):
         groups = tuple(tuple(sorted(g)) for g in constraint.groups)
 
-        def check_part_null(t: Tuple) -> bool:
-            values = t.mapping
+        def check_part_null(values: Mapping[str, Any]) -> bool:
             for group in groups:
                 if all(values[name] is not NULL for name in group):
                     return True
@@ -92,8 +94,7 @@ def compile_null_check(constraint: NullConstraint) -> NullCheck:
     if isinstance(constraint, TotalEqualityConstraint):
         pairs = tuple(zip(constraint.lhs, constraint.rhs))
 
-        def check_total_equality(t: Tuple) -> bool:
-            values = t.mapping
+        def check_total_equality(values: Mapping[str, Any]) -> bool:
             for a, b in pairs:
                 if values[a] is NULL or values[b] is NULL:
                     return True
@@ -103,7 +104,11 @@ def compile_null_check(constraint: NullConstraint) -> NullCheck:
             return True
 
         return check_total_equality
-    return constraint.holds_for
+
+    def check_fallback(values: Mapping[str, Any]) -> bool:
+        return constraint.holds_for(Tuple(values))
+
+    return check_fallback
 
 
 class CompiledReference:
@@ -155,6 +160,7 @@ class SchemeAccessPlan:
         "pk",
         "candidate_keys",
         "null_checks",
+        "bulk_null_checks",
         "outgoing",
         "incoming",
     )
@@ -178,6 +184,20 @@ class SchemeAccessPlan:
         self.null_checks: tuple[tuple[NullConstraint, NullCheck], ...] = tuple(
             (c, compile_null_check(c))
             for c in schema.null_constraints_of(scheme.name)
+        )
+        #: Null checks the bulk path must still run per row: a
+        #: nulls-not-allowed constraint over key attributes only is
+        #: implied by the primary key's own totality filter, so the
+        #: columnar path (:mod:`repro.engine.rows`) skips it.
+        key_set = frozenset(scheme.key_names)
+        self.bulk_null_checks: tuple[tuple[NullConstraint, NullCheck], ...] = tuple(
+            (c, check)
+            for c, check in self.null_checks
+            if not (
+                isinstance(c, NullExistenceConstraint)
+                and c.is_nulls_not_allowed()
+                and c.rhs <= key_set
+            )
         )
         self.outgoing: tuple[CompiledReference, ...] = tuple(
             CompiledReference(

@@ -26,9 +26,9 @@ Layout::
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
-__all__ = ["render_dashboard"]
+__all__ = ["render_dashboard", "render_fleet_dashboard"]
 
 #: ANSI: cursor home + clear to end of screen (repaint in place).
 CLEAR = "\x1b[H\x1b[J"
@@ -164,4 +164,138 @@ def render_dashboard(
         f"{k} {cur.get(k, 0)}" for k in engine_keys if cur.get(k)
     )
     lines.append(f"engine: {engine or 'idle'}")
+    return "\n".join(lines) + "\n"
+
+
+def _worker_id(stats: Mapping[str, Any], fallback: int) -> int:
+    server = stats.get("server")
+    if isinstance(server, Mapping):
+        shard = server.get("shard")
+        if isinstance(shard, Mapping):
+            try:
+                return int(shard.get("worker_id", fallback))
+            except (TypeError, ValueError):
+                return fallback
+    return fallback
+
+
+def render_fleet_dashboard(
+    snapshots: Sequence[Mapping[str, Any]],
+    prev_snapshots: Sequence[Mapping[str, Any]] | None = None,
+    interval: float = 2.0,
+    title: str = "repro monitor",
+) -> str:
+    """One dashboard frame for a sharded fleet: a per-worker row each
+    (worker id column) plus a ``fleet`` totals row.
+
+    ``snapshots`` is the list of per-worker ``stats`` results in worker
+    order, as :meth:`repro.client.ShardedClient.stats` returns them.
+    ``prev_snapshots`` (same shape) enables throughput deltas, matched
+    by worker id so a respawned fleet still renders.
+    """
+    lines: list[str] = []
+    lines.append(f"{title} — {len(snapshots)} workers — every {interval:g}s")
+    lines.append("")
+
+    prev_by_id: dict[int, Mapping[str, Any]] = {}
+    for i, snap in enumerate(prev_snapshots or ()):
+        prev_by_id[_worker_id(snap, i)] = snap
+
+    header = (
+        f"{'worker':<8}{'requests':>10}{'rate':>12}{'conn':>6}"
+        f"{'queue':>7}{'mutations':>11}{'prepares':>12}{'violations':>12}"
+    )
+    lines.append(header)
+
+    totals = {
+        "requests": 0,
+        "conn": 0,
+        "queue": 0,
+        "mutations": 0,
+        "committed": 0,
+        "aborted": 0,
+        "expired": 0,
+        "violations": 0,
+    }
+    total_rate = 0.0
+    have_rate = False
+    poisoned: list[int] = []
+
+    rows = sorted(
+        (
+            (_worker_id(snap, i), snap)
+            for i, snap in enumerate(snapshots)
+        ),
+        key=lambda pair: pair[0],
+    )
+    for wid, snap in rows:
+        server = (
+            snap.get("server") if isinstance(snap.get("server"), Mapping) else {}
+        )
+        prev_server_snap = prev_by_id.get(wid)
+        prev_server = (
+            prev_server_snap.get("server")
+            if prev_server_snap is not None
+            and isinstance(prev_server_snap.get("server"), Mapping)
+            else {}
+        )
+        requests = int(server.get("requests_served", 0))
+        prev_requests = prev_server.get("requests_served")
+        if prev_requests is not None and interval > 0:
+            rate = (requests - prev_requests) / interval
+            total_rate += rate
+            have_rate = True
+            rate_s = f"{rate:.1f}/s"
+        else:
+            rate_s = "-"
+        conn = int(server.get("connections", 0))
+        queue = int(server.get("queue_depth", 0))
+        mutations = sum(
+            int(snap.get(k, 0)) for k in ("inserts", "deletes", "updates")
+        )
+        prepares = server.get("prepares")
+        if isinstance(prepares, Mapping):
+            committed = int(prepares.get("committed", 0))
+            aborted = int(prepares.get("aborted", 0))
+            expired = int(prepares.get("expired", 0))
+            prepares_s = f"{committed}/{aborted}/{expired}"
+        else:
+            committed = aborted = expired = 0
+            prepares_s = "-"
+        violations = sum(
+            int(s["value"])
+            for s in _metric_samples(snap, "repro_server_violations_total")
+        )
+        totals["requests"] += requests
+        totals["conn"] += conn
+        totals["queue"] += queue
+        totals["mutations"] += mutations
+        totals["committed"] += committed
+        totals["aborted"] += aborted
+        totals["expired"] += expired
+        totals["violations"] += violations
+        if server.get("poisoned"):
+            poisoned.append(wid)
+        lines.append(
+            f"{'w%d' % wid:<8}{requests:>10}{rate_s:>12}{conn:>6}"
+            f"{queue:>7}{mutations:>11}{prepares_s:>12}{violations:>12}"
+        )
+
+    total_rate_s = f"{total_rate:.1f}/s" if have_rate else "-"
+    total_prepares_s = (
+        f"{totals['committed']}/{totals['aborted']}/{totals['expired']}"
+    )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'fleet':<8}{totals['requests']:>10}{total_rate_s:>12}"
+        f"{totals['conn']:>6}{totals['queue']:>7}{totals['mutations']:>11}"
+        f"{total_prepares_s:>12}{totals['violations']:>12}"
+    )
+    if poisoned:
+        lines.append("")
+        lines.append(
+            "POISONED workers: " + ", ".join(f"w{w}" for w in poisoned)
+        )
+    lines.append("")
+    lines.append("prepares column: committed/aborted/expired")
     return "\n".join(lines) + "\n"

@@ -17,7 +17,12 @@ Layering:
   single-writer transaction manager with the group-commit WAL path;
 * :mod:`repro.server.server` -- the asyncio accept loop with connection
   limits, backpressure, graceful drain, and the sidecar HTTP endpoint
-  serving ``/metrics``, ``/healthz`` and ``/readyz``.
+  serving ``/metrics``, ``/healthz`` and ``/readyz``;
+* :mod:`repro.server.router` -- the hash-partitioning function and
+  shard map of the multi-core fleet;
+* :mod:`repro.server.supervisor` -- the parent process that binds the
+  fleet's sockets, spawns one single-writer worker per core, respawns
+  crashed workers through WAL recovery, and drains the fleet.
 
 Telemetry runs end to end: the service records per-verb request
 counters and latencies, violation counters labeled by constraint kind
@@ -37,6 +42,7 @@ from repro.server.protocol import (
     RemoteConstraintViolation,
     RemoteError,
 )
+from repro.server.router import ShardMap, shard_of
 from repro.server.server import (
     ReproServer,
     ServerConfig,
@@ -44,7 +50,7 @@ from repro.server.server import (
     drain_summary,
     serve,
 )
-from repro.server.service import DatabaseService, ServerMetrics
+from repro.server.service import DatabaseService, ServerMetrics, ShardInfo
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -55,7 +61,10 @@ __all__ = [
     "ServerConfig",
     "ServerMetrics",
     "ServerThread",
+    "ShardInfo",
+    "ShardMap",
     "DatabaseService",
     "drain_summary",
     "serve",
+    "shard_of",
 ]

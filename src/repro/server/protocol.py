@@ -58,7 +58,33 @@ Verbs (dispatched by :mod:`repro.server.service`):
 ``stats``                 -> the :meth:`EngineStats.snapshot` dict plus
                           a ``server`` key (request/queue gauges and
                           the metric registry snapshot)
+``topology``              -> ``{"workers", "worker_id", "host",
+                          "ports", "shared_port"}`` -- the shard map a
+                          router needs (a plain single-process server
+                          reports ``workers: 1`` and an empty port
+                          list, meaning "this address serves
+                          everything")
+``exists``                ``scheme``, ``attrs``, ``value`` -> whether
+                          any local row of ``scheme`` carries ``value``
+                          under ``attrs`` (the router's cross-shard
+                          reference probe; sees held-prepare state)
+``batch_prepare``         ``xid``, ``ops`` -> ``{"xid", "requirements"}``
+                          -- phase one of a sharded batch: apply the
+                          ops in an open transaction, return the
+                          reference checks this shard cannot answer
+                          alone, and hold the writer until the decision
+``batch_commit``          ``xid`` -> list of row/``null`` (the batch's
+                          results), after a durability barrier
+``batch_abort``           ``xid`` -> ``null``; rolls the prepare back
 ========================  =====================================================
+
+Sharding (see ``docs/SERVER.md``): each worker of a sharded fleet owns
+the rows whose primary key hashes to it (:mod:`repro.server.router`).
+Single-shard mutations sent to the wrong worker are rejected with a
+``wrong-shard`` error frame carrying the owning ``worker`` index;
+``batch_commit``/``batch_abort`` for an unknown transfer id get
+``no-prepared-batch``, and a decision arriving after the hold timed out
+gets ``prepare-expired``.
 """
 
 from __future__ import annotations
@@ -89,13 +115,23 @@ VERBS = (
     "explain",
     "metrics",
     "stats",
+    "topology",
+    "exists",
+    "batch_prepare",
+    "batch_commit",
+    "batch_abort",
 )
 
 #: The verbs that mutate state and therefore go through the
 #: single-writer group-commit path (the rest execute as snapshot reads).
+#: ``batch_commit``/``batch_abort`` are neither: they are decisions
+#: delivered straight to the writer already holding their prepare.
 MUTATION_VERBS = frozenset(
-    ("insert", "update", "delete", "insert_many", "apply_batch")
+    ("insert", "update", "delete", "insert_many", "apply_batch", "batch_prepare")
 )
+
+#: Decision verbs for a held prepare (routed around the mutation queue).
+DECISION_VERBS = frozenset(("batch_commit", "batch_abort"))
 
 
 class ProtocolError(ValueError):

@@ -27,8 +27,9 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import signal
+import socket
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine.database import Database
 from repro.engine.wal import WalError
@@ -39,7 +40,7 @@ from repro.server.protocol import (
     encode_frame,
     error_frame,
 )
-from repro.server.service import DatabaseService, Session
+from repro.server.service import DatabaseService, Session, ShardInfo
 
 
 @dataclass
@@ -73,6 +74,18 @@ class ServerConfig:
     #: (read it back from :attr:`ReproServer.metrics_port`), ``None``
     #: disables the listener.
     metrics_port: int | None = None
+    #: Already-bound listening sockets to serve on instead of binding
+    #: ``host:port`` -- how a supervisor worker serves its own direct
+    #: port plus the fleet's shared port from parent-bound, fd-passed
+    #: sockets (:mod:`repro.server.supervisor`).  The first socket's
+    #: port is reported as :attr:`ReproServer.port`.
+    sockets: list[socket.socket] = field(default_factory=list)
+    #: This worker's place in a sharded fleet; ``None`` on a plain
+    #: single-process server.
+    shard: ShardInfo | None = None
+    #: How long the writer holds a cross-shard prepare before aborting
+    #: it unilaterally.
+    prepare_timeout: float = 30.0
 
 
 class ReproServer:
@@ -87,6 +100,8 @@ class ReproServer:
             max_delay=self.config.max_delay,
             queue_depth=self.config.queue_depth,
             metrics=self.config.metrics,
+            shard=self.config.shard,
+            prepare_timeout=self.config.prepare_timeout,
         )
         self.host = self.config.host
         self.port: int | None = None
@@ -103,7 +118,7 @@ class ReproServer:
         #: Error (if any) raised while checkpointing/closing the WAL
         #: during drain; drain itself never raises.
         self.drain_error: Exception | None = None
-        self._server: asyncio.base_events.Server | None = None
+        self._servers: list[asyncio.base_events.Server] = []
         self._connections: set[asyncio.Task] = set()
         self._draining = asyncio.Event()
         self._drained = asyncio.Event()
@@ -113,13 +128,26 @@ class ReproServer:
     async def start(self) -> None:
         """Bind the listeners and start the writer task."""
         await self.service.start()
-        self._server = await asyncio.start_server(
-            self._on_client,
-            self.host,
-            self.config.port,
-            limit=MAX_FRAME_BYTES,
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        if self.config.sockets:
+            # Parent-bound, fd-passed listeners (the supervisor's
+            # workers): one direct socket for routed traffic, plus the
+            # fleet-shared socket every worker accepts from.
+            self._servers = [
+                await asyncio.start_server(
+                    self._on_client, sock=s, limit=MAX_FRAME_BYTES
+                )
+                for s in self.config.sockets
+            ]
+        else:
+            self._servers = [
+                await asyncio.start_server(
+                    self._on_client,
+                    self.host,
+                    self.config.port,
+                    limit=MAX_FRAME_BYTES,
+                )
+            ]
+        self.port = self._servers[0].sockets[0].getsockname()[1]
         if self.config.metrics_port is not None:
             self._metrics_server = await asyncio.start_server(
                 self._on_metrics_client,
@@ -141,9 +169,9 @@ class ReproServer:
             await self._drained.wait()
             return
         self._draining.set()
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
         if self._connections:
             await asyncio.gather(
                 *list(self._connections), return_exceptions=True
@@ -376,9 +404,10 @@ async def serve(
     """
     server = ReproServer(db, config)
     await server.start()
-    print(f"listening on {server.host}:{server.port}", flush=True)
-    if server.metrics_port is not None:
-        print(f"metrics on {server.host}:{server.metrics_port}", flush=True)
+    # Handlers must be live before the readiness line: the supervisor
+    # (and scripts) treat that line as "safe to SIGTERM", and a worker
+    # descheduled between the print and the installation would die with
+    # the default disposition instead of draining.
     if install_signal_handlers:
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGTERM, signal.SIGINT):
@@ -387,6 +416,9 @@ async def serve(
                     sig,
                     lambda: asyncio.ensure_future(server.drain()),
                 )
+    print(f"listening on {server.host}:{server.port}", flush=True)
+    if server.metrics_port is not None:
+        print(f"metrics on {server.host}:{server.metrics_port}", flush=True)
     await server.wait_drained()
     return server
 

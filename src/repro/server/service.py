@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Mapping
@@ -52,16 +53,42 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import CorrelatingTracer
 from repro.server import protocol
 from repro.server.protocol import (
+    DECISION_VERBS,
     MUTATION_VERBS,
     VERBS,
     ProtocolError,
     decode_pk,
     decode_row,
+    encode_pk,
     encode_row,
     error_frame,
     ok_frame,
     violation_frame,
 )
+from repro.server.router import shard_of
+
+
+class WrongShardError(Exception):
+    """A single-shard request landed on a worker that does not own its
+    primary key; the error frame carries the owning worker index so a
+    router-less client can still find its way."""
+
+    def __init__(self, worker: int):
+        super().__init__(f"row belongs to worker {worker}")
+        self.worker = worker
+
+
+@dataclass
+class ShardInfo:
+    """This worker's place in a sharded fleet (``None`` on a plain
+    single-process server): its index, the fleet size, and where every
+    worker listens -- what the ``topology`` verb reports."""
+
+    worker_id: int = 0
+    n_shards: int = 1
+    host: str = "127.0.0.1"
+    ports: list[int] = field(default_factory=list)
+    shared_port: int | None = None
 
 
 @dataclass
@@ -183,6 +210,12 @@ class ServerMetrics:
             "repro_server_wal_sync_seconds",
             "Latency of the group-commit WAL sync barrier.",
         )
+        self.prepares = r.counter(
+            "repro_server_prepares_total",
+            "Cross-shard batch prepares, by final outcome "
+            "(committed / aborted / expired).",
+            labelnames=("outcome",),
+        )
 
 
 class DatabaseService:
@@ -195,6 +228,8 @@ class DatabaseService:
         max_delay: float = 0.002,
         queue_depth: int = 1024,
         metrics: bool = True,
+        shard: ShardInfo | None = None,
+        prepare_timeout: float = 30.0,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -204,6 +239,16 @@ class DatabaseService:
         self.query = QueryEngine(db)
         self.max_batch = max_batch
         self.max_delay = max_delay
+        #: This worker's place in a sharded fleet; ``None`` disables
+        #: shard ownership enforcement and makes ``topology`` report a
+        #: one-worker world.
+        self.shard = shard
+        #: How long the writer holds a prepared batch awaiting its
+        #: commit/abort decision before aborting it unilaterally.
+        self.prepare_timeout = prepare_timeout
+        self._key_names: dict[str, tuple[str, ...]] = {
+            s.name: s.key_names for s in db.schema.schemes
+        }
         #: Why the WAL is unusable (``None`` = healthy).  Set on the
         #: first storage fault; every later mutation gets a
         #: ``wal-error`` frame until the process crash-recovers.
@@ -225,6 +270,23 @@ class DatabaseService:
         self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
         self._writer: asyncio.Task | None = None
         self._stopping = False
+        #: Commit/abort decisions for a held prepare, routed around the
+        #: mutation queue (the writer is parked on this queue while it
+        #: holds one).
+        self._decisions: asyncio.Queue = asyncio.Queue()
+        #: A ``batch_prepare`` item pulled out of a forming group; the
+        #: writer handles it solo on its next iteration.
+        self._deferred: tuple | None = None
+        #: The transfer id of the currently held prepare (``None`` when
+        #: no prepare is in flight) and the last few ids whose holds
+        #: timed out, so a late decision gets ``prepare-expired`` rather
+        #: than the generic ``no-prepared-batch``.
+        self._held_xid: str | None = None
+        self._expired_xids: deque[str] = deque(maxlen=8)
+        self.prepares = 0
+        self.prepare_commits = 0
+        self.prepare_aborts = 0
+        self.prepare_expired = 0
         #: Server-layer metric families (``None`` disables the registry
         #: entirely -- the configuration ``bench_server --metrics``
         #: compares against).
@@ -255,6 +317,9 @@ class DatabaseService:
         if self._writer is None:
             return
         self._stopping = True
+        # A held prepare parks the writer on the decision queue; the
+        # drain decision aborts it so the sentinel below can be reached.
+        self._decisions.put_nowait(("__drain__", False, None, None))
         await self._queue.put(None)
         await self._writer
         self._writer = None
@@ -292,6 +357,10 @@ class DatabaseService:
                 f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}",
             )
             return self._finish(session, "invalid", trace_id, started, response)
+        if verb in DECISION_VERBS:
+            session.mutations += 1
+            response = await self._handle_decision(verb, frame, request_id)
+            return self._finish(session, verb, trace_id, started, response)
         if verb in MUTATION_VERBS:
             session.mutations += 1
             if self._stopping:
@@ -356,6 +425,173 @@ class DatabaseService:
                     ).inc()
         return response
 
+    # -- sharding ----------------------------------------------------------
+
+    async def _handle_decision(
+        self, verb: str, frame: Mapping[str, Any], request_id: Any
+    ) -> dict[str, Any]:
+        """Route a ``batch_commit``/``batch_abort`` to the writer
+        holding the named prepare (decisions skip the mutation queue --
+        the writer is parked on the decision queue, not draining
+        mutations, while it holds one)."""
+        xid = frame.get("xid")
+        if not isinstance(xid, str):
+            return error_frame(
+                request_id, "bad-request", "parameter 'xid' must be a string"
+            )
+        if self._held_xid != xid:
+            if xid in self._expired_xids:
+                return error_frame(
+                    request_id,
+                    "prepare-expired",
+                    f"prepared batch {xid!r} timed out and was aborted",
+                )
+            return error_frame(
+                request_id,
+                "no-prepared-batch",
+                f"no prepared batch {xid!r} is held here",
+            )
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._decisions.put_nowait(
+            (xid, verb == "batch_commit", future, request_id)
+        )
+        return await future
+
+    def _check_shard(self, verb: str, frame: Mapping[str, Any]) -> None:
+        """Reject single-shard requests whose primary key this worker
+        does not own (:class:`WrongShardError` names the owner).
+
+        Malformed parameters are left alone -- the normal decode path
+        produces the right ``bad-request``/``not-found`` answer, and a
+        row the engine would reject is rejected identically on every
+        worker.
+        """
+        shard = self.shard
+        if shard is None or shard.n_shards <= 1:
+            return
+        me, n = shard.worker_id, shard.n_shards
+        if verb == "insert":
+            owner = self._owner_of_row(frame.get("scheme"), frame.get("row"), n)
+        elif verb in ("update", "delete", "get"):
+            pk = frame.get("pk")
+            if not isinstance(frame.get("scheme"), str) or not isinstance(
+                pk, list
+            ):
+                return
+            owner = shard_of(frame["scheme"], pk, n)
+            if verb == "update" and owner == me:
+                owner = self._owner_after_update(
+                    frame["scheme"], pk, frame.get("updates"), n
+                )
+        elif verb == "insert_many":
+            scheme = frame.get("scheme")
+            rows = frame.get("rows")
+            if not isinstance(rows, list):
+                return
+            for row in rows:
+                owner = self._owner_of_row(scheme, row, n)
+                if owner is not None and owner != me:
+                    raise WrongShardError(owner)
+            return
+        elif verb in ("apply_batch", "batch_prepare"):
+            ops = frame.get("ops")
+            if not isinstance(ops, list):
+                return
+            for op in ops:
+                owner = self._owner_of_op(op, n)
+                if owner is not None and owner != me:
+                    raise WrongShardError(owner)
+            return
+        else:
+            return
+        if owner is not None and owner != me:
+            raise WrongShardError(owner)
+
+    def _owner_after_update(
+        self, scheme: str, pk: Any, updates: Any, n: int
+    ) -> int | None:
+        """Owning shard of the row an update would produce.  A key
+        change that would hash the row onto another worker is rejected
+        (rows never migrate between shards; model it as delete +
+        insert)."""
+        keys = self._key_names.get(scheme)
+        if (
+            not keys
+            or not isinstance(updates, dict)
+            or not isinstance(pk, list)
+            or len(pk) != len(keys)
+            or not any(k in updates for k in keys)
+        ):
+            return None
+        new_pk = [updates.get(k, old) for k, old in zip(keys, pk)]
+        return shard_of(scheme, new_pk, n)
+
+    def _owner_of_row(self, scheme: Any, row: Any, n: int) -> int | None:
+        if not isinstance(scheme, str) or not isinstance(row, dict):
+            return None
+        keys = self._key_names.get(scheme)
+        if keys is None:
+            return None
+        try:
+            pk_wire = [row[k] for k in keys]
+        except KeyError:
+            return None  # shape check rejects it identically everywhere
+        return shard_of(scheme, pk_wire, n)
+
+    def _owner_of_op(self, op: Any, n: int) -> int | None:
+        if not isinstance(op, list) or len(op) < 3:
+            return None
+        kind, scheme = op[0], op[1]
+        if kind == "insert":
+            return self._owner_of_row(scheme, op[2], n)
+        if kind in ("update", "delete") and isinstance(scheme, str):
+            pk = op[2]
+            if not isinstance(pk, list):
+                pk = [pk]
+            owner = shard_of(scheme, pk, n)
+            if (
+                kind == "update"
+                and self.shard is not None
+                and owner == self.shard.worker_id
+                and len(op) > 3
+            ):
+                after = self._owner_after_update(scheme, pk, op[3], n)
+                if after is not None:
+                    return after
+            return owner
+        return None
+
+    def _topology(self) -> dict[str, Any]:
+        schema = self.db.schema
+        referencing = {ind.lhs_scheme for ind in schema.inds}
+        referenced = {ind.rhs_scheme for ind in schema.inds}
+        schemes = {
+            s.name: {
+                "key": list(s.key_names),
+                "refs_out": s.name in referencing,
+                "refs_in": s.name in referenced,
+            }
+            for s in schema.schemes
+        }
+        shard = self.shard
+        if shard is None:
+            return {
+                "workers": 1,
+                "worker_id": 0,
+                "host": "",
+                "ports": [],
+                "shared_port": None,
+                "schemes": schemes,
+            }
+        return {
+            "workers": shard.n_shards,
+            "worker_id": shard.worker_id,
+            "host": shard.host,
+            "ports": list(shard.ports),
+            "shared_port": shard.shared_port,
+            "schemes": schemes,
+        }
+
     # -- reads (inline, snapshot-consistent) ------------------------------
 
     def _execute_read(
@@ -363,12 +599,24 @@ class DatabaseService:
     ) -> dict[str, Any]:
         try:
             if verb == "get":
+                self._check_shard("get", frame)
                 t = self.db.get(
                     _require(frame, "scheme", str),
                     decode_pk(_require(frame, "pk", list)),
                 )
                 return ok_frame(
                     request_id, encode_row(t.mapping) if t else None
+                )
+            if verb == "topology":
+                return ok_frame(request_id, self._topology())
+            if verb == "exists":
+                scheme = _require(frame, "scheme", str)
+                attrs = tuple(_require(frame, "attrs", list))
+                value = decode_pk(_require(frame, "value", list))
+                self.db.table(scheme)  # unknown scheme -> not-found
+                return ok_frame(
+                    request_id,
+                    {"exists": self.db._referenced_exists(scheme, attrs, value)},
                 )
             if verb == "join_to":
                 return ok_frame(request_id, self._join_to(frame))
@@ -402,6 +650,10 @@ class DatabaseService:
                 snap["server"] = self.server_stats()
                 return ok_frame(request_id, snap)
             raise ProtocolError(f"unhandled read verb {verb!r}")
+        except WrongShardError as exc:
+            return error_frame(
+                request_id, "wrong-shard", str(exc), worker=exc.worker
+            )
         except ProtocolError as exc:
             return error_frame(request_id, "bad-request", str(exc))
         except KeyError as exc:
@@ -431,7 +683,19 @@ class DatabaseService:
             "inflight": self.inflight,
             "queue_depth": self._queue.qsize(),
             "poisoned": self.poisoned,
+            "prepares": {
+                "held": self._held_xid is not None,
+                "prepared": self.prepares,
+                "committed": self.prepare_commits,
+                "aborted": self.prepare_aborts,
+                "expired": self.prepare_expired,
+            },
         }
+        if self.shard is not None:
+            out["shard"] = {
+                "worker_id": self.shard.worker_id,
+                "workers": self.shard.n_shards,
+            }
         if self.metrics is not None:
             out["metrics"] = self.metrics.registry.snapshot()
         return out
@@ -470,12 +734,24 @@ class DatabaseService:
     # -- the single-writer group-commit pipeline ---------------------------
 
     async def _write_loop(self) -> None:
-        """Pop mutation batches off the queue forever (until sentinel)."""
+        """Pop mutation batches off the queue forever (until sentinel).
+
+        ``batch_prepare`` items never join a group: the writer handles
+        each solo (:meth:`_run_prepare`), holding the open transaction
+        until the router's decision arrives, so no other mutation can
+        interleave with a half-decided cross-shard batch.
+        """
         loop = asyncio.get_running_loop()
         while True:
-            item = await self._queue.get()
+            if self._deferred is not None:
+                item, self._deferred = self._deferred, None
+            else:
+                item = await self._queue.get()
             if item is None:
                 return
+            if item[0] == "batch_prepare":
+                await self._run_prepare(item)
+                continue
             batch = [item]
             stop_after = False
             deadline = loop.time() + self.max_delay
@@ -501,10 +777,172 @@ class DatabaseService:
                 if nxt is None:
                     stop_after = True
                     break
+                if nxt[0] == "batch_prepare":
+                    self._deferred = nxt  # solo, after this group commits
+                    break
                 batch.append(nxt)
             self._commit_group(batch)
             if stop_after:
                 return
+
+    async def _run_prepare(self, item: tuple) -> None:
+        """Phase one of a sharded batch, run solo by the writer.
+
+        Applies the ops in an open engine transaction, acks the prepare
+        with the requirements only other shards can answer, then parks
+        on the decision queue until ``batch_commit``/``batch_abort``
+        arrives (or :attr:`prepare_timeout` expires, which aborts).  The
+        commit path ends with the same :meth:`Database.sync_wal`
+        durability barrier as a group commit -- results are never acked
+        before the batch is durable.  The prepare itself is volatile:
+        its WAL bracket has no commit marker until the decision, so a
+        crash while holding aborts it on recovery.
+        """
+        _verb, frame, request_id, trace_id, future = item
+        if self.poisoned is not None:
+            self._ack_mutation(future, self._poisoned_frame(request_id))
+            return
+        if self._correlator is not None:
+            self._correlator.trace_id = trace_id
+        prepared = None
+        try:
+            xid = _require(frame, "xid", str)
+            self._check_shard("batch_prepare", frame)
+            ops = _decode_batch_ops(_require(frame, "ops", list))
+            prepared = self.db.apply_batch_prepare(ops)
+        except ConstraintViolationError as exc:
+            self._ack_mutation(future, violation_frame(request_id, exc))
+        except WrongShardError as exc:
+            self._ack_mutation(
+                future,
+                error_frame(
+                    request_id, "wrong-shard", str(exc), worker=exc.worker
+                ),
+            )
+        except ProtocolError as exc:
+            self._ack_mutation(
+                future, error_frame(request_id, "bad-request", str(exc))
+            )
+        except KeyError as exc:
+            self._ack_mutation(
+                future, error_frame(request_id, "not-found", str(exc))
+            )
+        except WalError as exc:
+            self.poisoned = str(exc)
+            self._ack_mutation(
+                future, error_frame(request_id, "wal-error", str(exc))
+            )
+        except ValueError as exc:
+            self._ack_mutation(
+                future, error_frame(request_id, "bad-request", str(exc))
+            )
+        except Exception as exc:
+            self._ack_mutation(
+                future, error_frame(request_id, "server-error", repr(exc))
+            )
+        finally:
+            if self._correlator is not None:
+                self._correlator.trace_id = None
+        if prepared is None:
+            return
+        self.prepares += 1
+        self._held_xid = xid
+        requirements = [
+            {
+                "kind": r["kind"],
+                "scheme": r["scheme"],
+                "attrs": r["attrs"],
+                "value": encode_pk(tuple(r["value"])),
+                "constraint": r["constraint"],
+                **(
+                    {
+                        "child_scheme": r["child_scheme"],
+                        "child_attrs": r["child_attrs"],
+                    }
+                    if r["kind"] == "restrict"
+                    else {}
+                ),
+            }
+            for r in prepared.requirements
+        ]
+        self._ack_mutation(
+            future,
+            ok_frame(request_id, {"xid": xid, "requirements": requirements}),
+        )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.prepare_timeout
+        try:
+            while True:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise asyncio.TimeoutError
+                dxid, commit, dfuture, drequest_id = await asyncio.wait_for(
+                    self._decisions.get(), remaining
+                )
+                if dxid == "__drain__":
+                    prepared.abort()
+                    self.prepare_aborts += 1
+                    self._observe_prepare("aborted")
+                    return
+                if dxid != xid:
+                    # A stale decision (its hold already resolved).
+                    if dfuture is not None and not dfuture.done():
+                        dfuture.set_result(
+                            error_frame(
+                                drequest_id,
+                                "no-prepared-batch",
+                                f"no prepared batch {dxid!r} is held here",
+                            )
+                        )
+                    continue
+                break
+        except asyncio.TimeoutError:
+            prepared.abort()
+            self.prepare_expired += 1
+            self._expired_xids.append(xid)
+            self._observe_prepare("expired")
+            return
+        finally:
+            self._held_xid = None
+        if not commit:
+            prepared.abort()
+            self.prepare_aborts += 1
+            self._observe_prepare("aborted")
+            if not dfuture.done():
+                dfuture.set_result(ok_frame(drequest_id, None))
+            return
+        try:
+            results = prepared.commit()
+            self.db.sync_wal()
+        except (WalError, OSError) as exc:
+            self.poisoned = str(exc)
+            outcome = self._poisoned_frame(drequest_id)
+        except Exception as exc:
+            outcome = error_frame(drequest_id, "server-error", repr(exc))
+        else:
+            self.prepare_commits += 1
+            self._observe_prepare("committed")
+            outcome = ok_frame(
+                drequest_id,
+                [
+                    encode_row(t.mapping) if t is not None else None
+                    for t in results
+                ],
+            )
+        if not dfuture.done():
+            dfuture.set_result(outcome)
+
+    def _observe_prepare(self, outcome: str) -> None:
+        if self.metrics is not None:
+            self.metrics.prepares.labels(outcome=outcome).inc()
+
+    def _ack_mutation(self, future: asyncio.Future, outcome: dict) -> None:
+        """Resolve one queued mutation's future (inflight bookkeeping
+        included -- every queued item must pass through exactly one
+        ack)."""
+        self.inflight -= 1
+        if not future.done():
+            future.set_result(outcome)
 
     def _commit_group(self, batch: list[tuple]) -> None:
         """Apply one batch, issue the group-commit barrier, then ack.
@@ -524,6 +962,12 @@ class DatabaseService:
                 result = self._execute_mutation(verb, frame)
             except ConstraintViolationError as exc:
                 outcomes.append(violation_frame(request_id, exc))
+            except WrongShardError as exc:
+                outcomes.append(
+                    error_frame(
+                        request_id, "wrong-shard", str(exc), worker=exc.worker
+                    )
+                )
             except ProtocolError as exc:
                 outcomes.append(
                     error_frame(request_id, "bad-request", str(exc))
@@ -588,6 +1032,7 @@ class DatabaseService:
         )
 
     def _execute_mutation(self, verb: str, frame: Mapping[str, Any]) -> Any:
+        self._check_shard(verb, frame)
         if verb == "insert":
             t = self.db.insert(
                 _require(frame, "scheme", str),

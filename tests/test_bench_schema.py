@@ -68,6 +68,40 @@ def test_missing_metrics_overhead_field_is_caught():
     assert any("metrics_on" in p for p in validate_report(broken))
 
 
+def test_missing_sharded_field_is_caught():
+    report = _committed_report()
+    if "server_sharded" not in report:  # tolerate a pre-sharding report
+        return
+    broken = copy.deepcopy(report)
+    del broken["server_sharded"]["sharded_speedup_x"]
+    assert any("sharded_speedup_x" in p for p in validate_report(broken))
+    broken = copy.deepcopy(report)
+    run = next(
+        k for k in broken["server_sharded"] if k.startswith("workers_")
+    )
+    del broken["server_sharded"][run]["inserts_per_s"]
+    assert any(
+        f"server_sharded.{run}" in p for p in validate_report(broken)
+    )
+    broken = copy.deepcopy(report)
+    for k in [
+        k for k in broken["server_sharded"] if k.startswith("workers_")
+    ][1:]:
+        del broken["server_sharded"][k]
+    assert any(
+        "at least two workers_N runs" in p for p in validate_report(broken)
+    )
+
+
+def test_missing_slotted_column_is_caught():
+    report = _committed_report()
+    del report["results"][0]["slotted_speedup_x"]
+    problems = validate_report(report)
+    assert any(
+        "results[0]" in p and "slotted_speedup_x" in p for p in problems
+    )
+
+
 def test_non_object_report_is_rejected():
     assert validate_report([]) != []
     assert any(
