@@ -5,8 +5,10 @@ The benchmark report is written by four harnesses --
 ``benchmarks/bench_engine.py`` (the per-size ``results`` entries),
 ``benchmarks/bench_server.py`` (the ``server`` flush/fsync matrix),
 ``bench_server.py --metrics`` (the ``server_metrics`` overhead entry),
-and ``bench_server.py --sharded`` (the ``server_sharded`` fleet-scaling
-entry) -- and read by docs, CI greps and regression tooling.  This checker
+``bench_server.py --sharded`` (the ``server_sharded`` fleet-scaling
+entry), and ``bench_server.py --replicated`` (the ``server_replicated``
+shipping-overhead/failover entry) -- and read by docs, CI greps and
+regression tooling.  This checker
 pins the required keys per entry kind so a harness edit cannot
 silently drop a column downstream consumers depend on::
 
@@ -154,6 +156,34 @@ def validate_report(report: object) -> list[str]:
                     RUN_KEYS | {"workers"},
                     f"server_sharded.{key}",
                 )
+
+    if "server_replicated" in report:
+        sr = report["server_replicated"]
+        problems += _missing(
+            sr,
+            frozenset(
+                (
+                    "harness",
+                    "python",
+                    "cores",
+                    "durability",
+                    "replica_durability",
+                    "shipping_overhead_pct",
+                    "failover_ms",
+                )
+            ),
+            "server_replicated",
+        )
+        if isinstance(sr, dict):
+            for mode in ("standalone", "replicated"):
+                if mode not in sr:
+                    problems.append(
+                        f"server_replicated: missing run {mode!r}"
+                    )
+                elif isinstance(sr[mode], dict):
+                    problems += _missing(
+                        sr[mode], RUN_KEYS, f"server_replicated.{mode}"
+                    )
 
     if "server_metrics" in report:
         sm = report["server_metrics"]

@@ -17,6 +17,7 @@ recognised by their ``object_sets`` field.  Commands:
 ``bench``      run the storage-engine micro-benchmarks
 ``recover``    rebuild the committed state from a write-ahead log
 ``serve``      serve a database over the JSON-lines TCP protocol
+``promote``    turn a replica (or replica fleet) into the primary
 ``monitor``    live terminal dashboard over a running server
 
 Every command reads JSON from file arguments and writes human output to
@@ -502,6 +503,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def resolve_workers(workers: int | None) -> int | None:
+    """The effective ``serve --workers`` value: ``None`` (flag absent)
+    keeps the plain single-process server, ``0`` means one worker per
+    detected core, and an explicit positive count is taken as is."""
+    if workers is None:
+        return None
+    if workers < 0:
+        raise CliError("--workers must be non-negative")
+    if workers == 0:
+        import os
+
+        return os.cpu_count() or 1
+    return workers
+
+
+def _parse_target(target: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``) as a connectable address."""
+    host, _, port_text = target.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise CliError(f"target must be HOST:PORT, got {target!r}")
+    return host or "127.0.0.1", port
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``serve``: run the JSON-lines TCP server until SIGTERM/SIGINT,
     then drain gracefully (finish in-flight requests, final group
@@ -520,9 +546,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--max-batch must be at least 1")
     if args.max_delay < 0:
         raise CliError("--max-delay must be non-negative")
-    if args.workers < 0:
-        raise CliError("--workers must be non-negative")
-    if args.workers and args.worker_index is None:
+    workers = resolve_workers(args.workers)
+    if workers and args.worker_index is None:
+        args.workers = workers
         return _serve_fleet(args)
     tracer, trace_path = _open_tracer(args.trace)
     if args.wal is not None:
@@ -594,6 +620,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         sockets=sockets,
         shard=shard,
         prepare_timeout=args.prepare_timeout,
+        replicate_from=args.replicate_from,
     )
     try:
         server = asyncio.run(serve_async(db, config))
@@ -648,12 +675,18 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         worker_args.append("--fsync")
     if args.no_checkpoint:
         worker_args.append("--no-checkpoint")
+    replicate_from = None
+    if args.replicate_from:
+        replicate_from = _fleet_replication_targets(
+            args.replicate_from, args.workers
+        )
     supervisor = Supervisor(
         workers=args.workers,
         host=args.host,
         port=args.port,
         worker_args=worker_args,
         wal=args.wal,
+        replicate_from=replicate_from,
     )
     if args.wal is None:
         print(
@@ -662,6 +695,64 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         )
     supervisor.start()
     return supervisor.run_forever()
+
+
+def _fleet_replication_targets(target: str, workers: int) -> list[str]:
+    """Per-worker ``HOST:PORT`` targets for a replica fleet: ask the
+    primary fleet for its topology and pair shards index for index."""
+    from repro.client import Client
+
+    host, port = _parse_target(target)
+    try:
+        with Client(host=host, port=port, timeout=30.0) as client:
+            topo = client.call("topology")
+    except OSError as exc:
+        raise CliError(f"cannot reach primary {target}: {exc}")
+    primary_workers = int(topo.get("workers", 1) or 1)
+    if primary_workers != workers:
+        raise CliError(
+            f"replica fleet has {workers} worker(s) but the primary at "
+            f"{target} has {primary_workers}; shard counts must match so "
+            "each replica shard mirrors exactly one primary shard"
+        )
+    ports = [int(p) for p in topo.get("ports") or ()]
+    primary_host = str(topo.get("host") or host)
+    if not ports:
+        # A plain single-process primary: one worker, one address.
+        return [f"{host}:{port}"]
+    return [f"{primary_host}:{p}" for p in ports]
+
+
+def cmd_promote(args: argparse.Namespace) -> int:
+    """``promote``: turn a replica (or every shard of a replica fleet)
+    into a read-write primary."""
+    from repro.client import Client
+
+    host, port = _parse_target(args.target)
+    try:
+        with Client(host=host, port=port, timeout=args.timeout) as client:
+            topo = client.call("topology")
+            workers = int(topo.get("workers", 1) or 1)
+            ports = [int(p) for p in topo.get("ports") or ()]
+            if workers <= 1 or not ports:
+                result = client.call("promote")
+                print(
+                    f"promoted: {result['was']} -> {result['role']} "
+                    f"(applied lsn {result['applied_lsn']})"
+                )
+                return 0
+        for index, worker_port in enumerate(ports):
+            with Client(
+                host=host, port=worker_port, timeout=args.timeout
+            ) as client:
+                result = client.call("promote")
+            print(
+                f"worker {index}: {result['was']} -> {result['role']} "
+                f"(applied lsn {result['applied_lsn']})"
+            )
+    except OSError as exc:
+        raise CliError(f"cannot reach {args.target}: {exc}")
+    return 0
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
@@ -1008,12 +1099,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers",
         type=int,
-        default=0,
+        default=None,
         help="run a sharded fleet of this many single-writer worker "
-        "processes (one per core; rows are hash-partitioned by primary "
-        "key).  --port is the fleet's shared public port; each worker "
-        "also gets a direct port, printed in the 'worker' lines.  "
-        "Default 0: one plain single-process server",
+        "processes (rows are hash-partitioned by primary key).  "
+        "--port is the fleet's shared public port; each worker also "
+        "gets a direct port, printed in the 'worker' lines.  0 means "
+        "one worker per detected core.  Default (flag absent): one "
+        "plain single-process server",
+    )
+    p.add_argument(
+        "--replicate-from",
+        metavar="HOST:PORT",
+        help="run as a read-only replica of the primary at this "
+        "address: catch up from its checkpoint, then tail its WAL "
+        "(with --workers, the address of the primary fleet; shard "
+        "counts must match).  Promote with 'repro promote'",
     )
     p.add_argument(
         "--prepare-timeout",
@@ -1030,6 +1130,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--listen-fd", type=int, help=argparse.SUPPRESS)
     p.add_argument("--shared-fd", type=int, help=argparse.SUPPRESS)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "promote",
+        help="turn a replica (or replica fleet) into the primary",
+    )
+    p.add_argument("target", metavar="HOST:PORT")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait per connection (default: 30)",
+    )
+    p.set_defaults(fn=cmd_promote)
 
     p = sub.add_parser(
         "monitor", help="live dashboard over a running server"

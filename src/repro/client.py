@@ -27,6 +27,7 @@ for everything else.
 from __future__ import annotations
 
 import socket
+import time
 import uuid
 from typing import Any, Iterable, Mapping, Sequence
 
@@ -52,6 +53,7 @@ from repro.server.router import (
 __all__ = [
     "Client",
     "ShardedClient",
+    "ReplicatedClient",
     "RemoteConstraintViolation",
     "RemoteError",
 ]
@@ -101,6 +103,11 @@ class Client:
         #: response (client-supplied or server-generated) -- the handle
         #: for correlating this request with the server's trace events.
         self.last_trace_id: str | None = None
+        #: The WAL ``lsn`` of this connection's most recent acknowledged
+        #: mutation (0 before the first one) -- the watermark
+        #: :class:`ReplicatedClient` waits for on a replica before a
+        #: read-your-writes read (see ``docs/REPLICATION.md``).
+        self.last_lsn: int = 0
 
     # -- plumbing --------------------------------------------------------
 
@@ -151,6 +158,9 @@ class Client:
             self.last_trace_id = echoed
         if not frame.get("ok"):
             raise_error(frame)
+        lsn = frame.get("lsn")
+        if isinstance(lsn, int) and lsn > self.last_lsn:
+            self.last_lsn = lsn
         return frame.get("result")
 
     # -- mutations -------------------------------------------------------
@@ -260,6 +270,209 @@ class Client:
     def stats(self) -> dict[str, Any]:
         """The server's :meth:`EngineStats.snapshot` dict."""
         return self.call("stats")
+
+    # -- replication -----------------------------------------------------
+
+    def repl_status(self) -> dict[str, Any]:
+        """Where this server stands in the replication topology:
+        ``{"role", "applied_lsn", "durable_lsn", "primary",
+        "replicas"}``."""
+        return self.call("repl_status")
+
+    def promote(self) -> dict[str, Any]:
+        """Turn a replica into a read-write primary (idempotent on a
+        primary): ``{"was", "role", "applied_lsn"}``."""
+        return self.call("promote")
+
+
+def _split_target(target: str | tuple[str, int]) -> tuple[str, int]:
+    """``HOST:PORT`` (or a ``(host, port)`` pair) as a connect address."""
+    if isinstance(target, tuple):
+        return target[0] or "127.0.0.1", int(target[1])
+    host, _, port_text = str(target).rpartition(":")
+    return host or "127.0.0.1", int(port_text)
+
+
+class ReplicatedClient:
+    """A client of a primary/replica pair (or set): mutations go to the
+    primary, reads round-robin across the replicas, so read load scales
+    out without touching the write path (see ``docs/REPLICATION.md``).
+
+    Replication is asynchronous from the reader's point of view -- a
+    replica may serve a state slightly behind the primary's.  With
+    ``read_your_writes=True`` each read first waits (bounded by
+    ``catchup_timeout``) until the chosen replica's ``applied_lsn`` has
+    reached the ``lsn`` of this client's own latest acknowledged
+    mutation, so the session always observes its own writes; if the
+    replica cannot catch up in time (or is unreachable), the read falls
+    back to the primary.
+
+    :meth:`promote` fails the pair over client-side: it promotes one
+    replica and re-points this client's writes at it.
+
+    One instance is one logical connection: not thread-safe.
+    """
+
+    def __init__(
+        self,
+        primary: str | tuple[str, int],
+        replicas: Sequence[str | tuple[str, int]] = (),
+        timeout: float | None = None,
+        read_your_writes: bool = False,
+        catchup_timeout: float = 5.0,
+    ):
+        self._timeout = timeout
+        self.read_your_writes = read_your_writes
+        self.catchup_timeout = catchup_timeout
+        self._replica_targets = [_split_target(t) for t in replicas]
+        self._replica_clients: dict[int, Client] = {}
+        self._rr = 0
+        host, port = _split_target(primary)
+        self._primary = Client(host=host, port=port, timeout=timeout)
+
+    # -- plumbing --------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the primary and every replica connection."""
+        self._primary.close()
+        for client in self._replica_clients.values():
+            client.close()
+        self._replica_clients.clear()
+
+    def __enter__(self) -> "ReplicatedClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def last_lsn(self) -> int:
+        """The ``lsn`` of this client's latest acknowledged mutation."""
+        return self._primary.last_lsn
+
+    def _replica_client(self, index: int) -> Client:
+        client = self._replica_clients.get(index)
+        if client is None:
+            host, port = self._replica_targets[index]
+            client = Client(host=host, port=port, timeout=self._timeout)
+            self._replica_clients[index] = client
+        return client
+
+    def _await_applied(self, client: Client, lsn: int) -> bool:
+        """Wait until ``client``'s server has applied ``lsn`` (True) or
+        ``catchup_timeout`` elapses (False)."""
+        deadline = time.monotonic() + self.catchup_timeout
+        while True:
+            status = client.call("repl_status")
+            if (
+                int(status.get("applied_lsn", 0)) >= lsn
+                or status.get("role") == "primary"
+            ):
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(0.005)
+
+    def _read(self, verb: str, **params: Any) -> Any:
+        """One read, preferring a replica; the primary is the fallback
+        for an unreachable or persistently-lagging replica."""
+        for _ in range(len(self._replica_targets)):
+            index = self._rr
+            self._rr = (self._rr + 1) % len(self._replica_targets)
+            try:
+                client = self._replica_client(index)
+                if self.read_your_writes and self._primary.last_lsn:
+                    if not self._await_applied(
+                        client, self._primary.last_lsn
+                    ):
+                        continue
+                return client.call(verb, **params)
+            except (OSError, ConnectionError):
+                dead = self._replica_clients.pop(index, None)
+                if dead is not None:
+                    dead.close()
+        return self._primary.call(verb, **params)
+
+    # -- mutations (primary) ---------------------------------------------
+
+    def insert(self, scheme: str, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Insert one row on the primary."""
+        return self._primary.insert(scheme, row)
+
+    def update(
+        self, scheme: str, pk: Any, updates: Mapping[str, Any]
+    ) -> dict[str, Any]:
+        """Update one row by primary key on the primary."""
+        return self._primary.update(scheme, pk, updates)
+
+    def delete(self, scheme: str, pk: Any) -> None:
+        """Delete one row by primary key on the primary."""
+        self._primary.delete(scheme, pk)
+
+    def insert_many(
+        self, scheme: str, rows: Sequence[Mapping[str, Any]]
+    ) -> list[dict[str, Any]]:
+        """Insert many rows of one scheme atomically on the primary."""
+        return self._primary.insert_many(scheme, rows)
+
+    def apply_batch(self, ops: Iterable[tuple]) -> list[dict[str, Any] | None]:
+        """Apply a mixed mutation batch atomically on the primary."""
+        return self._primary.apply_batch(ops)
+
+    # -- reads (replicas) ------------------------------------------------
+
+    def get(self, scheme: str, pk: Any) -> dict[str, Any] | None:
+        """Primary-key lookup on a replica."""
+        result = self._read("get", scheme=scheme, pk=_wire_pk(pk))
+        return decode_row(result) if result is not None else None
+
+    def join_to(
+        self,
+        scheme: str,
+        pk: Any,
+        via: Sequence[str],
+        target_scheme: str,
+        target_attrs: Sequence[str] | None = None,
+    ) -> dict[str, Any] | None:
+        """Reference-following join on a replica."""
+        params: dict[str, Any] = dict(
+            scheme=scheme,
+            pk=_wire_pk(pk),
+            via=list(via),
+            target_scheme=target_scheme,
+        )
+        if target_attrs is not None:
+            params["target_attrs"] = list(target_attrs)
+        result = self._read("join_to", **params)
+        return decode_row(result) if result is not None else None
+
+    def check(self) -> dict[str, Any]:
+        """Full-state consistency check on a replica."""
+        return self._read("check")
+
+    # -- failover --------------------------------------------------------
+
+    def promote(self, index: int = 0) -> dict[str, Any]:
+        """Promote replica ``index`` and re-point this client's writes
+        at it (the old primary connection is dropped; use after the
+        primary has died)."""
+        client = self._replica_client(index)
+        result = client.promote()
+        try:
+            self._primary.close()
+        except OSError:
+            pass
+        self._primary = client
+        del self._replica_targets[index]
+        # Re-key the cached connections around the removed slot.
+        survivors = {
+            (i if i < index else i - 1): c
+            for i, c in self._replica_clients.items()
+            if i != index
+        }
+        self._replica_clients = survivors
+        self._rr = 0
+        return result
 
 
 class ShardedClient:

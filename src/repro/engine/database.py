@@ -51,6 +51,7 @@ from repro.engine.wal import (
     insert_record,
     update_record,
 )
+from repro.io.state_json import decode_value
 from repro.obs.rules import classify_null_constraint, paper_rule
 from repro.obs.trace import TraceEvent, Tracer
 from repro.relational.relation import Relation
@@ -627,6 +628,35 @@ class Database:
         self.stats.inserts += 1
         if timed:
             self._observe_ok("insert", scheme_name, start)
+        return t
+
+    def redo_insert(self, record: Mapping[str, Any]) -> Tuple:
+        """Trusted redo of one logged ``insert`` record -- the
+        replication hot path (:meth:`DatabaseService.apply_replicated`).
+
+        The database that logged the record already ran every
+        constraint probe, and the checksummed log carried it intact,
+        so redo goes straight to shape-check, log and store.  The
+        received payload is re-logged as-is (under a fresh local lsn),
+        skipping the row re-encode :func:`insert_record` would do.
+        Replay that wants divergence *detection* -- recovery, and any
+        non-insert record -- takes the validating path instead.
+        """
+        scheme_name = record["scheme"]
+        table = self.table(scheme_name)
+        encoded = record["row"]
+        t = self._check_shape(
+            table, {k: decode_value(v) for k, v in encoded.items()}
+        )
+        pk = table.plan.pk(t.mapping)
+        if self.wal is not None:
+            self._wal_append(
+                {"op": "insert", "scheme": scheme_name, "row": encoded},
+                "insert",
+                scheme_name,
+            )
+        self._store(table, t, pk)
+        self.stats.inserts += 1
         return t
 
     def delete(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> None:

@@ -100,6 +100,100 @@ def _emit(tracer: Tracer | None, **kw) -> None:
         tracer.emit(TraceEvent(event="recovery", **kw))
 
 
+class WalApplier:
+    """Record-by-record replay of a log into a live database.
+
+    The redo pass of :func:`recover_database` (step 2 + 3 of the module
+    docstring), factored so it can also run *incrementally*: a replica
+    feeds records as they arrive off the wire, one
+    :meth:`feed` per record, applying each committed group the moment
+    its ``commit`` marker lands.  Semantics are identical either way --
+    snapshot/``load_state`` images seed the state, bare mutations apply
+    directly, ``begin``..``commit`` groups buffer and replay atomically
+    through ``apply_batch``, ``abort``/``rollback`` drop what they
+    cancel.
+
+    :meth:`seal` ends the stream: a trailing group with no ``commit``
+    (the crash took it) is dropped, and its transaction id is returned
+    so the caller can seal it in the repaired log too.
+    """
+
+    def __init__(
+        self,
+        db,
+        report: RecoveryReport | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.db = db
+        self.report = report if report is not None else RecoveryReport()
+        self.tracer = tracer
+        #: Highest ``lsn`` seen (fed records, applied or not).
+        self.max_lsn = 0
+        #: Highest transaction id seen.
+        self.max_txn = 0
+        self._open_txn: int | None = None
+        self._buffered: list[dict] = []
+
+    @property
+    def in_txn(self) -> bool:
+        """Whether a ``begin`` marker is awaiting its ``commit``."""
+        return self._open_txn is not None
+
+    def feed(self, record: dict) -> None:
+        """Replay one log record (buffering it if inside a group)."""
+        db, report, tracer = self.db, self.report, self.tracer
+        self.max_lsn = max(self.max_lsn, record.get("lsn", 0))
+        op = record["op"]
+        if op == "header":
+            return
+        if op in ("snapshot", "load_state"):
+            _load_image(db, record, report)
+            return
+        if op == "begin":
+            if self._open_txn is not None:
+                raise RecoveryError(
+                    f"log transaction {record.get('txn')} begins inside "
+                    f"transaction {self._open_txn}"
+                )
+            self._open_txn = record.get("txn", 0)
+            self.max_txn = max(self.max_txn, self._open_txn)
+            self._buffered = []
+            return
+        if op == "rollback":
+            to_lsn = record.get("to_lsn", 0)
+            kept = [r for r in self._buffered if r.get("lsn", 0) < to_lsn]
+            dropped = len(self._buffered) - len(kept)
+            self._buffered = kept
+            report.records_rolled_back += dropped
+            db.stats.wal_rolled_back_records += dropped
+            return
+        if op == "abort":
+            _drop_group(db, report, tracer, self._open_txn, len(self._buffered))
+            self._open_txn, self._buffered = None, []
+            return
+        if op == "commit":
+            _replay_group(db, report, tracer, self._open_txn, self._buffered)
+            self._open_txn, self._buffered = None, []
+            return
+        # A mutation record.
+        if self._open_txn is not None:
+            self._buffered.append(record)
+        else:
+            _replay_bare(db, report, record)
+
+    def seal(self) -> int | None:
+        """Drop a dangling (commit-less) trailing group; returns its
+        transaction id when one was dropped."""
+        if self._open_txn is None:
+            return None
+        dangling = self._open_txn
+        _drop_group(
+            self.db, self.report, self.tracer, dangling, len(self._buffered)
+        )
+        self._open_txn, self._buffered = None, []
+        return dangling
+
+
 def recover_database(
     schema: RelationalSchema,
     wal_path: str | None = None,
@@ -151,59 +245,16 @@ def recover_database(
 
     # 2 + 3. Replay in log order, buffering transaction groups until
     # their commit marker proves them durable.
-    max_lsn = 0
-    max_txn = 0
-    open_txn: int | None = None
-    buffered: list[dict] = []
+    applier = WalApplier(db, report=report, tracer=tracer)
     for record in parsed.records:
-        max_lsn = max(max_lsn, record.get("lsn", 0))
-        op = record["op"]
-        if op == "header":
-            continue
-        if op in ("snapshot", "load_state"):
-            _load_image(db, record, report)
-            continue
-        if op == "begin":
-            if open_txn is not None:
-                raise RecoveryError(
-                    f"log transaction {record.get('txn')} begins inside "
-                    f"transaction {open_txn}"
-                )
-            open_txn = record.get("txn", 0)
-            max_txn = max(max_txn, open_txn)
-            buffered = []
-            continue
-        if op == "rollback":
-            to_lsn = record.get("to_lsn", 0)
-            kept = [r for r in buffered if r.get("lsn", 0) < to_lsn]
-            dropped = len(buffered) - len(kept)
-            buffered = kept
-            report.records_rolled_back += dropped
-            db.stats.wal_rolled_back_records += dropped
-            continue
-        if op == "abort":
-            _drop_group(db, report, tracer, open_txn, len(buffered))
-            open_txn, buffered = None, []
-            continue
-        if op == "commit":
-            _replay_group(db, report, tracer, open_txn, buffered)
-            open_txn, buffered = None, []
-            continue
-        # A mutation record.
-        if open_txn is not None:
-            buffered.append(record)
-        else:
-            _replay_bare(db, report, record)
+        applier.feed(record)
 
     # A trailing group with no commit marker died with the crash.
-    dangling_txn: int | None = None
-    if open_txn is not None:
-        _drop_group(db, report, tracer, open_txn, len(buffered))
-        dangling_txn = open_txn
+    dangling_txn = applier.seal()
 
     # Re-attach a resumed log with continuous lsn/transaction counters.
     db.wal = WriteAheadLog._resume(
-        storage, max_lsn + 1, max_txn + 1, stats=db.stats
+        storage, applier.max_lsn + 1, applier.max_txn + 1, stats=db.stats
     )
     if dangling_txn is not None:
         # Seal the dropped group in the log itself: without an abort

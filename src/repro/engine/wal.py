@@ -147,6 +147,10 @@ class MemoryStorage:
         """The full current contents."""
         return bytes(self._data)
 
+    def read_from(self, offset: int) -> bytes:
+        """The contents from ``offset`` to the end (replication tail)."""
+        return bytes(self._data[offset:])
+
     def truncate(self, size: int) -> None:
         """Drop everything beyond ``size`` bytes."""
         del self._data[size:]
@@ -225,6 +229,15 @@ class FileStorage:
         with open(self.path, "rb") as f:
             return f.read()
 
+    def read_from(self, offset: int) -> bytes:
+        """The contents from ``offset`` to the end, without rereading
+        the (potentially large) prefix a replication cursor already
+        shipped."""
+        self._handle().flush()
+        with open(self.path, "rb") as f:
+            f.seek(offset)
+            return f.read()
+
     def truncate(self, size: int) -> None:
         """Drop everything beyond ``size`` bytes (O_APPEND writes keep
         landing at the new end)."""
@@ -284,6 +297,47 @@ class ParsedWal:
         return self.valid_bytes < self.total_bytes
 
 
+def _parse_one(
+    data: bytes, offset: int
+) -> tuple[dict | None, int, str | None]:
+    """Parse the single record starting at ``offset``.
+
+    Returns ``(record, next_offset, None)`` on success and
+    ``(None, offset, error)`` when the bytes at ``offset`` are torn,
+    corrupt, or malformed (the offset never advances past an unreadable
+    record)."""
+    newline = data.find(b"\n", offset)
+    if newline < 0:
+        return None, offset, "torn record (no terminating newline)"
+    line = data[offset:newline]
+    if (
+        len(line) < _PREFIX_LEN
+        or line[8:9] != b" "
+        or line[17:18] != b" "
+    ):
+        return None, offset, "malformed record prefix"
+    try:
+        length = int(line[:8], 16)
+        crc = int(line[9:17], 16)
+    except ValueError:
+        return None, offset, "malformed record prefix"
+    body = line[_PREFIX_LEN:]
+    if len(body) != length:
+        return None, offset, (
+            f"record length mismatch (declared {length}, found "
+            f"{len(body)}; torn write)"
+        )
+    if zlib.crc32(body) != crc:
+        return None, offset, "record checksum mismatch"
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError:
+        return None, offset, "record payload is not valid JSON"
+    if not isinstance(payload, dict) or "op" not in payload:
+        return None, offset, "record payload is not an op object"
+    return payload, newline + 1, None
+
+
 def parse_wal(data: bytes) -> ParsedWal:
     """Parse a log image, stopping (never resyncing) at the first torn,
     corrupt, or malformed record -- everything after an unreadable
@@ -293,44 +347,10 @@ def parse_wal(data: bytes) -> ParsedWal:
     total = len(data)
     error: str | None = None
     while offset < total:
-        newline = data.find(b"\n", offset)
-        if newline < 0:
-            error = "torn record (no terminating newline)"
+        record, offset, error = _parse_one(data, offset)
+        if record is None:
             break
-        line = data[offset:newline]
-        if (
-            len(line) < _PREFIX_LEN
-            or line[8:9] != b" "
-            or line[17:18] != b" "
-        ):
-            error = "malformed record prefix"
-            break
-        try:
-            length = int(line[:8], 16)
-            crc = int(line[9:17], 16)
-        except ValueError:
-            error = "malformed record prefix"
-            break
-        body = line[_PREFIX_LEN:]
-        if len(body) != length:
-            error = (
-                f"record length mismatch (declared {length}, found "
-                f"{len(body)}; torn write)"
-            )
-            break
-        if zlib.crc32(body) != crc:
-            error = "record checksum mismatch"
-            break
-        try:
-            payload = json.loads(body)
-        except json.JSONDecodeError:
-            error = "record payload is not valid JSON"
-            break
-        if not isinstance(payload, dict) or "op" not in payload:
-            error = "record payload is not an op object"
-            break
-        records.append(payload)
-        offset = newline + 1
+        records.append(record)
     return ParsedWal(records, offset, total, error)
 
 
@@ -487,6 +507,18 @@ class WriteAheadLog:
     def broken(self) -> bool:
         """Whether a storage fault poisoned this handle."""
         return self._broken
+
+    @property
+    def durable_lsn(self) -> int:
+        """The highest ``lsn`` known durable (appended *and* synced).
+
+        Records past this point may still be sitting in the userspace
+        buffer; a crash would tear them off, so replication must never
+        ship them (a replica could otherwise hold records its primary
+        loses).  Because the server's group-commit barrier always syncs
+        at transaction-group boundaries, this never splits a
+        ``begin``..``commit`` group."""
+        return self._next_lsn - 1 - self.unsynced_records
 
     # -- appends ---------------------------------------------------------
 
@@ -651,3 +683,74 @@ class WriteAheadLog:
             except (WalError, OSError):
                 pass  # unsynced records were never acked durable
         self.storage.close()
+
+
+# -- replication cursor --------------------------------------------------------
+
+
+class WalCursor:
+    """An incremental reader over a live log's storage, for WAL shipping.
+
+    One cursor per replication session: :meth:`read_after` parses from
+    the byte offset the previous call stopped at, so a busy primary
+    never re-parses the prefix it already shipped.  Three live-log
+    hazards are handled here rather than by the caller:
+
+    - **Unsynced tails.**  The offset only advances past records with
+      ``lsn <= up_to_lsn`` (the primary's :attr:`WriteAheadLog.durable_lsn`).
+      Buffered-but-unsynced records are visible in the file yet could
+      still be torn off by a crash; skipping the offset past them would
+      lose them forever once they *do* sync.
+    - **Torn bytes.**  A partially flushed record parses as torn; the
+      cursor stops before it without advancing, and simply retries on
+      the next poll once the rest of the bytes land.
+    - **Checkpoint compaction.**  :meth:`WriteAheadLog.write_snapshot`
+      replaces the file with a shorter one; ``storage.size()`` dropping
+      below the cursor's offset detects that, the cursor resets to byte
+      0, and the snapshot record (whose ``lsn`` exceeds anything
+      shipped before the compaction) flows to the replica as a fresh
+      base image.
+    """
+
+    def __init__(self, storage: Storage):
+        self.storage = storage
+        self._offset = 0
+
+    @property
+    def offset(self) -> int:
+        """The byte offset the next read parses from."""
+        return self._offset
+
+    def read_after(
+        self, after_lsn: int, up_to_lsn: int, max_records: int = 512
+    ) -> list[dict]:
+        """Up to ``max_records`` records with
+        ``after_lsn < lsn <= up_to_lsn``, in log order.
+
+        ``header`` records (no replayable content) are filtered out.
+        Returns ``[]`` when the replica is caught up."""
+        if self.storage.size() < self._offset:
+            self._offset = 0  # the log was compacted under us
+        reader = getattr(self.storage, "read_from", None)
+        if reader is not None:
+            data = reader(self._offset)
+            base = self._offset
+        else:
+            data = self.storage.read()[self._offset:]
+            base = self._offset
+        records: list[dict] = []
+        offset = 0
+        while offset < len(data) and len(records) < max_records:
+            record, next_offset, _error = _parse_one(data, offset)
+            if record is None:
+                break  # torn or unsynced tail; retry next poll
+            lsn = record.get("lsn", 0)
+            if lsn > up_to_lsn:
+                break  # not durable yet; do not advance past it
+            offset = next_offset
+            self._offset = base + offset
+            if record["op"] == "header":
+                continue
+            if lsn > after_lsn:
+                records.append(record)
+        return records

@@ -95,6 +95,28 @@ def render_dashboard(
     if server.get("poisoned"):
         gauges += f" · POISONED: {server['poisoned']}"
     lines.append(gauges)
+    repl = server.get("replication")
+    if isinstance(repl, Mapping):
+        if repl.get("role") == "replica":
+            applied = repl.get("applied", 0)
+            rate = _rate(
+                applied,
+                (prev_server.get("replication") or {}).get("applied")
+                if isinstance(prev_server.get("replication"), Mapping)
+                else None,
+                interval,
+            )
+            lines.append(
+                f"replica of {repl.get('primary', '?')}"
+                f" · applied lsn {repl.get('applied_lsn', 0)}"
+                f" · applied {applied} record(s){rate}"
+                f" · lag {repl.get('lag', 0)} record(s)"
+            )
+        elif repl.get("replicas"):
+            lines.append(
+                f"primary · {repl.get('replicas', 0)} sync replica(s)"
+                f" · shipped {repl.get('shipped', 0)} record(s)"
+            )
     lines.append("")
 
     counts = {

@@ -24,6 +24,15 @@ Layering:
   fleet's sockets, spawns one single-writer worker per core, respawns
   crashed workers through WAL recovery, and drains the fleet.
 
+Replication (``docs/REPLICATION.md``): a server started with
+``--replicate-from HOST:PORT`` runs as a read-only replica -- it
+bootstraps from the primary's checkpoint image (``repl_snapshot``),
+tails its committed WAL records (``repl_poll``), re-logs them into its
+own WAL, and can be promoted to primary with the ``promote`` verb when
+the primary dies.  A registered replica is synchronous: the primary
+withholds mutation acks until the replica has confirmed receipt, so
+acked durability survives the loss of the primary's disk.
+
 Telemetry runs end to end: the service records per-verb request
 counters and latencies, violation counters labeled by constraint kind
 and paper rule, and queue/batch/WAL-sync instruments on a
@@ -51,6 +60,7 @@ from repro.server.server import (
     serve,
 )
 from repro.server.service import DatabaseService, ServerMetrics, ShardInfo
+from repro.server.supervisor import ServerProcess, Supervisor
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -60,8 +70,10 @@ __all__ = [
     "ReproServer",
     "ServerConfig",
     "ServerMetrics",
+    "ServerProcess",
     "ServerThread",
     "ShardInfo",
+    "Supervisor",
     "ShardMap",
     "DatabaseService",
     "drain_summary",

@@ -76,6 +76,24 @@ Verbs (dispatched by :mod:`repro.server.service`):
 ``batch_commit``          ``xid`` -> list of row/``null`` (the batch's
                           results), after a durability barrier
 ``batch_abort``           ``xid`` -> ``null``; rolls the prepare back
+``repl_snapshot``         -> ``{"state", "lsn", "role"}`` -- the current
+                          checkpoint image plus the durable ``lsn`` it
+                          covers (a replica's catch-up base); rejected
+                          with ``busy`` while a cross-shard prepare is
+                          held
+``repl_poll``             ``after`` [, ``wait``, ``sync``,
+                          ``max_records``] -> ``{"records",
+                          "durable_lsn"}`` -- committed log records with
+                          ``lsn > after``, long-polling up to ``wait``
+                          seconds when caught up; ``sync: true``
+                          registers the session as a synchronous
+                          replica whose receipt gates mutation acks
+``repl_status``           -> ``{"role", "applied_lsn", "durable_lsn",
+                          "primary", "replicas"}`` -- where this server
+                          stands in the replication topology
+``promote``               -> ``{"was", "role", "applied_lsn"}`` -- turn
+                          a replica into a read-write primary
+                          (idempotent on a primary)
 ========================  =====================================================
 
 Sharding (see ``docs/SERVER.md``): each worker of a sharded fleet owns
@@ -85,6 +103,12 @@ Single-shard mutations sent to the wrong worker are rejected with a
 ``batch_commit``/``batch_abort`` for an unknown transfer id get
 ``no-prepared-batch``, and a decision arriving after the hold timed out
 gets ``prepare-expired``.
+
+Replication (see ``docs/REPLICATION.md``): a replica answers reads
+normally but rejects every mutation and decision verb with a
+``read-only-replica`` error frame naming its ``primary``, so a client
+that writes to the wrong end of the pair learns where to go.
+``repl_snapshot`` during a held prepare gets ``busy`` (retry shortly).
 """
 
 from __future__ import annotations
@@ -120,6 +144,10 @@ VERBS = (
     "batch_prepare",
     "batch_commit",
     "batch_abort",
+    "repl_snapshot",
+    "repl_poll",
+    "repl_status",
+    "promote",
 )
 
 #: The verbs that mutate state and therefore go through the
@@ -132,6 +160,13 @@ MUTATION_VERBS = frozenset(
 
 #: Decision verbs for a held prepare (routed around the mutation queue).
 DECISION_VERBS = frozenset(("batch_commit", "batch_abort"))
+
+#: WAL-shipping verbs (``promote`` included: it flips the role the
+#: others are gated on).  Handled outside the mutation queue -- a
+#: replica poll parks on the commit signal, never on the writer.
+REPLICATION_VERBS = frozenset(
+    ("repl_snapshot", "repl_poll", "repl_status", "promote")
+)
 
 
 class ProtocolError(ValueError):

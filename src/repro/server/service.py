@@ -48,13 +48,15 @@ from typing import Any, Mapping
 
 from repro.engine.database import ConstraintViolationError, Database
 from repro.engine.query import QueryEngine
-from repro.engine.wal import WalError
+from repro.engine.recovery import RecoveryError, WalApplier
+from repro.engine.wal import WalCursor, WalError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import CorrelatingTracer
 from repro.server import protocol
 from repro.server.protocol import (
     DECISION_VERBS,
     MUTATION_VERBS,
+    REPLICATION_VERBS,
     VERBS,
     ProtocolError,
     decode_pk,
@@ -101,6 +103,9 @@ class Session:
     mutations: int = 0
     rejections: int = 0
     opened_at: float = field(default_factory=perf_counter)
+    #: This session's WAL-shipping cursor, created on its first
+    #: ``repl_poll`` (each replica connection tails independently).
+    repl_cursor: WalCursor | None = None
 
 
 def _require(frame: Mapping[str, Any], key: str, kind: type) -> Any:
@@ -216,6 +221,25 @@ class ServerMetrics:
             "(committed / aborted / expired).",
             labelnames=("outcome",),
         )
+        self.repl_shipped = r.counter(
+            "repro_server_repl_shipped_records_total",
+            "WAL records shipped to replicas (primary side).",
+        )
+        self.repl_applied = r.counter(
+            "repro_server_repl_applied_records_total",
+            "Replicated WAL records applied locally (replica side).",
+        )
+        replicas = r.gauge(
+            "repro_server_repl_replicas",
+            "Synchronous replicas currently attached (primary side).",
+        )
+        replicas.set_callback(lambda: len(service._replicas))
+        lag = r.gauge(
+            "repro_server_repl_lag_records",
+            "Records between the primary's durable lsn and this "
+            "replica's applied lsn (0 on a primary).",
+        )
+        lag.set_callback(service.replication_lag)
 
 
 class DatabaseService:
@@ -230,11 +254,16 @@ class DatabaseService:
         metrics: bool = True,
         shard: ShardInfo | None = None,
         prepare_timeout: float = 30.0,
+        role: str = "primary",
+        primary: str | None = None,
+        repl_ack_timeout: float = 5.0,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
         if max_delay < 0:
             raise ValueError("max_delay must be non-negative")
+        if role not in ("primary", "replica"):
+            raise ValueError("role must be 'primary' or 'replica'")
         self.db = db
         self.query = QueryEngine(db)
         self.max_batch = max_batch
@@ -287,6 +316,49 @@ class DatabaseService:
         self.prepare_commits = 0
         self.prepare_aborts = 0
         self.prepare_expired = 0
+        # -- replication state (see docs/REPLICATION.md) ---------------
+        #: ``"primary"`` (read-write, ships its WAL) or ``"replica"``
+        #: (read-only, applies a primary's records); flipped by the
+        #: ``promote`` verb.
+        self.role = role
+        #: ``host:port`` of the primary this replica follows (display
+        #: and error frames only -- the replica loop owns the socket).
+        self.primary = primary
+        #: How long a mutation ack may wait on synchronous-replica
+        #: receipt before the stalled replicas are detached.  Bounds
+        #: the damage a frozen replica can do to primary availability.
+        self.repl_ack_timeout = repl_ack_timeout
+        #: Primary side: session id -> highest lsn that synchronous
+        #: replica has confirmed received.  Mutation acks gate on
+        #: ``min(values) >= the batch's lsn``.
+        self._replicas: dict[int, int] = {}
+        #: Session ids of every replication poller (sync or not) --
+        #: excluded from the group-commit straggler wait, since a
+        #: parked poll will never contribute a mutation.
+        self._repl_sessions: set[int] = set()
+        #: Resolved (and replaced) after every successful durability
+        #: barrier; parked ``repl_poll`` long-polls wait on it.
+        self._commit_waiter: asyncio.Future | None = None
+        #: Resolved (and replaced) whenever a sync replica confirms
+        #: receipt; deferred mutation acks wait on it.
+        self._confirm_waiter: asyncio.Future | None = None
+        self._draining = False
+        #: WAL records shipped to replicas / applied from the primary.
+        self.repl_shipped = 0
+        self.repl_applied = 0
+        #: Replica side: the primary's lsn of the last applied record,
+        #: and the primary's durable lsn as of the last poll (their
+        #: difference is the replication lag).
+        self.applied_lsn = 0
+        self.primary_durable_lsn = 0
+        #: Incremental redo machine (replica side), fed records in
+        #: primary-log order; ``None`` on a primary.
+        self._applier: WalApplier | None = (
+            WalApplier(db) if role == "replica" else None
+        )
+        #: Async callback the server installs; runs after ``promote``
+        #: flips the role (cancels the replica loop, prints the line).
+        self.on_promote = None
         #: Server-layer metric families (``None`` disables the registry
         #: entirely -- the configuration ``bench_server --metrics``
         #: compares against).
@@ -357,6 +429,22 @@ class DatabaseService:
                 f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}",
             )
             return self._finish(session, "invalid", trace_id, started, response)
+        if verb in REPLICATION_VERBS:
+            response = await self._handle_replication(
+                verb, frame, request_id, session
+            )
+            return self._finish(session, verb, trace_id, started, response)
+        if self.role == "replica" and (
+            verb in MUTATION_VERBS or verb in DECISION_VERBS
+        ):
+            response = error_frame(
+                request_id,
+                "read-only-replica",
+                "this server is a read-only replica; send writes to the "
+                "primary",
+                primary=self.primary,
+            )
+            return self._finish(session, verb, trace_id, started, response)
         if verb in DECISION_VERBS:
             session.mutations += 1
             response = await self._handle_decision(verb, frame, request_id)
@@ -456,6 +544,306 @@ class DatabaseService:
             (xid, verb == "batch_commit", future, request_id)
         )
         return await future
+
+    # -- replication (WAL shipping; see docs/REPLICATION.md) ---------------
+
+    def replication_lag(self) -> int:
+        """Records between the primary's durable lsn and this replica's
+        applied lsn (0 on a primary, by definition)."""
+        if self.role != "replica":
+            return 0
+        return max(0, self.primary_durable_lsn - self.applied_lsn)
+
+    def _commit_signal(self) -> asyncio.Future:
+        """The future the next durability barrier resolves (parked
+        ``repl_poll`` long-polls wait on it)."""
+        if self._commit_waiter is None or self._commit_waiter.done():
+            self._commit_waiter = (
+                asyncio.get_running_loop().create_future()
+            )
+        return self._commit_waiter
+
+    def _confirm_signal(self) -> asyncio.Future:
+        """The future the next replica receipt-confirmation resolves
+        (deferred mutation acks wait on it)."""
+        if self._confirm_waiter is None or self._confirm_waiter.done():
+            self._confirm_waiter = (
+                asyncio.get_running_loop().create_future()
+            )
+        return self._confirm_waiter
+
+    def _signal_commit(self) -> None:
+        if self._commit_waiter is not None and not self._commit_waiter.done():
+            self._commit_waiter.set_result(None)
+
+    def _signal_confirm(self) -> None:
+        if (
+            self._confirm_waiter is not None
+            and not self._confirm_waiter.done()
+        ):
+            self._confirm_waiter.set_result(None)
+
+    def forget_replica(self, session: Session) -> None:
+        """Connection-close cleanup: a vanished replica must stop
+        gating acks (the confirm waiters re-evaluate without it)."""
+        session.repl_cursor = None
+        self._repl_sessions.discard(session.id)
+        if self._replicas.pop(session.id, None) is not None:
+            self._signal_confirm()
+
+    def begin_drain(self) -> None:
+        """Entering drain: release parked replica polls and deferred
+        acks promptly instead of letting them ride out their waits."""
+        self._draining = True
+        self._signal_commit()
+        self._signal_confirm()
+
+    async def _await_replication(self, lsn: int) -> None:
+        """Hold a mutation ack until every synchronous replica has
+        confirmed receipt of everything up to ``lsn``.
+
+        A replica confirms by issuing its *next* poll with an advanced
+        ``after`` -- which it does before applying, so this wait costs
+        one round trip, not a replica replay.  Replicas that stay
+        silent past :attr:`repl_ack_timeout` are detached (they
+        re-attach on their next poll): a stalled or dead replica slows
+        acks by at most the timeout, never forever.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.repl_ack_timeout
+        while self._replicas and not self._draining:
+            if min(self._replicas.values()) >= lsn:
+                return
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                stalled = [
+                    sid for sid, c in self._replicas.items() if c < lsn
+                ]
+                for sid in stalled:
+                    self._replicas.pop(sid, None)
+                return
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(self._confirm_signal()), remaining
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    async def _resolve_after_confirm(
+        self, batch: list[tuple], outcomes: list, lsn: int
+    ) -> None:
+        """Deferred tail of :meth:`_commit_group` under semi-synchronous
+        replication: resolve the batch's futures only once the
+        replicas hold its records (or proved themselves stalled)."""
+        try:
+            await self._await_replication(lsn)
+        finally:
+            for (_, _, _, _, future), outcome in zip(batch, outcomes):
+                if not future.done():
+                    future.set_result(outcome)
+
+    async def _handle_replication(
+        self,
+        verb: str,
+        frame: Mapping[str, Any],
+        request_id: Any,
+        session: Session,
+    ) -> dict[str, Any]:
+        try:
+            if verb == "promote":
+                return await self._handle_promote(request_id)
+            if verb == "repl_status":
+                return ok_frame(
+                    request_id,
+                    {
+                        "role": self.role,
+                        "primary": self.primary,
+                        "applied_lsn": self.applied_lsn,
+                        "durable_lsn": (
+                            self.db.wal.durable_lsn
+                            if self.db.wal is not None
+                            else 0
+                        ),
+                        "replicas": len(self._replicas),
+                        "lag": self.replication_lag(),
+                    },
+                )
+            if self.db.wal is None:
+                return error_frame(
+                    request_id,
+                    "bad-request",
+                    "server has no write-ahead log to replicate "
+                    "(start it with --wal)",
+                )
+            if self.poisoned is not None:
+                return self._poisoned_frame(request_id)
+            if verb == "repl_snapshot":
+                return self._handle_repl_snapshot(request_id)
+            if verb == "repl_poll":
+                return await self._handle_repl_poll(
+                    frame, request_id, session
+                )
+            raise ProtocolError(f"unhandled replication verb {verb!r}")
+        except ProtocolError as exc:
+            return error_frame(request_id, "bad-request", str(exc))
+        except Exception as exc:
+            return error_frame(request_id, "server-error", repr(exc))
+
+    async def _handle_promote(self, request_id: Any) -> dict[str, Any]:
+        was = self.role
+        if was == "replica":
+            # Seal the redo stream: a group whose commit never arrived
+            # was never acked by the dead primary, so dropping it is
+            # exactly the recovery semantics.
+            if self._applier is not None:
+                self._applier.seal()
+            self.role = "primary"
+            self.primary = None
+            if self.on_promote is not None:
+                await self.on_promote()
+        return ok_frame(
+            request_id,
+            {"was": was, "role": self.role, "applied_lsn": self.applied_lsn},
+        )
+
+    def _handle_repl_snapshot(self, request_id: Any) -> dict[str, Any]:
+        from repro.io.state_json import state_to_dict
+
+        if self._held_xid is not None:
+            # The state holds an undecided prepare's rows; an image
+            # taken now would leak uncommitted mutations to the replica.
+            return error_frame(
+                request_id,
+                "busy",
+                "a cross-shard prepare is held; retry the snapshot "
+                "shortly",
+            )
+        # No awaits between a mutation's apply and its barrier, so at
+        # any scheduling point the live state is exactly the durable
+        # prefix: this image covers precisely lsn <= durable_lsn.
+        return ok_frame(
+            request_id,
+            {
+                "state": state_to_dict(self.db.state()),
+                "lsn": self.db.wal.durable_lsn,
+                "role": self.role,
+            },
+        )
+
+    async def _handle_repl_poll(
+        self, frame: Mapping[str, Any], request_id: Any, session: Session
+    ) -> dict[str, Any]:
+        after = frame.get("after", 0)
+        if not isinstance(after, int) or after < 0:
+            raise ProtocolError(
+                "parameter 'after' must be a non-negative integer"
+            )
+        wait = frame.get("wait", 0)
+        if not isinstance(wait, (int, float)) or wait < 0:
+            raise ProtocolError(
+                "parameter 'wait' must be a non-negative number"
+            )
+        max_records = frame.get("max_records", 512)
+        if not isinstance(max_records, int) or max_records < 1:
+            raise ProtocolError(
+                "parameter 'max_records' must be a positive integer"
+            )
+        self._repl_sessions.add(session.id)
+        if frame.get("sync"):
+            # This poll *is* the receipt confirmation for everything
+            # up to ``after``: the replica holds those records (it
+            # confirms before applying, never re-requesting them).
+            self._replicas[session.id] = after
+            self._signal_confirm()
+        if session.repl_cursor is None:
+            session.repl_cursor = WalCursor(self.db.wal.storage)
+        records = session.repl_cursor.read_after(
+            after, self.db.wal.durable_lsn, max_records
+        )
+        if not records and wait > 0:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + float(wait)
+            while not records and not self._draining:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(self._commit_signal()), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                records = session.repl_cursor.read_after(
+                    after, self.db.wal.durable_lsn, max_records
+                )
+        if records:
+            self.repl_shipped += len(records)
+            if self.metrics is not None:
+                self.metrics.repl_shipped.inc(len(records))
+        return ok_frame(
+            request_id,
+            {"records": records, "durable_lsn": self.db.wal.durable_lsn},
+        )
+
+    def load_replica_snapshot(self, snapshot: Mapping[str, Any]) -> None:
+        """Replica side: seed the local state (and local log) from a
+        primary's ``repl_snapshot`` image."""
+        from repro.io.state_json import state_from_dict
+
+        state = state_from_dict(snapshot["state"], self.db.schema)
+        self.db.load_state(state, validate=False)
+        self.db.sync_wal()
+        self.applied_lsn = int(snapshot["lsn"])
+        self.primary_durable_lsn = max(
+            self.primary_durable_lsn, self.applied_lsn
+        )
+
+    def apply_replicated(
+        self, records: list[Mapping[str, Any]], durable_lsn: int
+    ) -> None:
+        """Replica side: redo a polled batch of primary records.
+
+        Runs synchronously (no awaits), so a ``promote`` arriving on
+        another connection can never observe half a batch.  Records
+        re-log through the replica's *own* WAL (its lsns, its group
+        markers), so the local log is independently recoverable.
+
+        Bare inserts -- the bulk of any write-heavy stream -- redo
+        through :meth:`Database.redo_insert`, which trusts the
+        primary's validation instead of re-running every constraint
+        probe; everything else takes the applier's validating replay,
+        where divergence (a record the primary committed but this
+        state rejects) raises :class:`RecoveryError` and the replica
+        loop treats it as fatal.
+        """
+        applier = self._applier
+        if applier is None:
+            raise RecoveryError("not a replica (already promoted?)")
+        db = self.db
+        applied = self.applied_lsn
+        for record in records:
+            lsn = record.get("lsn", 0)
+            if record.get("op") == "insert" and not applier.in_txn:
+                try:
+                    db.redo_insert(record)
+                except (ConstraintViolationError, KeyError) as exc:
+                    raise RecoveryError(
+                        f"logged record lsn={lsn} was rejected on "
+                        f"replay: {exc}"
+                    ) from exc
+                applier.max_lsn = max(applier.max_lsn, lsn)
+                applier.report.records_replayed += 1
+                db.stats.wal_replayed_records += 1
+            else:
+                applier.feed(dict(record))
+            if lsn > applied:
+                applied = lsn
+        self.applied_lsn = applied
+        self.db.sync_wal()
+        self.repl_applied += len(records)
+        self.primary_durable_lsn = max(self.primary_durable_lsn, durable_lsn)
+        if self.metrics is not None and records:
+            self.metrics.repl_applied.inc(len(records))
 
     def _check_shard(self, verb: str, frame: Mapping[str, Any]) -> None:
         """Reject single-shard requests whose primary key this worker
@@ -690,6 +1078,15 @@ class DatabaseService:
                 "aborted": self.prepare_aborts,
                 "expired": self.prepare_expired,
             },
+            "replication": {
+                "role": self.role,
+                "primary": self.primary,
+                "replicas": len(self._replicas),
+                "shipped": self.repl_shipped,
+                "applied": self.repl_applied,
+                "applied_lsn": self.applied_lsn,
+                "lag": self.replication_lag(),
+            },
         }
         if self.shard is not None:
             out["shard"] = {
@@ -765,7 +1162,11 @@ class DatabaseService:
                     # them all, waiting cannot grow it -- commit
                     # immediately.
                     remaining = deadline - loop.time()
-                    expected = max(self.inflight, self.connections)
+                    # Parked replication polls hold connections open
+                    # but never submit mutations -- they are not
+                    # stragglers worth waiting for.
+                    peers = self.connections - len(self._repl_sessions)
+                    expected = max(self.inflight, peers)
                     if expected <= len(batch) or remaining <= 0:
                         break
                     try:
@@ -929,6 +1330,13 @@ class DatabaseService:
                     for t in results
                 ],
             )
+            if self.db.wal is not None:
+                outcome["lsn"] = self.db.wal.next_lsn - 1
+                self._signal_commit()
+                if self._replicas and not self._draining:
+                    # Same semi-sync gate as a group commit: the
+                    # decision ack implies replica receipt.
+                    await self._await_replication(self.db.wal.durable_lsn)
         if not dfuture.done():
             dfuture.set_result(outcome)
 
@@ -988,7 +1396,14 @@ class DatabaseService:
                     error_frame(request_id, "server-error", repr(exc))
                 )
             else:
-                outcomes.append(ok_frame(request_id, result))
+                outcome = ok_frame(request_id, result)
+                if self.db.wal is not None:
+                    # The lsn of the mutation's last log record -- the
+                    # client's read-your-writes watermark (a replica is
+                    # caught up with this write once its applied_lsn
+                    # reaches it).
+                    outcome["lsn"] = self.db.wal.next_lsn - 1
+                outcomes.append(outcome)
             finally:
                 # Clear before the next item -- and before the barrier,
                 # so the group-commit trace event (which covers the
@@ -1016,10 +1431,26 @@ class DatabaseService:
                     self.metrics.wal_sync_seconds.observe(
                         perf_counter() - sync_started
                     )
+                # Wake parked replica polls: new durable records exist.
+                self._signal_commit()
         if self.metrics is not None:
             self.metrics.batch_size.observe(len(batch))
-        for (_, _, _, _, future), outcome in zip(batch, outcomes):
+        acked_lsn = (
+            self.db.wal.durable_lsn
+            if self.db.wal is not None and self.poisoned is None
+            else 0
+        )
+        for _ in batch:
             self.inflight -= 1
+        if self._replicas and acked_lsn and not self._draining:
+            # Semi-synchronous shipping: the batch is durable here, but
+            # acks wait until every sync replica confirms receipt --
+            # otherwise a primary-host loss could lose acked records.
+            asyncio.ensure_future(
+                self._resolve_after_confirm(batch, outcomes, acked_lsn)
+            )
+            return
+        for (_, _, _, _, future), outcome in zip(batch, outcomes):
             if not future.done():
                 future.set_result(outcome)
 

@@ -75,13 +75,24 @@ class Supervisor:
         worker_args: list[str],
         wal: str | None = None,
         ready_timeout: float = 60.0,
+        replicate_from: list[str] | None = None,
     ):
         if workers < 1:
             raise ValueError("a fleet needs at least one worker")
+        if replicate_from is not None and len(replicate_from) != workers:
+            raise ValueError(
+                f"need one primary address per worker: got "
+                f"{len(replicate_from)} for {workers} workers"
+            )
         self.n_workers = workers
         self.host = host
         self.wal = wal
         self.worker_args = list(worker_args)
+        #: Per-worker primary addresses (``host:port`` of the matching
+        #: shard on the primary fleet); set, every worker runs as a
+        #: replica of its counterpart and the whole fleet is promotable
+        #: shard by shard.
+        self.replicate_from = replicate_from
         self.ready_timeout = ready_timeout
         self.shared_socket = bind_socket(host, port)
         self.port: int = self.shared_socket.getsockname()[1]
@@ -176,6 +187,8 @@ class Supervisor:
         ]
         if self.wal is not None:
             cmd += ["--wal", f"{self.wal}.w{index}"]
+        if self.replicate_from is not None:
+            cmd += ["--replicate-from", self.replicate_from[index]]
         return cmd
 
     def _spawn(self, index: int, respawned: bool = False) -> None:
@@ -369,6 +382,139 @@ class FleetProcess:
 
     def stop(self) -> int:
         """Graceful fleet drain; the supervisor's exit code."""
+        if self.proc.poll() is None:
+            with _suppress_process_errors():
+                self.proc.send_signal(signal.SIGTERM)
+        try:
+            code = self.proc.wait(timeout=self.timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            code = self.proc.wait()
+        self._reader.join(timeout=10)
+        return code
+
+
+class ServerProcess:
+    """A plain (one-worker) ``repro serve`` run as a child process.
+
+    The single-server sibling of :class:`FleetProcess`, used by the
+    replication tests and ``bench_server --replicated``: it parses the
+    ``listening on`` readiness line, exposes the stdout transcript for
+    assertions (``replica caught up ...``, ``promoted to primary``),
+    and supports both graceful drain (:meth:`stop`) and crash
+    injection (:meth:`kill`).
+    """
+
+    def __init__(
+        self,
+        schema: str,
+        wal: str | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicate_from: str | None = None,
+        extra_args: tuple[str, ...] = (),
+        timeout: float = 60.0,
+    ):
+        self.timeout = timeout
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            schema,
+            "--host",
+            host,
+            "--port",
+            str(port),
+        ]
+        if wal is not None:
+            cmd += ["--wal", wal]
+        if replicate_from is not None:
+            cmd += ["--replicate-from", replicate_from]
+        cmd += list(extra_args)
+        env = dict(os.environ)
+        env.setdefault("PYTHONUNBUFFERED", "1")
+        pkg_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        paths = env.get("PYTHONPATH", "")
+        if pkg_root not in paths.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                pkg_root + os.pathsep + paths if paths else pkg_root
+            )
+        self.proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            # Replica-status lines (``replica caught up ...``) print to
+            # stderr; merge them into the transcript so wait_line()
+            # sees both streams.
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.host = host
+        self.port: int | None = None
+        self.lines: list[str] = []
+        self._ready = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read, name="repro-server-reader", daemon=True
+        )
+        self._reader.start()
+
+    def __enter__(self) -> "ServerProcess":
+        return self.wait_ready()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _read(self) -> None:
+        stdout: IO[str] = self.proc.stdout  # type: ignore[assignment]
+        for raw in stdout:
+            line = raw.rstrip("\n")
+            self.lines.append(line)
+            if line.startswith("listening on "):
+                self.port = int(line.rpartition(":")[2])
+                self._ready.set()
+        self._ready.set()  # EOF: unblock waiters even on startup failure
+
+    def wait_ready(self) -> "ServerProcess":
+        """Block until the readiness line; self, for chaining."""
+        if not self._ready.wait(self.timeout) or self.port is None:
+            self.stop()
+            raise RuntimeError(
+                "server failed to start:\n" + "\n".join(self.lines[-20:])
+            )
+        return self
+
+    def wait_line(self, prefix: str, timeout: float = 30.0) -> str:
+        """Block until a stdout line starting with ``prefix`` appears
+        (e.g. ``replica caught up``); returns the line."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        seen = 0
+        while time.monotonic() < deadline:
+            lines = self.lines
+            for line in lines[seen:]:
+                if line.startswith(prefix):
+                    return line
+            seen = len(lines)
+            time.sleep(0.02)
+        raise RuntimeError(
+            f"no line starting with {prefix!r} within {timeout}s:\n"
+            + "\n".join(self.lines[-20:])
+        )
+
+    def kill(self) -> int:
+        """SIGKILL the server (crash injection); returns its pid."""
+        pid = self.proc.pid
+        with _suppress_process_errors():
+            self.proc.kill()
+        self.proc.wait()
+        return pid
+
+    def stop(self) -> int:
+        """Graceful drain via SIGTERM; the server's exit code."""
         if self.proc.poll() is None:
             with _suppress_process_errors():
                 self.proc.send_signal(signal.SIGTERM)

@@ -401,3 +401,34 @@ def test_monitor_unreachable_server_errors(capsys):
     with pytest.raises(SystemExit):
         main(["monitor", f"127.0.0.1:{port}", "--once"])
     assert "cannot reach" in capsys.readouterr().err
+
+
+def test_resolve_workers_semantics():
+    """``--workers`` absent: plain server; explicit 0: one worker per
+    detected core; explicit N: exactly N; negative: rejected."""
+    import os
+
+    from repro.cli import CliError, build_parser, resolve_workers
+
+    assert resolve_workers(None) is None
+    assert resolve_workers(0) == (os.cpu_count() or 1)
+    assert resolve_workers(3) == 3
+    with pytest.raises(CliError):
+        resolve_workers(-1)
+    # The parser distinguishes "flag absent" from an explicit 0.
+    args = build_parser().parse_args(["serve", "schema.json"])
+    assert args.workers is None
+    args = build_parser().parse_args(["serve", "schema.json", "--workers", "0"])
+    assert args.workers == 0
+
+
+def test_promote_unreachable_server_errors(capsys):
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    with pytest.raises(SystemExit):
+        main(["promote", f"127.0.0.1:{port}"])
+    assert "cannot reach" in capsys.readouterr().err
