@@ -51,6 +51,24 @@ WAL_KEYS = frozenset(
     ("checkpoint_ms", "insert_wal_off", "insert_wal_on", "wal_overhead_x")
 )
 
+#: The ``advisor`` sub-entry of an engine entry: profile-join latency
+#: before/after the advised online merge.
+ADVISOR_KEYS = frozenset(
+    (
+        "recommended",
+        "merged_name",
+        "joins_observed",
+        "apply_ms",
+        "join_ops_per_s_before",
+        "join_ops_per_s_after",
+        "join_p50_us_before",
+        "join_p50_us_after",
+        "join_p99_us_before",
+        "join_p99_us_after",
+        "join_speedup_x",
+    )
+)
+
 #: One client-load run (shared by the server matrix and the metrics
 #: overhead entry).
 RUN_KEYS = frozenset(
@@ -112,6 +130,10 @@ def validate_report(report: object) -> list[str]:
         problems += _missing(entry, ENGINE_KEYS, where)
         if isinstance(entry, dict) and "wal" in entry:
             problems += _missing(entry["wal"], WAL_KEYS, f"{where}.wal")
+        if isinstance(entry, dict) and "advisor" in entry:
+            problems += _missing(
+                entry["advisor"], ADVISOR_KEYS, f"{where}.advisor"
+            )
 
     if "server" in report:
         server = report["server"]

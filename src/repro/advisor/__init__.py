@@ -1,0 +1,36 @@
+"""Workload-driven online merge advisor (Sections 5/6 made live).
+
+The paper's SDT tool decides merges statically, from the schema alone.
+This package closes the loop with the running engine: mine the actual
+workload (which inclusion dependencies the application joins across,
+which schemes it mutates), score every mergeable family's saved join
+traffic against its added mutation overhead, filter through the
+Section 5 DBMS-compatibility conditions, and apply the winner online
+inside one WAL transaction.
+
+* :mod:`repro.advisor.profile` -- :class:`WorkloadProfile`, the mined
+  counters and the per-family scoring model;
+* :mod:`repro.advisor.advisor` -- :class:`MergeAdvisor` plus the
+  :func:`advise` / :func:`apply_recommendation` entry points the server
+  verbs and the CLI call.
+"""
+
+from repro.advisor.advisor import (
+    DEFAULT_STRATEGY,
+    MergeAdvisor,
+    advise,
+    advise_snapshot,
+    apply_recommendation,
+    resolve_strategy,
+)
+from repro.advisor.profile import WorkloadProfile
+
+__all__ = [
+    "DEFAULT_STRATEGY",
+    "MergeAdvisor",
+    "WorkloadProfile",
+    "advise",
+    "advise_snapshot",
+    "apply_recommendation",
+    "resolve_strategy",
+]

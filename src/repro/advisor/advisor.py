@@ -1,0 +1,148 @@
+"""The online merge advisor: mined workload -> ranked merge recommendation.
+
+Ties the three pieces the rest of the package provides into one
+decision pipeline:
+
+1. a :class:`~repro.advisor.profile.WorkloadProfile` snapshots the
+   engine's mined per-IND join counters and per-scheme mutation rates;
+2. a workload-aware :class:`~repro.core.planner.MergePlanner` filters
+   candidate families through the Section 5 admissibility conditions
+   (Propositions 5.1/5.2, the Figure 8 amenability classes) and ranks
+   the admissible ones by observed join traffic saved minus mutation
+   overhead added;
+3. the winning family's merge executes online through
+   :meth:`Database.apply_merge_online` -- one WAL transaction, Merge +
+   Remove state mappings, Definition 2.1 re-verification -- so recovery
+   lands fully-merged or fully-unmerged, never in between.
+
+Steps 1-2 are pure reads (:func:`advise`); step 3 is the single mutation
+(:func:`apply_recommendation`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.advisor.profile import WorkloadProfile
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.obs.trace import Tracer
+
+
+#: Strategy the advisor uses unless told otherwise: Proposition 5.1's
+#: conditions (key-based referential integrity, non-null merged keys)
+#: keep the merged schema enforceable on any DBMS with declarative
+#: key-based RI -- the paper's Section 5.1 recommendation.
+DEFAULT_STRATEGY = MergeStrategy.KEY_BASED
+
+
+def resolve_strategy(name: str | MergeStrategy | None) -> MergeStrategy:
+    """``None``/name/enum -> :class:`MergeStrategy` (advisor default)."""
+    if name is None:
+        return DEFAULT_STRATEGY
+    if isinstance(name, MergeStrategy):
+        return name
+    return MergeStrategy(name)
+
+
+class MergeAdvisor:
+    """Recommend (and optionally apply) the best workload-backed merge."""
+
+    def __init__(
+        self,
+        schema,
+        profile: WorkloadProfile,
+        strategy: str | MergeStrategy | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.schema = schema
+        self.profile = profile
+        self.strategy = resolve_strategy(strategy)
+        self.planner = MergePlanner(
+            schema, self.strategy, tracer=tracer, workload=profile
+        )
+
+    def recommend(self) -> dict:
+        """The full advisory report.
+
+        ``recommendation`` is the best-scoring admissible family (or
+        ``None`` when no family both passes the Section 5 filter and
+        pays for itself on the observed workload); ``families`` carries
+        every candidate's verdicts, reasons and observed counts --
+        the same EXPLAIN structure ``repro explain --merge`` prints.
+        """
+        explanation = self.planner.explain()
+        by_key = {f["key_relation"]: f for f in explanation["families"]}
+        selected = explanation["selected"]
+        recommendation = None
+        if selected:
+            best = by_key[selected[0]]
+            recommendation = {
+                "key_relation": best["key_relation"],
+                "members": list(best["members"]),
+                "reason": best["reason"],
+                "rule": best["rule"],
+                "workload": best.get("workload"),
+            }
+        return {
+            "strategy": self.strategy.value,
+            "workload": {
+                "joins_observed": self.profile.total_joins,
+                "mutations_observed": self.profile.total_mutations,
+                "ind_joins": dict(self.profile.ind_joins),
+            },
+            "families": explanation["families"],
+            "selected": selected,
+            "recommendation": recommendation,
+            "explain_text": self.planner.explain_text(),
+        }
+
+
+def advise(
+    db,
+    strategy: str | MergeStrategy | None = None,
+    tracer: Tracer | None = None,
+) -> dict:
+    """Advisory report for a live :class:`Database` from its own mined
+    counters (a pure read)."""
+    advisor = MergeAdvisor(
+        db.schema,
+        WorkloadProfile.from_stats(db.stats),
+        strategy=strategy,
+        tracer=tracer if tracer is not None else db.tracer,
+    )
+    return advisor.recommend()
+
+
+def advise_snapshot(
+    schema,
+    snapshot: Mapping,
+    strategy: str | MergeStrategy | None = None,
+) -> dict:
+    """Advisory report from a ``stats`` snapshot dict (for clients that
+    only hold the wire-form counters, e.g. the monitor)."""
+    advisor = MergeAdvisor(
+        schema, WorkloadProfile.from_snapshot(snapshot), strategy=strategy
+    )
+    return advisor.recommend()
+
+
+def apply_recommendation(db, report: dict | None = None, strategy=None):
+    """Apply the report's recommended merge online; returns the
+    :class:`~repro.core.remove.SimplifyResult`.
+
+    Computes a fresh report when none is passed.  Raises ``ValueError``
+    when the advisor has nothing to recommend (no admissible family
+    pays for itself on the observed workload).
+    """
+    if report is None:
+        report = advise(db, strategy=strategy)
+    recommendation = report.get("recommendation")
+    if recommendation is None:
+        raise ValueError(
+            "advisor has no recommendation: no admissible family pays "
+            "for itself on the observed workload"
+        )
+    return db.apply_merge_online(
+        recommendation["members"],
+        key_relation=recommendation["key_relation"],
+    )

@@ -18,6 +18,7 @@ recognised by their ``object_sets`` field.  Commands:
 ``recover``    rebuild the committed state from a write-ahead log
 ``serve``      serve a database over the JSON-lines TCP protocol
 ``promote``    turn a replica (or replica fleet) into the primary
+``advise``     workload-driven merge recommendation from a live server
 ``monitor``    live terminal dashboard over a running server
 
 Every command reads JSON from file arguments and writes human output to
@@ -149,7 +150,10 @@ def cmd_check(args: argparse.Namespace) -> int:
     if (args.state is None) == (args.wal is None):
         raise CliError("pass exactly one of a state file or --wal LOG")
     if args.wal is not None:
-        state = _recovered_state(schema, args.wal)
+        # Recovery may evolve the schema (a logged online merge, or a
+        # checkpoint embedding the merged schema); check against the
+        # schema the log actually recovered to.
+        schema, state = _recovered_state(schema, args.wal)
     else:
         state = state_from_dict(_load_json(args.state), schema)
     tracer, trace_path = _open_tracer(args.trace)
@@ -171,8 +175,10 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def _recovered_state(schema, wal_path: str):
-    """The state a log recovers to, unverified (for ``check --wal``,
-    which runs its own consistency pass)."""
+    """The (schema, state) a log recovers to, unverified (for ``check
+    --wal``, which runs its own consistency pass).  The returned schema
+    is the recovered database's own -- a logged merge evolves it past
+    the boot schema."""
     from repro.engine.recovery import RecoveryError, recover_database
     from repro.engine.wal import WalError
 
@@ -180,9 +186,10 @@ def _recovered_state(schema, wal_path: str):
         result = recover_database(schema, wal_path, verify=False)
     except (RecoveryError, WalError, OSError) as exc:
         raise CliError(f"cannot recover {wal_path}: {exc}")
+    schema = result.database.schema
     state = result.database.state()
     result.database.wal.close()
-    return state
+    return schema, state
 
 
 def cmd_recover(args: argparse.Namespace) -> int:
@@ -755,6 +762,60 @@ def cmd_promote(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_advise(args: argparse.Namespace) -> int:
+    """``advise``: ask a running server's merge advisor for the best
+    workload-backed merge; ``--apply`` executes it online (one WAL
+    transaction on the server's single-writer path)."""
+    from repro.client import Client
+
+    host, port = _parse_target(args.target)
+    try:
+        with Client(host=host, port=port, timeout=args.timeout) as client:
+            report = client.advise(strategy=args.strategy)
+            if args.json:
+                print(json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(report["explain_text"])
+                workload = report["workload"]
+                print(
+                    f"observed: {workload['joins_observed']} IND join(s), "
+                    f"{workload['mutations_observed']} mutation(s)"
+                )
+                recommendation = report["recommendation"]
+                if recommendation is None:
+                    print(
+                        "recommendation: none (no admissible family pays "
+                        "for itself on the observed workload)"
+                    )
+                else:
+                    print(
+                        "recommendation: merge "
+                        f"{{{', '.join(recommendation['members'])}}} "
+                        f"around {recommendation['key_relation']}"
+                    )
+            if not args.apply:
+                return 0
+            recommendation = report["recommendation"]
+            if recommendation is None:
+                raise CliError(
+                    "nothing to apply: the advisor has no recommendation"
+                )
+            result = client.apply_merge(
+                members=recommendation["members"],
+                key_relation=recommendation["key_relation"],
+            )
+            removed = sum(len(r) for r in result["removed"])
+            print(
+                f"applied: {result['merged_name']} <- "
+                f"{{{', '.join(result['members'])}}} "
+                f"(removed {removed} attr(s)); "
+                f"schema now has {len(result['schemes'])} scheme(s)"
+            )
+    except OSError as exc:
+        raise CliError(f"cannot reach {args.target}: {exc}")
+    return 0
+
+
 def cmd_monitor(args: argparse.Namespace) -> int:
     """``monitor``: poll a running server's ``stats`` verb and repaint
     a terminal dashboard (throughput, per-verb latency, violations by
@@ -1143,6 +1204,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to wait per connection (default: 30)",
     )
     p.set_defaults(fn=cmd_promote)
+
+    p = sub.add_parser(
+        "advise",
+        help="workload-driven merge recommendation from a live server",
+    )
+    p.add_argument("target", metavar="HOST:PORT")
+    p.add_argument(
+        "--strategy",
+        choices=[s.value for s in MergeStrategy],
+        default=None,
+        help=(
+            "admissibility filter (default: the advisor's key-based "
+            "strategy, Proposition 5.1)"
+        ),
+    )
+    p.add_argument(
+        "--apply",
+        action="store_true",
+        help="apply the recommended merge online (one WAL transaction)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full advisory report as JSON",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait per connection (default: 30)",
+    )
+    p.set_defaults(fn=cmd_advise)
 
     p = sub.add_parser(
         "monitor", help="live dashboard over a running server"

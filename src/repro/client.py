@@ -263,6 +263,35 @@ class Client:
         """The enforcement plan EXPLAIN dict for ``op`` on ``scheme``."""
         return self.call("explain", op=op, scheme=scheme)
 
+    def advise(self, strategy: str | None = None) -> dict[str, Any]:
+        """The merge advisor's report over the server's mined workload
+        counters: candidate families with Section 5 verdicts and
+        workload scores, the ``recommendation`` (or ``None``), and the
+        EXPLAIN text."""
+        params = {"strategy": strategy} if strategy is not None else {}
+        return self.call("advise", **params)
+
+    def apply_merge(
+        self,
+        members: list[str] | None = None,
+        key_relation: str | None = None,
+        merged_name: str | None = None,
+        strategy: str | None = None,
+    ) -> dict[str, Any]:
+        """Apply a merge online (one WAL transaction on the server's
+        single-writer path).  With no ``members`` the advisor's
+        recommendation is applied."""
+        params: dict[str, Any] = {}
+        if members is not None:
+            params["members"] = list(members)
+            if key_relation is not None:
+                params["key_relation"] = key_relation
+            if merged_name is not None:
+                params["merged_name"] = merged_name
+        elif strategy is not None:
+            params["strategy"] = strategy
+        return self.call("apply_merge", **params)
+
     def metrics(self) -> str:
         """The server's Prometheus text exposition."""
         return self.call("metrics")

@@ -146,10 +146,19 @@ class MergePlanner:
         schema: RelationalSchema,
         strategy: MergeStrategy = MergeStrategy.AGGRESSIVE,
         tracer: Tracer | None = None,
+        workload=None,
     ):
         self.schema = schema
         self.strategy = strategy
         self.tracer = tracer
+        #: Optional workload profile (duck-typed:
+        #: :class:`repro.advisor.profile.WorkloadProfile`) switching the
+        #: planner into workload-aware mode: admitted families are
+        #: additionally scored by observed join traffic saved minus
+        #: mutation overhead added, non-positive scores are skipped, and
+        #: the best-scoring family is applied first.  The Proposition
+        #: 5.1/5.2 verdicts stay the admissibility filter either way.
+        self.workload = workload
 
     # -- discovery -----------------------------------------------------------
 
@@ -243,9 +252,12 @@ class MergePlanner:
 
     def _decide(
         self,
-    ) -> tuple[list[FamilyDecision], tuple[CandidateFamily, ...]]:
-        """Every family's decision (in discovery order) plus the selected
-        disjoint families (in application order)."""
+    ) -> tuple[
+        list[FamilyDecision], tuple[CandidateFamily, ...], dict[str, dict]
+    ]:
+        """Every family's decision (in discovery order), the selected
+        disjoint families (in application order), and -- in workload mode --
+        the per-family observed scores keyed by key-relation."""
         decisions: dict[str, FamilyDecision] = {}
         order: list[str] = []
         admitted: list[CandidateFamily] = []
@@ -257,7 +269,38 @@ class MergePlanner:
             )
             if ok:
                 admitted.append(family)
-        admitted.sort(key=lambda f: (-len(f.members), f.key_relation))
+        scores: dict[str, dict] = {}
+        if self.workload is not None:
+            # Workload-aware mode: the strategy verdict above is the
+            # admissibility filter; the observed profile decides which
+            # admissible family pays for itself and which goes first.
+            surviving: list[CandidateFamily] = []
+            for family in admitted:
+                score = self.workload.score_family(self.schema, family.members)
+                scores[family.key_relation] = score
+                if score["score"] <= 0:
+                    decisions[family.key_relation] = FamilyDecision(
+                        family,
+                        False,
+                        "workload: observed join traffic saved "
+                        f"({score['joins_saved']}) does not outweigh "
+                        "observed mutation overhead "
+                        f"({score['mutation_overhead']})",
+                        "workload scoring "
+                        "(joins saved vs. mutation overhead)",
+                    )
+                    continue
+                surviving.append(family)
+            admitted = surviving
+            admitted.sort(
+                key=lambda f: (
+                    -scores[f.key_relation]["score"],
+                    -len(f.members),
+                    f.key_relation,
+                )
+            )
+        else:
+            admitted.sort(key=lambda f: (-len(f.members), f.key_relation))
         used: set[str] = set()
         claimed: dict[str, str] = {}
         selected: list[CandidateFamily] = []
@@ -277,7 +320,7 @@ class MergePlanner:
             for member in family.members:
                 claimed[member] = family.key_relation
             selected.append(family)
-        return [decisions[k] for k in order], tuple(selected)
+        return [decisions[k] for k in order], tuple(selected), scores
 
     def decisions(self) -> tuple[FamilyDecision, ...]:
         """The admit/skip verdict for every candidate family, with the
@@ -286,41 +329,49 @@ class MergePlanner:
 
     def selected_families(self) -> tuple[CandidateFamily, ...]:
         """Candidate families admitted by the strategy, made disjoint
-        (larger families win; ties broken by key-relation name)."""
+        (best workload score first when a profile is set, else larger
+        families win; ties broken by key-relation name)."""
         return self._decide()[1]
 
     def explain(self) -> dict:
         """The planner's reasoning as a structured dict: every candidate
         family with its Proposition 5.1/5.2 verdicts and the admission
-        decision the strategy took."""
-        decisions, selected = self._decide()
+        decision the strategy took.  In workload mode every scored
+        family additionally carries its observed per-IND join counts,
+        mutation overhead, and net score."""
+        decisions, selected, scores = self._decide()
+        families = []
+        for d in decisions:
+            entry = {
+                "key_relation": d.family.key_relation,
+                "members": list(d.family.members),
+                "verdicts": {
+                    "prop51_key_based_inds_only": d.family.key_based_only,
+                    "prop51_keys_not_null": d.family.keys_not_null,
+                    "prop52_nna_only": d.family.nna_only,
+                },
+                "admitted": d.admitted,
+                "reason": d.reason,
+                "rule": d.rule,
+            }
+            if d.family.key_relation in scores:
+                entry["workload"] = scores[d.family.key_relation]
+            families.append(entry)
         return {
             "strategy": self.strategy.value,
+            "workload_mode": self.workload is not None,
             "schemes": len(self.schema.schemes),
-            "families": [
-                {
-                    "key_relation": d.family.key_relation,
-                    "members": list(d.family.members),
-                    "verdicts": {
-                        "prop51_key_based_inds_only": d.family.key_based_only,
-                        "prop51_keys_not_null": d.family.keys_not_null,
-                        "prop52_nna_only": d.family.nna_only,
-                    },
-                    "admitted": d.admitted,
-                    "reason": d.reason,
-                    "rule": d.rule,
-                }
-                for d in decisions
-            ],
+            "families": families,
             "selected": [f.key_relation for f in selected],
         }
 
     def explain_text(self) -> str:
         """Human-readable form of :meth:`explain`."""
         explanation = self.explain()
+        mode = ", workload-aware" if explanation["workload_mode"] else ""
         lines = [
-            f"EXPLAIN merge plan (strategy: {explanation['strategy']}, "
-            f"{explanation['schemes']} schemes)"
+            f"EXPLAIN merge plan (strategy: {explanation['strategy']}"
+            f"{mode}, {explanation['schemes']} schemes)"
         ]
         if not explanation["families"]:
             lines.append(
@@ -335,6 +386,18 @@ class MergePlanner:
             )
             lines.append(f"       {entry['reason']}")
             lines.append(f"       rule: {entry['rule']}")
+            workload = entry.get("workload")
+            if workload is not None:
+                lines.append(
+                    "       observed: "
+                    f"{workload['joins_saved']} join(s) saved, "
+                    f"{workload['mutation_overhead']} mutation(s) added, "
+                    f"score {workload['score']:+d}"
+                )
+                for ind, count in sorted(
+                    workload["observed_ind_joins"].items()
+                ):
+                    lines.append(f"         {count:>6}  {ind}")
         return "\n".join(lines)
 
     def _trace_decisions(self, decisions: list[FamilyDecision]) -> None:
@@ -358,7 +421,7 @@ class MergePlanner:
 
     def apply(self) -> PlanResult:
         """Merge every selected family and compose the state mappings."""
-        decisions, selected = self._decide()
+        decisions, selected, _scores = self._decide()
         self._trace_decisions(decisions)
         result = PlanResult(source_schema=self.schema, schema=self.schema)
         current = self.schema

@@ -315,6 +315,64 @@ def _bench_wal(n_ops: int, wal_path: str | None) -> dict[str, float]:
     }
 
 
+def _bench_advisor(n_courses: int, n_ops: int) -> dict[str, Any]:
+    """The advisor's acceptance measurement: profile-join latency on
+    the live engine before and after an *advised online* merge.
+
+    A fresh WAL-backed university database serves the Figure 3
+    course-profile navigation until the mined counters make the COURSE
+    family pay; the advisor's recommendation is then applied through
+    ``apply_merge_online`` (quiesce, transform, re-verify, one WAL
+    transaction) and the same profile repeats as a single ``get`` on
+    the merged scheme.
+    """
+    from repro.advisor import advise, apply_recommendation
+    from repro.engine.wal import MemoryStorage, WriteAheadLog
+
+    db = Database(
+        university_relational(), wal=WriteAheadLog(MemoryStorage())
+    )
+    db.load_state(university_state(n_courses=n_courses, seed=7), validate=False)
+    q = QueryEngine(db)
+    stats = db.stats
+    before = _ops_per_second(
+        lambda i: q.profile(
+            "COURSE", f"crs-{i % 1000:04d}", PROFILE_NAVIGATIONS
+        ),
+        n_ops,
+        stats,
+        "advisor_join_before",
+    )
+    report = advise(db)
+    recommendation = report["recommendation"]
+    start = time.perf_counter()
+    simplified = apply_recommendation(db, report)
+    apply_ms = (time.perf_counter() - start) * 1_000
+    merged_name = simplified.info.merged_name
+    after = _ops_per_second(
+        lambda i: q.profile(merged_name, f"crs-{i % 1000:04d}", []),
+        n_ops,
+        stats,
+        "advisor_join_after",
+    )
+    latencies = _latency_summary(
+        stats, ("advisor_join_before", "advisor_join_after")
+    )
+    return {
+        "recommended": recommendation["key_relation"],
+        "merged_name": merged_name,
+        "joins_observed": recommendation["workload"]["joins_saved"],
+        "apply_ms": round(apply_ms, 2),
+        "join_ops_per_s_before": round(before, 1),
+        "join_ops_per_s_after": round(after, 1),
+        "join_p50_us_before": latencies["advisor_join_before"]["p50_us"],
+        "join_p50_us_after": latencies["advisor_join_after"]["p50_us"],
+        "join_p99_us_before": latencies["advisor_join_before"]["p99_us"],
+        "join_p99_us_after": latencies["advisor_join_after"]["p99_us"],
+        "join_speedup_x": round(after / before, 2) if before else 0.0,
+    }
+
+
 def _latency_summary(
     stats: EngineStats, ops: tuple[str, ...]
 ) -> dict[str, dict]:
@@ -364,6 +422,7 @@ def run_engine_benchmark(
         indexed, scan = _bench_scan_paths(unmerged, oracle, n_ops)
         bulk, bulk_dict, bulk_speedup = _bench_bulk(unmerged, n_ops)
         wal = _bench_wal(n_ops, wal_path)
+        advisor = _bench_advisor(n, n_ops)
         mutation_ops = ("insert", "update", "navigate", "delete")
         report["results"].append(
             {
@@ -395,6 +454,7 @@ def run_engine_benchmark(
                     k: round(v, 2) for k, v in bulk_speedup.items()
                 },
                 "wal": {k: round(v, 2) for k, v in wal.items()},
+                "advisor": advisor,
             }
         )
     return report
@@ -450,5 +510,15 @@ def format_report(report: dict[str, Any]) -> str:
                 f"  on {wal['insert_wal_on']:>12.0f}"
                 f"  overhead {wal['wal_overhead_x']:>6.2f}x"
                 f"  checkpoint {wal['checkpoint_ms']:.1f} ms"
+            )
+        advisor = row.get("advisor")
+        if advisor:
+            lines.append(
+                f"{n:>8} {'advised merge':>18} "
+                f"join p50 {advisor['join_p50_us_before']:.0f}us"
+                f" -> {advisor['join_p50_us_after']:.0f}us"
+                f"  speedup {advisor['join_speedup_x']:>6.2f}x"
+                f"  apply {advisor['apply_ms']:.1f} ms"
+                f"  ({advisor['recommended']} -> {advisor['merged_name']})"
             )
     return "\n".join(lines)

@@ -49,6 +49,7 @@ from repro.engine.wal import (
     WriteAheadLog,
     delete_record,
     insert_record,
+    merge_record,
     update_record,
 )
 from repro.io.state_json import decode_value
@@ -239,6 +240,10 @@ class Database:
         #: The :class:`~repro.engine.recovery.RecoveryReport` of the
         #: recovery that built this engine (``None`` for a fresh one).
         self.recovery_report = None
+        #: Whether an online merge has moved this engine off the schema
+        #: it was constructed with; checkpoints then embed the current
+        #: schema in the snapshot record.
+        self._schema_evolved = False
 
     # -- access ----------------------------------------------------------
 
@@ -626,6 +631,7 @@ class Database:
             )
         self._store(table, t, pk)
         self.stats.inserts += 1
+        self.stats.count_scheme_mutation(scheme_name)
         if timed:
             self._observe_ok("insert", scheme_name, start)
         return t
@@ -657,6 +663,7 @@ class Database:
             )
         self._store(table, t, pk)
         self.stats.inserts += 1
+        self.stats.count_scheme_mutation(scheme_name)
         return t
 
     def delete(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> None:
@@ -681,6 +688,7 @@ class Database:
             self._wal_append(delete_record(scheme_name, pk), "delete", scheme_name)
         self._unstore(table, pk, old)
         self.stats.deletes += 1
+        self.stats.count_scheme_mutation(scheme_name)
         if timed:
             self._observe_ok("delete", scheme_name, start)
 
@@ -734,6 +742,7 @@ class Database:
         self._unstore(table, pk, old)
         self._store(table, t, new_pk)
         self.stats.updates += 1
+        self.stats.count_scheme_mutation(scheme_name)
         if timed:
             self._observe_ok("update", scheme_name, start)
         return t
@@ -792,6 +801,10 @@ class Database:
                 self._observe_reject("insert_many", scheme_name, exc, start)
             raise
         self.stats.inserts += len(stored)
+        if stored:
+            self.stats.scheme_mutations[scheme_name] = (
+                self.stats.scheme_mutations.get(scheme_name, 0) + len(stored)
+            )
         self.stats.bulk_rows += len(stored)
         if timed:
             self._observe_ok("insert_many", scheme_name, start, rows=len(stored))
@@ -892,6 +905,7 @@ class Database:
                 self._store(table, t, pk)
                 pending_out.append((scheme_name, t))
                 self.stats.inserts += 1
+                self.stats.count_scheme_mutation(scheme_name)
                 results.append(t)
             elif kind == "delete":
                 _, scheme_name, pk = op
@@ -916,6 +930,7 @@ class Database:
                     )
                 self._unstore(table, pk, old)
                 self.stats.deletes += 1
+                self.stats.count_scheme_mutation(scheme_name)
                 results.append(None)
             elif kind == "update":
                 _, scheme_name, pk, updates = op
@@ -952,6 +967,7 @@ class Database:
                 self._store(table, t, new_pk)
                 pending_out.append((scheme_name, t))
                 self.stats.updates += 1
+                self.stats.count_scheme_mutation(scheme_name)
                 results.append(t)
             else:
                 raise ValueError(f"unknown batch operation {kind!r}")
@@ -1098,6 +1114,28 @@ class Database:
                 "load_state",
                 None,
             )
+        total = self._install_state(state)
+        self.stats.bulk_rows += total
+        if validate:
+            from repro.constraints.checker import ConsistencyChecker
+
+            checker = ConsistencyChecker(self.schema, tracer=self.tracer)
+            violations = checker.violations(self.state())
+            if violations:
+                exc = ConstraintViolationError(
+                    "bulk-load", "; ".join(str(v) for v in violations[:5])
+                )
+                if timed:
+                    self._observe_reject("load_state", None, exc, start)
+                raise exc
+        if timed:
+            self._observe_ok("load_state", None, start, rows=total)
+
+    def _install_state(self, state: DatabaseState) -> int:
+        """Install ``state``'s rows and rebuild every index in one pass
+        per relation (the shared bulk-load core of :meth:`load_state`
+        and the online-merge schema swap); returns the row total.  No
+        constraint checks, no journaling -- callers own validation."""
         identical = self.null_semantics == "identical"
         total = 0
         for name, relation in state.items():
@@ -1125,21 +1163,149 @@ class Database:
                     if not any(v is NULL for v in value):
                         refs.setdefault(value, {})[pk] = None
                 table.group_indexes[attrs] = refs
-        self.stats.bulk_rows += total
-        if validate:
-            from repro.constraints.checker import ConsistencyChecker
+        return total
 
-            checker = ConsistencyChecker(self.schema, tracer=self.tracer)
-            violations = checker.violations(self.state())
-            if violations:
-                exc = ConstraintViolationError(
-                    "bulk-load", "; ".join(str(v) for v in violations[:5])
+    # -- online schema evolution ---------------------------------------------
+
+    def _adopt_schema(
+        self, schema: RelationalSchema, state: DatabaseState
+    ) -> None:
+        """Swap this engine onto ``schema`` holding ``state``, in place.
+
+        Rebuilds the compiled plans, tables and reference indexes the
+        way ``__init__`` would, while preserving the stats object, the
+        write-ahead log, the tracer and every other attachment -- the
+        handles long-lived callers (server sessions, query engines)
+        already hold stay valid.
+        """
+        self._plans = compile_schema(schema)
+        self._tables = {
+            s.name: _Table(s, self._plans[s.name]) for s in schema.schemes
+        }
+        for ind in schema.inds:
+            self._tables[ind.rhs_scheme].add_group_index(tuple(ind.rhs_attrs))
+            self._tables[ind.lhs_scheme].add_group_index(tuple(ind.lhs_attrs))
+        self.schema = schema
+        self._schema_evolved = True
+        self._install_state(state)
+
+    def _transform_merge(self, members, key_relation, merged_name):
+        """Compute the merged-and-simplified schema plus the current
+        state pushed through the composed forward mapping (Definition
+        4.1 eta, then each ``Remove`` step's mu)."""
+        from repro.core.merge import merge
+        from repro.core.remove import remove_all
+
+        result = merge(
+            self.schema,
+            members,
+            merged_name=merged_name,
+            key_relation=key_relation,
+        )
+        simplified = remove_all(result)
+        return simplified, simplified.forward.apply(self.state())
+
+    def apply_merge_online(
+        self,
+        members: Sequence[str],
+        key_relation: str | None = None,
+        merged_name: str | None = None,
+    ):
+        """Merge a scheme family on the live engine, atomically.
+
+        The paper's ``Merge`` (Definition 4.1) followed by ``Remove`` to
+        a fixpoint, executed against the running database: transform the
+        current state through the composed eta mapping, re-verify the
+        result satisfies the merged schema (Definition 2.1), then write
+        one ``merge`` record inside its own WAL ``begin``/``commit``
+        bracket and only after the commit marker is down swap the
+        in-memory schema, plans, tables and indexes in place.  Crash
+        recovery therefore lands on the fully-merged schema (marker
+        durable) or the fully-unmerged one (marker absent) -- never a
+        torn hybrid.  See ``docs/ADVISOR.md``.
+
+        Returns the :class:`~repro.core.remove.SimplifyResult` so the
+        caller keeps the merged-scheme info and both state mappings.
+        Raises :class:`~repro.core.merge.MergeError` when the family is
+        not mergeable, :class:`ConstraintViolationError` when the
+        transformed state fails re-verification, and refuses inside a
+        transaction or while a checkpoint could not run.
+        """
+        if self.in_transaction:
+            raise ConstraintViolationError(
+                "online-merge", "cannot merge schema inside a transaction"
+            )
+        timed = self._timed
+        start = perf_counter() if timed else 0.0
+        simplified, new_state = self._transform_merge(
+            members, key_relation, merged_name
+        )
+        from repro.constraints.checker import ConsistencyChecker
+
+        checker = ConsistencyChecker(simplified.schema, tracer=self.tracer)
+        violations = checker.violations(new_state)
+        if violations:
+            raise ConstraintViolationError(
+                "online-merge",
+                "merged state fails re-verification: "
+                + "; ".join(str(v) for v in violations[:5]),
+            )
+        if self.wal is not None:
+            self.wal.begin()
+            try:
+                self.wal.append(
+                    merge_record(members, key_relation, merged_name)
                 )
-                if timed:
-                    self._observe_reject("load_state", None, exc, start)
-                raise exc
+                self.wal.commit()
+            except Exception:
+                try:
+                    self.wal.abort()
+                except Exception:
+                    pass  # the log is already poisoned; surface the cause
+                raise
+        self._adopt_schema(simplified.schema, new_state)
         if timed:
-            self._observe_ok("load_state", None, start, rows=total)
+            elapsed = perf_counter() - start
+            if self.record_latencies:
+                self.stats.observe("apply_merge", elapsed)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    TraceEvent(
+                        event="merge-applied-online",
+                        op="apply_merge",
+                        scheme=simplified.info.merged_name,
+                        kind="merge-admission",
+                        rule="Definition 4.1 (Merge) + Definition 4.3 (Remove)",
+                        outcome="ok",
+                        rows=sum(len(t) for t in self._tables.values()),
+                        detail=(
+                            f"members={','.join(members)} "
+                            f"key_relation={simplified.info.key_relation}"
+                        ),
+                        elapsed_us=round(elapsed * 1e6, 3),
+                    )
+                )
+        return simplified
+
+    def redo_merge(
+        self,
+        members: Sequence[str],
+        key_relation: str | None = None,
+        merged_name: str | None = None,
+    ):
+        """Replay one logged ``merge`` record (recovery/replication).
+
+        Recomputes the deterministic ``Merge`` + ``Remove`` pipeline
+        from the current schema and swaps in place, without re-logging
+        and without re-verifying (recovery re-checks the final state
+        wholesale; a replica trusts its primary's verification exactly
+        as :meth:`redo_insert` does).
+        """
+        simplified, new_state = self._transform_merge(
+            members, key_relation, merged_name
+        )
+        self._adopt_schema(simplified.schema, new_state)
+        return simplified
 
     # -- durability ------------------------------------------------------------
 
@@ -1156,7 +1322,14 @@ class Database:
         start = perf_counter() if timed else 0.0
         from repro.io.state_json import state_to_dict
 
-        lsn = self.wal.write_snapshot(state_to_dict(self.state()))
+        schema_dict = None
+        if self._schema_evolved:
+            from repro.io.relational_json import relational_schema_to_dict
+
+            schema_dict = relational_schema_to_dict(self.schema)
+        lsn = self.wal.write_snapshot(
+            state_to_dict(self.state()), schema_dict
+        )
         self.stats.checkpoints += 1
         if timed:
             elapsed = perf_counter() - start

@@ -29,6 +29,38 @@ class QueryEngine:
     def __init__(self, db: Database):
         self.db = db
         self.stats = db.stats
+        self._ind_cache: tuple[Any, dict, dict] | None = None
+
+    def _ind_maps(self) -> tuple[dict, dict]:
+        """Per-IND lookup maps for the workload profile, rebuilt when the
+        database's schema object changes (an online merge swaps it).
+
+        The forward map keys a ``join_to`` call shape
+        ``(via, target_scheme, target_attrs)`` to the matching IND's
+        string form; the reverse map keys a ``find_referencing`` shape
+        ``(source_scheme, via, target_attrs)``.
+        """
+        schema = self.db.schema
+        cache = self._ind_cache
+        if cache is not None and cache[0] is schema:
+            return cache[1], cache[2]
+        forward: dict[tuple, str] = {}
+        reverse: dict[tuple, str] = {}
+        for ind in schema.inds:
+            label = str(ind)
+            forward.setdefault(
+                (ind.lhs_attrs, ind.rhs_scheme, ind.rhs_attrs), label
+            )
+            # The same IND navigated backwards (referenced key -> the
+            # referencing rows) -- the Figure 3 profile-query shape.
+            forward.setdefault(
+                (ind.rhs_attrs, ind.lhs_scheme, ind.lhs_attrs), label
+            )
+            reverse.setdefault(
+                (ind.lhs_scheme, ind.lhs_attrs, ind.rhs_attrs), label
+            )
+        self._ind_cache = (schema, forward, reverse)
+        return forward, reverse
 
     # -- primitives ---------------------------------------------------------
 
@@ -51,7 +83,8 @@ class QueryEngine:
         The primary-key probe inside the navigation counts as one
         lookup, exactly as the equivalent :meth:`Database.get` would.
         """
-        value = tuple(source[a] for a in via)
+        via_t = tuple(via)
+        value = tuple(source[a] for a in via_t)
         self.stats.joins_performed += 1
         if any(is_null(v) for v in value):
             return None
@@ -61,6 +94,9 @@ class QueryEngine:
             if target_attrs is not None
             else table.scheme.key_names
         )
+        ind = self._ind_maps()[0].get((via_t, target_scheme, targets))
+        if ind is not None:
+            self.stats.count_ind_join(ind)
         if targets == table.scheme.key_names:
             self.stats.lookups += 1
             return table.rows.get(value)
@@ -92,11 +128,19 @@ class QueryEngine:
         dependency side); only unindexed or null-valued probes scan.
         Results come back in row insertion order, as a scan would
         produce them.
+
+        Every probe (pk or reverse-index) counts one ``lookup`` besides
+        the join, mirroring ``join_to``'s pk probe -- a navigation is
+        never cheaper than a point query in either direction.
         """
         self.stats.joins_performed += 1
         value = tuple(target[a] for a in target_attrs)
         table = self.db.table(source_scheme)
         via_t = tuple(via)
+        targets_t = tuple(target_attrs)
+        ind = self._ind_maps()[1].get((source_scheme, via_t, targets_t))
+        if ind is not None:
+            self.stats.count_ind_join(ind)
         if not any(v is NULL for v in value):
             if via_t == table.scheme.key_names:
                 self.stats.lookups += 1
@@ -105,6 +149,7 @@ class QueryEngine:
             index = table.group_indexes.get(via_t)
             if index is not None:
                 self.stats.index_hits += 1
+                self.stats.lookups += 1
                 referencers = index.get(value)
                 if not referencers:
                     return []

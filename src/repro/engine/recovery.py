@@ -175,9 +175,11 @@ class WalApplier:
             _replay_group(db, report, tracer, self._open_txn, self._buffered)
             self._open_txn, self._buffered = None, []
             return
-        # A mutation record.
+        # A mutation (or schema-merge) record.
         if self._open_txn is not None:
             self._buffered.append(record)
+        elif op == "merge":
+            _replay_merge(db, report, record)
         else:
             _replay_bare(db, report, record)
 
@@ -270,7 +272,9 @@ def recover_database(
     if verify:
         from repro.constraints.checker import ConsistencyChecker
 
-        checker = ConsistencyChecker(schema, tracer=tracer)
+        # db.schema, not the schema argument: a replayed online merge
+        # leaves the database on the evolved schema.
+        checker = ConsistencyChecker(db.schema, tracer=tracer)
         violations = checker.violations(db.state())
         _emit(
             tracer,
@@ -278,7 +282,7 @@ def recover_database(
             kind="recovery-check",
             rule=paper_rule("recovery-check"),
             outcome="consistent" if not violations else "inconsistent",
-            rows=sum(db.count(s.name) for s in schema.schemes),
+            rows=sum(db.count(s.name) for s in db.schema.schemes),
             detail=(
                 "; ".join(str(v) for v in violations[:5])
                 if violations
@@ -308,12 +312,58 @@ def recover_database(
 
 
 def _load_image(db, record: dict, report: RecoveryReport) -> None:
-    """Seed the state from a ``snapshot``/``load_state`` record."""
+    """Seed the state from a ``snapshot``/``load_state`` record.
+
+    A snapshot written after an online schema merge embeds the evolved
+    schema (:meth:`~repro.engine.wal.WriteAheadLog.write_snapshot`); the
+    database is swapped onto it before its state image is interpreted,
+    so a post-merge checkpoint recovers against the merged schema and
+    not the schema file the recovery was booted from.
+    """
     from repro.io.state_json import state_from_dict
 
-    state = state_from_dict(record["state"], db.schema)
-    db.load_state(state, validate=False)
+    schema_dict = record.get("schema")
+    if schema_dict is not None:
+        from repro.io.relational_json import relational_schema_from_dict
+
+        schema = relational_schema_from_dict(schema_dict)
+        db._adopt_schema(schema, state_from_dict(record["state"], schema))
+    else:
+        state = state_from_dict(record["state"], db.schema)
+        db.load_state(state, validate=False)
     report.snapshot_loaded = True
+    report.records_replayed += 1
+    db.stats.wal_replayed_records += 1
+
+
+def _replay_merge(db, report: RecoveryReport, record: dict) -> None:
+    """Re-apply one committed ``merge`` record (online schema merge).
+
+    The record carries only the family spec; ``Merge`` + ``Remove`` and
+    the eta state mapping are recomputed against the database's current
+    schema (they are deterministic, see
+    :func:`repro.engine.wal.merge_record`).  With a live log attached
+    (a replica redoing its primary's merge) the replay re-logs through
+    :meth:`~repro.engine.database.Database.apply_merge_online`, so the
+    replica's own log stays recoverable; during crash recovery the
+    database has no log yet and the swap applies directly, leaving the
+    wholesale re-verification to recovery's final consistency check.
+    """
+    from repro.core.merge import MergeError
+    from repro.engine.database import ConstraintViolationError
+
+    members = record["members"]
+    key_relation = record.get("key_relation")
+    merged_name = record.get("merged_name")
+    try:
+        if db.wal is not None:
+            db.apply_merge_online(members, key_relation, merged_name)
+        else:
+            db.redo_merge(members, key_relation, merged_name)
+    except (MergeError, ConstraintViolationError, KeyError) as exc:
+        raise RecoveryError(
+            f"logged merge of {members} was rejected on replay: {exc}"
+        ) from exc
     report.records_replayed += 1
     db.stats.wal_replayed_records += 1
 
@@ -361,6 +411,16 @@ def _replay_group(
 
     if txn is None:
         raise RecoveryError("commit marker outside a transaction")
+    if any(r.get("op") == "merge" for r in buffered):
+        # An online schema merge travels alone inside its bracket
+        # (Database.apply_merge_online quiesces the writer first).
+        if len(buffered) != 1:
+            raise RecoveryError(
+                f"transaction {txn} mixes a merge record with mutations"
+            )
+        _replay_merge(db, report, buffered[0])
+        report.transactions_replayed += 1
+        return
     if buffered:
         try:
             db.apply_batch([decode_batch_op(r) for r in buffered])

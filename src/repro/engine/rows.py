@@ -250,6 +250,11 @@ def bulk_insert_many(db, scheme_name: str, rows) -> list[Tuple] | None:
     ts = prepared[0][3]
     db.stats.inserts += len(ts)
     db.stats.bulk_rows += len(ts)
+    if ts:
+        name = prepared[0][0].scheme.name
+        db.stats.scheme_mutations[name] = (
+            db.stats.scheme_mutations.get(name, 0) + len(ts)
+        )
     return ts
 
 
@@ -304,6 +309,12 @@ def _apply_inserts(db, ops) -> list[Tuple | None] | None:
     }
     db.stats.inserts += len(ops)
     db.stats.bulk_rows += len(ops)
+    for table, _rows, _new, ts in prepared:
+        if ts:
+            name = table.scheme.name
+            db.stats.scheme_mutations[name] = (
+                db.stats.scheme_mutations.get(name, 0) + len(ts)
+            )
     return [stored[s][i] for s, i in order]
 
 
@@ -443,4 +454,8 @@ def _apply_deletes(db, ops) -> list[None] | None:
     n_ops = len(ops)
     db.stats.deletes += n_ops
     db.stats.bulk_rows += n_ops
+    for scheme_name, (table, olds) in deleted.items():
+        db.stats.scheme_mutations[scheme_name] = (
+            db.stats.scheme_mutations.get(scheme_name, 0) + len(olds)
+        )
     return [None] * n_ops

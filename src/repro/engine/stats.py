@@ -38,6 +38,15 @@ class EngineStats:
     constructed with ``record_latencies=True``, and the benchmark
     harness does around every measured op).
 
+    ``ind_joins`` and ``scheme_mutations`` are the merge advisor's
+    workload profile (see ``docs/ADVISOR.md``): navigations along one
+    inclusion dependency -- both directions, ``join_to`` pk-probes and
+    ``find_referencing`` reverse probes alike -- keyed by the IND's
+    string form, and mutations (insert/update/delete) keyed by scheme
+    name.  Their ratio per candidate family is what
+    :class:`~repro.core.planner.MergePlanner`'s workload-aware mode
+    scores.
+
     ``reset`` and ``snapshot`` are driven by ``dataclasses.fields`` so a
     newly added counter can never be silently missed by either; fields
     with factory defaults (like ``latencies``) reset through their
@@ -62,6 +71,8 @@ class EngineStats:
     wal_group_commits: int = 0
     wal_batched_records: int = 0
     checkpoints: int = 0
+    ind_joins: dict[str, int] = field(default_factory=dict)
+    scheme_mutations: dict[str, int] = field(default_factory=dict)
     latencies: dict[str, LatencyHistogram] = field(default_factory=dict)
 
     def observe(self, op: str, seconds: float) -> None:
@@ -70,6 +81,16 @@ class EngineStats:
         if hist is None:
             hist = self.latencies[op] = LatencyHistogram()
         hist.record(seconds)
+
+    def count_ind_join(self, ind: str) -> None:
+        """Record one navigation along the inclusion dependency ``ind``."""
+        self.ind_joins[ind] = self.ind_joins.get(ind, 0) + 1
+
+    def count_scheme_mutation(self, scheme: str) -> None:
+        """Record one mutation (insert/update/delete) of ``scheme``."""
+        self.scheme_mutations[scheme] = (
+            self.scheme_mutations.get(scheme, 0) + 1
+        )
 
     def reset(self) -> None:
         """Zero every counter (every dataclass field, by construction).
@@ -100,6 +121,8 @@ class EngineStats:
             value = getattr(self, f.name)
             if f.name == "latencies":
                 value = {op: hist.to_dict() for op, hist in list(value.items())}
+            elif isinstance(value, dict):
+                value = dict(value)
             out[f.name] = value
         return out
 
@@ -111,8 +134,27 @@ class EngineStats:
         """The counters and latency histograms in Prometheus text
         exposition format (counters plus cumulative ``le`` buckets)."""
         lines: list[str] = []
+        labeled = {"ind_joins": "ind", "scheme_mutations": "scheme"}
         for f in fields(self):
             if f.name == "latencies":
+                continue
+            if f.name in labeled:
+                label = labeled[f.name]
+                series = getattr(self, f.name)
+                if not series:
+                    continue
+                lines.append(f"# TYPE {prefix}_{f.name} counter")
+                for key in sorted(series):
+                    escaped = (
+                        str(key)
+                        .replace("\\", "\\\\")
+                        .replace('"', '\\"')
+                        .replace("\n", "\\n")
+                    )
+                    lines.append(
+                        f'{prefix}_{f.name}{{{label}="{escaped}"}} '
+                        f"{series[key]}"
+                    )
                 continue
             lines.append(f"# TYPE {prefix}_{f.name} counter")
             lines.append(f"{prefix}_{f.name} {getattr(self, f.name)}")

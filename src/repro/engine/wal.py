@@ -69,7 +69,7 @@ import json
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Any, Mapping, Protocol
+from typing import Any, Mapping, Protocol, Sequence
 
 from repro.io.state_json import decode_value, encode_value
 
@@ -387,6 +387,31 @@ def delete_record(scheme: str, pk: tuple[Any, ...]) -> dict:
     }
 
 
+def merge_record(
+    members: Sequence[str],
+    key_relation: str | None = None,
+    merged_name: str | None = None,
+) -> dict:
+    """The log payload of one online schema merge (see
+    :meth:`repro.engine.database.Database.apply_merge_online`).
+
+    Only the family *spec* is logged -- ``Merge`` (Definition 4.1), the
+    ``Remove`` cleanup and the eta state mapping are deterministic given
+    the pre-merge schema, so recovery recomputes them instead of
+    trusting a logged image.  The record always travels inside a
+    ``begin``/``commit`` bracket: a crash before the commit marker
+    recovers the unmerged schema, after it the merged one -- never a
+    torn hybrid.
+    """
+    return {
+        "op": "merge",
+        "members": list(members),
+        "key_relation": key_relation,
+        "merged_name": merged_name,
+        "remove": True,
+    }
+
+
 def decode_batch_op(record: Mapping[str, Any]) -> tuple:
     """A mutation record as the ``apply_batch`` op tuple it replays as."""
     op = record["op"]
@@ -641,11 +666,23 @@ class WriteAheadLog:
 
     # -- checkpointing ---------------------------------------------------
 
-    def write_snapshot(self, state_dict: Mapping[str, Any]) -> int:
+    def write_snapshot(
+        self,
+        state_dict: Mapping[str, Any],
+        schema_dict: Mapping[str, Any] | None = None,
+    ) -> int:
         """Compact the log to ``header`` + one ``snapshot`` record
         holding ``state_dict`` (the :func:`repro.io.state_json` image);
         returns the snapshot's ``lsn``.  The swap is atomic under
-        :class:`FileStorage`."""
+        :class:`FileStorage`.
+
+        ``schema_dict`` (the :func:`repro.io.relational_json` image)
+        embeds the schema the snapshot is an instance of.  A database
+        whose schema evolved online (:func:`merge_record`) must pass it,
+        or a later recovery would interpret the compacted image against
+        the schema file it was booted from; without it the record is
+        byte-identical to the pre-advisor format.
+        """
         if self._txn is not None:
             raise WalError("cannot checkpoint inside a transaction")
         if self._broken:
@@ -655,11 +692,16 @@ class WriteAheadLog:
             )
         header_lsn = self._next_lsn
         snapshot_lsn = header_lsn + 1
+        snapshot: dict[str, Any] = {
+            "op": "snapshot",
+            "state": dict(state_dict),
+            "lsn": snapshot_lsn,
+        }
+        if schema_dict is not None:
+            snapshot["schema"] = dict(schema_dict)
         data = encode_record(
             {"op": "header", "version": WAL_VERSION, "lsn": header_lsn}
-        ) + encode_record(
-            {"op": "snapshot", "state": dict(state_dict), "lsn": snapshot_lsn}
-        )
+        ) + encode_record(snapshot)
         try:
             self.storage.replace(data)
         except Exception:

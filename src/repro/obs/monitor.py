@@ -172,6 +172,27 @@ def render_dashboard(
             )
         lines.append(commit)
 
+    ind_joins = cur.get("ind_joins")
+    if isinstance(ind_joins, Mapping) and ind_joins:
+        lines.append("advisor: hottest inclusion dependencies")
+        prev_joins = (
+            prev.get("ind_joins")
+            if prev is not None and isinstance(prev.get("ind_joins"), Mapping)
+            else {}
+        )
+        hottest = sorted(ind_joins.items(), key=lambda kv: -kv[1])[:5]
+        for ind, count in hottest:
+            rate = _rate(count, prev_joins.get(ind), interval)
+            lines.append(f"  {int(count):>8}{rate:<12} {ind}")
+        mutations = cur.get("scheme_mutations")
+        if isinstance(mutations, Mapping) and mutations:
+            busiest = sorted(mutations.items(), key=lambda kv: -kv[1])[:5]
+            lines.append(
+                "  mutations: "
+                + " · ".join(f"{s} {int(n)}" for s, n in busiest)
+            )
+        lines.append("")
+
     engine_keys = (
         "inserts",
         "deletes",

@@ -58,6 +58,19 @@ Verbs (dispatched by :mod:`repro.server.service`):
 ``stats``                 -> the :meth:`EngineStats.snapshot` dict plus
                           a ``server`` key (request/queue gauges and
                           the metric registry snapshot)
+``advise``                [``strategy``] -> the merge advisor's report:
+                          mined per-IND join counts and per-scheme
+                          mutation rates, every candidate family's
+                          Section 5 verdicts and workload score, the
+                          ``recommendation`` (or ``null``), and the
+                          EXPLAIN text
+``apply_merge``           [``members``, ``key_relation``,
+                          ``merged_name``, ``strategy``] -> apply a
+                          merge online in one WAL transaction; with no
+                          ``members`` the advisor's recommendation is
+                          applied.  Returns ``{"merged_name",
+                          "members", "key_relation", "removed",
+                          "schemes"}``
 ``topology``              -> ``{"workers", "worker_id", "host",
                           "ports", "shared_port"}`` -- the shard map a
                           router needs (a plain single-process server
@@ -137,6 +150,8 @@ VERBS = (
     "find_referencing",
     "check",
     "explain",
+    "advise",
+    "apply_merge",
     "metrics",
     "stats",
     "topology",
@@ -155,7 +170,15 @@ VERBS = (
 #: ``batch_commit``/``batch_abort`` are neither: they are decisions
 #: delivered straight to the writer already holding their prepare.
 MUTATION_VERBS = frozenset(
-    ("insert", "update", "delete", "insert_many", "apply_batch", "batch_prepare")
+    (
+        "insert",
+        "update",
+        "delete",
+        "insert_many",
+        "apply_batch",
+        "batch_prepare",
+        "apply_merge",
+    )
 )
 
 #: Decision verbs for a held prepare (routed around the mutation queue).

@@ -721,14 +721,19 @@ class DatabaseService:
         # No awaits between a mutation's apply and its barrier, so at
         # any scheduling point the live state is exactly the durable
         # prefix: this image covers precisely lsn <= durable_lsn.
-        return ok_frame(
-            request_id,
-            {
-                "state": state_to_dict(self.db.state()),
-                "lsn": self.db.wal.durable_lsn,
-                "role": self.role,
-            },
-        )
+        snapshot: dict[str, Any] = {
+            "state": state_to_dict(self.db.state()),
+            "lsn": self.db.wal.durable_lsn,
+            "role": self.role,
+        }
+        if self.db._schema_evolved:
+            # An online merge evolved the schema past the boot schema a
+            # bootstrapping replica holds: ship the evolved schema so
+            # the image decodes against the right relation-schemes.
+            from repro.io.relational_json import relational_schema_to_dict
+
+            snapshot["schema"] = relational_schema_to_dict(self.db.schema)
+        return ok_frame(request_id, snapshot)
 
     async def _handle_repl_poll(
         self, frame: Mapping[str, Any], request_id: Any, session: Session
@@ -790,6 +795,27 @@ class DatabaseService:
         primary's ``repl_snapshot`` image."""
         from repro.io.state_json import state_from_dict
 
+        schema_dict = snapshot.get("schema")
+        if schema_dict is not None:
+            # The primary merged online before this bootstrap: adopt its
+            # evolved schema first, then decode the image against it.
+            from repro.io.relational_json import relational_schema_from_dict
+
+            schema = relational_schema_from_dict(schema_dict)
+            self.db._adopt_schema(
+                schema, state_from_dict(snapshot["state"], schema)
+            )
+            self._refresh_schema_caches()
+            # checkpoint() re-logs the image (schema included) into the
+            # replica's own WAL -- same independent recoverability as
+            # the load_state record the plain path writes.
+            self.db.checkpoint()
+            self.db.sync_wal()
+            self.applied_lsn = int(snapshot["lsn"])
+            self.primary_durable_lsn = max(
+                self.primary_durable_lsn, self.applied_lsn
+            )
+            return
         state = state_from_dict(snapshot["state"], self.db.schema)
         self.db.load_state(state, validate=False)
         self.db.sync_wal()
@@ -820,6 +846,7 @@ class DatabaseService:
         if applier is None:
             raise RecoveryError("not a replica (already promoted?)")
         db = self.db
+        schema_before = db.schema
         applied = self.applied_lsn
         for record in records:
             lsn = record.get("lsn", 0)
@@ -839,6 +866,10 @@ class DatabaseService:
             if lsn > applied:
                 applied = lsn
         self.applied_lsn = applied
+        if db.schema is not schema_before:
+            # A shipped merge record evolved the schema (the applier
+            # replays it through apply_merge_online).
+            self._refresh_schema_caches()
         self.db.sync_wal()
         self.repl_applied += len(records)
         self.primary_durable_lsn = max(self.primary_durable_lsn, durable_lsn)
@@ -1030,6 +1061,17 @@ class DatabaseService:
                         _require(frame, "op", str),
                         _require(frame, "scheme", str),
                     ),
+                )
+            if verb == "advise":
+                from repro.advisor import advise as advise_db
+
+                strategy = frame.get("strategy")
+                if strategy is not None and not isinstance(strategy, str):
+                    raise ProtocolError(
+                        "parameter 'strategy' must be a string"
+                    )
+                return ok_frame(
+                    request_id, advise_db(self.db, strategy=strategy)
                 )
             if verb == "metrics":
                 return ok_frame(request_id, self.render_metrics())
@@ -1500,4 +1542,66 @@ class DatabaseService:
                 encode_row(t.mapping) if t is not None else None
                 for t in results
             ]
+        if verb == "apply_merge":
+            return self._apply_merge(frame)
         raise ProtocolError(f"unhandled mutation verb {verb!r}")
+
+    def _apply_merge(self, frame: Mapping[str, Any]) -> dict[str, Any]:
+        """Execute one online merge on the single-writer path.
+
+        Runs inside :meth:`_commit_group`, so every concurrent read
+        observes either the old schema or the fully-merged one -- the
+        group-commit loop *is* the quiesce point.  With no ``members``
+        the advisor picks the best-scoring admissible family from the
+        live mined counters.
+        """
+        if self.shard is not None and self.shard.n_shards > 1:
+            raise ProtocolError(
+                "apply_merge is not supported on a sharded fleet: the "
+                "merged relation would span shard ownership; merge "
+                "offline and re-shard instead"
+            )
+        members = frame.get("members")
+        if members is None:
+            from repro.advisor import advise as advise_db
+
+            strategy = frame.get("strategy")
+            if strategy is not None and not isinstance(strategy, str):
+                raise ProtocolError("parameter 'strategy' must be a string")
+            report = advise_db(self.db, strategy=strategy)
+            recommendation = report.get("recommendation")
+            if recommendation is None:
+                raise ProtocolError(
+                    "advisor has no recommendation: no admissible family "
+                    "pays for itself on the observed workload"
+                )
+            members = recommendation["members"]
+            key_relation = recommendation["key_relation"]
+            merged_name = None
+        else:
+            if not isinstance(members, list) or not all(
+                isinstance(m, str) for m in members
+            ):
+                raise ProtocolError(
+                    "parameter 'members' must be a list of scheme names"
+                )
+            key_relation = frame.get("key_relation")
+            merged_name = frame.get("merged_name")
+        simplified = self.db.apply_merge_online(
+            members, key_relation=key_relation, merged_name=merged_name
+        )
+        self._refresh_schema_caches()
+        return {
+            "merged_name": simplified.info.merged_name,
+            "members": list(simplified.info.family),
+            "key_relation": simplified.info.key_relation,
+            "removed": [list(r.attrs) for r in simplified.removed],
+            "schemes": list(self.db.schema.scheme_names),
+        }
+
+    def _refresh_schema_caches(self) -> None:
+        """Rebuild schema-derived caches after an online merge swapped
+        ``db.schema`` (the query engine's IND maps refresh themselves)."""
+        self._key_names = {
+            s.name: s.key_names for s in self.db.schema.schemes
+        }

@@ -142,6 +142,70 @@ def fig8_iv_star_nna() -> EERSchema:
     )
 
 
+def fig8_iv_relational():
+    """The Markowitz-Shoshani translation of Figure 8(iv)::
+
+        BOOK(B.ISBN)   PUBLISHER(P.NAME)   LANGUAGE(L.CODE)
+        ISSUED(I.B.ISBN, I.P.NAME)   WRITTEN(W.B.ISBN, W.L.CODE)
+
+    The BOOK family {BOOK, ISSUED, WRITTEN} is the paper's NNA-only
+    amenable case (Proposition 5.2 condition (2)) -- the merge advisor's
+    demo and CI schema.
+    """
+    from repro.eer.translate import translate_eer
+
+    return translate_eer(fig8_iv_star_nna()).schema
+
+
+def seed_fig8_iv(client, books: int = 24) -> None:
+    """Seed a live server (or any object with the client's ``insert``
+    method) with a consistent Figure 8(iv) state: 3 publishers, 2
+    languages, ``books`` books each issued and written."""
+    publishers = [f"pub{i}" for i in range(3)]
+    languages = ["en", "de"]
+    for name in publishers:
+        client.insert("PUBLISHER", {"P.NAME": name})
+    for code in languages:
+        client.insert("LANGUAGE", {"L.CODE": code})
+    for i in range(books):
+        isbn = f"isbn{i:04d}"
+        client.insert("BOOK", {"B.ISBN": isbn})
+        client.insert(
+            "ISSUED",
+            {"I.B.ISBN": isbn, "I.P.NAME": publishers[i % len(publishers)]},
+        )
+        client.insert(
+            "WRITTEN",
+            {"W.B.ISBN": isbn, "W.L.CODE": languages[i % len(languages)]},
+        )
+
+
+def skewed_fig8_iv_load(
+    client, books: int = 24, profile_reads: int = 5
+) -> int:
+    """Drive the skewed read workload the advisor CI job mines: every
+    book's profile is read ``profile_reads`` times, each profile costing
+    two IND joins (BOOK -> ISSUED -> PUBLISHER side and BOOK -> WRITTEN
+    -> LANGUAGE side navigated via ``find_referencing``).  Join traffic
+    therefore outweighs the 3 mutations per book roughly
+    ``2 * profile_reads : 3``, which makes the BOOK family pay for
+    itself under the advisor's scoring.  Returns the number of joins
+    issued.
+    """
+    joins = 0
+    for i in range(books):
+        isbn = f"isbn{i:04d}"
+        for _ in range(profile_reads):
+            client.find_referencing(
+                "BOOK", (isbn,), "ISSUED", ["I.B.ISBN"], ["B.ISBN"]
+            )
+            client.find_referencing(
+                "BOOK", (isbn,), "WRITTEN", ["W.B.ISBN"], ["B.ISBN"]
+            )
+            joins += 2
+    return joins
+
+
 def all_fig8_schemas() -> dict[str, EERSchema]:
     """The four structures keyed by their figure label."""
     return {

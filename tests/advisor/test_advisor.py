@@ -1,0 +1,197 @@
+"""The advisor's scoring and recommendation pipeline: workload-aware
+planner mode, Section 5 admissibility filtering, Figure 8 amenability,
+and the EXPLAIN provenance citing observed per-IND counts."""
+
+import pytest
+
+from repro.advisor import (
+    MergeAdvisor,
+    WorkloadProfile,
+    advise,
+    advise_snapshot,
+    apply_recommendation,
+)
+from repro.core.planner import MergePlanner, MergeStrategy
+from repro.engine.database import Database
+from repro.engine.query import QueryEngine
+from repro.workloads.fig8 import (
+    fig8_iv_relational,
+    seed_fig8_iv,
+    skewed_fig8_iv_load,
+)
+from repro.workloads.university import university_relational
+
+UNI = university_relational()
+OFFER_COURSE = "OFFER[O.C.NR] <= COURSE[C.NR]"
+
+
+class _LocalClient:
+    """Adapt a Database + QueryEngine to the client verb methods the
+    fig8 load driver calls."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self.q = QueryEngine(db)
+
+    def insert(self, scheme, row):
+        self.db.insert(scheme, row)
+
+    def find_referencing(self, scheme, pk, source_scheme, via, target_attrs):
+        target = self.db.get(scheme, pk)
+        return self.q.find_referencing(target, source_scheme, via, target_attrs)
+
+
+# -- workload-aware planner mode ----------------------------------------------
+
+
+def test_score_family_counts_internal_inds_only():
+    profile = WorkloadProfile(
+        ind_joins={OFFER_COURSE: 7, "OFFER[O.D.NAME] <= DEPARTMENT[D.NAME]": 9},
+        scheme_mutations={"COURSE": 2, "DEPARTMENT": 50},
+    )
+    score = profile.score_family(UNI, ["COURSE", "OFFER", "TEACH", "ASSIST"])
+    # The DEPARTMENT-side IND leaves the family, so its 9 joins (and
+    # DEPARTMENT's 50 mutations) are not attributed to it.
+    assert score["joins_saved"] == 7
+    assert score["mutation_overhead"] == 2
+    assert score["score"] == 5
+    assert score["observed_ind_joins"][OFFER_COURSE] == 7
+    assert score["observed_ind_joins"]["TEACH[T.C.NR] <= OFFER[O.C.NR]"] == 0
+
+
+def test_workload_mode_skips_families_that_do_not_pay():
+    profile = WorkloadProfile(
+        ind_joins={OFFER_COURSE: 3}, scheme_mutations={"OFFER": 10}
+    )
+    planner = MergePlanner(
+        UNI, MergeStrategy.KEY_BASED, workload=profile
+    )
+    assert planner.selected_families() == ()
+    decision = {
+        d.family.key_relation: d for d in planner.decisions()
+    }["COURSE"]
+    assert not decision.admitted
+    assert "does not outweigh" in decision.reason
+    assert "workload scoring" in decision.rule
+
+
+def test_workload_mode_keeps_the_section5_filter():
+    """A hot family that fails the strategy's Proposition 5.1 filter
+    stays inadmissible no matter how much traffic it would save."""
+    profile = WorkloadProfile(
+        ind_joins={"FACULTY[F.SSN] <= PERSON[P.SSN]": 1000},
+        scheme_mutations={},
+    )
+    planner = MergePlanner(UNI, MergeStrategy.KEY_BASED, workload=profile)
+    decision = {
+        d.family.key_relation: d for d in planner.decisions()
+    }["PERSON"]
+    assert not decision.admitted
+    assert "Proposition 5.1" in decision.reason
+
+
+def test_explain_cites_observed_counts():
+    profile = WorkloadProfile(
+        ind_joins={OFFER_COURSE: 12}, scheme_mutations={"COURSE": 1}
+    )
+    planner = MergePlanner(UNI, MergeStrategy.KEY_BASED, workload=profile)
+    explanation = planner.explain()
+    assert explanation["workload_mode"] is True
+    course = next(
+        f for f in explanation["families"] if f["key_relation"] == "COURSE"
+    )
+    assert course["workload"]["observed_ind_joins"][OFFER_COURSE] == 12
+    text = planner.explain_text()
+    assert "workload-aware" in text
+    assert "12 join(s) saved" in text
+    assert OFFER_COURSE in text
+
+
+def test_without_workload_explain_is_unchanged_in_shape():
+    explanation = MergePlanner(UNI, MergeStrategy.KEY_BASED).explain()
+    assert explanation["workload_mode"] is False
+    assert all("workload" not in f for f in explanation["families"])
+
+
+# -- the advisor over a live database -----------------------------------------
+
+
+def test_advise_recommends_the_hot_family_and_applies():
+    db = Database(UNI)
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    db.insert("COURSE", {"C.NR": "c1"})
+    db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+    q = QueryEngine(db)
+    offer = db.get("OFFER", ("c1",))
+    for _ in range(10):
+        q.join_to(offer, ["O.C.NR"], "COURSE")
+    report = advise(db)
+    rec = report["recommendation"]
+    assert rec["key_relation"] == "COURSE"
+    assert set(rec["members"]) == {"COURSE", "OFFER", "TEACH", "ASSIST"}
+    assert rec["workload"]["observed_ind_joins"][OFFER_COURSE] == 10
+    assert OFFER_COURSE in report["explain_text"]
+    simplified = apply_recommendation(db, report)
+    assert simplified.info.merged_name == "COURSE'"
+    assert "COURSE'" in db.schema.scheme_names
+
+
+def test_advise_with_cold_workload_recommends_nothing():
+    db = Database(UNI)
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})  # mutations, no joins
+    report = advise(db)
+    assert report["recommendation"] is None
+    with pytest.raises(ValueError):
+        apply_recommendation(db, report)
+
+
+def test_advise_snapshot_matches_live_advise():
+    db = Database(UNI)
+    db.insert("DEPARTMENT", {"D.NAME": "cs"})
+    db.insert("COURSE", {"C.NR": "c1"})
+    db.insert("OFFER", {"O.C.NR": "c1", "O.D.NAME": "cs"})
+    q = QueryEngine(db)
+    offer = db.get("OFFER", ("c1",))
+    for _ in range(8):
+        q.join_to(offer, ["O.C.NR"], "COURSE")
+    live = advise(db)
+    from_snapshot = advise_snapshot(db.schema, db.stats.snapshot())
+    assert from_snapshot["recommendation"] == live["recommendation"]
+    assert from_snapshot["families"] == live["families"]
+
+
+def test_bad_strategy_name_raises():
+    with pytest.raises(ValueError):
+        MergeAdvisor(UNI, WorkloadProfile(), strategy="bogus")
+
+
+# -- Figure 8 amenability ------------------------------------------------------
+
+
+def test_fig8_iv_skewed_load_recommends_the_amenable_family():
+    """The acceptance workload: under the skewed Figure 8(iv) load the
+    advisor recommends the paper's NNA-only amenable BOOK family, with
+    the EXPLAIN trace citing the observed per-IND counts."""
+    schema = fig8_iv_relational()
+    db = Database(schema)
+    client = _LocalClient(db)
+    seed_fig8_iv(client, books=12)
+    joins = skewed_fig8_iv_load(client, books=12, profile_reads=5)
+    assert joins == 120
+    report = advise(db, strategy="nna-only")
+    rec = report["recommendation"]
+    assert rec["key_relation"] == "BOOK"
+    assert set(rec["members"]) == {"BOOK", "ISSUED", "WRITTEN"}
+    assert "Proposition 5.2" in rec["rule"]
+    observed = rec["workload"]["observed_ind_joins"]
+    assert observed["ISSUED[I.B.ISBN] <= BOOK[B.ISBN]"] == 60
+    assert observed["WRITTEN[W.B.ISBN] <= BOOK[B.ISBN]"] == 60
+    for line in (" 60  ISSUED[I.B.ISBN] <= BOOK[B.ISBN]",):
+        assert line in report["explain_text"]
+    simplified = apply_recommendation(db, report)
+    assert simplified.info.merged_name == "BOOK'"
+    assert set(db.schema.scheme_names) == {
+        "BOOK'",
+        "PUBLISHER",
+        "LANGUAGE",
+    }

@@ -1,0 +1,168 @@
+"""Hypothesis differential test for the advised online merge.
+
+A random workload runs against the WAL-backed engine and a scan-based
+:class:`OracleDatabase` mirror; mid-stream the advisor decides whether a
+merge pays for itself and (when it does) applies it online.  The oracle
+mirror is transformed through an *independent* recompute of the same
+Merge + Remove pipeline.  Afterwards the random workload continues
+against the evolved schema on both sides.  Invariants:
+
+* every mutation's accept/reject decision (and constraint label)
+  matches between engine and oracle, before and after the merge;
+* the advisor's decision is deterministic (advising twice agrees);
+* the final engine state equals the oracle mirror's state;
+* the final engine state also equals the scan-oracle replay of the
+  surviving WAL bytes -- i.e. the logged merge record reproduces the
+  same decision on recovery.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.advisor import advise, apply_recommendation
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.engine.database import ConstraintViolationError, Database
+from repro.engine.oracle import OracleDatabase
+from repro.engine.query import QueryEngine
+from repro.engine.wal import MemoryStorage, WriteAheadLog
+from repro.workloads.university import university_relational
+
+from tests.engine._wal_oracle import oracle_replay
+
+SCHEMA = university_relational()
+DEPTS = ("cs", "math", "bio")
+COURSES = tuple(f"c{i}" for i in range(5))
+
+
+def _apply_both(engine_op, oracle_op) -> bool:
+    engine_exc = oracle_exc = None
+    try:
+        engine_op()
+    except (ConstraintViolationError, KeyError) as exc:
+        engine_exc = exc
+    try:
+        oracle_op()
+    except (ConstraintViolationError, KeyError) as exc:
+        oracle_exc = exc
+    assert type(engine_exc) is type(oracle_exc), (
+        f"engine raised {engine_exc!r}, oracle raised {oracle_exc!r}"
+    )
+    if isinstance(engine_exc, ConstraintViolationError):
+        assert engine_exc.constraint == oracle_exc.constraint
+    return engine_exc is None
+
+
+def _transform_oracle(oracle: OracleDatabase, report: dict) -> OracleDatabase:
+    """The oracle-side merge: recompute Merge + Remove from the
+    recommendation's family spec (independent of the engine's online
+    path) and map the mirror's state forward."""
+    recommendation = report["recommendation"]
+    simplified = remove_all(
+        merge(
+            oracle.schema,
+            recommendation["members"],
+            key_relation=recommendation["key_relation"],
+        )
+    )
+    merged = OracleDatabase(
+        simplified.schema, null_semantics=oracle.null_semantics
+    )
+    merged.load_state(simplified.forward.apply(oracle.state()))
+    return merged
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_advised_merge_matches_oracle_replay(data):
+    storage = MemoryStorage()
+    db = Database(SCHEMA, wal=WriteAheadLog(storage))
+    oracle = OracleDatabase(SCHEMA)
+    q = QueryEngine(db)
+
+    # Phase 1: random mutations (some rejected -- parity checked).
+    for _ in range(data.draw(st.integers(3, 15), label="n_pre_ops")):
+        roll = data.draw(st.integers(0, 3), label="pre_op")
+        if roll == 0:
+            dept = data.draw(st.sampled_from(DEPTS), label="dept")
+            _apply_both(
+                lambda: db.insert("DEPARTMENT", {"D.NAME": dept}),
+                lambda: oracle.insert("DEPARTMENT", {"D.NAME": dept}),
+            )
+        elif roll == 1:
+            course = data.draw(st.sampled_from(COURSES), label="course")
+            _apply_both(
+                lambda: db.insert("COURSE", {"C.NR": course}),
+                lambda: oracle.insert("COURSE", {"C.NR": course}),
+            )
+        elif roll == 2:
+            course = data.draw(st.sampled_from(COURSES), label="course")
+            dept = data.draw(st.sampled_from(DEPTS), label="dept")
+            row = {"O.C.NR": course, "O.D.NAME": dept}
+            _apply_both(
+                lambda: db.insert("OFFER", row),
+                lambda: oracle.insert("OFFER", row),
+            )
+        else:
+            course = data.draw(st.sampled_from(COURSES), label="course")
+            _apply_both(
+                lambda: db.delete("COURSE", (course,)),
+                lambda: oracle.delete("COURSE", (course,)),
+            )
+    assert db.state() == oracle.state()
+
+    # Phase 2: random join traffic -- mined by the engine only.
+    for _ in range(data.draw(st.integers(0, 40), label="n_joins")):
+        course = data.draw(st.sampled_from(COURSES), label="join_course")
+        row = db.get("COURSE", (course,))
+        if row is not None:
+            q.find_referencing(row, "OFFER", ["O.C.NR"], ["C.NR"])
+
+    # Mid-stream: the advised decision, applied on both sides.
+    report = advise(db)
+    assert advise(db) == report  # deterministic
+    merged = report["recommendation"] is not None
+    if merged:
+        apply_recommendation(db, report)
+        oracle = _transform_oracle(oracle, report)
+        assert set(db.schema.scheme_names) == set(
+            oracle.schema.scheme_names
+        )
+    assert db.state() == oracle.state()
+
+    # Phase 3: the workload continues against the evolved schema.
+    for _ in range(data.draw(st.integers(0, 10), label="n_post_ops")):
+        roll = data.draw(st.integers(0, 2), label="post_op")
+        if roll == 0:
+            ssn = data.draw(
+                st.sampled_from(("p1", "p2", "p3")), label="ssn"
+            )
+            _apply_both(
+                lambda: db.insert("PERSON", {"P.SSN": ssn}),
+                lambda: oracle.insert("PERSON", {"P.SSN": ssn}),
+            )
+        elif roll == 1:
+            dept = data.draw(st.sampled_from(DEPTS), label="dept")
+            _apply_both(
+                lambda: db.insert("DEPARTMENT", {"D.NAME": dept}),
+                lambda: oracle.insert("DEPARTMENT", {"D.NAME": dept}),
+            )
+        else:
+            course = data.draw(st.sampled_from(COURSES), label="course")
+            scheme = "COURSE'" if merged else "COURSE"
+            _apply_both(
+                lambda: db.delete(scheme, (course,)),
+                lambda: oracle.delete(scheme, (course,)),
+            )
+    assert db.state() == oracle.state()
+
+    # The WAL's committed prefix replays to the same final state *and*
+    # the same final schema -- the logged merge record carries the
+    # decision across a restart.
+    replayed = oracle_replay(storage.read(), SCHEMA)
+    assert replayed.state() == db.state()
+    assert set(replayed.schema.scheme_names) == set(db.schema.scheme_names)

@@ -32,7 +32,22 @@ def oracle_replay(
         if op == "header":
             continue
         if op in ("snapshot", "load_state"):
-            oracle.load_state(state_from_dict(record["state"], schema))
+            if "schema" in record:
+                # A post-merge checkpoint embeds the evolved schema; the
+                # image is an instance of it, not of the boot schema.
+                from repro.io.relational_json import (
+                    relational_schema_from_dict,
+                )
+
+                evolved = relational_schema_from_dict(record["schema"])
+                oracle = OracleDatabase(
+                    evolved, null_semantics=null_semantics
+                )
+                oracle.load_state(state_from_dict(record["state"], evolved))
+            else:
+                oracle.load_state(
+                    state_from_dict(record["state"], oracle.schema)
+                )
         elif op == "begin":
             in_txn, buffered = True, []
         elif op == "rollback":
@@ -43,16 +58,39 @@ def oracle_replay(
             in_txn, buffered = False, []
         elif op == "commit":
             for r in buffered:
-                _apply(oracle, r)
+                oracle = _apply(oracle, r)
             in_txn, buffered = False, []
         elif in_txn:
             buffered.append(record)
         else:
-            _apply(oracle, record)
+            oracle = _apply(oracle, record)
     return oracle
 
 
-def _apply(oracle: OracleDatabase, record: dict) -> None:
+def _apply(oracle: OracleDatabase, record: dict) -> OracleDatabase:
+    if record["op"] == "merge":
+        # A committed online merge: recompute the deterministic
+        # Merge + Remove pipeline from the record's family spec and
+        # continue on a fresh oracle holding the forward-mapped state.
+        # Independent of repro.engine.recovery by construction -- only
+        # the core transformation (which both sides must share, it
+        # *defines* the merged schema) is reused.
+        from repro.core.merge import merge
+        from repro.core.remove import remove_all
+
+        simplified = remove_all(
+            merge(
+                oracle.schema,
+                record["members"],
+                merged_name=record.get("merged_name"),
+                key_relation=record.get("key_relation"),
+            )
+        )
+        merged = OracleDatabase(
+            simplified.schema, null_semantics=oracle.null_semantics
+        )
+        merged.load_state(simplified.forward.apply(oracle.state()))
+        return merged
     op = decode_batch_op(record)
     if op[0] == "insert":
         oracle.insert(op[1], op[2])
@@ -60,3 +98,4 @@ def _apply(oracle: OracleDatabase, record: dict) -> None:
         oracle.update(op[1], op[2], op[3])
     else:
         oracle.delete(op[1], op[2])
+    return oracle

@@ -93,6 +93,16 @@ def test_missing_sharded_field_is_caught():
     )
 
 
+def test_missing_advisor_key_is_caught():
+    report = _committed_report()
+    entry = next(e for e in report["results"] if "advisor" in e)
+    del entry["advisor"]["join_p50_us_after"]
+    problems = validate_report(report)
+    assert any(
+        ".advisor" in p and "join_p50_us_after" in p for p in problems
+    )
+
+
 def test_missing_slotted_column_is_caught():
     report = _committed_report()
     del report["results"][0]["slotted_speedup_x"]
