@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Execution-backend benchmark: bulk-load throughput, engine vs SQLite.
+
+Loads a consistent Figure 3 state through ``insert_many`` on the
+in-memory engine and replays the identical load through
+:class:`repro.backend.SQLiteBackend` (real DDL, real triggers, deferred
+foreign keys).  The ratio is the price of a second, independent
+enforcement opinion on every row.  The entry lands under
+``backend_sqlite`` in ``BENCH_engine.json``::
+
+    python benchmarks/bench_backend.py
+    python benchmarks/bench_backend.py --courses 2000 --smoke -o -
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.backend import SQLiteBackend
+from repro.engine.database import Database
+from repro.workloads.university import university_relational, university_state
+
+
+def _bulk_rows(schema, state):
+    """The load, in reference order (parents before children)."""
+    return [
+        (scheme.name, [t.mapping for t in state[scheme.name].tuples])
+        for scheme in schema.schemes
+    ]
+
+
+def _time_load(make_db, batches) -> tuple[float, int]:
+    db = make_db()
+    total = 0
+    start = time.perf_counter()
+    for name, rows in batches:
+        if rows:
+            db.insert_many(name, [dict(r) for r in rows])
+            total += len(rows)
+    elapsed = time.perf_counter() - start
+    close = getattr(db, "close", None)
+    if close is not None:
+        close()
+    return elapsed, total
+
+
+def bench_backend(n_courses: int, repeats: int = 3) -> dict[str, object]:
+    schema = university_relational()
+    state = university_state(n_courses=n_courses, seed=7)
+    batches = _bulk_rows(schema, state)
+
+    def engine():
+        return Database(schema)
+
+    def sqlite():
+        backend = SQLiteBackend()
+        backend.deploy(schema)
+        return backend
+
+    engine_s, rows = min(_time_load(engine, batches) for _ in range(repeats))
+    sqlite_s, _ = min(_time_load(sqlite, batches) for _ in range(repeats))
+    return {
+        "harness": "benchmarks/bench_backend.py",
+        "python": platform.python_version(),
+        "n_courses": n_courses,
+        "rows_loaded": rows,
+        "engine_bulk_rows_per_s": round(rows / engine_s, 1),
+        "sqlite_bulk_rows_per_s": round(rows / sqlite_s, 1),
+        "sqlite_slowdown_x": round(sqlite_s / engine_s, 2),
+    }
+
+
+def append_to_report(path: str, entry: dict[str, object]) -> None:
+    """Merge the entry into the report under ``backend_sqlite``."""
+    report: dict[str, object] = {}
+    if os.path.exists(path):
+        with open(path) as f:
+            report = json.load(f)
+    report["backend_sqlite"] = entry
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--courses",
+        type=int,
+        default=5000,
+        help="Figure 3 state size to load (default: 5000 courses)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny load, never written to the report",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="report to merge the entry into; '-' skips writing",
+    )
+    args = parser.parse_args(argv)
+    if args.courses < 1:
+        parser.error("--courses must be positive")
+    if args.smoke:
+        args.courses = min(args.courses, 200)
+    entry = bench_backend(args.courses, repeats=1 if args.smoke else 3)
+    print(json.dumps(entry, indent=2))
+    if not args.smoke and args.output != "-":
+        append_to_report(args.output, entry)
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,9 @@ The benchmark report is written by four harnesses --
 ``bench_server.py --metrics`` (the ``server_metrics`` overhead entry),
 ``bench_server.py --sharded`` (the ``server_sharded`` fleet-scaling
 entry), and ``bench_server.py --replicated`` (the ``server_replicated``
-shipping-overhead/failover entry) -- and read by docs, CI greps and
+shipping-overhead/failover entry), and ``benchmarks/bench_backend.py``
+(the ``backend_sqlite`` bulk-load comparison) -- and read by docs, CI
+greps and
 regression tooling.  This checker
 pins the required keys per entry kind so a harness edit cannot
 silently drop a column downstream consumers depend on::
@@ -89,6 +91,21 @@ SERVER_LEVELS = ("flush", "fsync")
 #: The ``server_metrics`` overhead entry's run keys.
 METRICS_MODES = ("metrics_off", "metrics_on")
 
+#: The ``backend_sqlite`` entry: bulk-load throughput of the in-memory
+#: engine versus the live SQLite execution backend
+#: (``benchmarks/bench_backend.py``).
+BACKEND_KEYS = frozenset(
+    (
+        "harness",
+        "python",
+        "n_courses",
+        "rows_loaded",
+        "engine_bulk_rows_per_s",
+        "sqlite_bulk_rows_per_s",
+        "sqlite_slowdown_x",
+    )
+)
+
 #: The ``server_sharded`` scaling entry's own keys (besides one
 #: ``workers_N`` run per measured fleet width).
 SHARDED_KEYS = frozenset(
@@ -162,6 +179,11 @@ def validate_report(report: object) -> list[str]:
                                 | {"group_commits", "batched_records"},
                                 f"server.{level}.{mode}",
                             )
+
+    if "backend_sqlite" in report:
+        problems += _missing(
+            report["backend_sqlite"], BACKEND_KEYS, "backend_sqlite"
+        )
 
     if "server_sharded" in report:
         sh = report["server_sharded"]

@@ -1,0 +1,34 @@
+"""Execution backends: the paper's Section 5.1 translations, running.
+
+:mod:`repro.ddl` decides *how* each merged-schema constraint maps onto a
+target DBMS; this package materializes those decisions in a live
+database and classifies every rejection back into the engine's error
+frame, giving the reproduction an independent enforcement referee
+(see docs/BACKENDS.md and ``tests/engine/test_differential.py``).
+"""
+
+from repro.backend.base import (
+    Backend,
+    BackendUnavailableError,
+    check_shape,
+    decode_sql_value,
+    encode_sql_value,
+)
+from repro.backend.migrate import MigrationScript, eta_select, generate_migration
+from repro.backend.postgres import PostgresBackend, postgres_deploy_sql
+from repro.backend.sqlite import SQLiteBackend, candidate_key_trigger_sql
+
+__all__ = [
+    "Backend",
+    "BackendUnavailableError",
+    "MigrationScript",
+    "PostgresBackend",
+    "SQLiteBackend",
+    "candidate_key_trigger_sql",
+    "check_shape",
+    "decode_sql_value",
+    "encode_sql_value",
+    "eta_select",
+    "generate_migration",
+    "postgres_deploy_sql",
+]

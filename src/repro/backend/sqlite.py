@@ -1,0 +1,546 @@
+"""SQLite execution backend (stdlib ``sqlite3``).
+
+The deployment is exactly what :func:`repro.ddl.generate.generate_ddl`
+emits under the :data:`~repro.ddl.dialects.SQLITE` profile -- NOT NULL /
+PRIMARY KEY / UNIQUE / inline FOREIGN KEY for the declaratively
+maintainable constraints, ``RAISE(ABORT)`` triggers for the procedural
+residue -- plus, under the paper's *identical* null semantics,
+supplemental candidate-key triggers (SQLite's UNIQUE index treats null
+values as distinct, i.e. the *distinct* semantics; Section 5.1).
+
+Rejections come back from SQLite three ways and are all classified into
+the engine's :class:`~repro.engine.database.ConstraintViolationError`
+frame:
+
+* tagged trigger aborts (``repro:<kind>:<label>``) parse directly;
+* declarative NOT NULL / UNIQUE failures name the table and columns,
+  which the deploy-time classification maps turn back into the paper
+  constraint (a nulls-not-allowed constraint, the primary key, or a
+  candidate key);
+* ``FOREIGN KEY constraint failed`` carries no detail at all, so the
+  failing reference is re-found by probing the mutated row's outgoing
+  key-based inclusion dependencies (insert/update) or blamed on
+  restrict semantics (delete, and updates whose new row checks out).
+
+Known, documented divergences from the engine (see docs/BACKENDS.md):
+the ordering of checks inside a single mutation differs, so when one
+row violates several constraints at once the *label* may differ while
+the accept/reject decision agrees; and a row of a self-referencing
+scheme may satisfy its own inclusion dependency on delete in SQLite
+while the engine restricts.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Any, Iterable, Mapping
+
+from repro.backend.base import (
+    Backend,
+    check_shape,
+    decode_sql_value,
+    encode_sql_value,
+)
+from repro.constraints.inclusion import InclusionDependency
+from repro.constraints.nulls import NullExistenceConstraint
+from repro.ddl.dialects import SQLITE
+from repro.ddl.generate import DDLScript, generate_ddl, sql_identifier
+from repro.ddl.triggers import abort_message, _sql_str
+from repro.engine.database import ConstraintViolationError
+from repro.relational.relation import Relation
+from repro.relational.schema import RelationScheme, RelationalSchema
+from repro.relational.state import DatabaseState
+from repro.relational.tuples import NULL, Tuple
+
+#: Violation kinds the engine raises with the kind itself as the
+#: constraint label (everything else labels with the constraint's
+#: ``str()`` and carries the kind separately).
+_SELF_LABELLED = frozenset(
+    {
+        "structure",
+        "primary-key",
+        "candidate-key",
+        "restrict-delete",
+        "restrict-update",
+        "restrict-batch",
+    }
+)
+
+_TRIGGER_BLOCK = re.compile(r"CREATE TRIGGER .*?\nEND;", re.DOTALL)
+
+
+def candidate_key_trigger_sql(schema: RelationalSchema) -> list[str]:
+    """Supplemental triggers realizing *identical* null semantics for
+    candidate keys.
+
+    SQLite's UNIQUE index implements the *distinct* semantics (null
+    values never collide); the 1992 systems of Section 5.1 consider all
+    null values identical.  These ``BEFORE`` triggers compare with
+    ``IS`` -- under which ``NULL IS NULL`` holds -- so a partially-null
+    key value occupies its slot like any other, matching the engine's
+    ``null_semantics="identical"`` mode.  Non-key candidate keys only:
+    primary keys are total, so the declarative PRIMARY KEY already
+    agrees with both semantics.
+    """
+    statements: list[str] = []
+    for scheme in schema.schemes:
+        table = sql_identifier(scheme.name)
+        for key in sorted(
+            scheme.candidate_keys, key=lambda k: [a.name for a in k]
+        ):
+            names = tuple(a.name for a in key)
+            if names == scheme.key_names:
+                continue
+            tag = sql_identifier(f"{scheme.name}_{'_'.join(names)}")[:48]
+            match = " AND ".join(
+                f"x.{sql_identifier(n)} IS NEW.{sql_identifier(n)}"
+                for n in names
+            )
+            message = _sql_str(
+                abort_message(
+                    "candidate-key", f"{scheme.name}({', '.join(names)})"
+                )
+            )
+            statements.append(
+                f"CREATE TRIGGER trg_ck_{tag}_ins\n"
+                f"BEFORE INSERT ON {table}\n"
+                f"FOR EACH ROW WHEN EXISTS "
+                f"(SELECT 1 FROM {table} x WHERE {match})\n"
+                f"BEGIN\n    SELECT RAISE(ABORT, {message});\nEND;"
+            )
+            statements.append(
+                f"CREATE TRIGGER trg_ck_{tag}_upd\n"
+                f"BEFORE UPDATE ON {table}\n"
+                f"FOR EACH ROW WHEN EXISTS "
+                f"(SELECT 1 FROM {table} x WHERE {match} "
+                f"AND x.rowid <> OLD.rowid)\n"
+                f"BEGIN\n    SELECT RAISE(ABORT, {message});\nEND;"
+            )
+    return statements
+
+
+class SQLiteBackend(Backend):
+    """A deployed schema in a live SQLite database."""
+
+    def __init__(
+        self, path: str = ":memory:", null_semantics: str = "distinct"
+    ):
+        if null_semantics not in ("distinct", "identical"):
+            raise ValueError(f"unknown null semantics: {null_semantics!r}")
+        self.null_semantics = null_semantics
+        self.schema: RelationalSchema | None = None
+        self._conn = sqlite3.connect(path, isolation_level=None)
+        self._conn.execute("PRAGMA foreign_keys=ON")
+
+    # -- deployment -------------------------------------------------------
+
+    def deploy(self, schema: RelationalSchema) -> None:
+        """Run the generated DDL (tables, then triggers) and build the
+        rejection-classification maps."""
+        script = generate_ddl(schema, SQLITE)
+        if script.warnings:
+            raise ConstraintViolationError(
+                "structure",
+                "schema is not fully maintainable on SQLite: "
+                + "; ".join(script.warnings),
+            )
+        self._conn.executescript(script.sql())
+        if self.null_semantics == "identical":
+            for sql in candidate_key_trigger_sql(schema):
+                self._conn.execute(sql)
+        self._index_schema(schema, script)
+
+    def attach(self, schema: RelationalSchema) -> None:
+        """Bind to a database where ``schema`` is *already* deployed
+        (e.g. a file created earlier by ``repro compile --execute``),
+        rebuilding only the classification maps."""
+        self._index_schema(schema)
+
+    def _index_schema(
+        self, schema: RelationalSchema, script: DDLScript | None = None
+    ) -> None:
+        """(Re)build the maps that classify backend rejections."""
+        if script is None:
+            script = generate_ddl(schema, SQLITE)
+        self.schema = schema
+        self._schemes: dict[str, RelationScheme] = {
+            s.name: s for s in schema.schemes
+        }
+        # NOT NULL failures name table.column; the engine checks null
+        # constraints before keys, so a nulls-not-allowed constraint
+        # over a column outranks the primary key's implicit NOT NULL.
+        self._col_kind: dict[tuple[str, str], tuple[str, str]] = {}
+        self._unique_kind: dict[
+            tuple[str, frozenset[str]], tuple[str, str]
+        ] = {}
+        for scheme in schema.schemes:
+            table = sql_identifier(scheme.name)
+            for name in scheme.key_names:
+                self._col_kind[(table, sql_identifier(name))] = (
+                    "primary-key",
+                    "primary-key",
+                )
+            for constraint in schema.null_constraints_of(scheme.name):
+                if (
+                    isinstance(constraint, NullExistenceConstraint)
+                    and constraint.is_nulls_not_allowed()
+                ):
+                    for name in constraint.rhs:
+                        self._col_kind[(table, sql_identifier(name))] = (
+                            str(constraint),
+                            "nulls-not-allowed",
+                        )
+            pk_set = frozenset(sql_identifier(n) for n in scheme.key_names)
+            self._unique_kind[(table, pk_set)] = ("primary-key", "primary-key")
+            for key in scheme.candidate_keys:
+                cols = frozenset(sql_identifier(a.name) for a in key)
+                self._unique_kind.setdefault(
+                    (table, cols), ("candidate-key", "candidate-key")
+                )
+        # FOREIGN KEY failures carry no detail; keep the declarative
+        # (key-based) outgoing dependencies per scheme for re-probing.
+        self._outgoing_fk: dict[str, list[InclusionDependency]] = {
+            s.name: [] for s in schema.schemes
+        }
+        for ind in schema.inds:
+            if ind.is_key_based(schema):
+                self._outgoing_fk[ind.lhs_scheme].append(ind)
+        # Child-side trigger statements per scheme, dropped during bulk
+        # loads to defer non-key reference checks the way the engine does.
+        self._child_triggers: dict[str, list[tuple[str, str]]] = {}
+        by_ident = {sql_identifier(s.name): s.name for s in schema.schemes}
+        for statement in script.statements:
+            for block in _TRIGGER_BLOCK.findall(statement.sql):
+                name = block.split()[2]
+                if not name.startswith("trg_ri_"):
+                    continue
+                table = block.splitlines()[1].rsplit(" ON ", 1)[1]
+                self._child_triggers.setdefault(by_ident[table], []).append(
+                    (name, block)
+                )
+
+    # -- classification ---------------------------------------------------
+
+    def _scheme(self, scheme_name: str) -> RelationScheme:
+        return self._schemes[scheme_name]
+
+    def _classify(
+        self,
+        exc: sqlite3.Error,
+        op: str,
+        scheme_name: str,
+        new_values: Mapping[str, Any] | None = None,
+    ) -> ConstraintViolationError:
+        """One SQLite rejection -> the engine's error frame."""
+        message = str(exc)
+        if message.startswith("repro:"):
+            _, kind, label = message.split(":", 2)
+            if kind in _SELF_LABELLED:
+                return ConstraintViolationError(kind, label)
+            return ConstraintViolationError(label, f"{op} rejected", kind=kind)
+        if message.startswith("NOT NULL constraint failed: "):
+            table, col = message.rsplit(": ", 1)[1].split(".", 1)
+            label, kind = self._col_kind.get(
+                (table, col), ("nulls-not-allowed", "nulls-not-allowed")
+            )
+            return ConstraintViolationError(label, message, kind=kind)
+        if message.startswith("UNIQUE constraint failed: "):
+            qualified = message.rsplit(": ", 1)[1].split(", ")
+            table = qualified[0].split(".", 1)[0]
+            cols = frozenset(q.split(".", 1)[1] for q in qualified)
+            label, kind = self._unique_kind.get(
+                (table, cols), ("candidate-key", "candidate-key")
+            )
+            return ConstraintViolationError(label, message, kind=kind)
+        if "FOREIGN KEY constraint failed" in message:
+            if op == "delete":
+                return ConstraintViolationError(
+                    "restrict-delete", f"{scheme_name} row is referenced"
+                )
+            if new_values is not None:
+                ind = self._probe_outgoing(scheme_name, new_values)
+                if ind is not None:
+                    return ConstraintViolationError(
+                        str(ind),
+                        f"no {ind.rhs_scheme} row matches "
+                        f"{[new_values[a] for a in ind.lhs_attrs]!r}",
+                        kind="inclusion-dependency",
+                    )
+            if op == "update":
+                return ConstraintViolationError(
+                    "restrict-update", f"{scheme_name} row is referenced"
+                )
+            return ConstraintViolationError(
+                str(exc), f"{op} rejected", kind="inclusion-dependency"
+            )
+        # Driver-level failures are not constraint semantics; re-raise.
+        raise exc
+
+    def _probe_outgoing(
+        self, scheme_name: str, values: Mapping[str, Any]
+    ) -> InclusionDependency | None:
+        """Find which declarative FK the mutated row fails (SQLite does
+        not say)."""
+        for ind in self._outgoing_fk.get(scheme_name, ()):
+            lhs = [values[a] for a in ind.lhs_attrs]
+            if any(v is NULL for v in lhs):
+                continue  # MATCH SIMPLE: any-null children are exempt
+            where = " AND ".join(
+                f"{sql_identifier(r)} = ?" for r in ind.rhs_attrs
+            )
+            hit = self._conn.execute(
+                f"SELECT 1 FROM {sql_identifier(ind.rhs_scheme)} "
+                f"WHERE {where} LIMIT 1",
+                [encode_sql_value(v) for v in lhs],
+            ).fetchone()
+            if hit is None:
+                return ind
+        return None
+
+    # -- mutations --------------------------------------------------------
+
+    def insert(self, scheme_name: str, row: Mapping[str, Any]) -> Tuple:
+        """Insert one row; integrity rejections are classified back into
+        :class:`ConstraintViolationError` with the engine's kind/rule."""
+        scheme = self._scheme(scheme_name)
+        t = check_shape(scheme, row)
+        cols = ", ".join(
+            sql_identifier(a.name) for a in scheme.attributes
+        )
+        marks = ", ".join("?" for _ in scheme.attributes)
+        params = [
+            encode_sql_value(t.mapping[a.name]) for a in scheme.attributes
+        ]
+        try:
+            self._conn.execute(
+                f"INSERT INTO {sql_identifier(scheme_name)} ({cols}) "
+                f"VALUES ({marks})",
+                params,
+            )
+        except sqlite3.IntegrityError as exc:
+            raise self._classify(exc, "insert", scheme_name, t.mapping) from exc
+        return t
+
+    def update(
+        self,
+        scheme_name: str,
+        pk: tuple[Any, ...] | Any,
+        updates: Mapping[str, Any],
+    ) -> Tuple:
+        """Update the row keyed ``pk`` (engine semantics: ``KeyError`` on
+        a miss, empty updates are a no-op, unknown attributes reject)."""
+        scheme = self._scheme(scheme_name)
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        old = self.get(scheme_name, pk)
+        if old is None:
+            raise KeyError(f"{scheme_name}: no row with key {pk!r}")
+        updates = dict(updates)
+        unknown = set(updates) - set(scheme.attribute_names)
+        if unknown:
+            raise ConstraintViolationError(
+                "structure",
+                f"{scheme_name}: unknown attributes {sorted(unknown)}",
+            )
+        new = old.with_values(updates)
+        if not updates:
+            return new  # the engine accepts an empty update as a no-op
+        assignments = ", ".join(
+            f"{sql_identifier(name)} = ?" for name in updates
+        )
+        where = " AND ".join(
+            f"{sql_identifier(name)} = ?" for name in scheme.key_names
+        )
+        params = [encode_sql_value(v) for v in updates.values()]
+        params += [encode_sql_value(v) for v in pk]
+        try:
+            self._conn.execute(
+                f"UPDATE {sql_identifier(scheme_name)} "
+                f"SET {assignments} WHERE {where}",
+                params,
+            )
+        except sqlite3.IntegrityError as exc:
+            raise self._classify(
+                exc, "update", scheme_name, new.mapping
+            ) from exc
+        return new
+
+    def delete(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> None:
+        """Delete the row keyed ``pk`` (``KeyError`` on a miss; restrict
+        rules surface as classified constraint violations)."""
+        scheme = self._scheme(scheme_name)
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        if len(pk) != len(scheme.key_names):
+            raise KeyError(f"{scheme_name}: no row with key {pk!r}")
+        where = " AND ".join(
+            f"{sql_identifier(name)} = ?" for name in scheme.key_names
+        )
+        try:
+            cursor = self._conn.execute(
+                f"DELETE FROM {sql_identifier(scheme_name)} WHERE {where}",
+                [encode_sql_value(v) for v in pk],
+            )
+        except sqlite3.IntegrityError as exc:
+            raise self._classify(exc, "delete", scheme_name) from exc
+        if cursor.rowcount == 0:
+            raise KeyError(f"{scheme_name}: no row with key {pk!r}")
+
+    def insert_many(
+        self, scheme_name: str, rows: Iterable[Mapping[str, Any]]
+    ) -> list[Tuple]:
+        """Atomic bulk insert, engine-style: shape/null/key checks are
+        immediate per row, outgoing reference checks are deferred to the
+        end of the batch (declarative FKs via ``defer_foreign_keys``,
+        trigger-enforced dependencies by dropping the child-side
+        triggers inside the transaction and re-verifying by query), and
+        any rejection rolls the whole batch back."""
+        scheme = self._scheme(scheme_name)
+        dropped = self._child_triggers.get(scheme_name, [])
+        self._conn.execute("BEGIN")
+        try:
+            self._conn.execute("PRAGMA defer_foreign_keys=ON")
+            for name, _ in dropped:
+                self._conn.execute(f"DROP TRIGGER {name}")
+            out: list[Tuple] = []
+            for row in rows:
+                out.append(self.insert(scheme_name, row))
+            self._verify_outgoing(scheme)
+            for _, block in dropped:
+                self._conn.execute(block)
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        return out
+
+    def _verify_outgoing(self, scheme: RelationScheme) -> None:
+        """End-of-batch containment check for every inclusion dependency
+        leaving ``scheme`` (raises with the engine's bulk-path label)."""
+        assert self.schema is not None
+        child = sql_identifier(scheme.name)
+        for ind in self.schema.inds:
+            if ind.lhs_scheme != scheme.name:
+                continue
+            pairs = list(zip(ind.lhs_attrs, ind.rhs_attrs))
+            total = " AND ".join(
+                f"i.{sql_identifier(l)} IS NOT NULL" for l, _ in pairs
+            )
+            match = " AND ".join(
+                f"p.{sql_identifier(r)} = i.{sql_identifier(l)}"
+                for l, r in pairs
+            )
+            parent = sql_identifier(ind.rhs_scheme)
+            select = ", ".join(f"i.{sql_identifier(l)}" for l, _ in pairs)
+            hit = self._conn.execute(
+                f"SELECT {select} FROM {child} i WHERE ({total}) AND NOT "
+                f"EXISTS (SELECT 1 FROM {parent} p WHERE {match}) LIMIT 1"
+            ).fetchone()
+            if hit is not None:
+                raise ConstraintViolationError(
+                    str(ind),
+                    f"no {ind.rhs_scheme} row matches {list(hit)!r}",
+                    kind="inclusion-dependency",
+                )
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, scheme_name: str, pk: tuple[Any, ...] | Any) -> Tuple | None:
+        """The row keyed ``pk`` as a decoded :class:`Tuple`, or ``None``
+        on a miss (including an arity-mismatched key, like the engine)."""
+        scheme = self._scheme(scheme_name)
+        if not isinstance(pk, tuple):
+            pk = (pk,)
+        if len(pk) != len(scheme.key_names):
+            return None  # same as a dict miss in the engine
+        where = " AND ".join(
+            f"{sql_identifier(name)} = ?" for name in scheme.key_names
+        )
+        select = ", ".join(sql_identifier(a.name) for a in scheme.attributes)
+        row = self._conn.execute(
+            f"SELECT {select} FROM {sql_identifier(scheme_name)} "
+            f"WHERE {where}",
+            [encode_sql_value(v) for v in pk],
+        ).fetchone()
+        if row is None:
+            return None
+        return Tuple.over(
+            scheme.attributes, tuple(decode_sql_value(v) for v in row)
+        )
+
+    def count(self, scheme_name: str) -> int:
+        """Number of rows currently stored for ``scheme_name``."""
+        self._scheme(scheme_name)
+        (n,) = self._conn.execute(
+            f"SELECT COUNT(*) FROM {sql_identifier(scheme_name)}"
+        ).fetchone()
+        return n
+
+    def state(self) -> DatabaseState:
+        """The full contents as a :class:`DatabaseState` (``$null``
+        decoded), directly comparable with ``Database.state()``."""
+        assert self.schema is not None, "deploy a schema first"
+        relations = {}
+        for scheme in self.schema.schemes:
+            select = ", ".join(
+                sql_identifier(a.name) for a in scheme.attributes
+            )
+            rows = self._conn.execute(
+                f"SELECT {select} FROM {sql_identifier(scheme.name)}"
+            ).fetchall()
+            relations[scheme.name] = Relation(
+                scheme.attributes,
+                (
+                    Tuple.over(
+                        scheme.attributes,
+                        tuple(decode_sql_value(v) for v in row),
+                    )
+                    for row in rows
+                ),
+            )
+        return DatabaseState(relations)
+
+    # -- evolution --------------------------------------------------------
+
+    def migrate(self, simplified) -> None:
+        """Evolve the live database through a
+        :class:`~repro.core.remove.SimplifyResult` (the composed
+        ``mu_n . ... . mu_1 . eta`` mapping) via generated
+        DROP/CREATE/``INSERT ... SELECT`` DDL.
+
+        See :func:`repro.backend.migrate.generate_migration` for the
+        script shape; after the rebuild the classification maps are
+        re-derived from the simplified schema.
+        """
+        from repro.backend.migrate import generate_migration
+
+        assert self.schema is not None, "deploy a schema first"
+        script = generate_migration(self.schema, simplified)
+        self._conn.execute("PRAGMA foreign_keys=OFF")
+        try:
+            self._conn.execute("BEGIN")
+            try:
+                for statement in script.rebuild:
+                    self._conn.execute(statement)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+            self._conn.executescript(script.trigger_sql)
+            if self.null_semantics == "identical":
+                for sql in candidate_key_trigger_sql(simplified.schema):
+                    self._conn.execute(sql)
+        finally:
+            self._conn.execute("PRAGMA foreign_keys=ON")
+        orphans = self._conn.execute("PRAGMA foreign_key_check").fetchall()
+        if orphans:
+            raise ConstraintViolationError(
+                "structure",
+                f"migration left dangling references: {orphans[:3]!r}",
+            )
+        self._index_schema(simplified.schema)
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._conn.close()

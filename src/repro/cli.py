@@ -40,7 +40,7 @@ from repro.constraints.minimize import minimize_schema
 from repro.core.merge import merge as apply_merge
 from repro.core.planner import MergePlanner, MergeStrategy
 from repro.core.remove import remove_all
-from repro.ddl.dialects import DB2, INGRES_63, SYBASE_40, DialectProfile
+from repro.ddl.dialects import DB2, INGRES_63, SQLITE, SYBASE_40, DialectProfile
 from repro.ddl.generate import generate_ddl
 from repro.eer.patterns import find_amenable_structures
 from repro.eer.teorey import translate_teorey
@@ -57,6 +57,7 @@ DIALECTS: dict[str, DialectProfile] = {
     "db2": DB2,
     "sybase": SYBASE_40,
     "ingres": INGRES_63,
+    "sqlite": SQLITE,
 }
 
 
@@ -377,7 +378,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_migrate(args: argparse.Namespace) -> int:
-    """``migrate``: map a state through a merge, verifying the round trip."""
+    """``migrate``: map a state through a merge, verifying the round trip.
+
+    ``--sql`` additionally emits the equivalent SQLite migration script
+    (the ``eta`` mapping as ``INSERT ... SELECT`` DDL); ``--db`` applies
+    that script to a live SQLite database file holding the source
+    schema's deployment.
+    """
     schema = _load_relational(args.schema)
     state = state_from_dict(_load_json(args.state), schema)
     violations = ConsistencyChecker(schema).violations(state)
@@ -393,8 +400,69 @@ def cmd_migrate(args: argparse.Namespace) -> int:
         f"{migrated.total_size()} tuples in "
         f"{len(simplified.schema.schemes)} relation(s); round trip verified"
     )
+    if args.sql or args.db:
+        from repro.backend import SQLiteBackend, generate_migration
+
+        script = generate_migration(schema, simplified)
+        if args.sql:
+            if args.sql == "-":
+                print(script.sql())
+            else:
+                with open(args.sql, "w") as f:
+                    f.write(script.sql() + "\n")
+                print(f"wrote migration script to {args.sql}")
+        if args.db:
+            with SQLiteBackend(args.db) as backend:
+                backend.attach(schema)
+                backend.migrate(simplified)
+                live = backend.state()
+            if live != migrated:
+                raise CliError(
+                    f"live migration of {args.db} diverged from the "
+                    "state mapping"
+                )
+            print(
+                f"migrated live database {args.db}; contents match the "
+                "eta mapping"
+            )
     _write_output(args.output, state_to_dict(migrated))
     return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``compile``: generate DDL and optionally execute it on SQLite."""
+    schema = _load_relational(args.schema)
+    dialect = DIALECTS[args.dialect]
+    script = generate_ddl(schema, dialect)
+    if args.output and args.output != "-":
+        with open(args.output, "w") as f:
+            f.write(script.sql() + "\n")
+        print(f"wrote {len(script.statements)} statement(s) to {args.output}")
+    else:
+        print(script.sql())
+        print()
+    print(f"-- {script.summary()}")
+    for warning in script.warnings:
+        print(f"-- WARNING: {warning}")
+    if args.execute:
+        if not dialect.executable:
+            raise CliError(
+                f"--execute needs an executable dialect (sqlite), "
+                f"not {dialect.name}"
+            )
+        from repro.backend import SQLiteBackend
+
+        with SQLiteBackend(args.execute) as backend:
+            backend.deploy(schema)
+            counts = {
+                scheme.name: backend.count(scheme.name)
+                for scheme in schema.schemes
+            }
+        print(
+            f"deployed {len(counts)} table(s) to {args.execute} "
+            f"({sum(counts.values())} row(s))"
+        )
+    return 1 if args.strict and script.warnings else 0
 
 
 def cmd_translate(args: argparse.Namespace) -> int:
@@ -1022,6 +1090,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("state")
     p.add_argument("--members", nargs="+", required=True)
     p.add_argument("-o", "--output")
+    p.add_argument(
+        "--sql",
+        help="write the SQLite migration script ('-' for stdout)",
+    )
+    p.add_argument(
+        "--db",
+        help="apply the migration to this live SQLite database file",
+    )
     p.set_defaults(fn=cmd_migrate)
 
     p = sub.add_parser("translate", help="EER design -> relational schema")
@@ -1049,6 +1125,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero when constraints are unmaintainable",
     )
     p.set_defaults(fn=cmd_ddl)
+
+    p = sub.add_parser(
+        "compile",
+        help="generate DDL and optionally execute it on SQLite",
+    )
+    p.add_argument("schema")
+    p.add_argument("--dialect", choices=sorted(DIALECTS), default="sqlite")
+    p.add_argument(
+        "--execute",
+        metavar="DB",
+        help="deploy the schema into this SQLite database file",
+    )
+    p.add_argument("-o", "--output", help="write the DDL script to a file")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when constraints are unmaintainable",
+    )
+    p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("init", help="write demo JSON files to a directory")
     p.add_argument("directory")

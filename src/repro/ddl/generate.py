@@ -18,12 +18,57 @@ from repro.ddl.dialects import DialectProfile, Mechanism
 from repro.relational.schema import RelationScheme, RelationalSchema
 
 
+class IdentifierCollisionError(ValueError):
+    """Two distinct schema names map to the same SQL identifier.
+
+    :func:`sql_identifier` folds dots, dashes and primes into
+    underscore-ish characters, so ``A.B`` and ``A_B`` both become
+    ``A_B`` -- silently emitting DDL where two names alias one table or
+    column.  Generation refuses instead, naming both originals.
+    """
+
+    def __init__(self, context: str, first: str, second: str, ident: str):
+        self.context = context
+        self.first = first
+        self.second = second
+        self.identifier = ident
+        super().__init__(
+            f"{context}: names {first!r} and {second!r} both map to the "
+            f"SQL identifier {ident!r}; rename one of them"
+        )
+
+
 def sql_identifier(name: str) -> str:
     """A portable SQL identifier: dots and dashes become underscores."""
     out = name.replace(".", "_").replace("-", "_").replace("'", "_P")
     if out and out[0].isdigit():
         out = "_" + out
     return out
+
+
+def check_identifiers(schema: RelationalSchema) -> None:
+    """Refuse identifier aliasing before any DDL is emitted.
+
+    Scheme names share one namespace (table names); each scheme's
+    attribute names share that table's column namespace.  Raises
+    :class:`IdentifierCollisionError` on the first collision found.
+    """
+    seen: dict[str, str] = {}
+    for scheme in schema.schemes:
+        ident = sql_identifier(scheme.name)
+        other = seen.setdefault(ident, scheme.name)
+        if other != scheme.name:
+            raise IdentifierCollisionError(
+                "table names", other, scheme.name, ident
+            )
+        columns: dict[str, str] = {}
+        for attr in scheme.attributes:
+            col = sql_identifier(attr.name)
+            owner = columns.setdefault(col, attr.name)
+            if owner != attr.name:
+                raise IdentifierCollisionError(
+                    f"columns of {scheme.name}", owner, attr.name, col
+                )
 
 
 def sql_type(domain_name: str) -> str:
@@ -100,6 +145,7 @@ def _create_table(
     scheme: RelationScheme,
     dialect: DialectProfile,
     script: DDLScript,
+    inline_fks: tuple[InclusionDependency, ...] = (),
 ) -> None:
     not_null = _not_null_columns(schema, scheme)
     lines = [f"CREATE TABLE {sql_identifier(scheme.name)} ("]
@@ -117,15 +163,25 @@ def _create_table(
         names = tuple(a.name for a in key)
         if names == scheme.key_names:
             continue
-        if set(names) <= not_null:
+        if set(names) <= not_null or dialect.nullable_candidate_keys:
+            # A nullable candidate key is only emitted on dialects whose
+            # UNIQUE treats null values as distinct (SQLite); the
+            # formal "distinct" semantics then falls out of the index.
             cols = ", ".join(sql_identifier(n) for n in names)
             col_lines.append(f"    UNIQUE ({cols})")
-        elif not dialect.nullable_candidate_keys:
+        else:
             script.warnings.append(
                 f"{scheme.name}: candidate key ({', '.join(names)}) allows "
                 f"nulls; {dialect.name} considers all null values identical "
                 "and cannot maintain it (Section 5.1)"
             )
+    for ind in inline_fks:
+        cols = ", ".join(sql_identifier(a) for a in ind.lhs_attrs)
+        ref_cols = ", ".join(sql_identifier(a) for a in ind.rhs_attrs)
+        col_lines.append(
+            f"    FOREIGN KEY ({cols}) "
+            f"REFERENCES {sql_identifier(ind.rhs_scheme)} ({ref_cols})"
+        )
     lines.append(",\n".join(col_lines))
     lines.append(");")
     script.statements.append(
@@ -172,14 +228,28 @@ def generate_ddl(
     """
     from repro.ddl import triggers as trig
 
+    check_identifiers(schema)
     script = DDLScript(dialect=dialect)
+    declarative_ri = dialect.referential_integrity is Mechanism.DECLARATIVE
+    inlined: dict[str, list[InclusionDependency]] = {}
+    if dialect.inline_foreign_keys and declarative_ri:
+        for ind in schema.inds:
+            if ind.is_key_based(schema):
+                inlined.setdefault(ind.lhs_scheme, []).append(ind)
     for scheme in schema.schemes:
-        _create_table(schema, scheme, dialect, script)
+        _create_table(
+            schema,
+            scheme,
+            dialect,
+            script,
+            inline_fks=tuple(inlined.get(scheme.name, ())),
+        )
 
     for ind in schema.inds:
         key_based = ind.is_key_based(schema)
-        if key_based and dialect.referential_integrity is Mechanism.DECLARATIVE:
-            _declarative_foreign_key(ind, script)
+        if key_based and declarative_ri:
+            if not dialect.inline_foreign_keys:
+                _declarative_foreign_key(ind, script)
         elif key_based:
             trig.emit_inclusion_dependency(
                 ind, dialect, dialect.referential_integrity, script

@@ -20,6 +20,7 @@ from repro.constraints.nulls import (
 )
 from repro.ddl.dialects import DialectProfile, Mechanism
 from repro.ddl.generate import DDLScript, Statement, sql_identifier
+from repro.obs.rules import classify_null_constraint
 
 
 def _null_condition_violated(constraint: NullConstraint, row: str) -> str:
@@ -80,6 +81,175 @@ def _constraint_tag(constraint: NullConstraint) -> str:
     return body[:48]
 
 
+def abort_message(kind: str, label: str) -> str:
+    """The tagged ``RAISE(ABORT)`` payload of one executable trigger.
+
+    The backend's error classifier parses this back into the
+    :class:`~repro.engine.database.ConstraintViolationError` kind and
+    constraint label, so a SQLite rejection carries the same paper-rule
+    provenance an engine rejection does.
+    """
+    return f"repro:{kind}:{label}"
+
+
+def _sql_str(text: str) -> str:
+    """``text`` as a SQL string literal (quotes doubled)."""
+    return "'" + text.replace("'", "''") + "'"
+
+
+def _sqlite_row_trigger(
+    name: str, event: str, table: str, condition: str, message: str
+) -> str:
+    """One executable SQLite ``BEFORE`` row trigger rejecting via
+    ``RAISE(ABORT, message)`` when ``condition`` holds."""
+    return (
+        f"CREATE TRIGGER {name}\n"
+        f"BEFORE {event} ON {table}\n"
+        f"FOR EACH ROW WHEN {condition}\n"
+        f"BEGIN\n"
+        f"    SELECT RAISE(ABORT, {_sql_str(message)});\n"
+        f"END;"
+    )
+
+
+def _emit_sqlite_null_constraint(
+    constraint: NullConstraint, script: DDLScript
+) -> None:
+    """Executable SQLite enforcement of one single-tuple null constraint:
+    the same violation condition the 1992 flavours embed, evaluated on
+    ``NEW`` before every insert and update."""
+    table = sql_identifier(constraint.scheme_name)
+    tag = _constraint_tag(constraint)
+    condition = f"({_null_condition_violated(constraint, 'NEW')})"
+    message = abort_message(
+        classify_null_constraint(constraint), str(constraint)
+    )
+    sql = "\n".join(
+        (
+            f"-- enforces: {constraint}",
+            _sqlite_row_trigger(
+                f"trg_{tag}_ins", "INSERT", table, condition, message
+            ),
+            _sqlite_row_trigger(
+                f"trg_{tag}_upd", "UPDATE", table, condition, message
+            ),
+        )
+    )
+    script.statements.append(
+        Statement(
+            kind="null-constraint",
+            mechanism=Mechanism.TRIGGER,
+            sql=sql,
+            subject=str(constraint),
+        )
+    )
+
+
+def _emit_sqlite_inclusion_dependency(
+    ind: InclusionDependency, script: DDLScript
+) -> None:
+    """Executable SQLite enforcement of one (non-key) inclusion
+    dependency, mirroring the engine's restrict semantics: the child
+    side checks containment of total left-hand projections on insert and
+    update; the parent side restricts deletes and watched-column updates
+    while a referencing child row exists (the row being updated does not
+    block itself when the dependency is self-referencing)."""
+    child = sql_identifier(ind.lhs_scheme)
+    parent = sql_identifier(ind.rhs_scheme)
+    pairs = list(zip(ind.lhs_attrs, ind.rhs_attrs))
+    tag = sql_identifier(f"{ind.lhs_scheme}_{'_'.join(ind.lhs_attrs)}")[:48]
+    lhs_total = " AND ".join(
+        f"NEW.{sql_identifier(l)} IS NOT NULL" for l, _ in pairs
+    )
+    match_new = " AND ".join(
+        f"p.{sql_identifier(r)} = NEW.{sql_identifier(l)}" for l, r in pairs
+    )
+    child_condition = (
+        f"({lhs_total})\n"
+        f"    AND NOT EXISTS (SELECT 1 FROM {parent} p WHERE {match_new})"
+    )
+    exists_message = abort_message("inclusion-dependency", str(ind))
+    sql = "\n".join(
+        (
+            f"-- enforces: {ind}",
+            _sqlite_row_trigger(
+                f"trg_ri_{tag}_ins",
+                "INSERT",
+                child,
+                child_condition,
+                exists_message,
+            ),
+            _sqlite_row_trigger(
+                f"trg_ri_{tag}_upd",
+                "UPDATE",
+                child,
+                child_condition,
+                exists_message,
+            ),
+        )
+    )
+    script.statements.append(
+        Statement(
+            kind="inclusion-dependency",
+            mechanism=Mechanism.TRIGGER,
+            sql=sql,
+            subject=str(ind),
+        )
+    )
+
+    rhs_total = " AND ".join(
+        f"OLD.{sql_identifier(r)} IS NOT NULL" for _, r in pairs
+    )
+    match_old = " AND ".join(
+        f"i.{sql_identifier(l)} = OLD.{sql_identifier(r)}" for l, r in pairs
+    )
+    self_exclusion = (
+        " AND i.rowid <> OLD.rowid" if ind.lhs_scheme == ind.rhs_scheme else ""
+    )
+    watched_changed = " OR ".join(
+        f"OLD.{sql_identifier(r)} IS NOT NEW.{sql_identifier(r)}"
+        for _, r in pairs
+    )
+    delete_condition = (
+        f"({rhs_total})\n"
+        f"    AND EXISTS (SELECT 1 FROM {child} i WHERE {match_old})"
+    )
+    update_condition = (
+        f"({watched_changed})\n"
+        f"    AND ({rhs_total})\n"
+        f"    AND EXISTS (SELECT 1 FROM {child} i "
+        f"WHERE {match_old}{self_exclusion})"
+    )
+    sql = "\n".join(
+        (
+            f"-- companion: restrict deletes/updates of {parent} that "
+            f"would orphan {child} rows",
+            _sqlite_row_trigger(
+                f"trg_rd_{tag}",
+                "DELETE",
+                parent,
+                delete_condition,
+                abort_message("restrict-delete", str(ind)),
+            ),
+            _sqlite_row_trigger(
+                f"trg_ru_{tag}",
+                "UPDATE",
+                parent,
+                update_condition,
+                abort_message("restrict-update", str(ind)),
+            ),
+        )
+    )
+    script.statements.append(
+        Statement(
+            kind="inclusion-dependency-delete",
+            mechanism=Mechanism.TRIGGER,
+            sql=sql,
+            subject=str(ind),
+        )
+    )
+
+
 def emit_null_constraint(
     constraint: NullConstraint,
     dialect: DialectProfile,
@@ -87,6 +257,9 @@ def emit_null_constraint(
     script: DDLScript,
 ) -> None:
     """Emit the procedural statement enforcing one null constraint."""
+    if dialect.executable and mechanism is Mechanism.TRIGGER:
+        _emit_sqlite_null_constraint(constraint, script)
+        return
     table = sql_identifier(constraint.scheme_name)
     tag = _constraint_tag(constraint)
     comment = f"-- enforces: {constraint}"
@@ -143,6 +316,9 @@ def emit_inclusion_dependency(
     """Emit the procedural statement(s) enforcing one inclusion
     dependency (insert/update side on the child, delete side on the
     parent)."""
+    if dialect.executable and mechanism is Mechanism.TRIGGER:
+        _emit_sqlite_inclusion_dependency(ind, script)
+        return
     child = sql_identifier(ind.lhs_scheme)
     parent = sql_identifier(ind.rhs_scheme)
     pairs = list(zip(ind.lhs_attrs, ind.rhs_attrs))

@@ -1,0 +1,1 @@
+"""Execution-backend tests (repro.backend)."""

@@ -114,3 +114,57 @@ def test_summary_counts(university_schema):
     text = script.summary()
     assert "SYBASE 4.0" in text
     assert "declarative" in text and "procedural" in text
+
+
+def test_identifier_collision_tables_refused():
+    """Two scheme names folding to one SQL identifier must raise, naming
+    both originals (the silent-aliasing hazard of ``sql_identifier``)."""
+    import pytest
+
+    from repro.ddl.generate import IdentifierCollisionError, check_identifiers
+    from repro.relational.attributes import Attribute, Domain
+    from repro.relational.schema import RelationalSchema, RelationScheme
+
+    def scheme(name, attr):
+        a = (Attribute(attr, Domain("d")),)
+        return RelationScheme(name, a, a)
+
+    schema = RelationalSchema(schemes=(scheme("A.B", "x"), scheme("A_B", "y")))
+    with pytest.raises(IdentifierCollisionError) as exc:
+        check_identifiers(schema)
+    assert "'A.B'" in str(exc.value) and "'A_B'" in str(exc.value)
+    assert exc.value.identifier == "A_B"
+
+
+def test_identifier_collision_columns_refused():
+    import pytest
+
+    from repro.ddl.generate import IdentifierCollisionError, check_identifiers
+    from repro.relational.attributes import Attribute, Domain
+    from repro.relational.schema import RelationalSchema, RelationScheme
+
+    attrs = (Attribute("R.C-1", Domain("d")), Attribute("R.C_1", Domain("d")))
+    schema = RelationalSchema(
+        schemes=(RelationScheme("R", attrs, attrs[:1]),)
+    )
+    with pytest.raises(IdentifierCollisionError) as exc:
+        check_identifiers(schema)
+    assert "columns of R" in str(exc.value)
+    assert "'R.C-1'" in str(exc.value) and "'R.C_1'" in str(exc.value)
+
+
+def test_generate_ddl_refuses_collisions_up_front():
+    """``generate_ddl`` runs the collision check before emitting anything."""
+    import pytest
+
+    from repro.ddl.generate import IdentifierCollisionError
+    from repro.relational.attributes import Attribute, Domain
+    from repro.relational.schema import RelationalSchema, RelationScheme
+
+    def scheme(name, attr):
+        a = (Attribute(attr, Domain("d")),)
+        return RelationScheme(name, a, a)
+
+    schema = RelationalSchema(schemes=(scheme("T.X", "p"), scheme("T-X", "q")))
+    with pytest.raises(IdentifierCollisionError):
+        generate_ddl(schema, DB2)

@@ -1,0 +1,177 @@
+"""Golden DDL under the SQLite profile: Figure 3 and Figure 6, pinned.
+
+Exactly like the golden WAL records (``tests/engine/test_wal.py``) and
+golden traces (``tests/obs/test_trace.py``), these tests pin the byte
+output so any change to the paper schemas' executable translation is an
+explicit test diff.  Both scripts must also *run* on a real SQLite
+connection -- the profile is marked ``executable`` and these are the
+schemas the differential harness deploys.
+"""
+
+import sqlite3
+
+from repro.core.merge import merge
+from repro.core.remove import remove_all
+from repro.ddl.dialects import SQLITE
+from repro.ddl.generate import generate_ddl
+from repro.workloads.university import university_relational
+
+FIG3_SQL = """\
+CREATE TABLE PERSON (
+    P_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (P_SSN)
+);
+
+CREATE TABLE FACULTY (
+    F_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (F_SSN),
+    FOREIGN KEY (F_SSN) REFERENCES PERSON (P_SSN)
+);
+
+CREATE TABLE STUDENT (
+    S_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (S_SSN),
+    FOREIGN KEY (S_SSN) REFERENCES PERSON (P_SSN)
+);
+
+CREATE TABLE COURSE (
+    C_NR VARCHAR(64) NOT NULL,
+    PRIMARY KEY (C_NR)
+);
+
+CREATE TABLE DEPARTMENT (
+    D_NAME VARCHAR(64) NOT NULL,
+    PRIMARY KEY (D_NAME)
+);
+
+CREATE TABLE OFFER (
+    O_C_NR VARCHAR(64) NOT NULL,
+    O_D_NAME VARCHAR(64) NOT NULL,
+    PRIMARY KEY (O_C_NR),
+    FOREIGN KEY (O_C_NR) REFERENCES COURSE (C_NR),
+    FOREIGN KEY (O_D_NAME) REFERENCES DEPARTMENT (D_NAME)
+);
+
+CREATE TABLE TEACH (
+    T_C_NR VARCHAR(64) NOT NULL,
+    T_F_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (T_C_NR),
+    FOREIGN KEY (T_C_NR) REFERENCES OFFER (O_C_NR),
+    FOREIGN KEY (T_F_SSN) REFERENCES FACULTY (F_SSN)
+);
+
+CREATE TABLE ASSIST (
+    A_C_NR VARCHAR(64) NOT NULL,
+    A_S_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (A_C_NR),
+    FOREIGN KEY (A_C_NR) REFERENCES OFFER (O_C_NR),
+    FOREIGN KEY (A_S_SSN) REFERENCES STUDENT (S_SSN)
+);"""
+
+FIG6_SQL = """\
+CREATE TABLE PERSON (
+    P_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (P_SSN)
+);
+
+CREATE TABLE FACULTY (
+    F_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (F_SSN),
+    FOREIGN KEY (F_SSN) REFERENCES PERSON (P_SSN)
+);
+
+CREATE TABLE STUDENT (
+    S_SSN VARCHAR(64) NOT NULL,
+    PRIMARY KEY (S_SSN),
+    FOREIGN KEY (S_SSN) REFERENCES PERSON (P_SSN)
+);
+
+CREATE TABLE DEPARTMENT (
+    D_NAME VARCHAR(64) NOT NULL,
+    PRIMARY KEY (D_NAME)
+);
+
+CREATE TABLE COURSE_P (
+    C_NR VARCHAR(64) NOT NULL,
+    O_D_NAME VARCHAR(64) NULL,
+    T_F_SSN VARCHAR(64) NULL,
+    A_S_SSN VARCHAR(64) NULL,
+    PRIMARY KEY (C_NR),
+    FOREIGN KEY (O_D_NAME) REFERENCES DEPARTMENT (D_NAME),
+    FOREIGN KEY (T_F_SSN) REFERENCES FACULTY (F_SSN),
+    FOREIGN KEY (A_S_SSN) REFERENCES STUDENT (S_SSN)
+);
+
+-- enforces: COURSE': T.F.SSN |-> O.D.NAME
+CREATE TRIGGER trg_COURSE_P_T_F_SSN_ne_O_D_NAME_ins
+BEFORE INSERT ON COURSE_P
+FOR EACH ROW WHEN ((NEW.T_F_SSN IS NOT NULL) AND (NEW.O_D_NAME IS NULL))
+BEGIN
+    SELECT RAISE(ABORT, 'repro:null-existence:COURSE'': T.F.SSN |-> O.D.NAME');
+END;
+CREATE TRIGGER trg_COURSE_P_T_F_SSN_ne_O_D_NAME_upd
+BEFORE UPDATE ON COURSE_P
+FOR EACH ROW WHEN ((NEW.T_F_SSN IS NOT NULL) AND (NEW.O_D_NAME IS NULL))
+BEGIN
+    SELECT RAISE(ABORT, 'repro:null-existence:COURSE'': T.F.SSN |-> O.D.NAME');
+END;
+
+-- enforces: COURSE': A.S.SSN |-> O.D.NAME
+CREATE TRIGGER trg_COURSE_P_A_S_SSN_ne_O_D_NAME_ins
+BEFORE INSERT ON COURSE_P
+FOR EACH ROW WHEN ((NEW.A_S_SSN IS NOT NULL) AND (NEW.O_D_NAME IS NULL))
+BEGIN
+    SELECT RAISE(ABORT, 'repro:null-existence:COURSE'': A.S.SSN |-> O.D.NAME');
+END;
+CREATE TRIGGER trg_COURSE_P_A_S_SSN_ne_O_D_NAME_upd
+BEFORE UPDATE ON COURSE_P
+FOR EACH ROW WHEN ((NEW.A_S_SSN IS NOT NULL) AND (NEW.O_D_NAME IS NULL))
+BEGIN
+    SELECT RAISE(ABORT, 'repro:null-existence:COURSE'': A.S.SSN |-> O.D.NAME');
+END;"""
+
+
+def _executes_cleanly(sql: str, n_tables: int, n_triggers: int) -> None:
+    conn = sqlite3.connect(":memory:")
+    try:
+        conn.execute("PRAGMA foreign_keys = ON")
+        conn.executescript(sql)
+        tables = conn.execute(
+            "SELECT COUNT(*) FROM sqlite_master WHERE type = 'table'"
+        ).fetchone()[0]
+        triggers = conn.execute(
+            "SELECT COUNT(*) FROM sqlite_master WHERE type = 'trigger'"
+        ).fetchone()[0]
+        assert tables == n_tables
+        assert triggers == n_triggers
+    finally:
+        conn.close()
+
+
+def test_golden_figure3_sqlite_ddl():
+    """Figure 3 is fully declarative on SQLite: NOT NULL keys, inline
+    FOREIGN KEY, no procedural residue, no warnings."""
+    script = generate_ddl(university_relational(), SQLITE)
+    assert script.sql() == FIG3_SQL
+    assert not script.warnings
+    assert script.procedural_count() == 0
+    assert script.declarative_count() == len(script.statements) == 8
+    _executes_cleanly(script.sql(), n_tables=8, n_triggers=0)
+
+
+def test_golden_figure6_sqlite_ddl():
+    """Figure 6 keeps key-based RI declarative and compiles the two
+    step-3(e) null-existence constraints into RAISE(ABORT) triggers
+    whose messages carry the ``repro:<kind>:<label>`` classifier tag."""
+    simplified = remove_all(
+        merge(
+            university_relational(),
+            ["COURSE", "OFFER", "TEACH", "ASSIST"],
+        )
+    )
+    script = generate_ddl(simplified.schema, SQLITE)
+    assert script.sql() == FIG6_SQL
+    assert not script.warnings
+    assert script.declarative_count() == 5
+    assert script.procedural_count() == 2
+    _executes_cleanly(script.sql(), n_tables=5, n_triggers=4)

@@ -176,6 +176,278 @@ def test_bulk_paths_match_oracle_state(null_semantics):
     assert engine.state() == oracle.state()
 
 
+# -- three-way differential: engine / scan oracle / live SQLite ---------------
+#
+# The same workloads replay against a real DBMS: the schema is deployed
+# through repro.ddl's SQLite profile (declarative NOT NULL / PRIMARY KEY
+# / UNIQUE / FOREIGN KEY plus RAISE(ABORT) triggers for the residue) and
+# every accept/reject decision must agree with both in-memory engines.
+# Constraint *labels* are compared engine-vs-oracle only: when one row
+# violates several constraints at once, SQLite's check ordering inside a
+# single statement legitimately differs from the engine's documented
+# check order (see docs/BACKENDS.md), while the decision may not.
+
+from repro.backend import SQLiteBackend
+
+
+def _apply_three(engine_op, oracle_op, backend_op):
+    """Run one mutation on engine, oracle and SQLite; the engine/oracle
+    pair must agree on labels, all three on the decision."""
+    outcomes = []
+    errors = []
+    for op in (engine_op, oracle_op, backend_op):
+        try:
+            op()
+            outcomes.append("accept")
+            errors.append(None)
+        except ConstraintViolationError as exc:
+            outcomes.append("reject")
+            errors.append(exc)
+        except KeyError as exc:
+            outcomes.append("missing-key")
+            errors.append(exc)
+    assert outcomes[0] == outcomes[1] == outcomes[2], (
+        f"decision divergence: engine={outcomes[0]} ({errors[0]!r}), "
+        f"oracle={outcomes[1]} ({errors[1]!r}), "
+        f"sqlite={outcomes[2]} ({errors[2]!r})"
+    )
+    if outcomes[0] == "reject":
+        assert errors[0].constraint == errors[1].constraint
+    return outcomes[0] == "accept"
+
+
+@pytest.mark.parametrize("null_semantics", ["distinct", "identical"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_three_way_engine_oracle_sqlite(null_semantics, seed):
+    schema = random_schema(PARAMS, seed=seed).schema
+    rng = random.Random(seed * 1000 + 29)
+    engine = Database(schema, null_semantics=null_semantics)
+    oracle = OracleDatabase(schema, null_semantics=null_semantics)
+    backend = SQLiteBackend(null_semantics=null_semantics)
+    backend.deploy(schema)
+    required = {s.name: _required_attrs(schema, s.name) for s in schema.schemes}
+    scheme_names = list(schema.scheme_names)
+    accepted = 0
+
+    def random_pk(scheme_name):
+        rows = oracle._rows[scheme_name]
+        if rows and rng.random() < 0.85:
+            return rng.choice(list(rows))
+        return (f"v{rng.randint(0, 6)}",)
+
+    for _ in range(N_OPS):
+        name = rng.choice(scheme_names)
+        scheme = schema.scheme(name)
+        roll = rng.random()
+        if roll < 0.5:
+            row = _random_row(rng, scheme, required[name])
+            ok = _apply_three(
+                lambda: engine.insert(name, row),
+                lambda: oracle.insert(name, row),
+                lambda: backend.insert(name, row),
+            )
+        elif roll < 0.75:
+            pk = random_pk(name)
+            updates = {
+                a.name: _random_value(
+                    rng, a.name, a.name not in required[name]
+                )
+                for a in scheme.attributes
+                if rng.random() < 0.5
+            }
+            ok = _apply_three(
+                lambda: engine.update(name, pk, updates),
+                lambda: oracle.update(name, pk, updates),
+                lambda: backend.update(name, pk, updates),
+            )
+        else:
+            pk = random_pk(name)
+            ok = _apply_three(
+                lambda: engine.delete(name, pk),
+                lambda: oracle.delete(name, pk),
+                lambda: backend.delete(name, pk),
+            )
+        accepted += ok
+
+    assert accepted > N_OPS // 10, "sequence too degenerate to mean much"
+    assert engine.state() == oracle.state()
+    assert engine.state() == backend.state()
+    backend.close()
+
+
+@pytest.mark.parametrize("null_semantics", ["distinct", "identical"])
+def test_three_way_bulk_insert_many(null_semantics):
+    """The engine's deferred-reference bulk path against SQLite's
+    (``defer_foreign_keys`` + dropped child triggers inside the batch
+    transaction): decisions and states must agree batch by batch."""
+    schema = random_schema(PARAMS, seed=5).schema
+    rng = random.Random(123)
+    engine = Database(schema, null_semantics=null_semantics)
+    backend = SQLiteBackend(null_semantics=null_semantics)
+    backend.deploy(schema)
+    required = {s.name: _required_attrs(schema, s.name) for s in schema.schemes}
+    for _ in range(12):
+        name = rng.choice(list(schema.scheme_names))
+        scheme = schema.scheme(name)
+        rows = [
+            _random_row(rng, scheme, required[name])
+            for _ in range(rng.randint(1, 25))
+        ]
+        engine_exc = backend_exc = None
+        try:
+            engine.insert_many(name, [dict(r) for r in rows])
+        except ConstraintViolationError as exc:
+            engine_exc = exc
+        try:
+            backend.insert_many(name, [dict(r) for r in rows])
+        except ConstraintViolationError as exc:
+            backend_exc = exc
+        assert (engine_exc is None) == (backend_exc is None), (
+            f"bulk decision divergence on {name}: engine={engine_exc!r}, "
+            f"sqlite={backend_exc!r}"
+        )
+        assert engine.state() == backend.state()
+    backend.close()
+
+
+@pytest.mark.parametrize("null_semantics", ["distinct", "identical"])
+def test_three_way_advised_merge_midstream(null_semantics):
+    """An advised merge lands mid-workload on all three systems.
+
+    Phase 1 runs a mutation workload on the university schema; phase 2
+    sends join traffic through the engine so the advisor has counters to
+    mine; the recommendation then applies online to the engine, through
+    an independent Merge + Remove recompute to the oracle, and through
+    the generated DROP/CREATE/INSERT..SELECT rebuild script to the live
+    SQLite database; phase 3 keeps mutating the merged scheme (with
+    partial-null rows, so the null-existence triggers fire).  Zero
+    accept/reject disagreements allowed anywhere.
+    """
+    from repro.advisor import advise, apply_recommendation
+    from repro.core.merge import merge
+    from repro.core.remove import remove_all
+    from repro.workloads.university import university_relational
+
+    schema = university_relational()
+    rng = random.Random(4242)
+    engine = Database(schema, null_semantics=null_semantics)
+    oracle = OracleDatabase(schema, null_semantics=null_semantics)
+    backend = SQLiteBackend(null_semantics=null_semantics)
+    backend.deploy(schema)
+    q = QueryEngine(engine)
+
+    depts = [f"d{i}" for i in range(3)]
+    courses = [f"c{i}" for i in range(6)]
+
+    # Phase 1: mutation workload (duplicates, dangling references and
+    # restricted deletes all rejected -- in parity).
+    accepted = 0
+    for _ in range(60):
+        roll = rng.random()
+        if roll < 0.3:
+            name, row = "DEPARTMENT", {"D.NAME": rng.choice(depts)}
+        elif roll < 0.6:
+            name, row = "COURSE", {"C.NR": rng.choice(courses)}
+        elif roll < 0.85:
+            name, row = "OFFER", {
+                "O.C.NR": rng.choice(courses),
+                "O.D.NAME": rng.choice(depts),
+            }
+        else:
+            name, pk = "COURSE", (rng.choice(courses),)
+            accepted += _apply_three(
+                lambda: engine.delete(name, pk),
+                lambda: oracle.delete(name, pk),
+                lambda: backend.delete(name, pk),
+            )
+            continue
+        accepted += _apply_three(
+            lambda: engine.insert(name, dict(row)),
+            lambda: oracle.insert(name, dict(row)),
+            lambda: backend.insert(name, dict(row)),
+        )
+    assert accepted > 5
+    assert engine.state() == oracle.state() == backend.state()
+
+    # Phase 2: join traffic, mined by the engine's stats only.
+    for _ in range(80):
+        target = engine.get("COURSE", (rng.choice(courses),))
+        if target is not None:
+            q.find_referencing(target, "OFFER", ["O.C.NR"], ["C.NR"])
+
+    # Mid-stream: the advised decision, applied three ways.
+    report = advise(engine)
+    rec = report["recommendation"]
+    assert rec is not None, "this workload was built to make a merge pay"
+    simplified = remove_all(
+        merge(oracle.schema, rec["members"], key_relation=rec["key_relation"])
+    )
+    apply_recommendation(engine, report)
+    assert set(engine.schema.scheme_names) == set(
+        simplified.schema.scheme_names
+    )
+    merged_oracle = OracleDatabase(
+        simplified.schema, null_semantics=null_semantics
+    )
+    merged_oracle.load_state(simplified.forward.apply(oracle.state()))
+    oracle = merged_oracle
+    backend.migrate(simplified)
+    assert engine.state() == oracle.state() == backend.state()
+
+    # Phase 3: the workload continues against the merged scheme.
+    merged_name = simplified.info.merged_name
+    merged_scheme = engine.schema.scheme(merged_name)
+    new_required = _required_attrs(engine.schema, merged_name)
+    pool = depts + courses
+
+    def merged_value(attr_name):
+        if attr_name not in new_required and rng.random() < 0.35:
+            return NULL
+        return rng.choice(pool)
+
+    def merged_pk():
+        rows = oracle._rows[merged_name]
+        if rows and rng.random() < 0.85:
+            return rng.choice(list(rows))
+        return (rng.choice(pool),)
+
+    post_accepted = 0
+    for _ in range(80):
+        roll = rng.random()
+        if roll < 0.5:
+            row = {
+                a.name: merged_value(a.name)
+                for a in merged_scheme.attributes
+            }
+            post_accepted += _apply_three(
+                lambda: engine.insert(merged_name, dict(row)),
+                lambda: oracle.insert(merged_name, dict(row)),
+                lambda: backend.insert(merged_name, dict(row)),
+            )
+        elif roll < 0.75:
+            pk = merged_pk()
+            updates = {
+                a.name: merged_value(a.name)
+                for a in merged_scheme.attributes
+                if rng.random() < 0.5
+            }
+            post_accepted += _apply_three(
+                lambda: engine.update(merged_name, pk, updates),
+                lambda: oracle.update(merged_name, pk, updates),
+                lambda: backend.update(merged_name, pk, updates),
+            )
+        else:
+            pk = merged_pk()
+            post_accepted += _apply_three(
+                lambda: engine.delete(merged_name, pk),
+                lambda: oracle.delete(merged_name, pk),
+                lambda: backend.delete(merged_name, pk),
+            )
+    assert post_accepted > 5
+    assert engine.state() == oracle.state() == backend.state()
+    backend.close()
+
+
 # -- slotted versus dict-row differential --------------------------------------
 #
 # The bulk entry points take the columnar slotted-row fast path

@@ -117,3 +117,14 @@ def test_non_object_report_is_rejected():
     assert any(
         "results" in p for p in validate_report({"harness": "x"})
     )
+
+
+def test_missing_backend_field_is_caught():
+    report = _committed_report()
+    assert "backend_sqlite" in report, "committed report lacks backend entry"
+    del report["backend_sqlite"]["sqlite_bulk_rows_per_s"]
+    problems = validate_report(report)
+    assert any(
+        "backend_sqlite" in p and "sqlite_bulk_rows_per_s" in p
+        for p in problems
+    )
