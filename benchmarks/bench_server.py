@@ -24,6 +24,11 @@ it enabled (scraping the HTTP ``/metrics`` endpoint before and after
 the run), reporting the throughput cost as a ``server_metrics`` entry
 (target: under 5%).
 
+``--spans`` measures span-tracing overhead instead: the same hosted
+load with no span sink and with a sink at 0%, 1% and 100% head
+sampling, reporting each throughput cost as a ``server_spans`` entry
+(target: under 5% at the 1% production rate).
+
 ``--sharded`` measures shard-per-core scaling instead: it spawns a
 ``repro serve --workers N`` fleet (the :mod:`repro.server.supervisor`
 topology) for each worker count, drives it with sharded clients at
@@ -509,6 +514,79 @@ def bench_metrics_overhead(clients: int, ops: int) -> dict[str, object]:
     return entry
 
 
+def bench_spans_overhead(clients: int, ops: int) -> dict[str, object]:
+    """The same group-commit load with span tracing off and at 0%, 1%
+    and 100% head sampling; each throughput delta against the no-sink
+    baseline is the tracing overhead at that rate (target: under 5% at
+    the 1% production rate).
+
+    Sampled runs also ask the ``spans`` verb for the sink's counters,
+    asserting spans were actually exported (or, at 0%, that none were)
+    -- an overhead number for a sink that traced nothing would be
+    meaningless.
+    """
+    from repro.engine.database import Database
+    from repro.engine.wal import FileStorage, WriteAheadLog
+    from repro.server import ServerConfig, ServerThread
+    from repro.workloads.university import university_relational
+
+    entry: dict[str, object] = {
+        "harness": "benchmarks/bench_server.py --spans",
+        "python": platform.python_version(),
+    }
+    modes = (
+        ("spans_off", None),
+        ("spans_0pct", 0.0),
+        ("spans_1pct", 0.01),
+        ("spans_100pct", 1.0),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        for mode, sample in modes:
+            wal = WriteAheadLog(
+                FileStorage(
+                    os.path.join(tmp, f"{mode}.wal"),
+                    fsync=False,
+                    buffered=True,
+                )
+            )
+            db = Database(university_relational(), wal=wal)
+            config = ServerConfig(
+                max_connections=clients + 4,
+                max_batch=256,
+                span_sink=(
+                    os.path.join(tmp, f"{mode}.spans.jsonl")
+                    if sample is not None
+                    else None
+                ),
+                span_sample=sample if sample is not None else 1.0,
+            )
+            with ServerThread(db, config) as st:
+                assert st.port is not None
+                # Best of two: the first load also warms the path, so a
+                # cold baseline can't masquerade as tracing overhead.
+                result = max(
+                    (run_clients(st.port, clients, ops, f"a{i}-") for i in range(2)),
+                    key=lambda r: r["inserts_per_s"],
+                )
+                if sample is not None:
+                    with Client(port=st.port, timeout=60) as c:
+                        sink = c.spans(limit=1)
+                    if sample == 0.0:
+                        assert sink["exported"] == 0, "0% run traced spans"
+                    elif sample >= 1.0:  # 1% may trace nothing on tiny runs
+                        assert sink["exported"] > 0, "sink traced nothing"
+                    result["spans_exported"] = sink["exported"]
+                    result["spans_dropped"] = sink["dropped"]
+            entry[mode] = result
+    off = entry["spans_off"]["inserts_per_s"]
+    for mode, sample in modes[1:]:
+        on = entry[mode]["inserts_per_s"]
+        entry[f"overhead_pct_{mode.removeprefix('spans_')}"] = round(
+            (off - on) / off * 100, 2
+        )
+    return entry
+
+
 def bench_external(
     host: str, port: int, clients: int, ops: int
 ) -> dict[str, object]:
@@ -592,6 +670,12 @@ def main(argv: list[str] | None = None) -> int:
         "with /metrics scrapes) instead of the flush/fsync matrix",
     )
     parser.add_argument(
+        "--spans",
+        action="store_true",
+        help="measure span-tracing overhead (sink off vs 0%%/1%%/100%% "
+        "head sampling) instead of the flush/fsync matrix",
+    )
+    parser.add_argument(
         "--sharded",
         action="store_true",
         help="measure shard-per-core scaling (1/2/4-worker fleets at "
@@ -628,6 +712,14 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(entry, indent=2))
         if not args.smoke and args.output != "-":
             append_to_report(args.output, entry, key="server_metrics")
+            print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+
+    if args.spans:
+        entry = bench_spans_overhead(args.clients, args.ops)
+        print(json.dumps(entry, indent=2))
+        if not args.smoke and args.output != "-":
+            append_to_report(args.output, entry, key="server_spans")
             print(f"wrote {args.output}", file=sys.stderr)
         return 0
 

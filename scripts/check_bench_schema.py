@@ -6,8 +6,10 @@ The benchmark report is written by four harnesses --
 ``benchmarks/bench_server.py`` (the ``server`` flush/fsync matrix),
 ``bench_server.py --metrics`` (the ``server_metrics`` overhead entry),
 ``bench_server.py --sharded`` (the ``server_sharded`` fleet-scaling
-entry), and ``bench_server.py --replicated`` (the ``server_replicated``
-shipping-overhead/failover entry), and ``benchmarks/bench_backend.py``
+entry), ``bench_server.py --replicated`` (the ``server_replicated``
+shipping-overhead/failover entry), ``bench_server.py --spans`` (the
+``server_spans`` tracing-overhead entry), and
+``benchmarks/bench_backend.py``
 (the ``backend_sqlite`` bulk-load comparison) -- and read by docs, CI
 greps and
 regression tooling.  This checker
@@ -90,6 +92,10 @@ SERVER_LEVELS = ("flush", "fsync")
 
 #: The ``server_metrics`` overhead entry's run keys.
 METRICS_MODES = ("metrics_off", "metrics_on")
+
+#: The ``server_spans`` tracing-overhead entry's runs (no sink, then a
+#: sink at each measured head-sampling rate).
+SPANS_MODES = ("spans_off", "spans_0pct", "spans_1pct", "spans_100pct")
 
 #: The ``backend_sqlite`` entry: bulk-load throughput of the in-memory
 #: engine versus the live SQLite execution backend
@@ -243,6 +249,36 @@ def validate_report(report: object) -> list[str]:
                 elif isinstance(sm[mode], dict):
                     problems += _missing(
                         sm[mode], RUN_KEYS, f"server_metrics.{mode}"
+                    )
+
+    if "server_spans" in report:
+        sp = report["server_spans"]
+        problems += _missing(
+            sp,
+            frozenset(
+                (
+                    "harness",
+                    "python",
+                    "overhead_pct_0pct",
+                    "overhead_pct_1pct",
+                    "overhead_pct_100pct",
+                )
+            ),
+            "server_spans",
+        )
+        if isinstance(sp, dict):
+            for mode in SPANS_MODES:
+                if mode not in sp:
+                    problems.append(f"server_spans: missing run {mode!r}")
+                elif isinstance(sp[mode], dict):
+                    required = RUN_KEYS
+                    if mode != "spans_off":
+                        required = RUN_KEYS | {
+                            "spans_exported",
+                            "spans_dropped",
+                        }
+                    problems += _missing(
+                        sp[mode], required, f"server_spans.{mode}"
                     )
     return problems
 

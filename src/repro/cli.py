@@ -20,6 +20,7 @@ recognised by their ``object_sets`` field.  Commands:
 ``promote``    turn a replica (or replica fleet) into the primary
 ``advise``     workload-driven merge recommendation from a live server
 ``monitor``    live terminal dashboard over a running server
+``trace``      reassemble request traces from span files / a live server
 
 Every command reads JSON from file arguments and writes human output to
 stdout; ``-o`` writes machine-readable JSON results.  ``check``,
@@ -621,6 +622,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise CliError("--max-batch must be at least 1")
     if args.max_delay < 0:
         raise CliError("--max-delay must be non-negative")
+    if not 0.0 <= args.span_sample <= 1.0:
+        raise CliError("--span-sample must be between 0 and 1")
+    if args.slow_ms is not None and args.span_sink is None:
+        raise CliError("--slow-ms requires --span-sink")
     workers = resolve_workers(args.workers)
     if workers and args.worker_index is None:
         args.workers = workers
@@ -696,6 +701,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
         shard=shard,
         prepare_timeout=args.prepare_timeout,
         replicate_from=args.replicate_from,
+        span_sink=args.span_sink,
+        span_sample=args.span_sample,
+        slow_ms=args.slow_ms,
     )
     try:
         server = asyncio.run(serve_async(db, config))
@@ -750,6 +758,12 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         worker_args.append("--fsync")
     if args.no_checkpoint:
         worker_args.append("--no-checkpoint")
+    # Span flags forward to every worker; the sink path itself derives
+    # per worker (FILE.w<i>, like the WAL), handled by the supervisor.
+    if args.span_sample != 1.0:
+        worker_args += ["--span-sample", str(args.span_sample)]
+    if args.slow_ms is not None:
+        worker_args += ["--slow-ms", str(args.slow_ms)]
     replicate_from = None
     if args.replicate_from:
         replicate_from = _fleet_replication_targets(
@@ -762,6 +776,7 @@ def _serve_fleet(args: argparse.Namespace) -> int:
         worker_args=worker_args,
         wal=args.wal,
         replicate_from=replicate_from,
+        span_sink=args.span_sink,
     )
     if args.wal is None:
         print(
@@ -964,6 +979,94 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         raise CliError(f"cannot reach {host}:{port}: {exc}")
     except KeyboardInterrupt:
         return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: reassemble distributed request traces from per-worker
+    span JSONL files (or live via the ``spans`` verb) and render ASCII
+    waterfalls with the critical path and per-kind time breakdown."""
+    import os
+
+    from repro.obs.spans import assemble_traces, read_span_lines, render_trace
+
+    spans: list[dict] = []
+    for source in args.sources:
+        if os.path.exists(source):
+            try:
+                with open(source) as f:
+                    spans.extend(read_span_lines(f))
+            except OSError as exc:
+                raise CliError(f"cannot read {source}: {exc}")
+        else:
+            spans.extend(_live_spans(source, args.timeout))
+    if not spans:
+        print("no spans collected")
+        return 1
+    traces = assemble_traces(spans)
+
+    def span_window(members: list[dict]) -> float:
+        start = min(s.get("start_s", 0.0) for s in members)
+        end = max(s.get("end_s", s.get("start_s", 0.0)) for s in members)
+        return end - start
+
+    ordered = sorted(
+        traces.items(), key=lambda kv: span_window(kv[1]), reverse=True
+    )
+    print(
+        f"{len(spans)} span(s) in {len(traces)} trace(s) from "
+        f"{len(args.sources)} source(s)"
+    )
+    if args.list:
+        for trace_id, members in ordered:
+            processes = {s.get("process", "?") for s in members}
+            print(
+                f"  {trace_id}  {len(members):>3} span(s)  "
+                f"{len(processes)} process(es)  "
+                f"{span_window(members) * 1000:.3f} ms"
+            )
+        return 0
+    if args.trace_id is not None:
+        members = traces.get(args.trace_id)
+        if members is None:
+            raise CliError(
+                f"no trace {args.trace_id!r} among the collected spans "
+                "(try --list)"
+            )
+        selected = [(args.trace_id, members)]
+    else:
+        selected = ordered[: max(1, args.slowest)]
+    for trace_id, members in selected:
+        print()
+        print(render_trace(trace_id, members, width=args.width))
+    return 0
+
+
+def _live_spans(target: str, timeout: float) -> list[dict]:
+    """Collect the span ring buffer of a live server -- or of every
+    worker, when ``target`` is a fleet's shared port -- via the
+    ``spans`` verb."""
+    from repro.client import Client
+
+    host, port = _parse_target(target)
+    collected: list[dict] = []
+    try:
+        with Client(host=host, port=port, timeout=timeout) as client:
+            try:
+                topo = client.call("topology")
+            except Exception:
+                topo = {}
+            ports = [int(p) for p in topo.get("ports") or ()]
+            if int(topo.get("workers", 1) or 1) > 1 and ports:
+                for worker_port in ports:
+                    with Client(
+                        host=host, port=worker_port, timeout=timeout
+                    ) as worker:
+                        collected.extend(worker.spans()["spans"])
+            else:
+                collected.extend(client.spans()["spans"])
+    except OSError as exc:
+        raise CliError(f"cannot reach {target}: {exc}")
+    return collected
 
 
 # -- parser ---------------------------------------------------------------
@@ -1253,6 +1356,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--trace", **trace_kwargs)
     p.add_argument(
+        "--span-sink",
+        metavar="FILE",
+        help="record request spans as JSON lines to FILE (fleet "
+        "workers write FILE.w<i>); also enables the 'spans' verb and "
+        "'repro trace'",
+    )
+    p.add_argument(
+        "--span-sample",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head-sampling rate for new traces, 0..1 (default: 1.0; "
+        "requests arriving with a sampled span context are always "
+        "traced)",
+    )
+    p.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log a waterfall of any request slower than MS "
+        "milliseconds to stderr (requires --span-sink)",
+    )
+    p.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -1360,6 +1487,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of repainting in place",
     )
     p.set_defaults(fn=cmd_monitor)
+
+    p = sub.add_parser(
+        "trace",
+        help="reassemble request traces from span files or a live "
+        "server and render waterfalls",
+    )
+    p.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SOURCE",
+        help="span JSONL files (as written by serve --span-sink, one "
+        "per worker) and/or HOST:PORT of a live server to poll via "
+        "the 'spans' verb",
+    )
+    p.add_argument(
+        "--trace-id",
+        default=None,
+        help="render this trace only (default: the slowest)",
+    )
+    p.add_argument(
+        "--slowest",
+        type=int,
+        default=1,
+        metavar="N",
+        help="render the N slowest traces (default: 1)",
+    )
+    p.add_argument(
+        "--list",
+        action="store_true",
+        help="list trace ids with span/process counts instead of "
+        "rendering",
+    )
+    p.add_argument(
+        "--width",
+        type=int,
+        default=48,
+        metavar="COLS",
+        help="waterfall bar width in columns (default: 48)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait per connection (default: 30)",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     return parser
 

@@ -31,6 +31,7 @@ import time
 import uuid
 from typing import Any, Iterable, Mapping, Sequence
 
+from repro.obs.spans import SpanSink
 from repro.server.protocol import (
     MAX_FRAME_BYTES,
     ProtocolError,
@@ -92,6 +93,7 @@ class Client:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float | None = None,
+        span_sink: SpanSink | None = None,
     ):
         self._sock = socket.create_connection((host, port), timeout=timeout)
         # One small frame per request: Nagle+delayed-ACK would add
@@ -99,6 +101,11 @@ class Client:
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._fh = self._sock.makefile("rwb")
         self._next_id = 0
+        #: Where this client's root spans go (``None`` = no client-side
+        #: tracing).  With a sink set, each :meth:`call` that is not
+        #: already inside a trace opens a sampled ``client:<verb>`` root
+        #: span and sends its context on the wire.
+        self.span_sink = span_sink
         #: The ``trace_id`` the server echoed in the most recent
         #: response (client-supplied or server-generated) -- the handle
         #: for correlating this request with the server's trace events.
@@ -125,7 +132,12 @@ class Client:
         self.close()
 
     def call(
-        self, verb: str, *, trace_id: str | None = None, **params: Any
+        self,
+        verb: str,
+        *,
+        trace_id: str | None = None,
+        span_ctx: str | None = None,
+        **params: Any,
     ) -> Any:
         """One request/response round trip; the raw ``result`` value.
 
@@ -133,6 +145,12 @@ class Client:
         onto every engine trace event the server emits for it; the
         server echoes it (or a generated id) back and it is kept in
         :attr:`last_trace_id`.
+
+        ``span_ctx`` (optional) is an encoded span context
+        (:func:`repro.obs.spans.encode_context`) sent as the request's
+        ``span`` field, parenting the server's span under the caller's.
+        Without one, a configured :attr:`span_sink` opens (and exports)
+        a ``client:<verb>`` root span around the round trip.
 
         Raises the matching :class:`RemoteError` subtype on an error
         frame, :class:`ConnectionError` if the server hangs up, and
@@ -142,22 +160,42 @@ class Client:
         request_id = self._next_id
         if trace_id is not None:
             params["trace_id"] = trace_id
-        self._fh.write(encode_frame(request_frame(request_id, verb, **params)))
-        self._fh.flush()
-        line = self._fh.readline(MAX_FRAME_BYTES + 1)
-        if not line:
-            raise ConnectionError("server closed the connection")
-        frame = decode_frame(line)
-        if frame.get("id") != request_id:
-            raise ProtocolError(
-                f"response id {frame.get('id')!r} does not match "
-                f"request id {request_id!r}"
+        span = None
+        if (
+            span_ctx is None
+            and self.span_sink is not None
+            and self.span_sink.sample_root()
+        ):
+            span = self.span_sink.start_span(f"client:{verb}", kind="client")
+            span_ctx = span.context()
+        if span_ctx is not None:
+            params["span"] = span_ctx
+        try:
+            self._fh.write(
+                encode_frame(request_frame(request_id, verb, **params))
             )
-        echoed = frame.get("trace_id")
-        if isinstance(echoed, str):
-            self.last_trace_id = echoed
-        if not frame.get("ok"):
-            raise_error(frame)
+            self._fh.flush()
+            line = self._fh.readline(MAX_FRAME_BYTES + 1)
+            if not line:
+                raise ConnectionError("server closed the connection")
+            frame = decode_frame(line)
+            if frame.get("id") != request_id:
+                raise ProtocolError(
+                    f"response id {frame.get('id')!r} does not match "
+                    f"request id {request_id!r}"
+                )
+            echoed = frame.get("trace_id")
+            if isinstance(echoed, str):
+                self.last_trace_id = echoed
+            if not frame.get("ok"):
+                raise_error(frame)
+        except Exception as exc:
+            if span is not None:
+                span.status = type(exc).__name__
+            raise
+        finally:
+            if span is not None:
+                self.span_sink.export(span.end())
         lsn = frame.get("lsn")
         if isinstance(lsn, int) and lsn > self.last_lsn:
             self.last_lsn = lsn
@@ -299,6 +337,13 @@ class Client:
     def stats(self) -> dict[str, Any]:
         """The server's :meth:`EngineStats.snapshot` dict."""
         return self.call("stats")
+
+    def spans(self, limit: int | None = None) -> dict[str, Any]:
+        """The server's span-sink ring buffer (oldest first) plus its
+        depth/dropped/exported/sample counters; empty with no sink
+        configured."""
+        params = {"limit": limit} if limit is not None else {}
+        return self.call("spans", **params)
 
     # -- replication -----------------------------------------------------
 
@@ -537,8 +582,13 @@ class ShardedClient:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout: float | None = None,
+        span_sink: SpanSink | None = None,
     ):
         self._timeout = timeout
+        #: Client-side span sink, shared by every per-shard connection;
+        #: two-phase batches additionally get a ``router:2pc`` span
+        #: whose context fans out to every participant.
+        self.span_sink = span_sink
         bootstrap = Client(host=host, port=port, timeout=timeout)
         try:
             self.shard_map = ShardMap.from_topology(bootstrap.call("topology"))
@@ -580,6 +630,7 @@ class ShardedClient:
                 host=self._host,
                 port=self.shard_map.ports[shard],
                 timeout=self._timeout,
+                span_sink=self.span_sink,
             )
             self._clients[shard] = client
         return client
@@ -673,67 +724,97 @@ class ShardedClient:
         groups = group_ops_by_shard(self.shard_map, wire_ops)
         shards = sorted(groups)  # worker-id order: deadlock-free
         xid = uuid.uuid4().hex
-        requirements: list[dict[str, Any]] = []
-        prepared: list[int] = []
+        root = router = None
+        sink = self.span_sink
+        if sink is not None and sink.sample_root():
+            # One root for the logical batch, one router child fanning
+            # its context out to every participant -- the trace shows
+            # the prepare round trips and probes under a single parent.
+            root = sink.start_span(
+                "client:batch", kind="client", ops=len(wire_ops)
+            )
+            router = root.child(
+                "router:2pc", kind="router", shards=len(shards), xid=xid
+            )
+        ctx = router.context() if router is not None else None
         try:
-            for shard in shards:
-                ack = self.shard_client(shard).call(
-                    "batch_prepare",
-                    xid=xid,
-                    ops=[op for _, op in groups[shard]],
+            requirements: list[dict[str, Any]] = []
+            prepared: list[int] = []
+            try:
+                for shard in shards:
+                    ack = self.shard_client(shard).call(
+                        "batch_prepare",
+                        xid=xid,
+                        span_ctx=ctx,
+                        ops=[op for _, op in groups[shard]],
+                    )
+                    prepared.append(shard)
+                    requirements.extend(ack["requirements"])
+                probe_cache: dict[tuple, bool] = {}
+
+                def exists_any(scheme, attrs, value) -> bool:
+                    key = (scheme, tuple(attrs), tuple(map(repr, value)))
+                    hit = probe_cache.get(key)
+                    if hit is None:
+                        hit = any(
+                            self.shard_client(s).call(
+                                "exists",
+                                scheme=scheme,
+                                attrs=list(attrs),
+                                value=list(value),
+                                span_ctx=ctx,
+                            )["exists"]
+                            for s in self.shard_map.shards()
+                        )
+                        probe_cache[key] = hit
+                    return hit
+
+                for req in requirements:
+                    message = requirement_violation(req, exists_any)
+                    if message is not None:
+                        raise RemoteConstraintViolation(
+                            message,
+                            constraint=req["constraint"],
+                            kind="inclusion-dependency"
+                            if req["kind"] == "exists"
+                            else "restrict-batch",
+                            detail=message,
+                        )
+            except BaseException:
+                if router is not None:
+                    router.status = "aborted"
+                self._abort_all(prepared, xid, ctx)
+                raise
+            results: list[dict[str, Any] | None] = [None] * len(wire_ops)
+            failure: Exception | None = None
+            for shard in prepared:
+                try:
+                    rows = self.shard_client(shard).call(
+                        "batch_commit", xid=xid, span_ctx=ctx
+                    )
+                except Exception as exc:  # commit the rest, then report
+                    failure = failure or exc
+                    continue
+                for (index, _op), row in zip(groups[shard], rows):
+                    results[index] = (
+                        decode_row(row) if row is not None else None
+                    )
+            if failure is not None:
+                raise failure
+            return results
+        finally:
+            if router is not None:
+                sink.export(router.end())
+                sink.export(root.end())
+
+    def _abort_all(
+        self, prepared: list[int], xid: str, span_ctx: str | None = None
+    ) -> None:
+        for shard in prepared:
+            try:
+                self.shard_client(shard).call(
+                    "batch_abort", xid=xid, span_ctx=span_ctx
                 )
-                prepared.append(shard)
-                requirements.extend(ack["requirements"])
-            probe_cache: dict[tuple, bool] = {}
-
-            def exists_any(scheme, attrs, value) -> bool:
-                key = (scheme, tuple(attrs), tuple(map(repr, value)))
-                hit = probe_cache.get(key)
-                if hit is None:
-                    hit = any(
-                        self.shard_client(s).call(
-                            "exists",
-                            scheme=scheme,
-                            attrs=list(attrs),
-                            value=list(value),
-                        )["exists"]
-                        for s in self.shard_map.shards()
-                    )
-                    probe_cache[key] = hit
-                return hit
-
-            for req in requirements:
-                message = requirement_violation(req, exists_any)
-                if message is not None:
-                    raise RemoteConstraintViolation(
-                        message,
-                        constraint=req["constraint"],
-                        kind="inclusion-dependency"
-                        if req["kind"] == "exists"
-                        else "restrict-batch",
-                        detail=message,
-                    )
-        except BaseException:
-            self._abort_all(prepared, xid)
-            raise
-        results: list[dict[str, Any] | None] = [None] * len(wire_ops)
-        failure: Exception | None = None
-        for shard in prepared:
-            try:
-                rows = self.shard_client(shard).call("batch_commit", xid=xid)
-            except Exception as exc:  # commit the rest, then report
-                failure = failure or exc
-                continue
-            for (index, _op), row in zip(groups[shard], rows):
-                results[index] = decode_row(row) if row is not None else None
-        if failure is not None:
-            raise failure
-        return results
-
-    def _abort_all(self, prepared: list[int], xid: str) -> None:
-        for shard in prepared:
-            try:
-                self.shard_client(shard).call("batch_abort", xid=xid)
             except Exception:
                 pass  # its hold will expire; rejection already decided
 

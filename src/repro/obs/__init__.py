@@ -25,12 +25,26 @@ makes that provenance visible at run time:
   registry with labels and Prometheus text exposition, backing the
   server's ``/metrics`` endpoint and the ``stats`` protocol verb;
 * :mod:`repro.obs.monitor` -- the ``python -m repro monitor`` terminal
-  dashboard renderer, fed by the ``stats`` verb.
+  dashboard renderer, fed by the ``stats`` verb;
+* :mod:`repro.obs.spans` -- distributed request spans with a
+  W3C-traceparent-style wire context, the per-process
+  :class:`~repro.obs.spans.SpanSink` (ring buffer + JSONL), and the
+  trace reassembly/waterfall rendering behind ``repro trace``.
 """
 
 from repro.obs.histogram import LatencyHistogram
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.rules import classify_null_constraint, paper_rule, rule_for
+from repro.obs.spans import (
+    Span,
+    SpanSink,
+    assemble_traces,
+    critical_path,
+    decode_context,
+    encode_context,
+    render_trace,
+    render_waterfall,
+)
 from repro.obs.trace import (
     CorrelatingTracer,
     JsonlTracer,
@@ -48,9 +62,17 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "RingBufferTracer",
+    "Span",
+    "SpanSink",
     "TraceEvent",
     "Tracer",
+    "assemble_traces",
     "classify_null_constraint",
+    "critical_path",
+    "decode_context",
+    "encode_context",
     "paper_rule",
+    "render_trace",
+    "render_waterfall",
     "rule_for",
 ]

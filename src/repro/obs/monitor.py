@@ -117,6 +117,17 @@ def render_dashboard(
                 f"primary · {repl.get('replicas', 0)} sync replica(s)"
                 f" · shipped {repl.get('shipped', 0)} record(s)"
             )
+    spans = server.get("spans")
+    if isinstance(spans, Mapping):
+        span_line = (
+            f"spans: ring {spans.get('depth', 0)}"
+            f" · exported {spans.get('exported', 0)}"
+            f" · dropped {spans.get('dropped', 0)}"
+        )
+        sample = spans.get("sample")
+        if isinstance(sample, (int, float)):
+            span_line += f" · sample {sample:g}"
+        lines.append(span_line)
     lines.append("")
 
     counts = {

@@ -14,6 +14,17 @@ frames), and stamps it onto every engine trace event emitted while
 handling the request, which is the correlation handle ``repro monitor``
 and JSONL trace greps pivot on (see ``docs/OBSERVABILITY.md``).
 
+Requests may further carry an optional ``span`` string -- a
+W3C-traceparent-style span context
+(:func:`repro.obs.spans.encode_context`).  A server running with a span
+sink parents its server span on the context's span id, so the client's
+root span, the router's fan-out, every participant shard's
+prepare/commit, the group-commit barrier, and the replica's apply all
+land in one reassemblable trace (``repro trace``; see
+``docs/OBSERVABILITY.md``).  An absent or malformed ``span`` simply
+roots a new trace; bit 0 of the context's flags carries the caller's
+head-sampling decision.
+
 Responses are either a result frame or a typed error frame::
 
     {"id": 1, "ok": true, "result": {"C.NR": "c1"}}
@@ -107,6 +118,11 @@ Verbs (dispatched by :mod:`repro.server.service`):
 ``promote``               -> ``{"was", "role", "applied_lsn"}`` -- turn
                           a replica into a read-write primary
                           (idempotent on a primary)
+``spans``                 [``limit``] -> ``{"spans", "depth",
+                          "dropped", "exported", "sample"}`` -- the
+                          span sink's ring buffer, oldest first (the
+                          live collection path of ``repro trace``);
+                          empty with no sink configured
 ========================  =====================================================
 
 Sharding (see ``docs/SERVER.md``): each worker of a sharded fleet owns
@@ -163,6 +179,7 @@ VERBS = (
     "repl_poll",
     "repl_status",
     "promote",
+    "spans",
 )
 
 #: The verbs that mutate state and therefore go through the

@@ -45,6 +45,7 @@ from repro.server.protocol import (
     raise_error,
     request_frame,
 )
+from repro.obs.spans import SpanSink
 from repro.server.service import DatabaseService, Session, ShardInfo
 
 
@@ -103,6 +104,23 @@ class ServerConfig:
     #: Primary side: how long a mutation ack may wait on synchronous
     #: replica receipt before stalled replicas are detached.
     repl_ack_timeout: float = 5.0
+    #: JSONL file finished spans are exported to (``repro trace`` reads
+    #: these); ``None`` disables span tracing entirely.  See
+    #: :mod:`repro.obs.spans` and docs/OBSERVABILITY.md.
+    span_sink: str | None = None
+    #: Head-sampling rate in [0, 1] for traces *rooted* at this
+    #: process; requests arriving with a span context follow the
+    #: context's sampled flag instead.
+    span_sample: float = 1.0
+    #: Spans the sink's ring buffer holds for the ``spans`` verb.
+    span_capacity: int = 2048
+    #: Dump an ASCII waterfall to stderr for any request whose server
+    #: span runs at least this many milliseconds (requires
+    #: ``span_sink``; ``None`` disables the slow-request log).
+    slow_ms: float | None = None
+    #: Process label stamped on exported spans (defaults to ``w<id>``
+    #: for fleet workers, ``replica`` for replicas, else ``server``).
+    span_process: str | None = None
 
 
 class ReproServer:
@@ -111,6 +129,26 @@ class ReproServer:
     def __init__(self, db: Database, config: ServerConfig | None = None):
         self.db = db
         self.config = config or ServerConfig()
+        #: This process's span sink (``None`` unless configured); owned
+        #: here -- closed at the end of drain, after the final spans.
+        self.span_sink: SpanSink | None = None
+        if self.config.span_sink is not None:
+            process = self.config.span_process
+            if process is None:
+                if self.config.shard is not None:
+                    process = f"w{self.config.shard.worker_id}"
+                    if self.config.replicate_from:
+                        process += "-replica"
+                elif self.config.replicate_from:
+                    process = "replica"
+                else:
+                    process = "server"
+            self.span_sink = SpanSink(
+                path=self.config.span_sink,
+                capacity=self.config.span_capacity,
+                sample=self.config.span_sample,
+                process=process,
+            )
         self.service = DatabaseService(
             db,
             max_batch=self.config.max_batch,
@@ -122,6 +160,8 @@ class ReproServer:
             role="replica" if self.config.replicate_from else "primary",
             primary=self.config.replicate_from,
             repl_ack_timeout=self.config.repl_ack_timeout,
+            span_sink=self.span_sink,
+            slow_ms=self.config.slow_ms,
         )
         #: The WAL-tailing task (replicas only).
         self._replica_task: asyncio.Task | None = None
@@ -222,6 +262,8 @@ class ReproServer:
         if self._metrics_server is not None:
             self._metrics_server.close()
             await self._metrics_server.wait_closed()
+        if self.span_sink is not None:
+            self.span_sink.close()
         self._drained.set()
 
     async def wait_drained(self) -> None:
@@ -594,6 +636,12 @@ async def serve(
     print(f"listening on {server.host}:{server.port}", flush=True)
     if server.metrics_port is not None:
         print(f"metrics on {server.host}:{server.metrics_port}", flush=True)
+    if server.span_sink is not None:
+        print(
+            f"spans to {server.config.span_sink} "
+            f"(sample {server.span_sink.sample:g})",
+            flush=True,
+        )
     if server.config.replicate_from:
         print(
             f"replicating from {server.config.replicate_from}", flush=True

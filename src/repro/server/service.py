@@ -40,10 +40,11 @@ log cannot prove committed.
 from __future__ import annotations
 
 import asyncio
+import sys
 import uuid
 from collections import deque
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, time
 from typing import Any, Mapping
 
 from repro.engine.database import ConstraintViolationError, Database
@@ -51,6 +52,7 @@ from repro.engine.query import QueryEngine
 from repro.engine.recovery import RecoveryError, WalApplier
 from repro.engine.wal import WalCursor, WalError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanSink, decode_context, render_trace
 from repro.obs.trace import CorrelatingTracer
 from repro.server import protocol
 from repro.server.protocol import (
@@ -240,6 +242,69 @@ class ServerMetrics:
             "replica's applied lsn (0 on a primary).",
         )
         lag.set_callback(service.replication_lag)
+        # -- process-level gauges (PR 10) ------------------------------
+        uptime = r.gauge(
+            "repro_process_uptime_seconds",
+            "Seconds since this server process started serving.",
+        )
+        uptime.set_callback(lambda: time() - service.started_at)
+        wal_size = r.gauge(
+            "repro_server_wal_size_bytes",
+            "Current on-disk size of the write-ahead log (0 without "
+            "file storage).",
+        )
+        wal_size.set_callback(service.wal_size_bytes)
+        snapshots = r.gauge(
+            "repro_server_wal_snapshots",
+            "Checkpoint snapshots taken by this process (WAL "
+            "compactions).",
+        )
+        snapshots.set_callback(lambda: service.db.stats.checkpoints)
+        span_depth = r.gauge(
+            "repro_server_span_queue_depth",
+            "Finished spans held in the span sink's ring buffer.",
+        )
+        span_depth.set_callback(
+            lambda: service.span_sink.depth if service.span_sink else 0
+        )
+        span_dropped = r.gauge(
+            "repro_server_spans_dropped_total",
+            "Spans evicted from the span ring buffer before collection.",
+        )
+        span_dropped.set_callback(
+            lambda: service.span_sink.dropped if service.span_sink else 0
+        )
+
+
+class _SpanEventBridge:
+    """Tee engine :class:`TraceEvent`s into the active request span.
+
+    Sits between the service's :class:`CorrelatingTracer` and the real
+    trace sink: every event still reaches the configured tracer
+    unchanged, but while a sampled request is executing its
+    constraint-check / WAL-append decisions also land on the request's
+    span as span events, so one waterfall shows both layers.
+    """
+
+    def __init__(self, service: "DatabaseService", sink):
+        self._service = service
+        self._sink = sink
+
+    def emit(self, event) -> None:
+        """Attach ``event`` to the active span, then forward it."""
+        span = self._service._active_span
+        if span is not None:
+            span.add_event(
+                event.event,
+                op=event.op,
+                kind=event.kind,
+                constraint=event.constraint,
+                outcome=event.outcome,
+                rows=event.rows,
+                elapsed_us=event.elapsed_us,
+            )
+        if self._sink is not None:
+            self._sink.emit(event)
 
 
 class DatabaseService:
@@ -257,6 +322,8 @@ class DatabaseService:
         role: str = "primary",
         primary: str | None = None,
         repl_ack_timeout: float = 5.0,
+        span_sink: SpanSink | None = None,
+        slow_ms: float | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
@@ -359,6 +426,30 @@ class DatabaseService:
         #: Async callback the server installs; runs after ``promote``
         #: flips the role (cancels the replica loop, prints the line).
         self.on_promote = None
+        #: Wall-clock start of this service, behind the
+        #: ``repro_process_uptime_seconds`` gauge.
+        self.started_at = time()
+        #: Where finished spans go (``None`` disables span tracing);
+        #: see :mod:`repro.obs.spans` and docs/OBSERVABILITY.md.
+        self.span_sink = span_sink
+        #: Dump an ASCII waterfall to stderr for any request whose
+        #: server span runs at least this many milliseconds (``None``
+        #: disables the slow-request log).
+        self.slow_ms = slow_ms
+        #: The span the writer (or read path) is executing under right
+        #: now; the tracer bridge copies engine events onto it.
+        self._active_span: Span | None = None
+        #: True when the tracer pipeline exists only for the span sink
+        #: (no real tracer behind it): the engine tracer is then
+        #: attached just-in-time around sampled requests, so untraced
+        #: ones skip event construction entirely.
+        self._span_only_tracing = db.tracer is None and span_sink is not None
+        #: lsn -> encoded span context for recently committed WAL
+        #: records, so replication shipping can stamp the originating
+        #: context onto shipped records and the replica's apply joins
+        #: the same trace.  Bounded; WAL payloads stay untouched (their
+        #: checksums cover exact bytes).
+        self._span_ctx_by_lsn: dict[int, str] = {}
         #: Server-layer metric families (``None`` disables the registry
         #: entirely -- the configuration ``bench_server --metrics``
         #: compares against).
@@ -366,11 +457,16 @@ class DatabaseService:
             ServerMetrics(self) if metrics else None
         )
         #: Stamps each request's trace id onto the engine's trace
-        #: events; ``None`` when the database has no tracer attached.
+        #: events; ``None`` when neither a tracer nor a span sink is
+        #: attached (a span sink alone still needs the correlator, so
+        #: engine events reach the active request span as span events).
         self._correlator: CorrelatingTracer | None = None
-        if db.tracer is not None:
-            self._correlator = CorrelatingTracer(db.tracer)
-            db.set_tracer(self._correlator)
+        if db.tracer is not None or span_sink is not None:
+            self._correlator = CorrelatingTracer(
+                _SpanEventBridge(self, db.tracer)
+            )
+            if not self._span_only_tracing:
+                db.set_tracer(self._correlator)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -391,7 +487,7 @@ class DatabaseService:
         self._stopping = True
         # A held prepare parks the writer on the decision queue; the
         # drain decision aborts it so the sentinel below can be reached.
-        self._decisions.put_nowait(("__drain__", False, None, None))
+        self._decisions.put_nowait(("__drain__", False, None, None, None))
         await self._queue.put(None)
         await self._writer
         self._writer = None
@@ -445,10 +541,15 @@ class DatabaseService:
                 primary=self.primary,
             )
             return self._finish(session, verb, trace_id, started, response)
+        span = self._open_server_span(verb, frame)
         if verb in DECISION_VERBS:
             session.mutations += 1
-            response = await self._handle_decision(verb, frame, request_id)
-            return self._finish(session, verb, trace_id, started, response)
+            response = await self._handle_decision(
+                verb, frame, request_id, span
+            )
+            return self._finish(
+                session, verb, trace_id, started, response, span
+            )
         if verb in MUTATION_VERBS:
             session.mutations += 1
             if self._stopping:
@@ -457,12 +558,14 @@ class DatabaseService:
                     "shutting-down",
                     "server is draining; no further mutations accepted",
                 )
-                return self._finish(session, verb, trace_id, started, response)
+                return self._finish(
+                    session, verb, trace_id, started, response, span
+                )
             future: asyncio.Future = asyncio.get_running_loop().create_future()
             self.inflight += 1
             try:
                 await self._queue.put(
-                    (verb, frame, request_id, trace_id, future)
+                    (verb, frame, request_id, trace_id, span, future)
                 )
             except BaseException:
                 self.inflight -= 1
@@ -471,12 +574,45 @@ class DatabaseService:
         else:
             if self._correlator is not None:
                 self._correlator.trace_id = trace_id
+            self._activate_span(span)
             try:
                 response = self._execute_read(verb, frame, request_id)
             finally:
+                self._activate_span(None)
                 if self._correlator is not None:
                     self._correlator.trace_id = None
-        return self._finish(session, verb, trace_id, started, response)
+        return self._finish(session, verb, trace_id, started, response, span)
+
+    def _open_server_span(
+        self, verb: str, frame: Mapping[str, Any]
+    ) -> Span | None:
+        """Open the server-side span for one request.
+
+        An incoming ``span`` wire context dictates the trace: we join it
+        as a child span and follow its head-sampling flag.  Without one
+        (or with a malformed one -- :func:`decode_context` returns
+        ``None``) this request roots a new trace, subject to the sink's
+        sampling rate.  Replication polls and the ``spans`` verb itself
+        are never traced: both are observability plumbing, and tracing
+        them would fill the ring with noise.
+        """
+        sink = self.span_sink
+        if sink is None or verb == "spans":
+            return None
+        ctx = decode_context(frame.get("span"))
+        if ctx is not None:
+            ctx_trace_id, parent_id, sampled = ctx
+            if not sampled:
+                return None
+            return sink.start_span(
+                f"server:{verb}",
+                trace_id=ctx_trace_id,
+                parent_id=parent_id,
+                kind="server",
+            )
+        if not sink.sample_root():
+            return None
+        return sink.start_span(f"server:{verb}", kind="server")
 
     def _finish(
         self,
@@ -485,10 +621,12 @@ class DatabaseService:
         trace_id: str | None,
         started: float,
         response: dict[str, Any],
+        span: Span | None = None,
     ) -> dict[str, Any]:
         """Common response tail: echo the trace id (top-level and inside
         the error object, so client exceptions carry it), bump the
-        session counters, and record the request metrics."""
+        session counters, record the request metrics, and close out the
+        server span (export + slow-request log)."""
         if trace_id is not None:
             response["trace_id"] = trace_id
             error = response.get("error")
@@ -511,12 +649,47 @@ class DatabaseService:
                         kind=error.get("kind", ""),
                         rule=error.get("rule", ""),
                     ).inc()
+        if span is not None and self.span_sink is not None:
+            if response.get("lsn") is not None:
+                span.attributes["lsn"] = response["lsn"]
+            error = response.get("error")
+            status = (
+                error.get("type", "error") if isinstance(error, dict) else None
+            )
+            self.span_sink.export(span.end(status))
+            self._maybe_log_slow(verb, span)
         return response
+
+    def _maybe_log_slow(self, verb: str, span: Span) -> None:
+        """Auto-dump the waterfall for an outlier request (``--slow-ms``):
+        render every span of the offending trace still in the local ring
+        buffer to stderr, so slow requests explain themselves without a
+        separate collection step."""
+        if self.slow_ms is None:
+            return
+        duration_ms = span.duration_s * 1000.0
+        if duration_ms < self.slow_ms:
+            return
+        members = [
+            s
+            for s in self.span_sink.recent()
+            if s.get("trace_id") == span.trace_id
+        ]
+        print(
+            f"slow request: {verb} took {duration_ms:.1f} ms "
+            f"(threshold {self.slow_ms:g} ms)",
+            file=sys.stderr,
+        )
+        print(render_trace(span.trace_id, members), file=sys.stderr)
 
     # -- sharding ----------------------------------------------------------
 
     async def _handle_decision(
-        self, verb: str, frame: Mapping[str, Any], request_id: Any
+        self,
+        verb: str,
+        frame: Mapping[str, Any],
+        request_id: Any,
+        span: Span | None = None,
     ) -> dict[str, Any]:
         """Route a ``batch_commit``/``batch_abort`` to the writer
         holding the named prepare (decisions skip the mutation queue --
@@ -541,7 +714,7 @@ class DatabaseService:
             )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._decisions.put_nowait(
-            (xid, verb == "batch_commit", future, request_id)
+            (xid, verb == "batch_commit", future, request_id, span)
         )
         return await future
 
@@ -638,7 +811,7 @@ class DatabaseService:
         try:
             await self._await_replication(lsn)
         finally:
-            for (_, _, _, _, future), outcome in zip(batch, outcomes):
+            for (_, _, _, _, _, future), outcome in zip(batch, outcomes):
                 if not future.done():
                     future.set_result(outcome)
 
@@ -785,6 +958,24 @@ class DatabaseService:
             self.repl_shipped += len(records)
             if self.metrics is not None:
                 self.metrics.repl_shipped.inc(len(records))
+            if self._span_ctx_by_lsn:
+                # Stamp the originating span context onto shipped
+                # *copies* (never the WAL payloads themselves -- their
+                # checksums cover exact bytes), so the replica's apply
+                # joins the trace that produced each record.
+                records = [
+                    (
+                        {**record, "span_ctx": ctx}
+                        if (
+                            ctx := self._span_ctx_by_lsn.get(
+                                record.get("lsn")
+                            )
+                        )
+                        is not None
+                        else record
+                    )
+                    for record in records
+                ]
         return ok_frame(
             request_id,
             {"records": records, "durable_lsn": self.db.wal.durable_lsn},
@@ -846,23 +1037,47 @@ class DatabaseService:
         if applier is None:
             raise RecoveryError("not a replica (already promoted?)")
         db = self.db
+        sink = self.span_sink
         schema_before = db.schema
         applied = self.applied_lsn
-        for record in records:
-            lsn = record.get("lsn", 0)
-            if record.get("op") == "insert" and not applier.in_txn:
-                try:
-                    db.redo_insert(record)
-                except (ConstraintViolationError, KeyError) as exc:
-                    raise RecoveryError(
-                        f"logged record lsn={lsn} was rejected on "
-                        f"replay: {exc}"
-                    ) from exc
-                applier.max_lsn = max(applier.max_lsn, lsn)
-                applier.report.records_replayed += 1
-                db.stats.wal_replayed_records += 1
-            else:
-                applier.feed(dict(record))
+        for shipped in records:
+            record = dict(shipped)
+            # Shipped records may carry the originating span context
+            # (stamped by the primary's ``repl_poll``); strip it before
+            # redo so the replica re-logs the exact primary payload.
+            ctx = record.pop("span_ctx", None)
+            span = None
+            if ctx is not None and sink is not None:
+                decoded = decode_context(ctx)
+                if decoded is not None and decoded[2]:
+                    span = sink.start_span(
+                        "replica-apply",
+                        trace_id=decoded[0],
+                        parent_id=decoded[1],
+                        kind="repl",
+                        lsn=record.get("lsn"),
+                        op=record.get("op"),
+                    )
+            self._activate_span(span)
+            try:
+                lsn = record.get("lsn", 0)
+                if record.get("op") == "insert" and not applier.in_txn:
+                    try:
+                        db.redo_insert(record)
+                    except (ConstraintViolationError, KeyError) as exc:
+                        raise RecoveryError(
+                            f"logged record lsn={lsn} was rejected on "
+                            f"replay: {exc}"
+                        ) from exc
+                    applier.max_lsn = max(applier.max_lsn, lsn)
+                    applier.report.records_replayed += 1
+                    db.stats.wal_replayed_records += 1
+                else:
+                    applier.feed(record)
+            finally:
+                self._activate_span(None)
+                if span is not None:
+                    sink.export(span.end())
             if lsn > applied:
                 applied = lsn
         self.applied_lsn = applied
@@ -1079,6 +1294,36 @@ class DatabaseService:
                 snap = self.db.stats.snapshot()
                 snap["server"] = self.server_stats()
                 return ok_frame(request_id, snap)
+            if verb == "spans":
+                limit = frame.get("limit")
+                if limit is not None and (
+                    not isinstance(limit, int) or limit < 1
+                ):
+                    raise ProtocolError(
+                        "parameter 'limit' must be a positive integer"
+                    )
+                sink = self.span_sink
+                if sink is None:
+                    return ok_frame(
+                        request_id,
+                        {
+                            "spans": [],
+                            "depth": 0,
+                            "dropped": 0,
+                            "exported": 0,
+                            "sample": None,
+                        },
+                    )
+                return ok_frame(
+                    request_id,
+                    {
+                        "spans": sink.recent(limit),
+                        "depth": sink.depth,
+                        "dropped": sink.dropped,
+                        "exported": sink.exported,
+                        "sample": sink.sample,
+                    },
+                )
             raise ProtocolError(f"unhandled read verb {verb!r}")
         except WrongShardError as exc:
             return error_frame(
@@ -1112,6 +1357,7 @@ class DatabaseService:
             "connections": self.connections,
             "inflight": self.inflight,
             "queue_depth": self._queue.qsize(),
+            "uptime_s": round(time() - self.started_at, 3),
             "poisoned": self.poisoned,
             "prepares": {
                 "held": self._held_xid is not None,
@@ -1135,9 +1381,27 @@ class DatabaseService:
                 "worker_id": self.shard.worker_id,
                 "workers": self.shard.n_shards,
             }
+        if self.span_sink is not None:
+            out["spans"] = {
+                "depth": self.span_sink.depth,
+                "dropped": self.span_sink.dropped,
+                "exported": self.span_sink.exported,
+                "sample": self.span_sink.sample,
+            }
         if self.metrics is not None:
             out["metrics"] = self.metrics.registry.snapshot()
         return out
+
+    def wal_size_bytes(self) -> int:
+        """On-disk WAL size for the process gauge (0 when the WAL is
+        memory-backed, detached, or unreadable)."""
+        wal = self.db.wal
+        if wal is None:
+            return 0
+        try:
+            return int(wal.storage.size())
+        except Exception:
+            return 0
 
     def _source_row(self, frame: Mapping[str, Any]):
         scheme = _require(frame, "scheme", str)
@@ -1241,12 +1505,19 @@ class DatabaseService:
         its WAL bracket has no commit marker until the decision, so a
         crash while holding aborts it on recovery.
         """
-        _verb, frame, request_id, trace_id, future = item
+        _verb, frame, request_id, trace_id, span, future = item
         if self.poisoned is not None:
             self._ack_mutation(future, self._poisoned_frame(request_id))
             return
         if self._correlator is not None:
             self._correlator.trace_id = trace_id
+        if span is not None:
+            self._export_queue_wait(span)
+        apply_span = (
+            span.child("prepare", kind="engine") if span is not None else None
+        )
+        self._activate_span(apply_span)
+        lsn_before = self.db.wal.next_lsn if self.db.wal is not None else 0
         prepared = None
         try:
             xid = _require(frame, "xid", str)
@@ -1284,6 +1555,11 @@ class DatabaseService:
                 future, error_frame(request_id, "server-error", repr(exc))
             )
         finally:
+            self._activate_span(None)
+            if apply_span is not None:
+                self.span_sink.export(
+                    apply_span.end(None if prepared is not None else "error")
+                )
             if self._correlator is not None:
                 self._correlator.trace_id = None
         if prepared is None:
@@ -1319,9 +1595,13 @@ class DatabaseService:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
                     raise asyncio.TimeoutError
-                dxid, commit, dfuture, drequest_id = await asyncio.wait_for(
-                    self._decisions.get(), remaining
-                )
+                (
+                    dxid,
+                    commit,
+                    dfuture,
+                    drequest_id,
+                    dspan,
+                ) = await asyncio.wait_for(self._decisions.get(), remaining)
                 if dxid == "__drain__":
                     prepared.abort()
                     self.prepare_aborts += 1
@@ -1354,6 +1634,17 @@ class DatabaseService:
             if not dfuture.done():
                 dfuture.set_result(ok_frame(drequest_id, None))
             return
+        commit_parent = dspan if dspan is not None else span
+        commit_span = (
+            commit_parent.child("group-commit", kind="wal", xid=xid)
+            if commit_parent is not None
+            else None
+        )
+        if self._correlator is not None:
+            # The decision's durability barrier belongs to this
+            # prepare's trace, same as a group commit's (PR 10).
+            self._correlator.trace_id = trace_id
+        self._activate_span(commit_span)
         try:
             results = prepared.commit()
             self.db.sync_wal()
@@ -1374,11 +1665,30 @@ class DatabaseService:
             )
             if self.db.wal is not None:
                 outcome["lsn"] = self.db.wal.next_lsn - 1
+                if span is not None:
+                    ctx = span.context()
+                    for lsn in range(lsn_before, self.db.wal.next_lsn):
+                        self._remember_span_ctx(lsn, ctx)
                 self._signal_commit()
-                if self._replicas and not self._draining:
-                    # Same semi-sync gate as a group commit: the
-                    # decision ack implies replica receipt.
-                    await self._await_replication(self.db.wal.durable_lsn)
+        finally:
+            self._activate_span(None)
+            if self._correlator is not None:
+                self._correlator.trace_id = None
+            if commit_span is not None:
+                self.span_sink.export(
+                    commit_span.end(
+                        None if self.poisoned is None else "wal-error"
+                    )
+                )
+        if (
+            outcome.get("ok")
+            and self.db.wal is not None
+            and self._replicas
+            and not self._draining
+        ):
+            # Same semi-sync gate as a group commit: the decision ack
+            # implies replica receipt.
+            await self._await_replication(self.db.wal.durable_lsn)
         if not dfuture.done():
             dfuture.set_result(outcome)
 
@@ -1394,6 +1704,39 @@ class DatabaseService:
         if not future.done():
             future.set_result(outcome)
 
+    def _activate_span(self, span: Span | None) -> None:
+        """Route bridged engine events to ``span`` (``None`` detaches).
+
+        When the tracer pipeline exists only for the span sink, the
+        engine tracer is attached exactly while a sampled span is
+        active -- everything here runs on the one event-loop thread, so
+        the swap cannot race -- and unsampled requests never pay for
+        trace-event construction.
+        """
+        self._active_span = span
+        if self._span_only_tracing:
+            self.db.set_tracer(
+                self._correlator if span is not None else None
+            )
+
+    def _export_queue_wait(self, span: Span) -> None:
+        """Export a back-dated ``queue-wait`` child covering the time a
+        mutation sat on the writer's queue (server-span open to writer
+        pickup -- the handler does no meaningful work in between)."""
+        waited = perf_counter() - span._t0
+        child = span.child("queue-wait", kind="server")
+        child.start_s -= waited
+        child._t0 -= waited
+        self.span_sink.export(child.end())
+
+    def _remember_span_ctx(self, lsn: int, ctx: str) -> None:
+        """Map a committed WAL record's lsn to the span context that
+        produced it, bounded so an idle replica can't leak memory (a
+        trailing replica misses stamps, never records)."""
+        self._span_ctx_by_lsn[lsn] = ctx
+        while len(self._span_ctx_by_lsn) > 4096:
+            self._span_ctx_by_lsn.pop(next(iter(self._span_ctx_by_lsn)))
+
     def _commit_group(self, batch: list[tuple]) -> None:
         """Apply one batch, issue the group-commit barrier, then ack.
 
@@ -1402,12 +1745,23 @@ class DatabaseService:
         inside one.
         """
         outcomes: list[dict | None] = []
-        for verb, frame, request_id, trace_id, _future in batch:
+        for verb, frame, request_id, trace_id, span, _future in batch:
             if self.poisoned is not None:
                 outcomes.append(self._poisoned_frame(request_id))
                 continue
             if self._correlator is not None:
                 self._correlator.trace_id = trace_id
+            if span is not None:
+                self._export_queue_wait(span)
+            apply_span = (
+                span.child("apply", kind="engine", verb=verb)
+                if span is not None
+                else None
+            )
+            self._activate_span(apply_span)
+            lsn_before = (
+                self.db.wal.next_lsn if self.db.wal is not None else 0
+            )
             try:
                 result = self._execute_mutation(verb, frame)
             except ConstraintViolationError as exc:
@@ -1445,14 +1799,50 @@ class DatabaseService:
                     # caught up with this write once its applied_lsn
                     # reaches it).
                     outcome["lsn"] = self.db.wal.next_lsn - 1
+                    if span is not None:
+                        ctx = span.context()
+                        for lsn in range(
+                            lsn_before, self.db.wal.next_lsn
+                        ):
+                            self._remember_span_ctx(lsn, ctx)
                 outcomes.append(outcome)
             finally:
-                # Clear before the next item -- and before the barrier,
-                # so the group-commit trace event (which covers the
-                # whole batch) is never attributed to one request.
+                self._activate_span(None)
+                if apply_span is not None:
+                    last = outcomes[-1] if outcomes else None
+                    status = None
+                    if isinstance(last, dict) and not last.get("ok"):
+                        status = str(
+                            (last.get("error") or {}).get("type", "error")
+                        )
+                    self.span_sink.export(apply_span.end(status))
+                # Clear before the next item (the barrier below is
+                # re-stamped with the batch's leading trace id).
                 if self._correlator is not None:
                     self._correlator.trace_id = None
         if self.poisoned is None:
+            # The barrier covers the whole batch; attribute its trace
+            # event to the batch's leading request (PR 5 left barrier
+            # events unstamped) and hang its span under the first
+            # sampled request's server span.
+            batch_trace_id = next(
+                (t for _, _, _, t, _, _ in batch if t is not None), None
+            )
+            span_parent = next(
+                (s for _, _, _, _, s, _ in batch if s is not None), None
+            )
+            group_span = (
+                span_parent.child("group-commit", kind="wal", batch=len(batch))
+                if span_parent is not None
+                else None
+            )
+            if group_span is not None and len(batch) > 1:
+                group_span.attributes["trace_ids"] = [
+                    t for _, _, _, t, _, _ in batch if t is not None
+                ]
+            if self._correlator is not None:
+                self._correlator.trace_id = batch_trace_id
+            self._activate_span(group_span)
             sync_started = perf_counter()
             try:
                 self.db.sync_wal()
@@ -1464,7 +1854,7 @@ class DatabaseService:
                     self._poisoned_frame(request_id)
                     if outcome is not None and outcome.get("ok")
                     else outcome
-                    for outcome, (_, _, request_id, _, _) in zip(
+                    for outcome, (_, _, request_id, _, _, _) in zip(
                         outcomes, batch
                     )
                 ]
@@ -1475,6 +1865,16 @@ class DatabaseService:
                     )
                 # Wake parked replica polls: new durable records exist.
                 self._signal_commit()
+            finally:
+                self._activate_span(None)
+                if self._correlator is not None:
+                    self._correlator.trace_id = None
+                if group_span is not None:
+                    self.span_sink.export(
+                        group_span.end(
+                            None if self.poisoned is None else "wal-error"
+                        )
+                    )
         if self.metrics is not None:
             self.metrics.batch_size.observe(len(batch))
         acked_lsn = (
@@ -1492,7 +1892,7 @@ class DatabaseService:
                 self._resolve_after_confirm(batch, outcomes, acked_lsn)
             )
             return
-        for (_, _, _, _, future), outcome in zip(batch, outcomes):
+        for (_, _, _, _, _, future), outcome in zip(batch, outcomes):
             if not future.done():
                 future.set_result(outcome)
 

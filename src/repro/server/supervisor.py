@@ -76,6 +76,7 @@ class Supervisor:
         wal: str | None = None,
         ready_timeout: float = 60.0,
         replicate_from: list[str] | None = None,
+        span_sink: str | None = None,
     ):
         if workers < 1:
             raise ValueError("a fleet needs at least one worker")
@@ -87,6 +88,10 @@ class Supervisor:
         self.n_workers = workers
         self.host = host
         self.wal = wal
+        #: Span-sink base path; each worker writes ``<path>.w<i>``
+        #: (same per-worker derivation as the WAL), which is what
+        #: ``repro trace`` globs up to reassemble fleet-wide traces.
+        self.span_sink = span_sink
         self.worker_args = list(worker_args)
         #: Per-worker primary addresses (``host:port`` of the matching
         #: shard on the primary fleet); set, every worker runs as a
@@ -187,6 +192,8 @@ class Supervisor:
         ]
         if self.wal is not None:
             cmd += ["--wal", f"{self.wal}.w{index}"]
+        if self.span_sink is not None:
+            cmd += ["--span-sink", f"{self.span_sink}.w{index}"]
         if self.replicate_from is not None:
             cmd += ["--replicate-from", self.replicate_from[index]]
         return cmd

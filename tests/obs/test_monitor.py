@@ -1,0 +1,125 @@
+"""Monitor rendering must degrade gracefully on sparse ``stats``.
+
+The dashboard polls whatever server happens to answer: an old one
+without the ``server`` section, one running with metrics disabled, one
+without the advisor's workload counters, one without a span sink.
+Every optional section must be skippable without a crash or a
+misleading line -- the monitor is most needed exactly when something
+is half-broken.
+"""
+
+from __future__ import annotations
+
+from repro.obs.monitor import render_dashboard, render_fleet_dashboard
+
+
+def test_render_dashboard_engine_only_stats():
+    # The bare engine snapshot: no server/advisor/spans sections at all.
+    out = render_dashboard({"inserts": 3, "lookups": 7})
+    assert "requests 0" in out
+    assert "engine: inserts 3 · lookups 7" in out
+    assert "spans:" not in out
+    assert "advisor:" not in out
+    assert "violations by rule" not in out
+
+
+def test_render_dashboard_empty_and_malformed_sections():
+    # A None/str where a section dict belongs must not crash.
+    out = render_dashboard(
+        {
+            "server": "not-a-mapping",
+            "ind_joins": None,
+            "scheme_mutations": 7,
+        },
+        prev={"server": None},
+    )
+    assert "engine: idle" in out
+    out = render_dashboard({}, prev=None)
+    assert "engine: idle" in out
+
+
+def test_render_dashboard_server_without_metrics_or_spans():
+    # Metrics registry disabled: gauges still render, tables are skipped.
+    stats = {
+        "inserts": 1,
+        "server": {
+            "requests_served": 12,
+            "connections": 2,
+            "inflight": 1,
+            "queue_depth": 0,
+        },
+    }
+    out = render_dashboard(stats, prev=stats, interval=2.0)
+    assert "requests 12 (0.0/s)" in out
+    assert "connections 2" in out
+    assert "verb" not in out  # no per-verb table without the registry
+    assert "spans:" not in out
+
+
+def test_render_dashboard_spans_section_rendered_when_present():
+    stats = {
+        "server": {
+            "requests_served": 1,
+            "spans": {
+                "depth": 5,
+                "exported": 9,
+                "dropped": 2,
+                "sample": 0.25,
+            },
+        }
+    }
+    out = render_dashboard(stats)
+    assert "spans: ring 5 · exported 9 · dropped 2 · sample 0.25" in out
+    # A sink answering without a sample rate still renders.
+    stats["server"]["spans"] = {"depth": 1}
+    out = render_dashboard(stats)
+    assert "spans: ring 1 · exported 0 · dropped 0" in out
+    assert "sample" not in out
+
+
+def test_render_dashboard_replication_section_optional():
+    out = render_dashboard(
+        {"server": {"replication": {"role": "replica", "primary": "h:1"}}}
+    )
+    assert "replica of h:1" in out
+    out = render_dashboard({"server": {"replication": "poll-failed"}})
+    assert "replica of" not in out
+
+
+def test_render_fleet_dashboard_sparse_snapshots():
+    # One healthy worker, one that answered with a bare engine snapshot,
+    # one malformed -- the fleet table renders a row for each.
+    snapshots = [
+        {
+            "inserts": 4,
+            "server": {
+                "requests_served": 10,
+                "connections": 1,
+                "queue_depth": 0,
+                "shard": {"worker_id": 0, "workers": 3},
+                "prepares": {"committed": 2, "aborted": 0, "expired": 0},
+            },
+        },
+        {"inserts": 1},
+        {"server": "nope"},
+    ]
+    out = render_fleet_dashboard(snapshots, prev_snapshots=None)
+    assert "3 workers" in out
+    assert "w0" in out and "w1" in out and "w2" in out
+    assert "2/0/0" in out  # prepares triple where known
+    assert out.count(" -") >= 2  # "-" placeholders for the sparse rows
+    assert "fleet" in out
+
+
+def test_render_fleet_dashboard_prev_matched_by_worker_id():
+    cur = [
+        {"server": {"requests_served": 30, "shard": {"worker_id": 1}}},
+        {"server": {"requests_served": 10, "shard": {"worker_id": 0}}},
+    ]
+    prev = [
+        {"server": {"requests_served": 10, "shard": {"worker_id": 1}}},
+        {"server": {"requests_served": 10, "shard": {"worker_id": 0}}},
+    ]
+    out = render_fleet_dashboard(cur, prev, interval=2.0)
+    assert "10.0/s" in out  # worker 1 advanced 20 over 2s
+    assert "0.0/s" in out

@@ -126,13 +126,12 @@ def test_violation_trace_and_metrics_end_to_end(traced_server):
     assert reject["kind"] == "restrict-delete"
     assert reject["rule"] == rule
     # Nothing about this request leaked into other requests' events,
-    # and request-scoped events all carry *some* trace id, while the
-    # batch-scoped group-commit events carry none.
+    # and every request-scoped *and* barrier event carries a trace id:
+    # the group-commit barrier is attributed to the batch's leading
+    # request (the PR 5 carve-out, fixed in PR 10).
     for e in events:
         if e.get("op") == "group-commit":
-            # Batch-scoped: one barrier covers many requests, so it is
-            # never attributed to one trace id.
-            assert "trace_id" not in e, e
+            assert e.get("trace_id"), e
         elif e["event"] in ("mutation", "reject", "ref-check", "wal"):
             assert e.get("trace_id"), e
 

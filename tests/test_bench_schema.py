@@ -68,6 +68,26 @@ def test_missing_metrics_overhead_field_is_caught():
     assert any("metrics_on" in p for p in validate_report(broken))
 
 
+def test_missing_spans_overhead_field_is_caught():
+    report = _committed_report()
+    if "server_spans" not in report:  # tolerate a pre-spans report
+        return
+    broken = copy.deepcopy(report)
+    del broken["server_spans"]["overhead_pct_1pct"]
+    assert any("overhead_pct_1pct" in p for p in validate_report(broken))
+    broken = copy.deepcopy(report)
+    del broken["server_spans"]["spans_100pct"]
+    assert any(
+        "missing run 'spans_100pct'" in p for p in validate_report(broken)
+    )
+    broken = copy.deepcopy(report)
+    del broken["server_spans"]["spans_1pct"]["spans_exported"]
+    assert any(
+        "server_spans.spans_1pct" in p and "spans_exported" in p
+        for p in validate_report(broken)
+    )
+
+
 def test_missing_sharded_field_is_caught():
     report = _committed_report()
     if "server_sharded" not in report:  # tolerate a pre-sharding report
